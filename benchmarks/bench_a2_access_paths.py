@@ -1,0 +1,76 @@
+"""A2 (ablation) — access path selection: index scan vs. sequential scan.
+
+Justifies the planner's index-selection rule: point and narrow-range
+queries through a B+-tree index beat a full scan, while wide ranges erode
+the advantage (the classical crossover).  Also verifies the planner
+actually picks the index path when available.
+"""
+
+import time
+
+from conftest import fmt_table, record
+from repro.data import Database
+
+N_ROWS = 5000
+
+
+def build(with_index=True):
+    db = Database(buffer_capacity=512)
+    db.execute("CREATE TABLE items (id INT PRIMARY KEY, v INT, pad TEXT)")
+    for i in range(N_ROWS):
+        db.execute("INSERT INTO items VALUES (?, ?, ?)",
+                   (i, i * 7 % 1000, "x" * 50))
+    if with_index:
+        db.execute("CREATE INDEX by_v ON items (v)")
+    return db
+
+
+def test_a2_point_query_indexed(benchmark):
+    db = build(with_index=True)
+    result = db.execute("SELECT id FROM items WHERE v = 70")
+    assert result.plan["access_paths"] == ["index_eq(items.v)"]
+    benchmark(lambda: db.query("SELECT id FROM items WHERE v = 70"))
+    record(benchmark, path="index_eq", rows=N_ROWS)
+
+
+def test_a2_point_query_seq_scan(benchmark):
+    db = build(with_index=False)
+    result = db.execute("SELECT id FROM items WHERE v = 70")
+    assert result.plan["access_paths"] == ["seq_scan(items)"]
+    benchmark(lambda: db.query("SELECT id FROM items WHERE v = 70"))
+    record(benchmark, path="seq_scan", rows=N_ROWS)
+
+
+def test_a2_crossover_shape(benchmark):
+    indexed = build(with_index=True)
+    unindexed = build(with_index=False)
+
+    def timed(db, sql, repeats=5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            db.query(sql)
+        return (time.perf_counter() - start) / repeats
+
+    rows = []
+    speedups = {}
+    # Sweep selectivity on the non-PK column v (values 0..999): point
+    # lookup, then single-sided ranges covering 10%, 50%, 100% of values.
+    for sql, label in (
+            ("SELECT COUNT(*) FROM items WHERE v = 70", "point"),
+            ("SELECT COUNT(*) FROM items WHERE v >= 900", "10% range"),
+            ("SELECT COUNT(*) FROM items WHERE v >= 500", "50% range"),
+            ("SELECT COUNT(*) FROM items WHERE v >= 0", "full range")):
+        fast = timed(indexed, sql)
+        slow = timed(unindexed, sql)
+        speedups[label] = slow / fast
+        rows.append((label, f"{slow * 1000:.2f}", f"{fast * 1000:.2f}",
+                     f"{slow / fast:.1f}x"))
+    print("\nA2: seq scan vs index scan by selectivity (ms)")
+    print(fmt_table(["query", "seq_scan", "index", "speedup"], rows))
+    # Narrow queries gain most; the advantage shrinks monotonically-ish
+    # as the range widens (assert the two endpoints).
+    assert speedups["point"] > speedups["full range"]
+    assert speedups["point"] > 3
+    benchmark(lambda: None)
+    record(benchmark, **{k.replace(" ", "_"): round(v, 1)
+                         for k, v in speedups.items()})

@@ -1,0 +1,93 @@
+"""A5 (ablation) — end-to-end SQL cost through the service architecture.
+
+Where E1 isolates the storage layer, this ablation measures the whole
+stack: the same SQL workload run (a) directly against the engine,
+(b) through the kernel's late-bound Query service with the local binding,
+and (c) with the simulated RMI binding.  The gap between (a) and (b) is
+the *architecture tax* (registry + policy + contract checks); between (b)
+and (c), the protocol tax.
+"""
+
+from conftest import fmt_table, record
+from repro import SBDMS
+from repro.data import Database
+from repro.workloads import QueryWorkload, TableSpec
+
+
+def prepare(target) -> QueryWorkload:
+    spec = TableSpec(name="e2e", n_rows=500)
+    workload = QueryWorkload(spec, seed=9)
+    workload.setup(target)
+    return workload
+
+
+def test_a5_engine_direct(benchmark):
+    db = Database()
+    workload = prepare(db)
+
+    def run():
+        # Fresh statements each round: insert ids keep counting, so
+        # repeated rounds never collide on the primary key.
+        for sql, params in workload.statements(100):
+            db.execute(sql, params)
+
+    benchmark.pedantic(run, rounds=5)
+    record(benchmark, path="engine direct")
+
+
+def test_a5_through_kernel_local(benchmark):
+    system = SBDMS(profile="query-only")
+    workload = prepare(system.database)
+
+    def run():
+        for sql, params in workload.statements(100):
+            system.sql(sql, params)
+
+    benchmark.pedantic(run, rounds=5)
+    record(benchmark, path="kernel + local binding")
+
+
+def test_a5_through_kernel_rmi(benchmark):
+    system = SBDMS(profile="query-only", binding="rmi")
+    workload = prepare(system.database)
+
+    def run():
+        for sql, params in workload.statements(100):
+            system.sql(sql, params)
+
+    benchmark.pedantic(run, rounds=5)
+    record(benchmark, path="kernel + rmi binding",
+           simulated_tax_s=system.kernel.clock.now)
+
+
+def test_a5_shape(benchmark):
+    import time
+
+    def timed(run, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    db = Database()
+    direct_workload = prepare(db)
+    direct = timed(lambda: [db.execute(s, p) for s, p in
+                            direct_workload.statements(150)])
+
+    system = SBDMS(profile="query-only")
+    kernel_workload = prepare(system.database)
+    through_kernel = timed(lambda: [system.sql(s, p) for s, p in
+                                    kernel_workload.statements(150)])
+
+    tax = through_kernel / direct
+    print(f"\nA5: architecture tax = {tax:.2f}x "
+          f"(direct {direct * 1000:.1f} ms, "
+          f"kernel {through_kernel * 1000:.1f} ms per 150 statements)")
+    # The paper: "we do not primarily focus on achieving very high
+    # processing performance" — but the tax must stay a small constant
+    # factor, not an order of magnitude.
+    assert tax < 3.0
+    benchmark(lambda: None)
+    record(benchmark, architecture_tax=round(tax, 2))

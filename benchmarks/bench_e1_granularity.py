@@ -1,0 +1,84 @@
+"""E1 — service granularity vs. performance (the paper's future-work study).
+
+"Testing with different levels of service granularity will give us
+insights into the right tradeoff between service granularity and system
+performance."
+
+Sweep: granularity {coarse, medium, fine} x binding {local, rmi, soap}.
+Measured: wall-clock ops/s (benchmark timer), simulated protocol tax
+(SimClock), and boundary crossings.
+
+Expected shape (DESIGN.md): under costly bindings, coarse > medium > fine
+in throughput; under the local binding the three converge — decomposition
+is near-free in-process, the tax is the protocol.
+"""
+
+import pytest
+
+from conftest import fmt_table, record
+from repro.core import SimClock, make_binding
+from repro.storage.services import GRANULARITIES, GranularStorage
+
+BINDINGS = ("local", "rmi", "soap")
+OPS = 300
+PAYLOAD = bytes(range(256)) * 8  # 2 KB
+
+
+def run_workload(storage: GranularStorage) -> None:
+    page = storage.allocate("bench")
+    for i in range(OPS):
+        storage.write("bench", page, 0, PAYLOAD)
+        storage.read("bench", page, 0, len(PAYLOAD))
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES)
+@pytest.mark.parametrize("binding_name", BINDINGS)
+def test_granularity_binding_sweep(benchmark, granularity, binding_name):
+    clock = SimClock()
+
+    def setup():
+        storage = GranularStorage(granularity,
+                                  binding=make_binding(binding_name, clock))
+        return (storage,), {}
+
+    benchmark.pedantic(run_workload, setup=setup, rounds=3)
+    storage = GranularStorage(granularity,
+                              binding=make_binding(binding_name, clock))
+    clock.reset()
+    run_workload(storage)
+    record(benchmark,
+           granularity=granularity,
+           binding=binding_name,
+           simulated_protocol_tax_s=clock.now,
+           boundary_crossings=storage.boundary_crossings,
+           ops=2 * OPS)
+
+
+def test_e1_shape_report(benchmark):
+    """Regenerates the E1 result table and asserts the expected shape."""
+    rows = []
+    tax = {}
+    for binding_name in BINDINGS:
+        for granularity in GRANULARITIES:
+            clock = SimClock()
+            storage = GranularStorage(
+                granularity, binding=make_binding(binding_name, clock))
+            run_workload(storage)
+            tax[(binding_name, granularity)] = clock.now
+            rows.append((binding_name, granularity,
+                         storage.boundary_crossings,
+                         f"{clock.now * 1000:.2f}"))
+    print("\nE1: granularity x binding — protocol tax")
+    print(fmt_table(["binding", "granularity", "crossings", "sim_tax_ms"],
+                    rows))
+    # Shape assertions: costly bindings punish fine granularity.
+    for binding_name in ("rmi", "soap"):
+        assert tax[(binding_name, "coarse")] < tax[(binding_name, "fine")]
+    # Local binding: decomposition is free (no protocol tax at all).
+    assert tax[("local", "fine")] == 0.0
+    # SOAP hurts more than RMI at every granularity.
+    for granularity in GRANULARITIES:
+        assert tax[("soap", granularity)] > tax[("rmi", granularity)]
+    benchmark(lambda: None)
+    record(benchmark, table="granularity x binding",
+           coarse_vs_fine_rmi=tax[("rmi", "fine")] / tax[("rmi", "coarse")])

@@ -1,0 +1,59 @@
+"""E2 — footprint across deployment profiles (§4 full vs. embedded).
+
+Reports services deployed, advertised footprint, measured in-memory
+footprint, and build time per profile, plus the monotone-downsizing
+property of §2: retiring services only ever shrinks the footprint.
+"""
+
+from conftest import fmt_table, record
+from repro.metrics import footprint_report
+from repro.profiles import EMBEDDED, FULL, PROFILES, build_system
+
+
+def test_e2_build_full(benchmark):
+    built = benchmark(lambda: build_system(FULL))
+    record(benchmark, **built.footprint())
+
+
+def test_e2_build_embedded(benchmark):
+    built = benchmark(lambda: build_system(EMBEDDED))
+    record(benchmark, **built.footprint())
+
+
+def test_e2_profile_table(benchmark):
+    rows = []
+    figures = {}
+    for name in ("full", "streaming", "query-only", "embedded"):
+        built = build_system(PROFILES[name])
+        fp = built.footprint()
+        measured = footprint_report(built.kernel, built.database)
+        figures[name] = fp["footprint_kb"]
+        rows.append((name, fp["services"],
+                     f"{fp['footprint_kb']:.0f}",
+                     f"{measured['measured_kb']:.0f}",
+                     fp["buffer_pages"]))
+    print("\nE2: deployment profile footprints")
+    print(fmt_table(["profile", "services", "advertised_kb",
+                     "measured_kb", "buffer_pages"], rows))
+    # Expected shape: embedded << full, and the ordering is monotone with
+    # the amount of deployed functionality.
+    assert figures["embedded"] < figures["query-only"] <= \
+        figures["streaming"] < figures["full"]
+    assert figures["full"] / figures["embedded"] > 1.5
+    benchmark(lambda: None)
+    record(benchmark, **{k: round(v) for k, v in figures.items()})
+
+
+def test_e2_downsizing_is_monotone(benchmark):
+    built = build_system(FULL)
+    footprints = [built.footprint()["footprint_kb"]]
+    for service_name in ("xml", "streaming", "procedures", "replication",
+                         "storage-monitor"):
+        built.kernel.retire(service_name)
+        footprints.append(built.footprint()["footprint_kb"])
+    assert footprints == sorted(footprints, reverse=True)
+    # The downsized system still answers queries (§2: adapt to downsized
+    # requirements).
+    assert built.kernel.sql("SELECT 1")["rows"] == [(1,)]
+    benchmark(lambda: None)
+    record(benchmark, footprint_trajectory_kb=[round(f) for f in footprints])

@@ -1,0 +1,67 @@
+"""E5 — P2P registry dissemination (§4).
+
+Gossip convergence of service advertisements across repository replicas:
+rounds and messages to full convergence as cluster size grows, at fanouts
+1 and 3.  Expected shape: rounds grow roughly logarithmically with peers
+(epidemic dissemination), and higher fanout trades messages for rounds.
+"""
+
+import math
+
+from conftest import fmt_table, record
+from repro.distribution import GossipCluster, SimNetwork
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+def converge(n_peers: int, fanout: int, seed: int = 17):
+    network = SimNetwork(default_latency_s=0.01)
+    cluster = GossipCluster([f"n{i}" for i in range(n_peers)],
+                            network=network, fanout=fanout, seed=seed)
+    cluster.peer("n0").publish("storage-service", {"layer": "storage"})
+    rounds = cluster.rounds_to_convergence(max_rounds=200)
+    return rounds, network.stats.messages
+
+
+def test_e5_convergence_small(benchmark):
+    rounds, messages = benchmark(lambda: converge(8, fanout=2))
+    record(benchmark, peers=8, fanout=2, rounds=rounds, messages=messages)
+
+
+def test_e5_convergence_large(benchmark):
+    rounds, messages = benchmark(lambda: converge(64, fanout=2))
+    record(benchmark, peers=64, fanout=2, rounds=rounds,
+           messages=messages)
+
+
+def test_e5_shape(benchmark):
+    rows = []
+    results = {}
+    for fanout in (1, 3):
+        for size in SIZES:
+            # Average over a few seeds: gossip is stochastic.
+            rounds_list = []
+            messages_list = []
+            for seed in (1, 2, 3, 4, 5):
+                rounds, messages = converge(size, fanout, seed)
+                rounds_list.append(rounds)
+                messages_list.append(messages)
+            mean_rounds = sum(rounds_list) / len(rounds_list)
+            mean_messages = sum(messages_list) / len(messages_list)
+            results[(fanout, size)] = mean_rounds
+            rows.append((fanout, size, f"{mean_rounds:.1f}",
+                         f"{mean_messages:.0f}"))
+    print("\nE5: gossip convergence (mean of 5 seeds)")
+    print(fmt_table(["fanout", "peers", "rounds", "messages"], rows))
+    # Shape 1: more peers -> more rounds (weakly monotone).
+    assert results[(1, 64)] > results[(1, 4)]
+    # Shape 2: sub-linear growth — epidemic, not flooding-chain:
+    # going 4 -> 64 peers (16x) costs far less than 16x rounds.
+    assert results[(1, 64)] / results[(1, 4)] < \
+        64 / 4 / math.log2(64 / 4)
+    # Shape 3: higher fanout converges in fewer (or equal) rounds.
+    for size in SIZES:
+        assert results[(3, size)] <= results[(1, size)]
+    benchmark(lambda: None)
+    record(benchmark, rounds_fanout1={s: results[(1, s)] for s in SIZES},
+           rounds_fanout3={s: results[(3, s)] for s in SIZES})

@@ -1,0 +1,103 @@
+"""E6 — adaptor mediation cost (§3.1/§3.6).
+
+Adaptors buy interface compatibility at a per-call price.  Measured:
+direct invocation vs. adaptor-mediated invocation (name-mapped, and with
+argument converters), plus adaptor *generation* cost — the one-time price
+paid during a Figure 7 adaptation.
+"""
+
+from conftest import record
+from repro.core import (
+    FunctionService,
+    Interface,
+    OperationMapping,
+    ServiceContract,
+    ServiceRepository,
+    TransformationSchema,
+    generate_adaptor,
+    op,
+)
+
+
+def target_service():
+    store = {}
+    svc = FunctionService(
+        "legacy-store",
+        ServiceContract("legacy-store", (Interface("LegacyStore", (
+            op("fetch", "key:str", returns="any"),
+            op("store", "key:str", "value:any"))),)),
+        handlers={"fetch": lambda key: store.get(key),
+                  "store": lambda key, value: store.__setitem__(key,
+                                                                value)})
+    svc.setup()
+    svc.start()
+    return svc
+
+
+REQUIRED = Interface("KV", (op("get", "key:str", returns="any"),
+                            op("put", "key:str", "value:any")))
+
+
+def test_e6_direct_call(benchmark):
+    service = target_service()
+    service.invoke("store", key="k", value=1)
+    benchmark(lambda: service.invoke("fetch", key="k"))
+    record(benchmark, path="direct")
+
+
+def test_e6_adapted_call(benchmark):
+    service = target_service()
+    adaptor = generate_adaptor(REQUIRED, service)
+    adaptor.invoke("put", key="k", value=1)
+    benchmark(lambda: adaptor.invoke("get", key="k"))
+    record(benchmark, path="adaptor (name mapping)")
+
+
+def test_e6_adapted_call_with_converters(benchmark):
+    service = target_service()
+    repo = ServiceRepository()
+    repo.add_transformation(TransformationSchema(
+        required_interface="KV",
+        provided_interface="LegacyStore",
+        operations={
+            "get": OperationMapping(
+                "fetch", result_converter=lambda v: v),
+            "put": OperationMapping(
+                "store", arg_converters={"value": lambda v: v}),
+        }))
+    adaptor = generate_adaptor(REQUIRED, service, repo)
+    adaptor.invoke("put", key="k", value=1)
+    benchmark(lambda: adaptor.invoke("get", key="k"))
+    record(benchmark, path="adaptor (schema + converters)")
+
+
+def test_e6_adaptor_generation_cost(benchmark):
+    service = target_service()
+    benchmark(lambda: generate_adaptor(REQUIRED, service))
+    record(benchmark, what="structural adaptor generation")
+
+
+def test_e6_overhead_factor(benchmark):
+    import time
+
+    service = target_service()
+    adaptor = generate_adaptor(REQUIRED, service)
+    service.invoke("store", key="k", value=1)
+
+    n = 5000
+    start = time.perf_counter()
+    for _ in range(n):
+        service.invoke("fetch", key="k")
+    direct = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(n):
+        adaptor.invoke("get", key="k")
+    adapted = time.perf_counter() - start
+    factor = adapted / direct
+    print(f"\nE6: adaptor overhead factor = {factor:.2f}x "
+          f"(direct {direct * 1e6 / n:.1f}us, "
+          f"adapted {adapted * 1e6 / n:.1f}us per call)")
+    # Shape: overhead exists but is bounded (not an order of magnitude).
+    assert 1.0 < factor < 10.0
+    benchmark(lambda: None)
+    record(benchmark, overhead_factor=round(factor, 2))

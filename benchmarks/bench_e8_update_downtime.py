@@ -1,0 +1,89 @@
+"""E8 — update-in-place vs. whole-system restart (§3.4's claim vs. CDBS).
+
+"Developers can then deploy or update new services by stopping the
+affected processes, instead of having to deal with the whole system, as in
+the case of CDBS."
+
+Measured: downtime (time the Query interface is unavailable) for (a) an
+SBDMS single-service update and (b) a monolith-style full rebuild of the
+same deployment with the same data, across growing database sizes.
+Expected shape: SBDMS downtime is flat; monolith restart grows with state.
+"""
+
+import time
+
+from conftest import fmt_table, record
+from repro import SBDMS
+from repro.data import Database
+from repro.data.services import QueryService
+from repro.storage import MemoryDevice
+
+
+def populated_device(rows: int) -> MemoryDevice:
+    device = MemoryDevice()
+    db = Database(device=device)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, payload TEXT)")
+    for i in range(rows):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, "x" * 100))
+    db.checkpoint()
+    return device
+
+
+def monolith_restart_downtime(device: MemoryDevice) -> float:
+    """Tear the whole engine down and bring it back (catalog reload +
+    index rebinding + first query)."""
+    start = time.perf_counter()
+    db = Database(device=device)
+    db.query("SELECT COUNT(*) FROM t")
+    return time.perf_counter() - start
+
+
+def sbdms_update_downtime(system: SBDMS) -> float:
+    record_ = system.update(QueryService(system.database, name="query"))
+    return record_.downtime_s
+
+
+def test_e8_sbdms_update(benchmark):
+    system = SBDMS(profile="query-only",
+                   database=Database(device=populated_device(2000)))
+    benchmark(lambda: sbdms_update_downtime(system))
+    downtimes = [u.downtime_s for u in system.kernel.extension.updates]
+    record(benchmark, mean_downtime_ms=round(
+        1000 * sum(downtimes) / len(downtimes), 3))
+
+
+def test_e8_monolith_restart(benchmark):
+    device = populated_device(2000)
+    benchmark(lambda: monolith_restart_downtime(device))
+    record(benchmark, rows=2000)
+
+
+def test_e8_shape(benchmark):
+    rows_axis = (500, 2000, 8000)
+    table = []
+    monolith = {}
+    sbdms = {}
+    for rows in rows_axis:
+        device = populated_device(rows)
+        monolith[rows] = min(monolith_restart_downtime(device)
+                             for _ in range(3))
+        system = SBDMS(profile="query-only",
+                       database=Database(device=device))
+        sbdms[rows] = min(sbdms_update_downtime(system) for _ in range(3))
+        table.append((rows, f"{monolith[rows] * 1000:.2f}",
+                      f"{sbdms[rows] * 1000:.3f}",
+                      f"{monolith[rows] / sbdms[rows]:.0f}x"))
+    print("\nE8: downtime (ms) — monolith restart vs SBDMS service update")
+    print(fmt_table(["rows", "monolith_restart", "sbdms_update", "ratio"],
+                    table))
+    # Shape 1: service update beats restart at every size.
+    for rows in rows_axis:
+        assert sbdms[rows] < monolith[rows]
+    # Shape 2: restart cost grows with state; service update stays flat
+    # (within noise: allow 10x slack on flatness, require >2x growth).
+    assert monolith[rows_axis[-1]] > 2 * monolith[rows_axis[0]]
+    assert sbdms[rows_axis[-1]] < 10 * max(sbdms[rows_axis[0]], 1e-5)
+    benchmark(lambda: None)
+    record(benchmark,
+           monolith_ms={r: round(v * 1000, 2) for r, v in monolith.items()},
+           sbdms_ms={r: round(v * 1000, 3) for r, v in sbdms.items()})

@@ -1,0 +1,85 @@
+"""F5 — Figure 5: flexibility by extension.
+
+Measures the cost of publishing a new user component (contract check +
+repository publication + lifecycle + registration) and verifies the
+zero-disruption property: concurrent service traffic sees no failures
+while services are being published.
+"""
+
+import itertools
+
+from conftest import record
+from repro import SBDMS
+from repro.core import Interface, QualityDescription, Service, \
+    ServiceContract, op
+
+_counter = itertools.count()
+
+
+def make_component() -> Service:
+    name = f"page-coordinator-{next(_counter)}"
+
+    class PageCoordinatorN(Service):
+        layer = "storage"
+
+        def __init__(self):
+            super().__init__(name, ServiceContract(
+                name,
+                (Interface(f"PageCoordination{name}", (
+                    op("advise", returns="dict"),)),),
+                quality=QualityDescription(latency_ms=0.05,
+                                           footprint_kb=16.0)))
+
+        def op_advise(self):
+            return {"ok": True}
+
+    return PageCoordinatorN()
+
+
+def test_f5_publish_latency(benchmark):
+    system = SBDMS(profile="query-only")
+
+    def publish():
+        system.publish(make_component())
+
+    # Fixed round count: publishing grows the registry, and unbounded
+    # rounds would measure registry size, not publish cost.
+    benchmark.pedantic(publish, rounds=50)
+    records = system.kernel.extension.publishes
+    record(benchmark,
+           publishes=len(records),
+           mean_publish_s=sum(r.elapsed_s for r in records) / len(records))
+
+
+def test_f5_publish_does_not_disturb_traffic(benchmark):
+    system = SBDMS(profile="query-only")
+    system.sql("CREATE TABLE t (id INT PRIMARY KEY)")
+    system.sql("INSERT INTO t VALUES (1)")
+    failures = 0
+
+    def interleaved():
+        nonlocal failures
+        system.publish(make_component())
+        for _ in range(5):
+            try:
+                assert system.query("SELECT id FROM t") == [(1,)]
+            except Exception:
+                failures += 1
+
+    benchmark.pedantic(interleaved, rounds=10)
+    assert failures == 0
+    record(benchmark, traffic_failures=failures,
+           services_now=len(system.registry))
+
+
+def test_f5_published_component_immediately_reusable(benchmark):
+    system = SBDMS(profile="query-only")
+
+    def publish_and_call():
+        component = make_component()
+        system.publish(component)
+        interface = component.contract.interfaces[0].name
+        return system.kernel.call(interface, "advise")
+
+    benchmark.pedantic(publish_and_call, rounds=50)
+    assert publish_and_call() == {"ok": True}

@@ -1,0 +1,97 @@
+"""F6 — Figure 6: flexibility by selection.
+
+Measures (a) the overhead of late-bound, policy-selected invocation over a
+direct call, (b) the cost of the coordinator's release-resources path, and
+(c) that selection policies actually steer load (round-robin spreads,
+quality-driven concentrates on the fast provider).
+"""
+
+from conftest import fmt_table, record
+from repro.core import (
+    FunctionService,
+    Interface,
+    QualityDescription,
+    QualityDrivenPolicy,
+    RoundRobinPolicy,
+    SBDMSKernel,
+    ServiceContract,
+    op,
+)
+
+
+def kv(name, latency_ms=0.1):
+    store = {}
+    svc = FunctionService(
+        name,
+        ServiceContract(name, (Interface("KV", (
+            op("get", "key:str", returns="any"),
+            op("put", "key:str", "value:any"))),),
+            quality=QualityDescription(latency_ms=latency_ms)),
+        handlers={"get": lambda key: store.get(key),
+                  "put": lambda key, value: store.__setitem__(key, value)})
+    svc.setup()
+    svc.start()
+    return svc
+
+
+def test_f6_direct_call_baseline(benchmark):
+    service = kv("direct")
+    benchmark(lambda: service.invoke("get", key="k"))
+    record(benchmark, path="direct service.invoke")
+
+
+def test_f6_late_bound_selected_call(benchmark):
+    kernel = SBDMSKernel()
+    for i in range(4):
+        kernel.publish(kv(f"kv-{i}"))
+    benchmark(lambda: kernel.call("KV", "get", key="k"))
+    record(benchmark, path="registry find + policy + binding",
+           candidates=4)
+
+
+def test_f6_release_resources_path(benchmark):
+    kernel = SBDMSKernel()
+    for i in range(4):
+        kernel.publish(kv(f"kv-{i}"))
+        kernel.resources.grant(f"kv-{i}", "memory_kb", 1024)
+
+    def release_and_regrant():
+        released = kernel.coordinator.invoke(
+            "release_resources", service="kv-0", resource="memory_kb")
+        for i in range(1, 4):
+            kernel.resources.grant(f"kv-{i}", "memory_kb", released / 3)
+
+    benchmark(release_and_regrant)
+    record(benchmark, scenario="Figure 6 release resources")
+
+
+def test_f6_policies_steer_load(benchmark):
+    kernel = SBDMSKernel(selector=RoundRobinPolicy())
+    fast = kv("fast", latency_ms=0.01)
+    slow = kv("slow", latency_ms=10.0)
+    kernel.publish(fast)
+    kernel.publish(slow)
+    kernel.selector = RoundRobinPolicy()
+    kernel.workflows.selector = kernel.selector
+    for _ in range(100):
+        kernel.call("KV", "get", key="k")
+    rr_fast = fast.metrics.invocations
+    rr_slow = slow.metrics.invocations
+
+    fast.metrics.reset()
+    slow.metrics.reset()
+    kernel.selector = QualityDrivenPolicy()
+    for _ in range(100):
+        kernel.call("KV", "get", key="k")
+    quality_fast = fast.metrics.invocations
+    quality_slow = slow.metrics.invocations
+
+    print("\nF6: selection policy load steering (100 calls)")
+    print(fmt_table(["policy", "fast", "slow"],
+                    [("round-robin", rr_fast, rr_slow),
+                     ("quality-driven", quality_fast, quality_slow)]))
+    assert abs(rr_fast - rr_slow) <= 2           # spread evenly
+    assert quality_fast == 100 and quality_slow == 0  # concentrates
+    benchmark(lambda: None)
+    record(benchmark, round_robin=(rr_fast, rr_slow),
+           quality=(quality_fast, quality_slow))

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark corresponds to a row in DESIGN.md §5 (figures F1-F7 are
+the paper's diagrams made measurable; E1-E8 reconstruct the deferred
+evaluation).  Conventions:
+
+- the ``benchmark`` fixture times the *mechanism* under study;
+- shape-level findings (who wins, by what factor) go into
+  ``benchmark.extra_info`` so they appear in the saved benchmark data;
+- each module prints its result table when run with ``-s``.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **extra) -> None:
+    """Stash experiment findings into the benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+def fmt_table(headers: list[str], rows: list[tuple]) -> str:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else \
+        [len(h) for h in headers]
+    def line(values):
+        return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,93 @@
+"""Embedded scenario (§4): small-footprint deployments on simulated
+devices, low-battery alerts, and workload redirection.
+
+A fleet of three sensor gateways each hosts an embedded-profile SBDMS
+exposed as a key-value storage service.  Readings arrive continuously;
+when a gateway's battery runs low, the redirector moves its share of the
+workload to healthier peers — "our SBDMS architecture can direct the
+workload to other devices to maintain the system operational".
+
+Run:  python examples/embedded_sensor_node.py
+"""
+
+from repro import SBDMS
+from repro.core import Interface, QualityDescription, Service, \
+    ServiceContract, op
+from repro.distribution import BatteryModel, Device, SimNetwork, \
+    WorkloadRedirector
+from repro.workloads import StreamWorkload
+
+
+class ReadingStore(Service):
+    """Embedded storage service: one SBDMS per gateway."""
+
+    layer = "storage"
+
+    def __init__(self, name: str):
+        super().__init__(name, ServiceContract(
+            name,
+            (Interface("ReadingStore", (
+                op("record", "sensor:str", "reading:float", "seq:int",
+                   returns="any"),
+                op("latest", "sensor:str", returns="any"),
+                op("count", returns="int"),)),),
+            quality=QualityDescription(latency_ms=0.1, footprint_kb=64.0)))
+        self.system = SBDMS(profile="embedded")
+        self.system.sql("CREATE TABLE readings (seq INT PRIMARY KEY, "
+                        "sensor TEXT NOT NULL, reading FLOAT)")
+
+    def op_record(self, sensor, reading, seq):
+        self.system.sql("INSERT INTO readings VALUES (?, ?, ?)",
+                        (seq, sensor, reading))
+
+    def op_latest(self, sensor):
+        rows = self.system.query(
+            "SELECT reading FROM readings WHERE sensor = ? "
+            "ORDER BY seq DESC LIMIT 1", (sensor,))
+        return rows[0][0] if rows else None
+
+    def op_count(self):
+        return self.system.query("SELECT COUNT(*) FROM readings")[0][0]
+
+
+def main() -> None:
+    network = SimNetwork(default_latency_s=0.005)
+    devices = []
+    for i in range(3):
+        device = Device(
+            f"gateway-{i}",
+            battery=BatteryModel(level=100.0,
+                                 drain_per_op=0.25 if i == 0 else 0.02),
+            low_battery_threshold=0.35)
+        store = ReadingStore(f"store-{i}")
+        store.setup()
+        store.start()
+        device.host(store)
+        devices.append(device)
+
+    redirector = WorkloadRedirector(devices, network)
+    workload = StreamWorkload(n_sensors=5, seed=11)
+
+    for sensor, reading, seq in workload.events(400):
+        redirector.route("ReadingStore", "record", client="field-client",
+                         primary="gateway-0",
+                         sensor=sensor, reading=reading, seq=seq)
+
+    print("operation continuity:", redirector.stats.continuity)
+    print("requests redirected away from gateway-0:",
+          redirector.stats.redirected)
+    print("per-device load:", redirector.stats.per_device)
+    for device in devices:
+        status = device.status()
+        store = next(iter(device.services.values()))
+        print(f"{status['device']}: battery={status['battery']:.0%} "
+              f"pressure={status['under_pressure']} "
+              f"rows={store.invoke('count')}")
+
+    embedded_footprint = devices[0].services and \
+        list(devices[0].services.values())[0].system.snapshot()["footprint"]
+    print("embedded profile footprint per gateway:", embedded_footprint)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The paper's future-work study, runnable (§5 / E1).
+
+"We plan to take existing light weight databases, brake them into
+services, and integrate them into our architecture for performance
+evaluations.  Testing with different levels of service granularity will
+give us insights into the right tradeoff between service granularity and
+system performance in a SBDMS."
+
+This script breaks the same storage engine into services at three
+granularities, drives an identical workload through each over three
+communication protocols, and prints the tradeoff table.
+
+Run:  python examples/granularity_study.py
+"""
+
+import time
+
+from repro.core import SimClock, make_binding
+from repro.storage.services import GRANULARITIES, GranularStorage
+
+BINDINGS = ("local", "rmi", "soap")
+OPS = 200
+PAYLOAD = bytes(range(256)) * 4  # 1 KB
+
+
+def drive(storage: GranularStorage) -> None:
+    page = storage.allocate("workload")
+    for _ in range(OPS):
+        storage.write("workload", page, 0, PAYLOAD)
+        storage.read("workload", page, 0, len(PAYLOAD))
+    storage.flush()
+
+
+def main() -> None:
+    print(f"workload: {2 * OPS} page operations of {len(PAYLOAD)} bytes\n")
+    header = (f"{'binding':<8}{'granularity':<13}{'services':>9}"
+              f"{'crossings':>11}{'sim tax (ms)':>14}{'wall (ms)':>11}")
+    print(header)
+    print("-" * len(header))
+    for binding_name in BINDINGS:
+        for granularity in GRANULARITIES:
+            clock = SimClock()
+            storage = GranularStorage(
+                granularity, binding=make_binding(binding_name, clock))
+            started = time.perf_counter()
+            drive(storage)
+            wall = (time.perf_counter() - started) * 1000
+            print(f"{binding_name:<8}{granularity:<13}"
+                  f"{len(storage.services):>9}"
+                  f"{storage.boundary_crossings:>11}"
+                  f"{clock.now * 1000:>14.2f}{wall:>11.1f}")
+        print()
+    print("Reading the table:")
+    print(" - with the in-process binding, decomposition is essentially "
+          "free:\n   granularity is an architecture choice, not a "
+          "performance one;")
+    print(" - with protocol-priced bindings, the tax is proportional to "
+          "boundary\n   crossings: fine/RISC-style decomposition pays "
+          "~2x over coarse here,\n   and SOAP's envelope makes every "
+          "crossing ~10x dearer than binary RPC;")
+    print(" - hence the paper's 'right tradeoff': decompose as finely as "
+          "your\n   binding is cheap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,247 @@
+"""Extendible hash index.
+
+A classic extendible-hashing structure: a directory of ``2^global_depth``
+slots pointing at buckets, each bucket carrying a *local* depth.  A full
+bucket splits by redistributing on one more hash bit; the directory doubles
+only when the splitting bucket's local depth equals the global depth.
+
+The structure lives in memory (point lookups are its whole purpose — the
+B+-tree is the ordered, fully paged index), but serialises to and from a
+storage file so it survives restarts via checkpoints.  Keys and values are
+byte strings, consistent with the rest of the access layer; duplicates are
+rejected (secondary non-unique indexes append the RID to the key exactly
+as they do for the B+-tree).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import DuplicateKeyError, IndexError_, KeyNotFoundError
+from repro.storage.page import PageId
+from repro.storage.page_manager import PageManager
+
+_BUCKET_CAPACITY_DEFAULT = 32
+_META = struct.Struct("<4sIIQ")  # magic, global_depth, bucket_cap, entries
+_MAGIC = b"EXH1"
+_LEN = struct.Struct("<I")
+
+
+def _hash(key: bytes) -> int:
+    """Stable 64-bit hash (not Python's randomised ``hash``)."""
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(),
+                          "little")
+
+
+@dataclass
+class _Bucket:
+    local_depth: int
+    entries: dict[bytes, bytes] = field(default_factory=dict)
+
+
+class ExtendibleHashIndex:
+    """Unique byte-key hash index with O(1) point lookups."""
+
+    def __init__(self, bucket_capacity: int = _BUCKET_CAPACITY_DEFAULT) -> None:
+        if bucket_capacity < 1:
+            raise IndexError_("bucket capacity must be >= 1")
+        self.bucket_capacity = bucket_capacity
+        self.global_depth = 1
+        bucket0, bucket1 = _Bucket(1), _Bucket(1)
+        self._directory: list[_Bucket] = [bucket0, bucket1]
+        self.num_entries = 0
+
+    # -- core ops ---------------------------------------------------------------
+
+    def _slot(self, key: bytes) -> int:
+        return _hash(key) & ((1 << self.global_depth) - 1)
+
+    def _bucket(self, key: bytes) -> _Bucket:
+        return self._directory[self._slot(key)]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._bucket(key).entries.get(key)
+
+    def contains(self, key: bytes) -> bool:
+        return key in self._bucket(key).entries
+
+    def insert(self, key: bytes, value: bytes, replace: bool = False) -> None:
+        bucket = self._bucket(key)
+        if key in bucket.entries:
+            if not replace:
+                raise DuplicateKeyError(f"duplicate key {key!r}")
+            bucket.entries[key] = value
+            return
+        bucket.entries[key] = value
+        self.num_entries += 1
+        while len(bucket.entries) > self.bucket_capacity:
+            self._split(bucket)
+            bucket = self._bucket(key)
+
+    def delete(self, key: bytes) -> None:
+        bucket = self._bucket(key)
+        if key not in bucket.entries:
+            raise KeyNotFoundError(f"key {key!r} not in index")
+        del bucket.entries[key]
+        self.num_entries -= 1
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        seen: set[int] = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.entries.items()
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    # -- splitting ------------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> None:
+        if bucket.local_depth == self.global_depth:
+            self._directory = self._directory + self._directory
+            self.global_depth += 1
+        new_depth = bucket.local_depth + 1
+        bit = 1 << bucket.local_depth
+        zero = _Bucket(new_depth)
+        one = _Bucket(new_depth)
+        for key, value in bucket.entries.items():
+            (one if _hash(key) & bit else zero).entries[key] = value
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket:
+                self._directory[slot] = one if slot & bit else zero
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return len({id(b) for b in self._directory})
+
+    def load_factor(self) -> float:
+        capacity = self.num_buckets * self.bucket_capacity
+        return self.num_entries / capacity if capacity else 0.0
+
+    def check_invariants(self) -> None:
+        if len(self._directory) != 1 << self.global_depth:
+            raise IndexError_("directory size != 2^global_depth")
+        count = 0
+        seen: set[int] = set()
+        for slot, bucket in enumerate(self._directory):
+            if bucket.local_depth > self.global_depth:
+                raise IndexError_("local depth exceeds global depth")
+            # All slots agreeing on the low local_depth bits share the bucket.
+            mask = (1 << bucket.local_depth) - 1
+            if self._directory[slot & mask] is not bucket:
+                raise IndexError_("directory pointer inconsistency")
+            for key in bucket.entries:
+                if (_hash(key) & mask) != (slot & mask):
+                    raise IndexError_("entry in wrong bucket")
+            if id(bucket) not in seen:
+                seen.add(id(bucket))
+                count += len(bucket.entries)
+        if count != self.num_entries:
+            raise IndexError_("entry count drift")
+
+    # -- persistence ------------------------------------------------------------------
+
+    def checkpoint(self, pages: PageManager, file_id: int) -> None:
+        """Serialise the whole index into ``file_id`` (full rewrite)."""
+        blob_parts = [
+            _META.pack(_MAGIC, self.global_depth, self.bucket_capacity,
+                       self.num_entries)]
+        seen: dict[int, int] = {}
+        buckets: list[_Bucket] = []
+        for bucket in self._directory:
+            if id(bucket) not in seen:
+                seen[id(bucket)] = len(buckets)
+                buckets.append(bucket)
+        blob_parts.append(_LEN.pack(len(buckets)))
+        for bucket in buckets:
+            blob_parts.append(_LEN.pack(bucket.local_depth))
+            blob_parts.append(_LEN.pack(len(bucket.entries)))
+            for key, value in bucket.entries.items():
+                blob_parts.append(_LEN.pack(len(key)) + key)
+                blob_parts.append(_LEN.pack(len(value)) + value)
+        blob_parts.append(_LEN.pack(len(self._directory)))
+        for bucket in self._directory:
+            blob_parts.append(_LEN.pack(seen[id(bucket)]))
+        blob = b"".join(blob_parts)
+
+        files = pages.pool.files
+        existing = files.file_size_pages(file_id)
+        page_payload = files.disk.device.block_size - 8
+        needed = max(1, (len(blob) + page_payload - 1) // page_payload)
+        for _ in range(existing, needed):
+            page = pages.allocate(file_id)
+            pages.unpin(page.page_id, dirty=True)
+        for index in range(needed):
+            chunk = blob[index * page_payload:(index + 1) * page_payload]
+            page = pages.fetch(PageId(file_id, index))
+            try:
+                page.write(0, _LEN.pack(len(chunk)))
+                page.write(4, chunk)
+            finally:
+                pages.unpin(page.page_id, dirty=True)
+        # Zero-length marker page if the blob shrank below page count.
+        if needed < existing:
+            page = pages.fetch(PageId(file_id, needed))
+            try:
+                page.write(0, _LEN.pack(0))
+            finally:
+                pages.unpin(page.page_id, dirty=True)
+
+    @classmethod
+    def restore(cls, pages: PageManager, file_id: int) -> "ExtendibleHashIndex":
+        files = pages.pool.files
+        chunks: list[bytes] = []
+        for index in range(files.file_size_pages(file_id)):
+            page = pages.fetch(PageId(file_id, index))
+            try:
+                (length,) = _LEN.unpack_from(page.data, 0)
+                if length == 0:
+                    break
+                chunks.append(page.read(4, length))
+            finally:
+                pages.unpin(page.page_id)
+        blob = b"".join(chunks)
+        if len(blob) < _META.size:
+            raise IndexError_("hash index file is empty or truncated")
+        magic, global_depth, bucket_cap, entries = _META.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise IndexError_("not a hash index file (bad magic)")
+        pos = _META.size
+        (num_buckets,) = _LEN.unpack_from(blob, pos)
+        pos += 4
+        buckets: list[_Bucket] = []
+        for _ in range(num_buckets):
+            (depth,) = _LEN.unpack_from(blob, pos)
+            pos += 4
+            (count,) = _LEN.unpack_from(blob, pos)
+            pos += 4
+            bucket = _Bucket(depth)
+            for _ in range(count):
+                (klen,) = _LEN.unpack_from(blob, pos)
+                pos += 4
+                key = blob[pos:pos + klen]
+                pos += klen
+                (vlen,) = _LEN.unpack_from(blob, pos)
+                pos += 4
+                bucket.entries[key] = blob[pos:pos + vlen]
+                pos += vlen
+            buckets.append(bucket)
+        (dir_size,) = _LEN.unpack_from(blob, pos)
+        pos += 4
+        directory: list[_Bucket] = []
+        for _ in range(dir_size):
+            (bucket_idx,) = _LEN.unpack_from(blob, pos)
+            pos += 4
+            directory.append(buckets[bucket_idx])
+        index = cls(bucket_capacity=bucket_cap)
+        index.global_depth = global_depth
+        index._directory = directory
+        index.num_entries = entries
+        return index

@@ -1,0 +1,142 @@
+"""Heap files: unordered record storage over slotted pages.
+
+A heap file owns one storage file and provides record-level CRUD addressed
+by RID (page number + slot).  Free space is found through the page
+manager's free-space map, so inserts do not scan the file.
+
+Updates that no longer fit on the record's page move the record and return
+a new RID; callers that maintain indexes (the data layer) re-index on move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PageLayoutError
+from repro.storage.page import PageId
+from repro.storage.page_manager import PageManager
+from repro.access.slotted_page import SlottedPage
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """Stable record identifier: page number within the file + slot."""
+
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RID({self.page_no}:{self.slot})"
+
+
+class HeapFile:
+    """Unordered collection of byte-string records."""
+
+    def __init__(self, pages: PageManager, file_id: int) -> None:
+        self.pages = pages
+        self.file_id = file_id
+
+    # -- helpers -------------------------------------------------------------
+
+    def _page_id(self, page_no: int) -> PageId:
+        return PageId(self.file_id, page_no)
+
+    def _note_free(self, view: SlottedPage) -> None:
+        self.pages.note_free_space(view.page.page_id, view.free_space)
+
+    # -- CRUD ----------------------------------------------------------------
+
+    def insert(self, payload: bytes) -> RID:
+        needed = len(payload) + 4  # payload + one slot-directory entry
+        target = self.pages.page_with_space(self.file_id, needed)
+        if target is not None:
+            page = self.pages.fetch(target)
+            view = SlottedPage(page)
+            if not view.has_room(len(payload)):
+                # Stale hint; fix it and fall through to allocation.
+                self._note_free(view)
+                self.pages.unpin(target)
+                target = None
+            else:
+                slot = view.insert(payload)
+                self._note_free(view)
+                self.pages.unpin(target, dirty=True)
+                return RID(target.page_no, slot)
+        page = self.pages.allocate(self.file_id)
+        view = SlottedPage.format(page)
+        slot = view.insert(payload)
+        self._note_free(view)
+        rid = RID(page.page_id.page_no, slot)
+        self.pages.unpin(page.page_id, dirty=True)
+        return rid
+
+    def read(self, rid: RID) -> bytes:
+        page_id = self._page_id(rid.page_no)
+        page = self.pages.fetch(page_id)
+        try:
+            return SlottedPage(page).read(rid.slot)
+        finally:
+            self.pages.unpin(page_id)
+
+    def exists(self, rid: RID) -> bool:
+        page_id = self._page_id(rid.page_no)
+        if rid.page_no >= self.pages.pool.files.file_size_pages(self.file_id):
+            return False
+        page = self.pages.fetch(page_id)
+        try:
+            view = SlottedPage(page)
+            return rid.slot < view.num_slots and view.is_live(rid.slot)
+        finally:
+            self.pages.unpin(page_id)
+
+    def delete(self, rid: RID) -> None:
+        page_id = self._page_id(rid.page_no)
+        page = self.pages.fetch(page_id)
+        try:
+            view = SlottedPage(page)
+            view.delete(rid.slot)
+            self._note_free(view)
+        finally:
+            self.pages.unpin(page_id, dirty=True)
+
+    def update(self, rid: RID, payload: bytes) -> RID:
+        """Rewrite a record; returns its (possibly new) RID."""
+        page_id = self._page_id(rid.page_no)
+        page = self.pages.fetch(page_id)
+        view = SlottedPage(page)
+        try:
+            view.update(rid.slot, payload)
+            self._note_free(view)
+            self.pages.unpin(page_id, dirty=True)
+            return rid
+        except PageLayoutError:
+            # Does not fit here: delete and reinsert elsewhere.
+            view.delete(rid.slot)
+            self._note_free(view)
+            self.pages.unpin(page_id, dirty=True)
+            return self.insert(payload)
+
+    # -- scanning --------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[RID, bytes]]:
+        num_pages = self.pages.pool.files.file_size_pages(self.file_id)
+        for page_no in range(num_pages):
+            page_id = self._page_id(page_no)
+            page = self.pages.fetch(page_id)
+            try:
+                records = list(SlottedPage(page).records())
+            finally:
+                self.pages.unpin(page_id)
+            for slot, payload in records:
+                yield RID(page_no, slot), payload
+
+    def count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def num_pages(self) -> int:
+        return self.pages.pool.files.file_size_pages(self.file_id)
+
+    def fragmentation(self) -> float:
+        """Free-space fraction (the monitoring example's figure)."""
+        return self.pages.fragmentation(self.file_id)

@@ -1,0 +1,399 @@
+"""Iterator-model (Volcano-style) relational operators.
+
+The paper's Access Services layer is "responsible for higher level
+operations, such as joins, selections, and sorting of record sets"; these
+operators implement exactly that, over plain tuple iterators so they
+compose freely.  Each operator is a restartable iterable: calling
+:meth:`Operator.__iter__` re-executes it, which blocking operators (sort,
+hash build) exploit for rescans in nested loops.
+
+Operators work on tuples and carry a ``columns`` list so downstream
+operators and the SQL executor can resolve names positionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import AccessError
+
+
+class Operator:
+    """Base class: an iterable of tuples with named columns."""
+
+    columns: list[str]
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def to_list(self) -> list[tuple]:
+        return list(self)
+
+
+class Source(Operator):
+    """Leaf operator over any re-iterable tuple factory.
+
+    ``factory`` is called on every iteration, so scans restart correctly;
+    pass ``lambda: heap.scan_tuples()`` rather than an exhausted iterator.
+    """
+
+    def __init__(self, columns: Sequence[str],
+                 factory: Callable[[], Iterable[tuple]]) -> None:
+        self.columns = list(columns)
+        self._factory = factory
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str],
+                  rows: Iterable[tuple]) -> "Source":
+        materialised = [tuple(r) for r in rows]
+        return cls(columns, lambda: iter(materialised))
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._factory())
+
+
+class Select(Operator):
+    """Filter rows by a predicate over the tuple."""
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[tuple], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return (row for row in self.child if self.predicate(row))
+
+
+class Project(Operator):
+    """Compute output columns from input rows.
+
+    ``exprs`` maps each output column to a callable over the input tuple.
+    """
+
+    def __init__(self, child: Operator, columns: Sequence[str],
+                 exprs: Sequence[Callable[[tuple], Any]]) -> None:
+        if len(columns) != len(exprs):
+            raise AccessError("Project: columns/exprs arity mismatch")
+        self.child = child
+        self.columns = list(columns)
+        self.exprs = list(exprs)
+
+    @classmethod
+    def by_indexes(cls, child: Operator,
+                   indexes: Sequence[int]) -> "Project":
+        cols = [child.columns[i] for i in indexes]
+        exprs = [(lambda row, i=i: row[i]) for i in indexes]
+        return cls(child, cols, exprs)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self.child:
+            yield tuple(expr(row) for expr in self.exprs)
+
+
+def _sort_key(keys: Sequence[tuple[int, bool]]):
+    """Build a sort key for (index, descending) specs that handles NULLs
+    (NULL sorts first ascending, last descending) and mixed types."""
+
+    def key(row: tuple):
+        parts = []
+        for idx, descending in keys:
+            value = row[idx]
+            null_rank = (value is None)
+            rank = _TypeRanked(value)
+            if descending:
+                parts.append(_Reversed((not null_rank, rank)))
+            else:
+                parts.append((not null_rank, rank))
+        return tuple(parts)
+
+    return key
+
+
+class _TypeRanked:
+    """Total order over heterogeneous scalars: bool < number < str < bytes."""
+
+    __slots__ = ("rank", "value")
+
+    _RANKS = {bool: 0, int: 1, float: 1, str: 2, bytes: 3}
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.rank = 0 if value is None else self._RANKS.get(type(value), 4)
+
+    def _cmp_tuple(self):
+        return (self.rank, self.value)
+
+    def __lt__(self, other: "_TypeRanked") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        if self.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _TypeRanked) and self.value == other.value \
+            and self.rank == other.rank
+
+
+class _Reversed:
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.inner == other.inner
+
+
+class Sort(Operator):
+    """In-memory sort; ``keys`` is a list of (column index, descending)."""
+
+    def __init__(self, child: Operator,
+                 keys: Sequence[tuple[int, bool]]) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self.child, key=_sort_key(self.keys)))
+
+
+class Limit(Operator):
+    def __init__(self, child: Operator, limit: Optional[int],
+                 offset: int = 0) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        iterator = iter(self.child)
+        for _ in range(self.offset):
+            if next(iterator, _SENTINEL) is _SENTINEL:
+                return
+        if self.limit is None:
+            yield from iterator
+            return
+        for count, row in enumerate(iterator):
+            if count >= self.limit:
+                return
+            yield row
+
+
+_SENTINEL = object()
+
+
+class Distinct(Operator):
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        seen: set = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class NestedLoopJoin(Operator):
+    """Tuple-at-a-time join; the inner child is re-iterated per outer row
+    (correct for any re-iterable operator, quadratic by nature)."""
+
+    def __init__(self, outer: Operator, inner: Operator,
+                 predicate: Callable[[tuple, tuple], bool]) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.columns = list(outer.columns) + list(inner.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        inner_rows = list(self.inner)  # materialise once per execution
+        for outer_row in self.outer:
+            for inner_row in inner_rows:
+                if self.predicate(outer_row, inner_row):
+                    yield outer_row + inner_row
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the inner child's key columns."""
+
+    def __init__(self, outer: Operator, inner: Operator,
+                 outer_keys: Sequence[int], inner_keys: Sequence[int],
+                 left_outer: bool = False) -> None:
+        if len(outer_keys) != len(inner_keys):
+            raise AccessError("HashJoin: key arity mismatch")
+        self.outer = outer
+        self.inner = inner
+        self.outer_keys = list(outer_keys)
+        self.inner_keys = list(inner_keys)
+        self.left_outer = left_outer
+        self.columns = list(outer.columns) + list(inner.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        inner_arity = len(self.inner.columns)
+        for row in self.inner:
+            key = tuple(row[i] for i in self.inner_keys)
+            if any(part is None for part in key):
+                continue  # SQL semantics: NULL never matches
+            table.setdefault(key, []).append(row)
+        null_row = (None,) * inner_arity
+        for row in self.outer:
+            key = tuple(row[i] for i in self.outer_keys)
+            matches = [] if any(p is None for p in key) \
+                else table.get(key, [])
+            if matches:
+                for inner_row in matches:
+                    yield row + inner_row
+            elif self.left_outer:
+                yield row + null_row
+
+
+class MergeJoin(Operator):
+    """Sort-merge equi-join on single key columns (inputs must already be
+    sorted ascending on their keys; combine with :class:`Sort`)."""
+
+    def __init__(self, outer: Operator, inner: Operator,
+                 outer_key: int, inner_key: int) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.columns = list(outer.columns) + list(inner.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        outer_rows = list(self.outer)
+        inner_rows = list(self.inner)
+        i = j = 0
+        while i < len(outer_rows) and j < len(inner_rows):
+            left = outer_rows[i][self.outer_key]
+            right = inner_rows[j][self.inner_key]
+            if left is None:
+                i += 1
+                continue
+            if right is None:
+                j += 1
+                continue
+            if left < right:
+                i += 1
+            elif left > right:
+                j += 1
+            else:
+                # Emit the cross product of the two equal runs.
+                i_end = i
+                while i_end < len(outer_rows) and \
+                        outer_rows[i_end][self.outer_key] == left:
+                    i_end += 1
+                j_end = j
+                while j_end < len(inner_rows) and \
+                        inner_rows[j_end][self.inner_key] == right:
+                    j_end += 1
+                for oi in range(i, i_end):
+                    for ji in range(j, j_end):
+                        yield outer_rows[oi] + inner_rows[ji]
+                i, j = i_end, j_end
+
+
+class Aggregate(Operator):
+    """Hash aggregation with optional grouping.
+
+    ``aggregates`` is a list of (output name, function name, input index or
+    ``None`` for ``COUNT(*)``) tuples, optionally extended with a fourth
+    ``distinct`` flag.  Supported functions: count, sum, avg, min, max.
+    NULLs are ignored by all functions except ``COUNT(*)``.
+    """
+
+    FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+    def __init__(self, child: Operator, group_by: Sequence[int],
+                 aggregates: Sequence[tuple]) -> None:
+        normalised = []
+        for spec in aggregates:
+            name, fn, idx, *rest = spec
+            distinct = bool(rest[0]) if rest else False
+            if fn not in self.FUNCTIONS:
+                raise AccessError(f"unknown aggregate function {fn!r}")
+            if distinct and idx is None:
+                raise AccessError("COUNT(DISTINCT *) is meaningless")
+            normalised.append((name, fn, idx, distinct))
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = normalised
+        self.columns = [child.columns[i] for i in group_by] + \
+            [name for name, _, _, _ in normalised]
+
+    def __iter__(self) -> Iterator[tuple]:
+        groups: dict[tuple, list[_AggState]] = {}
+        for row in self.child:
+            key = tuple(row[i] for i in self.group_by)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(fn, distinct)
+                          for _, fn, _, distinct in self.aggregates]
+                groups[key] = states
+            for state, (_, _, idx, _) in zip(states, self.aggregates):
+                state.feed(row[idx] if idx is not None else _COUNT_STAR)
+        if not groups and not self.group_by:
+            # Global aggregate over an empty input still yields one row.
+            states = [_AggState(fn, distinct)
+                      for _, fn, _, distinct in self.aggregates]
+            groups[()] = states
+        for key, states in groups.items():
+            yield key + tuple(state.result() for state in states)
+
+
+_COUNT_STAR = object()
+
+
+class _AggState:
+    __slots__ = ("fn", "count", "total", "minimum", "maximum", "seen",
+                 "distinct", "_values")
+
+    def __init__(self, fn: str, distinct: bool = False) -> None:
+        self.fn = fn
+        self.count = 0
+        self.total = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen = False
+        self.distinct = distinct
+        self._values: set = set() if distinct else None
+
+    def feed(self, value: Any) -> None:
+        if value is _COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._values:
+                return
+            self._values.add(value)
+        self.count += 1
+        self.seen = True
+        if self.fn in ("sum", "avg"):
+            self.total += value
+        elif self.fn == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.fn == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> Any:
+        if self.fn == "count":
+            return self.count
+        if not self.seen:
+            return None
+        if self.fn == "sum":
+            return self.total
+        if self.fn == "avg":
+            return self.total / self.count
+        if self.fn == "min":
+            return self.minimum
+        return self.maximum

@@ -1,0 +1,175 @@
+"""Typed record serialisation (the tuple codec).
+
+The access layer stores records as byte strings inside slotted pages; this
+module defines the physical encoding.  A record is encoded against an
+ordered list of :class:`ColumnType`:
+
+- a null bitmap (one bit per column, little-endian bit order),
+- fixed-width fields in declaration order (absent when NULL),
+- variable-width fields carry a 4-byte length prefix.
+
+The codec is deliberately schema-external: the same machinery serves the
+data layer's tables, index payloads, and the XML shredder.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+from typing import Any, Iterable, Sequence
+
+from repro.errors import RecordCodecError
+
+
+class ColumnType(Enum):
+    """Physical column types understood by the codec."""
+
+    INT = "int"        # 64-bit signed
+    FLOAT = "float"    # IEEE-754 double
+    BOOL = "bool"      # single byte
+    TEXT = "text"      # UTF-8, length-prefixed
+    BYTES = "bytes"    # raw, length-prefixed
+
+    @property
+    def fixed_size(self) -> int | None:
+        """Byte width for fixed-width types, ``None`` for varlen."""
+        return _FIXED_SIZES.get(self)
+
+    @classmethod
+    def parse(cls, name: str) -> "ColumnType":
+        normalized = name.strip().lower()
+        aliases = {
+            "integer": "int", "bigint": "int", "int64": "int",
+            "double": "float", "real": "float",
+            "boolean": "bool",
+            "varchar": "text", "string": "text", "str": "text",
+            "blob": "bytes", "binary": "bytes",
+        }
+        normalized = aliases.get(normalized, normalized)
+        try:
+            return cls(normalized)
+        except ValueError:
+            raise RecordCodecError(f"unknown column type {name!r}") from None
+
+
+_FIXED_SIZES = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.BOOL: 1,
+}
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_LEN = struct.Struct("<I")
+
+_PYTHON_TYPES = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: (int, float),
+    ColumnType.BOOL: bool,
+    ColumnType.TEXT: str,
+    ColumnType.BYTES: (bytes, bytearray),
+}
+
+
+class RecordCodec:
+    """Encode/decode tuples against a fixed column-type list."""
+
+    def __init__(self, types: Sequence[ColumnType]) -> None:
+        self.types = tuple(types)
+        self._bitmap_bytes = (len(self.types) + 7) // 8
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "RecordCodec":
+        return cls([ColumnType.parse(n) for n in names])
+
+    @property
+    def arity(self) -> int:
+        return len(self.types)
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, values: Sequence[Any]) -> bytes:
+        if len(values) != len(self.types):
+            raise RecordCodecError(
+                f"arity mismatch: {len(values)} values for "
+                f"{len(self.types)} columns")
+        bitmap = bytearray(self._bitmap_bytes)
+        parts: list[bytes] = []
+        for idx, (value, ctype) in enumerate(zip(values, self.types)):
+            if value is None:
+                bitmap[idx // 8] |= 1 << (idx % 8)
+                continue
+            parts.append(self._encode_value(idx, value, ctype))
+        return bytes(bitmap) + b"".join(parts)
+
+    def _encode_value(self, idx: int, value: Any, ctype: ColumnType) -> bytes:
+        expected = _PYTHON_TYPES[ctype]
+        # bool is a subclass of int; reject bools for INT/FLOAT columns so a
+        # round-trip never silently changes a value's type.
+        if isinstance(value, bool) and ctype is not ColumnType.BOOL:
+            raise RecordCodecError(
+                f"column {idx}: bool given for {ctype.value} column")
+        if not isinstance(value, expected):
+            raise RecordCodecError(
+                f"column {idx}: {type(value).__name__} given for "
+                f"{ctype.value} column")
+        if ctype is ColumnType.INT:
+            try:
+                return _INT.pack(value)
+            except struct.error:
+                raise RecordCodecError(
+                    f"column {idx}: integer {value} out of 64-bit range"
+                ) from None
+        if ctype is ColumnType.FLOAT:
+            return _FLOAT.pack(float(value))
+        if ctype is ColumnType.BOOL:
+            return b"\x01" if value else b"\x00"
+        if ctype is ColumnType.TEXT:
+            raw = value.encode("utf-8")
+            return _LEN.pack(len(raw)) + raw
+        raw = bytes(value)
+        return _LEN.pack(len(raw)) + raw
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(self, data: bytes) -> tuple:
+        if len(data) < self._bitmap_bytes:
+            raise RecordCodecError("record shorter than its null bitmap")
+        bitmap = data[:self._bitmap_bytes]
+        pos = self._bitmap_bytes
+        values: list[Any] = []
+        for idx, ctype in enumerate(self.types):
+            if bitmap[idx // 8] & (1 << (idx % 8)):
+                values.append(None)
+                continue
+            value, pos = self._decode_value(data, pos, ctype)
+            values.append(value)
+        if pos != len(data):
+            raise RecordCodecError(
+                f"{len(data) - pos} trailing bytes after record")
+        return tuple(values)
+
+    def _decode_value(self, data: bytes, pos: int,
+                      ctype: ColumnType) -> tuple[Any, int]:
+        try:
+            if ctype is ColumnType.INT:
+                return _INT.unpack_from(data, pos)[0], pos + 8
+            if ctype is ColumnType.FLOAT:
+                return _FLOAT.unpack_from(data, pos)[0], pos + 8
+            if ctype is ColumnType.BOOL:
+                return data[pos] != 0, pos + 1
+            (length,) = _LEN.unpack_from(data, pos)
+            pos += _LEN.size
+            raw = data[pos:pos + length]
+            if len(raw) != length:
+                raise RecordCodecError("truncated varlen field")
+            if ctype is ColumnType.TEXT:
+                return raw.decode("utf-8"), pos + length
+            return bytes(raw), pos + length
+        except (struct.error, IndexError):
+            raise RecordCodecError("truncated record") from None
+
+    # -- sizing (used by heap files for free-space decisions) ------------------
+
+    def encoded_size(self, values: Sequence[Any]) -> int:
+        return len(self.encode(values))

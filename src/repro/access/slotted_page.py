@@ -1,0 +1,192 @@
+"""Slotted-page layout over storage pages.
+
+Classic layout: a header and slot directory grow from the start of the
+page, record payloads grow from the end.  Slots are stable handles — a
+record keeps its slot number for life, so (page id, slot) forms a stable
+record id (RID).  Deleting a record tombstones its slot; compaction
+reclaims payload space without renumbering slots.
+
+Layout (all little-endian u16):
+
+    [num_slots][free_space_ptr] [slot 0 off][slot 0 len] ... | free | payloads
+
+A slot with offset ``0xFFFF`` is a tombstone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.errors import PageLayoutError
+from repro.storage.page import Page
+
+_HEADER = struct.Struct("<HH")   # num_slots, free_space_ptr (end of free area)
+_SLOT = struct.Struct("<HH")     # offset, length
+_TOMBSTONE = 0xFFFF
+
+
+class SlottedPage:
+    """View over a :class:`~repro.storage.page.Page` providing record slots.
+
+    The view reads/writes the underlying page bytes on every operation, so
+    several short-lived views over the same pinned page stay consistent.
+    """
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+
+    # -- header ------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, page: Page) -> "SlottedPage":
+        """Initialise an empty slotted page in-place."""
+        view = cls(page)
+        page.write(0, _HEADER.pack(0, page.usable_size))
+        return view
+
+    @property
+    def num_slots(self) -> int:
+        return _HEADER.unpack_from(self.page.data, 0)[0]
+
+    @property
+    def _free_ptr(self) -> int:
+        return _HEADER.unpack_from(self.page.data, 0)[1]
+
+    def _set_header(self, num_slots: int, free_ptr: int) -> None:
+        self.page.write(0, _HEADER.pack(num_slots, free_ptr))
+
+    def _slot(self, slot_no: int) -> tuple[int, int]:
+        if slot_no < 0 or slot_no >= self.num_slots:
+            raise PageLayoutError(
+                f"slot {slot_no} out of range [0, {self.num_slots})")
+        return _SLOT.unpack_from(self.page.data,
+                                 _HEADER.size + slot_no * _SLOT.size)
+
+    def _set_slot(self, slot_no: int, offset: int, length: int) -> None:
+        self.page.write(_HEADER.size + slot_no * _SLOT.size,
+                        _SLOT.pack(offset, length))
+
+    # -- capacity -------------------------------------------------------------------
+
+    @property
+    def free_space(self) -> int:
+        """Contiguous free bytes between the slot directory and payloads."""
+        directory_end = _HEADER.size + self.num_slots * _SLOT.size
+        return self._free_ptr - directory_end
+
+    def space_needed(self, payload_len: int) -> int:
+        """Worst-case free space required to insert (payload + new slot)."""
+        return payload_len + _SLOT.size
+
+    def has_room(self, payload_len: int) -> bool:
+        if self._reusable_slot() is not None:
+            return self.free_space >= payload_len
+        return self.free_space >= self.space_needed(payload_len)
+
+    def _reusable_slot(self) -> Optional[int]:
+        for slot_no in range(self.num_slots):
+            offset, _ = self._slot(slot_no)
+            if offset == _TOMBSTONE:
+                return slot_no
+        return None
+
+    # -- record operations ---------------------------------------------------------
+
+    def insert(self, payload: bytes) -> int:
+        """Store ``payload`` and return its slot number.
+
+        Raises :class:`PageLayoutError` when the page cannot hold it even
+        after compaction would run (callers check :meth:`has_room` or let
+        the heap file allocate a new page).
+        """
+        if len(payload) >= _TOMBSTONE:
+            raise PageLayoutError(
+                f"payload of {len(payload)} bytes exceeds slotted page limit")
+        reuse = self._reusable_slot()
+        if not self.has_room(len(payload)):
+            raise PageLayoutError("page full")
+        free_ptr = self._free_ptr
+        offset = free_ptr - len(payload)
+        self.page.write(offset, payload)
+        if reuse is not None:
+            slot_no = reuse
+            self._set_slot(slot_no, offset, len(payload))
+            self._set_header(self.num_slots, offset)
+        else:
+            slot_no = self.num_slots
+            self._set_header(slot_no + 1, offset)
+            self._set_slot(slot_no, offset, len(payload))
+        return slot_no
+
+    def read(self, slot_no: int) -> bytes:
+        offset, length = self._slot(slot_no)
+        if offset == _TOMBSTONE:
+            raise PageLayoutError(f"slot {slot_no} is deleted")
+        return self.page.read(offset, length)
+
+    def delete(self, slot_no: int) -> None:
+        offset, _ = self._slot(slot_no)
+        if offset == _TOMBSTONE:
+            raise PageLayoutError(f"slot {slot_no} already deleted")
+        self._set_slot(slot_no, _TOMBSTONE, 0)
+        self._compact()
+
+    def update(self, slot_no: int, payload: bytes) -> None:
+        """Replace a record in place; the caller handles does-not-fit by
+        delete+reinsert elsewhere (heap file level)."""
+        offset, length = self._slot(slot_no)
+        if offset == _TOMBSTONE:
+            raise PageLayoutError(f"slot {slot_no} is deleted")
+        if len(payload) <= length:
+            # Shrink in place; wasted bytes are reclaimed by next compaction.
+            self.page.write(offset, payload)
+            self._set_slot(slot_no, offset, len(payload))
+            return
+        # Grow: tombstone then insert under the same slot number.  Keep the
+        # old payload so a does-not-fit failure leaves the record intact.
+        old_payload = self.page.read(offset, length)
+        self._set_slot(slot_no, _TOMBSTONE, 0)
+        self._compact()
+        if self.free_space < len(payload):
+            # Roll back: the old payload fit before compaction, so it fits now.
+            restore_ptr = self._free_ptr - len(old_payload)
+            self.page.write(restore_ptr, old_payload)
+            self._set_slot(slot_no, restore_ptr, len(old_payload))
+            self._set_header(self.num_slots, restore_ptr)
+            raise PageLayoutError("page full")
+        free_ptr = self._free_ptr
+        offset = free_ptr - len(payload)
+        self.page.write(offset, payload)
+        self._set_slot(slot_no, offset, len(payload))
+        self._set_header(self.num_slots, offset)
+
+    def is_live(self, slot_no: int) -> bool:
+        offset, _ = self._slot(slot_no)
+        return offset != _TOMBSTONE
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot_no, payload)`` for live records."""
+        for slot_no in range(self.num_slots):
+            offset, length = self._slot(slot_no)
+            if offset != _TOMBSTONE:
+                yield slot_no, self.page.read(offset, length)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # -- compaction -------------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Slide live payloads to the end of the page, closing holes."""
+        live = [(slot_no, self.page.read(offset, length))
+                for slot_no in range(self.num_slots)
+                for offset, length in [self._slot(slot_no)]
+                if offset != _TOMBSTONE]
+        free_ptr = self.page.usable_size
+        for slot_no, payload in live:
+            free_ptr -= len(payload)
+            self.page.write(free_ptr, payload)
+            self._set_slot(slot_no, free_ptr, len(payload))
+        self._set_header(self.num_slots, free_ptr)

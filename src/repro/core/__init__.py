@@ -1,0 +1,121 @@
+"""SOA kernel: services, contracts, registry, coordination, flexibility.
+
+This package is the paper's primary contribution — the Service-Based Data
+Management System architecture of §3 — independent of any particular
+database functionality (which lives in the storage/access/data/extension
+layers and is *deployed into* a kernel).
+"""
+
+from repro.core.adaptation import AdaptationEngine, AdaptationOutcome
+from repro.core.adaptor import AdaptorService, generate_adaptor
+from repro.core.bindings import (
+    BINDINGS,
+    Binding,
+    BindingCost,
+    FileBinding,
+    LocalBinding,
+    SimClock,
+    SimulatedRmiBinding,
+    SimulatedSoapBinding,
+    make_binding,
+)
+from repro.core.composition import (
+    CompositionEngine,
+    CompositionResult,
+    ProcessDescription,
+    ProcessStep,
+)
+from repro.core.contract import (
+    Interface,
+    Operation,
+    Parameter,
+    QualityDescription,
+    ServiceContract,
+    ServicePolicy,
+    op,
+)
+from repro.core.coordinator import CoordinatorService, Incident
+from repro.core.events import Event, EventBus
+from repro.core.extension import ExtensionManager, PublishRecord, UpdateRecord
+from repro.core.kernel import LAYERS, SBDMSKernel
+from repro.core.properties import ArchitectureProperties
+from repro.core.quality import QualityMonitor, QualityReport
+from repro.core.registry import ServiceRegistry
+from repro.core.repository import (
+    OperationMapping,
+    ServiceRepository,
+    TransformationSchema,
+)
+from repro.core.resource import ResourceManager, ResourcePool
+from repro.core.selection import (
+    FirstAvailablePolicy,
+    MeasuredLatencyPolicy,
+    QualityDrivenPolicy,
+    ResourceAwarePolicy,
+    RoundRobinPolicy,
+)
+from repro.core.service import (
+    FunctionService,
+    Service,
+    ServiceMetrics,
+    ServiceState,
+)
+from repro.core.workflow import ExecutionTrace, Step, Workflow, WorkflowEngine
+
+__all__ = [
+    "AdaptationEngine",
+    "AdaptationOutcome",
+    "AdaptorService",
+    "generate_adaptor",
+    "BINDINGS",
+    "Binding",
+    "BindingCost",
+    "FileBinding",
+    "LocalBinding",
+    "SimClock",
+    "SimulatedRmiBinding",
+    "SimulatedSoapBinding",
+    "make_binding",
+    "CompositionEngine",
+    "CompositionResult",
+    "ProcessDescription",
+    "ProcessStep",
+    "Interface",
+    "Operation",
+    "Parameter",
+    "QualityDescription",
+    "ServiceContract",
+    "ServicePolicy",
+    "op",
+    "CoordinatorService",
+    "Incident",
+    "Event",
+    "EventBus",
+    "ExtensionManager",
+    "PublishRecord",
+    "UpdateRecord",
+    "LAYERS",
+    "SBDMSKernel",
+    "ArchitectureProperties",
+    "QualityMonitor",
+    "QualityReport",
+    "ServiceRegistry",
+    "OperationMapping",
+    "ServiceRepository",
+    "TransformationSchema",
+    "ResourceManager",
+    "ResourcePool",
+    "FirstAvailablePolicy",
+    "MeasuredLatencyPolicy",
+    "QualityDrivenPolicy",
+    "ResourceAwarePolicy",
+    "RoundRobinPolicy",
+    "FunctionService",
+    "Service",
+    "ServiceMetrics",
+    "ServiceState",
+    "ExecutionTrace",
+    "Step",
+    "Workflow",
+    "WorkflowEngine",
+]

@@ -1,0 +1,159 @@
+"""Flexibility by adaptation (§2, §3.6, Figure 7).
+
+"If a service is erroneous or missing, the solution is to find a
+substitute.  If no other service is available to provide the same
+functionality through the same interfaces, but if there are other
+components with different interfaces that can provide the original
+functionality, the architecture can adapt the service interfaces to meet
+the new requirements."
+
+The engine implements that cascade for a failed service:
+
+1. **recompose** — another available service provides the same interfaces;
+   re-point the registry alias (cheap, pure selection).
+2. **adapt** — a service with *different* interfaces can carry the
+   functionality; generate adaptor services around it (§3.1 / [17]) and
+   register them under the failed service's interfaces.
+3. **give up** — record an unresolved incident; the system runs degraded.
+
+Every outcome carries timing and step counts: these are the adaptation-
+latency numbers the benchmarks report (the paper predicts "performance may
+degrade ... [but] the system can continue to operate").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.adaptor import AdaptorService, generate_adaptor
+from repro.core.events import EventBus
+from repro.core.registry import ServiceRegistry
+from repro.core.repository import ServiceRepository
+from repro.errors import AdaptationError
+
+
+@dataclass
+class AdaptationOutcome:
+    """Result of one adaptation attempt."""
+
+    failed_service: str
+    strategy: str                  # "recompose" | "adapt" | "none"
+    succeeded: bool
+    substitutes: dict[str, str] = field(default_factory=dict)
+    adaptors_created: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    steps: int = 0
+    error: Optional[str] = None
+
+    def describe(self) -> dict:
+        return {
+            "failed": self.failed_service,
+            "strategy": self.strategy,
+            "succeeded": self.succeeded,
+            "substitutes": dict(self.substitutes),
+            "adaptors": list(self.adaptors_created),
+            "elapsed_s": self.elapsed_s,
+            "steps": self.steps,
+            "error": self.error,
+        }
+
+
+class AdaptationEngine:
+    """Finds and wires substitutes for failed services."""
+
+    def __init__(self, registry: ServiceRegistry,
+                 repository: Optional[ServiceRepository] = None,
+                 events: Optional[EventBus] = None) -> None:
+        self.registry = registry
+        self.repository = repository
+        self.events = events or registry.events
+        self.outcomes: list[AdaptationOutcome] = []
+
+    def handle_failure(self, failed_name: str) -> AdaptationOutcome:
+        started = time.perf_counter()
+        failed = self.registry.maybe_get(failed_name)
+        outcome = AdaptationOutcome(failed_name, "none", succeeded=False)
+        if failed is None:
+            outcome.error = "service not in registry"
+            self._finish(outcome, started)
+            return outcome
+
+        needed = list(failed.contract.interfaces)
+        substitutes: dict[str, str] = {}
+        adaptors: list[AdaptorService] = []
+        strategy = "recompose"
+        try:
+            for interface in needed:
+                outcome.steps += 1
+                # 1. Same (named) interface elsewhere? (recomposition —
+                #    name-based late binding keeps working unchanged)
+                candidates = [
+                    s for s in self.registry.find(interface.name)
+                    if s.name != failed_name]
+                if candidates:
+                    substitutes[interface.name] = candidates[0].name
+                    continue
+                # 2. Different interface, adaptable? (adaptor generation)
+                strategy = "adapt"
+                adaptor = self._generate_for(interface, failed_name)
+                outcome.steps += 1
+                adaptors.append(adaptor)
+                substitutes[interface.name] = adaptor.name
+        except AdaptationError as exc:
+            outcome.strategy = strategy
+            outcome.error = str(exc)
+            self._finish(outcome, started)
+            self.events.publish("adaptation.failed",
+                                outcome.describe(), source="adaptation")
+            return outcome
+
+        # Wire the adaptors into the registry so late binding finds them.
+        for adaptor in adaptors:
+            if adaptor.name not in self.registry:
+                self.registry.register(adaptor)
+                outcome.adaptors_created.append(adaptor.name)
+        outcome.strategy = strategy
+        outcome.substitutes = substitutes
+        outcome.succeeded = True
+        self._finish(outcome, started)
+        self.events.publish("adaptation.succeeded",
+                            outcome.describe(), source="adaptation")
+        return outcome
+
+    def _generate_for(self, interface, failed_name: str) -> AdaptorService:
+        """Try every available service as an adaptation target."""
+        errors: list[str] = []
+        for target in self.registry.all():
+            if target.name == failed_name or not target.available:
+                continue
+            if "adaptor" in target.contract.tags:
+                continue
+            try:
+                return generate_adaptor(interface, target, self.repository)
+            except AdaptationError as exc:
+                errors.append(f"{target.name}: {exc}")
+        raise AdaptationError(
+            f"no service adaptable to {interface.name!r} "
+            f"({len(errors)} candidates rejected)")
+
+    def _finish(self, outcome: AdaptationOutcome, started: float) -> None:
+        outcome.elapsed_s = time.perf_counter() - started
+        self.outcomes.append(outcome)
+
+    # -- metrics -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        succeeded = [o for o in self.outcomes if o.succeeded]
+        return {
+            "attempts": len(self.outcomes),
+            "succeeded": len(succeeded),
+            "recompositions": sum(1 for o in succeeded
+                                  if o.strategy == "recompose"),
+            "adaptations": sum(1 for o in succeeded
+                               if o.strategy == "adapt"),
+            "mean_latency_s": (
+                sum(o.elapsed_s for o in succeeded) / len(succeeded)
+                if succeeded else 0.0),
+        }

@@ -1,0 +1,162 @@
+"""Adaptor services (§3.1, §3.6).
+
+"Adaptor services mediate the interaction between services that have
+different interfaces and protocols.  A predefined set of adapters can be
+provided ... while specialized adaptors can be automatically generated or
+manually created by the developer."
+
+An :class:`AdaptorService` is itself a service: it exposes the *required*
+interface and forwards each call to a *target* service through a
+transformation schema.  :func:`generate_adaptor` is the automatic path
+([17] in the paper): it first looks for a published transformation schema,
+then falls back to structural matching (same operation names/signatures,
+or unambiguous signature-compatible candidates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+)
+from repro.core.repository import (
+    OperationMapping,
+    ServiceRepository,
+    TransformationSchema,
+)
+from repro.core.service import Service
+from repro.errors import AdaptationError
+
+
+class AdaptorService(Service):
+    """Mediates calls against ``required`` onto ``target``'s interface."""
+
+    layer = "kernel"
+
+    def __init__(self, name: str, required: Interface, target: Service,
+                 schema: TransformationSchema) -> None:
+        quality = QualityDescription(
+            latency_ms=target.contract.quality.latency_ms,
+            availability=target.contract.quality.availability,
+            footprint_kb=target.contract.quality.footprint_kb)
+        contract = ServiceContract(
+            service_name=name,
+            interfaces=(required,),
+            description=(f"generated adaptor: {required.name} -> "
+                         f"{schema.provided_interface} on {target.name}"),
+            quality=quality,
+            tags=frozenset({"adaptor"}))
+        super().__init__(name, contract)
+        self.required = required
+        self.target = target
+        self.schema = schema
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        # The adaptor's own contract check, then the translated forward.
+        if not self.available:
+            return super().invoke(operation, **args)  # raises consistently
+        mapping = self.schema.operations.get(operation)
+        if mapping is None:
+            return super().invoke(operation, **args)  # raises: unknown op
+        self.metrics.invocations += 1
+        try:
+            result = self.target.invoke(mapping.target,
+                                        **mapping.translate_args(args))
+        except Exception:
+            self.metrics.failures += 1
+            raise
+        return mapping.translate_result(result)
+
+
+# Verb synonym groups for name-relaxed matching (the semi-automated
+# adaptation of the paper's [17]): two operation names are considered
+# equivalent when they share a group.  Signature compatibility alone is NOT
+# enough — ``greet(name:str)`` must never silently map onto
+# ``drop(name:str)`` just because the shapes agree.
+_SYNONYM_GROUPS = (
+    {"get", "fetch", "read", "lookup", "load", "retrieve", "find"},
+    {"put", "set", "store", "write", "save", "insert", "add"},
+    {"delete", "remove", "drop", "erase", "discard"},
+    {"allocate", "create", "new", "make"},
+    {"flush", "sync", "persist", "checkpoint"},
+    {"monitor", "observe", "status", "inspect", "report"},
+    {"scan", "list", "enumerate", "iterate"},
+    {"execute", "run", "invoke", "call", "query"},
+)
+
+
+def _names_equivalent(a: str, b: str) -> bool:
+    if a == b:
+        return True
+    a_stem, b_stem = a.lower(), b.lower()
+    for group in _SYNONYM_GROUPS:
+        a_hit = any(part in group for part in a_stem.split("_"))
+        b_hit = any(part in group for part in b_stem.split("_"))
+        if a_hit and b_hit:
+            return True
+    return False
+
+
+def _structural_schema(required: Interface,
+                       provided: Interface) -> Optional[TransformationSchema]:
+    """Derive a mapping by matching operation names, then signatures."""
+    operations: dict[str, OperationMapping] = {}
+    for needed in required.operations:
+        target = provided.operation(needed.name)
+        if target is not None and needed.signature_compatible(target):
+            arg_names = {p.name: q.name
+                         for p, q in zip(needed.params, target.params)}
+            operations[needed.name] = OperationMapping(
+                target=target.name, arg_names=arg_names)
+            continue
+        # Name differs: accept a signature-compatible operation only when
+        # it is unambiguous AND the names are verb-equivalent.
+        candidates = [op_ for op_ in provided.operations
+                      if needed.signature_compatible(op_)
+                      and _names_equivalent(needed.name, op_.name)]
+        if len(candidates) != 1:
+            return None
+        target = candidates[0]
+        arg_names = {p.name: q.name
+                     for p, q in zip(needed.params, target.params)}
+        operations[needed.name] = OperationMapping(
+            target=target.name, arg_names=arg_names)
+    return TransformationSchema(
+        required_interface=required.name,
+        provided_interface=provided.name,
+        operations=operations,
+        description="structurally derived")
+
+
+def generate_adaptor(required: Interface, target: Service,
+                     repository: Optional[ServiceRepository] = None,
+                     name: Optional[str] = None) -> AdaptorService:
+    """Build an adaptor exposing ``required`` on top of ``target``.
+
+    Resolution order (mirroring §3.1): published transformation schema →
+    structural derivation → :class:`AdaptationError`.
+    """
+    schema: Optional[TransformationSchema] = None
+    if repository is not None:
+        for provided in target.contract.interfaces:
+            schema = repository.find_route(required, provided)
+            if schema is not None:
+                break
+    if schema is None:
+        for provided in target.contract.interfaces:
+            schema = _structural_schema(required, provided)
+            if schema is not None:
+                break
+    if schema is None:
+        raise AdaptationError(
+            f"cannot adapt {target.name!r} to interface {required.name!r}: "
+            f"no transformation schema and no structural match")
+    adaptor = AdaptorService(
+        name or f"adaptor:{required.name}->{target.name}",
+        required, target, schema)
+    adaptor.setup()
+    adaptor.start()
+    return adaptor

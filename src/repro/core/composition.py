@@ -1,0 +1,140 @@
+"""Dynamic service composition (§3.3).
+
+"The setup phase consists of process composition according to
+architectural properties and service configuration ... Services are
+composed dynamically at run time according to architectural changes and
+user requirements.  If a suitable workflow is found, adaptor services are
+created around the component services of the workflows to provide the
+original functionality based on alternative services."
+
+The :class:`CompositionEngine` turns a declarative *process description*
+(ordered steps naming required interfaces/operations) into a viable
+:class:`~repro.core.workflow.Workflow`:
+
+1. every required interface with an available provider binds late as-is;
+2. a required interface with *no* provider triggers adaptor generation
+   over the available services (exactly the §3.3 sentence above);
+3. if neither works, composition fails with a diagnosis.
+
+Re-running :meth:`CompositionEngine.recompose` after architectural changes
+(services failing, new ones published) yields a fresh viable workflow —
+the operational-phase loop of §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.adaptor import generate_adaptor
+from repro.core.registry import ServiceRegistry
+from repro.core.repository import ServiceRepository
+from repro.core.workflow import Step, Workflow, WorkflowEngine
+from repro.errors import AdaptationError, CompositionError
+
+
+@dataclass
+class ProcessStep:
+    """One step of a declarative process description."""
+
+    interface: str
+    operation: str
+    bind_args: Callable[[dict], dict] = field(default=lambda ctx: {})
+    save_as: Optional[str] = None
+
+
+@dataclass
+class ProcessDescription:
+    """What the user wants done, independent of which services do it."""
+
+    task: str
+    steps: list[ProcessStep]
+    name: Optional[str] = None
+
+
+@dataclass
+class CompositionResult:
+    workflow: Workflow
+    adaptors_created: list[str] = field(default_factory=list)
+    bindings: dict[str, str] = field(default_factory=dict)  # iface -> svc
+
+
+class CompositionEngine:
+    """Builds viable workflows out of whatever services are deployed."""
+
+    def __init__(self, registry: ServiceRegistry,
+                 repository: Optional[ServiceRepository] = None,
+                 workflow_engine: Optional[WorkflowEngine] = None) -> None:
+        self.registry = registry
+        self.repository = repository
+        self.workflow_engine = workflow_engine
+        self.compositions: list[CompositionResult] = []
+
+    def compose(self, process: ProcessDescription,
+                priority: int = 0) -> CompositionResult:
+        """Setup phase: resolve every step, generating adaptors as needed,
+        and (when a workflow engine is attached) register the workflow."""
+        adaptors: list[str] = []
+        bindings: dict[str, str] = {}
+        problems: list[str] = []
+        for step in process.steps:
+            if step.interface in bindings:
+                continue
+            providers = self.registry.find(step.interface)
+            if providers:
+                bindings[step.interface] = providers[0].name
+                continue
+            adaptor_name = self._adapt_interface(step.interface)
+            if adaptor_name is not None:
+                adaptors.append(adaptor_name)
+                bindings[step.interface] = adaptor_name
+            else:
+                problems.append(step.interface)
+        if problems:
+            raise CompositionError(
+                f"cannot compose {process.task!r}: no provider or "
+                f"adaptable service for interfaces {problems}")
+        workflow = Workflow(
+            name=process.name or f"{process.task}-composed",
+            task=process.task,
+            steps=[Step(s.interface, s.operation, s.bind_args, s.save_as)
+                   for s in process.steps],
+            priority=priority)
+        if self.workflow_engine is not None:
+            self.workflow_engine.register(workflow)
+        result = CompositionResult(workflow, adaptors, bindings)
+        self.compositions.append(result)
+        return result
+
+    def _adapt_interface(self, interface_name: str) -> Optional[str]:
+        """Find the interface's spec in the repository, then try to adapt
+        any available service to it."""
+        spec = None
+        if self.repository is not None:
+            for contract in self.repository.contracts():
+                candidate = contract.interface(interface_name)
+                if candidate is not None:
+                    spec = candidate
+                    break
+        if spec is None:
+            return None
+        for target in self.registry.all():
+            if not target.available or "adaptor" in target.contract.tags:
+                continue
+            try:
+                adaptor = generate_adaptor(spec, target, self.repository)
+            except AdaptationError:
+                continue
+            if adaptor.name not in self.registry:
+                self.registry.register(adaptor)
+            return adaptor.name
+        return None
+
+    def recompose(self, process: ProcessDescription,
+                  priority: int = 0) -> CompositionResult:
+        """Operational phase: drop the previous registration (if any) and
+        compose afresh against the current architecture."""
+        if self.workflow_engine is not None:
+            name = process.name or f"{process.task}-composed"
+            self.workflow_engine.deregister(process.task, name)
+        return self.compose(process, priority)

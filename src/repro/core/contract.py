@@ -1,0 +1,245 @@
+"""Service contracts (§3.2 "Architectural Connectors").
+
+A contract is "comprised of one or more service documents that describe
+the service": a *description document* (interfaces, operations, data
+types, semantics), a *service policy* (conditions of interaction,
+dependencies, assertions to check before invocation), and a *service
+quality description* (functional QoS properties the coordinators act on).
+
+The paper asks for open formats (WSDL / WS-Policy); here the open format
+is the dict produced by :meth:`ServiceContract.to_dict` — the information
+content is the same, and tests round-trip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ContractViolationError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One operation parameter: a name and a coarse type tag.
+
+    Type tags are open strings (``"int"``, ``"bytes"``, ``"str"``, ``"any"``,
+    ...); ``"any"`` matches everything during compatibility checks.
+    """
+
+    name: str
+    type: str = "any"
+
+    def compatible_with(self, other: "Parameter") -> bool:
+        return (self.type == other.type
+                or self.type == "any" or other.type == "any")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named operation with typed parameters and result."""
+
+    name: str
+    params: tuple[Parameter, ...] = ()
+    returns: str = "any"
+    semantics: str = ""  # free-text semantic description (§3.2)
+
+    def signature_compatible(self, other: "Operation") -> bool:
+        """Structural compatibility ignoring names: arity + types match."""
+        if len(self.params) != len(other.params):
+            return False
+        return all(p.compatible_with(q)
+                   for p, q in zip(self.params, other.params)) and \
+            (self.returns == other.returns
+             or "any" in (self.returns, other.returns))
+
+
+def op(name: str, *params: str, returns: str = "any",
+       semantics: str = "") -> Operation:
+    """Shorthand: ``op("read", "offset:int", "length:int", returns="bytes")``."""
+    parsed = []
+    for spec in params:
+        pname, _, ptype = spec.partition(":")
+        parsed.append(Parameter(pname, ptype or "any"))
+    return Operation(name, tuple(parsed), returns, semantics)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named set of operations — the unit of service matching."""
+
+    name: str
+    operations: tuple[Operation, ...] = ()
+    version: str = "1.0"
+
+    def operation(self, name: str) -> Optional[Operation]:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        return None
+
+    def is_satisfied_by(self, other: "Interface") -> bool:
+        """True when ``other`` offers every operation of this interface with
+        the same name and a compatible signature."""
+        for needed in self.operations:
+            provided = other.operation(needed.name)
+            if provided is None or \
+                    not needed.signature_compatible(provided):
+                return False
+        return True
+
+
+@dataclass
+class ServicePolicy:
+    """Conditions of interaction (§3.2).
+
+    ``dependencies`` — interface names this service needs at run time;
+    ``preconditions`` — named predicates over the call (operation, args)
+    evaluated before every invocation;
+    ``assertions`` — named predicates over the service's properties that
+    must hold for the service to be considered usable;
+    ``exclusive`` — if set, at most one concurrent logical client (the
+    embedded profile uses it when disabling services: §4 "policies of
+    currently running services are respected").
+    """
+
+    dependencies: list[str] = field(default_factory=list)
+    preconditions: dict[str, Callable[[str, dict], bool]] = \
+        field(default_factory=dict)
+    assertions: dict[str, Callable[[dict], bool]] = field(default_factory=dict)
+    exclusive: bool = False
+
+    def check_call(self, operation: str, args: dict) -> None:
+        for name, predicate in self.preconditions.items():
+            if not predicate(operation, args):
+                raise ContractViolationError(
+                    f"precondition {name!r} failed for {operation}({args})")
+
+    def check_properties(self, properties: dict) -> None:
+        for name, predicate in self.assertions.items():
+            if not predicate(properties):
+                raise ContractViolationError(
+                    f"assertion {name!r} does not hold")
+
+
+@dataclass
+class QualityDescription:
+    """Functional QoS attributes (§3.2; the §4 open issue asks *which*
+    qualities matter in a DBMS — we expose the four the Discussion section
+    implies: latency, throughput, availability, footprint)."""
+
+    latency_ms: Optional[float] = None      # expected per-call latency
+    throughput_ops: Optional[float] = None  # sustainable ops/second
+    availability: float = 1.0               # fraction of time operational
+    footprint_kb: float = 0.0               # deployment footprint
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_ms": self.latency_ms,
+            "throughput_ops": self.throughput_ops,
+            "availability": self.availability,
+            "footprint_kb": self.footprint_kb,
+            **self.extra,
+        }
+
+
+@dataclass
+class ServiceContract:
+    """The full contract: description + policy + quality documents."""
+
+    service_name: str
+    interfaces: tuple[Interface, ...]
+    description: str = ""
+    data_types: dict[str, str] = field(default_factory=dict)
+    policy: ServicePolicy = field(default_factory=ServicePolicy)
+    quality: QualityDescription = field(default_factory=QualityDescription)
+    tags: frozenset[str] = frozenset()
+    version: str = "1.0"
+
+    def interface(self, name: str) -> Optional[Interface]:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        return None
+
+    def provides(self, interface_name: str) -> bool:
+        return self.interface(interface_name) is not None
+
+    def find_operation(self, name: str) -> Optional[tuple[Interface, Operation]]:
+        for iface in self.interfaces:
+            operation = iface.operation(name)
+            if operation is not None:
+                return iface, operation
+        return None
+
+    # -- open-format serialisation (the WSDL stand-in) -----------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service_name,
+            "version": self.version,
+            "description": self.description,
+            "tags": sorted(self.tags),
+            "data_types": dict(self.data_types),
+            "interfaces": [
+                {
+                    "name": iface.name,
+                    "version": iface.version,
+                    "operations": [
+                        {
+                            "name": operation.name,
+                            "params": [
+                                {"name": p.name, "type": p.type}
+                                for p in operation.params],
+                            "returns": operation.returns,
+                            "semantics": operation.semantics,
+                        }
+                        for operation in iface.operations],
+                }
+                for iface in self.interfaces],
+            "policy": {
+                "dependencies": list(self.policy.dependencies),
+                "preconditions": sorted(self.policy.preconditions),
+                "assertions": sorted(self.policy.assertions),
+                "exclusive": self.policy.exclusive,
+            },
+            "quality": self.quality.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceContract":
+        """Rebuild the structural parts of a contract (predicates are code
+        and do not round-trip; they come back empty)."""
+        interfaces = tuple(
+            Interface(
+                idata["name"],
+                tuple(
+                    Operation(
+                        odata["name"],
+                        tuple(Parameter(p["name"], p["type"])
+                              for p in odata["params"]),
+                        odata["returns"],
+                        odata.get("semantics", ""))
+                    for odata in idata["operations"]),
+                idata.get("version", "1.0"))
+            for idata in data["interfaces"])
+        quality_data = dict(data.get("quality", {}))
+        quality = QualityDescription(
+            latency_ms=quality_data.pop("latency_ms", None),
+            throughput_ops=quality_data.pop("throughput_ops", None),
+            availability=quality_data.pop("availability", 1.0),
+            footprint_kb=quality_data.pop("footprint_kb", 0.0),
+            extra=quality_data)
+        policy = ServicePolicy(
+            dependencies=list(data.get("policy", {}).get("dependencies", [])),
+            exclusive=data.get("policy", {}).get("exclusive", False))
+        return cls(
+            service_name=data["service"],
+            interfaces=interfaces,
+            description=data.get("description", ""),
+            data_types=dict(data.get("data_types", {})),
+            policy=policy,
+            quality=quality,
+            tags=frozenset(data.get("tags", [])),
+            version=data.get("version", "1.0"))

@@ -1,0 +1,173 @@
+"""Coordinator services (§3.1, §3.3, §3.7).
+
+"Functional services ... are managed by coordinator services that have the
+task to monitor the service activity and handle service reconfigurations
+as required."  And in the operational phase: "coordinator services monitor
+architectural changes and service properties.  If a change occurs resource
+management services find alternate workflows to manage the new situation."
+
+The coordinator here does exactly that: it sweeps the services it manages
+(a pull-style heartbeat — deterministic and test-friendly), publishes
+state-change events, fields Figure 6's ``release_resources`` requests,
+and when it detects a failure hands the situation to the adaptation
+engine, recording how long the reconfiguration took and what it did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.contract import Interface, ServiceContract, op
+from repro.core.events import EventBus
+from repro.core.registry import ServiceRegistry
+from repro.core.resource import ResourceManager
+from repro.core.service import Service, ServiceState
+
+
+def _coordinator_contract(name: str) -> ServiceContract:
+    return ServiceContract(
+        service_name=name,
+        interfaces=(
+            Interface("Coordinator", (
+                op("monitor", returns="dict",
+                   semantics="sweep managed services, publish changes"),
+                op("release_resources", "service:str", "resource:str",
+                   returns="float",
+                   semantics="free resources held by a managed service"),
+                op("status", returns="dict"),
+            )),
+        ),
+        description="monitors service activity and handles reconfigurations",
+        tags=frozenset({"coordinator", "kernel"}))
+
+
+@dataclass
+class Incident:
+    """One detected problem and what the coordinator did about it."""
+
+    service: str
+    kind: str                      # "failed" | "degraded" | "recovered"
+    action: str = ""               # e.g. "adaptation", "none"
+    detected_at: float = 0.0
+    resolved: bool = False
+    details: dict = field(default_factory=dict)
+
+
+class CoordinatorService(Service):
+    """Monitors a set of services; delegates repair to the adaptation
+    engine when one fails."""
+
+    layer = "kernel"
+
+    def __init__(self, name: str, registry: ServiceRegistry,
+                 events: Optional[EventBus] = None,
+                 resources: Optional[ResourceManager] = None,
+                 adaptation: Optional["AdaptationEngine"] = None) -> None:
+        super().__init__(name, _coordinator_contract(name))
+        self.registry = registry
+        self.events = events or registry.events
+        self.resources = resources
+        self.adaptation = adaptation
+        self.managed: set[str] = set()
+        self.incidents: list[Incident] = []
+        self._last_states: dict[str, ServiceState] = {}
+
+    # -- management -----------------------------------------------------------------
+
+    def manage(self, service_name: str) -> None:
+        self.managed.add(service_name)
+        service = self.registry.maybe_get(service_name)
+        if service is not None:
+            self._last_states[service_name] = service.state
+
+    def unmanage(self, service_name: str) -> None:
+        self.managed.discard(service_name)
+        self._last_states.pop(service_name, None)
+
+    # -- operations -------------------------------------------------------------------
+
+    def op_monitor(self) -> dict:
+        """One monitoring sweep: detect state changes, verify availability
+        of alternatives, trigger adaptation for failures."""
+        changes: list[dict] = []
+        for name in sorted(self.managed):
+            service = self.registry.maybe_get(name)
+            current = service.state if service is not None else None
+            previous = self._last_states.get(name)
+            if current == previous:
+                continue
+            change = {"service": name,
+                      "from": previous.value if previous else None,
+                      "to": current.value if current else "removed"}
+            changes.append(change)
+            self._last_states[name] = current
+            if current in (None, ServiceState.FAILED, ServiceState.STOPPED):
+                self._handle_outage(name, change)
+            elif current is ServiceState.DEGRADED:
+                self.events.publish("service.degraded", change,
+                                    source=self.name)
+            elif current is ServiceState.OPERATIONAL and previous in (
+                    ServiceState.FAILED, ServiceState.DEGRADED, None):
+                self.incidents.append(Incident(
+                    name, "recovered", detected_at=time.perf_counter(),
+                    resolved=True))
+                self.events.publish("service.recovered", change,
+                                    source=self.name)
+        return {"changes": changes, "managed": len(self.managed)}
+
+    def _handle_outage(self, name: str, change: dict) -> None:
+        incident = Incident(name, "failed",
+                            detected_at=time.perf_counter(),
+                            details=change)
+        self.incidents.append(incident)
+        self.events.publish("service.failed", change, source=self.name)
+        if self.adaptation is not None:
+            outcome = self.adaptation.handle_failure(name)
+            incident.action = outcome.strategy
+            incident.resolved = outcome.succeeded
+            incident.details["adaptation"] = outcome.describe()
+
+    def op_release_resources(self, service: str,
+                             resource: str) -> float:
+        """Figure 6: a service "invokes a 'Release Resources' method on the
+        coordinator services to free additional resources"."""
+        if self.resources is None:
+            return 0.0
+        released = 0.0
+        # Ask every *other* managed service to give back what it holds.
+        for held_by in sorted(self.managed):
+            if held_by == service:
+                continue
+            released += self.resources.release(held_by, resource)
+            holder = self.registry.maybe_get(held_by)
+            if holder is not None:
+                # Advise the service of the new constraint via properties
+                # ("component properties can then be set by ... coordinator
+                # services to adjust ... according to the current
+                # architecture constraints").
+                holder.set_property("resource_constrained", resource)
+        self.events.publish(
+            "coordinator.resources_released",
+            {"requested_by": service, "resource": resource,
+             "released": released},
+            source=self.name)
+        return released
+
+    def op_status(self) -> dict:
+        states = {}
+        for name in sorted(self.managed):
+            service = self.registry.maybe_get(name)
+            states[name] = service.state.value if service else "removed"
+        return {
+            "coordinator": self.name,
+            "managed": states,
+            "incidents": len(self.incidents),
+            "unresolved": sum(1 for i in self.incidents if not i.resolved
+                              and i.kind == "failed"),
+        }
+
+
+# Late import for type reference only (adaptation imports coordinator types).
+from repro.core.adaptation import AdaptationEngine  # noqa: E402,F401

@@ -1,0 +1,80 @@
+"""Event/notification infrastructure for the SOA kernel.
+
+Resource-management processes in the paper "support information about
+service working states, process notifications, and manage service
+configurations"; the event bus is the notification fabric they and the
+coordinator services use.  Topics are plain strings with ``.`` hierarchy
+and ``*`` suffix wildcards (``service.*`` matches ``service.failed``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable notification."""
+
+    topic: str
+    payload: dict = field(default_factory=dict)
+    source: str = ""
+
+
+class EventBus:
+    """Synchronous publish/subscribe bus.
+
+    Handlers run inline in publication order; a handler failure is recorded
+    (and re-published on ``eventbus.handler_error``) but never breaks the
+    publisher — monitoring must not take down the monitored.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[Handler]] = defaultdict(list)
+        self.history: list[Event] = []
+        self.max_history = 10_000
+        self.errors: list[tuple[Event, Exception]] = []
+
+    def subscribe(self, pattern: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``pattern``; returns an unsubscribe
+        callable."""
+        self._subscribers[pattern].append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers[pattern].remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: dict | None = None,
+                source: str = "") -> Event:
+        event = Event(topic, payload or {}, source)
+        self.history.append(event)
+        if len(self.history) > self.max_history:
+            del self.history[:len(self.history) - self.max_history]
+        for pattern, handlers in list(self._subscribers.items()):
+            if not self._matches(pattern, topic):
+                continue
+            for handler in list(handlers):
+                try:
+                    handler(event)
+                except Exception as exc:  # noqa: BLE001 - isolation by design
+                    self.errors.append((event, exc))
+        return event
+
+    @staticmethod
+    def _matches(pattern: str, topic: str) -> bool:
+        if pattern == topic or pattern == "*":
+            return True
+        if pattern.endswith(".*"):
+            return topic.startswith(pattern[:-1]) or topic == pattern[:-2]
+        return False
+
+    def events_for(self, topic_prefix: str) -> list[Event]:
+        return [e for e in self.history if e.topic.startswith(topic_prefix)]

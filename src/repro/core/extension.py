@@ -1,0 +1,151 @@
+"""Flexibility by extension (§2, §3.4, Figure 5).
+
+"The user creates the required component ... and then publishes the
+desired interfaces as services in the architecture.  From this point on,
+the desired functionality of the component is exposed and available for
+reuse."
+
+The manager also implements §3.4's update model: "developers can then
+deploy or update new services by stopping the affected processes, instead
+of having to deal with the whole system" — :meth:`ExtensionManager.update`
+stops exactly one service, swaps implementations, and restarts it,
+recording the downtime window so the E8 benchmark can compare it against
+a whole-system restart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import EventBus
+from repro.core.registry import ServiceRegistry
+from repro.core.repository import ServiceRepository
+from repro.core.service import Service, ServiceState
+from repro.errors import ContractViolationError, KernelError
+
+
+@dataclass
+class PublishRecord:
+    service: str
+    layer: str
+    elapsed_s: float
+    interfaces: list[str] = field(default_factory=list)
+
+
+@dataclass
+class UpdateRecord:
+    service: str
+    downtime_s: float
+    services_stopped: int
+
+
+class ExtensionManager:
+    """Publishes, updates, and retires services at run time."""
+
+    def __init__(self, registry: ServiceRegistry,
+                 repository: Optional[ServiceRepository] = None,
+                 events: Optional[EventBus] = None) -> None:
+        self.registry = registry
+        self.repository = repository
+        self.events = events or registry.events
+        self.publishes: list[PublishRecord] = []
+        self.updates: list[UpdateRecord] = []
+
+    # -- publish (Figure 5) ------------------------------------------------------
+
+    def publish(self, service: Service, kernel=None) -> PublishRecord:
+        """Make a user-created component available for reuse.
+
+        The contract is checked (every declared operation must be
+        implemented), published to the repository, and the service is
+        set up, started, and registered — all without touching any other
+        running service (that is the point of the scenario).
+        """
+        started = time.perf_counter()
+        for iface in service.contract.interfaces:
+            for operation in iface.operations:
+                if not hasattr(service, f"op_{operation.name}"):
+                    raise ContractViolationError(
+                        f"{service.name}: contract declares "
+                        f"{operation.name!r} but the implementation lacks "
+                        f"op_{operation.name}")
+        if self.repository is not None:
+            self.repository.publish_contract(service.contract)
+        if service.state is ServiceState.CREATED:
+            service.setup(kernel)
+        if service.state is ServiceState.READY:
+            service.start()
+        self.registry.register(service)
+        record = PublishRecord(
+            service.name, service.layer,
+            elapsed_s=time.perf_counter() - started,
+            interfaces=[i.name for i in service.contract.interfaces])
+        self.publishes.append(record)
+        self.events.publish("extension.published",
+                            {"service": service.name,
+                             "interfaces": record.interfaces},
+                            source="extension-manager")
+        return record
+
+    # -- update (§3.4) -------------------------------------------------------------
+
+    def update(self, replacement: Service, kernel=None) -> UpdateRecord:
+        """Swap a running service for a new implementation.
+
+        Only the affected service stops; downtime is the stop→start window.
+        """
+        name = replacement.name
+        if name not in self.registry:
+            raise KernelError(
+                f"cannot update {name!r}: not currently registered")
+        old = self.registry.get(name)
+        down_start = time.perf_counter()
+        old.stop()
+        if replacement.state is ServiceState.CREATED:
+            replacement.setup(kernel)
+        if replacement.state is ServiceState.READY:
+            replacement.start()
+        self.registry.replace(replacement)
+        downtime = time.perf_counter() - down_start
+        if self.repository is not None:
+            self.repository.publish_contract(replacement.contract)
+        record = UpdateRecord(name, downtime_s=downtime, services_stopped=1)
+        self.updates.append(record)
+        self.events.publish("extension.updated",
+                            {"service": name, "downtime_s": downtime},
+                            source="extension-manager")
+        return record
+
+    # -- retire / downsize (§2 "downsized requirements", §4 embedded) ---------------
+
+    def retire(self, name: str, force: bool = False) -> Service:
+        """Disable and remove a service.
+
+        "Disabling services requires that policies of currently running
+        services are respected and all dependencies are met" (§4): retiring
+        fails if another registered service's policy depends on an
+        interface only this service provides, unless ``force``.
+        """
+        target = self.registry.get(name)
+        if not force:
+            provided = {i.name for i in target.contract.interfaces}
+            for other in self.registry.all():
+                if other.name == name:
+                    continue
+                for dependency in other.contract.policy.dependencies:
+                    if dependency in provided:
+                        alternatives = [
+                            s for s in self.registry.find(dependency)
+                            if s.name != name]
+                        if not alternatives:
+                            raise ContractViolationError(
+                                f"cannot retire {name!r}: {other.name!r} "
+                                f"depends on {dependency!r} with no "
+                                f"alternative provider")
+        target.stop()
+        self.registry.deregister(name)
+        self.events.publish("extension.retired", {"service": name},
+                            source="extension-manager")
+        return target

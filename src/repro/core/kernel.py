@@ -1,0 +1,170 @@
+"""The SBDMS kernel: the assembled architecture of Figure 2.
+
+One :class:`SBDMSKernel` instance wires together every §3.1 component:
+the registry (discovery), repository (schemas), event bus (notifications),
+resource manager, coordinator, adaptation engine, extension manager,
+workflow engine, and the shared binding/clock.  Layers are views over the
+registry (each service declares its layer), matching the paper's layered
+Figure 2 without hard-wiring anything.
+
+The kernel itself is deliberately thin — services carry the behaviour.
+Deployment profiles (:mod:`repro.profiles`) decide *which* services get
+built into a kernel; the convenience façade ``repro.SBDMS`` builds a
+kernel from a profile and adds the SQL front door.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.adaptation import AdaptationEngine
+from repro.core.bindings import Binding, LocalBinding, SimClock, make_binding
+from repro.core.coordinator import CoordinatorService
+from repro.core.events import EventBus
+from repro.core.extension import ExtensionManager
+from repro.core.properties import ArchitectureProperties
+from repro.core.registry import ServiceRegistry
+from repro.core.repository import ServiceRepository
+from repro.core.resource import ResourceManager, ResourcePool
+from repro.core.selection import FirstAvailablePolicy, SelectionPolicy
+from repro.core.service import Service
+from repro.core.workflow import WorkflowEngine
+from repro.errors import ServiceNotFoundError
+
+LAYERS = ("storage", "access", "data", "extension", "kernel")
+
+
+class SBDMSKernel:
+    """The assembled service-based data management system."""
+
+    def __init__(self, name: str = "sbdms",
+                 binding: str | Binding = "local",
+                 clock: Optional[SimClock] = None,
+                 resources: Optional[dict[str, float]] = None,
+                 selector: Optional[SelectionPolicy] = None) -> None:
+        self.name = name
+        self.clock = clock or SimClock()
+        self.events = EventBus()
+        self.registry = ServiceRegistry(self.events)
+        self.repository = ServiceRepository()
+        self.properties = ArchitectureProperties(self.events)
+        self.binding: Binding = (
+            binding if isinstance(binding, Binding)
+            else make_binding(binding, self.clock))
+        pool = ResourcePool(dict(resources or {"memory_kb": 1 << 20,
+                                               "cpu": 100.0}))
+        self.resources = ResourceManager(pool, self.events)
+        self.adaptation = AdaptationEngine(self.registry, self.repository,
+                                           self.events)
+        self.selector = selector or FirstAvailablePolicy()
+        self.workflows = WorkflowEngine(self.registry, self.binding,
+                                        self.selector)
+        self.extension = ExtensionManager(self.registry, self.repository,
+                                          self.events)
+        self.coordinator = CoordinatorService(
+            f"{name}-coordinator", self.registry, self.events,
+            self.resources, self.adaptation)
+        self.coordinator.setup(self)
+        self.coordinator.start()
+        self.registry.register(self.coordinator)
+        self.coordinator.manage(self.coordinator.name)
+
+    # -- service deployment ---------------------------------------------------------
+
+    def publish(self, service: Service, manage: bool = True):
+        """Publish a service into the architecture (Figure 5's extension
+        path) and optionally put it under coordinator management."""
+        record = self.extension.publish(service, kernel=self)
+        if manage:
+            self.coordinator.manage(service.name)
+        return record
+
+    def retire(self, service_name: str, force: bool = False) -> Service:
+        self.coordinator.unmanage(service_name)
+        return self.extension.retire(service_name, force=force)
+
+    def update(self, replacement: Service):
+        return self.extension.update(replacement, kernel=self)
+
+    # -- invocation front door ---------------------------------------------------------
+
+    def call(self, interface: str, operation: str,
+             heal: bool = False, **args: Any) -> Any:
+        """Late-bound call: resolve a provider now, dispatch through the
+        kernel binding.
+
+        With ``heal=True`` a failed call triggers one coordinator sweep
+        (detection + adaptation, §3.3's operational phase) and a single
+        retry against whatever provider the healed architecture offers.
+        """
+        self._auto_monitor_tick()
+        try:
+            return self._dispatch(interface, operation, args)
+        except Exception:
+            if not heal:
+                raise
+            self.monitor_sweep()
+            return self._dispatch(interface, operation, args)
+
+    def _dispatch(self, interface: str, operation: str, args: dict) -> Any:
+        candidates = self.registry.find(interface)
+        if not candidates:
+            raise ServiceNotFoundError(
+                f"no available service provides {interface!r}")
+        service = self.selector.choose(interface, candidates)
+        return self.binding.call(service, operation, **args)
+
+    # -- operational phase (§3.3) --------------------------------------------------------
+
+    def enable_auto_monitor(self, every: int = 100) -> None:
+        """Run a coordinator sweep automatically every ``every`` kernel
+        calls — the deterministic stand-in for a background monitoring
+        process."""
+        if every < 1:
+            raise ValueError("auto-monitor interval must be >= 1")
+        self._auto_monitor_every = every
+        self._auto_monitor_count = 0
+
+    def disable_auto_monitor(self) -> None:
+        self._auto_monitor_every = None
+
+    def _auto_monitor_tick(self) -> None:
+        every = getattr(self, "_auto_monitor_every", None)
+        if every is None:
+            return
+        self._auto_monitor_count += 1
+        if self._auto_monitor_count >= every:
+            self._auto_monitor_count = 0
+            self.monitor_sweep()
+
+    def sql(self, statement: str, params: tuple = ()) -> Any:
+        """Convenience: route SQL text to whatever provides ``Query``."""
+        return self.call("Query", "execute", statement=statement,
+                         params=params)
+
+    # -- monitoring -----------------------------------------------------------------------
+
+    def monitor_sweep(self) -> dict:
+        return self.coordinator.invoke("monitor")
+
+    def layer(self, layer_name: str) -> list[Service]:
+        return self.registry.by_layer(layer_name)
+
+    def snapshot(self) -> dict:
+        """Architecture state: what a monitoring dashboard would show."""
+        per_layer = {layer: sorted(s.name for s in self.layer(layer))
+                     for layer in LAYERS}
+        return {
+            "kernel": self.name,
+            "services": len(self.registry),
+            "layers": per_layer,
+            "binding": self.binding.name,
+            "sim_time_s": self.clock.now,
+            "resources": self.resources.snapshot(),
+            "incidents": len(self.coordinator.incidents),
+            "properties": self.properties.snapshot(),
+        }
+
+    def shutdown(self) -> None:
+        for service in self.registry.all():
+            service.stop()

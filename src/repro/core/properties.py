@@ -1,0 +1,51 @@
+"""Architecture properties (§3.6).
+
+"To achieve this we introduce architecture properties that can be set by
+users or by monitoring services when existing components are removed or
+are erroneous."
+
+A small observable key/value store scoped to the whole architecture (as
+opposed to per-service properties on :class:`~repro.core.service.Service`).
+Coordinators and users both write it; changes are published on the event
+bus so monitoring services can react without polling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.events import EventBus
+
+
+class ArchitectureProperties:
+    """Observable architecture-wide property store."""
+
+    def __init__(self, events: Optional[EventBus] = None) -> None:
+        self._values: dict[str, Any] = {}
+        self.events = events or EventBus()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def set(self, key: str, value: Any, source: str = "user") -> None:
+        old = self._values.get(key)
+        self._values[key] = value
+        if old != value:
+            self.events.publish(
+                "architecture.property_changed",
+                {"key": key, "old": old, "new": value, "source": source},
+                source=source)
+
+    def delete(self, key: str, source: str = "user") -> None:
+        if key in self._values:
+            old = self._values.pop(key)
+            self.events.publish(
+                "architecture.property_changed",
+                {"key": key, "old": old, "new": None, "source": source},
+                source=source)
+
+    def snapshot(self) -> dict:
+        return dict(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values

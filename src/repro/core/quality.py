@@ -1,0 +1,100 @@
+"""Service quality measurement (§4's open issue).
+
+"An open issue remains which service qualities are generally important in
+a DBMS and what methods or metrics should be used to quantify them."
+
+This module takes a position the benchmarks then exercise: the qualities
+that matter are **latency**, **throughput**, **availability**, and
+**footprint**, measured per service from its metrics and lifecycle
+history, and aggregated into a comparable scorecard.  E7 reports these
+for storage services under load.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.registry import ServiceRegistry
+from repro.core.service import Service, ServiceState
+
+
+@dataclass
+class QualityReport:
+    """Measured qualities of one service at a point in time."""
+
+    service: str
+    mean_latency_s: float
+    throughput_ops: float
+    availability: float
+    failure_rate: float
+    footprint_kb: float
+    invocations: int
+
+    def score(self, latency_weight: float = 1.0,
+              availability_weight: float = 1.0) -> float:
+        """Single comparable figure: higher is better."""
+        latency_term = -latency_weight * math.log10(
+            max(self.mean_latency_s, 1e-9))
+        return latency_term + availability_weight * self.availability
+
+
+class AvailabilityTracker:
+    """Tracks the fraction of wall-clock time a service was available."""
+
+    def __init__(self) -> None:
+        self._windows: dict[str, list[tuple[float, bool]]] = {}
+
+    def observe(self, service: Service) -> None:
+        history = self._windows.setdefault(service.name, [])
+        history.append((time.perf_counter(), service.available))
+
+    def availability(self, service_name: str) -> float:
+        history = self._windows.get(service_name, [])
+        if len(history) < 2:
+            return 1.0 if not history or history[-1][1] else 0.0
+        up = total = 0.0
+        for (t0, was_up), (t1, _) in zip(history, history[1:]):
+            span = t1 - t0
+            total += span
+            if was_up:
+                up += span
+        return up / total if total > 0 else 1.0
+
+
+class QualityMonitor:
+    """Builds quality reports for registered services."""
+
+    def __init__(self, registry: ServiceRegistry) -> None:
+        self.registry = registry
+        self.availability = AvailabilityTracker()
+        self._window_started = time.perf_counter()
+
+    def observe_all(self) -> None:
+        for service in self.registry.all():
+            self.availability.observe(service)
+
+    def reset_window(self) -> None:
+        self._window_started = time.perf_counter()
+        for service in self.registry.all():
+            service.metrics.reset()
+
+    def report(self, service_name: str) -> QualityReport:
+        service = self.registry.get(service_name)
+        elapsed = max(time.perf_counter() - self._window_started, 1e-9)
+        metrics = service.metrics
+        return QualityReport(
+            service=service_name,
+            mean_latency_s=metrics.mean_latency_s,
+            throughput_ops=metrics.invocations / elapsed,
+            availability=self.availability.availability(service_name),
+            failure_rate=metrics.failure_rate,
+            footprint_kb=service.contract.quality.footprint_kb,
+            invocations=metrics.invocations)
+
+    def scorecard(self, layer: Optional[str] = None) -> list[QualityReport]:
+        services = (self.registry.by_layer(layer) if layer
+                    else self.registry.all())
+        return [self.report(s.name) for s in services]

@@ -1,0 +1,130 @@
+"""Service registry: discovery by name, interface, or tag (§3.1).
+
+"Service registries enable service discovery."  The registry is the
+kernel's source of truth for what is deployed and reachable; coordinator
+services watch it, the workflow engine late-binds through it, and the
+distribution substrate gossips its entries between nodes.
+
+Multiple services may provide the same interface — that multiplicity *is*
+flexibility by selection; :meth:`ServiceRegistry.find` returns all
+candidates and the selection policies rank them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.contract import Interface
+from repro.core.events import EventBus
+from repro.core.service import Service, ServiceState
+from repro.errors import KernelError, ServiceNotFoundError
+
+
+class ServiceRegistry:
+    """Name → service map with interface and tag secondary indexes."""
+
+    def __init__(self, events: Optional[EventBus] = None) -> None:
+        self._services: dict[str, Service] = {}
+        self.events = events or EventBus()
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, service: Service) -> None:
+        if service.name in self._services:
+            raise KernelError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+        self.events.publish("registry.registered",
+                            {"service": service.name,
+                             "layer": service.layer},
+                            source="registry")
+
+    def deregister(self, name: str) -> Service:
+        service = self._services.pop(name, None)
+        if service is None:
+            raise ServiceNotFoundError(f"no service {name!r} registered")
+        self.events.publish("registry.deregistered", {"service": name},
+                            source="registry")
+        return service
+
+    def replace(self, service: Service) -> Optional[Service]:
+        """Swap in a new implementation under an existing name (used by
+        flexibility-by-extension updates).  Returns the old service."""
+        old = self._services.get(service.name)
+        self._services[service.name] = service
+        self.events.publish("registry.replaced", {"service": service.name},
+                            source="registry")
+        return old
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def get(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceNotFoundError(
+                f"no service {name!r} registered") from None
+
+    def maybe_get(self, name: str) -> Optional[Service]:
+        return self._services.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def all(self) -> list[Service]:
+        return list(self._services.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._services)
+
+    def find(self, interface: str | Interface,
+             only_available: bool = True,
+             tags: Iterable[str] = ()) -> list[Service]:
+        """All services providing ``interface`` (by name, or structurally
+        when an :class:`Interface` object is given), optionally filtered to
+        available ones and to services carrying every tag in ``tags``."""
+        wanted_tags = set(tags)
+        out: list[Service] = []
+        for service in self._services.values():
+            if only_available and not service.available:
+                continue
+            if wanted_tags - set(service.contract.tags):
+                continue
+            if isinstance(interface, Interface):
+                if any(interface.is_satisfied_by(provided)
+                       for provided in service.contract.interfaces):
+                    out.append(service)
+            elif service.contract.provides(interface):
+                out.append(service)
+        return out
+
+    def find_one(self, interface: str | Interface,
+                 only_available: bool = True) -> Service:
+        candidates = self.find(interface, only_available)
+        if not candidates:
+            raise ServiceNotFoundError(
+                f"no {'available ' if only_available else ''}service "
+                f"provides {interface!r}")
+        return candidates[0]
+
+    def by_layer(self, layer: str) -> list[Service]:
+        return [s for s in self._services.values() if s.layer == layer]
+
+    # -- health ------------------------------------------------------------------------
+
+    def states(self) -> dict[str, ServiceState]:
+        return {name: service.state
+                for name, service in self._services.items()}
+
+    def snapshot(self) -> dict:
+        """Registry content as data — this is what gossip replicates."""
+        return {
+            name: {
+                "layer": service.layer,
+                "state": service.state.value,
+                "contract": service.contract.to_dict(),
+            }
+            for name, service in self._services.items()
+        }

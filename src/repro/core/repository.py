@@ -1,0 +1,116 @@
+"""Service repository: contracts and transformational schemas (§3.1).
+
+"Service repositories handle service schemas and transformational
+schemas, while service registries enable service discovery."  The
+repository is the *design-time* store: published contracts (even for
+services not currently deployed) and the transformation schemas the
+adaptor generator uses to mediate between mismatched interfaces.
+
+A :class:`TransformationSchema` says how calls against a *required*
+interface map onto a *provided* interface: operation renames, argument
+renames, and optional per-argument converter functions.  The predefined
+set (§3.1: "a predefined set of adapters can be provided") ships with the
+kernel; users add their own, and the generator composes the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.contract import Interface, ServiceContract
+from repro.errors import KernelError
+
+
+@dataclass
+class OperationMapping:
+    """Maps one required operation onto a provided one."""
+
+    target: str                               # provided operation name
+    arg_names: dict[str, str] = field(default_factory=dict)
+    arg_converters: dict[str, Callable[[Any], Any]] = \
+        field(default_factory=dict)
+    result_converter: Optional[Callable[[Any], Any]] = None
+    constants: dict[str, Any] = field(default_factory=dict)
+
+    def translate_args(self, args: dict) -> dict:
+        out = dict(self.constants)
+        for name, value in args.items():
+            if name in self.arg_converters:
+                value = self.arg_converters[name](value)
+            out[self.arg_names.get(name, name)] = value
+        return out
+
+    def translate_result(self, result: Any) -> Any:
+        if self.result_converter is not None:
+            return self.result_converter(result)
+        return result
+
+
+@dataclass
+class TransformationSchema:
+    """Full mapping between a required and a provided interface."""
+
+    required_interface: str
+    provided_interface: str
+    operations: dict[str, OperationMapping] = field(default_factory=dict)
+    description: str = ""
+
+    def covers(self, required: Interface) -> bool:
+        return all(operation.name in self.operations
+                   for operation in required.operations)
+
+
+class ServiceRepository:
+    """Design-time store of contracts and transformation schemas."""
+
+    def __init__(self) -> None:
+        self._contracts: dict[str, ServiceContract] = {}
+        self._transformations: list[TransformationSchema] = []
+
+    # -- contracts ------------------------------------------------------------
+
+    def publish_contract(self, contract: ServiceContract) -> None:
+        self._contracts[contract.service_name] = contract
+
+    def contract(self, service_name: str) -> ServiceContract:
+        try:
+            return self._contracts[service_name]
+        except KeyError:
+            raise KernelError(
+                f"no contract published for {service_name!r}") from None
+
+    def contracts(self) -> list[ServiceContract]:
+        return list(self._contracts.values())
+
+    def contracts_providing(self, interface_name: str) -> list[ServiceContract]:
+        return [c for c in self._contracts.values()
+                if c.provides(interface_name)]
+
+    # -- transformation schemas ---------------------------------------------------
+
+    def add_transformation(self, schema: TransformationSchema) -> None:
+        self._transformations.append(schema)
+
+    def transformations_for(
+            self, required_interface: str,
+            provided_interface: Optional[str] = None
+    ) -> list[TransformationSchema]:
+        return [t for t in self._transformations
+                if t.required_interface == required_interface
+                and (provided_interface is None
+                     or t.provided_interface == provided_interface)]
+
+    def find_route(self, required: Interface,
+                   provided: Interface) -> Optional[TransformationSchema]:
+        """A schema translating ``required`` onto ``provided``, if known."""
+        for schema in self._transformations:
+            if (schema.required_interface == required.name
+                    and schema.provided_interface == provided.name
+                    and schema.covers(required)):
+                return schema
+        return None
+
+    def stats(self) -> dict:
+        return {"contracts": len(self._contracts),
+                "transformations": len(self._transformations)}

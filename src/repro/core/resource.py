@@ -1,0 +1,116 @@
+"""Resource management processes (§3.1).
+
+"These services are handled by resource management processes which support
+information about service working states, process notifications, and
+manage service configurations."
+
+:class:`ResourcePool` does quantitative accounting (memory, CPU shares,
+battery on devices); :class:`ResourceManager` tracks per-service working
+states, grants/releases allocations, and raises low-resource alerts on the
+event bus — the trigger for Figure 6's "Release Resources" scenario and
+the Discussion's embedded-device workload redirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import EventBus
+from repro.errors import ResourceExhaustedError
+
+
+@dataclass
+class ResourcePool:
+    """A named bundle of finite resources."""
+
+    capacity: dict[str, float]
+    used: dict[str, float] = field(default_factory=dict)
+
+    def available(self, resource: str) -> float:
+        return self.capacity.get(resource, 0.0) - self.used.get(resource, 0.0)
+
+    def utilisation(self, resource: str) -> float:
+        cap = self.capacity.get(resource, 0.0)
+        return self.used.get(resource, 0.0) / cap if cap else 0.0
+
+    def allocate(self, resource: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("allocation must be non-negative")
+        if self.available(resource) < amount:
+            raise ResourceExhaustedError(
+                f"{resource}: requested {amount}, available "
+                f"{self.available(resource)}")
+        self.used[resource] = self.used.get(resource, 0.0) + amount
+
+    def release(self, resource: str, amount: float) -> None:
+        current = self.used.get(resource, 0.0)
+        self.used[resource] = max(0.0, current - amount)
+
+
+class ResourceManager:
+    """Grants resources to services and raises pressure alerts.
+
+    ``alert_threshold`` is the utilisation fraction above which a
+    ``resource.low`` event is published; coordinators subscribe and start
+    flexibility-by-selection reconfiguration (§3.7, Figure 6).
+    """
+
+    def __init__(self, pool: ResourcePool,
+                 events: Optional[EventBus] = None,
+                 alert_threshold: float = 0.85) -> None:
+        self.pool = pool
+        self.events = events or EventBus()
+        self.alert_threshold = alert_threshold
+        self._grants: dict[str, dict[str, float]] = {}
+        self.alerts_raised = 0
+
+    def grant(self, service_name: str, resource: str, amount: float) -> None:
+        self.pool.allocate(resource, amount)
+        grants = self._grants.setdefault(service_name, {})
+        grants[resource] = grants.get(resource, 0.0) + amount
+        self._maybe_alert(resource)
+
+    def release(self, service_name: str, resource: str,
+                amount: Optional[float] = None) -> float:
+        """Release ``amount`` (or everything) of a service's grant.
+
+        This is the "Release Resources" method of Figure 6 — invoked on the
+        coordinator when some service needs more resources.
+        """
+        grants = self._grants.get(service_name, {})
+        held = grants.get(resource, 0.0)
+        releasing = held if amount is None else min(amount, held)
+        if releasing > 0:
+            self.pool.release(resource, releasing)
+            grants[resource] = held - releasing
+        self.events.publish(
+            "resource.released",
+            {"service": service_name, "resource": resource,
+             "amount": releasing},
+            source="resource-manager")
+        return releasing
+
+    def release_all(self, service_name: str) -> None:
+        for resource in list(self._grants.get(service_name, {})):
+            self.release(service_name, resource)
+        self._grants.pop(service_name, None)
+
+    def held_by(self, service_name: str) -> dict[str, float]:
+        return dict(self._grants.get(service_name, {}))
+
+    def _maybe_alert(self, resource: str) -> None:
+        utilisation = self.pool.utilisation(resource)
+        if utilisation >= self.alert_threshold:
+            self.alerts_raised += 1
+            self.events.publish(
+                "resource.low",
+                {"resource": resource, "utilisation": utilisation},
+                source="resource-manager")
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": dict(self.pool.capacity),
+            "used": dict(self.pool.used),
+            "grants": {k: dict(v) for k, v in self._grants.items()},
+        }

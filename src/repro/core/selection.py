@@ -1,0 +1,141 @@
+"""Flexibility by selection (§2, §3.5).
+
+"Flexibility by selection refers to the situation in which the
+architecture has different ways of performing a desired task ... different
+services provide the same functionality using the same type of
+interfaces."
+
+Selection policies rank equivalent candidates.  The registry hands back
+every provider of an interface; the policy picks one using service
+quality descriptions, measured metrics, resource state, or simple
+rotation.  Policies are services-agnostic strategy objects so benchmarks
+can swap them (the same mechanism selects buffer replacement policies one
+layer down).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Protocol, Sequence
+
+from repro.core.service import Service
+from repro.errors import ServiceNotFoundError
+
+
+class SelectionPolicy(Protocol):
+    """Strategy interface: pick one service among equivalent providers."""
+
+    name: str
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service: ...
+
+
+class FirstAvailablePolicy:
+    """Deterministic: the first registered available candidate."""
+
+    name = "first"
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service:
+        if not candidates:
+            raise ServiceNotFoundError(f"no candidates for {interface!r}")
+        return candidates[0]
+
+
+class RoundRobinPolicy:
+    """Rotate across candidates per interface (simple load spreading)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service:
+        if not candidates:
+            raise ServiceNotFoundError(f"no candidates for {interface!r}")
+        counter = self._counters.setdefault(interface, itertools.count())
+        return candidates[next(counter) % len(candidates)]
+
+
+class QualityDrivenPolicy:
+    """Rank by the contract's advertised quality description.
+
+    Default scoring prefers low latency, then high availability; weights
+    are adjustable so benchmarks can express other preferences (footprint
+    for embedded deployments).
+    """
+
+    name = "quality"
+
+    def __init__(self, latency_weight: float = 1.0,
+                 availability_weight: float = 100.0,
+                 footprint_weight: float = 0.0) -> None:
+        self.latency_weight = latency_weight
+        self.availability_weight = availability_weight
+        self.footprint_weight = footprint_weight
+
+    def _score(self, service: Service) -> float:
+        quality = service.contract.quality
+        latency = quality.latency_ms if quality.latency_ms is not None else 1.0
+        score = -self.latency_weight * latency
+        score += self.availability_weight * quality.availability
+        score -= self.footprint_weight * quality.footprint_kb
+        return score
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service:
+        if not candidates:
+            raise ServiceNotFoundError(f"no candidates for {interface!r}")
+        return max(candidates, key=self._score)
+
+
+class MeasuredLatencyPolicy:
+    """Rank by *observed* mean latency (falls back to advertised quality
+    for services never invoked) — selection driven by live monitoring
+    rather than static contracts."""
+
+    name = "measured"
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service:
+        if not candidates:
+            raise ServiceNotFoundError(f"no candidates for {interface!r}")
+
+        def key(service: Service) -> float:
+            if service.metrics.invocations > 0:
+                return service.metrics.mean_latency_s
+            advertised = service.contract.quality.latency_ms
+            return (advertised or 1.0) / 1000.0
+
+        return min(candidates, key=key)
+
+
+class ResourceAwarePolicy:
+    """Avoid services whose host (property ``device``) raised a pressure
+    flag — the Discussion's low-battery redirection expressed as selection.
+
+    ``pressured`` is a live set of device names under resource pressure;
+    the distribution substrate maintains it.
+    """
+
+    name = "resource-aware"
+
+    def __init__(self, pressured: Optional[set[str]] = None,
+                 fallback: Optional[SelectionPolicy] = None) -> None:
+        self.pressured = pressured if pressured is not None else set()
+        self.fallback = fallback or FirstAvailablePolicy()
+
+    def choose(self, interface: str,
+               candidates: Sequence[Service]) -> Service:
+        healthy = [s for s in candidates
+                   if s.get_property("device") not in self.pressured]
+        return self.fallback.choose(interface, healthy or list(candidates))
+
+
+POLICIES = {
+    cls.name: cls
+    for cls in (FirstAvailablePolicy, RoundRobinPolicy, QualityDrivenPolicy,
+                MeasuredLatencyPolicy, ResourceAwarePolicy)
+}

@@ -1,0 +1,239 @@
+"""Service base class and lifecycle (§3.1, §3.3).
+
+The paper distinguishes a *setup phase* ("process composition according to
+architectural properties and service configuration") and an *operational
+phase* (coordinators monitor and reconfigure).  The lifecycle here mirrors
+that:
+
+    CREATED --setup()--> READY --start()--> OPERATIONAL
+                                   |            | fail() / crash
+                                   |            v
+                                stop()       FAILED --repair()--> READY
+                                   v
+                                STOPPED
+
+Services expose *properties* ("read by the component when it is
+instantiated, allowing to customize its behaviour according to the current
+state of the architecture" — §3.6) with change notification, and maintain
+per-operation metrics the quality subsystem aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.core.contract import ServiceContract
+from repro.errors import ServiceError, ServiceStateError
+
+
+class ServiceState(Enum):
+    CREATED = "created"
+    READY = "ready"
+    OPERATIONAL = "operational"
+    DEGRADED = "degraded"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+@dataclass
+class ServiceMetrics:
+    """Per-service counters, aggregated by the quality subsystem."""
+
+    invocations: int = 0
+    failures: int = 0
+    total_latency_s: float = 0.0
+    last_invoked_at: float = 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        done = self.invocations - self.failures
+        return self.total_latency_s / done if done > 0 else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.invocations if self.invocations else 0.0
+
+    def reset(self) -> None:
+        self.invocations = 0
+        self.failures = 0
+        self.total_latency_s = 0.0
+
+
+class Service:
+    """Base class for every SBDMS service.
+
+    Subclasses implement operations as ``op_<name>`` methods (keyword
+    arguments only) and declare them in their contract.  Invocation flows
+    through :meth:`invoke`, which enforces lifecycle state and the
+    contract's policy preconditions, and records metrics.
+
+    ``layer`` places the service in one of the paper's functional layers:
+    ``storage``, ``access``, ``data``, ``extension``, or ``kernel`` for the
+    coordination machinery itself.
+    """
+
+    layer = "extension"
+
+    def __init__(self, name: str, contract: ServiceContract) -> None:
+        self.name = name
+        self.contract = contract
+        self.state = ServiceState.CREATED
+        self.metrics = ServiceMetrics()
+        self._properties: dict[str, Any] = {}
+        self._property_listeners: list[
+            Callable[[str, str, Any, Any], None]] = []
+        self._injected_fault: Optional[Exception] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def setup(self, kernel=None) -> None:
+        """Setup phase: resolve configuration; transitions to READY."""
+        if self.state not in (ServiceState.CREATED, ServiceState.STOPPED,
+                              ServiceState.FAILED):
+            raise ServiceStateError(
+                f"{self.name}: setup() in state {self.state.value}")
+        self.on_setup(kernel)
+        self.state = ServiceState.READY
+
+    def start(self) -> None:
+        if self.state is not ServiceState.READY:
+            raise ServiceStateError(
+                f"{self.name}: start() in state {self.state.value}")
+        self.on_start()
+        self.state = ServiceState.OPERATIONAL
+
+    def stop(self) -> None:
+        if self.state in (ServiceState.STOPPED, ServiceState.CREATED):
+            return
+        self.on_stop()
+        self.state = ServiceState.STOPPED
+
+    def fail(self, error: Optional[Exception] = None) -> None:
+        """Mark the service failed (used by fault injection and by
+        operations that crash)."""
+        self.state = ServiceState.FAILED
+        self._injected_fault = error
+
+    def repair(self) -> None:
+        """Bring a failed service back to READY (operator action)."""
+        if self.state is not ServiceState.FAILED:
+            raise ServiceStateError(
+                f"{self.name}: repair() in state {self.state.value}")
+        self._injected_fault = None
+        self.state = ServiceState.READY
+
+    def degrade(self) -> None:
+        if self.state is ServiceState.OPERATIONAL:
+            self.state = ServiceState.DEGRADED
+
+    @property
+    def available(self) -> bool:
+        return self.state in (ServiceState.OPERATIONAL, ServiceState.DEGRADED)
+
+    # -- hooks for subclasses -------------------------------------------------------
+
+    def on_setup(self, kernel) -> None:  # noqa: B027 - intentional no-op hook
+        pass
+
+    def on_start(self) -> None:  # noqa: B027
+        pass
+
+    def on_stop(self) -> None:  # noqa: B027
+        pass
+
+    # -- properties (§3.6 architecture properties) ------------------------------------
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._properties.get(key, default)
+
+    def set_property(self, key: str, value: Any) -> None:
+        old = self._properties.get(key)
+        self._properties[key] = value
+        for listener in list(self._property_listeners):
+            listener(self.name, key, old, value)
+
+    def on_property_change(
+            self, listener: Callable[[str, str, Any, Any], None]) -> None:
+        self._property_listeners.append(listener)
+
+    def properties(self) -> dict:
+        """Snapshot of service properties; subclasses extend with live
+        functional figures (buffer size, workload, fragmentation ...)."""
+        return dict(self._properties)
+
+    # -- invocation -----------------------------------------------------------------
+
+    def operations(self) -> list[str]:
+        return [operation.name
+                for iface in self.contract.interfaces
+                for operation in iface.operations]
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        """Contract-checked entry point for every call."""
+        if not self.available:
+            raise ServiceError(
+                f"{self.name} is {self.state.value}; cannot serve "
+                f"{operation!r}")
+        if self._injected_fault is not None:
+            raise ServiceError(
+                f"{self.name}: injected fault") from self._injected_fault
+        if self.contract.find_operation(operation) is None:
+            raise ServiceError(
+                f"{self.name} has no operation {operation!r} "
+                f"(contract offers {self.operations()})")
+        self.contract.policy.check_call(operation, args)
+        handler = getattr(self, f"op_{operation}", None)
+        if handler is None:
+            raise ServiceError(
+                f"{self.name}: operation {operation!r} declared but not "
+                f"implemented")
+        self.metrics.invocations += 1
+        self.metrics.last_invoked_at = time.monotonic()
+        started = time.perf_counter()
+        try:
+            result = handler(**args)
+        except Exception:
+            self.metrics.failures += 1
+            raise
+        self.metrics.total_latency_s += time.perf_counter() - started
+        return result
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self.state.value}>"
+
+
+class FunctionService(Service):
+    """A service built from plain callables — the integration path for
+    "existing application functionality" (§1): wrap the functions, declare
+    a contract, publish.
+
+    ``handlers`` maps operation names to callables taking keyword args.
+    """
+
+    def __init__(self, name: str, contract: ServiceContract,
+                 handlers: dict[str, Callable[..., Any]],
+                 layer: str = "extension") -> None:
+        super().__init__(name, contract)
+        self.layer = layer
+        declared = set()
+        for iface in contract.interfaces:
+            for operation in iface.operations:
+                declared.add(operation.name)
+        missing = declared - set(handlers)
+        if missing:
+            raise ServiceError(
+                f"{name}: contract declares unimplemented operations "
+                f"{sorted(missing)}")
+        for operation_name, handler in handlers.items():
+            setattr(self, f"op_{operation_name}",
+                    self._bind(handler))
+
+    @staticmethod
+    def _bind(handler: Callable[..., Any]) -> Callable[..., Any]:
+        def bound(**args: Any) -> Any:
+            return handler(**args)
+
+        return bound

@@ -1,0 +1,164 @@
+"""Workflows and task plans (§3.3, §3.5).
+
+A :class:`Workflow` is a named sequence of steps, each naming an interface
+and an operation; services are resolved *late* — at execution time,
+through the registry — which is the paper's "services are designed for
+late binding" enabling run-time recomposition.
+
+The :class:`WorkflowEngine` keeps *alternative* workflows per task ("by
+being able to support multiple workflows for the same task, our SBDMS
+architecture can choose and use them according to specific requirements",
+§3.5) and executes whichever the installed selection policy ranks best;
+on failure it falls through to the next alternative, recording what the
+coordinator needs for adaptation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.bindings import Binding, LocalBinding
+from repro.core.registry import ServiceRegistry
+from repro.errors import CompositionError, ServiceNotFoundError
+
+
+@dataclass
+class Step:
+    """One workflow step.
+
+    ``interface``/``operation`` locate the callee; ``bind_args`` computes
+    the call's arguments from the workflow context (a dict accumulated
+    across steps); ``save_as`` stores the result back into the context.
+    """
+
+    interface: str
+    operation: str
+    bind_args: Callable[[dict], dict] = field(default=lambda ctx: {})
+    save_as: Optional[str] = None
+    description: str = ""
+
+
+@dataclass
+class Workflow:
+    """A named, ordered composition of steps."""
+
+    name: str
+    task: str                      # the logical task this workflow performs
+    steps: list[Step]
+    priority: int = 0              # higher wins among alternatives
+    tags: frozenset[str] = frozenset()
+
+    def required_interfaces(self) -> list[str]:
+        seen: list[str] = []
+        for step in self.steps:
+            if step.interface not in seen:
+                seen.append(step.interface)
+        return seen
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened during one workflow execution."""
+
+    workflow: str
+    task: str
+    succeeded: bool
+    steps_run: int = 0
+    result: Any = None
+    error: Optional[str] = None
+    services_used: list[str] = field(default_factory=list)
+
+
+class WorkflowEngine:
+    """Executes workflows with late binding and alternative fallback."""
+
+    def __init__(self, registry: ServiceRegistry,
+                 binding: Optional[Binding] = None,
+                 selector: Optional["SelectionPolicy"] = None) -> None:
+        self.registry = registry
+        self.binding = binding or LocalBinding()
+        self.selector = selector
+        self._workflows: dict[str, list[Workflow]] = {}
+        self.traces: list[ExecutionTrace] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, workflow: Workflow) -> None:
+        alternatives = self._workflows.setdefault(workflow.task, [])
+        if any(w.name == workflow.name for w in alternatives):
+            raise CompositionError(
+                f"workflow {workflow.name!r} already registered for task "
+                f"{workflow.task!r}")
+        alternatives.append(workflow)
+        alternatives.sort(key=lambda w: -w.priority)
+
+    def deregister(self, task: str, name: str) -> None:
+        alternatives = self._workflows.get(task, [])
+        self._workflows[task] = [w for w in alternatives if w.name != name]
+
+    def alternatives(self, task: str) -> list[Workflow]:
+        return list(self._workflows.get(task, []))
+
+    # -- execution ---------------------------------------------------------------
+
+    def _resolve(self, interface: str):
+        candidates = self.registry.find(interface)
+        if not candidates:
+            raise ServiceNotFoundError(
+                f"no available service provides {interface!r}")
+        if self.selector is not None:
+            return self.selector.choose(interface, candidates)
+        return candidates[0]
+
+    def execute_workflow(self, workflow: Workflow,
+                         context: Optional[dict] = None) -> ExecutionTrace:
+        ctx = dict(context or {})
+        trace = ExecutionTrace(workflow.name, workflow.task, succeeded=False)
+        try:
+            result: Any = None
+            for step in workflow.steps:
+                service = self._resolve(step.interface)
+                trace.services_used.append(service.name)
+                args = step.bind_args(ctx)
+                result = self.binding.call(service, step.operation, **args)
+                if step.save_as is not None:
+                    ctx[step.save_as] = result
+                trace.steps_run += 1
+            trace.succeeded = True
+            trace.result = ctx.get("result", result)
+        except Exception as exc:  # noqa: BLE001 - recorded, then decided on
+            trace.error = f"{type(exc).__name__}: {exc}"
+        self.traces.append(trace)
+        return trace
+
+    def execute_task(self, task: str,
+                     context: Optional[dict] = None) -> ExecutionTrace:
+        """Run the best available workflow for ``task``; on failure fall
+        through the remaining alternatives (flexibility by selection)."""
+        alternatives = self._workflows.get(task)
+        if not alternatives:
+            raise CompositionError(f"no workflow registered for task {task!r}")
+        last: Optional[ExecutionTrace] = None
+        for workflow in alternatives:
+            trace = self.execute_workflow(workflow, context)
+            if trace.succeeded:
+                return trace
+            last = trace
+        assert last is not None
+        return last
+
+    # -- introspection ---------------------------------------------------------------
+
+    def viable(self, workflow: Workflow) -> bool:
+        """A workflow is viable when every interface it needs has at least
+        one available provider."""
+        return all(self.registry.find(iface)
+                   for iface in workflow.required_interfaces())
+
+    def viable_alternatives(self, task: str) -> list[Workflow]:
+        return [w for w in self.alternatives(task) if self.viable(w)]
+
+
+# Imported at the bottom to avoid a cycle (selection imports workflow types).
+from repro.core.selection import SelectionPolicy  # noqa: E402,F401

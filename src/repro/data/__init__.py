@@ -1,0 +1,37 @@
+"""Data layer: logical structures — tables, views, catalog, SQL, txns.
+
+The paper's *Data Services* "present the data in logical structures like
+tables or views"; this package also carries the SQL front end and the
+transaction manager that the Query/Data services expose.
+"""
+
+from repro.data.catalog import Catalog
+from repro.data.database import Database, ExecutionResult, ResultSet
+from repro.data.schema import Column, Schema
+from repro.data.table import IndexDef, Table, TableIndex, decode_rid, encode_rid
+from repro.data.transactions import (
+    LockManager,
+    LockMode,
+    Transaction,
+    TransactionManager,
+    TransactionState,
+)
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "ExecutionResult",
+    "ResultSet",
+    "Column",
+    "Schema",
+    "IndexDef",
+    "Table",
+    "TableIndex",
+    "decode_rid",
+    "encode_rid",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TransactionState",
+]

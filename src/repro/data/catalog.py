@@ -1,0 +1,213 @@
+"""The catalog: tables, indexes, and views, with page-backed persistence.
+
+The catalog is itself stored in the database ("__catalog" file) as a JSON
+blob chunked across pages — DDL is rare, so a full rewrite per checkpoint
+is the simple, robust choice.  On open, tables and B+-tree indexes rebind
+to their existing files; hash indexes (in-memory structures) are rebuilt
+by scanning their table.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from repro.access.heap_file import HeapFile
+from repro.data.schema import Schema
+from repro.data.table import IndexDef, Table, TableIndex
+from repro.errors import CatalogError
+from repro.storage.page import PageId
+from repro.storage.page_manager import PageManager
+
+_LEN = struct.Struct("<I")
+_CATALOG_FILE = "__catalog"
+
+
+def _table_file(name: str) -> str:
+    return f"tbl_{name}"
+
+
+def _index_file(name: str) -> str:
+    return f"idx_{name}"
+
+
+class Catalog:
+    """Names → physical objects, persisted in the storage stack itself."""
+
+    def __init__(self, pages: PageManager) -> None:
+        self.pages = pages
+        self.tables: dict[str, Table] = {}
+        self.views: dict[str, str] = {}        # name -> SQL text
+        self.index_defs: dict[str, IndexDef] = {}
+        files = pages.pool.files
+        if files.has_file(_CATALOG_FILE):
+            self._load()
+        else:
+            files.create_file(_CATALOG_FILE)
+
+    # -- tables --------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if name in self.views:
+            raise CatalogError(f"{name!r} is a view")
+        files = self.pages.pool.files
+        file_id = files.ensure_file(_table_file(name))
+        table = Table(name, schema, HeapFile(self.pages, file_id))
+        self.tables[name] = table
+        pk = schema.primary_key
+        if pk is not None:
+            self.create_index(f"pk_{name}", name, (pk.name,), unique=True)
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for index_name in list(table.indexes):
+            self.drop_index(index_name)
+        files = self.pages.pool.files
+        self.pages.forget_file(table.heap.file_id)
+        self._purge_file_frames(table.heap.file_id)
+        files.delete_file(_table_file(name))
+        del self.tables[name]
+
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(self, index_name: str, table_name: str,
+                     columns: tuple[str, ...], unique: bool = False,
+                     method: str = "btree") -> TableIndex:
+        if index_name in self.index_defs:
+            raise CatalogError(f"index {index_name!r} already exists")
+        table = self.table(table_name)
+        definition = IndexDef(index_name, table_name, columns, unique,
+                              method)
+        files = self.pages.pool.files
+        file_id = files.ensure_file(_index_file(index_name))
+        index = TableIndex(definition, table.schema, self.pages, file_id)
+        table.attach_index(index, populate=True)
+        self.index_defs[index_name] = definition
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        definition = self.index_defs.pop(index_name, None)
+        if definition is None:
+            raise CatalogError(f"no index {index_name!r}")
+        table = self.table(definition.table)
+        index = table.detach_index(index_name)
+        files = self.pages.pool.files
+        self._purge_file_frames(index.file_id)
+        files.delete_file(_index_file(index_name))
+
+    # -- views ----------------------------------------------------------------------
+
+    def create_view(self, name: str, sql_text: str) -> None:
+        if name in self.views or name in self.tables:
+            raise CatalogError(f"{name!r} already exists")
+        self.views[name] = sql_text
+
+    def view(self, name: str) -> str:
+        try:
+            return self.views[name]
+        except KeyError:
+            raise CatalogError(f"no view {name!r}") from None
+
+    def drop_view(self, name: str) -> None:
+        if name not in self.views:
+            raise CatalogError(f"no view {name!r}")
+        del self.views[name]
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self) -> None:
+        blob = json.dumps({
+            "tables": {
+                name: {"schema": table.schema.to_dict()}
+                for name, table in self.tables.items()},
+            "indexes": {name: d.to_dict()
+                        for name, d in self.index_defs.items()},
+            "views": dict(self.views),
+        }).encode()
+        files = self.pages.pool.files
+        file_id = files.open_file(_CATALOG_FILE)
+        payload_per_page = files.disk.device.block_size - 8
+        needed = max(1, (len(blob) + payload_per_page - 1)
+                     // payload_per_page)
+        existing = files.file_size_pages(file_id)
+        for _ in range(existing, needed):
+            page = self.pages.allocate(file_id)
+            self.pages.unpin(page.page_id, dirty=True)
+        for i in range(needed):
+            chunk = blob[i * payload_per_page:(i + 1) * payload_per_page]
+            page = self.pages.fetch(PageId(file_id, i))
+            try:
+                page.write(0, _LEN.pack(len(chunk)))
+                page.write(4, chunk)
+            finally:
+                self.pages.unpin(page.page_id, dirty=True)
+        if needed < existing:
+            page = self.pages.fetch(PageId(file_id, needed))
+            try:
+                page.write(0, _LEN.pack(0))
+            finally:
+                self.pages.unpin(page.page_id, dirty=True)
+
+    def _load(self) -> None:
+        files = self.pages.pool.files
+        file_id = files.open_file(_CATALOG_FILE)
+        chunks: list[bytes] = []
+        for i in range(files.file_size_pages(file_id)):
+            page = self.pages.fetch(PageId(file_id, i))
+            try:
+                (length,) = _LEN.unpack_from(page.data, 0)
+                if length == 0:
+                    break
+                chunks.append(page.read(4, length))
+            finally:
+                self.pages.unpin(page.page_id)
+        if not chunks:
+            return
+        state = json.loads(b"".join(chunks).decode())
+        for name, tdata in state["tables"].items():
+            schema = Schema.from_dict(tdata["schema"])
+            heap_file = files.open_file(_table_file(name))
+            table = Table(name, schema, HeapFile(self.pages, heap_file))
+            table.row_count = sum(1 for _ in table.heap.scan())
+            self.tables[name] = table
+        for name, idata in state["indexes"].items():
+            definition = IndexDef.from_dict(idata)
+            table = self.tables[definition.table]
+            file_id = files.open_file(_index_file(name))
+            index = TableIndex(definition, table.schema, self.pages,
+                               file_id)
+            # Hash indexes live in memory: rebuild from the table.
+            table.attach_index(index,
+                               populate=definition.method == "hash")
+            self.index_defs[name] = definition
+        self.views = dict(state["views"])
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _purge_file_frames(self, file_id: int) -> None:
+        pool = self.pages.pool
+        for page in list(pool.iter_resident()):
+            if page.page_id.file_id == file_id:
+                pool._frames.pop(page.page_id, None)
+                pool.policy.evict(page.page_id)
+
+    def stats(self) -> dict:
+        return {
+            "tables": sorted(self.tables),
+            "indexes": sorted(self.index_defs),
+            "views": sorted(self.views),
+            "total_rows": sum(t.row_count for t in self.tables.values()),
+        }

@@ -1,0 +1,490 @@
+"""The assembled database engine: storage stack + catalog + SQL + txns.
+
+:class:`Database` is what the paper's Discussion calls a "fully-fledged
+DBMS" when every layer is deployed — and what gets *decomposed into
+services* by :mod:`repro.data.services` / :mod:`repro.storage.services`.
+It is usable standalone (plain Python, no kernel) which keeps the
+substrate testable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.access.heap_file import RID
+from repro.data.catalog import Catalog
+from repro.data.schema import Column, Schema
+from repro.data.sql import ast
+from repro.data.sql.parser import parse
+from repro.data.sql.planner import Planner, Scope, compile_expression
+from repro.data.transactions import Transaction, TransactionManager
+from repro.access.record import ColumnType
+from repro.errors import CatalogError, SQLPlanError, TransactionError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import BlockDevice, MemoryDevice
+from repro.storage.file_manager import DiskManager, FileManager
+from repro.storage.page_manager import PageManager
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclass
+class ResultSet:
+    """Rows plus metadata returned by queries."""
+
+    columns: list[str]
+    rows: list[tuple]
+    plan: Optional[dict] = None
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a non-query statement."""
+
+    operation: str
+    affected: int = 0
+
+
+class Database:
+    """A complete small DBMS over the simulated storage stack."""
+
+    def __init__(self, device: Optional[BlockDevice] = None,
+                 wal_device: Optional[BlockDevice] = None,
+                 buffer_capacity: int = 256,
+                 replacement_policy: str = "lru",
+                 lock_timeout_s: float = 2.0) -> None:
+        self.device = device or MemoryDevice()
+        self.files = FileManager(DiskManager(self.device))
+        self.wal = WriteAheadLog(wal_device) if wal_device is not None \
+            else None
+        self.pool = BufferPool(self.files, capacity=buffer_capacity,
+                               policy=replacement_policy, wal=self.wal)
+        self.pages = PageManager(self.pool)
+        self.catalog = Catalog(self.pages)
+        self.transactions = TransactionManager(self.wal, lock_timeout_s)
+        self._session_txn: Optional[Transaction] = None
+        self.statements_executed = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        """Parse and run one statement.
+
+        SELECTs return a :class:`ResultSet`; everything else an
+        :class:`ExecutionResult`.
+        """
+        statement = parse(sql)
+        self.statements_executed += 1
+        return self.execute_statement(statement, tuple(params))
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        return self.execute(sql, params).rows
+
+    def execute_statement(self, statement: ast.Statement,
+                          params: tuple = ()) -> Any:
+        if isinstance(statement, ast.SelectStatement):
+            return self._select(statement, params)
+        if isinstance(statement, ast.UnionSelect):
+            return self._union(statement, params)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement.query, params)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, params)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            self.catalog.create_index(statement.name, statement.table,
+                                      statement.columns, statement.unique,
+                                      statement.method)
+            self.catalog.save()
+            return ExecutionResult("create_index")
+        if isinstance(statement, ast.CreateView):
+            # Views store their SQL text; re-plan at use time.
+            self.catalog.create_view(statement.name,
+                                     _render_select(statement.query))
+            self.catalog.save()
+            return ExecutionResult("create_view")
+        if isinstance(statement, ast.DropStatement):
+            return self._drop(statement)
+        if isinstance(statement, ast.BeginTransaction):
+            self._begin_session_txn()
+            return ExecutionResult("begin")
+        if isinstance(statement, ast.CommitTransaction):
+            self._end_session_txn(commit=True)
+            return ExecutionResult("commit")
+        if isinstance(statement, ast.RollbackTransaction):
+            self._end_session_txn(commit=False)
+            return ExecutionResult("rollback")
+        raise SQLPlanError(f"unsupported statement {type(statement).__name__}")
+
+    # -- transactions -------------------------------------------------------------------
+
+    def _begin_session_txn(self) -> None:
+        if self._session_txn is not None:
+            raise TransactionError("transaction already open")
+        self._session_txn = self.transactions.begin()
+
+    def _end_session_txn(self, commit: bool) -> None:
+        if self._session_txn is None:
+            raise TransactionError("no open transaction")
+        txn = self._session_txn
+        self._session_txn = None
+        if commit:
+            txn.commit()
+        else:
+            txn.abort()
+
+    def _txn(self) -> tuple[Transaction, bool]:
+        """The session transaction, or a fresh autocommit one."""
+        if self._session_txn is not None:
+            return self._session_txn, False
+        return self.transactions.begin(), True
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session_txn is not None
+
+    # -- SELECT ----------------------------------------------------------------------------
+
+    def _select(self, statement: ast.SelectStatement,
+                params: tuple) -> ResultSet:
+        txn, autocommit = self._txn()
+        try:
+            planner = Planner(self.catalog,
+                              view_parser=self._parse_view, txn=txn)
+            plan, info = planner.plan(statement, params)
+            rows = list(plan)
+            if autocommit:
+                txn.commit()
+            return ResultSet(list(plan.columns), rows, plan={
+                "access_paths": info.access_paths,
+                "joins": info.joins,
+                "aggregated": info.aggregated})
+        except BaseException:
+            if autocommit:
+                txn.abort()
+            raise
+
+    def _union(self, statement: ast.UnionSelect,
+               params: tuple) -> ResultSet:
+        """Evaluate a UNION chain: branch results concatenated, with
+        set semantics (dedup) unless UNION ALL."""
+        branches: list[ast.SelectStatement] = []
+        all_flags: list[bool] = []
+
+        def flatten(node) -> None:
+            if isinstance(node, ast.UnionSelect):
+                flatten(node.left)
+                all_flags.append(node.all)
+                branches.append(node.right)
+            else:
+                branches.append(node)
+
+        flatten(statement)
+        results = [self._select(branch, params) for branch in branches]
+        arity = len(results[0].columns)
+        for result in results[1:]:
+            if len(result.columns) != arity:
+                raise SQLPlanError(
+                    f"UNION branches have different arity "
+                    f"({arity} vs {len(result.columns)})")
+        rows: list[tuple] = []
+        for result in results:
+            rows.extend(result.rows)
+        # Mixed chains: any non-ALL union anywhere applies set semantics
+        # to the whole chain (matching the common left-fold reading).
+        if not all(all_flags):
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+        return ResultSet(results[0].columns, rows,
+                         plan={"union_branches": len(branches),
+                               "all": all(all_flags)})
+
+    def _explain(self, query, params: tuple) -> ResultSet:
+        """Plan the query without executing it; one row per plan fact."""
+        if isinstance(query, ast.UnionSelect):
+            rows = [("union", "set" if not query.all else "all")]
+            return ResultSet(["kind", "detail"], rows,
+                             plan={"union": True})
+        planner = Planner(self.catalog, view_parser=self._parse_view)
+        _, info = planner.plan(query, params)
+        rows: list[tuple] = [("access_path", p) for p in info.access_paths]
+        rows.extend(("join", j) for j in info.joins)
+        rows.append(("aggregated", str(info.aggregated)))
+        return ResultSet(["kind", "detail"], rows, plan={
+            "access_paths": info.access_paths,
+            "joins": info.joins,
+            "aggregated": info.aggregated})
+
+    @staticmethod
+    def _parse_view(sql_text: str) -> ast.SelectStatement:
+        statement = parse(sql_text)
+        if not isinstance(statement, ast.SelectStatement):
+            raise SQLPlanError("view definition is not a SELECT")
+        return statement
+
+    # -- DML ---------------------------------------------------------------------------------
+
+    def _insert(self, statement: ast.Insert, params: tuple) -> ExecutionResult:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        columns = statement.columns or tuple(schema.names)
+        positions = [schema.index_of(c) for c in columns]
+        txn, autocommit = self._txn()
+        try:
+            txn.lock_exclusive(statement.table)
+            inserted = 0
+            empty_scope = Scope([])
+            for value_row in statement.rows:
+                if len(value_row) != len(columns):
+                    raise SQLPlanError(
+                        f"INSERT arity mismatch: {len(value_row)} values "
+                        f"for {len(columns)} columns")
+                full = [None] * len(schema)
+                for position, expr in zip(positions, value_row):
+                    full[position] = compile_expression(
+                        expr, empty_scope, params)(())
+                rid = table.insert(tuple(full))
+                stored = table.read(rid)
+                txn.on_abort(lambda t=table, r=rid: t.delete(r))
+                del stored
+                inserted += 1
+            if autocommit:
+                txn.commit()
+            return ExecutionResult("insert", inserted)
+        except BaseException:
+            if autocommit:
+                txn.abort()
+            raise
+
+    def _update(self, statement: ast.Update, params: tuple) -> ExecutionResult:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        scope = Scope(list(schema.names))
+        resolver = Planner(self.catalog, view_parser=self._parse_view)
+        assignments = [
+            (schema.index_of(column),
+             compile_expression(
+                 resolver.resolve_subqueries(expr, params), scope, params))
+            for column, expr in statement.assignments]
+        where = resolver.resolve_subqueries(statement.where, params)
+        predicate = (compile_expression(where, scope, params)
+                     if where is not None else None)
+        txn, autocommit = self._txn()
+        try:
+            txn.lock_exclusive(statement.table)
+            touched = 0
+            victims: list[tuple[RID, tuple]] = []
+            for rid, row in table.scan():
+                if predicate is None or predicate(row) is True:
+                    victims.append((rid, row))
+            for rid, row in victims:
+                new_row = list(row)
+                for position, compute in assignments:
+                    new_row[position] = compute(row)
+                new_rid = table.update(rid, tuple(new_row))
+                txn.on_abort(
+                    lambda t=table, r=new_rid, old=row: t.update(r, old))
+                touched += 1
+            if autocommit:
+                txn.commit()
+            return ExecutionResult("update", touched)
+        except BaseException:
+            if autocommit:
+                txn.abort()
+            raise
+
+    def _delete(self, statement: ast.Delete, params: tuple) -> ExecutionResult:
+        table = self.catalog.table(statement.table)
+        scope = Scope(list(table.schema.names))
+        where = Planner(self.catalog, view_parser=self._parse_view) \
+            .resolve_subqueries(statement.where, params)
+        predicate = (compile_expression(where, scope, params)
+                     if where is not None else None)
+        txn, autocommit = self._txn()
+        try:
+            txn.lock_exclusive(statement.table)
+            victims = [(rid, row) for rid, row in table.scan()
+                       if predicate is None or predicate(row) is True]
+            for rid, row in victims:
+                table.delete(rid)
+                txn.on_abort(lambda t=table, r=row: t.insert(r))
+            if autocommit:
+                txn.commit()
+            return ExecutionResult("delete", len(victims))
+        except BaseException:
+            if autocommit:
+                txn.abort()
+            raise
+
+    # -- DDL ----------------------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> ExecutionResult:
+        if statement.if_not_exists and \
+                self.catalog.has_table(statement.name):
+            return ExecutionResult("create_table", 0)
+        columns = [
+            Column(c.name, ColumnType.parse(c.type_name),
+                   not_null=c.not_null, primary_key=c.primary_key)
+            for c in statement.columns]
+        if sum(1 for c in columns if c.primary_key) > 1:
+            raise SQLPlanError("multiple PRIMARY KEY columns")
+        self.catalog.create_table(statement.name, Schema(columns))
+        self.catalog.save()
+        return ExecutionResult("create_table", 1)
+
+    def _drop(self, statement: ast.DropStatement) -> ExecutionResult:
+        try:
+            if statement.kind == "table":
+                self.catalog.drop_table(statement.name)
+            elif statement.kind == "index":
+                self.catalog.drop_index(statement.name)
+            else:
+                self.catalog.drop_view(statement.name)
+        except CatalogError:
+            if statement.if_exists:
+                return ExecutionResult(f"drop_{statement.kind}", 0)
+            raise
+        self.catalog.save()
+        return ExecutionResult(f"drop_{statement.kind}", 1)
+
+    # -- durability -----------------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush everything; after this, a reopened database sees all data."""
+        self.catalog.save()
+        for table in self.catalog.tables.values():
+            for index in table.indexes.values():
+                if index.hash is not None:
+                    index.hash.checkpoint(self.pages, index.file_id)
+        self.pool.flush_all()
+        self.files.checkpoint_metadata()
+        if self.wal is not None:
+            self.wal.truncate()
+
+    def close(self) -> None:
+        self.checkpoint()
+        self.device.close()
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "catalog": self.catalog.stats(),
+            "buffer": self.pool.properties(),
+            "disk": {
+                "reads": self.device.stats.reads,
+                "writes": self.device.stats.writes,
+                "time_charged": self.device.stats.time_charged,
+            },
+            "transactions": self.transactions.stats(),
+            "statements": self.statements_executed,
+        }
+
+
+def _render_select(select: ast.SelectStatement) -> str:
+    """Views persist as SQL text; rebuild it from the AST."""
+    return _SelectRenderer().render(select)
+
+
+class _SelectRenderer:
+    def render(self, select: ast.SelectStatement) -> str:
+        parts = ["SELECT"]
+        if select.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._item(i) for i in select.items))
+        if select.table is not None:
+            parts.append("FROM")
+            parts.append(self._table(select.table))
+            for join in select.joins:
+                keyword = "LEFT JOIN" if join.kind == "left" else "JOIN"
+                parts.append(f"{keyword} {self._table(join.table)}")
+                if join.condition is not None:
+                    parts.append(f"ON {self._expr(join.condition)}")
+        if select.where is not None:
+            parts.append(f"WHERE {self._expr(select.where)}")
+        if select.group_by:
+            parts.append("GROUP BY " + ", ".join(
+                self._expr(e) for e in select.group_by))
+        if select.having is not None:
+            parts.append(f"HAVING {self._expr(select.having)}")
+        if select.order_by:
+            parts.append("ORDER BY " + ", ".join(
+                self._expr(o.expression) + (" DESC" if o.descending else "")
+                for o in select.order_by))
+        if select.limit is not None:
+            parts.append(f"LIMIT {self._expr(select.limit)}")
+        if select.offset is not None:
+            parts.append(f"OFFSET {self._expr(select.offset)}")
+        return " ".join(parts)
+
+    def _item(self, item: ast.SelectItem) -> str:
+        if isinstance(item.expression, ast.Star):
+            return (f"{item.expression.table}.*"
+                    if item.expression.table else "*")
+        text = self._expr(item.expression)
+        return f"{text} AS {item.alias}" if item.alias else text
+
+    @staticmethod
+    def _table(ref: ast.TableRef) -> str:
+        return f"{ref.name} {ref.alias}" if ref.alias else ref.name
+
+    def _expr(self, expr: ast.Expression) -> str:
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return "NULL"
+            if isinstance(expr.value, bool):
+                return "TRUE" if expr.value else "FALSE"
+            if isinstance(expr.value, str):
+                escaped = expr.value.replace("'", "''")
+                return f"'{escaped}'"
+            return repr(expr.value)
+        if isinstance(expr, ast.Param):
+            return "?"
+        if isinstance(expr, ast.ColumnRef):
+            return expr.display()
+        if isinstance(expr, ast.Star):
+            return "*"
+        if isinstance(expr, ast.Unary):
+            if expr.operator == "NOT":
+                return f"NOT ({self._expr(expr.operand)})"
+            return f"-({self._expr(expr.operand)})"
+        if isinstance(expr, ast.Binary):
+            return (f"({self._expr(expr.left)} {expr.operator} "
+                    f"{self._expr(expr.right)})")
+        if isinstance(expr, ast.IsNull):
+            suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"({self._expr(expr.operand)} {suffix})"
+        if isinstance(expr, ast.InList):
+            items = ", ".join(self._expr(i) for i in expr.items)
+            keyword = "NOT IN" if expr.negated else "IN"
+            return f"({self._expr(expr.operand)} {keyword} ({items}))"
+        if isinstance(expr, ast.Between):
+            keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+            return (f"({self._expr(expr.operand)} {keyword} "
+                    f"{self._expr(expr.low)} AND {self._expr(expr.high)})")
+        if isinstance(expr, ast.FunctionCall):
+            inner = "*" if expr.argument is None else \
+                self._expr(expr.argument)
+            return f"{expr.name.upper()}({inner})"
+        raise SQLPlanError(f"cannot render {expr!r}")

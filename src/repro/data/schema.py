@@ -1,0 +1,168 @@
+"""Logical schemas for the Data Services layer.
+
+A :class:`Schema` names and types the columns of a table or result set and
+carries the constraints the table enforces (NOT NULL, primary key).  The
+physical encoding is delegated to the access layer's
+:class:`~repro.access.record.RecordCodec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.access.record import ColumnType, RecordCodec
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: ColumnType
+    not_null: bool = False
+    primary_key: bool = False
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "type": self.type.value,
+                "not_null": self.not_null, "primary_key": self.primary_key}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Column":
+        return cls(data["name"], ColumnType(data["type"]),
+                   data.get("not_null", False),
+                   data.get("primary_key", False))
+
+
+class Schema:
+    """Ordered, named, typed columns with constraint metadata."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [c.name for c in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names {sorted(duplicates)}")
+        self.columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+        self.codec = RecordCodec([c.type for c in columns])
+
+    @classmethod
+    def build(cls, *specs: tuple) -> "Schema":
+        """``Schema.build(("id", "int", "pk"), ("name", "text"))``."""
+        columns = []
+        for spec in specs:
+            name, type_name, *flags = spec
+            columns.append(Column(
+                name, ColumnType.parse(type_name),
+                not_null="not_null" in flags or "pk" in flags,
+                primary_key="pk" in flags))
+        return cls(columns)
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r} (have {self.names})") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    @property
+    def primary_key(self) -> Optional[Column]:
+        for column in self.columns:
+            if column.primary_key:
+                return column
+        return None
+
+    @property
+    def primary_key_index(self) -> Optional[int]:
+        for i, column in enumerate(self.columns):
+            if column.primary_key:
+                return i
+        return None
+
+    # -- validation / coercion ----------------------------------------------------
+
+    def validate(self, row: Sequence[Any]) -> tuple:
+        """Check arity, NOT NULL, and types; coerce ints for float columns.
+        Returns the (possibly coerced) tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity {len(self.columns)}")
+        out = []
+        for value, column in zip(row, self.columns):
+            if value is None:
+                if column.not_null:
+                    raise SchemaError(
+                        f"column {column.name!r} is NOT NULL")
+                out.append(None)
+                continue
+            out.append(self._coerce(value, column))
+        return tuple(out)
+
+    @staticmethod
+    def _coerce(value: Any, column: Column) -> Any:
+        ctype = column.type
+        if ctype is ColumnType.FLOAT and isinstance(value, int) \
+                and not isinstance(value, bool):
+            return float(value)
+        if ctype is ColumnType.INT and isinstance(value, bool):
+            raise SchemaError(
+                f"column {column.name!r}: bool given for int column")
+        if ctype is ColumnType.TEXT and not isinstance(value, str):
+            raise SchemaError(
+                f"column {column.name!r}: {type(value).__name__} given "
+                f"for text column")
+        if ctype is ColumnType.INT and not isinstance(value, int):
+            raise SchemaError(
+                f"column {column.name!r}: {type(value).__name__} given "
+                f"for int column")
+        if ctype is ColumnType.BOOL and not isinstance(value, bool):
+            raise SchemaError(
+                f"column {column.name!r}: {type(value).__name__} given "
+                f"for bool column")
+        if ctype is ColumnType.BYTES and \
+                not isinstance(value, (bytes, bytearray)):
+            raise SchemaError(
+                f"column {column.name!r}: {type(value).__name__} given "
+                f"for bytes column")
+        return value
+
+    # -- encoding ---------------------------------------------------------------------
+
+    def encode(self, row: Sequence[Any]) -> bytes:
+        return self.codec.encode(self.validate(row))
+
+    def decode(self, payload: bytes) -> tuple:
+        return self.codec.decode(payload)
+
+    # -- serialisation ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"columns": [c.to_dict() for c in self.columns]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls([Column.from_dict(c) for c in data["columns"]])
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema([self.column(n) for n in names])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.type.value}" for c in self.columns)
+        return f"Schema({cols})"

@@ -1,0 +1,233 @@
+"""Data and access layer services: the engine exposed through contracts.
+
+``QueryService`` is the SQL front door (interface ``Query``) the kernel's
+:meth:`~repro.core.kernel.SBDMSKernel.sql` convenience targets;
+``DataService`` exposes table-level operations; ``AccessService`` exposes
+the record/index machinery the paper places in the Access Services layer;
+``MonitoringService`` is the Discussion's user-built example ("developers
+invoke existing coordinator services, or create customised monitoring
+services that read the properties from the storage service").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    ServicePolicy,
+    op,
+)
+from repro.core.service import Service
+from repro.data.database import Database
+
+QUERY_INTERFACE = Interface("Query", (
+    op("execute", "statement:str", "params:any", returns="any",
+       semantics="parse, plan, and run one SQL statement"),
+    op("explain", "statement:str", "params:any", returns="dict",
+       semantics="plan summary without side effects beyond reads"),
+))
+
+DATA_INTERFACE = Interface("Data", (
+    op("insert", "table:str", "row:any", returns="any"),
+    op("lookup", "table:str", "key:any", returns="any",
+       semantics="primary-key point lookup"),
+    op("scan", "table:str", returns="list"),
+    op("tables", returns="list"),
+    op("table_properties", "table:str", returns="dict"),
+))
+
+ACCESS_INTERFACE = Interface("Access", (
+    op("index_lookup", "table:str", "index:str", "key:any",
+       returns="list"),
+    op("index_range", "table:str", "index:str", "lo:any", "hi:any",
+       returns="list"),
+    op("sort_records", "table:str", "column:str", "descending:bool",
+       returns="list",
+       semantics="sorting of record sets (paper §3.1)"),
+))
+
+MONITORING_INTERFACE = Interface("Monitoring", (
+    op("storage_report", returns="dict",
+       semantics="work load, buffer size, page size, data fragmentation"),
+))
+
+
+class QueryService(Service):
+    """SQL execution service (Data Services layer front door)."""
+
+    layer = "data"
+
+    def __init__(self, database: Database, name: str = "query") -> None:
+        super().__init__(name, ServiceContract(
+            name, (QUERY_INTERFACE,),
+            description="SQL parsing, planning, and execution",
+            quality=QualityDescription(latency_ms=0.5, availability=0.999,
+                                       footprint_kb=768.0),
+            policy=ServicePolicy(dependencies=["Data"]),
+            tags=frozenset({"data", "sql"})))
+        self.database = database
+
+    def op_execute(self, statement: str, params: Any = ()) -> Any:
+        result = self.database.execute(statement, tuple(params or ()))
+        if hasattr(result, "rows"):
+            return {"columns": result.columns, "rows": result.rows,
+                    "plan": result.plan}
+        return {"operation": result.operation, "affected": result.affected}
+
+    def op_explain(self, statement: str, params: Any = ()) -> dict:
+        from repro.data.sql.parser import parse
+        from repro.data.sql import ast as sql_ast
+        from repro.data.sql.planner import Planner
+
+        parsed = parse(statement)
+        if not isinstance(parsed, sql_ast.SelectStatement):
+            return {"statement": type(parsed).__name__}
+        planner = Planner(self.database.catalog,
+                          view_parser=self.database._parse_view)
+        _, info = planner.plan(parsed, tuple(params or ()))
+        return {"access_paths": info.access_paths, "joins": info.joins,
+                "aggregated": info.aggregated}
+
+
+class DataService(Service):
+    """Table-level logical data access."""
+
+    layer = "data"
+
+    def __init__(self, database: Database, name: str = "data") -> None:
+        super().__init__(name, ServiceContract(
+            name, (DATA_INTERFACE,),
+            description="logical structures: tables and views",
+            quality=QualityDescription(latency_ms=0.2, availability=0.999,
+                                       footprint_kb=512.0),
+            policy=ServicePolicy(dependencies=["Access"]),
+            tags=frozenset({"data"})))
+        self.database = database
+
+    def op_insert(self, table: str, row: Any) -> Any:
+        rid = self.database.catalog.table(table).insert(tuple(row))
+        return (rid.page_no, rid.slot)
+
+    def op_lookup(self, table: str, key: Any) -> Any:
+        table_obj = self.database.catalog.table(table)
+        pk = table_obj.schema.primary_key
+        if pk is None:
+            return None
+        index = table_obj.index_on((pk.name,))
+        rids = index.lookup_eq((key,))
+        return table_obj.read(rids[0]) if rids else None
+
+    def op_scan(self, table: str) -> list:
+        return list(self.database.catalog.table(table).rows())
+
+    def op_tables(self) -> list:
+        return sorted(self.database.catalog.tables)
+
+    def op_table_properties(self, table: str) -> dict:
+        return self.database.catalog.table(table).properties()
+
+
+class AccessService(Service):
+    """Record/index-level access operations."""
+
+    layer = "access"
+
+    def __init__(self, database: Database, name: str = "access") -> None:
+        super().__init__(name, ServiceContract(
+            name, (ACCESS_INTERFACE,),
+            description="access paths: indexes, scans, sorting",
+            quality=QualityDescription(latency_ms=0.1, availability=0.999,
+                                       footprint_kb=384.0),
+            policy=ServicePolicy(dependencies=["Storage"]),
+            tags=frozenset({"access"})))
+        self.database = database
+
+    def _index(self, table: str, index: str):
+        table_obj = self.database.catalog.table(table)
+        return table_obj, table_obj.indexes[index]
+
+    def op_index_lookup(self, table: str, index: str, key: Any) -> list:
+        table_obj, idx = self._index(table, index)
+        key_tuple = key if isinstance(key, tuple) else (key,)
+        return [table_obj.read(rid) for rid in idx.lookup_eq(key_tuple)]
+
+    def op_index_range(self, table: str, index: str, lo: Any,
+                       hi: Any) -> list:
+        table_obj, idx = self._index(table, index)
+        lo_t = (lo,) if lo is not None and not isinstance(lo, tuple) else lo
+        hi_t = (hi,) if hi is not None and not isinstance(hi, tuple) else hi
+        return [table_obj.read(rid) for rid in idx.range_scan(lo_t, hi_t)]
+
+    def op_sort_records(self, table: str, column: str,
+                        descending: bool = False) -> list:
+        table_obj = self.database.catalog.table(table)
+        position = table_obj.schema.index_of(column)
+        rows = list(table_obj.rows())
+        rows.sort(key=lambda r: (r[position] is None, r[position])
+                  if not descending else (r[position] is not None,
+                                          r[position]),
+                  reverse=descending)
+        return rows
+
+
+class MonitoringService(Service):
+    """The Discussion's user-created monitoring extension."""
+
+    layer = "extension"
+
+    def __init__(self, database: Database,
+                 name: str = "storage-monitor") -> None:
+        super().__init__(name, ServiceContract(
+            name, (MONITORING_INTERFACE,),
+            description=("reads storage-service properties: work load, "
+                         "buffer size, page size, data fragmentation"),
+            quality=QualityDescription(latency_ms=0.1, footprint_kb=32.0),
+            tags=frozenset({"monitoring", "extension"})))
+        self.database = database
+
+    def op_storage_report(self) -> dict:
+        buffer_props = self.database.pool.properties()
+        per_table = {
+            name: {
+                "fragmentation": table.heap.fragmentation(),
+                "pages": table.heap.num_pages(),
+                "rows": table.row_count,
+            }
+            for name, table in self.database.catalog.tables.items()}
+        return {
+            "workload": {
+                "hits": self.database.pool.stats.hits,
+                "misses": self.database.pool.stats.misses,
+                "hit_rate": buffer_props["hit_rate"],
+                "statements": self.database.statements_executed,
+            },
+            "buffer_size": buffer_props["capacity"],
+            "page_size": buffer_props["page_size"],
+            "fragmentation": per_table,
+        }
+
+
+def deploy_database_services(kernel, database: Optional[Database] = None,
+                             include_monitoring: bool = True) -> Database:
+    """Publish the full data/access service set into a kernel."""
+    from repro.storage.services import StorageService, StorageStack
+
+    database = database or Database()
+    stack = StorageStack()
+    # The storage service exposes the *database's* storage substrate, so
+    # monitoring figures line up.
+    stack.device = database.device
+    stack.files = database.files
+    stack.pool = database.pool
+    stack.pages = database.pages
+    stack.disk = database.files.disk
+    kernel.publish(StorageService(stack))
+    kernel.publish(AccessService(database))
+    kernel.publish(DataService(database))
+    kernel.publish(QueryService(database))
+    if include_monitoring:
+        kernel.publish(MonitoringService(database))
+    return database

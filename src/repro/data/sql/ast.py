@@ -1,0 +1,262 @@
+"""SQL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder, numbered left to right from zero."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unary:
+    operator: str       # NOT, -
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Binary:
+    operator: str       # =, <>, <, <=, >, >=, AND, OR, +, -, *, /, LIKE
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expression"
+    items: tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: "Expression"
+    low: "Expression"
+    high: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """Aggregate call: COUNT/SUM/AVG/MIN/MAX; ``argument`` None = COUNT(*)."""
+
+    name: str
+    argument: Optional["Expression"]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """Scalar subquery: ``(SELECT ...)`` used as a value (uncorrelated)."""
+
+    query: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [NOT] IN (SELECT ...)`` (uncorrelated)."""
+
+    operand: "Expression"
+    query: "SelectStatement"
+    negated: bool = False
+
+
+Expression = Union[Literal, Param, ColumnRef, Star, Unary, Binary, IsNull,
+                   InList, Between, FunctionCall, Subquery, InSubquery]
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    method: str = "btree"     # btree | hash
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    query: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class DropStatement:
+    kind: str                 # table | index | view
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]      # empty = declared order
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Optional[Expression]  # None = cross join
+    kind: str = "inner"              # inner | left
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    table: Optional[TableRef] = None
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class UnionSelect:
+    """``<select> UNION [ALL] <select>`` (left-associative chains fold
+    into nested unions)."""
+
+    left: Union["SelectStatement", "UnionSelect"]
+    right: "SelectStatement"
+    all: bool = False
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN <select>: plan without executing."""
+
+    query: Union["SelectStatement", "UnionSelect"]
+
+
+@dataclass(frozen=True)
+class BeginTransaction:
+    pass
+
+
+@dataclass(frozen=True)
+class CommitTransaction:
+    pass
+
+
+@dataclass(frozen=True)
+class RollbackTransaction:
+    pass
+
+
+Statement = Union[CreateTable, CreateIndex, CreateView, DropStatement,
+                  Insert, Update, Delete, SelectStatement, UnionSelect,
+                  Explain, BeginTransaction, CommitTransaction,
+                  RollbackTransaction]
+
+
+def walk_expression(expr: Expression):
+    """Yield ``expr`` and every sub-expression (pre-order)."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, IsNull):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk_expression(expr.operand)
+        for item in expr.items:
+            yield from walk_expression(item)
+    elif isinstance(expr, Between):
+        yield from walk_expression(expr.operand)
+        yield from walk_expression(expr.low)
+        yield from walk_expression(expr.high)
+    elif isinstance(expr, FunctionCall) and expr.argument is not None:
+        yield from walk_expression(expr.argument)
+    elif isinstance(expr, InSubquery):
+        yield from walk_expression(expr.operand)

@@ -1,0 +1,188 @@
+"""SQL tokenizer for the Data Services query subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT",
+    "OUTER", "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "IN", "LIKE",
+    "BETWEEN", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "VIEW", "PRIMARY",
+    "KEY", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "USING",
+    "IF", "EXISTS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "EXPLAIN", "UNION", "ALL",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "!=", "(", ")", ",", "*", "+", "-", "/",
+           "=", "<", ">", ".", "?", ";", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # KEYWORD, IDENT, NUMBER, STRING, SYMBOL, PARAM, EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "-" and text[pos:pos + 2] == "--":  # line comment
+            end = text.find("\n", pos)
+            pos = length if end == -1 else end + 1
+            continue
+        if ch == "'":
+            value, pos = _read_string(text, pos)
+            tokens.append(Token("STRING", value, pos))
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and text[pos + 1].isdigit()):
+            value, pos = _read_number(text, pos)
+            tokens.append(Token("NUMBER", value, pos))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if ch == '"':  # quoted identifier
+            end = text.find('"', pos + 1)
+            if end == -1:
+                raise SQLSyntaxError(f"unterminated identifier at {pos}")
+            tokens.append(Token("IDENT", text[pos + 1:end], pos))
+            pos = end + 1
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, pos):
+                kind = "PARAM" if symbol == "?" else "SYMBOL"
+                tokens.append(Token(kind, symbol, pos))
+                pos += len(symbol)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r} at {pos}")
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _read_string(text: str, pos: int) -> tuple[str, int]:
+    out = []
+    pos += 1  # opening quote
+    while pos < len(text):
+        ch = text[pos]
+        if ch == "'":
+            if text[pos + 1:pos + 2] == "'":  # escaped quote
+                out.append("'")
+                pos += 2
+                continue
+            return "".join(out), pos + 1
+        out.append(ch)
+        pos += 1
+    raise SQLSyntaxError("unterminated string literal")
+
+
+def _read_number(text: str, pos: int) -> tuple[str, int]:
+    start = pos
+    seen_dot = False
+    while pos < len(text):
+        ch = text[pos]
+        if ch.isdigit():
+            pos += 1
+        elif ch == "." and not seen_dot:
+            seen_dot = True
+            pos += 1
+        elif ch in "eE" and pos + 1 < len(text) and \
+                (text[pos + 1].isdigit() or text[pos + 1] in "+-"):
+            pos += 2
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+            break
+        else:
+            break
+    return text[start:pos], pos
+
+
+class TokenStream:
+    """Cursor over tokens with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in keywords
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.peek()
+        return token.kind == "SYMBOL" and token.value in symbols
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.at_keyword(*keywords):
+            self.next()
+            return True
+        return False
+
+    def accept_symbol(self, *symbols: str) -> bool:
+        if self.at_symbol(*symbols):
+            self.next()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.at_keyword(keyword):
+            raise SQLSyntaxError(
+                f"expected {keyword}, found {self.peek().value!r} "
+                f"at {self.peek().position}")
+        return self.next()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.at_symbol(symbol):
+            raise SQLSyntaxError(
+                f"expected {symbol!r}, found {self.peek().value!r} "
+                f"at {self.peek().position}")
+        return self.next()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "IDENT":
+            # Allow non-reserved-ish keywords as identifiers where harmless.
+            raise SQLSyntaxError(
+                f"expected identifier, found {token.value!r} "
+                f"at {token.position}")
+        self.next()
+        return token.value
+
+    def expect_eof(self) -> None:
+        self.accept_symbol(";")
+        if self.peek().kind != "EOF":
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self.peek().value!r}")

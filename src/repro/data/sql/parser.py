@@ -1,0 +1,460 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    statement  := select | insert | update | delete | create | drop
+                | BEGIN | COMMIT | ROLLBACK
+    select     := SELECT [DISTINCT] items FROM table_ref join*
+                  [WHERE expr] [GROUP BY exprs [HAVING expr]]
+                  [ORDER BY order_items] [LIMIT expr [OFFSET expr]]
+    expr       := or_expr with the usual precedence
+                  (OR < AND < NOT < comparison < additive < multiplicative)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.sql import ast
+from repro.data.sql.lexer import TokenStream, tokenize
+from repro.errors import SQLSyntaxError
+
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    parser = Parser(TokenStream(tokenize(text)))
+    statement = parser.statement()
+    parser.stream.expect_eof()
+    return statement
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (used by tests and views)."""
+    parser = Parser(TokenStream(tokenize(text)))
+    expr = parser.expression()
+    parser.stream.expect_eof()
+    return expr
+
+
+class Parser:
+    def __init__(self, stream: TokenStream) -> None:
+        self.stream = stream
+        self._param_counter = 0
+
+    # -- statements ------------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        s = self.stream
+        if s.at_keyword("SELECT"):
+            return self.select_or_union()
+        if s.at_keyword("INSERT"):
+            return self.insert()
+        if s.at_keyword("UPDATE"):
+            return self.update()
+        if s.at_keyword("DELETE"):
+            return self.delete()
+        if s.at_keyword("CREATE"):
+            return self.create()
+        if s.at_keyword("DROP"):
+            return self.drop()
+        if s.accept_keyword("EXPLAIN"):
+            return ast.Explain(self.select_or_union())
+        if s.accept_keyword("BEGIN"):
+            return ast.BeginTransaction()
+        if s.accept_keyword("COMMIT"):
+            return ast.CommitTransaction()
+        if s.accept_keyword("ROLLBACK"):
+            return ast.RollbackTransaction()
+        raise SQLSyntaxError(
+            f"cannot parse statement starting with {s.peek().value!r}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def select_or_union(self):
+        """One SELECT, possibly chained with UNION [ALL]."""
+        left = self.select()
+        while self.stream.accept_keyword("UNION"):
+            all_rows = self.stream.accept_keyword("ALL")
+            right = self.select()
+            left = ast.UnionSelect(left, right, all_rows)
+        return left
+
+    def select(self) -> ast.SelectStatement:
+        s = self.stream
+        s.expect_keyword("SELECT")
+        distinct = s.accept_keyword("DISTINCT")
+        items = [self.select_item()]
+        while s.accept_symbol(","):
+            items.append(self.select_item())
+        table = None
+        joins: list[ast.Join] = []
+        if s.accept_keyword("FROM"):
+            table = self.table_ref()
+            while True:
+                kind = None
+                if s.accept_keyword("JOIN"):
+                    kind = "inner"
+                elif s.at_keyword("INNER") and \
+                        s.peek(1).value == "JOIN":
+                    s.next()
+                    s.next()
+                    kind = "inner"
+                elif s.at_keyword("LEFT"):
+                    s.next()
+                    s.accept_keyword("OUTER")
+                    s.expect_keyword("JOIN")
+                    kind = "left"
+                else:
+                    break
+                joined = self.table_ref()
+                condition = None
+                if s.accept_keyword("ON"):
+                    condition = self.expression()
+                joins.append(ast.Join(joined, condition, kind))
+        where = self.expression() if s.accept_keyword("WHERE") else None
+        group_by: list[ast.Expression] = []
+        having = None
+        if s.accept_keyword("GROUP"):
+            s.expect_keyword("BY")
+            group_by.append(self.expression())
+            while s.accept_symbol(","):
+                group_by.append(self.expression())
+            if s.accept_keyword("HAVING"):
+                having = self.expression()
+        order_by: list[ast.OrderItem] = []
+        if s.accept_keyword("ORDER"):
+            s.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while s.accept_symbol(","):
+                order_by.append(self.order_item())
+        limit = offset = None
+        if s.accept_keyword("LIMIT"):
+            limit = self.expression()
+            if s.accept_keyword("OFFSET"):
+                offset = self.expression()
+        return ast.SelectStatement(
+            items=tuple(items), table=table, joins=tuple(joins),
+            where=where, group_by=tuple(group_by), having=having,
+            order_by=tuple(order_by), limit=limit, offset=offset,
+            distinct=distinct)
+
+    def select_item(self) -> ast.SelectItem:
+        s = self.stream
+        if s.at_symbol("*"):
+            s.next()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        if s.peek().kind == "IDENT" and s.peek(1).value == "." \
+                and s.peek(2).value == "*":
+            table = s.expect_ident()
+            s.expect_symbol(".")
+            s.expect_symbol("*")
+            return ast.SelectItem(ast.Star(table))
+        expr = self.expression()
+        alias = None
+        if s.accept_keyword("AS"):
+            alias = s.expect_ident()
+        elif s.peek().kind == "IDENT":
+            alias = s.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def table_ref(self) -> ast.TableRef:
+        s = self.stream
+        name = s.expect_ident()
+        alias = None
+        if s.accept_keyword("AS"):
+            alias = s.expect_ident()
+        elif s.peek().kind == "IDENT":
+            alias = s.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.stream.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.stream.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    # -- DML -----------------------------------------------------------------------
+
+    def insert(self) -> ast.Insert:
+        s = self.stream
+        s.expect_keyword("INSERT")
+        s.expect_keyword("INTO")
+        table = s.expect_ident()
+        columns: list[str] = []
+        if s.accept_symbol("("):
+            columns.append(s.expect_ident())
+            while s.accept_symbol(","):
+                columns.append(s.expect_ident())
+            s.expect_symbol(")")
+        s.expect_keyword("VALUES")
+        rows = [self.value_row()]
+        while s.accept_symbol(","):
+            rows.append(self.value_row())
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def value_row(self) -> tuple[ast.Expression, ...]:
+        s = self.stream
+        s.expect_symbol("(")
+        values = [self.expression()]
+        while s.accept_symbol(","):
+            values.append(self.expression())
+        s.expect_symbol(")")
+        return tuple(values)
+
+    def update(self) -> ast.Update:
+        s = self.stream
+        s.expect_keyword("UPDATE")
+        table = s.expect_ident()
+        s.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while s.accept_symbol(","):
+            assignments.append(self.assignment())
+        where = self.expression() if s.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def assignment(self) -> tuple[str, ast.Expression]:
+        s = self.stream
+        column = s.expect_ident()
+        s.expect_symbol("=")
+        return column, self.expression()
+
+    def delete(self) -> ast.Delete:
+        s = self.stream
+        s.expect_keyword("DELETE")
+        s.expect_keyword("FROM")
+        table = s.expect_ident()
+        where = self.expression() if s.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def create(self) -> ast.Statement:
+        s = self.stream
+        s.expect_keyword("CREATE")
+        if s.accept_keyword("TABLE"):
+            return self.create_table()
+        unique = s.accept_keyword("UNIQUE")
+        if s.accept_keyword("INDEX"):
+            return self.create_index(unique)
+        if unique:
+            raise SQLSyntaxError("UNIQUE must be followed by INDEX")
+        if s.accept_keyword("VIEW"):
+            name = s.expect_ident()
+            s.expect_keyword("AS")
+            query = self.select()
+            return ast.CreateView(name, query)
+        raise SQLSyntaxError(
+            f"CREATE {s.peek().value!r} is not supported")
+
+    def create_table(self) -> ast.CreateTable:
+        s = self.stream
+        if_not_exists = False
+        if s.accept_keyword("IF"):
+            s.expect_keyword("NOT")  # NOT is parsed as keyword
+            s.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = s.expect_ident()
+        s.expect_symbol("(")
+        columns = [self.column_def()]
+        while s.accept_symbol(","):
+            columns.append(self.column_def())
+        s.expect_symbol(")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def column_def(self) -> ast.ColumnDef:
+        s = self.stream
+        name = s.expect_ident()
+        token = s.peek()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise SQLSyntaxError(f"expected column type after {name!r}")
+        s.next()
+        type_name = token.value
+        not_null = primary_key = False
+        while True:
+            if s.accept_keyword("NOT"):
+                s.expect_keyword("NULL")
+                not_null = True
+            elif s.accept_keyword("PRIMARY"):
+                s.expect_keyword("KEY")
+                primary_key = True
+                not_null = True
+            else:
+                break
+        return ast.ColumnDef(name, type_name, not_null, primary_key)
+
+    def create_index(self, unique: bool) -> ast.CreateIndex:
+        s = self.stream
+        name = s.expect_ident()
+        s.expect_keyword("ON")
+        table = s.expect_ident()
+        s.expect_symbol("(")
+        columns = [s.expect_ident()]
+        while s.accept_symbol(","):
+            columns.append(s.expect_ident())
+        s.expect_symbol(")")
+        method = "btree"
+        if s.accept_keyword("USING"):
+            method = s.expect_ident().lower()
+            if method not in ("btree", "hash"):
+                raise SQLSyntaxError(
+                    f"unknown index method {method!r}")
+        return ast.CreateIndex(name, table, tuple(columns), unique, method)
+
+    def drop(self) -> ast.DropStatement:
+        s = self.stream
+        s.expect_keyword("DROP")
+        if s.accept_keyword("TABLE"):
+            kind = "table"
+        elif s.accept_keyword("INDEX"):
+            kind = "index"
+        elif s.accept_keyword("VIEW"):
+            kind = "view"
+        else:
+            raise SQLSyntaxError(
+                f"DROP {s.peek().value!r} is not supported")
+        if_exists = False
+        if s.accept_keyword("IF"):
+            s.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropStatement(kind, s.expect_ident(), if_exists)
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+
+    def expression(self) -> ast.Expression:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expression:
+        left = self.and_expr()
+        while self.stream.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expression:
+        left = self.not_expr()
+        while self.stream.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expression:
+        if self.stream.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expression:
+        s = self.stream
+        left = self.additive()
+        if s.accept_keyword("IS"):
+            negated = s.accept_keyword("NOT")
+            s.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = False
+        if s.at_keyword("NOT") and s.peek(1).value in ("IN", "LIKE",
+                                                       "BETWEEN"):
+            s.next()
+            negated = True
+        if s.accept_keyword("IN"):
+            s.expect_symbol("(")
+            if s.at_keyword("SELECT"):
+                query = self.select()
+                s.expect_symbol(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self.expression()]
+            while s.accept_symbol(","):
+                items.append(self.expression())
+            s.expect_symbol(")")
+            return ast.InList(left, tuple(items), negated)
+        if s.accept_keyword("LIKE"):
+            expr = ast.Binary("LIKE", left, self.additive())
+            return ast.Unary("NOT", expr) if negated else expr
+        if s.accept_keyword("BETWEEN"):
+            low = self.additive()
+            s.expect_keyword("AND")
+            high = self.additive()
+            return ast.Between(left, low, high, negated)
+        for operator in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+            if s.at_symbol(operator):
+                s.next()
+                normalised = "<>" if operator == "!=" else operator
+                return ast.Binary(normalised, left, self.additive())
+        return left
+
+    def additive(self) -> ast.Expression:
+        left = self.multiplicative()
+        while self.stream.at_symbol("+", "-"):
+            operator = self.stream.next().value
+            left = ast.Binary(operator, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> ast.Expression:
+        left = self.unary()
+        while self.stream.at_symbol("*", "/", "%"):
+            operator = self.stream.next().value
+            left = ast.Binary(operator, left, self.unary())
+        return left
+
+    def unary(self) -> ast.Expression:
+        s = self.stream
+        if s.accept_symbol("-"):
+            operand = self.unary()
+            if isinstance(operand, ast.Literal) and \
+                    isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.Unary("-", operand)
+        return self.primary()
+
+    def primary(self) -> ast.Expression:
+        s = self.stream
+        token = s.peek()
+        if token.kind == "NUMBER":
+            s.next()
+            text = token.value
+            value = float(text) if any(c in text for c in ".eE") \
+                else int(text)
+            return ast.Literal(value)
+        if token.kind == "STRING":
+            s.next()
+            return ast.Literal(token.value)
+        if token.kind == "PARAM":
+            s.next()
+            param = ast.Param(self._param_counter)
+            self._param_counter += 1
+            return param
+        if s.accept_keyword("NULL"):
+            return ast.Literal(None)
+        if s.accept_keyword("TRUE"):
+            return ast.Literal(True)
+        if s.accept_keyword("FALSE"):
+            return ast.Literal(False)
+        if token.kind == "KEYWORD" and token.value in AGGREGATES:
+            s.next()
+            s.expect_symbol("(")
+            distinct = s.accept_keyword("DISTINCT")
+            if s.accept_symbol("*"):
+                argument = None
+            else:
+                argument = self.expression()
+            s.expect_symbol(")")
+            return ast.FunctionCall(token.value.lower(), argument, distinct)
+        if s.accept_symbol("("):
+            if s.at_keyword("SELECT"):
+                query = self.select()
+                s.expect_symbol(")")
+                return ast.Subquery(query)
+            expr = self.expression()
+            s.expect_symbol(")")
+            return expr
+        if token.kind == "IDENT":
+            name = s.expect_ident()
+            if s.at_symbol(".") and s.peek(1).kind == "IDENT":
+                s.next()
+                column = s.expect_ident()
+                return ast.ColumnRef(column, table=name)
+            return ast.ColumnRef(name)
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at {token.position}")

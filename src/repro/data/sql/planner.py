@@ -1,0 +1,760 @@
+"""Planner: SELECT statements → access-layer operator trees.
+
+Rule-based planning in the classical style:
+
+- table references become scans; an equality or range conjunct on an
+  indexed column turns the scan into an index scan (predicate pushdown to
+  the access path);
+- equi-join conditions become hash joins, anything else nested loops;
+- grouping/aggregation compiles to a pre-projection + hash aggregate +
+  post-projection sandwich;
+- ORDER BY / LIMIT / DISTINCT map directly onto their operators.
+
+Expression evaluation follows SQL three-valued logic: comparisons with
+NULL yield NULL, AND/OR propagate unknowns, and WHERE keeps only rows
+whose predicate is exactly TRUE.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.access.operators import (
+    Aggregate,
+    Distinct,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    Select,
+    Sort,
+    Source,
+)
+from repro.data.sql import ast
+from repro.errors import SQLPlanError
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scope:
+    """Name resolution context: column display names in tuple order.
+
+    Entries are ``binding.column`` qualified names; ``resolve`` accepts
+    qualified and unqualified references (the latter must be unambiguous).
+    """
+
+    columns: list[str]
+    node_slots: dict = field(default_factory=dict)  # AST node -> index
+
+    def resolve(self, ref: ast.ColumnRef) -> int:
+        wanted = ref.display()
+        if ref.table is not None:
+            matches = [i for i, name in enumerate(self.columns)
+                       if name == wanted]
+        else:
+            matches = [i for i, name in enumerate(self.columns)
+                       if name == ref.name or
+                       name.endswith(f".{ref.name}")]
+        if not matches:
+            raise SQLPlanError(
+                f"unknown column {wanted!r} (in scope: {self.columns})")
+        if len(matches) > 1:
+            raise SQLPlanError(f"ambiguous column {wanted!r}")
+        return matches[0]
+
+
+def _sql_not(value):
+    if value is None:
+        return None
+    return not value
+
+
+def _sql_and(left_fn, right_fn, row):
+    left = left_fn(row)
+    if left is False:
+        return False
+    right = right_fn(row)
+    if right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return bool(left) and bool(right)
+
+
+def _sql_or(left_fn, right_fn, row):
+    left = left_fn(row)
+    if left is True:
+        return True
+    right = right_fn(row)
+    if right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return bool(left) or bool(right)
+
+
+_COMPARE = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITH = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def compile_expression(expr: ast.Expression, scope: Scope,
+                       params: Sequence[Any] = ()) -> Callable[[tuple], Any]:
+    """Compile an AST expression into a row -> value callable."""
+    # Slot-mapped nodes (aggregate results, group keys in post-projection)
+    # take precedence over structural compilation.
+    if expr in scope.node_slots:
+        index = scope.node_slots[expr]
+        return lambda row: row[index]
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.Param):
+        if expr.index >= len(params):
+            raise SQLPlanError(
+                f"statement references parameter {expr.index} but only "
+                f"{len(params)} given")
+        value = params[expr.index]
+        return lambda row: value
+    if isinstance(expr, ast.ColumnRef):
+        index = scope.resolve(expr)
+        return lambda row: row[index]
+    if isinstance(expr, ast.Unary):
+        inner = compile_expression(expr.operand, scope, params)
+        if expr.operator == "NOT":
+            return lambda row: _sql_not(inner(row))
+        return lambda row: (None if inner(row) is None else -inner(row))
+    if isinstance(expr, ast.IsNull):
+        inner = compile_expression(expr.operand, scope, params)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+    if isinstance(expr, ast.InList):
+        inner = compile_expression(expr.operand, scope, params)
+        items = [compile_expression(i, scope, params) for i in expr.items]
+
+        def in_list(row):
+            value = inner(row)
+            if value is None:
+                return None
+            found = unknown = False
+            for item in items:
+                candidate = item(row)
+                if candidate is None:
+                    unknown = True
+                elif candidate == value:
+                    found = True
+                    break
+            if found:
+                return not expr.negated
+            if unknown:
+                return None
+            return expr.negated
+
+        return in_list
+    if isinstance(expr, ast.Between):
+        inner = compile_expression(expr.operand, scope, params)
+        low = compile_expression(expr.low, scope, params)
+        high = compile_expression(expr.high, scope, params)
+
+        def between(row):
+            value, lo, hi = inner(row), low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return (not result) if expr.negated else result
+
+        return between
+    if isinstance(expr, ast.Binary):
+        left = compile_expression(expr.left, scope, params)
+        right = compile_expression(expr.right, scope, params)
+        op_name = expr.operator
+        if op_name == "AND":
+            return lambda row: _sql_and(left, right, row)
+        if op_name == "OR":
+            return lambda row: _sql_or(left, right, row)
+        if op_name == "LIKE":
+            def like(row):
+                value, pattern = left(row), right(row)
+                if value is None or pattern is None:
+                    return None
+                return bool(_like_to_regex(pattern).match(value))
+
+            return like
+        if op_name in _COMPARE:
+            compare = _COMPARE[op_name]
+
+            def comparison(row):
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                return compare(lv, rv)
+
+            return comparison
+        if op_name in _ARITH:
+            arith = _ARITH[op_name]
+
+            def arithmetic(row):
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                return arith(lv, rv)
+
+            return arithmetic
+        if op_name == "/":
+            def divide(row):
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                if rv == 0:
+                    return None  # SQL engines differ; NULL is the safe pick
+                return lv / rv
+
+            return divide
+        if op_name == "%":
+            def modulo(row):
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None or rv == 0:
+                    return None
+                return lv % rv
+
+            return modulo
+        raise SQLPlanError(f"unsupported operator {op_name!r}")
+    if isinstance(expr, ast.FunctionCall):
+        raise SQLPlanError(
+            f"aggregate {expr.name}() not allowed in this context")
+    if isinstance(expr, ast.Star):
+        raise SQLPlanError("* not allowed in this context")
+    raise SQLPlanError(f"cannot compile expression {expr!r}")
+
+
+def _expression_name(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        inner = "*" if expr.argument is None else \
+            _expression_name(expr.argument)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    return "expr"
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanInfo:
+    """Explain-style plan summary, asserted on by tests and benchmarks."""
+
+    access_paths: list[str] = field(default_factory=list)
+    joins: list[str] = field(default_factory=list)
+    aggregated: bool = False
+
+
+class Planner:
+    """Plans SELECT statements against a catalog of tables and views.
+
+    ``catalog`` must offer ``table(name)``, ``has_table(name)``,
+    ``views`` (dict name -> SQL text) — satisfied by
+    :class:`repro.data.catalog.Catalog`.
+    """
+
+    def __init__(self, catalog, view_parser: Optional[Callable] = None,
+                 txn=None) -> None:
+        self.catalog = catalog
+        self._view_parser = view_parser
+        self.txn = txn
+
+    # -- sources -----------------------------------------------------------------
+
+    def _table_source(self, table_ref: ast.TableRef,
+                      where: Optional[ast.Expression],
+                      params: Sequence[Any],
+                      info: PlanInfo) -> Operator:
+        name = table_ref.name
+        binding = table_ref.binding
+        if self.catalog.has_table(name):
+            if self.txn is not None:
+                self.txn.lock_shared(name)
+            table = self.catalog.table(name)
+            columns = [f"{binding}.{c}" for c in table.schema.names]
+            source = self._indexed_source(table, binding, columns, where,
+                                          params, info)
+            if source is not None:
+                return source
+            info.access_paths.append(f"seq_scan({name})")
+            return Source(columns, lambda: table.rows())
+        if name in getattr(self.catalog, "views", {}):
+            if self._view_parser is None:
+                raise SQLPlanError(f"cannot expand view {name!r}")
+            view_select = self._view_parser(self.catalog.views[name])
+            inner, inner_info = self.plan(view_select, params)
+            info.access_paths.extend(
+                f"view({name}):{p}" for p in inner_info.access_paths)
+            rows_factory = inner  # operators are re-iterable
+            columns = [f"{binding}.{c}" for c in inner.columns]
+            return Source(columns, lambda: iter(rows_factory))
+        raise SQLPlanError(f"no table or view named {name!r}")
+
+    def _indexed_source(self, table, binding: str, columns: list[str],
+                        where: Optional[ast.Expression],
+                        params: Sequence[Any],
+                        info: PlanInfo) -> Optional[Operator]:
+        """Use an index when a WHERE conjunct matches one."""
+        if where is None:
+            return None
+        for conjunct in _conjuncts(where):
+            match = _index_match(conjunct, binding)
+            if match is None:
+                continue
+            column, op_name, value_expr = match
+            index = table.index_on((column,),
+                                   require_btree=op_name != "=")
+            if index is None:
+                continue
+            value = compile_expression(value_expr, Scope([]), params)(())
+            if op_name == "=":
+                rids = lambda: iter(index.lookup_eq((value,)))  # noqa: E731
+                path = f"index_eq({table.name}.{column})"
+            else:
+                lo = hi = None
+                lo_inc = hi_inc = True
+                if op_name in (">", ">="):
+                    lo, lo_inc = (value,), op_name == ">="
+                else:
+                    hi, hi_inc = (value,), op_name == "<="
+                rids = (lambda lo=lo, hi=hi, lo_inc=lo_inc, hi_inc=hi_inc:
+                        index.range_scan(lo, hi, lo_inc, hi_inc))
+                path = f"index_range({table.name}.{column})"
+            info.access_paths.append(path)
+
+            def factory(rids=rids, table=table):
+                return (table.read(rid) for rid in rids())
+
+            return Source(columns, factory)
+        return None
+
+    # -- subqueries (uncorrelated) ---------------------------------------------------
+
+    def resolve_subqueries(self, expr: Optional[ast.Expression],
+                           params: Sequence[Any]) -> Optional[ast.Expression]:
+        """Evaluate uncorrelated subqueries, folding them into literals.
+
+        Correlated subqueries (references to outer columns) fail inside the
+        nested plan with an unknown-column error — a documented limit.
+        """
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Subquery):
+            rows = self._run_subquery(expr.query, params)
+            if rows and len(rows[0]) != 1:
+                raise SQLPlanError("scalar subquery must return 1 column")
+            if len(rows) > 1:
+                raise SQLPlanError(
+                    f"scalar subquery returned {len(rows)} rows")
+            return ast.Literal(rows[0][0] if rows else None)
+        if isinstance(expr, ast.InSubquery):
+            rows = self._run_subquery(expr.query, params)
+            if rows and len(rows[0]) != 1:
+                raise SQLPlanError("IN subquery must return 1 column")
+            items = tuple(ast.Literal(r[0]) for r in rows)
+            operand = self.resolve_subqueries(expr.operand, params)
+            if not items:
+                # x IN (empty) is FALSE; NOT IN (empty) is TRUE.
+                return ast.Literal(expr.negated)
+            return ast.InList(operand, items, expr.negated)
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.operator,
+                             self.resolve_subqueries(expr.operand, params))
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.operator,
+                              self.resolve_subqueries(expr.left, params),
+                              self.resolve_subqueries(expr.right, params))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.resolve_subqueries(expr.operand, params),
+                              expr.negated)
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self.resolve_subqueries(expr.operand, params),
+                tuple(self.resolve_subqueries(i, params)
+                      for i in expr.items),
+                expr.negated)
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                self.resolve_subqueries(expr.operand, params),
+                self.resolve_subqueries(expr.low, params),
+                self.resolve_subqueries(expr.high, params),
+                expr.negated)
+        return expr
+
+    def _run_subquery(self, query: ast.SelectStatement,
+                      params: Sequence[Any]) -> list[tuple]:
+        nested = Planner(self.catalog, self._view_parser, self.txn)
+        plan, _ = nested.plan(query, params)
+        return list(plan)
+
+    # -- SELECT planning -----------------------------------------------------------
+
+    def plan(self, select: ast.SelectStatement,
+             params: Sequence[Any] = ()) -> tuple[Operator, PlanInfo]:
+        if select.where is not None or select.having is not None:
+            select = ast.SelectStatement(
+                items=select.items, table=select.table, joins=select.joins,
+                where=self.resolve_subqueries(select.where, params),
+                group_by=select.group_by,
+                having=self.resolve_subqueries(select.having, params),
+                order_by=select.order_by, limit=select.limit,
+                offset=select.offset, distinct=select.distinct)
+        info = PlanInfo()
+        if select.table is None:
+            # SELECT without FROM: single synthetic row.
+            plan: Operator = Source([], lambda: iter([()]))
+        else:
+            plan = self._table_source(select.table, select.where, params,
+                                      info)
+            for join in select.joins:
+                right = self._table_source(join.table, None, params, info)
+                plan = self._plan_join(plan, right, join, params, info)
+        scope = Scope(list(plan.columns))
+        if select.where is not None:
+            predicate = compile_expression(select.where, scope, params)
+            plan = Select(plan, lambda row, p=predicate: p(row) is True)
+
+        aggregates = _collect_aggregates(select)
+        if aggregates or select.group_by:
+            plan, scope = self._plan_aggregation(plan, scope, select,
+                                                 aggregates, params, info)
+            if select.having is not None:
+                having = compile_expression(select.having, scope, params)
+                plan = Select(plan, lambda row, p=having: p(row) is True)
+            plan, scope = self._plan_projection(plan, scope, select, params)
+        else:
+            if select.having is not None:
+                raise SQLPlanError("HAVING requires GROUP BY or aggregates")
+            plan, scope = self._plan_order_then_project(plan, scope, select,
+                                                        params)
+        if select.distinct:
+            plan = Distinct(plan)
+        if aggregates or select.group_by:
+            plan = self._plan_order(plan, scope, select, params)
+        if select.limit is not None or select.offset is not None:
+            limit = (compile_expression(select.limit, Scope([]), params)(())
+                     if select.limit is not None else None)
+            offset = (compile_expression(select.offset, Scope([]),
+                                         params)(())
+                      if select.offset is not None else 0)
+            plan = Limit(plan, limit, offset or 0)
+        return plan, info
+
+    # -- join planning ----------------------------------------------------------------
+
+    def _plan_join(self, left: Operator, right: Operator, join: ast.Join,
+                   params: Sequence[Any], info: PlanInfo) -> Operator:
+        combined = Scope(list(left.columns) + list(right.columns))
+        if join.condition is None:
+            if join.kind == "left":
+                raise SQLPlanError("LEFT JOIN requires an ON condition")
+            info.joins.append("cross(nested_loop)")
+            return NestedLoopJoin(left, right, lambda o, i: True)
+        equi = _equi_join_keys(join.condition, len(left.columns),
+                               Scope(list(left.columns)), combined)
+        if equi is not None:
+            left_key, right_key = equi
+            info.joins.append("hash_join")
+            return HashJoin(left, right, [left_key],
+                            [right_key - len(left.columns)],
+                            left_outer=join.kind == "left")
+        if join.kind == "left":
+            raise SQLPlanError(
+                "LEFT JOIN supports only single equality conditions")
+        predicate = compile_expression(join.condition, combined, params)
+        info.joins.append("nested_loop")
+        return NestedLoopJoin(
+            left, right,
+            lambda o, i, p=predicate: p(o + i) is True)
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def _plan_aggregation(self, plan: Operator, scope: Scope,
+                          select: ast.SelectStatement,
+                          aggregates: list[ast.FunctionCall],
+                          params: Sequence[Any],
+                          info: PlanInfo) -> tuple[Operator, Scope]:
+        info.aggregated = True
+        # Pre-projection: group-by expressions first, then each aggregate's
+        # input expression (COUNT(*) needs no input but gets a slot of 1s
+        # for uniform shape).
+        pre_columns: list[str] = []
+        pre_exprs: list[Callable[[tuple], Any]] = []
+        for i, group_expr in enumerate(select.group_by):
+            pre_columns.append(f"__group_{i}")
+            pre_exprs.append(compile_expression(group_expr, scope, params))
+        agg_specs: list[tuple] = []
+        for i, aggregate in enumerate(aggregates):
+            column_name = f"__agg_{i}"
+            if aggregate.argument is None:
+                agg_specs.append((column_name, "count", None, False))
+            else:
+                input_index = len(pre_columns)
+                pre_columns.append(f"__agg_in_{i}")
+                pre_exprs.append(compile_expression(
+                    aggregate.argument, scope, params))
+                agg_specs.append((column_name, aggregate.name, input_index,
+                                  aggregate.distinct))
+        plan = Project(plan, pre_columns, pre_exprs)
+        plan = Aggregate(plan, list(range(len(select.group_by))), agg_specs)
+        # Post-scope: group-by AST nodes and aggregate AST nodes map to
+        # output slots.
+        node_slots: dict = {}
+        for i, group_expr in enumerate(select.group_by):
+            node_slots[group_expr] = i
+        for i, aggregate in enumerate(aggregates):
+            node_slots[aggregate] = len(select.group_by) + i
+        post_scope = Scope(list(plan.columns), node_slots)
+        return plan, post_scope
+
+    def _plan_projection(self, plan: Operator, scope: Scope,
+                         select: ast.SelectStatement,
+                         params: Sequence[Any]) -> tuple[Operator, Scope]:
+        columns: list[str] = []
+        exprs: list[Callable[[tuple], Any]] = []
+        for item in select.items:
+            if isinstance(item.expression, ast.Star):
+                raise SQLPlanError("* cannot be combined with GROUP BY")
+            columns.append(item.alias or _expression_name(item.expression))
+            exprs.append(compile_expression(item.expression, scope, params))
+        projected = Project(plan, columns, exprs)
+        # ORDER BY in aggregate queries may reference aliases or the same
+        # aggregate nodes; build a scope carrying both.
+        order_slots = dict(scope.node_slots)
+        out_scope = Scope(columns, order_slots)
+        self._alias_slots = {item.alias: i
+                             for i, item in enumerate(select.items)
+                             if item.alias}
+        self._agg_scope = scope
+        return projected, out_scope
+
+    def _plan_order(self, plan: Operator, scope: Scope,
+                    select: ast.SelectStatement,
+                    params: Sequence[Any]) -> Operator:
+        if not select.order_by:
+            return plan
+        keys: list[tuple[int, bool]] = []
+        extra_exprs: list[ast.Expression] = []
+        for item in select.order_by:
+            expr = item.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                # Positional ORDER BY (1-based output column).
+                position = expr.value - 1
+                if not 0 <= position < len(plan.columns):
+                    raise SQLPlanError(
+                        f"ORDER BY position {expr.value} out of range")
+                keys.append((position, item.descending))
+                continue
+            if isinstance(expr, ast.ColumnRef) and expr.table is None \
+                    and expr.name in getattr(self, "_alias_slots", {}):
+                keys.append((self._alias_slots[expr.name], item.descending))
+                continue
+            if expr in scope.node_slots and scope.node_slots[expr] < \
+                    len(plan.columns):
+                keys.append((scope.node_slots[expr], item.descending))
+                continue
+            try:
+                index = scope.resolve(expr) if isinstance(
+                    expr, ast.ColumnRef) else None
+            except SQLPlanError:
+                index = None
+            if index is not None:
+                keys.append((index, item.descending))
+                continue
+            extra_exprs.append(expr)
+            keys.append((-1, item.descending))
+        if extra_exprs:
+            raise SQLPlanError(
+                "ORDER BY expression must be a selected column, alias, or "
+                "group key in aggregate queries")
+        return Sort(plan, keys)
+
+    def _plan_order_then_project(
+            self, plan: Operator, scope: Scope,
+            select: ast.SelectStatement,
+            params: Sequence[Any]) -> tuple[Operator, Scope]:
+        """Non-aggregate path: sort on base columns (so ORDER BY can use
+        non-selected columns), then project."""
+        if select.order_by:
+            keys: list[tuple[int, bool]] = []
+            computed: list[tuple[ast.Expression, bool]] = []
+            for item in select.order_by:
+                expr = item.expression
+                if isinstance(expr, ast.Literal) and \
+                        isinstance(expr.value, int):
+                    # Positional ORDER BY refers to an output column; since
+                    # sorting happens pre-projection here, route it through
+                    # the select item's expression.
+                    position = expr.value - 1
+                    if not 0 <= position < len(select.items):
+                        raise SQLPlanError(
+                            f"ORDER BY position {expr.value} out of range")
+                    expr = select.items[position].expression
+                if isinstance(expr, ast.ColumnRef):
+                    try:
+                        keys.append((scope.resolve(expr), item.descending))
+                        continue
+                    except SQLPlanError:
+                        pass
+                # alias of a select item?
+                if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                    for sel_item in select.items:
+                        if sel_item.alias == expr.name:
+                            expr = sel_item.expression
+                            break
+                computed.append((expr, item.descending))
+                keys.append((-1, item.descending))
+            if computed:
+                # Append computed sort keys as hidden columns, sort, strip.
+                hidden_exprs = [compile_expression(e, scope, params)
+                                for e, _ in computed]
+                base_arity = len(plan.columns)
+                augmented = Project(
+                    plan,
+                    list(plan.columns) + [f"__sort_{i}" for i in
+                                          range(len(hidden_exprs))],
+                    [(lambda row, i=i: row[i])
+                     for i in range(base_arity)] + hidden_exprs)
+                hidden_iter = iter(range(base_arity,
+                                         base_arity + len(hidden_exprs)))
+                keys = [(k if k >= 0 else next(hidden_iter), d)
+                        for k, d in keys]
+                plan = Sort(augmented, keys)
+                plan = Project.by_indexes(plan, list(range(base_arity)))
+                plan.columns = list(scope.columns)
+            else:
+                plan = Sort(plan, keys)
+        # Projection.
+        columns: list[str] = []
+        exprs: list[Callable[[tuple], Any]] = []
+        for item in select.items:
+            if isinstance(item.expression, ast.Star):
+                star = item.expression
+                for i, column in enumerate(scope.columns):
+                    if star.table is not None and \
+                            not column.startswith(f"{star.table}."):
+                        continue
+                    columns.append(column.split(".", 1)[-1])
+                    exprs.append(lambda row, i=i: row[i])
+                continue
+            columns.append(item.alias or _expression_name(item.expression))
+            exprs.append(compile_expression(item.expression, scope, params))
+        projected = Project(plan, columns, exprs)
+        return projected, Scope(columns)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expr, ast.Binary) and expr.operator == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _index_match(expr: ast.Expression,
+                 binding: str) -> Optional[tuple[str, str, ast.Expression]]:
+    """Recognise ``col OP constant`` over this binding's columns."""
+    if not isinstance(expr, ast.Binary) or \
+            expr.operator not in ("=", "<", "<=", ">", ">="):
+        return None
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+    def constant(node) -> bool:
+        return isinstance(node, (ast.Literal, ast.Param))
+
+    def column(node) -> Optional[str]:
+        if isinstance(node, ast.ColumnRef) and \
+                (node.table is None or node.table == binding):
+            return node.name
+        return None
+
+    left_col, right_col = column(expr.left), column(expr.right)
+    if left_col is not None and constant(expr.right):
+        return left_col, expr.operator, expr.right
+    if right_col is not None and constant(expr.left):
+        return right_col, flipped[expr.operator], expr.left
+    return None
+
+
+def _equi_join_keys(condition: ast.Expression, left_arity: int,
+                    left_scope: Scope,
+                    combined: Scope) -> Optional[tuple[int, int]]:
+    """Recognise ``a = b`` with one side per input."""
+    if not isinstance(condition, ast.Binary) or condition.operator != "=":
+        return None
+    if not isinstance(condition.left, ast.ColumnRef) or \
+            not isinstance(condition.right, ast.ColumnRef):
+        return None
+    try:
+        li = combined.resolve(condition.left)
+        ri = combined.resolve(condition.right)
+    except SQLPlanError:
+        return None
+    if li < left_arity <= ri:
+        return li, ri
+    if ri < left_arity <= li:
+        return ri, li
+    return None
+
+
+def _collect_aggregates(select: ast.SelectStatement) -> list[ast.FunctionCall]:
+    found: list[ast.FunctionCall] = []
+    seen: set = set()
+
+    def visit(expr: Optional[ast.Expression]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.FunctionCall) and node not in seen:
+                seen.add(node)
+                found.append(node)
+
+    for item in select.items:
+        if not isinstance(item.expression, ast.Star):
+            visit(item.expression)
+    visit(select.having)
+    for order in select.order_by:
+        visit(order.expression)
+    return found

@@ -1,0 +1,262 @@
+"""Tables: heap storage + schema + index maintenance.
+
+A :class:`Table` owns one heap file and any number of secondary indexes
+(B+-tree or extendible hash).  The primary key, when declared, is a unique
+B+-tree index created automatically.  All mutations keep every index
+consistent; uniqueness is enforced at insert/update time.
+
+Index keys use the order-preserving key codec; non-unique indexes append
+the record's RID to the key, making entries unique while keeping them
+clustered by key prefix (see :mod:`repro.access.keycodec`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.access.btree import BPlusTree
+from repro.access.hash_index import ExtendibleHashIndex
+from repro.access.heap_file import RID, HeapFile
+from repro.access.keycodec import encode_key
+from repro.data.schema import Schema
+from repro.errors import CatalogError, DuplicateKeyError, SchemaError
+from repro.storage.page_manager import PageManager
+
+_RID = struct.Struct("<II")
+
+
+def encode_rid(rid: RID) -> bytes:
+    return _RID.pack(rid.page_no, rid.slot)
+
+
+def decode_rid(data: bytes) -> RID:
+    page_no, slot = _RID.unpack(data)
+    return RID(page_no, slot)
+
+
+@dataclass
+class IndexDef:
+    """Index metadata as stored in the catalog."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    method: str = "btree"        # btree | hash
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "table": self.table,
+                "columns": list(self.columns), "unique": self.unique,
+                "method": self.method}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexDef":
+        return cls(data["name"], data["table"], tuple(data["columns"]),
+                   data.get("unique", False), data.get("method", "btree"))
+
+
+class TableIndex:
+    """One physical index attached to a table."""
+
+    def __init__(self, definition: IndexDef, schema: Schema,
+                 pages: PageManager, file_id: int) -> None:
+        self.definition = definition
+        self.column_indexes = [schema.index_of(c)
+                               for c in definition.columns]
+        self.pages = pages
+        self.file_id = file_id
+        if definition.method == "btree":
+            self.tree: Optional[BPlusTree] = BPlusTree(pages, file_id)
+            self.hash: Optional[ExtendibleHashIndex] = None
+        elif definition.method == "hash":
+            self.tree = None
+            self.hash = ExtendibleHashIndex()
+        else:
+            raise CatalogError(
+                f"unknown index method {definition.method!r}")
+
+    # -- key construction ------------------------------------------------------
+
+    def key_values(self, row: Sequence[Any]) -> tuple:
+        return tuple(row[i] for i in self.column_indexes)
+
+    def _entry_key(self, row: Sequence[Any], rid: RID) -> bytes:
+        key = encode_key(self.key_values(row))
+        if not self.definition.unique:
+            key += encode_rid(rid)
+        return key
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any], rid: RID) -> None:
+        key = self._entry_key(row, rid)
+        value = encode_rid(rid) if self.definition.unique else b""
+        index = self.tree if self.tree is not None else self.hash
+        try:
+            index.insert(key, value)
+        except DuplicateKeyError:
+            raise DuplicateKeyError(
+                f"duplicate key {self.key_values(row)!r} in unique index "
+                f"{self.definition.name!r}") from None
+
+    def delete(self, row: Sequence[Any], rid: RID) -> None:
+        key = self._entry_key(row, rid)
+        index = self.tree if self.tree is not None else self.hash
+        index.delete(key)
+
+    def would_conflict(self, row: Sequence[Any]) -> bool:
+        """True when inserting ``row`` would violate uniqueness."""
+        if not self.definition.unique:
+            return False
+        key = encode_key(self.key_values(row))
+        if self.tree is not None:
+            return self.tree.get(key) is not None
+        return self.hash.get(key) is not None
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def lookup_eq(self, values: tuple) -> list[RID]:
+        key = encode_key(values)
+        if self.definition.unique:
+            if self.tree is not None:
+                found = self.tree.get(key)
+            else:
+                found = self.hash.get(key)
+            return [decode_rid(found)] if found is not None else []
+        if self.tree is None:
+            raise CatalogError("hash indexes must be unique in this engine")
+        return [decode_rid(entry_key[len(key):])
+                for entry_key, _ in self.tree.prefix_scan(key)]
+
+    def range_scan(self, lo: Optional[tuple], hi: Optional[tuple],
+                   lo_inclusive: bool = True,
+                   hi_inclusive: bool = False) -> Iterator[RID]:
+        if self.tree is None:
+            raise CatalogError(
+                f"index {self.definition.name!r} is hash-based; "
+                f"range scans need a btree index")
+        lo_key = encode_key(lo) if lo is not None else None
+        hi_key = encode_key(hi) if hi is not None else None
+        if hi_key is not None and hi_inclusive and not self.definition.unique:
+            # Non-unique entries carry a RID suffix; extend the bound so
+            # every entry with the hi key prefix is included.
+            hi_key += b"\xff" * (_RID.size + 1)
+        for entry_key, value in self.tree.items(
+                lo=lo_key, hi=hi_key,
+                lo_inclusive=lo_inclusive, hi_inclusive=hi_inclusive):
+            if self.definition.unique:
+                yield decode_rid(value)
+            else:
+                yield decode_rid(entry_key[-_RID.size:])
+
+    def __len__(self) -> int:
+        index = self.tree if self.tree is not None else self.hash
+        return len(index)
+
+
+class Table:
+    """A logical table bound to its physical storage."""
+
+    def __init__(self, name: str, schema: Schema, heap: HeapFile) -> None:
+        self.name = name
+        self.schema = schema
+        self.heap = heap
+        self.indexes: dict[str, TableIndex] = {}
+        self.row_count = 0
+
+    # -- index management -----------------------------------------------------------
+
+    def attach_index(self, index: TableIndex,
+                     populate: bool = False) -> None:
+        if index.definition.name in self.indexes:
+            raise CatalogError(
+                f"index {index.definition.name!r} already attached")
+        if populate:
+            for rid, row in self.scan():
+                index.insert(row, rid)
+        self.indexes[index.definition.name] = index
+
+    def detach_index(self, name: str) -> TableIndex:
+        try:
+            return self.indexes.pop(name)
+        except KeyError:
+            raise CatalogError(f"no index {name!r} on {self.name}") from None
+
+    def index_on(self, columns: tuple[str, ...],
+                 require_btree: bool = False) -> Optional[TableIndex]:
+        """An index whose key is exactly ``columns`` (used by the planner)."""
+        for index in self.indexes.values():
+            if index.definition.columns == columns:
+                if require_btree and index.tree is None:
+                    continue
+                return index
+        return None
+
+    # -- mutations ----------------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> RID:
+        validated = self.schema.validate(row)
+        for index in self.indexes.values():
+            if index.would_conflict(validated):
+                raise DuplicateKeyError(
+                    f"{self.name}: duplicate key "
+                    f"{index.key_values(validated)!r} for unique index "
+                    f"{index.definition.name!r}")
+        rid = self.heap.insert(self.schema.codec.encode(validated))
+        for index in self.indexes.values():
+            index.insert(validated, rid)
+        self.row_count += 1
+        return rid
+
+    def read(self, rid: RID) -> tuple:
+        return self.schema.decode(self.heap.read(rid))
+
+    def delete(self, rid: RID) -> tuple:
+        row = self.read(rid)
+        for index in self.indexes.values():
+            index.delete(row, rid)
+        self.heap.delete(rid)
+        self.row_count -= 1
+        return row
+
+    def update(self, rid: RID, new_row: Sequence[Any]) -> RID:
+        validated = self.schema.validate(new_row)
+        old_row = self.read(rid)
+        for index in self.indexes.values():
+            if index.definition.unique and \
+                    index.key_values(validated) != index.key_values(old_row) \
+                    and index.would_conflict(validated):
+                raise DuplicateKeyError(
+                    f"{self.name}: duplicate key "
+                    f"{index.key_values(validated)!r} for unique index "
+                    f"{index.definition.name!r}")
+        for index in self.indexes.values():
+            index.delete(old_row, rid)
+        new_rid = self.heap.update(rid, self.schema.codec.encode(validated))
+        for index in self.indexes.values():
+            index.insert(validated, new_rid)
+        return new_rid
+
+    # -- reads -------------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[RID, tuple]]:
+        for rid, payload in self.heap.scan():
+            yield rid, self.schema.decode(payload)
+
+    def rows(self) -> Iterator[tuple]:
+        for _, row in self.scan():
+            yield row
+
+    def count(self) -> int:
+        return self.row_count
+
+    def properties(self) -> dict:
+        """Functional figures for the monitoring service."""
+        return {
+            "rows": self.row_count,
+            "pages": self.heap.num_pages(),
+            "indexes": sorted(self.indexes),
+            "fragmentation": self.heap.fragmentation(),
+        }

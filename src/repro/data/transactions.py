@@ -1,0 +1,241 @@
+"""Transactions: strict two-phase locking with deadlock detection.
+
+The lock manager grants shared/exclusive table locks with upgrade support
+and detects deadlocks on a wait-for graph (the youngest transaction in the
+cycle is the victim).  Transactions collect *logical undo* actions —
+inverse operations replayed on abort — which composes cleanly with the
+index-maintaining :class:`~repro.data.table.Table` mutations.
+
+Durability model: commit appends a COMMIT record to the storage-layer WAL
+(when attached) and flushes it; data pages reach disk lazily or at
+checkpoints.  Physical crash recovery is exercised at the storage layer
+(:mod:`repro.storage.wal`); the data layer's guarantee is atomicity via
+logical undo plus checkpoint durability — a deliberate, documented
+simplification (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.errors import DeadlockError, TransactionError
+from repro.storage.wal import LogKind, WriteAheadLog
+
+
+class LockMode(Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    # queue of (txn_id, mode, event) waiting for the lock
+    waiters: list[tuple[int, LockMode, threading.Event]] = \
+        field(default_factory=list)
+
+
+class LockManager:
+    """Table-granularity S/X locks, strict 2PL, wait-for-graph deadlocks.
+
+    Designed to work both single-threaded (waits fail fast as deadlocks
+    when no progress is possible) and multi-threaded (waiters block on
+    events with a timeout).
+    """
+
+    def __init__(self, timeout_s: float = 2.0) -> None:
+        self._locks: dict[str, _LockState] = {}
+        self._mutex = threading.RLock()
+        self.timeout_s = timeout_s
+        self.deadlocks_detected = 0
+
+    # -- acquisition ------------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: str, mode: LockMode) -> None:
+        with self._mutex:
+            state = self._locks.setdefault(resource, _LockState())
+            if self._grantable(state, txn_id, mode):
+                self._grant(state, txn_id, mode)
+                return
+            if self._would_deadlock(txn_id, resource):
+                self.deadlocks_detected += 1
+                raise DeadlockError(
+                    f"txn {txn_id} would deadlock waiting for "
+                    f"{mode.value} on {resource!r}")
+            event = threading.Event()
+            state.waiters.append((txn_id, mode, event))
+        if not event.wait(self.timeout_s):
+            with self._mutex:
+                state.waiters = [(t, m, e) for t, m, e in state.waiters
+                                 if e is not event]
+            raise DeadlockError(
+                f"txn {txn_id} timed out waiting for {mode.value} on "
+                f"{resource!r}")
+        # Woken: the releaser granted us the lock already.
+
+    def _grantable(self, state: _LockState, txn_id: int,
+                   mode: LockMode) -> bool:
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for t, m in
+                       state.holders.items() if t != txn_id)
+        # Exclusive (possibly an upgrade from our own shared lock):
+        return all(t == txn_id for t in state.holders)
+
+    def _grant(self, state: _LockState, txn_id: int, mode: LockMode) -> None:
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE:
+            return
+        if held is LockMode.SHARED and mode is LockMode.SHARED:
+            return
+        state.holders[txn_id] = mode
+
+    # -- release -------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        with self._mutex:
+            for state in self._locks.values():
+                if txn_id in state.holders:
+                    del state.holders[txn_id]
+                self._wake_waiters(state)
+
+    def _wake_waiters(self, state: _LockState) -> None:
+        progressed = True
+        while progressed and state.waiters:
+            progressed = False
+            for waiter in list(state.waiters):
+                txn_id, mode, event = waiter
+                if self._grantable(state, txn_id, mode):
+                    self._grant(state, txn_id, mode)
+                    state.waiters.remove(waiter)
+                    event.set()
+                    progressed = True
+
+    # -- deadlock detection -------------------------------------------------------------
+
+    def _would_deadlock(self, txn_id: int, resource: str) -> bool:
+        """DFS over the wait-for graph assuming ``txn_id`` starts waiting
+        on ``resource``'s current holders."""
+        blockers = {t for t in self._locks[resource].holders if t != txn_id}
+        seen: set[int] = set()
+        stack = list(blockers)
+        while stack:
+            current = stack.pop()
+            if current == txn_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            # Who is `current` waiting on?
+            for state in self._locks.values():
+                for waiting_txn, _, _ in state.waiters:
+                    if waiting_txn == current:
+                        stack.extend(t for t in state.holders
+                                     if t != current)
+        return False
+
+    def held(self, txn_id: int) -> dict[str, LockMode]:
+        with self._mutex:
+            return {resource: state.holders[txn_id]
+                    for resource, state in self._locks.items()
+                    if txn_id in state.holders}
+
+
+class TransactionState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work: locks + logical undo log."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
+        self.txn_id = txn_id
+        self.manager = manager
+        self.state = TransactionState.ACTIVE
+        self._undo: list[Callable[[], None]] = []
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"txn {self.txn_id} is {self.state.value}")
+
+    # -- hooks used by the executor --------------------------------------------------
+
+    def lock_shared(self, resource: str) -> None:
+        self._check_active()
+        self.manager.locks.acquire(self.txn_id, resource, LockMode.SHARED)
+
+    def lock_exclusive(self, resource: str) -> None:
+        self._check_active()
+        self.manager.locks.acquire(self.txn_id, resource,
+                                   LockMode.EXCLUSIVE)
+
+    def on_abort(self, undo: Callable[[], None]) -> None:
+        """Register the inverse of a change just made."""
+        self._check_active()
+        self._undo.append(undo)
+
+    # -- outcome ------------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check_active()
+        self.manager._commit(self)
+        self.state = TransactionState.COMMITTED
+        self._undo.clear()
+
+    def abort(self) -> None:
+        self._check_active()
+        for undo in reversed(self._undo):
+            undo()
+        self._undo.clear()
+        self.manager._abort(self)
+        self.state = TransactionState.ABORTED
+
+
+class TransactionManager:
+    """Creates transactions and owns the lock manager + WAL hookup."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 lock_timeout_s: float = 2.0) -> None:
+        self.locks = LockManager(lock_timeout_s)
+        self.wal = wal
+        self._ids = itertools.count(1)
+        self.active: dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        txn = Transaction(next(self._ids), self)
+        self.active[txn.txn_id] = txn
+        if self.wal is not None:
+            self.wal.append(txn.txn_id, LogKind.BEGIN)
+        return txn
+
+    def _commit(self, txn: Transaction) -> None:
+        if self.wal is not None:
+            self.wal.append(txn.txn_id, LogKind.COMMIT)
+            self.wal.flush()
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)
+        self.committed += 1
+
+    def _abort(self, txn: Transaction) -> None:
+        if self.wal is not None:
+            self.wal.append(txn.txn_id, LogKind.ABORT)
+            self.wal.flush()
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)
+        self.aborted += 1
+
+    def stats(self) -> dict:
+        return {"active": len(self.active), "committed": self.committed,
+                "aborted": self.aborted,
+                "deadlocks": self.locks.deadlocks_detected}

@@ -1,0 +1,35 @@
+"""Simulated distribution substrate: devices, network, gossip, placement.
+
+The Discussion section's distributed scenarios (§4) run on this package:
+latency-aware composition, P2P registry updates, and workload redirection
+off low-resource devices — all deterministic simulations (see the
+substitution table in DESIGN.md).
+"""
+
+from repro.distribution.network import NetworkStats, SimNetwork
+from repro.distribution.node import BatteryModel, Device
+from repro.distribution.p2p import GossipCluster, GossipPeer, RegistryEntry
+from repro.distribution.placement import (
+    LatencyAwarePlacer,
+    PlacementDecision,
+    StaticPlacer,
+)
+from repro.distribution.redirection import (
+    RedirectionStats,
+    WorkloadRedirector,
+)
+
+__all__ = [
+    "NetworkStats",
+    "SimNetwork",
+    "BatteryModel",
+    "Device",
+    "GossipCluster",
+    "GossipPeer",
+    "RegistryEntry",
+    "LatencyAwarePlacer",
+    "PlacementDecision",
+    "StaticPlacer",
+    "RedirectionStats",
+    "WorkloadRedirector",
+]

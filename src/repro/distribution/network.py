@@ -1,0 +1,78 @@
+"""Simulated network for the distribution experiments (§4).
+
+A latency matrix between named nodes, with optional partitions and seeded
+message loss.  Deterministic: "sending" charges simulated time and counts
+messages; nothing actually crosses a socket (the substitution table in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NetworkError
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes_sent: int = 0
+    dropped: int = 0
+    time_charged: float = 0.0
+
+
+class SimNetwork:
+    """Pairwise latencies + partitions + loss."""
+
+    def __init__(self, default_latency_s: float = 0.010,
+                 loss_rate: float = 0.0, seed: int = 7) -> None:
+        self.default_latency_s = default_latency_s
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._latency: dict[tuple[str, str], float] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self.stats = NetworkStats()
+
+    # -- topology ---------------------------------------------------------------
+
+    def set_latency(self, a: str, b: str, latency_s: float) -> None:
+        self._latency[(a, b)] = latency_s
+        self._latency[(b, a)] = latency_s
+
+    def latency(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        return self._latency.get((a, b), self.default_latency_s)
+
+    def partition(self, a: str, b: str) -> None:
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def reachable(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) not in self._partitioned
+
+    # -- transfer ------------------------------------------------------------------
+
+    def send(self, source: str, target: str, payload_bytes: int = 0) -> float:
+        """Charge one message; returns the latency it cost.
+
+        Raises :class:`NetworkError` on partition or (seeded) loss.
+        """
+        if not self.reachable(source, target):
+            self.stats.dropped += 1
+            raise NetworkError(f"partition between {source} and {target}")
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            raise NetworkError(f"message {source}->{target} lost")
+        cost = self.latency(source, target) + payload_bytes * 1e-9
+        self.stats.messages += 1
+        self.stats.bytes_sent += payload_bytes
+        self.stats.time_charged += cost
+        return cost

@@ -1,0 +1,125 @@
+"""Simulated devices hosting services (§4: mobile and embedded devices).
+
+A :class:`Device` models the resource side of the Discussion section:
+CPU load, memory, and a battery that drains with work.  Devices "contain
+services that enable the architecture to monitor service activity and
+functional parameters"; here each device carries its own resource manager
+and raises ``device.low_resource`` events — the trigger for workload
+redirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import EventBus
+from repro.core.resource import ResourceManager, ResourcePool
+from repro.core.service import Service
+from repro.errors import NodeError
+
+
+@dataclass
+class BatteryModel:
+    """Linear battery: each unit of work drains ``drain_per_op``."""
+
+    capacity: float = 100.0
+    level: float = 100.0
+    drain_per_op: float = 0.01
+
+    def drain(self, operations: int = 1) -> None:
+        self.level = max(0.0, self.level - operations * self.drain_per_op)
+
+    @property
+    def fraction(self) -> float:
+        return self.level / self.capacity if self.capacity else 0.0
+
+
+class Device:
+    """A node: resources + battery + hosted services."""
+
+    def __init__(self, name: str, cpu: float = 100.0,
+                 memory_kb: float = 65_536.0,
+                 battery: Optional[BatteryModel] = None,
+                 events: Optional[EventBus] = None,
+                 low_battery_threshold: float = 0.2,
+                 high_load_threshold: float = 0.9) -> None:
+        self.name = name
+        self.events = events or EventBus()
+        self.resources = ResourceManager(
+            ResourcePool({"cpu": cpu, "memory_kb": memory_kb}),
+            self.events)
+        self.battery = battery or BatteryModel()
+        self.low_battery_threshold = low_battery_threshold
+        self.high_load_threshold = high_load_threshold
+        self.services: dict[str, Service] = {}
+        self.operations_served = 0
+        self._alerted = False
+        self.online = True
+
+    # -- hosting -----------------------------------------------------------------
+
+    def host(self, service: Service) -> None:
+        if service.name in self.services:
+            raise NodeError(f"{self.name} already hosts {service.name!r}")
+        self.services[service.name] = service
+        service.set_property("device", self.name)
+
+    def evict(self, service_name: str) -> Service:
+        try:
+            service = self.services.pop(service_name)
+        except KeyError:
+            raise NodeError(
+                f"{self.name} does not host {service_name!r}") from None
+        service.set_property("device", None)
+        return service
+
+    # -- work --------------------------------------------------------------------------
+
+    def serve(self, operations: int = 1, cpu_per_op: float = 0.1) -> None:
+        """Account for ``operations`` units of served work."""
+        if not self.online:
+            raise NodeError(f"{self.name} is offline")
+        self.operations_served += operations
+        self.battery.drain(operations)
+        # Transient CPU usage: spike then release.
+        load = min(operations * cpu_per_op,
+                   self.resources.pool.capacity["cpu"])
+        self.resources.pool.used["cpu"] = load
+        self._check_alerts()
+
+    def _check_alerts(self) -> None:
+        pressured = self.under_pressure
+        if pressured and not self._alerted:
+            self._alerted = True
+            self.events.publish(
+                "device.low_resource",
+                {"device": self.name,
+                 "battery": self.battery.fraction,
+                 "cpu_load": self.resources.pool.utilisation("cpu")},
+                source=self.name)
+        elif not pressured:
+            self._alerted = False
+
+    @property
+    def under_pressure(self) -> bool:
+        """Low battery OR high computation load (§4's two alert causes)."""
+        return (self.battery.fraction <= self.low_battery_threshold
+                or self.resources.pool.utilisation("cpu")
+                >= self.high_load_threshold)
+
+    def go_offline(self) -> None:
+        self.online = False
+        for service in self.services.values():
+            service.fail()
+
+    def status(self) -> dict:
+        return {
+            "device": self.name,
+            "online": self.online,
+            "battery": round(self.battery.fraction, 4),
+            "cpu_load": self.resources.pool.utilisation("cpu"),
+            "services": sorted(self.services),
+            "operations_served": self.operations_served,
+            "under_pressure": self.under_pressure,
+        }

@@ -1,0 +1,109 @@
+"""Workload redirection off low-resource devices (§4).
+
+"In case of a low resource alert, which can be caused by low battery
+capacity or high computation load, our SBDMS architecture can direct the
+workload to other devices to maintain the system operational."
+
+The redirector subscribes to ``device.low_resource`` events, keeps a live
+set of pressured devices, and routes each request to the best healthy
+host.  Experiment E3 measures continuity (no failed requests) and how
+much load moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.events import EventBus
+from repro.distribution.network import SimNetwork
+from repro.distribution.node import Device
+from repro.errors import ServiceNotFoundError
+
+
+@dataclass
+class RedirectionStats:
+    requests: int = 0
+    redirected: int = 0
+    failed: int = 0
+    per_device: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def continuity(self) -> float:
+        if self.requests == 0:
+            return 1.0
+        return (self.requests - self.failed) / self.requests
+
+
+class WorkloadRedirector:
+    """Routes operations away from pressured devices."""
+
+    def __init__(self, devices: Sequence[Device],
+                 network: Optional[SimNetwork] = None,
+                 events: Optional[EventBus] = None) -> None:
+        self.devices = {d.name: d for d in devices}
+        self.network = network or SimNetwork()
+        self.pressured: set[str] = set()
+        self.stats = RedirectionStats()
+        self.events = events
+        for device in devices:
+            device.events.subscribe("device.low_resource", self._on_alert)
+
+    def _on_alert(self, event) -> None:
+        self.pressured.add(event.payload["device"])
+        if self.events is not None:
+            self.events.publish("redirector.device_pressured",
+                                dict(event.payload), source="redirector")
+
+    def refresh_pressure(self) -> None:
+        """Re-evaluate (devices recover when charged / load drops)."""
+        self.pressured = {name for name, device in self.devices.items()
+                          if device.under_pressure or not device.online}
+
+    def preferred_host(self, interface: str,
+                       client: Optional[str] = None) -> Device:
+        candidates = []
+        for device in self.devices.values():
+            if not device.online:
+                continue
+            if not any(s.available and s.contract.provides(interface)
+                       for s in device.services.values()):
+                continue
+            candidates.append(device)
+        if not candidates:
+            raise ServiceNotFoundError(f"no host provides {interface!r}")
+        healthy = [d for d in candidates if d.name not in self.pressured]
+        pool = healthy or candidates  # degraded beats dead
+        if client is not None:
+            return min(pool, key=lambda d: self.network.latency(
+                client, d.name))
+        # Least-loaded healthy device.
+        return min(pool, key=lambda d: d.operations_served)
+
+    def route(self, interface: str, operation: str,
+              client: Optional[str] = None,
+              primary: Optional[str] = None, **args):
+        """Execute one operation on the best host; counts redirections
+        away from ``primary`` (the device that would naively serve it)."""
+        self.refresh_pressure()
+        self.stats.requests += 1
+        try:
+            host = self.preferred_host(interface, client)
+        except ServiceNotFoundError:
+            self.stats.failed += 1
+            raise
+        if primary is not None and host.name != primary:
+            self.stats.redirected += 1
+        self.stats.per_device[host.name] = \
+            self.stats.per_device.get(host.name, 0) + 1
+        service = next(s for s in host.services.values()
+                       if s.available and s.contract.provides(interface))
+        if client is not None:
+            self.network.send(client, host.name)
+        try:
+            result = service.invoke(operation, **args)
+        except Exception:
+            self.stats.failed += 1
+            raise
+        host.serve()
+        return result

@@ -1,0 +1,228 @@
+"""Exception hierarchy for the SBDMS reproduction.
+
+Every error raised by the library derives from :class:`SBDMSError` so that
+callers can catch library failures with a single ``except`` clause.  The
+sub-hierarchies mirror the architectural layers of the paper: storage,
+access, data, the SOA kernel, SCA assembly, and the distribution substrate.
+"""
+
+from __future__ import annotations
+
+
+class SBDMSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(SBDMSError):
+    """Base class for storage-layer failures."""
+
+
+class DiskError(StorageError):
+    """A simulated block device failed (bad block, out of range, closed)."""
+
+
+class DiskFullError(DiskError):
+    """The block device has no capacity left for an allocation."""
+
+
+class ChecksumError(DiskError):
+    """A page failed checksum verification on read."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse or exhaustion."""
+
+
+class PageNotPinnedError(BufferPoolError):
+    """An unpin was attempted for a page that is not pinned."""
+
+
+class BufferPoolFullError(BufferPoolError):
+    """All frames are pinned; no victim page can be evicted."""
+
+
+class FileManagerError(StorageError):
+    """A database file operation failed (unknown file, duplicate name)."""
+
+
+class WALError(StorageError):
+    """Write-ahead log corruption or protocol violation."""
+
+
+# ---------------------------------------------------------------------------
+# Access layer
+# ---------------------------------------------------------------------------
+
+
+class AccessError(SBDMSError):
+    """Base class for access-layer failures."""
+
+
+class RecordCodecError(AccessError):
+    """A record could not be encoded or decoded against its schema."""
+
+
+class PageLayoutError(AccessError):
+    """Slotted-page structural violation (bad slot, overflow)."""
+
+
+class IndexError_(AccessError):
+    """Index structural failure (duplicate key where unique, missing key)."""
+
+
+class DuplicateKeyError(IndexError_):
+    """Insertion of a key that already exists in a unique index."""
+
+
+class KeyNotFoundError(IndexError_):
+    """Lookup or deletion of a key that is absent."""
+
+
+# ---------------------------------------------------------------------------
+# Data layer
+# ---------------------------------------------------------------------------
+
+
+class DataError(SBDMSError):
+    """Base class for logical data-layer failures."""
+
+
+class CatalogError(DataError):
+    """Catalog inconsistency (unknown or duplicate table/index/view)."""
+
+
+class SchemaError(DataError):
+    """Schema violation (unknown column, arity or type mismatch)."""
+
+
+class SQLError(DataError):
+    """Base class for SQL front-end failures."""
+
+
+class SQLSyntaxError(SQLError):
+    """The statement could not be tokenized or parsed."""
+
+
+class SQLPlanError(SQLError):
+    """The statement parsed but could not be planned (unknown names, types)."""
+
+
+class TransactionError(DataError):
+    """Transaction protocol violation (use after commit, deadlock, ...)."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within its timeout."""
+
+
+# ---------------------------------------------------------------------------
+# SOA kernel
+# ---------------------------------------------------------------------------
+
+
+class KernelError(SBDMSError):
+    """Base class for SOA-kernel failures."""
+
+
+class ServiceError(KernelError):
+    """A service failed while executing an operation."""
+
+
+class ServiceStateError(KernelError):
+    """An operation was attempted in an illegal lifecycle state."""
+
+
+class ServiceNotFoundError(KernelError):
+    """Registry lookup failed to locate a matching service."""
+
+
+class ContractViolationError(KernelError):
+    """A call or composition violates a service contract or policy."""
+
+
+class IncompatibleInterfaceError(KernelError):
+    """Two interfaces cannot be wired together, even through adaptation."""
+
+
+class AdaptationError(KernelError):
+    """No adaptor could be generated to mediate between two contracts."""
+
+
+class CompositionError(KernelError):
+    """Workflow composition failed (no viable workflow, cycle, ...)."""
+
+
+class ResourceExhaustedError(KernelError):
+    """A resource pool cannot satisfy an allocation request."""
+
+
+# ---------------------------------------------------------------------------
+# SCA assembly
+# ---------------------------------------------------------------------------
+
+
+class SCAError(SBDMSError):
+    """Base class for SCA component-model failures."""
+
+
+class WiringError(SCAError):
+    """A reference could not be wired to a matching service."""
+
+
+class AssemblyError(SCAError):
+    """An assembly descriptor is malformed or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Extensions
+# ---------------------------------------------------------------------------
+
+
+class ExtensionError(SBDMSError):
+    """Base class for extension-service failures."""
+
+
+class XMLParseError(ExtensionError):
+    """The XML subset parser rejected a document."""
+
+
+class XPathError(ExtensionError):
+    """A path query is malformed or unsupported."""
+
+
+class StreamError(ExtensionError):
+    """Stream-service misuse (unknown stream, bad window spec)."""
+
+
+class ProcedureError(ExtensionError):
+    """Stored-procedure registration or invocation failure."""
+
+
+class ReplicationError(ExtensionError):
+    """Replication protocol failure (diverged replica, unknown peer)."""
+
+
+# ---------------------------------------------------------------------------
+# Distribution substrate
+# ---------------------------------------------------------------------------
+
+
+class DistributionError(SBDMSError):
+    """Base class for simulated-distribution failures."""
+
+
+class NetworkError(DistributionError):
+    """A simulated message could not be delivered (partition, loss)."""
+
+
+class NodeError(DistributionError):
+    """Device failure or resource exhaustion on a simulated node."""

@@ -1,0 +1,25 @@
+"""Extension services layer: XML, streaming, procedures, replication.
+
+"Extension Services allow users to design tailored extensions to manage
+different data types, such as XML files or streaming data, or integrate
+their own application specific services" (§3.1; the Figure 2 legend also
+names procedures, queries, and replication).
+"""
+
+from repro.extensions.procedures import ProcedureService
+from repro.extensions.replication import ReplicationService
+from repro.extensions.streaming import StreamService
+from repro.extensions.xml.model import XMLNode, escape, parse_xml
+from repro.extensions.xml.paths import xpath
+from repro.extensions.xml.service import XMLService
+
+__all__ = [
+    "ProcedureService",
+    "ReplicationService",
+    "StreamService",
+    "XMLNode",
+    "escape",
+    "parse_xml",
+    "xpath",
+    "XMLService",
+]

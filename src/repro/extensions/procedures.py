@@ -1,0 +1,100 @@
+"""Stored procedure extension service.
+
+The integration path for "existing application functionality" (§1): users
+register plain Python callables under a name; the service wraps them with
+a contract and runs them with a database handle.  Procedures compose with
+transactions — a failing procedure rolls its statements back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    op,
+)
+from repro.core.service import Service
+from repro.data.database import Database
+from repro.errors import ProcedureError
+
+PROCEDURE_INTERFACE = Interface("Procedures", (
+    op("register", "name:str", "callable:any", returns="any"),
+    op("call", "name:str", "args:any", returns="any"),
+    op("drop", "name:str", returns="any"),
+    op("list_procedures", returns="list"),
+))
+
+
+@dataclass
+class _Procedure:
+    fn: Callable
+    transactional: bool
+    calls: int = 0
+
+
+class ProcedureService(Service):
+    """Registered Python callables exposed as database procedures.
+
+    Procedures receive ``(db, *args)``; with ``transactional=True`` (the
+    default) they run inside a transaction that is rolled back if they
+    raise.
+    """
+
+    layer = "extension"
+
+    def __init__(self, database: Database,
+                 name: str = "procedures") -> None:
+        super().__init__(name, ServiceContract(
+            name, (PROCEDURE_INTERFACE,),
+            description="server-side procedures over the SQL engine",
+            quality=QualityDescription(latency_ms=0.2, footprint_kb=64.0),
+            tags=frozenset({"extension", "procedures"})))
+        self.database = database
+        self._procedures: dict[str, _Procedure] = {}
+
+    def register(self, name: str, fn: Callable,
+                 transactional: bool = True) -> None:
+        """Python-level registration (keyword-rich, so not forced through
+        the narrow op_ signature)."""
+        if name in self._procedures:
+            raise ProcedureError(f"procedure {name!r} already registered")
+        if not callable(fn):
+            raise ProcedureError(f"procedure {name!r} is not callable")
+        self._procedures[name] = _Procedure(fn, transactional)
+
+    # -- operations -----------------------------------------------------------------
+
+    def op_register(self, name: str, callable: Any) -> None:  # noqa: A002
+        self.register(name, callable)
+
+    def op_call(self, name: str, args: Any = ()) -> Any:
+        procedure = self._procedures.get(name)
+        if procedure is None:
+            raise ProcedureError(f"no procedure {name!r}")
+        procedure.calls += 1
+        arguments = tuple(args or ())
+        if not procedure.transactional or self.database.in_transaction:
+            return procedure.fn(self.database, *arguments)
+        self.database.execute("BEGIN")
+        try:
+            result = procedure.fn(self.database, *arguments)
+        except Exception:
+            self.database.execute("ROLLBACK")
+            raise
+        self.database.execute("COMMIT")
+        return result
+
+    def op_drop(self, name: str) -> None:
+        if name not in self._procedures:
+            raise ProcedureError(f"no procedure {name!r}")
+        del self._procedures[name]
+
+    def op_list_procedures(self) -> list:
+        return sorted(self._procedures)
+
+    def stats(self) -> dict:
+        return {name: p.calls for name, p in self._procedures.items()}

@@ -1,0 +1,151 @@
+"""Replication extension service: primary/replica statement shipping.
+
+Logical (statement-based) replication: every mutating statement executed
+through the service is appended to a replication log and shipped to
+replicas either synchronously or on demand (``sync_replicas``).  Replicas
+are full :class:`~repro.data.database.Database` instances, so a promoted
+replica is immediately a working primary — the storage-service failover
+story of §4 one layer up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    op,
+)
+from repro.core.service import Service
+from repro.data.database import Database
+from repro.errors import ReplicationError
+
+REPLICATION_INTERFACE = Interface("Replication", (
+    op("execute", "statement:str", "params:any", returns="any",
+       semantics="run on the primary and replicate"),
+    op("add_replica", "name:str", returns="any"),
+    op("remove_replica", "name:str", returns="any"),
+    op("sync_replicas", returns="dict",
+       semantics="ship pending statements to lagging replicas"),
+    op("replica_lag", returns="dict"),
+    op("promote", "name:str", returns="any",
+       semantics="make a replica the new primary"),
+    op("status", returns="dict"),
+))
+
+
+@dataclass
+class _Replica:
+    database: Database
+    applied: int = 0          # replication-log position
+    synchronous: bool = True
+
+
+class ReplicationService(Service):
+    """Statement-shipping replication around a primary database."""
+
+    layer = "extension"
+
+    def __init__(self, primary: Database,
+                 name: str = "replication") -> None:
+        super().__init__(name, ServiceContract(
+            name, (REPLICATION_INTERFACE,),
+            description="primary/replica statement-based replication",
+            quality=QualityDescription(latency_ms=0.5, footprint_kb=128.0),
+            tags=frozenset({"extension", "replication"})))
+        self.primary = primary
+        self.log: list[tuple[str, tuple]] = []
+        self.replicas: dict[str, _Replica] = {}
+
+    # -- replica management -------------------------------------------------------
+
+    def add_replica(self, name: str, database: Optional[Database] = None,
+                    synchronous: bool = True) -> Database:
+        if name in self.replicas:
+            raise ReplicationError(f"replica {name!r} already attached")
+        replica_db = database or Database()
+        replica = _Replica(replica_db, applied=0, synchronous=synchronous)
+        # Catch up on history so far.
+        self._apply_log(replica)
+        self.replicas[name] = replica
+        return replica_db
+
+    def op_add_replica(self, name: str) -> None:
+        self.add_replica(name)
+
+    def op_remove_replica(self, name: str) -> None:
+        if name not in self.replicas:
+            raise ReplicationError(f"no replica {name!r}")
+        del self.replicas[name]
+
+    # -- execution -------------------------------------------------------------------
+
+    _MUTATING = ("INSERT", "UPDATE", "DELETE", "CREATE", "DROP")
+
+    def op_execute(self, statement: str, params: Any = ()) -> Any:
+        params = tuple(params or ())
+        result = self.primary.execute(statement, params)
+        if statement.lstrip().split(None, 1)[0].upper() in self._MUTATING:
+            self.log.append((statement, params))
+            for replica in self.replicas.values():
+                if replica.synchronous:
+                    self._apply_log(replica)
+        if hasattr(result, "rows"):
+            return {"columns": result.columns, "rows": result.rows}
+        return {"operation": result.operation, "affected": result.affected}
+
+    def _apply_log(self, replica: _Replica) -> int:
+        applied = 0
+        while replica.applied < len(self.log):
+            statement, params = self.log[replica.applied]
+            replica.database.execute(statement, params)
+            replica.applied += 1
+            applied += 1
+        return applied
+
+    def op_sync_replicas(self) -> dict:
+        return {name: self._apply_log(replica)
+                for name, replica in self.replicas.items()}
+
+    # -- failover ----------------------------------------------------------------------
+
+    def op_replica_lag(self) -> dict:
+        return {name: len(self.log) - replica.applied
+                for name, replica in self.replicas.items()}
+
+    def op_promote(self, name: str) -> None:
+        """Replica becomes primary; the old primary is discarded (§3.7:
+        alternate services complete the original tasks)."""
+        replica = self.replicas.get(name)
+        if replica is None:
+            raise ReplicationError(f"no replica {name!r}")
+        self._apply_log(replica)  # catch up first
+        self.primary = replica.database
+        del self.replicas[name]
+        # Remaining replicas keep their log positions: the log is shared.
+
+    def op_status(self) -> dict:
+        return {
+            "log_length": len(self.log),
+            "replicas": {
+                name: {"applied": r.applied, "synchronous": r.synchronous,
+                       "lag": len(self.log) - r.applied}
+                for name, r in self.replicas.items()},
+        }
+
+    def divergence_check(self, table: str) -> dict:
+        """Compare a table's contents across primary and replicas (test
+        helper; honest replication needs verification)."""
+        reference = sorted(self.primary.catalog.table(table).rows())
+        report = {}
+        for name, replica in self.replicas.items():
+            try:
+                rows = sorted(replica.database.catalog.table(table).rows())
+                report[name] = "consistent" if rows == reference \
+                    else "diverged"
+            except Exception:  # noqa: BLE001
+                report[name] = "missing"
+        return report

@@ -1,0 +1,202 @@
+"""Streaming data extension service.
+
+"Extension Services allow users to design tailored extensions to manage
+different data types, such as XML files or streaming data."  This service
+manages named streams with tumbling and sliding windows, continuous
+aggregates, and stream-to-table joins against the host database.
+
+Time is logical (event sequence numbers) unless events carry an explicit
+``ts`` field — deterministic for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    op,
+)
+from repro.core.service import Service
+from repro.errors import StreamError
+
+STREAM_INTERFACE = Interface("Stream", (
+    op("define_stream", "name:str", "columns:any", returns="any"),
+    op("push", "stream:str", "event:any", returns="int",
+       semantics="append one event; returns its sequence number"),
+    op("window", "stream:str", "size:int", "kind:str", returns="list",
+       semantics="current tumbling/sliding window contents"),
+    op("aggregate", "stream:str", "size:int", "function:str",
+       "column:str", returns="any",
+       semantics="aggregate over the latest window"),
+    op("register_continuous", "name:str", "stream:str", "size:int",
+       "function:str", "column:str", returns="any"),
+    op("continuous_results", "name:str", returns="list"),
+    op("stats", returns="dict"),
+))
+
+
+@dataclass
+class _Stream:
+    columns: list[str]
+    events: deque = field(default_factory=deque)
+    sequence: int = 0
+    max_retained: int = 10_000
+
+
+@dataclass
+class _ContinuousQuery:
+    stream: str
+    size: int
+    function: str
+    column: str
+    results: list = field(default_factory=list)
+    _pending: list = field(default_factory=list)
+
+
+_AGGREGATES: dict[str, Callable[[list], Any]] = {
+    "count": len,
+    "sum": sum,
+    "avg": lambda xs: sum(xs) / len(xs) if xs else None,
+    "min": lambda xs: min(xs) if xs else None,
+    "max": lambda xs: max(xs) if xs else None,
+}
+
+
+class StreamService(Service):
+    """Window-based stream processing."""
+
+    layer = "extension"
+
+    def __init__(self, name: str = "streaming") -> None:
+        super().__init__(name, ServiceContract(
+            name, (STREAM_INTERFACE,),
+            description="windows and continuous aggregates over streams",
+            quality=QualityDescription(latency_ms=0.05, footprint_kb=128.0),
+            tags=frozenset({"extension", "streaming"})))
+        self._streams: dict[str, _Stream] = {}
+        self._continuous: dict[str, _ContinuousQuery] = {}
+
+    # -- stream management -------------------------------------------------------
+
+    def op_define_stream(self, name: str, columns: Any) -> None:
+        if name in self._streams:
+            raise StreamError(f"stream {name!r} already defined")
+        self._streams[name] = _Stream(list(columns))
+
+    def _stream(self, name: str) -> _Stream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise StreamError(f"no stream {name!r}") from None
+
+    def op_push(self, stream: str, event: Any) -> int:
+        target = self._stream(stream)
+        row = tuple(event)
+        if len(row) != len(target.columns):
+            raise StreamError(
+                f"event arity {len(row)} != stream arity "
+                f"{len(target.columns)}")
+        target.sequence += 1
+        target.events.append((target.sequence, row))
+        if len(target.events) > target.max_retained:
+            target.events.popleft()
+        self._feed_continuous(stream, row)
+        return target.sequence
+
+    # -- windows --------------------------------------------------------------------
+
+    def op_window(self, stream: str, size: int,
+                  kind: str = "sliding") -> list:
+        target = self._stream(stream)
+        if size <= 0:
+            raise StreamError("window size must be positive")
+        events = list(target.events)
+        if kind == "sliding":
+            return [row for _, row in events[-size:]]
+        if kind == "tumbling":
+            # The last *complete* tumbling window.
+            complete = (len(events) // size) * size
+            if complete == 0:
+                return []
+            return [row for _, row in events[complete - size:complete]]
+        raise StreamError(f"unknown window kind {kind!r}")
+
+    def op_aggregate(self, stream: str, size: int, function: str,
+                     column: str) -> Any:
+        target = self._stream(stream)
+        if function not in _AGGREGATES:
+            raise StreamError(f"unknown aggregate {function!r}")
+        try:
+            position = target.columns.index(column)
+        except ValueError:
+            raise StreamError(
+                f"stream {stream!r} has no column {column!r}") from None
+        window = self.op_window(stream, size, "sliding")
+        values = [row[position] for row in window
+                  if row[position] is not None]
+        return _AGGREGATES[function](values)
+
+    # -- continuous queries -------------------------------------------------------------
+
+    def op_register_continuous(self, name: str, stream: str, size: int,
+                               function: str, column: str) -> None:
+        if name in self._continuous:
+            raise StreamError(f"continuous query {name!r} already exists")
+        target = self._stream(stream)
+        if function not in _AGGREGATES:
+            raise StreamError(f"unknown aggregate {function!r}")
+        if column not in target.columns:
+            raise StreamError(
+                f"stream {stream!r} has no column {column!r}")
+        self._continuous[name] = _ContinuousQuery(stream, size, function,
+                                                  column)
+
+    def op_continuous_results(self, name: str) -> list:
+        try:
+            return list(self._continuous[name].results)
+        except KeyError:
+            raise StreamError(f"no continuous query {name!r}") from None
+
+    def _feed_continuous(self, stream: str, row: tuple) -> None:
+        target = self._streams[stream]
+        for query in self._continuous.values():
+            if query.stream != stream:
+                continue
+            position = target.columns.index(query.column)
+            query._pending.append(row[position])
+            if len(query._pending) >= query.size:
+                values = [v for v in query._pending if v is not None]
+                query.results.append(_AGGREGATES[query.function](values))
+                query._pending.clear()
+
+    # -- joins & monitoring ------------------------------------------------------------
+
+    def stream_table_join(self, stream: str, size: int, key_column: str,
+                          table_rows: list[tuple],
+                          table_key: int) -> list[tuple]:
+        """Join the latest window against a materialised table (used by the
+        streaming example; plain method because tables aren't
+        JSON-marshallable through every binding)."""
+        target = self._stream(stream)
+        position = target.columns.index(key_column)
+        lookup: dict[Any, list[tuple]] = {}
+        for row in table_rows:
+            lookup.setdefault(row[table_key], []).append(row)
+        out: list[tuple] = []
+        for event in self.op_window(stream, size, "sliding"):
+            for match in lookup.get(event[position], []):
+                out.append(event + match)
+        return out
+
+    def op_stats(self) -> dict:
+        return {
+            "streams": {name: {"events": len(s.events),
+                               "sequence": s.sequence}
+                        for name, s in self._streams.items()},
+            "continuous_queries": sorted(self._continuous),
+        }

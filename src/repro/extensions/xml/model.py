@@ -1,0 +1,203 @@
+"""Minimal XML document model and parser.
+
+The Extension Services layer names XML first among "tailored extensions to
+manage different data types".  This is a small but real XML subset:
+elements, attributes, text, self-closing tags, entity escapes, and
+comments.  No namespaces, processing instructions, or DTDs — documented
+out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import XMLParseError
+
+_ENTITIES = {"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": '"',
+             "&apos;": "'"}
+
+
+def _unescape(text: str) -> str:
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text
+
+
+def escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+@dataclass
+class XMLNode:
+    """One element: tag, attributes, text content, children."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    text: str = ""
+    children: list["XMLNode"] = field(default_factory=list)
+    parent: Optional["XMLNode"] = None
+
+    def append(self, child: "XMLNode") -> "XMLNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- traversal -------------------------------------------------------------
+
+    def descendants(self) -> Iterator["XMLNode"]:
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def find_all(self, tag: str) -> list["XMLNode"]:
+        return [node for node in self.descendants() if node.tag == tag]
+
+    def child_elements(self, tag: Optional[str] = None) -> list["XMLNode"]:
+        return [c for c in self.children if tag is None or c.tag == tag]
+
+    def path(self) -> str:
+        parts = []
+        node: Optional[XMLNode] = self
+        while node is not None:
+            parts.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_xml(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(f' {k}="{escape(v)}"'
+                        for k, v in self.attributes.items())
+        if not self.children and not self.text:
+            return f"{pad}<{self.tag}{attrs}/>"
+        if not self.children:
+            return (f"{pad}<{self.tag}{attrs}>{escape(self.text)}"
+                    f"</{self.tag}>")
+        inner = "\n".join(c.to_xml(indent + 1) for c in self.children)
+        text = escape(self.text) if self.text else ""
+        return f"{pad}<{self.tag}{attrs}>{text}\n{inner}\n{pad}</{self.tag}>"
+
+
+def parse_xml(text: str) -> XMLNode:
+    """Parse one XML document; returns the root element."""
+    parser = _Parser(text)
+    root = parser.parse()
+    return root
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> XMLNode:
+        self._skip_prolog()
+        root = self._element()
+        self._skip_whitespace_and_comments()
+        if self.pos < len(self.text):
+            raise XMLParseError(
+                f"trailing content after root element at {self.pos}")
+        return root
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace_and_comments()
+        if self.text.startswith("<?xml", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end == -1:
+                raise XMLParseError("unterminated XML declaration")
+            self.pos = end + 2
+        self._skip_whitespace_and_comments()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            if self.text[self.pos].isspace():
+                self.pos += 1
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise XMLParseError("unterminated comment")
+                self.pos = end + 3
+            else:
+                return
+
+    def _element(self) -> XMLNode:
+        if self.pos >= len(self.text) or self.text[self.pos] != "<":
+            raise XMLParseError(f"expected element at {self.pos}")
+        self.pos += 1
+        tag = self._name()
+        node = XMLNode(tag)
+        self._attributes(node)
+        if self.text.startswith("/>", self.pos):
+            self.pos += 2
+            return node
+        if self.text[self.pos:self.pos + 1] != ">":
+            raise XMLParseError(f"malformed start tag {tag!r}")
+        self.pos += 1
+        self._content(node)
+        return node
+
+    def _name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_-.:"):
+            self.pos += 1
+        if start == self.pos:
+            raise XMLParseError(f"expected name at {start}")
+        return self.text[start:self.pos]
+
+    def _attributes(self, node: XMLNode) -> None:
+        while True:
+            while self.pos < len(self.text) and \
+                    self.text[self.pos].isspace():
+                self.pos += 1
+            if self.pos >= len(self.text) or \
+                    self.text[self.pos] in ("/", ">"):
+                return
+            name = self._name()
+            if self.text[self.pos:self.pos + 1] != "=":
+                raise XMLParseError(f"attribute {name!r} missing '='")
+            self.pos += 1
+            quote = self.text[self.pos:self.pos + 1]
+            if quote not in ("'", '"'):
+                raise XMLParseError(f"attribute {name!r} value not quoted")
+            end = self.text.find(quote, self.pos + 1)
+            if end == -1:
+                raise XMLParseError(f"unterminated attribute {name!r}")
+            node.attributes[name] = _unescape(self.text[self.pos + 1:end])
+            self.pos = end + 1
+
+    def _content(self, node: XMLNode) -> None:
+        text_parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise XMLParseError(f"unclosed element <{node.tag}>")
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise XMLParseError("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.text.startswith("</", self.pos):
+                self.pos += 2
+                closing = self._name()
+                if closing != node.tag:
+                    raise XMLParseError(
+                        f"mismatched closing tag </{closing}> for "
+                        f"<{node.tag}>")
+                if self.text[self.pos:self.pos + 1] != ">":
+                    raise XMLParseError("malformed closing tag")
+                self.pos += 1
+                node.text = "".join(text_parts).strip()
+                return
+            if self.text[self.pos] == "<":
+                node.append(self._element())
+                continue
+            next_tag = self.text.find("<", self.pos)
+            if next_tag == -1:
+                raise XMLParseError(f"unclosed element <{node.tag}>")
+            text_parts.append(_unescape(self.text[self.pos:next_tag]))
+            self.pos = next_tag

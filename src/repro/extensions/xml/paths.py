@@ -1,0 +1,149 @@
+"""XPath-like path queries over the XML model.
+
+Supported syntax (a practical subset):
+
+- ``/a/b/c``        — absolute child steps
+- ``//tag``         — descendant-or-self at any position
+- ``*``             — any element
+- ``[@attr]``       — has attribute
+- ``[@attr='v']``   — attribute equals
+- ``[tag]``         — has a child element
+- ``[n]``           — positional (1-based)
+- trailing ``/text()`` or ``/@attr`` — extract strings instead of nodes
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import XPathError
+from repro.extensions.xml.model import XMLNode
+
+_STEP_RE = re.compile(
+    r"^(?P<name>[\w.\-:]+|\*)(?P<predicates>(\[[^\]]*\])*)$")
+_PRED_RE = re.compile(r"\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class _Step:
+    name: str                       # tag or "*"
+    descendant: bool                # came after //
+    predicates: tuple[str, ...]
+
+
+def _parse(path: str) -> tuple[list[_Step], Optional[str]]:
+    if not path.startswith("/"):
+        raise XPathError(f"path must start with '/': {path!r}")
+    extractor: Optional[str] = None
+    steps: list[_Step] = []
+    position = 1
+    pending_descendant = False
+    while position <= len(path):
+        if path.startswith("/", position - 1) and \
+                path.startswith("//", position - 1):
+            pass
+        segment_end = path.find("/", position)
+        segment = path[position:segment_end if segment_end != -1 else None]
+        if segment == "":
+            pending_descendant = True
+            position += 1
+            continue
+        if segment == "text()":
+            extractor = "text()"
+        elif segment.startswith("@"):
+            extractor = segment
+        else:
+            match = _STEP_RE.match(segment)
+            if match is None:
+                raise XPathError(f"bad path step {segment!r}")
+            predicates = tuple(_PRED_RE.findall(
+                match.group("predicates") or ""))
+            steps.append(_Step(match.group("name"),
+                               pending_descendant, predicates))
+            pending_descendant = False
+        if segment_end == -1:
+            break
+        position = segment_end + 1
+    if extractor is not None and not steps:
+        raise XPathError("extractor needs at least one element step")
+    if not steps:
+        raise XPathError(f"empty path {path!r}")
+    if pending_descendant:
+        raise XPathError(f"path ends with '//': {path!r}")
+    return steps, extractor
+
+
+def _matches(node: XMLNode, step: _Step,
+             position: Optional[int] = None) -> bool:
+    if step.name != "*" and node.tag != step.name:
+        return False
+    for predicate in step.predicates:
+        predicate = predicate.strip()
+        if predicate.isdigit():
+            if position is None or position != int(predicate):
+                return False
+        elif predicate.startswith("@"):
+            body = predicate[1:]
+            if "=" in body:
+                attr, _, raw = body.partition("=")
+                expected = raw.strip().strip("'\"")
+                if node.attributes.get(attr.strip()) != expected:
+                    return False
+            elif body.strip() not in node.attributes:
+                return False
+        else:
+            if not node.child_elements(predicate):
+                return False
+    return True
+
+
+def xpath(root: XMLNode, path: str) -> list[Union[XMLNode, str]]:
+    """Evaluate ``path`` against ``root`` (which counts as the document
+    element for the first step)."""
+    steps, extractor = _parse(path)
+    current: list[XMLNode] = []
+    first = steps[0]
+    if first.descendant:
+        candidates = [root] + list(root.descendants())
+    else:
+        candidates = [root]
+    current = [n for i, n in enumerate(candidates, start=1)
+               if _matches(n, first, position=i)]
+    for step in steps[1:]:
+        next_nodes: list[XMLNode] = []
+        for node in current:
+            if step.descendant:
+                pool = list(node.descendants())
+                matched = [c for i, c in enumerate(pool, start=1)
+                           if _matches(c, step)]
+                # positional predicates are ambiguous under //; apply after
+                matched = _apply_positional(matched, step)
+            else:
+                children = node.child_elements()
+                matched = []
+                position_by_tag: dict[str, int] = {}
+                for child in children:
+                    position_by_tag[child.tag] = \
+                        position_by_tag.get(child.tag, 0) + 1
+                    if _matches(child, step,
+                                position=position_by_tag[child.tag]):
+                        matched.append(child)
+            next_nodes.extend(matched)
+        current = next_nodes
+    if extractor is None:
+        return list(current)
+    if extractor == "text()":
+        return [node.text for node in current]
+    attr = extractor[1:]
+    return [node.attributes[attr] for node in current
+            if attr in node.attributes]
+
+
+def _apply_positional(nodes: list[XMLNode], step: _Step) -> list[XMLNode]:
+    for predicate in step.predicates:
+        if predicate.strip().isdigit():
+            index = int(predicate.strip())
+            return [nodes[index - 1]] if 0 < index <= len(nodes) else []
+    return nodes

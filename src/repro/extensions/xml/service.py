@@ -1,0 +1,166 @@
+"""XML extension service: document store + path queries + shredding.
+
+Documents live in a relational shredding (the classic edge table: one row
+per element) inside the host database — exactly the paper's §1 picture of
+extensions that "map between complex, application-specific data and
+simpler database-level representations", except here the extension is a
+first-class service rather than a bolted-on application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    op,
+)
+from repro.core.service import Service
+from repro.data.database import Database
+from repro.errors import ExtensionError
+from repro.extensions.xml.model import XMLNode, parse_xml
+from repro.extensions.xml.paths import xpath
+
+XML_INTERFACE = Interface("XML", (
+    op("store", "name:str", "document:str", returns="int",
+       semantics="parse and shred a document; returns element count"),
+    op("query", "name:str", "path:str", returns="list",
+       semantics="evaluate a path query against a stored document"),
+    op("serialize", "name:str", returns="str"),
+    op("delete", "name:str", returns="any"),
+    op("list_documents", returns="list"),
+    op("shred_table", "name:str", returns="str",
+       semantics="name of the relational edge table for a document"),
+))
+
+_DOCS_TABLE = "__xml_documents"
+_EDGES_TABLE = "__xml_edges"
+
+
+class XMLService(Service):
+    """Stores XML documents shredded into relational edge tables."""
+
+    layer = "extension"
+
+    def __init__(self, database: Database, name: str = "xml") -> None:
+        super().__init__(name, ServiceContract(
+            name, (XML_INTERFACE,),
+            description="XML document management over relational shredding",
+            quality=QualityDescription(latency_ms=1.0, footprint_kb=256.0),
+            tags=frozenset({"extension", "xml"})))
+        self.database = database
+        self._cache: dict[str, XMLNode] = {}
+
+    def on_setup(self, kernel=None) -> None:
+        self.database.execute(
+            f"CREATE TABLE IF NOT EXISTS {_DOCS_TABLE} "
+            f"(name TEXT PRIMARY KEY, root_tag TEXT)")
+        self.database.execute(
+            f"CREATE TABLE IF NOT EXISTS {_EDGES_TABLE} "
+            f"(doc TEXT NOT NULL, node_id INT NOT NULL, parent_id INT, "
+            f"tag TEXT NOT NULL, text TEXT, ordinal INT, attrs TEXT, "
+            f"id INT PRIMARY KEY)")
+
+    # -- operations ------------------------------------------------------------
+
+    def op_store(self, name: str, document: str) -> int:
+        root = parse_xml(document)
+        if self._find_doc(name) is not None:
+            self.op_delete(name=name)
+        self.database.execute(
+            f"INSERT INTO {_DOCS_TABLE} VALUES (?, ?)", (name, root.tag))
+        count = self._shred(name, root)
+        self._cache[name] = root
+        return count
+
+    def op_query(self, name: str, path: str) -> list:
+        root = self._load(name)
+        results = xpath(root, path)
+        return [r if isinstance(r, str) else r.to_xml() for r in results]
+
+    def op_serialize(self, name: str) -> str:
+        return self._load(name).to_xml()
+
+    def op_delete(self, name: str) -> None:
+        if self._find_doc(name) is None:
+            raise ExtensionError(f"no document {name!r}")
+        self.database.execute(
+            f"DELETE FROM {_DOCS_TABLE} WHERE name = ?", (name,))
+        self.database.execute(
+            f"DELETE FROM {_EDGES_TABLE} WHERE doc = ?", (name,))
+        self._cache.pop(name, None)
+
+    def op_list_documents(self) -> list:
+        return [row[0] for row in self.database.query(
+            f"SELECT name FROM {_DOCS_TABLE} ORDER BY name")]
+
+    def op_shred_table(self, name: str) -> str:
+        if self._find_doc(name) is None:
+            raise ExtensionError(f"no document {name!r}")
+        return _EDGES_TABLE
+
+    # -- shredding ---------------------------------------------------------------
+
+    def _find_doc(self, name: str) -> Optional[str]:
+        rows = self.database.query(
+            f"SELECT root_tag FROM {_DOCS_TABLE} WHERE name = ?", (name,))
+        return rows[0][0] if rows else None
+
+    def _next_edge_id(self) -> int:
+        rows = self.database.query(
+            f"SELECT MAX(id) FROM {_EDGES_TABLE}")
+        current = rows[0][0]
+        return (current or 0) + 1
+
+    def _shred(self, name: str, root: XMLNode) -> int:
+        next_id = self._next_edge_id()
+        count = 0
+
+        def visit(node: XMLNode, parent_node_id: Optional[int],
+                  ordinal: int) -> None:
+            nonlocal next_id, count
+            node_id = next_id
+            next_id += 1
+            attrs = ";".join(f"{k}={v}"
+                             for k, v in sorted(node.attributes.items()))
+            self.database.execute(
+                f"INSERT INTO {_EDGES_TABLE} VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (name, node_id, parent_node_id, node.tag, node.text,
+                 ordinal, attrs, node_id))
+            count += 1
+            for i, child in enumerate(node.children):
+                visit(child, node_id, i)
+
+        visit(root, None, 0)
+        return count
+
+    def _load(self, name: str) -> XMLNode:
+        if name in self._cache:
+            return self._cache[name]
+        root_tag = self._find_doc(name)
+        if root_tag is None:
+            raise ExtensionError(f"no document {name!r}")
+        rows = self.database.query(
+            f"SELECT node_id, parent_id, tag, text, ordinal, attrs "
+            f"FROM {_EDGES_TABLE} WHERE doc = ?", (name,))
+        nodes: dict[int, XMLNode] = {}
+        for node_id, parent_id, tag, text, ordinal, attrs in rows:
+            node = XMLNode(tag, text=text or "")
+            if attrs:
+                for pair in attrs.split(";"):
+                    key, _, value = pair.partition("=")
+                    node.attributes[key] = value
+            nodes[node_id] = node
+        root: Optional[XMLNode] = None
+        ordered = sorted(rows, key=lambda r: (r[1] or 0, r[4]))
+        for node_id, parent_id, *_ in ordered:
+            if parent_id is None:
+                root = nodes[node_id]
+            else:
+                nodes[parent_id].append(nodes[node_id])
+        if root is None:
+            raise ExtensionError(f"document {name!r} has no root")
+        self._cache[name] = root
+        return root

@@ -1,0 +1,21 @@
+"""Fault injection framework for the adaptation experiments."""
+
+from repro.faults.injection import (
+    CampaignReport,
+    FaultAction,
+    FaultCampaign,
+    FlakyFault,
+    SlowdownFault,
+    crash_service,
+    disk_fault,
+)
+
+__all__ = [
+    "CampaignReport",
+    "FaultAction",
+    "FaultCampaign",
+    "FlakyFault",
+    "SlowdownFault",
+    "crash_service",
+    "disk_fault",
+]

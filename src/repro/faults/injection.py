@@ -1,0 +1,190 @@
+"""Fault injection for the adaptation experiments (Figure 7).
+
+"The main issue here is to make the architecture aware of missing or
+erroneous services" — which presupposes services *become* erroneous.
+This module makes that controllable and deterministic:
+
+- :func:`crash_service` — hard failure (state → FAILED);
+- :class:`SlowdownFault` — wraps operations with added latency
+  ("reduced performance that no longer meets the quality expected");
+- :class:`FlakyFault` — probabilistic per-call failures (seeded);
+- :func:`disk_fault` — bad blocks / dead device at the storage substrate;
+- :class:`FaultCampaign` — a deterministic schedule of fault actions
+  replayed against a kernel, step by step, with monitor sweeps between.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.kernel import SBDMSKernel
+from repro.core.service import Service
+from repro.errors import DiskError, ServiceError
+from repro.storage.disk import BlockDevice
+
+
+def crash_service(service: Service,
+                  reason: str = "injected crash") -> None:
+    service.fail(ServiceError(reason))
+
+
+class SlowdownFault:
+    """Wraps every operation of a service with extra latency."""
+
+    def __init__(self, service: Service, delay_s: float) -> None:
+        self.service = service
+        self.delay_s = delay_s
+        self._original_invoke = service.invoke
+        self.active = False
+
+    def inject(self) -> None:
+        if self.active:
+            return
+
+        def slow_invoke(operation, **args):
+            time.sleep(self.delay_s)
+            return self._original_invoke(operation, **args)
+
+        self.service.invoke = slow_invoke  # type: ignore[method-assign]
+        self.service.degrade()
+        self.active = True
+
+    def remove(self) -> None:
+        if self.active:
+            self.service.invoke = self._original_invoke  # type: ignore
+            self.active = False
+
+
+class FlakyFault:
+    """Fails a fraction of calls, deterministically via a seeded RNG."""
+
+    def __init__(self, service: Service, failure_rate: float,
+                 seed: int = 7) -> None:
+        self.service = service
+        self.failure_rate = failure_rate
+        self.rng = random.Random(seed)
+        self._original_invoke = service.invoke
+        self.active = False
+        self.injected_failures = 0
+
+    def inject(self) -> None:
+        if self.active:
+            return
+
+        def flaky_invoke(operation, **args):
+            if self.rng.random() < self.failure_rate:
+                self.injected_failures += 1
+                self.service.metrics.invocations += 1
+                self.service.metrics.failures += 1
+                raise ServiceError(
+                    f"{self.service.name}: injected flaky failure")
+            return self._original_invoke(operation, **args)
+
+        self.service.invoke = flaky_invoke  # type: ignore[method-assign]
+        self.active = True
+
+    def remove(self) -> None:
+        if self.active:
+            self.service.invoke = self._original_invoke  # type: ignore
+            self.active = False
+
+
+def disk_fault(device: BlockDevice, bad_blocks: Optional[set[int]] = None,
+               fail_all: bool = False) -> Callable[[], None]:
+    """Install a device fault; returns a remover callable."""
+
+    def hook(op: str, block_no: int) -> None:
+        if fail_all:
+            raise DiskError(f"injected: device dead ({op})")
+        if bad_blocks and block_no in bad_blocks:
+            raise DiskError(f"injected: bad block {block_no} ({op})")
+
+    device.set_fault_hook(hook)
+    return lambda: device.set_fault_hook(None)
+
+
+@dataclass
+class FaultAction:
+    """One scheduled fault: fires at ``step``."""
+
+    step: int
+    kind: str                      # crash | repair | slow | restore
+    service: str
+    delay_s: float = 0.0
+
+
+@dataclass
+class CampaignReport:
+    steps_run: int = 0
+    actions_fired: list[str] = field(default_factory=list)
+    sweeps: list[dict] = field(default_factory=list)
+    operations_attempted: int = 0
+    operations_succeeded: int = 0
+
+    @property
+    def availability(self) -> float:
+        if self.operations_attempted == 0:
+            return 1.0
+        return self.operations_succeeded / self.operations_attempted
+
+
+class FaultCampaign:
+    """Deterministic schedule of faults against a kernel under load.
+
+    Each step: fire due fault actions, run ``probe`` (one unit of client
+    work; exceptions count as failed operations), then run a coordinator
+    monitor sweep so detection/adaptation latency is part of the measured
+    behaviour.
+    """
+
+    def __init__(self, kernel: SBDMSKernel,
+                 actions: list[FaultAction]) -> None:
+        self.kernel = kernel
+        self.actions = sorted(actions, key=lambda a: a.step)
+        self._slowdowns: dict[str, SlowdownFault] = {}
+
+    def run(self, steps: int,
+            probe: Callable[[int], None]) -> CampaignReport:
+        report = CampaignReport()
+        pending = list(self.actions)
+        for step in range(steps):
+            while pending and pending[0].step <= step:
+                action = pending.pop(0)
+                self._fire(action)
+                report.actions_fired.append(
+                    f"{action.step}:{action.kind}:{action.service}")
+            report.operations_attempted += 1
+            try:
+                probe(step)
+                report.operations_succeeded += 1
+            except Exception:  # noqa: BLE001 - failures are the datum
+                pass
+            report.sweeps.append(self.kernel.monitor_sweep())
+            report.steps_run += 1
+        return report
+
+    def _fire(self, action: FaultAction) -> None:
+        service = self.kernel.registry.maybe_get(action.service)
+        if service is None:
+            return
+        if action.kind == "crash":
+            crash_service(service)
+        elif action.kind == "repair":
+            if not service.available:
+                service.repair()
+                service.start()
+        elif action.kind == "slow":
+            fault = SlowdownFault(service, action.delay_s)
+            fault.inject()
+            self._slowdowns[action.service] = fault
+        elif action.kind == "restore":
+            fault = self._slowdowns.pop(action.service, None)
+            if fault is not None:
+                fault.remove()
+                if service.state.value == "degraded":
+                    service.state = type(service.state).OPERATIONAL
+        else:
+            raise ValueError(f"unknown fault kind {action.kind!r}")

@@ -1,0 +1,18 @@
+"""Flexibility and footprint metrics (the paper's missing measurements)."""
+
+from repro.metrics.flexibility import FlexibilitySummary, summarize
+from repro.metrics.footprint import (
+    advertised_footprint_kb,
+    deep_sizeof,
+    footprint_report,
+    measured_footprint_kb,
+)
+
+__all__ = [
+    "FlexibilitySummary",
+    "summarize",
+    "advertised_footprint_kb",
+    "deep_sizeof",
+    "footprint_report",
+    "measured_footprint_kb",
+]

@@ -1,0 +1,81 @@
+"""Flexibility metrics (§2's observation that "there is not an exact way
+or metric to measure ... the flexibility of an architecture" — so we
+define operational ones and measure them).
+
+For a running kernel the aggregator reports, per flexibility mechanism:
+
+- **extension**: publish count and latency (Figure 5), update downtime and
+  services stopped (§3.4's claim against CDBS);
+- **selection**: workflow alternatives available/viable per task, fallback
+  executions (§3.5);
+- **adaptation**: incidents, resolution rate, strategy mix, adaptation
+  latency (§3.6/Figure 7).
+
+These are exactly the figures the F5/F6/F7 and E8 benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kernel import SBDMSKernel
+
+
+@dataclass
+class FlexibilitySummary:
+    extension: dict = field(default_factory=dict)
+    selection: dict = field(default_factory=dict)
+    adaptation: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"extension": self.extension, "selection": self.selection,
+                "adaptation": self.adaptation}
+
+
+def summarize(kernel: SBDMSKernel) -> FlexibilitySummary:
+    summary = FlexibilitySummary()
+
+    publishes = kernel.extension.publishes
+    updates = kernel.extension.updates
+    summary.extension = {
+        "publishes": len(publishes),
+        "mean_publish_latency_s": (
+            sum(p.elapsed_s for p in publishes) / len(publishes)
+            if publishes else 0.0),
+        "updates": len(updates),
+        "mean_update_downtime_s": (
+            sum(u.downtime_s for u in updates) / len(updates)
+            if updates else 0.0),
+        "max_services_stopped_per_update": max(
+            (u.services_stopped for u in updates), default=0),
+    }
+
+    engine = kernel.workflows
+    tasks = {}
+    for task in list(engine._workflows):
+        alternatives = engine.alternatives(task)
+        tasks[task] = {
+            "alternatives": len(alternatives),
+            "viable": len(engine.viable_alternatives(task)),
+        }
+    traces = engine.traces
+    fallbacks = 0
+    previous = None
+    for trace in traces:
+        if previous is not None and previous.task == trace.task \
+                and not previous.succeeded and trace.succeeded:
+            fallbacks += 1
+        previous = trace
+    summary.selection = {
+        "tasks": tasks,
+        "executions": len(traces),
+        "failed_executions": sum(1 for t in traces if not t.succeeded),
+        "successful_fallbacks": fallbacks,
+    }
+
+    summary.adaptation = dict(kernel.adaptation.stats())
+    summary.adaptation["incidents"] = len(kernel.coordinator.incidents)
+    summary.adaptation["unresolved"] = sum(
+        1 for i in kernel.coordinator.incidents
+        if i.kind == "failed" and not i.resolved)
+    return summary

@@ -1,0 +1,69 @@
+"""Footprint accounting for the E2 experiment.
+
+Two complementary measures:
+
+- **advertised** footprint: the sum of service quality descriptions
+  (what a deployment planner would budget);
+- **measured** footprint: a deep ``sys.getsizeof`` walk over the live
+  substrate objects (buffer frames dominate, as they should).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+from repro.core.kernel import SBDMSKernel
+
+
+def deep_sizeof(obj: Any, max_objects: int = 2_000_000) -> int:
+    """Recursive size of ``obj`` in bytes, cycle-safe."""
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    while stack and len(seen) < max_objects:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        try:
+            total += sys.getsizeof(current)
+        except TypeError:
+            continue
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        elif hasattr(current, "__dict__"):
+            stack.append(current.__dict__)
+        elif hasattr(current, "__slots__"):
+            for slot in current.__slots__:
+                if hasattr(current, slot):
+                    stack.append(getattr(current, slot))
+    return total
+
+
+def advertised_footprint_kb(kernel: SBDMSKernel) -> float:
+    return sum(service.contract.quality.footprint_kb
+               for service in kernel.registry.all())
+
+
+def measured_footprint_kb(kernel: SBDMSKernel,
+                          substrate: Any = None) -> float:
+    total = deep_sizeof(kernel.registry.all())
+    if substrate is not None:
+        total += deep_sizeof(substrate)
+    return total / 1024.0
+
+
+def footprint_report(kernel: SBDMSKernel, substrate: Any = None) -> dict:
+    return {
+        "services": len(kernel.registry),
+        "advertised_kb": advertised_footprint_kb(kernel),
+        "measured_kb": measured_footprint_kb(kernel, substrate),
+        "per_layer": {
+            layer: len(kernel.registry.by_layer(layer))
+            for layer in ("storage", "access", "data", "extension",
+                          "kernel")},
+    }

@@ -1,0 +1,35 @@
+"""Deployment profiles: tailor-made data management (§1, §2, §4).
+
+"Ranging from fully-fledged extended DBMS to small footprint DBMS running
+in embedded system environments" — a profile decides which services get
+deployed into a kernel.  Profiles drive the E2 footprint experiment and
+the architecture-style comparison of Figure 1.
+"""
+
+from repro.profiles.build import (
+    PROFILES,
+    DeploymentProfile,
+    build_system,
+    EMBEDDED,
+    FULL,
+    QUERY_ONLY,
+    STREAMING,
+)
+from repro.profiles.styles import (
+    ARCHITECTURE_STYLES,
+    ArchitectureStyle,
+    style_report,
+)
+
+__all__ = [
+    "PROFILES",
+    "DeploymentProfile",
+    "build_system",
+    "EMBEDDED",
+    "FULL",
+    "QUERY_ONLY",
+    "STREAMING",
+    "ARCHITECTURE_STYLES",
+    "ArchitectureStyle",
+    "style_report",
+]

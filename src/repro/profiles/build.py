@@ -1,0 +1,156 @@
+"""Profile definitions and the system builder.
+
+A :class:`DeploymentProfile` lists the services to deploy; ``build_system``
+turns one into a running kernel + substrate.  Downsizing (§2: "the
+architecture should be able to adapt to downsized requirements as well")
+is just choosing a smaller profile — or calling ``kernel.retire`` later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.kernel import SBDMSKernel
+from repro.data.database import Database
+from repro.data.services import (
+    AccessService,
+    DataService,
+    MonitoringService,
+    QueryService,
+)
+from repro.storage.services import StorageService, StorageStack
+
+
+@dataclass(frozen=True)
+class DeploymentProfile:
+    """Which services a deployment carries."""
+
+    name: str
+    storage: bool = True
+    access: bool = True
+    data: bool = True
+    query: bool = True
+    monitoring: bool = True
+    extensions: tuple[str, ...] = ()   # extension service names to enable
+    buffer_capacity: int = 256
+    description: str = ""
+
+
+FULL = DeploymentProfile(
+    name="full",
+    extensions=("xml", "streaming", "procedures", "replication"),
+    buffer_capacity=512,
+    description="fully-fledged DBMS bundled with extensions (§4)")
+
+EMBEDDED = DeploymentProfile(
+    name="embedded",
+    monitoring=False,
+    extensions=(),
+    buffer_capacity=16,
+    description="small footprint DBMS for embedded environments (§4)")
+
+QUERY_ONLY = DeploymentProfile(
+    name="query-only",
+    monitoring=False,
+    extensions=(),
+    buffer_capacity=64,
+    description="storage+access+query, no extension layer")
+
+STREAMING = DeploymentProfile(
+    name="streaming",
+    extensions=("streaming",),
+    buffer_capacity=128,
+    description="stream-focused deployment")
+
+PROFILES = {p.name: p for p in (FULL, EMBEDDED, QUERY_ONLY, STREAMING)}
+
+
+@dataclass
+class BuiltSystem:
+    """A kernel plus the substrate objects behind its services."""
+
+    kernel: SBDMSKernel
+    database: Database
+    profile: DeploymentProfile
+    services: list[str] = field(default_factory=list)
+
+    def footprint(self) -> dict:
+        """E2's figure: deployed services and advertised footprint."""
+        total_kb = sum(
+            service.contract.quality.footprint_kb
+            for service in self.kernel.registry.all())
+        return {
+            "profile": self.profile.name,
+            "services": len(self.kernel.registry),
+            "footprint_kb": total_kb,
+            "buffer_pages": self.database.pool.capacity,
+        }
+
+
+def build_system(profile: DeploymentProfile | str = FULL,
+                 binding: str = "local",
+                 database: Optional[Database] = None,
+                 kernel_name: Optional[str] = None) -> BuiltSystem:
+    """Deploy ``profile`` into a fresh kernel."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    kernel = SBDMSKernel(name=kernel_name or f"sbdms-{profile.name}",
+                         binding=binding)
+    database = database or Database(buffer_capacity=profile.buffer_capacity)
+    deployed: list[str] = []
+
+    if profile.storage:
+        stack = StorageStack.__new__(StorageStack)
+        stack.device = database.device
+        stack.disk = database.files.disk
+        stack.files = database.files
+        stack.wal = database.wal
+        stack.pool = database.pool
+        stack.pages = database.pages
+        service = StorageService(stack)
+        kernel.publish(service)
+        deployed.append(service.name)
+    if profile.access:
+        service = AccessService(database)
+        kernel.publish(service)
+        deployed.append(service.name)
+    if profile.data:
+        service = DataService(database)
+        kernel.publish(service)
+        deployed.append(service.name)
+    if profile.query:
+        service = QueryService(database)
+        kernel.publish(service)
+        deployed.append(service.name)
+    if profile.monitoring:
+        service = MonitoringService(database)
+        kernel.publish(service)
+        deployed.append(service.name)
+    for extension_name in profile.extensions:
+        service = _build_extension(extension_name, database)
+        kernel.publish(service)
+        deployed.append(service.name)
+    kernel.properties.set("profile", profile.name, source="builder")
+    return BuiltSystem(kernel, database, profile, deployed)
+
+
+def _build_extension(name: str, database: Database):
+    from repro.extensions import (
+        ProcedureService,
+        ReplicationService,
+        StreamService,
+        XMLService,
+    )
+
+    factories = {
+        "xml": lambda: XMLService(database),
+        "streaming": lambda: StreamService(),
+        "procedures": lambda: ProcedureService(database),
+        "replication": lambda: ReplicationService(database),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(f"unknown extension {name!r}; "
+                         f"known: {sorted(factories)}") from None

@@ -1,0 +1,29 @@
+"""SCA component model (§3.6, Figures 3–4).
+
+Components expose services, depend through references, and are configured
+by properties; composites contain components recursively and promote
+services/references to their boundary.  The SBDMS kernel includes these
+principles "into our SBDMS architecture" — :mod:`repro.profiles` uses
+assemblies to build the storage stack hierarchically.
+"""
+
+from repro.sca.assembly import dump_assembly, load_assembly
+from repro.sca.component import (
+    Component,
+    ComponentService,
+    Reference,
+    ServiceHandle,
+)
+from repro.sca.composite import Composite, CompositeServiceHandle, Wire
+
+__all__ = [
+    "dump_assembly",
+    "load_assembly",
+    "Component",
+    "ComponentService",
+    "Reference",
+    "ServiceHandle",
+    "Composite",
+    "CompositeServiceHandle",
+    "Wire",
+]

@@ -1,0 +1,93 @@
+"""Assembly descriptors: the SCDL analogue (§3.6).
+
+SCA describes assemblies in SCDL (XML).  The open format here is a plain
+dict (JSON-shaped); :func:`load_assembly` turns a descriptor into a wired
+:class:`~repro.sca.composite.Composite`, looking implementations up in a
+factory registry supplied by the caller.
+
+Descriptor shape::
+
+    {
+      "name": "storage",
+      "components": [
+        {"name": "disk", "implementation": "memory-disk",
+         "properties": {"block_size": 4096},
+         "services": [{"name": "Disk", "operations": ["read", "write"]}],
+         "references": []},
+        ...
+      ],
+      "wires": [
+        {"source": "buffer", "reference": "disk",
+         "target": "disk", "service": "Disk"}
+      ],
+      "promote": {
+        "services": [{"component": "buffer", "service": "Buffer"}],
+        "references": []
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AssemblyError
+from repro.sca.component import Component, ComponentService, Reference
+from repro.sca.composite import Composite
+
+ImplementationFactory = Callable[[dict, dict], Any]
+
+
+def load_assembly(descriptor: dict,
+                  factories: dict[str, ImplementationFactory]) -> Composite:
+    """Build and wire a composite from a descriptor.
+
+    ``factories`` maps implementation names to ``(properties, references) ->
+    object`` callables.  The returned composite is wired but not yet
+    instantiated — callers may still adjust properties, then call
+    :meth:`Composite.instantiate`.
+    """
+    try:
+        composite = Composite(descriptor["name"])
+        for cdesc in descriptor.get("components", []):
+            impl_name = cdesc["implementation"]
+            factory = factories.get(impl_name)
+            if factory is None:
+                raise AssemblyError(
+                    f"no implementation factory for {impl_name!r} "
+                    f"(known: {sorted(factories)})")
+            services = [
+                ComponentService(sdesc["name"],
+                                 {op_: op_ for op_ in sdesc["operations"]})
+                for sdesc in cdesc.get("services", [])]
+            references = [
+                Reference(rdesc["name"],
+                          rdesc.get("interface", ""),
+                          rdesc.get("required", True))
+                for rdesc in cdesc.get("references", [])]
+            composite.add(Component(
+                cdesc["name"],
+                implementation_factory=factory,
+                services=services,
+                references=references,
+                properties=dict(cdesc.get("properties", {}))))
+        for wdesc in descriptor.get("wires", []):
+            composite.wire(wdesc["source"], wdesc["reference"],
+                           wdesc["target"], wdesc["service"])
+        promote = descriptor.get("promote", {})
+        for pdesc in promote.get("services", []):
+            composite.promote_service(pdesc["component"], pdesc["service"],
+                                      pdesc.get("as"))
+        for pdesc in promote.get("references", []):
+            composite.promote_reference(pdesc["component"],
+                                        pdesc["reference"],
+                                        pdesc.get("as"))
+        return composite
+    except KeyError as exc:
+        raise AssemblyError(f"descriptor missing key {exc}") from None
+
+
+def dump_assembly(composite: Composite) -> dict:
+    """Best-effort inverse of :func:`load_assembly` (implementations are
+    code and serialise by name only)."""
+    return composite.describe()

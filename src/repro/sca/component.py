@@ -1,0 +1,188 @@
+"""SCA components (§3.6, Figure 3).
+
+"The most atomic structure of the SCA is the component ... Every component
+exposes functionality in form of one or more services ... Components can
+rely on other services provided by other components.  To describe this
+dependency, components use references.  Beside services and references, a
+component can define one or more properties.  Properties are read by the
+component when it is instantiated, allowing to customize its behaviour
+according to the current state of the architecture."
+
+A :class:`Component` wraps an *implementation* (any Python object, or an
+SBDMS :class:`~repro.core.service.Service`, or a nested composite — SCA
+composites are themselves valid implementations).  Exposed services are
+named views onto implementation callables; references are late-bound
+callable slots wired by the enclosing composite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SCAError, WiringError
+
+
+@dataclass
+class ComponentService:
+    """A named service exposed by a component.
+
+    ``operations`` maps operation names to attribute names on the
+    implementation (identity mapping unless renamed).
+    """
+
+    name: str
+    operations: dict[str, str]
+
+    @classmethod
+    def of(cls, name: str, *operation_names: str,
+           **renames: str) -> "ComponentService":
+        ops = {op_name: op_name for op_name in operation_names}
+        ops.update(renames)
+        return cls(name, ops)
+
+
+@dataclass
+class Reference:
+    """A dependency slot: wired to another component's service."""
+
+    name: str
+    interface: str = ""          # documentation; matching is by wiring
+    required: bool = True
+    target: Optional["ServiceHandle"] = None
+
+    @property
+    def wired(self) -> bool:
+        return self.target is not None
+
+
+@dataclass
+class ServiceHandle:
+    """A callable handle onto one exposed component service."""
+
+    component: "Component"
+    service: ComponentService
+
+    def call(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        return self.component.call_service(self.service.name, operation,
+                                           *args, **kwargs)
+
+    def __call__(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        return self.call(operation, *args, **kwargs)
+
+
+class Component:
+    """An SCA component: implementation + services + references + properties.
+
+    ``implementation_factory`` is called at :meth:`instantiate` time with
+    ``(properties, references)`` so the implementation can "customize its
+    behaviour according to the current state of the architecture" — exactly
+    Figure 3's property semantics.  Alternatively pass ``implementation=``
+    for a pre-built object.
+    """
+
+    def __init__(self, name: str,
+                 implementation: Any = None,
+                 implementation_factory: Optional[
+                     Callable[[dict, dict], Any]] = None,
+                 services: Optional[list[ComponentService]] = None,
+                 references: Optional[list[Reference]] = None,
+                 properties: Optional[dict[str, Any]] = None) -> None:
+        if implementation is None and implementation_factory is None:
+            raise SCAError(f"component {name!r} needs an implementation")
+        self.name = name
+        self._implementation = implementation
+        self._factory = implementation_factory
+        self.services: dict[str, ComponentService] = {
+            s.name: s for s in (services or [])}
+        self.references: dict[str, Reference] = {
+            r.name: r for r in (references or [])}
+        self.properties: dict[str, Any] = dict(properties or {})
+        self._instantiated = implementation is not None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def set_property(self, key: str, value: Any) -> None:
+        if self._instantiated and self._factory is not None:
+            raise SCAError(
+                f"{self.name}: properties are read at instantiation; "
+                f"re-instantiate to change them")
+        self.properties[key] = value
+
+    def wire(self, reference_name: str, handle: ServiceHandle) -> None:
+        try:
+            self.references[reference_name].target = handle
+        except KeyError:
+            raise WiringError(
+                f"{self.name} has no reference {reference_name!r}") from None
+
+    def instantiate(self) -> None:
+        """Create the implementation, feeding it properties and wired
+        references."""
+        if self._instantiated:
+            return
+        missing = [r.name for r in self.references.values()
+                   if r.required and not r.wired]
+        if missing:
+            raise WiringError(
+                f"{self.name}: unwired required references {missing}")
+        refs = {name: ref.target for name, ref in self.references.items()}
+        self._implementation = self._factory(dict(self.properties), refs)
+        self._instantiated = True
+
+    @property
+    def implementation(self) -> Any:
+        if not self._instantiated:
+            raise SCAError(f"{self.name} is not instantiated")
+        return self._implementation
+
+    # -- service invocation --------------------------------------------------------
+
+    def expose(self, service: ComponentService) -> None:
+        self.services[service.name] = service
+
+    def handle(self, service_name: str) -> ServiceHandle:
+        try:
+            return ServiceHandle(self, self.services[service_name])
+        except KeyError:
+            raise SCAError(
+                f"{self.name} exposes no service {service_name!r} "
+                f"(has {sorted(self.services)})") from None
+
+    def call_service(self, service_name: str, operation: str,
+                     *args: Any, **kwargs: Any) -> Any:
+        service = self.services.get(service_name)
+        if service is None:
+            raise SCAError(
+                f"{self.name} exposes no service {service_name!r}")
+        impl = self.implementation
+        # Composite implementations recurse (Figure 4: recursive
+        # containment): route through the inner promoted service, whose
+        # operation set the composite resolves itself.
+        if hasattr(impl, "call_promoted"):
+            inner = self.properties.get("promoted_map", {}).get(
+                service_name, service_name)
+            return impl.call_promoted(inner, operation, *args, **kwargs)
+        attr = service.operations.get(operation)
+        if attr is None:
+            raise SCAError(
+                f"service {service_name!r} of {self.name} has no operation "
+                f"{operation!r}")
+        method = getattr(impl, attr, None)
+        if method is None:
+            raise SCAError(
+                f"{self.name}: implementation lacks {attr!r}")
+        return method(*args, **kwargs)
+
+    def reference_call(self, reference_name: str, operation: str,
+                       *args: Any, **kwargs: Any) -> Any:
+        """Convenience used by implementations to call through a wire."""
+        ref = self.references.get(reference_name)
+        if ref is None or ref.target is None:
+            raise WiringError(
+                f"{self.name}: reference {reference_name!r} is not wired")
+        return ref.target.call(operation, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return (f"<Component {self.name!r} services={sorted(self.services)} "
+                f"references={sorted(self.references)}>")

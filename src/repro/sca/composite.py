@@ -1,0 +1,193 @@
+"""SCA composites (§3.6, Figure 4).
+
+"Components can be combined in larger structures forming composites ...
+Both components and composites can be recursively contained."  A composite
+contains components (or other composites via component wrappers), wires
+references to services, and *promotes* selected inner services and
+references to its own boundary, which is what makes recursion work:
+a composite is a valid component implementation.
+
+"SCA organises the architecture in a hierarchically way, from coarse
+grained to fine grained components.  This way of organizing the
+architecture makes it more manageable and comprehensible."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import SCAError, WiringError
+from repro.sca.component import Component, ServiceHandle
+
+
+@dataclass(frozen=True)
+class Wire:
+    """source component's reference -> target component's service."""
+
+    source: str
+    reference: str
+    target: str
+    service: str
+
+
+class Composite:
+    """A named assembly of components with wiring and promotion."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.components: dict[str, Component] = {}
+        self.wires: list[Wire] = []
+        # promoted name -> (component name, service name)
+        self.promoted_services: dict[str, tuple[str, str]] = {}
+        # promoted reference -> list of (component name, reference name)
+        self.promoted_references: dict[str, list[tuple[str, str]]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise SCAError(
+                f"{self.name} already contains {component.name!r}")
+        self.components[component.name] = component
+        return component
+
+    def add_composite(self, inner: "Composite",
+                      services: Optional[dict[str, str]] = None) -> Component:
+        """Contain another composite (Figure 4's recursion): wrap it in a
+        component whose exposed services are the inner composite's promoted
+        services (all of them by default, or the given rename map)."""
+        from repro.sca.component import ComponentService
+
+        exposed = services or {n: n for n in inner.promoted_services}
+        wrapper = Component(
+            name=inner.name,
+            implementation=inner,
+            services=[ComponentService(outer, {}) for outer in exposed])
+        # Operation routing for composite implementations goes through
+        # call_promoted; the wrapper only needs the outer->inner name map.
+        wrapper.properties["promoted_map"] = dict(exposed)
+        return self.add(wrapper)
+
+    def component(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise SCAError(
+                f"{self.name} contains no component {name!r}") from None
+
+    def wire(self, source: str, reference: str, target: str,
+             service: str) -> None:
+        """Connect ``source.reference`` to ``target.service``."""
+        source_component = self.component(source)
+        target_component = self.component(target)
+        handle = target_component.handle(service)
+        source_component.wire(reference, handle)
+        self.wires.append(Wire(source, reference, target, service))
+
+    def promote_service(self, component: str, service: str,
+                        as_name: Optional[str] = None) -> None:
+        self.component(component).handle(service)  # validates existence
+        self.promoted_services[as_name or service] = (component, service)
+
+    def promote_reference(self, component: str, reference: str,
+                          as_name: Optional[str] = None) -> None:
+        comp = self.component(component)
+        if reference not in comp.references:
+            raise WiringError(
+                f"{component} has no reference {reference!r}")
+        self.promoted_references.setdefault(
+            as_name or reference, []).append((component, reference))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def instantiate(self) -> None:
+        """Instantiate all contained components (dependency order is the
+        caller's concern; factories receive wired handles lazily, so plain
+        insertion order works for acyclic assemblies)."""
+        for component in self.components.values():
+            impl = component._implementation
+            if isinstance(impl, Composite):
+                impl.instantiate()
+                component._instantiated = True
+            else:
+                component.instantiate()
+
+    def wire_promoted(self, promoted_name: str, handle: ServiceHandle) -> None:
+        """Wire a promoted reference from outside the composite."""
+        targets = self.promoted_references.get(promoted_name)
+        if not targets:
+            raise WiringError(
+                f"{self.name} promotes no reference {promoted_name!r}")
+        for component_name, reference_name in targets:
+            self.component(component_name).wire(reference_name, handle)
+
+    # -- invocation (promoted boundary) ------------------------------------------------
+
+    def call_promoted(self, service_name: str, operation: str,
+                      *args: Any, **kwargs: Any) -> Any:
+        mapping = self.promoted_services.get(service_name)
+        if mapping is None:
+            raise SCAError(
+                f"{self.name} promotes no service {service_name!r} "
+                f"(has {sorted(self.promoted_services)})")
+        component_name, inner_service = mapping
+        return self.component(component_name).call_service(
+            inner_service, operation, *args, **kwargs)
+
+    def handle(self, promoted_name: str) -> "CompositeServiceHandle":
+        if promoted_name not in self.promoted_services:
+            raise SCAError(
+                f"{self.name} promotes no service {promoted_name!r}")
+        return CompositeServiceHandle(self, promoted_name)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum containment depth (a flat composite has depth 1)."""
+        deepest = 0
+        for component in self.components.values():
+            impl = component._implementation
+            if isinstance(impl, Composite):
+                deepest = max(deepest, impl.depth())
+        return deepest + 1
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "components": {
+                name: {
+                    "services": sorted(c.services),
+                    "references": sorted(c.references),
+                    "nested": (c._implementation.describe()
+                               if isinstance(c._implementation, Composite)
+                               else None),
+                }
+                for name, c in self.components.items()},
+            "wires": [
+                f"{w.source}.{w.reference} -> {w.target}.{w.service}"
+                for w in self.wires],
+            "promoted_services": {
+                outer: f"{comp}.{svc}"
+                for outer, (comp, svc) in self.promoted_services.items()},
+            "promoted_references": {
+                outer: [f"{c}.{r}" for c, r in targets]
+                for outer, targets in self.promoted_references.items()},
+        }
+
+
+class CompositeServiceHandle:
+    """Callable handle onto a composite's promoted service — duck-compatible
+    with :class:`~repro.sca.component.ServiceHandle` so wires can cross
+    composite boundaries."""
+
+    def __init__(self, composite: Composite, promoted_name: str) -> None:
+        self.composite = composite
+        self.promoted_name = promoted_name
+
+    def call(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        return self.composite.call_promoted(self.promoted_name, operation,
+                                            *args, **kwargs)
+
+    def __call__(self, operation: str, *args: Any, **kwargs: Any) -> Any:
+        return self.call(operation, *args, **kwargs)

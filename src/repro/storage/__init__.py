@@ -1,0 +1,58 @@
+"""Storage layer: simulated devices, files, pages, buffer pool, WAL.
+
+This package is the bottom of the SBDMS stack — the paper's *Storage
+Services* layer ("work at byte level and handle the physical specification
+of non-volatile devices").  The plain classes here are wrapped as SBDMS
+services by :mod:`repro.storage.services`.
+"""
+
+from repro.storage.buffer import (
+    BufferPool,
+    BufferStats,
+    ClockPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    POLICIES,
+    make_policy,
+)
+from repro.storage.disk import (
+    DEFAULT_BLOCK_SIZE,
+    BlockDevice,
+    DiskCostModel,
+    DiskStats,
+    FileDevice,
+    MemoryDevice,
+)
+from repro.storage.file_manager import DiskManager, FileManager
+from repro.storage.page import CHECKSUM_SIZE, Page, PageId
+from repro.storage.page_manager import PageManager
+from repro.storage.wal import LogKind, LogRecord, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "ClockPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "POLICIES",
+    "make_policy",
+    "DEFAULT_BLOCK_SIZE",
+    "BlockDevice",
+    "DiskCostModel",
+    "DiskStats",
+    "FileDevice",
+    "MemoryDevice",
+    "DiskManager",
+    "FileManager",
+    "CHECKSUM_SIZE",
+    "Page",
+    "PageId",
+    "PageManager",
+    "LogKind",
+    "LogRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,386 @@
+"""Buffer pool with pluggable replacement policies (Figure 5's
+"Buffer Manager" / "Buffer Coordinator").
+
+The pool caches :class:`~repro.storage.page.Page` images over a
+:class:`~repro.storage.file_manager.FileManager`.  Callers pin pages
+(:meth:`BufferPool.fetch` / :meth:`BufferPool.new_page`), mutate them through
+the page API, and unpin with a dirty hint.  Replacement policy is a strategy
+object so the selection experiments can swap policies at run time — the
+paper's "different services provide the same functionality using the same
+type of interfaces" applied to eviction.
+
+WAL integration: if a ``wal`` is attached, a dirty page is only written
+after the log has been flushed up to the page's LSN (the standard
+write-ahead rule).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional, Protocol
+
+from repro.errors import (
+    BufferPoolError,
+    BufferPoolFullError,
+    PageNotPinnedError,
+)
+from repro.storage.file_manager import FileManager
+from repro.storage.page import Page, PageId
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters; the quality experiments report hit rate."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+
+class ReplacementPolicy(Protocol):
+    """Strategy interface for victim selection.
+
+    The pool notifies the policy on every admit/touch/evict; ``victim``
+    must return an unpinned resident page id, or ``None`` if it has no
+    candidate (the pool then raises :class:`BufferPoolFullError`).
+    """
+
+    name: str
+
+    def admit(self, page_id: PageId) -> None: ...
+
+    def touch(self, page_id: PageId) -> None: ...
+
+    def evict(self, page_id: PageId) -> None: ...
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]: ...
+
+
+class LRUPolicy:
+    """Least-recently-used eviction."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def admit(self, page_id: PageId) -> None:
+        self._order[page_id] = None
+
+    def touch(self, page_id: PageId) -> None:
+        if page_id in self._order:
+            self._order.move_to_end(page_id)
+
+    def evict(self, page_id: PageId) -> None:
+        self._order.pop(page_id, None)
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]:
+        for page_id in self._order:
+            if page_id not in pinned:
+                return page_id
+        return None
+
+
+class MRUPolicy(LRUPolicy):
+    """Most-recently-used eviction — wins on looping scans larger than the
+    pool, which is why the selection experiment offers it as an alternate
+    'workflow' for scan-heavy requests."""
+
+    name = "mru"
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]:
+        for page_id in reversed(self._order):
+            if page_id not in pinned:
+                return page_id
+        return None
+
+
+class FIFOPolicy:
+    """First-in-first-out eviction (admission order, no touch effect)."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def admit(self, page_id: PageId) -> None:
+        self._order[page_id] = None
+
+    def touch(self, page_id: PageId) -> None:
+        pass
+
+    def evict(self, page_id: PageId) -> None:
+        self._order.pop(page_id, None)
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]:
+        for page_id in self._order:
+            if page_id not in pinned:
+                return page_id
+        return None
+
+
+class ClockPolicy:
+    """Second-chance (clock) eviction."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: list[PageId] = []
+        self._ref: dict[PageId, bool] = {}
+        self._hand = 0
+
+    def admit(self, page_id: PageId) -> None:
+        self._ring.append(page_id)
+        self._ref[page_id] = True
+
+    def touch(self, page_id: PageId) -> None:
+        if page_id in self._ref:
+            self._ref[page_id] = True
+
+    def evict(self, page_id: PageId) -> None:
+        if page_id in self._ref:
+            idx = self._ring.index(page_id)
+            self._ring.pop(idx)
+            if idx < self._hand:
+                self._hand -= 1
+            if self._ring:
+                self._hand %= len(self._ring)
+            else:
+                self._hand = 0
+            del self._ref[page_id]
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]:
+        if not self._ring:
+            return None
+        # Two full sweeps guarantee we either find a victim or prove all
+        # candidates are pinned.
+        for _ in range(2 * len(self._ring)):
+            page_id = self._ring[self._hand]
+            if page_id in pinned:
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            if self._ref[page_id]:
+                self._ref[page_id] = False
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            return page_id
+        return None
+
+
+class LFUPolicy:
+    """Least-frequently-used eviction with FIFO tie-breaking."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: OrderedDict[PageId, int] = OrderedDict()
+
+    def admit(self, page_id: PageId) -> None:
+        self._counts[page_id] = 1
+
+    def touch(self, page_id: PageId) -> None:
+        if page_id in self._counts:
+            self._counts[page_id] += 1
+
+    def evict(self, page_id: PageId) -> None:
+        self._counts.pop(page_id, None)
+
+    def victim(self, pinned: set[PageId]) -> Optional[PageId]:
+        best: Optional[PageId] = None
+        best_count = None
+        for page_id, count in self._counts.items():
+            if page_id in pinned:
+                continue
+            if best_count is None or count < best_count:
+                best, best_count = page_id, count
+        return best
+
+
+POLICIES: dict[str, type] = {
+    cls.name: cls for cls in (LRUPolicy, MRUPolicy, FIFOPolicy,
+                              ClockPolicy, LFUPolicy)
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise BufferPoolError(
+            f"unknown replacement policy {name!r}; "
+            f"known: {sorted(POLICIES)}") from None
+
+
+class BufferPool:
+    """Fixed-capacity page cache with write-back and WAL ordering."""
+
+    def __init__(self, file_manager: FileManager, capacity: int = 64,
+                 policy: str | ReplacementPolicy = "lru",
+                 wal: Optional["WriteAheadLog"] = None) -> None:
+        if capacity <= 0:
+            raise BufferPoolError("capacity must be positive")
+        self.files = file_manager
+        self.capacity = capacity
+        self.policy: ReplacementPolicy = (
+            make_policy(policy) if isinstance(policy, str) else policy)
+        self.wal = wal
+        self.stats = BufferStats()
+        self._frames: dict[PageId, Page] = {}
+        self._lock = threading.RLock()
+
+    # -- introspection (read by the monitoring extension service) -------------
+
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pinned_pages(self) -> set[PageId]:
+        return {pid for pid, page in self._frames.items() if page.pin_count > 0}
+
+    def is_resident(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def properties(self) -> dict:
+        """Functional properties exposed through the service layer
+        (the Discussion's monitoring example reads these)."""
+        with self._lock:
+            dirty = sum(1 for p in self._frames.values() if p.dirty)
+            return {
+                "capacity": self.capacity,
+                "resident": self.resident,
+                "pinned": len(self.pinned_pages),
+                "dirty": dirty,
+                "policy": self.policy.name,
+                "hit_rate": self.stats.hit_rate,
+                "page_size": self.files.disk.device.block_size,
+            }
+
+    # -- pin / unpin -----------------------------------------------------------
+
+    def fetch(self, page_id: PageId) -> Page:
+        """Pin an existing page, reading it from disk on miss."""
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                self.policy.touch(page_id)
+            else:
+                self.stats.misses += 1
+                self._ensure_frame_available()
+                block = self.files.read_page(page_id)
+                page = Page.from_block(page_id, block)
+                self._frames[page_id] = page
+                self.policy.admit(page_id)
+            page.pin_count += 1
+            return page
+
+    def new_page(self, file_id: int) -> Page:
+        """Allocate a fresh page at the tail of ``file_id`` and pin it."""
+        with self._lock:
+            self._ensure_frame_available()
+            page_id = self.files.allocate_page(file_id)
+            page = Page(page_id, self.files.disk.device.block_size)
+            page.dirty = True
+            page.pin_count = 1
+            self._frames[page_id] = page
+            self.policy.admit(page_id)
+            return page
+
+    def unpin(self, page_id: PageId, dirty: bool = False) -> None:
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is None or page.pin_count <= 0:
+                raise PageNotPinnedError(f"{page_id} is not pinned")
+            page.pin_count -= 1
+            if dirty:
+                page.dirty = True
+
+    class _PinGuard:
+        """Context manager returned by :meth:`pinned`."""
+
+        def __init__(self, pool: "BufferPool", page: Page) -> None:
+            self._pool = pool
+            self.page = page
+            self.dirty = False
+
+        def __enter__(self) -> Page:
+            return self.page
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            self._pool.unpin(self.page.page_id, dirty=self.dirty or self.page.dirty)
+
+    def pinned(self, page_id: PageId) -> "_PinGuard":
+        """``with pool.pinned(pid) as page: ...`` — pin for the block scope."""
+        return self._PinGuard(self, self.fetch(page_id))
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_page(self, page_id: PageId) -> None:
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is None:
+                return
+            self._write_back(page)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            for page in list(self._frames.values()):
+                if page.dirty:
+                    self._write_back(page)
+            self.files.disk.flush()
+
+    def drop_all(self, *, flush: bool = True) -> None:
+        """Empty the pool; with ``flush=False`` dirty pages are discarded
+        (used to simulate a crash)."""
+        with self._lock:
+            if flush:
+                self.flush_all()
+            for page_id in list(self._frames):
+                self.policy.evict(page_id)
+            self._frames.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _write_back(self, page: Page) -> None:
+        if page.dirty:
+            if self.wal is not None:
+                self.wal.flush(upto_lsn=page.lsn)
+            self.files.write_page(page.page_id, page.to_block())
+            page.dirty = False
+            self.stats.dirty_writebacks += 1
+
+    def _ensure_frame_available(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        victim_id = self.policy.victim(self.pinned_pages)
+        if victim_id is None:
+            raise BufferPoolFullError(
+                f"all {self.capacity} frames are pinned")
+        victim = self._frames.pop(victim_id)
+        self._write_back(victim)
+        self.policy.evict(victim_id)
+        self.stats.evictions += 1
+
+    def iter_resident(self) -> Iterator[Page]:
+        return iter(list(self._frames.values()))
+
+
+# Imported late to avoid a cycle: the WAL writes through the disk manager,
+# not through the pool, but the pool needs its flush() for the WAL rule.
+from repro.storage.wal import WriteAheadLog  # noqa: E402  (cycle guard)

@@ -1,0 +1,303 @@
+"""Simulated block devices for the storage layer.
+
+The paper's Storage Services "work at byte level and handle the physical
+specification of non-volatile devices".  This module provides that physical
+substrate: a block device abstraction with two implementations (in-memory
+and file-backed), a configurable cost model so benchmarks can charge
+realistic I/O costs, and hooks for fault injection used by the
+flexibility-by-adaptation experiments (Figure 7).
+
+Blocks are fixed-size byte strings.  Callers address blocks by integer
+block number; allocation policy lives one level up, in the page manager.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import DiskError, DiskFullError
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass
+class DiskStats:
+    """Counters maintained by every block device.
+
+    ``time_charged`` accumulates simulated seconds from the cost model; the
+    benchmarks report it alongside wall-clock time so that experiments can
+    model slow devices without actually sleeping.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flushes: int = 0
+    time_charged: float = 0.0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.flushes = 0
+        self.time_charged = 0.0
+
+
+@dataclass(frozen=True)
+class DiskCostModel:
+    """Simulated cost of device operations, in seconds.
+
+    The default numbers approximate a commodity SATA SSD; the spinning-rust
+    preset (:meth:`hdd`) is used by benchmarks that need a high seek cost to
+    make buffer-policy effects visible.
+    """
+
+    read_latency: float = 60e-6
+    write_latency: float = 80e-6
+    per_byte: float = 1e-9
+    flush_latency: float = 150e-6
+
+    @classmethod
+    def ssd(cls) -> "DiskCostModel":
+        return cls()
+
+    @classmethod
+    def hdd(cls) -> "DiskCostModel":
+        return cls(read_latency=6e-3, write_latency=6e-3,
+                   per_byte=8e-9, flush_latency=8e-3)
+
+    @classmethod
+    def free(cls) -> "DiskCostModel":
+        """A zero-cost model for tests that only care about correctness."""
+        return cls(read_latency=0.0, write_latency=0.0,
+                   per_byte=0.0, flush_latency=0.0)
+
+    def read_cost(self, nbytes: int) -> float:
+        return self.read_latency + self.per_byte * nbytes
+
+    def write_cost(self, nbytes: int) -> float:
+        return self.write_latency + self.per_byte * nbytes
+
+
+class BlockDevice:
+    """Abstract fixed-block-size device.
+
+    Subclasses implement :meth:`_read_block` / :meth:`_write_block` /
+    :meth:`_flush`; this base class provides bounds checking, statistics,
+    cost accounting, and the fault-injection hook.
+
+    The fault hook is a callable ``(op, block_no) -> None`` that may raise
+    :class:`~repro.errors.DiskError`; the adaptation experiments install
+    hooks that fail specific blocks or entire devices.
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 capacity_blocks: Optional[int] = None,
+                 cost_model: Optional[DiskCostModel] = None) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self.cost_model = cost_model or DiskCostModel.free()
+        self.stats = DiskStats()
+        self._fault_hook: Optional[Callable[[str, int], None]] = None
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_fault_hook(self, hook: Optional[Callable[[str, int], None]]) -> None:
+        """Install (or clear) a fault-injection hook.
+
+        The hook runs before each physical operation with ``op`` in
+        ``{"read", "write", "flush"}`` and the target block number
+        (``-1`` for flush).
+        """
+        self._fault_hook = hook
+
+    def _maybe_fault(self, op: str, block_no: int) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(op, block_no)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def num_blocks(self) -> int:
+        """Number of blocks currently allocated on the device."""
+        raise NotImplementedError
+
+    def read_block(self, block_no: int) -> bytes:
+        with self._lock:
+            self._check_open()
+            self._check_range(block_no)
+            self._maybe_fault("read", block_no)
+            data = self._read_block(block_no)
+            self.stats.reads += 1
+            self.stats.bytes_read += len(data)
+            self.stats.time_charged += self.cost_model.read_cost(len(data))
+            return data
+
+    def write_block(self, block_no: int, data: bytes) -> None:
+        if len(data) != self.block_size:
+            raise DiskError(
+                f"write of {len(data)} bytes to device with block size "
+                f"{self.block_size}")
+        with self._lock:
+            self._check_open()
+            if block_no < 0:
+                raise DiskError(f"negative block number {block_no}")
+            if (self.capacity_blocks is not None
+                    and block_no >= self.capacity_blocks):
+                raise DiskFullError(
+                    f"block {block_no} beyond capacity {self.capacity_blocks}")
+            self._maybe_fault("write", block_no)
+            self._write_block(block_no, data)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self.stats.time_charged += self.cost_model.write_cost(len(data))
+
+    def append_block(self, data: bytes) -> int:
+        """Write ``data`` to a fresh block at the end of the device."""
+        with self._lock:
+            block_no = self.num_blocks()
+            self.write_block(block_no, data)
+            return block_no
+
+    def flush(self) -> None:
+        with self._lock:
+            self._check_open()
+            self._maybe_fault("flush", -1)
+            self._flush()
+            self.stats.flushes += 1
+            self.stats.time_charged += self.cost_model.flush_latency
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._flush()
+                self._closed = True
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DiskError("device is closed")
+
+    def _check_range(self, block_no: int) -> None:
+        if block_no < 0 or block_no >= self.num_blocks():
+            raise DiskError(
+                f"block {block_no} out of range [0, {self.num_blocks()})")
+
+    # -- subclass responsibilities --------------------------------------------
+
+    def _read_block(self, block_no: int) -> bytes:
+        raise NotImplementedError
+
+    def _write_block(self, block_no: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _flush(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryDevice(BlockDevice):
+    """Block device held entirely in memory.
+
+    The default substrate for tests and benchmarks: deterministic, fast, and
+    still charged through the cost model so experiments can simulate slow
+    media.
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 capacity_blocks: Optional[int] = None,
+                 cost_model: Optional[DiskCostModel] = None) -> None:
+        super().__init__(block_size, capacity_blocks, cost_model)
+        self._blocks: list[bytes] = []
+
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def _read_block(self, block_no: int) -> bytes:
+        return self._blocks[block_no]
+
+    def _write_block(self, block_no: int, data: bytes) -> None:
+        if block_no == len(self._blocks):
+            self._blocks.append(data)
+        elif block_no < len(self._blocks):
+            self._blocks[block_no] = data
+        else:
+            # Writing past the end implicitly zero-fills the gap, mirroring
+            # sparse-file semantics of the file-backed device.
+            zero = bytes(self.block_size)
+            self._blocks.extend([zero] * (block_no - len(self._blocks)))
+            self._blocks.append(data)
+
+    def _flush(self) -> None:
+        pass
+
+    def snapshot(self) -> list[bytes]:
+        """Copy of all blocks; used by replication and crash tests."""
+        with self._lock:
+            return list(self._blocks)
+
+    def restore(self, blocks: list[bytes]) -> None:
+        """Replace device contents; used to simulate crash/restart."""
+        with self._lock:
+            self._blocks = list(blocks)
+
+
+class FileDevice(BlockDevice):
+    """Block device backed by a single OS file.
+
+    Used by durability tests: contents survive :meth:`close` and can be
+    reopened by constructing a new :class:`FileDevice` on the same path.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 capacity_blocks: Optional[int] = None,
+                 cost_model: Optional[DiskCostModel] = None) -> None:
+        super().__init__(block_size, capacity_blocks, cost_model)
+        self.path = os.fspath(path)
+        exists = os.path.exists(self.path)
+        self._fh = open(self.path, "r+b" if exists else "w+b")
+        size = os.fstat(self._fh.fileno()).st_size
+        if size % block_size != 0:
+            raise DiskError(
+                f"{self.path}: size {size} is not a multiple of block size "
+                f"{block_size}")
+        self._nblocks = size // block_size
+
+    def num_blocks(self) -> int:
+        return self._nblocks
+
+    def _read_block(self, block_no: int) -> bytes:
+        self._fh.seek(block_no * self.block_size)
+        data = self._fh.read(self.block_size)
+        if len(data) != self.block_size:
+            raise DiskError(f"short read at block {block_no}")
+        return data
+
+    def _write_block(self, block_no: int, data: bytes) -> None:
+        self._fh.seek(block_no * self.block_size)
+        self._fh.write(data)
+        if block_no >= self._nblocks:
+            self._nblocks = block_no + 1
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                super().close()
+                self._fh.close()

@@ -1,0 +1,241 @@
+"""Disk manager and file manager (Figure 5's "Disk Manager"/"File Manager").
+
+The disk manager owns raw block allocation on one :class:`BlockDevice` and
+keeps a free list so deleted pages can be recycled.  The file manager builds
+named files on top: a file is an ordered list of blocks, addressed by the
+access layer as ``(file_id, page_no)`` through :class:`~repro.storage.page.PageId`.
+
+Metadata (the file table and free list) is persisted in a chain of metadata
+blocks starting at block 0, so a database on a :class:`FileDevice` survives
+close/reopen.  Callers must invoke :meth:`FileManager.checkpoint_metadata`
+after structural changes they need durable; the buffer pool does this on
+flush, and tests exercise crash/reopen cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.errors import DiskError, FileManagerError
+from repro.storage.disk import BlockDevice
+from repro.storage.page import PageId
+
+_MAGIC = b"SBD1"
+_HEADER_SIZE = 12  # magic(4) + payload_len(4) + next_block(4)
+_NO_NEXT = 0xFFFFFFFF
+
+
+class DiskManager:
+    """Raw block allocator with a free list.
+
+    Block 0 is always reserved for the metadata chain head, so the first
+    allocatable block is 1.
+    """
+
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+        self._free: list[int] = []
+        self._next_fresh = max(1, device.num_blocks())
+
+    @property
+    def free_blocks(self) -> tuple[int, ...]:
+        return tuple(self._free)
+
+    def allocate(self) -> int:
+        """Return a block number owned by the caller, zero-filled on disk."""
+        if self._free:
+            block_no = self._free.pop()
+        else:
+            block_no = self._next_fresh
+            self._next_fresh += 1
+        self.device.write_block(block_no, bytes(self.device.block_size))
+        return block_no
+
+    def release(self, block_no: int) -> None:
+        if block_no <= 0:
+            raise DiskError(f"cannot release reserved block {block_no}")
+        if block_no in self._free:
+            raise DiskError(f"double free of block {block_no}")
+        self._free.append(block_no)
+
+    def read(self, block_no: int) -> bytes:
+        return self.device.read_block(block_no)
+
+    def write(self, block_no: int, data: bytes) -> None:
+        self.device.write_block(block_no, data)
+
+    def flush(self) -> None:
+        self.device.flush()
+
+    # -- metadata persistence helpers (used by FileManager) ------------------
+
+    def _state(self) -> dict:
+        return {"free": self._free, "next_fresh": self._next_fresh}
+
+    def _load_state(self, state: dict) -> None:
+        self._free = list(state["free"])
+        self._next_fresh = int(state["next_fresh"])
+
+
+class FileManager:
+    """Named page files multiplexed onto one disk manager.
+
+    Files grow one page at a time through :meth:`allocate_page`; pages are
+    addressed by :class:`PageId` and remain stable for the life of the file.
+    """
+
+    def __init__(self, disk: DiskManager) -> None:
+        self.disk = disk
+        self._names: dict[str, int] = {}
+        self._files: dict[int, list[int]] = {}
+        self._next_file_id = 1
+        if disk.device.num_blocks() > 0:
+            self._load_metadata()
+
+    # -- file table -----------------------------------------------------------
+
+    def create_file(self, name: str) -> int:
+        if name in self._names:
+            raise FileManagerError(f"file {name!r} already exists")
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._names[name] = file_id
+        self._files[file_id] = []
+        return file_id
+
+    def open_file(self, name: str) -> int:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise FileManagerError(f"no such file {name!r}") from None
+
+    def has_file(self, name: str) -> bool:
+        return name in self._names
+
+    def ensure_file(self, name: str) -> int:
+        return self._names[name] if name in self._names else self.create_file(name)
+
+    def delete_file(self, name: str) -> None:
+        file_id = self.open_file(name)
+        for block_no in self._files[file_id]:
+            self.disk.release(block_no)
+        del self._files[file_id]
+        del self._names[name]
+
+    def list_files(self) -> list[str]:
+        return sorted(self._names)
+
+    def file_size_pages(self, file_id: int) -> int:
+        self._check_file(file_id)
+        return len(self._files[file_id])
+
+    def file_size_bytes(self, file_id: int) -> int:
+        return self.file_size_pages(file_id) * self.disk.device.block_size
+
+    # -- page addressing -------------------------------------------------------
+
+    def allocate_page(self, file_id: int) -> PageId:
+        self._check_file(file_id)
+        block_no = self.disk.allocate()
+        blocks = self._files[file_id]
+        blocks.append(block_no)
+        return PageId(file_id, len(blocks) - 1)
+
+    def free_last_page(self, file_id: int) -> None:
+        """Truncate the file by one page (only tail pages can be freed,
+        keeping page numbers stable for all remaining pages)."""
+        self._check_file(file_id)
+        blocks = self._files[file_id]
+        if not blocks:
+            raise FileManagerError(f"file {file_id} is empty")
+        self.disk.release(blocks.pop())
+
+    def block_of(self, page_id: PageId) -> int:
+        self._check_file(page_id.file_id)
+        blocks = self._files[page_id.file_id]
+        if page_id.page_no < 0 or page_id.page_no >= len(blocks):
+            raise FileManagerError(
+                f"{page_id} out of range (file has {len(blocks)} pages)")
+        return blocks[page_id.page_no]
+
+    def read_page(self, page_id: PageId) -> bytes:
+        return self.disk.read(self.block_of(page_id))
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        self.disk.write(self.block_of(page_id), data)
+
+    def pages_of(self, file_id: int) -> Iterable[PageId]:
+        self._check_file(file_id)
+        for page_no in range(len(self._files[file_id])):
+            yield PageId(file_id, page_no)
+
+    # -- metadata persistence ----------------------------------------------------
+
+    def checkpoint_metadata(self) -> None:
+        """Write the file table, free list, and allocator state to the
+        metadata chain rooted at block 0."""
+        payload = json.dumps({
+            "names": self._names,
+            "files": {str(k): v for k, v in self._files.items()},
+            "next_file_id": self._next_file_id,
+            "disk": self.disk._state(),
+        }).encode()
+        device = self.disk.device
+        chunk_size = device.block_size - _HEADER_SIZE
+        chunks = [payload[i:i + chunk_size]
+                  for i in range(0, len(payload), chunk_size)] or [b""]
+        # Metadata continuation blocks come from the allocator like any other
+        # block; previously used continuation blocks are recycled first.
+        old_chain = self._metadata_chain_blocks()
+        needed = len(chunks) - 1
+        chain = old_chain[:needed]
+        while len(chain) < needed:
+            chain.append(self.disk.allocate())
+        for stale in old_chain[needed:]:
+            self.disk.release(stale)
+        block_nos = [0] + chain
+        for idx, chunk in enumerate(chunks):
+            next_block = block_nos[idx + 1] if idx + 1 < len(chunks) else _NO_NEXT
+            header = (_MAGIC + len(chunk).to_bytes(4, "little")
+                      + next_block.to_bytes(4, "little"))
+            block = header + chunk
+            block += bytes(device.block_size - len(block))
+            device.write_block(block_nos[idx], block)
+        device.flush()
+        self._metadata_blocks = chain
+
+    def _metadata_chain_blocks(self) -> list[int]:
+        return list(getattr(self, "_metadata_blocks", []))
+
+    def _load_metadata(self) -> None:
+        device = self.disk.device
+        payload = bytearray()
+        chain: list[int] = []
+        block_no = 0
+        while True:
+            block = device.read_block(block_no)
+            if block[:4] != _MAGIC:
+                if block_no == 0 and not any(block):
+                    return  # fresh, never-checkpointed device
+                raise FileManagerError(
+                    f"metadata block {block_no} has bad magic")
+            length = int.from_bytes(block[4:8], "little")
+            next_block = int.from_bytes(block[8:12], "little")
+            payload += block[_HEADER_SIZE:_HEADER_SIZE + length]
+            if next_block == _NO_NEXT:
+                break
+            chain.append(next_block)
+            block_no = next_block
+        state = json.loads(payload.decode())
+        self._names = dict(state["names"])
+        self._files = {int(k): list(v) for k, v in state["files"].items()}
+        self._next_file_id = int(state["next_file_id"])
+        self.disk._load_state(state["disk"])
+        self._metadata_blocks = chain
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_file(self, file_id: int) -> None:
+        if file_id not in self._files:
+            raise FileManagerError(f"no such file id {file_id}")

@@ -1,0 +1,94 @@
+"""Page abstraction shared by the buffer pool and access layer.
+
+A :class:`Page` is a mutable view over one device block plus bookkeeping:
+a page id, a dirty flag, a pin count, and a page LSN used by the WAL
+protocol (a page may not be written to disk before the log covering its
+latest change is durable).
+
+Pages carry an optional checksum in their on-disk image so that torn or
+corrupted blocks are detected on read; the checksum occupies the last four
+bytes of the block and is maintained transparently by the buffer pool.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError
+
+CHECKSUM_SIZE = 4
+
+
+@dataclass(frozen=True, order=True)
+class PageId:
+    """Identifies a page as (file id, page number within the file)."""
+
+    file_id: int
+    page_no: int
+
+    def __repr__(self) -> str:  # compact form shows up in many test asserts
+        return f"PageId({self.file_id}:{self.page_no})"
+
+
+class Page:
+    """In-memory image of one block, with pin/dirty/LSN bookkeeping.
+
+    The usable payload excludes the trailing checksum: a page created over a
+    4096-byte block exposes 4092 writable bytes through :attr:`data`.
+    """
+
+    def __init__(self, page_id: PageId, block_size: int) -> None:
+        self.page_id = page_id
+        self.block_size = block_size
+        self.data = bytearray(block_size - CHECKSUM_SIZE)
+        self.dirty = False
+        self.pin_count = 0
+        self.lsn = 0
+
+    @property
+    def usable_size(self) -> int:
+        return self.block_size - CHECKSUM_SIZE
+
+    # -- byte-level accessors (the paper's "byte level" storage interface) --
+
+    def read(self, offset: int, length: int) -> bytes:
+        return bytes(self.data[offset:offset + length])
+
+    def write(self, offset: int, payload: bytes) -> None:
+        if offset < 0 or offset + len(payload) > self.usable_size:
+            raise ValueError(
+                f"write [{offset}, {offset + len(payload)}) outside usable "
+                f"page area of {self.usable_size} bytes")
+        self.data[offset:offset + len(payload)] = payload
+        self.dirty = True
+
+    # -- on-disk image -------------------------------------------------------
+
+    def to_block(self) -> bytes:
+        """Serialise to a full block with trailing CRC32 checksum."""
+        payload = bytes(self.data)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return payload + crc.to_bytes(CHECKSUM_SIZE, "little")
+
+    @classmethod
+    def from_block(cls, page_id: PageId, block: bytes,
+                   verify: bool = True) -> "Page":
+        payload, crc_bytes = block[:-CHECKSUM_SIZE], block[-CHECKSUM_SIZE:]
+        if verify:
+            expected = int.from_bytes(crc_bytes, "little")
+            actual = zlib.crc32(payload) & 0xFFFFFFFF
+            # An all-zero block is a freshly allocated page, never written;
+            # its stored checksum is zero which only matches if the payload
+            # CRC happens to be zero, so special-case it.
+            if expected != actual and any(block):
+                raise ChecksumError(
+                    f"{page_id}: checksum mismatch "
+                    f"(stored {expected:#x}, computed {actual:#x})")
+        page = cls(page_id, len(block))
+        page.data[:] = payload
+        return page
+
+    def __repr__(self) -> str:
+        return (f"<Page {self.page_id} pins={self.pin_count} "
+                f"dirty={self.dirty} lsn={self.lsn}>")

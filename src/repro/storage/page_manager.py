@@ -1,0 +1,86 @@
+"""Page manager: allocation and free-space tracking above the buffer pool.
+
+This is Figure 5's "Page Manager" (and the "Page Coordinator" published in
+the flexibility-by-extension scenario is a coordinator wrapped around it).
+It mediates between record-level callers (heap files, indexes) and the
+buffer pool, and maintains a per-file free-space map so inserts can find a
+page with room without scanning the file.
+
+The free-space map is a soft hint rebuilt lazily: a stale entry only costs
+an extra page inspection, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, PageId
+
+
+class PageManager:
+    """Allocation + free-space hints for one buffer pool."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        # file_id -> {page_no: advertised free bytes}
+        self._free_space: dict[int, dict[int, int]] = defaultdict(dict)
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate(self, file_id: int) -> Page:
+        """Allocate a fresh page in ``file_id``; returned pinned."""
+        page = self.pool.new_page(file_id)
+        self._free_space[file_id][page.page_id.page_no] = page.usable_size
+        return page
+
+    def fetch(self, page_id: PageId) -> Page:
+        return self.pool.fetch(page_id)
+
+    def unpin(self, page_id: PageId, dirty: bool = False) -> None:
+        self.pool.unpin(page_id, dirty)
+
+    # -- free-space map ------------------------------------------------------------
+
+    def note_free_space(self, page_id: PageId, free_bytes: int) -> None:
+        """Record the advertised free space of a page (callers report this
+        after inserting or deleting records)."""
+        if free_bytes <= 0:
+            self._free_space[page_id.file_id].pop(page_id.page_no, None)
+        else:
+            self._free_space[page_id.file_id][page_id.page_no] = free_bytes
+
+    def page_with_space(self, file_id: int,
+                        needed: int) -> Optional[PageId]:
+        """A page advertised to have at least ``needed`` free bytes, or
+        ``None`` (caller then allocates)."""
+        for page_no, free in self._free_space.get(file_id, {}).items():
+            if free >= needed:
+                return PageId(file_id, page_no)
+        return None
+
+    def forget_file(self, file_id: int) -> None:
+        self._free_space.pop(file_id, None)
+
+    # -- monitoring (read through the storage service properties) ---------------
+
+    def fragmentation(self, file_id: int) -> float:
+        """Fraction of advertised-free bytes across the file's pages.
+
+        This is the "data fragmentation" figure the Discussion's monitoring
+        service reads: 0.0 means densely packed, values near 1.0 mean the
+        file is mostly holes.
+        """
+        pages = self.pool.files.file_size_pages(file_id)
+        if pages == 0:
+            return 0.0
+        page_bytes = self.pool.files.disk.device.block_size
+        free = sum(self._free_space.get(file_id, {}).values())
+        return min(1.0, free / (pages * page_bytes))
+
+    def properties(self) -> dict:
+        return {
+            "tracked_files": len(self._free_space),
+            "tracked_pages": sum(len(m) for m in self._free_space.values()),
+        }

@@ -1,0 +1,508 @@
+"""Storage services: the storage layer decomposed at three granularities.
+
+The paper's future work is explicit: "Testing with different levels of
+service granularity will give us insights into the right tradeoff between
+service granularity and system performance."  This module provides the
+cut-points:
+
+- ``coarse``  — one ``StorageService`` exposing the whole stack; one
+  service boundary per logical storage request.
+- ``medium``  — the Figure 5 decomposition: Disk Manager, File Manager,
+  Page Manager, Buffer Manager as separate services.  A page request
+  crosses 1-2 boundaries.
+- ``fine``    — RISC-style (§1's "narrow functionality through
+  well-defined interfaces"): one service per *operation group*, with
+  internal calls also routed through the kernel binding, maximising
+  boundary crossings.
+
+All three share one :class:`StorageStack` substrate, so benchmarks compare
+pure decomposition overhead with identical physical behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bindings import Binding, LocalBinding
+from repro.core.contract import (
+    Interface,
+    QualityDescription,
+    ServiceContract,
+    ServicePolicy,
+    op,
+)
+from repro.core.service import Service
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import BlockDevice, MemoryDevice
+from repro.storage.file_manager import DiskManager, FileManager
+from repro.storage.page import PageId
+from repro.storage.page_manager import PageManager
+from repro.storage.wal import WriteAheadLog
+
+GRANULARITIES = ("coarse", "medium", "fine")
+
+
+class StorageStack:
+    """The shared physical substrate behind every storage service."""
+
+    def __init__(self, device: Optional[BlockDevice] = None,
+                 buffer_capacity: int = 128,
+                 replacement_policy: str = "lru",
+                 wal_device: Optional[BlockDevice] = None) -> None:
+        self.device = device or MemoryDevice()
+        self.disk = DiskManager(self.device)
+        self.files = FileManager(self.disk)
+        self.wal = WriteAheadLog(wal_device) if wal_device is not None \
+            else None
+        self.pool = BufferPool(self.files, capacity=buffer_capacity,
+                               policy=replacement_policy, wal=self.wal)
+        self.pages = PageManager(self.pool)
+
+    # Operations shared by the service wrappers ------------------------------------
+
+    def ensure_file(self, name: str) -> int:
+        return self.files.ensure_file(name)
+
+    def read(self, file: str, page_no: int, offset: int,
+             length: int) -> bytes:
+        file_id = self.files.open_file(file)
+        with self.pool.pinned(PageId(file_id, page_no)) as page:
+            return page.read(offset, length)
+
+    def write(self, file: str, page_no: int, offset: int,
+              data: bytes) -> int:
+        file_id = self.files.open_file(file)
+        page_id = PageId(file_id, page_no)
+        page = self.pool.fetch(page_id)
+        try:
+            page.write(offset, data)
+        finally:
+            self.pool.unpin(page_id, dirty=True)
+        return len(data)
+
+    def allocate(self, file: str) -> int:
+        file_id = self.files.ensure_file(file)
+        page = self.pages.allocate(file_id)
+        page_no = page.page_id.page_no
+        self.pages.unpin(page.page_id, dirty=True)
+        return page_no
+
+    def flush(self) -> None:
+        self.pool.flush_all()
+        self.files.checkpoint_metadata()
+
+    def properties(self) -> dict:
+        props = self.pool.properties()
+        props.update({
+            "files": len(self.files.list_files()),
+            "disk_reads": self.device.stats.reads,
+            "disk_writes": self.device.stats.writes,
+            "workload": props["hit_rate"],
+        })
+        return props
+
+
+def _storage_quality(footprint_kb: float) -> QualityDescription:
+    return QualityDescription(latency_ms=0.05, availability=0.999,
+                              footprint_kb=footprint_kb)
+
+
+# ---------------------------------------------------------------------------
+# Coarse granularity
+# ---------------------------------------------------------------------------
+
+STORAGE_INTERFACE = Interface("Storage", (
+    op("read", "file:str", "page_no:int", "offset:int", "length:int",
+       returns="bytes",
+       semantics="read bytes from a page"),
+    op("write", "file:str", "page_no:int", "offset:int", "data:bytes",
+       returns="int", semantics="write bytes into a page"),
+    op("allocate", "file:str", returns="int",
+       semantics="allocate a fresh page, returning its number"),
+    op("ensure_file", "name:str", returns="int"),
+    op("flush", returns="any"),
+    op("monitor", returns="dict",
+       semantics="functional properties: workload, buffer, fragmentation"),
+))
+
+
+class StorageService(Service):
+    """Coarse-grained storage: the whole stack behind one contract."""
+
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack, name: str = "storage") -> None:
+        # Footprint is dominated by the buffer pool: capacity x page size,
+        # plus a fixed code-surface share.
+        buffer_kb = (stack.pool.capacity
+                     * stack.device.block_size) / 1024.0
+        contract = ServiceContract(
+            service_name=name,
+            interfaces=(STORAGE_INTERFACE,),
+            description="byte-level storage over non-volatile devices",
+            quality=_storage_quality(footprint_kb=96.0 + buffer_kb),
+            tags=frozenset({"storage", "coarse"}))
+        super().__init__(name, contract)
+        self.stack = stack
+
+    def op_read(self, file, page_no, offset, length):
+        return self.stack.read(file, page_no, offset, length)
+
+    def op_write(self, file, page_no, offset, data):
+        return self.stack.write(file, page_no, offset, data)
+
+    def op_allocate(self, file):
+        return self.stack.allocate(file)
+
+    def op_ensure_file(self, name):
+        return self.stack.ensure_file(name)
+
+    def op_flush(self):
+        self.stack.flush()
+
+    def op_monitor(self):
+        return self.stack.properties()
+
+    def properties(self) -> dict:
+        merged = super().properties()
+        merged.update(self.stack.properties())
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Medium granularity (Figure 5's managers)
+# ---------------------------------------------------------------------------
+
+DISK_INTERFACE = Interface("DiskManager", (
+    op("read_block", "block_no:int", returns="bytes"),
+    op("write_block", "block_no:int", "data:bytes"),
+    op("allocate_block", returns="int"),
+    op("sync", returns="any"),
+))
+
+FILE_INTERFACE = Interface("FileManager", (
+    op("ensure_file", "name:str", returns="int"),
+    op("file_pages", "name:str", returns="int"),
+    op("list_files", returns="list"),
+))
+
+PAGE_INTERFACE = Interface("PageManager", (
+    op("allocate_page", "file:str", returns="int"),
+    op("free_space_hint", "file:str", "needed:int", returns="any"),
+))
+
+BUFFER_INTERFACE = Interface("BufferManager", (
+    op("read", "file:str", "page_no:int", "offset:int", "length:int",
+       returns="bytes"),
+    op("write", "file:str", "page_no:int", "offset:int", "data:bytes",
+       returns="int"),
+    op("flush", returns="any"),
+    op("monitor", returns="dict"),
+    op("set_policy", "name:str", returns="any",
+       semantics="swap the replacement policy (flexibility by selection)"),
+))
+
+
+class DiskManagerService(Service):
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack,
+                 name: str = "disk-manager") -> None:
+        super().__init__(name, ServiceContract(
+            name, (DISK_INTERFACE,),
+            description="raw block allocation and I/O",
+            quality=_storage_quality(96.0),
+            tags=frozenset({"storage", "medium"})))
+        self.stack = stack
+
+    def op_read_block(self, block_no):
+        return self.stack.disk.read(block_no)
+
+    def op_write_block(self, block_no, data):
+        self.stack.disk.write(block_no, data)
+
+    def op_allocate_block(self):
+        return self.stack.disk.allocate()
+
+    def op_sync(self):
+        self.stack.disk.flush()
+
+
+class FileManagerService(Service):
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack,
+                 name: str = "file-manager") -> None:
+        super().__init__(name, ServiceContract(
+            name, (FILE_INTERFACE,),
+            description="named page files over the disk manager",
+            quality=_storage_quality(64.0),
+            policy=ServicePolicy(dependencies=["DiskManager"]),
+            tags=frozenset({"storage", "medium"})))
+        self.stack = stack
+
+    def op_ensure_file(self, name):
+        return self.stack.files.ensure_file(name)
+
+    def op_file_pages(self, name):
+        return self.stack.files.file_size_pages(
+            self.stack.files.open_file(name))
+
+    def op_list_files(self):
+        return self.stack.files.list_files()
+
+
+class PageManagerService(Service):
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack,
+                 name: str = "page-manager") -> None:
+        super().__init__(name, ServiceContract(
+            name, (PAGE_INTERFACE,),
+            description="page allocation and free-space tracking",
+            quality=_storage_quality(48.0),
+            policy=ServicePolicy(dependencies=["FileManager",
+                                               "BufferManager"]),
+            tags=frozenset({"storage", "medium"})))
+        self.stack = stack
+
+    def op_allocate_page(self, file):
+        return self.stack.allocate(file)
+
+    def op_free_space_hint(self, file, needed):
+        file_id = self.stack.files.open_file(file)
+        hint = self.stack.pages.page_with_space(file_id, needed)
+        return None if hint is None else hint.page_no
+
+
+class BufferManagerService(Service):
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack,
+                 name: str = "buffer-manager") -> None:
+        super().__init__(name, ServiceContract(
+            name, (BUFFER_INTERFACE,),
+            description="page caching with pluggable replacement",
+            quality=_storage_quality(256.0),
+            policy=ServicePolicy(dependencies=["FileManager"]),
+            tags=frozenset({"storage", "medium"})))
+        self.stack = stack
+
+    def op_read(self, file, page_no, offset, length):
+        return self.stack.read(file, page_no, offset, length)
+
+    def op_write(self, file, page_no, offset, data):
+        return self.stack.write(file, page_no, offset, data)
+
+    def op_flush(self):
+        self.stack.flush()
+
+    def op_monitor(self):
+        return self.stack.pool.properties()
+
+    def op_set_policy(self, name):
+        from repro.storage.buffer import make_policy
+
+        pool = self.stack.pool
+        new_policy = make_policy(name)
+        for page_id in list(pool._frames):
+            new_policy.admit(page_id)
+        pool.policy = new_policy
+        self.set_property("replacement_policy", name)
+
+    def properties(self) -> dict:
+        merged = super().properties()
+        merged.update(self.stack.pool.properties())
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Fine granularity (RISC-style)
+# ---------------------------------------------------------------------------
+
+
+class _FineStorageService(Service):
+    """One narrow operation group per service; reads/writes route their
+    page-number resolution through companion services via the kernel
+    binding, maximising crossings (the paper's §1 critique: "coordinating
+    large amounts of fine-grained components can create serious
+    orchestration problems")."""
+
+    layer = "storage"
+
+    def __init__(self, name: str, interface: Interface,
+                 stack: StorageStack, binding: Binding) -> None:
+        super().__init__(name, ServiceContract(
+            name, (interface,),
+            description=f"RISC-style storage fragment: {interface.name}",
+            quality=_storage_quality(24.0),
+            tags=frozenset({"storage", "fine"})))
+        self.stack = stack
+        self.binding = binding
+
+
+class PageReadService(_FineStorageService):
+    def __init__(self, stack, binding, resolver: "FileResolveService",
+                 name="page-read"):
+        super().__init__(name, Interface("PageRead", (
+            op("read", "file:str", "page_no:int", "offset:int",
+               "length:int", returns="bytes"),)), stack, binding)
+        self.resolver = resolver
+
+    def op_read(self, file, page_no, offset, length):
+        # Boundary crossing: resolve the file through the resolver service.
+        file_id = self.binding.call(self.resolver, "resolve", name=file)
+        with self.stack.pool.pinned(PageId(file_id, page_no)) as page:
+            return page.read(offset, length)
+
+
+class PageWriteService(_FineStorageService):
+    def __init__(self, stack, binding, resolver: "FileResolveService",
+                 name="page-write"):
+        super().__init__(name, Interface("PageWrite", (
+            op("write", "file:str", "page_no:int", "offset:int",
+               "data:bytes", returns="int"),)), stack, binding)
+        self.resolver = resolver
+
+    def op_write(self, file, page_no, offset, data):
+        file_id = self.binding.call(self.resolver, "resolve", name=file)
+        page_id = PageId(file_id, page_no)
+        page = self.stack.pool.fetch(page_id)
+        try:
+            page.write(offset, data)
+        finally:
+            self.stack.pool.unpin(page_id, dirty=True)
+        return len(data)
+
+
+class FileResolveService(_FineStorageService):
+    def __init__(self, stack, binding, name="file-resolve"):
+        super().__init__(name, Interface("FileResolve", (
+            op("resolve", "name:str", returns="int"),)), stack, binding)
+
+    def op_resolve(self, name):
+        return self.stack.files.ensure_file(name)
+
+
+class PageAllocateService(_FineStorageService):
+    def __init__(self, stack, binding, resolver, name="page-allocate"):
+        super().__init__(name, Interface("PageAllocate", (
+            op("allocate", "file:str", returns="int"),)), stack, binding)
+        self.resolver = resolver
+
+    def op_allocate(self, file):
+        self.binding.call(self.resolver, "resolve", name=file)
+        return self.stack.allocate(file)
+
+
+class FlushService(_FineStorageService):
+    def __init__(self, stack, binding, name="flush"):
+        super().__init__(name, Interface("Flush", (
+            op("flush", returns="any"),)), stack, binding)
+
+    def op_flush(self):
+        self.stack.flush()
+
+
+# ---------------------------------------------------------------------------
+# Granularity façade
+# ---------------------------------------------------------------------------
+
+
+class GranularStorage:
+    """Uniform client API over any granularity, counting service-boundary
+    crossings through the supplied binding.
+
+    ``read/write/allocate`` match :class:`StorageService`'s interface; the
+    benchmark drives all three granularities identically.
+    """
+
+    def __init__(self, granularity: str, stack: Optional[StorageStack] = None,
+                 binding: Optional[Binding] = None) -> None:
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {GRANULARITIES}")
+        self.granularity = granularity
+        self.stack = stack or StorageStack()
+        self.binding = binding or LocalBinding()
+        self.services: list[Service] = []
+        builder = getattr(self, f"_build_{granularity}")
+        builder()
+        for service in self.services:
+            service.setup()
+            service.start()
+
+    # -- builders -------------------------------------------------------------
+
+    def _build_coarse(self) -> None:
+        self._storage = StorageService(self.stack)
+        self.services = [self._storage]
+
+    def _build_medium(self) -> None:
+        self._disk = DiskManagerService(self.stack)
+        self._files = FileManagerService(self.stack)
+        self._pages = PageManagerService(self.stack)
+        self._buffer = BufferManagerService(self.stack)
+        self.services = [self._disk, self._files, self._pages, self._buffer]
+
+    def _build_fine(self) -> None:
+        self._resolver = FileResolveService(self.stack, self.binding)
+        self._reader = PageReadService(self.stack, self.binding,
+                                       self._resolver)
+        self._writer = PageWriteService(self.stack, self.binding,
+                                        self._resolver)
+        self._allocator = PageAllocateService(self.stack, self.binding,
+                                              self._resolver)
+        self._flusher = FlushService(self.stack, self.binding)
+        self.services = [self._resolver, self._reader, self._writer,
+                         self._allocator, self._flusher]
+
+    # -- uniform client operations ----------------------------------------------
+
+    def read(self, file: str, page_no: int, offset: int,
+             length: int) -> bytes:
+        if self.granularity == "coarse":
+            return self.binding.call(self._storage, "read", file=file,
+                                     page_no=page_no, offset=offset,
+                                     length=length)
+        if self.granularity == "medium":
+            return self.binding.call(self._buffer, "read", file=file,
+                                     page_no=page_no, offset=offset,
+                                     length=length)
+        return self.binding.call(self._reader, "read", file=file,
+                                 page_no=page_no, offset=offset,
+                                 length=length)
+
+    def write(self, file: str, page_no: int, offset: int,
+              data: bytes) -> int:
+        if self.granularity == "coarse":
+            return self.binding.call(self._storage, "write", file=file,
+                                     page_no=page_no, offset=offset,
+                                     data=data)
+        if self.granularity == "medium":
+            return self.binding.call(self._buffer, "write", file=file,
+                                     page_no=page_no, offset=offset,
+                                     data=data)
+        return self.binding.call(self._writer, "write", file=file,
+                                 page_no=page_no, offset=offset, data=data)
+
+    def allocate(self, file: str) -> int:
+        if self.granularity == "coarse":
+            return self.binding.call(self._storage, "allocate", file=file)
+        if self.granularity == "medium":
+            self.binding.call(self._files, "ensure_file", name=file)
+            return self.binding.call(self._pages, "allocate_page",
+                                     file=file)
+        return self.binding.call(self._allocator, "allocate", file=file)
+
+    def flush(self) -> None:
+        if self.granularity == "coarse":
+            self.binding.call(self._storage, "flush")
+        elif self.granularity == "medium":
+            self.binding.call(self._buffer, "flush")
+        else:
+            self.binding.call(self._flusher, "flush")
+
+    @property
+    def boundary_crossings(self) -> int:
+        return self.binding.calls

@@ -1,0 +1,259 @@
+"""Write-ahead log.
+
+A redo/undo log on its own block device (mirroring the classical practice of
+separating the log from data volumes).  Records carry physical before/after
+images, which makes both recovery phases idempotent:
+
+- **redo**: re-apply every update's after-image in log order;
+- **undo**: apply before-images of losers (transactions with no COMMIT) in
+  reverse log order.
+
+The buffer pool enforces the write-ahead rule by calling
+:meth:`WriteAheadLog.flush` with each page's LSN before writing the page.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Optional
+
+from repro.errors import WALError
+from repro.storage.disk import BlockDevice
+from repro.storage.page import PageId
+
+
+class LogKind(IntEnum):
+    BEGIN = 1
+    COMMIT = 2
+    ABORT = 3
+    UPDATE = 4
+    CHECKPOINT = 5
+
+
+_REC_HEADER = struct.Struct("<QQBI")  # lsn, txn_id, kind, payload_len
+_UPDATE_HEADER = struct.Struct("<IIIII")  # file, page, offset, blen, alen
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry.  ``page_id``/``offset``/images only for UPDATE."""
+
+    lsn: int
+    txn_id: int
+    kind: LogKind
+    page_id: Optional[PageId] = None
+    offset: int = 0
+    before: bytes = b""
+    after: bytes = b""
+
+    def encode(self) -> bytes:
+        if self.kind is LogKind.UPDATE:
+            assert self.page_id is not None
+            payload = _UPDATE_HEADER.pack(
+                self.page_id.file_id, self.page_id.page_no, self.offset,
+                len(self.before), len(self.after)) + self.before + self.after
+        else:
+            payload = b""
+        return _REC_HEADER.pack(self.lsn, self.txn_id, int(self.kind),
+                                len(payload)) + payload
+
+    @classmethod
+    def decode(cls, buf: bytes, pos: int) -> tuple["LogRecord", int]:
+        lsn, txn_id, kind, plen = _REC_HEADER.unpack_from(buf, pos)
+        pos += _REC_HEADER.size
+        payload = buf[pos:pos + plen]
+        if len(payload) != plen:
+            raise WALError("truncated log record payload")
+        pos += plen
+        if LogKind(kind) is LogKind.UPDATE:
+            fid, pno, offset, blen, alen = _UPDATE_HEADER.unpack_from(payload, 0)
+            body = payload[_UPDATE_HEADER.size:]
+            if len(body) != blen + alen:
+                raise WALError("corrupt UPDATE record images")
+            rec = cls(lsn, txn_id, LogKind.UPDATE, PageId(fid, pno), offset,
+                      bytes(body[:blen]), bytes(body[blen:]))
+        else:
+            rec = cls(lsn, txn_id, LogKind(kind))
+        return rec, pos
+
+
+class WriteAheadLog:
+    """Append-only log over a dedicated block device.
+
+    The on-disk layout is a plain byte stream chunked into blocks; the first
+    8 bytes of the device (block 0) store the durable end-of-log offset so a
+    reopened log knows where valid data stops.
+    """
+
+    _TAIL_HEADER = struct.Struct("<Q")
+
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+        self._buffer = bytearray()
+        self._next_lsn = 1
+        self._flushed_lsn = 0
+        self._durable_bytes = 0  # bytes of log stream on disk
+        self._stream_cache: Optional[bytes] = None
+        if device.num_blocks() > 0:
+            self._recover_tail()
+
+    # -- append ---------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    def append(self, txn_id: int, kind: LogKind,
+               page_id: Optional[PageId] = None, offset: int = 0,
+               before: bytes = b"", after: bytes = b"") -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = LogRecord(lsn, txn_id, kind, page_id, offset, before, after)
+        self._buffer += record.encode()
+        self._pending_lsn = lsn
+        return lsn
+
+    def log_update(self, txn_id: int, page_id: PageId, offset: int,
+                   before: bytes, after: bytes) -> int:
+        return self.append(txn_id, LogKind.UPDATE, page_id, offset,
+                           before, after)
+
+    # -- durability --------------------------------------------------------------
+
+    def flush(self, upto_lsn: Optional[int] = None) -> None:
+        """Make the log durable at least up to ``upto_lsn`` (all of it when
+        ``None``).  No-op when already durable."""
+        if upto_lsn is not None and upto_lsn <= self._flushed_lsn:
+            return
+        if not self._buffer:
+            return
+        stream_offset = self._durable_bytes
+        data = bytes(self._buffer)
+        block_size = self.device.block_size
+        first_block = 1 + stream_offset // block_size
+        pad_before = stream_offset % block_size
+        if pad_before:
+            # Re-read the partially filled tail block and extend it.
+            tail = bytearray(self.device.read_block(first_block))
+            tail[pad_before:pad_before + len(data)] = \
+                data[:block_size - pad_before]
+            self.device.write_block(first_block, bytes(tail[:block_size]))
+            data = data[block_size - pad_before:]
+            first_block += 1
+        block_no = first_block
+        while data:
+            chunk = data[:block_size]
+            data = data[block_size:]
+            if len(chunk) < block_size:
+                chunk = chunk + bytes(block_size - len(chunk))
+            self.device.write_block(block_no, chunk)
+            block_no += 1
+        self._durable_bytes += len(self._buffer)
+        self._buffer.clear()
+        header = self._TAIL_HEADER.pack(self._durable_bytes)
+        self.device.write_block(0, header + bytes(block_size - len(header)))
+        self.device.flush()
+        self._flushed_lsn = self._next_lsn - 1
+        self._stream_cache = None
+
+    # -- reading ------------------------------------------------------------------
+
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate durable records followed by still-buffered ones."""
+        stream = self._durable_stream() + bytes(self._buffer)
+        pos = 0
+        while pos < len(stream):
+            record, pos = LogRecord.decode(stream, pos)
+            yield record
+
+    def _durable_stream(self) -> bytes:
+        if self._stream_cache is None:
+            block_size = self.device.block_size
+            chunks = []
+            remaining = self._durable_bytes
+            block_no = 1
+            while remaining > 0:
+                block = self.device.read_block(block_no)
+                take = min(block_size, remaining)
+                chunks.append(block[:take])
+                remaining -= take
+                block_no += 1
+            self._stream_cache = b"".join(chunks)
+        return self._stream_cache
+
+    def _recover_tail(self) -> None:
+        header = self.device.read_block(0)
+        (self._durable_bytes,) = self._TAIL_HEADER.unpack_from(header, 0)
+        max_lsn = 0
+        for record in self.records():
+            max_lsn = max(max_lsn, record.lsn)
+        self._next_lsn = max_lsn + 1
+        self._flushed_lsn = max_lsn
+
+    # -- recovery --------------------------------------------------------------
+
+    def analyze(self) -> tuple[set[int], set[int]]:
+        """Return (committed txn ids, loser txn ids)."""
+        seen: set[int] = set()
+        ended: set[int] = set()
+        for record in self.records():
+            if record.kind is LogKind.BEGIN:
+                seen.add(record.txn_id)
+            elif record.kind in (LogKind.COMMIT, LogKind.ABORT):
+                ended.add(record.txn_id)
+        return ended & seen | (ended - seen), seen - ended
+
+    def recover_into(self, file_manager) -> dict:
+        """Run redo+undo against ``file_manager``'s pages.
+
+        Returns a summary dict (counts) used by recovery tests.  Pages are
+        rewritten directly through the file manager; the caller must start
+        with an empty buffer pool.
+        """
+        from repro.storage.page import Page  # local import avoids cycle
+
+        committed, losers = self.analyze()
+        records = list(self.records())
+        redone = undone = 0
+
+        def apply(page_id: PageId, offset: int, image: bytes) -> None:
+            block = file_manager.read_page(page_id)
+            page = Page.from_block(page_id, block, verify=False)
+            page.write(offset, image)
+            file_manager.write_page(page_id, page.to_block())
+
+        for record in records:
+            if record.kind is LogKind.UPDATE:
+                apply(record.page_id, record.offset, record.after)
+                redone += 1
+        for record in reversed(records):
+            if record.kind is LogKind.UPDATE and record.txn_id in losers:
+                apply(record.page_id, record.offset, record.before)
+                undone += 1
+        file_manager.disk.flush()
+        return {"redone": redone, "undone": undone,
+                "committed": sorted(committed), "losers": sorted(losers)}
+
+    # -- maintenance -----------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Discard the log after a checkpoint (all data pages are durable)."""
+        self._buffer.clear()
+        self._durable_bytes = 0
+        self._stream_cache = None
+        header = self._TAIL_HEADER.pack(0)
+        block_size = self.device.block_size
+        if self.device.num_blocks() > 0:
+            self.device.write_block(0, header + bytes(block_size - len(header)))
+        else:
+            self.device.append_block(header + bytes(block_size - len(header)))
+        self.device.flush()
+
+    def size_bytes(self) -> int:
+        return self._durable_bytes + len(self._buffer)

@@ -1,0 +1,19 @@
+"""Seeded synthetic workload generators."""
+
+from repro.workloads.generator import (
+    KVOp,
+    KeyValueWorkload,
+    QueryWorkload,
+    StreamWorkload,
+    TableSpec,
+    zipf_ranks,
+)
+
+__all__ = [
+    "KVOp",
+    "KeyValueWorkload",
+    "QueryWorkload",
+    "StreamWorkload",
+    "TableSpec",
+    "zipf_ranks",
+]

@@ -1,0 +1,174 @@
+"""Seeded synthetic workload generators for the benchmark suite.
+
+Every generator takes an explicit ``seed`` so runs are reproducible; key
+popularity can be uniform or Zipf-skewed (the usual cache-friendliness
+knob for buffer-policy and quality experiments).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+def zipf_ranks(rng: random.Random, n_keys: int, skew: float,
+               count: int) -> Iterator[int]:
+    """Yield ``count`` key ranks in [0, n_keys) with Zipf(s=skew) weights
+    (skew 0 = uniform)."""
+    if skew <= 0:
+        for _ in range(count):
+            yield rng.randrange(n_keys)
+        return
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n_keys)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    for _ in range(count):
+        point = rng.random()
+        lo, hi = 0, n_keys - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield lo
+
+
+@dataclass(frozen=True)
+class KVOp:
+    kind: str      # get | put | delete
+    key: str
+    value: Optional[bytes] = None
+
+
+class KeyValueWorkload:
+    """get/put/delete mix over a bounded key space."""
+
+    def __init__(self, n_keys: int = 1000, get_fraction: float = 0.7,
+                 put_fraction: float = 0.25, skew: float = 0.0,
+                 value_size: int = 100, seed: int = 7) -> None:
+        if not 0 <= get_fraction + put_fraction <= 1:
+            raise ValueError("fractions must sum to <= 1")
+        self.n_keys = n_keys
+        self.get_fraction = get_fraction
+        self.put_fraction = put_fraction
+        self.skew = skew
+        self.value_size = value_size
+        self.seed = seed
+
+    def operations(self, count: int) -> Iterator[KVOp]:
+        rng = random.Random(self.seed)
+        ranks = zipf_ranks(rng, self.n_keys, self.skew, count)
+        for rank in ranks:
+            key = f"key-{rank:08d}"
+            roll = rng.random()
+            if roll < self.get_fraction:
+                yield KVOp("get", key)
+            elif roll < self.get_fraction + self.put_fraction:
+                value = bytes(rng.getrandbits(8)
+                              for _ in range(self.value_size))
+                yield KVOp("put", key, value)
+            else:
+                yield KVOp("delete", key)
+
+
+@dataclass
+class TableSpec:
+    """Schema + row generator for SQL workloads."""
+
+    name: str = "items"
+    n_rows: int = 1000
+    n_groups: int = 20
+
+    @property
+    def ddl(self) -> str:
+        return (f"CREATE TABLE {self.name} (id INT PRIMARY KEY, "
+                f"grp INT NOT NULL, label TEXT NOT NULL, value FLOAT)")
+
+    def rows(self, seed: int = 7) -> Iterator[tuple]:
+        rng = random.Random(seed)
+        for i in range(self.n_rows):
+            label = "".join(rng.choices(string.ascii_lowercase, k=8))
+            yield (i, rng.randrange(self.n_groups), label,
+                   round(rng.uniform(0, 1000), 2))
+
+
+class QueryWorkload:
+    """A mix of SQL statements over a :class:`TableSpec`.
+
+    ``mix`` weights: point (PK lookup), range, scan_agg (group-by over the
+    table), insert, update, delete.
+    """
+
+    DEFAULT_MIX = {"point": 0.5, "range": 0.2, "scan_agg": 0.1,
+                   "insert": 0.1, "update": 0.05, "delete": 0.05}
+
+    def __init__(self, spec: TableSpec,
+                 mix: Optional[dict[str, float]] = None,
+                 seed: int = 7) -> None:
+        self.spec = spec
+        self.mix = dict(mix or self.DEFAULT_MIX)
+        unknown = set(self.mix) - set(self.DEFAULT_MIX)
+        if unknown:
+            raise ValueError(f"unknown statement kinds {sorted(unknown)}")
+        self.seed = seed
+        self._insert_id = spec.n_rows
+
+    def setup(self, db) -> None:
+        db.execute(self.spec.ddl)
+        for row in self.spec.rows(self.seed):
+            db.execute(f"INSERT INTO {self.spec.name} VALUES (?, ?, ?, ?)",
+                       row)
+
+    def statements(self, count: int) -> Iterator[tuple[str, tuple]]:
+        rng = random.Random(self.seed + 1)
+        kinds = list(self.mix)
+        weights = [self.mix[k] for k in kinds]
+        name = self.spec.name
+        for _ in range(count):
+            kind = rng.choices(kinds, weights)[0]
+            if kind == "point":
+                yield (f"SELECT * FROM {name} WHERE id = ?",
+                       (rng.randrange(self.spec.n_rows),))
+            elif kind == "range":
+                lo = rng.randrange(self.spec.n_rows)
+                yield (f"SELECT id, value FROM {name} "
+                       f"WHERE id > ? AND id < ?", (lo, lo + 50))
+            elif kind == "scan_agg":
+                yield (f"SELECT grp, COUNT(*), AVG(value) FROM {name} "
+                       f"GROUP BY grp", ())
+            elif kind == "insert":
+                self._insert_id += 1
+                yield (f"INSERT INTO {name} VALUES (?, ?, ?, ?)",
+                       (self._insert_id, rng.randrange(self.spec.n_groups),
+                        "inserted", 1.0))
+            elif kind == "update":
+                yield (f"UPDATE {name} SET value = value + 1 "
+                       f"WHERE id = ?", (rng.randrange(self.spec.n_rows),))
+            else:
+                yield (f"DELETE FROM {name} WHERE id = ?",
+                       (rng.randrange(self.spec.n_rows,
+                                      self._insert_id + 1)
+                        if self._insert_id > self.spec.n_rows
+                        else self._insert_id,))
+
+
+class StreamWorkload:
+    """Deterministic event stream: (sensor, reading) pairs."""
+
+    def __init__(self, n_sensors: int = 10, seed: int = 7) -> None:
+        self.n_sensors = n_sensors
+        self.seed = seed
+
+    def events(self, count: int) -> Iterator[tuple]:
+        rng = random.Random(self.seed)
+        for i in range(count):
+            sensor = rng.randrange(self.n_sensors)
+            reading = 20.0 + 5.0 * rng.random() + sensor
+            yield (f"sensor-{sensor}", round(reading, 3), i)

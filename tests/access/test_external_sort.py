@@ -1,0 +1,92 @@
+"""External merge sort tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import ExternalSorter, RecordCodec
+from repro.access.record import ColumnType
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    FileManager,
+    MemoryDevice,
+    PageManager,
+)
+
+
+def make_sorter(run_capacity=50, fan_in=3, capacity=16):
+    fm = FileManager(DiskManager(MemoryDevice()))
+    pm = PageManager(BufferPool(fm, capacity=capacity))
+    codec = RecordCodec([ColumnType.INT, ColumnType.TEXT])
+    sorter = ExternalSorter(pm, codec, key=lambda r: r[0],
+                            run_capacity=run_capacity, fan_in=fan_in)
+    return sorter, fm
+
+
+class TestExternalSort:
+    def test_small_input_stays_in_memory(self):
+        sorter, _ = make_sorter(run_capacity=100)
+        rows = [(i, f"r{i}") for i in [3, 1, 2]]
+        assert list(sorter.sort(rows)) == sorted(rows)
+        assert sorter.stats["runs"] == 0
+
+    def test_empty_input(self):
+        sorter, _ = make_sorter()
+        assert list(sorter.sort([])) == []
+
+    def test_multi_run_merge(self):
+        sorter, _ = make_sorter(run_capacity=20, fan_in=3)
+        rng = random.Random(42)
+        rows = [(rng.randrange(10_000), f"row-{i}") for i in range(500)]
+        got = list(sorter.sort(rows))
+        assert got == sorted(rows, key=lambda r: r[0])
+        assert sorter.stats["runs"] >= 25
+        assert sorter.stats["merge_passes"] >= 2
+
+    def test_temp_files_cleaned_up(self):
+        sorter, fm = make_sorter(run_capacity=10, fan_in=2)
+        rows = [(i % 7, str(i)) for i in range(200)]
+        list(sorter.sort(rows))
+        leftovers = [n for n in fm.list_files() if n.startswith("__sort_tmp")]
+        assert leftovers == []
+
+    def test_duplicate_keys_preserved(self):
+        sorter, _ = make_sorter(run_capacity=5)
+        rows = [(1, f"x{i}") for i in range(40)]
+        got = list(sorter.sort(rows))
+        assert sorted(got) == sorted(rows)
+        assert len(got) == 40
+
+    def test_descending_via_key(self):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        pm = PageManager(BufferPool(fm, capacity=8))
+        codec = RecordCodec([ColumnType.INT])
+        sorter = ExternalSorter(pm, codec, key=lambda r: -r[0],
+                                run_capacity=10)
+        rows = [(i,) for i in range(100)]
+        got = list(sorter.sort(rows))
+        assert got == [(i,) for i in reversed(range(100))]
+
+    def test_bad_parameters(self):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        pm = PageManager(BufferPool(fm, capacity=8))
+        codec = RecordCodec([ColumnType.INT])
+        with pytest.raises(ValueError):
+            ExternalSorter(pm, codec, key=lambda r: r, run_capacity=0)
+        with pytest.raises(ValueError):
+            ExternalSorter(pm, codec, key=lambda r: r, fan_in=1)
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=400),
+           st.integers(2, 6), st.integers(5, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sorted(self, values, fan_in, run_capacity):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        pm = PageManager(BufferPool(fm, capacity=16))
+        codec = RecordCodec([ColumnType.INT])
+        sorter = ExternalSorter(pm, codec, key=lambda r: r[0],
+                                run_capacity=run_capacity, fan_in=fan_in)
+        rows = [(v,) for v in values]
+        assert list(sorter.sort(rows)) == sorted(rows)

@@ -1,0 +1,130 @@
+"""Extendible hash index tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import ExtendibleHashIndex, encode_key
+from repro.errors import DuplicateKeyError, IndexError_, KeyNotFoundError
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    FileManager,
+    MemoryDevice,
+    PageManager,
+)
+
+
+def k(i) -> bytes:
+    return encode_key(i)
+
+
+class TestBasics:
+    def test_insert_get(self):
+        idx = ExtendibleHashIndex()
+        idx.insert(k(1), b"one")
+        assert idx.get(k(1)) == b"one"
+        assert idx.get(k(2)) is None
+        assert idx.contains(k(1))
+
+    def test_duplicate_rejected(self):
+        idx = ExtendibleHashIndex()
+        idx.insert(k(1), b"a")
+        with pytest.raises(DuplicateKeyError):
+            idx.insert(k(1), b"b")
+        idx.insert(k(1), b"b", replace=True)
+        assert idx.get(k(1)) == b"b"
+
+    def test_delete(self):
+        idx = ExtendibleHashIndex()
+        idx.insert(k(1), b"a")
+        idx.delete(k(1))
+        assert not idx.contains(k(1))
+        with pytest.raises(KeyNotFoundError):
+            idx.delete(k(1))
+
+    def test_directory_doubles_under_load(self):
+        idx = ExtendibleHashIndex(bucket_capacity=4)
+        for i in range(200):
+            idx.insert(k(i), str(i).encode())
+        assert idx.global_depth > 1
+        assert idx.num_buckets > 2
+        for i in range(200):
+            assert idx.get(k(i)) == str(i).encode()
+        idx.check_invariants()
+
+    def test_items_yields_everything_once(self):
+        idx = ExtendibleHashIndex(bucket_capacity=2)
+        for i in range(50):
+            idx.insert(k(i), b"v")
+        assert len(dict(idx.items())) == 50
+        assert len(idx) == 50
+
+    def test_load_factor(self):
+        idx = ExtendibleHashIndex(bucket_capacity=10)
+        assert idx.load_factor() == 0.0
+        idx.insert(k(1), b"")
+        assert 0 < idx.load_factor() <= 1.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(IndexError_):
+            ExtendibleHashIndex(bucket_capacity=0)
+
+
+class TestPersistence:
+    def test_checkpoint_restore(self):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        fid = fm.create_file("hash")
+        pm = PageManager(BufferPool(fm, capacity=16))
+        idx = ExtendibleHashIndex(bucket_capacity=4)
+        for i in range(120):
+            idx.insert(k(i), f"value-{i}".encode())
+        idx.checkpoint(pm, fid)
+        pm.pool.flush_all()
+
+        restored = ExtendibleHashIndex.restore(pm, fid)
+        assert len(restored) == 120
+        assert restored.global_depth == idx.global_depth
+        for i in range(120):
+            assert restored.get(k(i)) == f"value-{i}".encode()
+        restored.check_invariants()
+
+    def test_restore_empty_file_rejected(self):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        fid = fm.create_file("hash")
+        pm = PageManager(BufferPool(fm, capacity=16))
+        with pytest.raises(IndexError_):
+            ExtendibleHashIndex.restore(pm, fid)
+
+    def test_checkpoint_shrinking_blob(self):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        fid = fm.create_file("hash")
+        pm = PageManager(BufferPool(fm, capacity=16))
+        idx = ExtendibleHashIndex(bucket_capacity=4)
+        for i in range(500):
+            idx.insert(k(i), b"x" * 50)
+        idx.checkpoint(pm, fid)
+        for i in range(490):
+            idx.delete(k(i))
+        idx.checkpoint(pm, fid)
+        restored = ExtendibleHashIndex.restore(pm, fid)
+        assert len(restored) == 10
+
+
+class TestModelBased:
+    @given(st.lists(st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=100)), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_against_dict(self, ops):
+        idx = ExtendibleHashIndex(bucket_capacity=3)
+        model: dict[int, bytes] = {}
+        for op, key in ops:
+            if op == "insert":
+                idx.insert(k(key), str(key).encode(), replace=True)
+                model[key] = str(key).encode()
+            elif key in model:
+                idx.delete(k(key))
+                del model[key]
+        assert dict(idx.items()) == {k(key): v for key, v in model.items()}
+        idx.check_invariants()

@@ -1,0 +1,113 @@
+"""Order-preservation properties of the key codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import decode_key, encode_key
+from repro.errors import RecordCodecError
+
+
+def sql_rank(value):
+    """Reference SQL-ish ordering rank: NULL < bool < number < text < bytes."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, value)
+
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+
+class TestScalars:
+    def test_int_ordering(self):
+        values = [-100, -1, 0, 1, 7, 100, 10**15]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_float_int_interleaving(self):
+        values = [-2.5, -2, -1.5, 0, 0.5, 1, 1.5, 2]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_text_ordering_with_embedded_nulls(self):
+        values = ["", "a", "a\x00", "a\x00b", "ab", "b"]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_text_prefix_free_within_arity(self):
+        # "a" must not encode to a prefix of "ab"'s encoding.
+        assert not encode_key("ab").startswith(encode_key("a"))
+
+    def test_null_sorts_first(self):
+        assert encode_key(None) < encode_key(False)
+        assert encode_key(None) < encode_key(-(2**62))
+        assert encode_key(None) < encode_key("")
+
+    def test_round_trip_scalars(self):
+        for value in [None, True, False, 0, -5, 7, 2.5, "héllo", b"\x00raw"]:
+            assert decode_key(encode_key(value)) == value
+
+    def test_large_int_exact_round_trip(self):
+        huge = 2**53 + 1  # not exactly representable as float
+        assert decode_key(encode_key(huge)) == huge
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(RecordCodecError):
+            encode_key({"not": "a key"})
+
+    @given(st.lists(scalar, min_size=2, max_size=20))
+    @settings(max_examples=300, deadline=None)
+    def test_order_preserved(self, values):
+        ranked = sorted(values, key=sql_rank)
+        encoded = sorted(values, key=encode_key)
+        assert [sql_rank(v) for v in encoded] == [sql_rank(v) for v in ranked]
+
+    @given(scalar)
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip_property(self, value):
+        decoded = decode_key(encode_key(value))
+        if isinstance(value, float) and not isinstance(value, bool):
+            assert decoded == value
+        else:
+            assert decoded == value
+            if value is not None and not isinstance(value, (int, float)):
+                assert type(decoded) is type(value)
+
+
+class TestComposite:
+    def test_tuple_ordering(self):
+        keys = [(1, "a"), (1, "b"), (2, "a"), (2, "a\x00"), (10, "")]
+        encoded = [encode_key(k) for k in keys]
+        assert encoded == sorted(encoded)
+
+    def test_tuple_round_trip(self):
+        key = (42, "name", None, True)
+        assert decode_key(encode_key(key), arity=4) == key
+
+    def test_component_prefix_enables_prefix_scan(self):
+        # Composite (k, rid) keys must share the prefix encode_key(k).
+        full = encode_key((7, "rid-1"))
+        assert full.startswith(encode_key(7))
+
+    @given(st.lists(st.tuples(scalar, scalar), min_size=2, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_composite_order_preserved(self, keys):
+        def rank(pair):
+            return (sql_rank(pair[0]), sql_rank(pair[1]))
+
+        by_rank = [rank(k) for k in sorted(keys, key=rank)]
+        by_bytes = [rank(k) for k in sorted(keys, key=encode_key)]
+        assert by_bytes == by_rank

@@ -1,0 +1,81 @@
+"""Hypothesis properties for relational operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import Aggregate, Distinct, Limit, Project, Select, \
+    Sort, Source
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-50, 50),
+              st.one_of(st.none(), st.integers(-10, 10))),
+    max_size=60)
+
+
+class TestSortProperties:
+    @given(rows_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_sort_matches_sorted_with_null_policy(self, rows):
+        source = Source.from_rows(["a", "b"], rows)
+        got = Sort(source, [(1, False), (0, False)]).to_list()
+        expected = sorted(rows, key=lambda r: (r[1] is not None, r[1]
+                                               if r[1] is not None else 0,
+                                               r[0]))
+        # NULLs first ascending; within equal b, ordered by a.
+        assert [r[1] for r in got] == [r[1] for r in expected]
+
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_sort_is_permutation(self, rows):
+        from collections import Counter
+
+        source = Source.from_rows(["a", "b"], rows)
+        got = Sort(source, [(0, True)]).to_list()
+        assert Counter(got) == Counter(rows)
+        assert [r[0] for r in got] == sorted((r[0] for r in rows),
+                                             reverse=True)
+
+
+class TestPipelineProperties:
+    @given(rows_strategy, st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_limit_offset_window(self, rows, limit, offset):
+        source = Source.from_rows(["a", "b"], rows)
+        got = Limit(source, limit, offset).to_list()
+        assert got == rows[offset:offset + limit]
+
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_preserves_first_occurrence_order(self, rows):
+        source = Source.from_rows(["a", "b"], rows)
+        got = Distinct(source).to_list()
+        seen = set()
+        expected = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                expected.append(row)
+        assert got == expected
+
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_select_project_compose(self, rows):
+        source = Source.from_rows(["a", "b"], rows)
+        pipeline = Project.by_indexes(
+            Select(source, lambda r: r[0] >= 0), [0])
+        assert pipeline.to_list() == [(a,) for a, _ in rows if a >= 0]
+
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_aggregate_sum_count_consistency(self, rows):
+        source = Source.from_rows(["a", "b"], rows)
+        out = Aggregate(source, [], [
+            ("n", "count", None), ("nn", "count", 1),
+            ("s", "sum", 1), ("lo", "min", 1), ("hi", "max", 1)]).to_list()
+        (n, nn, s, lo, hi), = out
+        non_null = [b for _, b in rows if b is not None]
+        assert n == len(rows)
+        assert nn == len(non_null)
+        assert s == (sum(non_null) if non_null else None)
+        assert lo == (min(non_null) if non_null else None)
+        assert hi == (max(non_null) if non_null else None)

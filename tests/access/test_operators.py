@@ -1,0 +1,199 @@
+"""Relational operator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import (
+    Aggregate,
+    Distinct,
+    HashJoin,
+    Limit,
+    MergeJoin,
+    NestedLoopJoin,
+    Project,
+    Select,
+    Sort,
+    Source,
+)
+from repro.errors import AccessError
+
+PEOPLE = Source.from_rows(
+    ["id", "name", "dept"],
+    [(1, "ada", "eng"), (2, "bob", "eng"), (3, "cyd", "ops"),
+     (4, "dee", None)])
+
+DEPTS = Source.from_rows(
+    ["dept", "floor"],
+    [("eng", 3), ("ops", 1), ("hr", 2)])
+
+
+class TestSelectProject:
+    def test_select(self):
+        rows = Select(PEOPLE, lambda r: r[2] == "eng").to_list()
+        assert [r[1] for r in rows] == ["ada", "bob"]
+
+    def test_select_restartable(self):
+        op = Select(PEOPLE, lambda r: True)
+        assert op.to_list() == op.to_list()
+
+    def test_project_by_indexes(self):
+        op = Project.by_indexes(PEOPLE, [1])
+        assert op.columns == ["name"]
+        assert op.to_list() == [("ada",), ("bob",), ("cyd",), ("dee",)]
+
+    def test_project_expressions(self):
+        op = Project(PEOPLE, ["upper"], [lambda r: r[1].upper()])
+        assert op.to_list()[0] == ("ADA",)
+
+    def test_project_arity_mismatch(self):
+        with pytest.raises(AccessError):
+            Project(PEOPLE, ["a", "b"], [lambda r: r[0]])
+
+
+class TestSortLimitDistinct:
+    def test_sort_ascending(self):
+        op = Sort(PEOPLE, [(1, False)])
+        assert [r[1] for r in op] == ["ada", "bob", "cyd", "dee"]
+
+    def test_sort_descending(self):
+        op = Sort(PEOPLE, [(0, True)])
+        assert [r[0] for r in op] == [4, 3, 2, 1]
+
+    def test_sort_nulls_first_ascending(self):
+        op = Sort(PEOPLE, [(2, False)])
+        assert op.to_list()[0][2] is None
+
+    def test_sort_nulls_last_descending(self):
+        op = Sort(PEOPLE, [(2, True)])
+        assert op.to_list()[-1][2] is None
+
+    def test_sort_multi_key(self):
+        rows = Source.from_rows(["a", "b"], [(1, 2), (1, 1), (0, 9)])
+        got = Sort(rows, [(0, False), (1, True)]).to_list()
+        assert got == [(0, 9), (1, 2), (1, 1)]
+
+    def test_limit(self):
+        assert len(Limit(PEOPLE, 2).to_list()) == 2
+
+    def test_limit_offset(self):
+        got = Limit(PEOPLE, 2, offset=1).to_list()
+        assert [r[0] for r in got] == [2, 3]
+
+    def test_offset_past_end(self):
+        assert Limit(PEOPLE, 5, offset=10).to_list() == []
+
+    def test_limit_none_is_offset_only(self):
+        assert len(Limit(PEOPLE, None, offset=1).to_list()) == 3
+
+    def test_distinct(self):
+        rows = Source.from_rows(["x"], [(1,), (2,), (1,), (3,), (2,)])
+        assert Distinct(rows).to_list() == [(1,), (2,), (3,)]
+
+
+class TestJoins:
+    def test_nested_loop(self):
+        op = NestedLoopJoin(PEOPLE, DEPTS, lambda o, i: o[2] == i[0])
+        got = op.to_list()
+        assert len(got) == 3
+        assert got[0] == (1, "ada", "eng", "eng", 3)
+
+    def test_hash_join(self):
+        op = HashJoin(PEOPLE, DEPTS, [2], [0])
+        got = sorted(op.to_list())
+        assert len(got) == 3
+        assert got[0][:3] == (1, "ada", "eng")
+
+    def test_hash_join_null_keys_never_match(self):
+        op = HashJoin(PEOPLE, DEPTS, [2], [0])
+        names = [r[1] for r in op]
+        assert "dee" not in names
+
+    def test_left_outer_hash_join(self):
+        op = HashJoin(PEOPLE, DEPTS, [2], [0], left_outer=True)
+        got = {r[1]: r for r in op}
+        assert got["dee"][3:] == (None, None)
+        assert got["ada"][4] == 3
+
+    def test_hash_join_key_arity_mismatch(self):
+        with pytest.raises(AccessError):
+            HashJoin(PEOPLE, DEPTS, [2], [0, 1])
+
+    def test_merge_join(self):
+        left = Sort(PEOPLE, [(2, False)])
+        right = Sort(DEPTS, [(0, False)])
+        got = MergeJoin(left, right, 2, 0).to_list()
+        assert len(got) == 3
+
+    def test_merge_join_duplicate_runs(self):
+        left = Source.from_rows(["k"], [(1,), (1,), (2,)])
+        right = Source.from_rows(["k"], [(1,), (1,), (3,)])
+        got = MergeJoin(left, right, 0, 0).to_list()
+        assert len(got) == 4  # 2x2 cross product on key 1
+
+    def test_joins_agree(self):
+        nl = sorted(NestedLoopJoin(
+            PEOPLE, DEPTS, lambda o, i: o[2] == i[0]).to_list())
+        hj = sorted(HashJoin(PEOPLE, DEPTS, [2], [0]).to_list())
+        mj = sorted(MergeJoin(Sort(PEOPLE, [(2, False)]),
+                              Sort(DEPTS, [(0, False)]), 2, 0).to_list())
+        assert nl == hj == mj
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)),
+                    max_size=30),
+           st.lists(st.tuples(st.integers(0, 5), st.text(max_size=3)),
+                    max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_join_equivalence_property(self, left_rows, right_rows):
+        left = Source.from_rows(["k", "v"], left_rows)
+        right = Source.from_rows(["k", "w"], right_rows)
+        nl = sorted(NestedLoopJoin(
+            left, right, lambda o, i: o[0] == i[0]).to_list())
+        hj = sorted(HashJoin(left, right, [0], [0]).to_list())
+        mj = sorted(MergeJoin(Sort(left, [(0, False)]),
+                              Sort(right, [(0, False)]), 0, 0).to_list())
+        assert nl == hj == mj
+
+
+class TestAggregate:
+    SALES = Source.from_rows(
+        ["region", "amount"],
+        [("n", 10), ("n", 20), ("s", 5), ("s", None), ("w", 7)])
+
+    def test_group_by_sum(self):
+        op = Aggregate(self.SALES, [0], [("total", "sum", 1)])
+        got = dict(op.to_list())
+        assert got == {"n": 30, "s": 5, "w": 7}
+
+    def test_count_star_counts_nulls(self):
+        op = Aggregate(self.SALES, [0], [("c", "count", None)])
+        got = dict(op.to_list())
+        assert got["s"] == 2
+
+    def test_count_column_skips_nulls(self):
+        op = Aggregate(self.SALES, [0], [("c", "count", 1)])
+        assert dict(op.to_list())["s"] == 1
+
+    def test_avg_min_max(self):
+        op = Aggregate(self.SALES, [], [
+            ("a", "avg", 1), ("lo", "min", 1), ("hi", "max", 1)])
+        (row,) = op.to_list()
+        assert row == (10.5, 5, 20)
+
+    def test_global_aggregate_on_empty_input(self):
+        empty = Source.from_rows(["x"], [])
+        op = Aggregate(empty, [], [("c", "count", None), ("s", "sum", 0)])
+        assert op.to_list() == [(0, None)]
+
+    def test_group_by_empty_input_yields_nothing(self):
+        empty = Source.from_rows(["x"], [])
+        op = Aggregate(empty, [0], [("c", "count", None)])
+        assert op.to_list() == []
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(AccessError):
+            Aggregate(self.SALES, [], [("x", "median", 1)])
+
+    def test_columns_names(self):
+        op = Aggregate(self.SALES, [0], [("total", "sum", 1)])
+        assert op.columns == ["region", "total"]

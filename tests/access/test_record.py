@@ -1,0 +1,120 @@
+"""Record codec tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access import ColumnType, RecordCodec
+from repro.errors import RecordCodecError
+
+ALL = [ColumnType.INT, ColumnType.FLOAT, ColumnType.BOOL,
+       ColumnType.TEXT, ColumnType.BYTES]
+
+
+class TestBasics:
+    def test_round_trip_all_types(self):
+        codec = RecordCodec(ALL)
+        row = (42, 3.5, True, "héllo", b"\x00\x01")
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls(self):
+        codec = RecordCodec(ALL)
+        row = (None, None, None, None, None)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_mixed_nulls(self):
+        codec = RecordCodec(ALL)
+        row = (7, None, False, None, b"")
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_arity_mismatch(self):
+        codec = RecordCodec([ColumnType.INT])
+        with pytest.raises(RecordCodecError):
+            codec.encode((1, 2))
+
+    def test_type_mismatch(self):
+        codec = RecordCodec([ColumnType.INT])
+        with pytest.raises(RecordCodecError):
+            codec.encode(("not an int",))
+
+    def test_bool_rejected_for_int_column(self):
+        codec = RecordCodec([ColumnType.INT])
+        with pytest.raises(RecordCodecError):
+            codec.encode((True,))
+
+    def test_int_accepted_for_float_column(self):
+        codec = RecordCodec([ColumnType.FLOAT])
+        assert codec.decode(codec.encode((3,))) == (3.0,)
+
+    def test_int_out_of_range(self):
+        codec = RecordCodec([ColumnType.INT])
+        with pytest.raises(RecordCodecError):
+            codec.encode((1 << 70,))
+
+    def test_trailing_garbage_detected(self):
+        codec = RecordCodec([ColumnType.INT])
+        data = codec.encode((1,)) + b"x"
+        with pytest.raises(RecordCodecError):
+            codec.decode(data)
+
+    def test_truncated_detected(self):
+        codec = RecordCodec([ColumnType.TEXT])
+        data = codec.encode(("hello",))[:-2]
+        with pytest.raises(RecordCodecError):
+            codec.decode(data)
+
+    def test_empty_schema(self):
+        codec = RecordCodec([])
+        assert codec.decode(codec.encode(())) == ()
+
+    def test_parse_aliases(self):
+        assert ColumnType.parse("VARCHAR") is ColumnType.TEXT
+        assert ColumnType.parse("integer") is ColumnType.INT
+        assert ColumnType.parse("DOUBLE") is ColumnType.FLOAT
+        with pytest.raises(RecordCodecError):
+            ColumnType.parse("geometry")
+
+    def test_from_names(self):
+        codec = RecordCodec.from_names(["int", "text"])
+        assert codec.types == (ColumnType.INT, ColumnType.TEXT)
+
+    def test_encoded_size_matches(self):
+        codec = RecordCodec(ALL)
+        row = (1, 2.0, False, "abc", b"xyz")
+        assert codec.encoded_size(row) == len(codec.encode(row))
+
+
+def _value_for(ctype):
+    if ctype is ColumnType.INT:
+        return st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    if ctype is ColumnType.FLOAT:
+        return st.floats(allow_nan=False)
+    if ctype is ColumnType.BOOL:
+        return st.booleans()
+    if ctype is ColumnType.TEXT:
+        return st.text(max_size=200)
+    return st.binary(max_size=200)
+
+
+@st.composite
+def schema_and_row(draw):
+    types = draw(st.lists(st.sampled_from(ALL), min_size=1, max_size=12))
+    row = tuple(
+        draw(st.one_of(st.none(), _value_for(t))) for t in types)
+    return types, row
+
+
+class TestProperties:
+    @given(schema_and_row())
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip(self, schema_row):
+        types, row = schema_row
+        codec = RecordCodec(types)
+        assert codec.decode(codec.encode(row)) == row
+
+    @given(schema_and_row())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, schema_row):
+        types, row = schema_row
+        codec = RecordCodec(types)
+        assert codec.encode(row) == codec.encode(row)

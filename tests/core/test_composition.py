@@ -1,0 +1,108 @@
+"""Composition engine tests (§3.3 setup/operational phases)."""
+
+import pytest
+
+from repro.core import (
+    FunctionService,
+    Interface,
+    ServiceContract,
+    ServiceRegistry,
+    ServiceRepository,
+    WorkflowEngine,
+    op,
+)
+from repro.core.composition import (
+    CompositionEngine,
+    ProcessDescription,
+    ProcessStep,
+)
+from repro.errors import CompositionError
+
+
+def kv(name, iface="KV", get_name="get", put_name="put"):
+    store = {}
+    svc = FunctionService(
+        name,
+        ServiceContract(name, (Interface(iface, (
+            op(get_name, "key:str", returns="any"),
+            op(put_name, "key:str", "value:any"))),)),
+        handlers={get_name: lambda key: store.get(key),
+                  put_name: lambda key, value: store.__setitem__(key,
+                                                                 value)})
+    svc.setup()
+    svc.start()
+    return svc
+
+
+def roundtrip_process(iface="KV"):
+    return ProcessDescription(task="roundtrip", steps=[
+        ProcessStep(iface, "put",
+                    bind_args=lambda ctx: {"key": ctx["key"],
+                                           "value": ctx["value"]}),
+        ProcessStep(iface, "get",
+                    bind_args=lambda ctx: {"key": ctx["key"]},
+                    save_as="result"),
+    ])
+
+
+class TestCompose:
+    def test_compose_with_direct_providers(self):
+        registry = ServiceRegistry()
+        registry.register(kv("kv-main"))
+        engine = WorkflowEngine(registry)
+        composer = CompositionEngine(registry, workflow_engine=engine)
+        result = composer.compose(roundtrip_process())
+        assert result.bindings == {"KV": "kv-main"}
+        assert result.adaptors_created == []
+        trace = engine.execute_task("roundtrip", {"key": "k", "value": 9})
+        assert trace.succeeded and trace.result == 9
+
+    def test_compose_generates_adaptor_for_missing_interface(self):
+        registry = ServiceRegistry()
+        # Only a differently-interfaced service is deployed...
+        registry.register(kv("legacy", iface="Legacy",
+                             get_name="fetch", put_name="store"))
+        repository = ServiceRepository()
+        # ...but the repository knows what KV should look like.
+        repository.publish_contract(ServiceContract(
+            "kv-spec", (Interface("KV", (
+                op("get", "key:str", returns="any"),
+                op("put", "key:str", "value:any"))),)))
+        engine = WorkflowEngine(registry)
+        composer = CompositionEngine(registry, repository, engine)
+        result = composer.compose(roundtrip_process())
+        assert result.adaptors_created
+        assert result.bindings["KV"].startswith("adaptor:")
+        trace = engine.execute_task("roundtrip", {"key": "k", "value": 5})
+        assert trace.succeeded and trace.result == 5
+
+    def test_compose_fails_with_diagnosis(self):
+        registry = ServiceRegistry()
+        composer = CompositionEngine(registry)
+        with pytest.raises(CompositionError, match="KV"):
+            composer.compose(roundtrip_process())
+
+    def test_recompose_after_architecture_change(self):
+        registry = ServiceRegistry()
+        primary = kv("kv-main")
+        registry.register(primary)
+        engine = WorkflowEngine(registry)
+        composer = CompositionEngine(registry, workflow_engine=engine)
+        composer.compose(roundtrip_process())
+        # Architecture changes: primary dies, replacement appears.
+        primary.fail()
+        registry.register(kv("kv-new"))
+        result = composer.recompose(roundtrip_process())
+        assert result.bindings == {"KV": "kv-new"}
+        trace = engine.execute_task("roundtrip", {"key": "x", "value": 1})
+        assert trace.succeeded
+        # Only one registration for the task remains.
+        assert len(engine.alternatives("roundtrip")) == 1
+
+    def test_compose_without_workflow_engine(self):
+        registry = ServiceRegistry()
+        registry.register(kv("kv-main"))
+        composer = CompositionEngine(registry)
+        result = composer.compose(roundtrip_process())
+        assert result.workflow.task == "roundtrip"
+        assert len(composer.compositions) == 1

@@ -1,0 +1,118 @@
+"""Contract, interface, and policy tests."""
+
+import pytest
+
+from repro.core import (
+    Interface,
+    Operation,
+    Parameter,
+    QualityDescription,
+    ServiceContract,
+    ServicePolicy,
+    op,
+)
+from repro.errors import ContractViolationError
+
+
+class TestOperationShorthand:
+    def test_op_parses_params(self):
+        operation = op("read", "offset:int", "length:int", returns="bytes")
+        assert operation.name == "read"
+        assert operation.params == (Parameter("offset", "int"),
+                                    Parameter("length", "int"))
+        assert operation.returns == "bytes"
+
+    def test_untyped_params_are_any(self):
+        operation = op("f", "x")
+        assert operation.params[0].type == "any"
+
+
+class TestCompatibility:
+    def test_identical_signatures_compatible(self):
+        a = op("read", "offset:int", returns="bytes")
+        b = op("fetch", "pos:int", returns="bytes")
+        assert a.signature_compatible(b)
+
+    def test_any_matches_everything(self):
+        a = op("f", "x:any")
+        b = op("g", "y:int")
+        assert a.signature_compatible(b)
+
+    def test_arity_mismatch_incompatible(self):
+        assert not op("f", "x:int").signature_compatible(op("g"))
+
+    def test_type_mismatch_incompatible(self):
+        assert not op("f", "x:int").signature_compatible(op("g", "y:str"))
+
+    def test_return_mismatch_incompatible(self):
+        a = op("f", returns="int")
+        b = op("g", returns="str")
+        assert not a.signature_compatible(b)
+
+    def test_interface_satisfaction(self):
+        needed = Interface("Store", (op("put", "key:str", "value:bytes"),))
+        bigger = Interface("KV", (op("put", "key:str", "value:bytes"),
+                                  op("get", "key:str", returns="bytes")))
+        assert needed.is_satisfied_by(bigger)
+        assert not bigger.is_satisfied_by(needed)
+
+    def test_interface_operation_lookup(self):
+        iface = Interface("I", (op("a"), op("b")))
+        assert iface.operation("a").name == "a"
+        assert iface.operation("zz") is None
+
+
+class TestPolicy:
+    def test_precondition_enforced(self):
+        policy = ServicePolicy(preconditions={
+            "positive_length": lambda op_, args: args.get("length", 1) > 0})
+        policy.check_call("read", {"length": 5})
+        with pytest.raises(ContractViolationError, match="positive_length"):
+            policy.check_call("read", {"length": 0})
+
+    def test_assertion_enforced(self):
+        policy = ServicePolicy(assertions={
+            "has_capacity": lambda props: props.get("capacity", 0) > 0})
+        policy.check_properties({"capacity": 10})
+        with pytest.raises(ContractViolationError):
+            policy.check_properties({"capacity": 0})
+
+
+class TestSerialisation:
+    def make_contract(self):
+        return ServiceContract(
+            service_name="buffer-manager",
+            interfaces=(
+                Interface("Buffer", (
+                    op("pin", "page:int", returns="bytes"),
+                    op("unpin", "page:int", "dirty:bool"))),),
+            description="caches pages",
+            data_types={"page": "4KB block"},
+            policy=ServicePolicy(dependencies=["Disk"]),
+            quality=QualityDescription(latency_ms=0.1, availability=0.999,
+                                       footprint_kb=256.0,
+                                       extra={"hit_rate": 0.9}),
+            tags=frozenset({"storage", "cache"}))
+
+    def test_round_trip_structure(self):
+        contract = self.make_contract()
+        data = contract.to_dict()
+        back = ServiceContract.from_dict(data)
+        assert back.service_name == contract.service_name
+        assert back.interfaces == contract.interfaces
+        assert back.policy.dependencies == ["Disk"]
+        assert back.quality.latency_ms == 0.1
+        assert back.quality.extra == {"hit_rate": 0.9}
+        assert back.tags == contract.tags
+        # The dict form is the "open format": it must be JSON-shaped.
+        import json
+        json.dumps(data)
+
+    def test_provides_and_find_operation(self):
+        contract = self.make_contract()
+        assert contract.provides("Buffer")
+        assert not contract.provides("Disk")
+        iface, operation = contract.find_operation("pin")
+        assert iface.name == "Buffer"
+        assert operation.returns == "bytes"
+        assert contract.find_operation("nope") is None

@@ -1,0 +1,436 @@
+"""Tests for the three flexibility mechanisms and their engines:
+workflows + selection (§3.5), adaptation (§3.6), extension (§3.4),
+the coordinator (§3.1/§3.7), quality monitoring, and the kernel façade.
+"""
+
+import pytest
+
+from repro.core import (
+    AdaptationEngine,
+    CoordinatorService,
+    EventBus,
+    FirstAvailablePolicy,
+    FunctionService,
+    Interface,
+    MeasuredLatencyPolicy,
+    QualityDescription,
+    QualityDrivenPolicy,
+    QualityMonitor,
+    ResourceAwarePolicy,
+    ResourceManager,
+    ResourcePool,
+    RoundRobinPolicy,
+    SBDMSKernel,
+    ServiceContract,
+    ServiceRegistry,
+    ServiceRepository,
+    Step,
+    Workflow,
+    WorkflowEngine,
+    op,
+)
+from repro.errors import (
+    CompositionError,
+    ContractViolationError,
+    KernelError,
+    ServiceNotFoundError,
+)
+
+
+def kv_service(name, iface="KV", latency_ms=None, device=None,
+               fail_get=False, layer="extension"):
+    store = {}
+
+    def get(key):
+        if fail_get:
+            raise RuntimeError(f"{name} broken")
+        return store.get(key)
+
+    svc = FunctionService(
+        name,
+        ServiceContract(
+            name,
+            (Interface(iface, (op("get", "key:str", returns="any"),
+                               op("put", "key:str", "value:any"))),),
+            quality=QualityDescription(latency_ms=latency_ms)),
+        handlers={"get": get,
+                  "put": lambda key, value: store.__setitem__(key, value)},
+        layer=layer)
+    svc.setup()
+    svc.start()
+    if device:
+        svc.set_property("device", device)
+    return svc
+
+
+class TestSelectionPolicies:
+    def test_first_available(self):
+        a, b = kv_service("a"), kv_service("b")
+        assert FirstAvailablePolicy().choose("KV", [a, b]) is a
+        with pytest.raises(ServiceNotFoundError):
+            FirstAvailablePolicy().choose("KV", [])
+
+    def test_round_robin_rotates(self):
+        a, b = kv_service("a"), kv_service("b")
+        policy = RoundRobinPolicy()
+        picks = [policy.choose("KV", [a, b]).name for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_quality_driven_prefers_low_latency(self):
+        slow = kv_service("slow", latency_ms=10.0)
+        fast = kv_service("fast", latency_ms=0.1)
+        assert QualityDrivenPolicy().choose("KV", [slow, fast]) is fast
+
+    def test_quality_driven_footprint_weight(self):
+        big = kv_service("big", latency_ms=1.0)
+        big.contract.quality.footprint_kb = 10_000
+        small = kv_service("small", latency_ms=1.0)
+        small.contract.quality.footprint_kb = 10
+        policy = QualityDrivenPolicy(footprint_weight=1.0)
+        assert policy.choose("KV", [big, small]) is small
+
+    def test_measured_latency_uses_observations(self):
+        a = kv_service("a", latency_ms=100.0)  # advertised slow
+        b = kv_service("b", latency_ms=0.001)  # advertised fast
+        # but measured: a is actually fast
+        a.metrics.invocations = 10
+        a.metrics.total_latency_s = 0.0001
+        b.metrics.invocations = 10
+        b.metrics.total_latency_s = 5.0
+        assert MeasuredLatencyPolicy().choose("KV", [a, b]) is a
+
+    def test_resource_aware_avoids_pressured_devices(self):
+        a = kv_service("a", device="phone")
+        b = kv_service("b", device="server")
+        pressured = {"phone"}
+        policy = ResourceAwarePolicy(pressured)
+        assert policy.choose("KV", [a, b]) is b
+        # When every candidate is pressured, still serve (degraded beats dead).
+        pressured.add("server")
+        assert policy.choose("KV", [a, b]) is a
+
+
+class TestWorkflowEngine:
+    def make_engine(self):
+        registry = ServiceRegistry()
+        registry.register(kv_service("kv-main"))
+        return WorkflowEngine(registry), registry
+
+    def put_get_workflow(self, name="wf", task="roundtrip", priority=0,
+                         iface="KV"):
+        return Workflow(name, task, steps=[
+            Step(iface, "put",
+                 bind_args=lambda ctx: {"key": ctx["key"],
+                                        "value": ctx["value"]}),
+            Step(iface, "get", bind_args=lambda ctx: {"key": ctx["key"]},
+                 save_as="result"),
+        ], priority=priority)
+
+    def test_execute_workflow(self):
+        engine, _ = self.make_engine()
+        engine.register(self.put_get_workflow())
+        trace = engine.execute_task("roundtrip", {"key": "k", "value": 42})
+        assert trace.succeeded
+        assert trace.result == 42
+        assert trace.steps_run == 2
+        assert trace.services_used == ["kv-main", "kv-main"]
+
+    def test_duplicate_workflow_rejected(self):
+        engine, _ = self.make_engine()
+        engine.register(self.put_get_workflow())
+        with pytest.raises(CompositionError):
+            engine.register(self.put_get_workflow())
+
+    def test_unknown_task_rejected(self):
+        engine, _ = self.make_engine()
+        with pytest.raises(CompositionError):
+            engine.execute_task("nope")
+
+    def test_late_binding_resolves_at_call_time(self):
+        engine, registry = self.make_engine()
+        engine.register(self.put_get_workflow())
+        # Replace the provider between executions: no workflow change needed.
+        registry.get("kv-main").fail()
+        registry.register(kv_service("kv-backup"))
+        trace = engine.execute_task("roundtrip", {"key": "x", "value": 1})
+        assert trace.succeeded
+        assert set(trace.services_used) == {"kv-backup"}
+
+    def test_alternative_fallback_on_failure(self):
+        registry = ServiceRegistry()
+        registry.register(kv_service("broken", iface="KVa", fail_get=True))
+        registry.register(kv_service("healthy", iface="KVb"))
+        engine = WorkflowEngine(registry)
+        engine.register(self.put_get_workflow("primary", priority=10,
+                                              iface="KVa"))
+        engine.register(self.put_get_workflow("fallback", priority=1,
+                                              iface="KVb"))
+        trace = engine.execute_task("roundtrip", {"key": "k", "value": 7})
+        assert trace.succeeded
+        assert trace.workflow == "fallback"
+        # The failed attempt is recorded too.
+        assert len(engine.traces) == 2
+        assert not engine.traces[0].succeeded
+
+    def test_priority_orders_alternatives(self):
+        engine, _ = self.make_engine()
+        engine.register(self.put_get_workflow("low", priority=1))
+        engine.register(self.put_get_workflow("high", priority=5))
+        assert [w.name for w in engine.alternatives("roundtrip")] == \
+            ["high", "low"]
+
+    def test_viability(self):
+        engine, registry = self.make_engine()
+        wf = self.put_get_workflow()
+        engine.register(wf)
+        assert engine.viable(wf)
+        registry.get("kv-main").fail()
+        assert not engine.viable(wf)
+        assert engine.viable_alternatives("roundtrip") == []
+
+    def test_missing_interface_fails_trace(self):
+        engine, _ = self.make_engine()
+        engine.register(self.put_get_workflow(iface="Nonexistent"))
+        trace = engine.execute_task("roundtrip", {"key": "k", "value": 1})
+        assert not trace.succeeded
+        assert "ServiceNotFoundError" in trace.error
+
+
+class TestAdaptationEngine:
+    def test_recompose_same_interface(self):
+        registry = ServiceRegistry()
+        primary = kv_service("primary")
+        backup = kv_service("backup")
+        registry.register(primary)
+        registry.register(backup)
+        engine = AdaptationEngine(registry)
+        primary.fail()
+        outcome = engine.handle_failure("primary")
+        assert outcome.succeeded
+        assert outcome.strategy == "recompose"
+        assert outcome.substitutes == {"KV": "backup"}
+        assert outcome.adaptors_created == []
+
+    def test_adapt_different_interface(self):
+        registry = ServiceRegistry()
+        primary = kv_service("primary")
+        registry.register(primary)
+        legacy = FunctionService(
+            "legacy",
+            ServiceContract("legacy", (Interface("Legacy", (
+                op("get", "key:str", returns="any"),
+                op("put", "key:str", "value:any"))),)),
+            handlers={"get": lambda key: f"legacy:{key}",
+                      "put": lambda key, value: None})
+        legacy.setup()
+        legacy.start()
+        registry.register(legacy)
+        engine = AdaptationEngine(registry)
+        primary.fail()
+        outcome = engine.handle_failure("primary")
+        assert outcome.succeeded
+        assert outcome.strategy == "adapt"
+        assert outcome.adaptors_created
+        adaptor = registry.get(outcome.substitutes["KV"])
+        assert adaptor.invoke("get", key="k") == "legacy:k"
+
+    def test_no_substitute_fails_gracefully(self):
+        registry = ServiceRegistry()
+        primary = kv_service("primary")
+        registry.register(primary)
+        engine = AdaptationEngine(registry)
+        primary.fail()
+        outcome = engine.handle_failure("primary")
+        assert not outcome.succeeded
+        assert outcome.error
+        assert engine.stats()["attempts"] == 1
+        assert engine.stats()["succeeded"] == 0
+
+    def test_adaptation_events_published(self):
+        registry = ServiceRegistry()
+        a, b = kv_service("a"), kv_service("b")
+        registry.register(a)
+        registry.register(b)
+        engine = AdaptationEngine(registry)
+        topics = []
+        registry.events.subscribe("adaptation.*",
+                                  lambda e: topics.append(e.topic))
+        a.fail()
+        engine.handle_failure("a")
+        assert topics == ["adaptation.succeeded"]
+
+
+class TestCoordinator:
+    def make(self):
+        registry = ServiceRegistry()
+        resources = ResourceManager(ResourcePool({"memory": 100.0}),
+                                    registry.events)
+        adaptation = AdaptationEngine(registry)
+        coordinator = CoordinatorService("coord", registry,
+                                         registry.events, resources,
+                                         adaptation)
+        coordinator.setup()
+        coordinator.start()
+        return coordinator, registry, resources
+
+    def test_monitor_detects_failure_and_adapts(self):
+        coordinator, registry, _ = self.make()
+        primary, backup = kv_service("primary"), kv_service("backup")
+        registry.register(primary)
+        registry.register(backup)
+        coordinator.manage("primary")
+        assert coordinator.invoke("monitor")["changes"] == []
+        primary.fail()
+        result = coordinator.invoke("monitor")
+        assert result["changes"][0]["to"] == "failed"
+        assert len(coordinator.incidents) == 1
+        incident = coordinator.incidents[0]
+        assert incident.resolved
+        assert incident.action == "recompose"
+
+    def test_monitor_detects_recovery(self):
+        coordinator, registry, _ = self.make()
+        svc = kv_service("svc")
+        registry.register(svc)
+        registry.register(kv_service("spare"))
+        coordinator.manage("svc")
+        svc.fail()
+        coordinator.invoke("monitor")
+        svc.repair()
+        svc.start()
+        coordinator.invoke("monitor")
+        kinds = [i.kind for i in coordinator.incidents]
+        assert kinds == ["failed", "recovered"]
+
+    def test_release_resources_figure6(self):
+        coordinator, registry, resources = self.make()
+        hog = kv_service("hog")
+        needy = kv_service("needy")
+        registry.register(hog)
+        registry.register(needy)
+        coordinator.manage("hog")
+        coordinator.manage("needy")
+        resources.grant("hog", "memory", 80)
+        released = coordinator.invoke("release_resources",
+                                      service="needy", resource="memory")
+        assert released == 80
+        assert resources.pool.available("memory") == 100
+        # The coordinator advised the holder via its properties.
+        assert hog.get_property("resource_constrained") == "memory"
+
+    def test_status_reports_unresolved(self):
+        coordinator, registry, _ = self.make()
+        lonely = kv_service("lonely")
+        registry.register(lonely)
+        coordinator.manage("lonely")
+        lonely.fail()
+        coordinator.invoke("monitor")
+        status = coordinator.invoke("status")
+        assert status["unresolved"] == 1
+        assert status["managed"]["lonely"] == "failed"
+
+
+class TestExtensionAndKernel:
+    def test_publish_figure5(self):
+        kernel = SBDMSKernel()
+        record = kernel.publish(kv_service("page-coordinator"))
+        assert record.interfaces == ["KV"]
+        assert kernel.call("KV", "put", key="a", value=1) is None
+        assert kernel.call("KV", "get", key="a") == 1
+
+    def test_publish_checks_contract_implementation(self):
+        from repro.core import Service
+
+        class Hollow(Service):
+            def __init__(self):
+                super().__init__("hollow", ServiceContract(
+                    "hollow", (Interface("H", (op("ghost"),)),)))
+
+        kernel = SBDMSKernel()
+        with pytest.raises(ContractViolationError):
+            kernel.publish(Hollow())
+
+    def test_update_stops_only_target(self):
+        kernel = SBDMSKernel()
+        kernel.publish(kv_service("svc-a"))
+        other = kv_service("svc-b")
+        kernel.publish(other)
+        record = kernel.update(kv_service("svc-a"))
+        assert record.services_stopped == 1
+        assert record.downtime_s >= 0
+        assert other.available  # untouched
+        assert kernel.call("KV", "get", key="none") is None
+
+    def test_update_unknown_rejected(self):
+        kernel = SBDMSKernel()
+        with pytest.raises(KernelError):
+            kernel.update(kv_service("ghost"))
+
+    def test_retire_respects_dependencies(self):
+        kernel = SBDMSKernel()
+        provider = kv_service("provider", iface="Dep")
+        kernel.publish(provider)
+        dependent = kv_service("dependent")
+        dependent.contract.policy.dependencies.append("Dep")
+        kernel.publish(dependent)
+        with pytest.raises(ContractViolationError):
+            kernel.retire("provider")
+        # With an alternative provider it works.
+        kernel.publish(kv_service("provider2", iface="Dep"))
+        retired = kernel.retire("provider")
+        assert retired.name == "provider"
+
+    def test_retire_force(self):
+        kernel = SBDMSKernel()
+        provider = kv_service("p", iface="Dep")
+        kernel.publish(provider)
+        dependent = kv_service("d")
+        dependent.contract.policy.dependencies.append("Dep")
+        kernel.publish(dependent)
+        kernel.retire("p", force=True)
+        assert "p" not in kernel.registry
+
+    def test_kernel_snapshot(self):
+        kernel = SBDMSKernel(name="test-kernel")
+        kernel.publish(kv_service("s", layer="storage"))
+        snap = kernel.snapshot()
+        assert snap["kernel"] == "test-kernel"
+        assert "s" in snap["layers"]["storage"]
+        assert snap["binding"] == "local"
+
+    def test_kernel_monitor_sweep_heals(self):
+        kernel = SBDMSKernel()
+        primary = kv_service("primary")
+        kernel.publish(primary)
+        kernel.publish(kv_service("backup"))
+        primary.fail()
+        kernel.monitor_sweep()
+        assert kernel.coordinator.incidents[0].resolved
+        # Calls still work through the surviving provider.
+        assert kernel.call("KV", "get", key="zz") is None
+
+    def test_shutdown(self):
+        kernel = SBDMSKernel()
+        svc = kv_service("s")
+        kernel.publish(svc)
+        kernel.shutdown()
+        assert not svc.available
+
+
+class TestQualityMonitor:
+    def test_reports(self):
+        registry = ServiceRegistry()
+        svc = kv_service("kv", layer="storage")
+        registry.register(svc)
+        monitor = QualityMonitor(registry)
+        for i in range(5):
+            svc.invoke("put", key=str(i), value=i)
+        monitor.observe_all()
+        report = monitor.report("kv")
+        assert report.invocations == 5
+        assert report.throughput_ops > 0
+        assert report.availability == 1.0
+        assert report.failure_rate == 0.0
+        scorecard = monitor.scorecard(layer="storage")
+        assert [r.service for r in scorecard] == ["kv"]
+        assert report.score() > 0

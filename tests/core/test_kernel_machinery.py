@@ -1,0 +1,368 @@
+"""Tests for bindings, registry, repository, adaptors, resources, events,
+properties — the kernel machinery."""
+
+import pytest
+
+from repro.core import (
+    AdaptorService,
+    ArchitectureProperties,
+    EventBus,
+    FunctionService,
+    Interface,
+    LocalBinding,
+    OperationMapping,
+    QualityDescription,
+    ResourceManager,
+    ResourcePool,
+    ServiceContract,
+    ServiceRegistry,
+    ServiceRepository,
+    SimClock,
+    SimulatedRmiBinding,
+    SimulatedSoapBinding,
+    FileBinding,
+    TransformationSchema,
+    generate_adaptor,
+    make_binding,
+    op,
+)
+from repro.errors import (
+    AdaptationError,
+    KernelError,
+    ResourceExhaustedError,
+    ServiceNotFoundError,
+)
+
+
+def make_service(name, iface="KV", ops=None, tags=(), quality=None,
+                 layer="extension"):
+    operations = ops or (op("get", "key:str", returns="any"),
+                         op("put", "key:str", "value:any"))
+    store = {}
+    handlers = {"get": lambda key: store.get(key),
+                "put": lambda key, value: store.__setitem__(key, value)}
+    handlers = {o.name: handlers.get(o.name, lambda **kw: kw)
+                for o in operations}
+    svc = FunctionService(
+        name,
+        ServiceContract(name, (Interface(iface, tuple(operations)),),
+                        tags=frozenset(tags),
+                        quality=quality or QualityDescription()),
+        handlers=handlers, layer=layer)
+    svc.setup()
+    svc.start()
+    return svc
+
+
+class TestEventBus:
+    def test_exact_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a.b", seen.append)
+        bus.publish("a.b", {"x": 1})
+        bus.publish("a.c")
+        assert len(seen) == 1
+        assert seen[0].payload == {"x": 1}
+
+    def test_wildcard(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("service.*", seen.append)
+        bus.publish("service.failed")
+        bus.publish("registry.registered")
+        assert [e.topic for e in seen] == ["service.failed"]
+
+    def test_star_matches_all(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("anything.at.all")
+        assert len(seen) == 1
+
+    def test_handler_errors_isolated(self):
+        bus = EventBus()
+
+        def bad(event):
+            raise ValueError("broken handler")
+
+        seen = []
+        bus.subscribe("t", bad)
+        bus.subscribe("t", seen.append)
+        bus.publish("t")
+        assert len(seen) == 1
+        assert len(bus.errors) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe("t", seen.append)
+        unsub()
+        bus.publish("t")
+        assert seen == []
+
+    def test_history_and_query(self):
+        bus = EventBus()
+        bus.publish("a.one")
+        bus.publish("b.two")
+        assert [e.topic for e in bus.events_for("a.")] == ["a.one"]
+
+
+class TestBindings:
+    def test_local_binding_free(self):
+        clock = SimClock()
+        binding = LocalBinding(clock)
+        svc = make_service("kv")
+        binding.call(svc, "put", key="k", value=1)
+        assert binding.call(svc, "get", key="k") == 1
+        assert clock.now == 0.0
+        assert binding.calls == 2
+
+    def test_rmi_charges_per_call(self):
+        clock = SimClock()
+        binding = SimulatedRmiBinding(clock)
+        svc = make_service("kv2")
+        binding.call(svc, "put", key="k", value="v")
+        assert clock.now >= 50e-6
+
+    def test_soap_costs_more_than_rmi(self):
+        svc = make_service("kv3")
+        rmi_clock, soap_clock = SimClock(), SimClock()
+        SimulatedRmiBinding(rmi_clock).call(svc, "put", key="k", value="v")
+        SimulatedSoapBinding(soap_clock).call(svc, "put", key="k", value="v")
+        assert soap_clock.now > rmi_clock.now
+
+    def test_file_binding_slowest(self):
+        svc = make_service("kv4")
+        soap_clock, file_clock = SimClock(), SimClock()
+        SimulatedSoapBinding(soap_clock).call(svc, "get", key="k")
+        FileBinding(file_clock).call(svc, "get", key="k")
+        assert file_clock.now > soap_clock.now
+
+    def test_payload_size_counts_bytes(self):
+        clock = SimClock()
+        binding = SimulatedRmiBinding(clock)
+        svc = make_service("kv5")
+        binding.call(svc, "put", key="k", value=b"")
+        small = clock.now
+        clock.reset()
+        binding.call(svc, "put", key="k2", value=b"x" * 100_000)
+        assert clock.now > small
+
+    def test_make_binding(self):
+        assert make_binding("local").name == "local"
+        assert make_binding("soap").name == "soap"
+        with pytest.raises(KernelError):
+            make_binding("carrier-pigeon")
+
+
+class TestRegistry:
+    def test_register_find(self):
+        reg = ServiceRegistry()
+        svc = make_service("kv")
+        reg.register(svc)
+        assert reg.get("kv") is svc
+        assert reg.find("KV") == [svc]
+        assert "kv" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = ServiceRegistry()
+        reg.register(make_service("kv"))
+        with pytest.raises(KernelError):
+            reg.register(make_service("kv"))
+
+    def test_find_excludes_unavailable(self):
+        reg = ServiceRegistry()
+        svc = make_service("kv")
+        reg.register(svc)
+        svc.fail()
+        assert reg.find("KV") == []
+        assert reg.find("KV", only_available=False) == [svc]
+
+    def test_find_structural(self):
+        reg = ServiceRegistry()
+        reg.register(make_service("store", iface="Storage"))
+        needed = Interface("AnyKV", (op("get", "key:str", returns="any"),))
+        assert len(reg.find(needed)) == 1
+
+    def test_find_by_tags(self):
+        reg = ServiceRegistry()
+        reg.register(make_service("a", tags=("fast",)))
+        reg.register(make_service("b"))
+        assert [s.name for s in reg.find("KV", tags=("fast",))] == ["a"]
+
+    def test_deregister(self):
+        reg = ServiceRegistry()
+        reg.register(make_service("kv"))
+        reg.deregister("kv")
+        with pytest.raises(ServiceNotFoundError):
+            reg.get("kv")
+        with pytest.raises(ServiceNotFoundError):
+            reg.deregister("kv")
+
+    def test_registration_events(self):
+        reg = ServiceRegistry()
+        topics = []
+        reg.events.subscribe("registry.*",
+                             lambda e: topics.append(e.topic))
+        reg.register(make_service("kv"))
+        reg.deregister("kv")
+        assert topics == ["registry.registered", "registry.deregistered"]
+
+    def test_by_layer_and_snapshot(self):
+        reg = ServiceRegistry()
+        reg.register(make_service("s1", layer="storage"))
+        reg.register(make_service("e1", layer="extension"))
+        assert [s.name for s in reg.by_layer("storage")] == ["s1"]
+        snap = reg.snapshot()
+        assert snap["s1"]["layer"] == "storage"
+        assert snap["s1"]["contract"]["service"] == "s1"
+
+
+class TestRepositoryAndAdaptors:
+    def test_contract_store(self):
+        repo = ServiceRepository()
+        svc = make_service("kv")
+        repo.publish_contract(svc.contract)
+        assert repo.contract("kv").service_name == "kv"
+        assert repo.contracts_providing("KV")
+        with pytest.raises(KernelError):
+            repo.contract("missing")
+
+    def test_structural_adaptor_same_names(self):
+        target = make_service("store", iface="Storage")
+        required = Interface("KVFacade",
+                             (op("get", "key:str", returns="any"),))
+        adaptor = generate_adaptor(required, target)
+        target.invoke("put", key="x", value=42)
+        assert adaptor.invoke("get", key="x") == 42
+
+    def test_structural_adaptor_renamed_op(self):
+        target = FunctionService(
+            "legacy",
+            ServiceContract("legacy", (Interface("Legacy", (
+                op("fetch", "k:str", returns="any"),)),)),
+            handlers={"fetch": lambda k: f"fetched:{k}"})
+        target.setup()
+        target.start()
+        required = Interface("Modern", (op("get", "key:str",
+                                           returns="any"),))
+        adaptor = generate_adaptor(required, target)
+        assert adaptor.invoke("get", key="a") == "fetched:a"
+
+    def test_schema_based_adaptor_with_converters(self):
+        target = FunctionService(
+            "metric",
+            ServiceContract("metric", (Interface("Metric", (
+                op("distance_km", "km:float", returns="float"),)),)),
+            handlers={"distance_km": lambda km: km})
+        target.setup()
+        target.start()
+        required = Interface("Imperial", (op("distance_miles", "miles:float",
+                                             returns="float"),))
+        repo = ServiceRepository()
+        repo.add_transformation(TransformationSchema(
+            required_interface="Imperial",
+            provided_interface="Metric",
+            operations={"distance_miles": OperationMapping(
+                target="distance_km",
+                arg_names={"miles": "km"},
+                arg_converters={"miles": lambda m: m * 1.609344},
+                result_converter=lambda km: km / 1.609344)}))
+        adaptor = generate_adaptor(required, target, repo)
+        assert adaptor.invoke("distance_miles", miles=10) == \
+            pytest.approx(10.0)
+
+    def test_unadaptable_raises(self):
+        target = make_service("kv")
+        required = Interface("Weird", (
+            op("frobnicate", "a:int", "b:str", "c:float", returns="int"),))
+        with pytest.raises(AdaptationError):
+            generate_adaptor(required, target)
+
+    def test_ambiguous_match_rejected(self):
+        target = FunctionService(
+            "ambiguous",
+            ServiceContract("ambiguous", (Interface("Two", (
+                op("first", "x:int", returns="any"),
+                op("second", "x:int", returns="any"))),)),
+            handlers={"first": lambda x: 1, "second": lambda x: 2})
+        target.setup()
+        target.start()
+        required = Interface("Need", (op("other", "y:int",
+                                         returns="any"),))
+        with pytest.raises(AdaptationError):
+            generate_adaptor(required, target)
+
+    def test_adaptor_metrics_and_contract(self):
+        target = make_service("store2", iface="Storage")
+        required = Interface("KVF", (op("get", "key:str", returns="any"),))
+        adaptor = generate_adaptor(required, target)
+        assert isinstance(adaptor, AdaptorService)
+        assert "adaptor" in adaptor.contract.tags
+        adaptor.invoke("get", key="missing")
+        assert adaptor.metrics.invocations == 1
+
+
+class TestResources:
+    def test_pool_accounting(self):
+        pool = ResourcePool({"memory": 100.0})
+        pool.allocate("memory", 60)
+        assert pool.available("memory") == 40
+        assert pool.utilisation("memory") == pytest.approx(0.6)
+        pool.release("memory", 30)
+        assert pool.available("memory") == 70
+
+    def test_pool_exhaustion(self):
+        pool = ResourcePool({"memory": 10.0})
+        with pytest.raises(ResourceExhaustedError):
+            pool.allocate("memory", 11)
+
+    def test_release_never_negative(self):
+        pool = ResourcePool({"m": 10.0})
+        pool.allocate("m", 5)
+        pool.release("m", 100)
+        assert pool.used["m"] == 0.0
+
+    def test_manager_grants_and_alerts(self):
+        events = EventBus()
+        manager = ResourceManager(ResourcePool({"memory": 100.0}), events,
+                                  alert_threshold=0.8)
+        alerts = []
+        events.subscribe("resource.low", alerts.append)
+        manager.grant("svc-a", "memory", 50)
+        assert alerts == []
+        manager.grant("svc-b", "memory", 35)
+        assert len(alerts) == 1
+        assert alerts[0].payload["utilisation"] == pytest.approx(0.85)
+
+    def test_manager_release_tracks_grants(self):
+        manager = ResourceManager(ResourcePool({"memory": 100.0}))
+        manager.grant("a", "memory", 40)
+        released = manager.release("a", "memory", 15)
+        assert released == 15
+        assert manager.held_by("a") == {"memory": 25}
+        assert manager.release("a", "memory") == 25
+        manager.release_all("a")
+        assert manager.held_by("a") == {}
+
+
+class TestArchitectureProperties:
+    def test_set_get_delete(self):
+        props = ArchitectureProperties()
+        props.set("mode", "embedded")
+        assert props.get("mode") == "embedded"
+        assert "mode" in props
+        props.delete("mode")
+        assert props.get("mode") is None
+
+    def test_change_events(self):
+        events = EventBus()
+        props = ArchitectureProperties(events)
+        seen = []
+        events.subscribe("architecture.property_changed", seen.append)
+        props.set("k", 1, source="monitor")
+        props.set("k", 1)  # unchanged: no event
+        props.set("k", 2)
+        assert len(seen) == 2
+        assert seen[0].payload["source"] == "monitor"

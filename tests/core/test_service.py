@@ -1,0 +1,199 @@
+"""Service lifecycle, invocation, properties, and FunctionService tests."""
+
+import pytest
+
+from repro.core import (
+    FunctionService,
+    Interface,
+    ServiceContract,
+    ServicePolicy,
+    Service,
+    ServiceState,
+    op,
+)
+from repro.errors import (
+    ContractViolationError,
+    ServiceError,
+    ServiceStateError,
+)
+
+
+def contract(*ops, name="svc", policy=None):
+    return ServiceContract(
+        service_name=name,
+        interfaces=(Interface("Main", tuple(ops)),),
+        policy=policy or ServicePolicy())
+
+
+class EchoService(Service):
+    def __init__(self, name="echo"):
+        super().__init__(name, contract(op("echo", "text:str",
+                                            returns="str"),
+                                        op("boom"), name=name))
+
+    def op_echo(self, text):
+        return text
+
+    def op_boom(self):
+        raise RuntimeError("kaboom")
+
+
+def operational(service):
+    service.setup()
+    service.start()
+    return service
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        svc = EchoService()
+        assert svc.state is ServiceState.CREATED
+        svc.setup()
+        assert svc.state is ServiceState.READY
+        svc.start()
+        assert svc.state is ServiceState.OPERATIONAL
+        svc.stop()
+        assert svc.state is ServiceState.STOPPED
+
+    def test_start_before_setup_rejected(self):
+        with pytest.raises(ServiceStateError):
+            EchoService().start()
+
+    def test_double_setup_rejected(self):
+        svc = EchoService()
+        svc.setup()
+        with pytest.raises(ServiceStateError):
+            svc.setup()
+
+    def test_fail_and_repair(self):
+        svc = operational(EchoService())
+        svc.fail(RuntimeError("injected"))
+        assert svc.state is ServiceState.FAILED
+        assert not svc.available
+        svc.repair()
+        assert svc.state is ServiceState.READY
+        svc.start()
+        assert svc.invoke("echo", text="hi") == "hi"
+
+    def test_repair_only_from_failed(self):
+        with pytest.raises(ServiceStateError):
+            operational(EchoService()).repair()
+
+    def test_degrade(self):
+        svc = operational(EchoService())
+        svc.degrade()
+        assert svc.state is ServiceState.DEGRADED
+        assert svc.available
+
+    def test_stop_is_idempotent(self):
+        svc = operational(EchoService())
+        svc.stop()
+        svc.stop()
+        assert svc.state is ServiceState.STOPPED
+
+
+class TestInvocation:
+    def test_invoke_routes_to_handler(self):
+        svc = operational(EchoService())
+        assert svc.invoke("echo", text="hello") == "hello"
+
+    def test_invoke_unavailable_rejected(self):
+        svc = EchoService()
+        with pytest.raises(ServiceError, match="created"):
+            svc.invoke("echo", text="x")
+
+    def test_unknown_operation_rejected(self):
+        svc = operational(EchoService())
+        with pytest.raises(ServiceError, match="no operation"):
+            svc.invoke("nope")
+
+    def test_metrics_recorded(self):
+        svc = operational(EchoService())
+        svc.invoke("echo", text="a")
+        svc.invoke("echo", text="b")
+        with pytest.raises(RuntimeError):
+            svc.invoke("boom")
+        assert svc.metrics.invocations == 3
+        assert svc.metrics.failures == 1
+        assert svc.metrics.failure_rate == pytest.approx(1 / 3)
+        assert svc.metrics.mean_latency_s >= 0
+
+    def test_injected_fault_breaks_calls(self):
+        svc = operational(EchoService())
+        svc._injected_fault = RuntimeError("chaos")
+        svc.state = ServiceState.OPERATIONAL
+        with pytest.raises(ServiceError, match="injected fault"):
+            svc.invoke("echo", text="x")
+
+    def test_policy_precondition_checked_on_invoke(self):
+        policy = ServicePolicy(preconditions={
+            "nonempty": lambda op_, args: bool(args.get("text"))})
+
+        class Guarded(EchoService):
+            def __init__(self):
+                Service.__init__(self, "guarded", contract(
+                    op("echo", "text:str", returns="str"),
+                    name="guarded", policy=policy))
+
+            def op_echo(self, text):
+                return text
+
+        svc = operational(Guarded())
+        assert svc.invoke("echo", text="ok") == "ok"
+        with pytest.raises(ContractViolationError):
+            svc.invoke("echo", text="")
+
+    def test_declared_but_unimplemented(self):
+        class Hollow(Service):
+            def __init__(self):
+                super().__init__("hollow", contract(op("ghost"),
+                                                    name="hollow"))
+
+        svc = operational(Hollow())
+        with pytest.raises(ServiceError, match="not.*implemented"):
+            svc.invoke("ghost")
+
+
+class TestProperties:
+    def test_set_get(self):
+        svc = EchoService()
+        svc.set_property("buffer_size", 64)
+        assert svc.get_property("buffer_size") == 64
+        assert svc.get_property("missing", 0) == 0
+
+    def test_change_notification(self):
+        svc = EchoService()
+        seen = []
+        svc.on_property_change(
+            lambda name, key, old, new: seen.append((name, key, old, new)))
+        svc.set_property("k", 1)
+        svc.set_property("k", 2)
+        assert seen == [("echo", "k", None, 1), ("echo", "k", 1, 2)]
+
+    def test_properties_snapshot(self):
+        svc = EchoService()
+        svc.set_property("a", 1)
+        assert svc.properties() == {"a": 1}
+
+
+class TestFunctionService:
+    def test_wraps_plain_callables(self):
+        svc = FunctionService(
+            "calc",
+            contract(op("add", "a:int", "b:int", returns="int"),
+                     name="calc"),
+            handlers={"add": lambda a, b: a + b})
+        operational(svc)
+        assert svc.invoke("add", a=2, b=3) == 5
+
+    def test_missing_handler_rejected(self):
+        with pytest.raises(ServiceError, match="unimplemented"):
+            FunctionService(
+                "calc", contract(op("add"), op("sub"), name="calc"),
+                handlers={"add": lambda: 0})
+
+    def test_layer_assignment(self):
+        svc = FunctionService(
+            "s", contract(op("f"), name="s"),
+            handlers={"f": lambda: None}, layer="storage")
+        assert svc.layer == "storage"

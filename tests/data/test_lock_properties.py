@@ -1,0 +1,80 @@
+"""Hypothesis safety properties for the lock manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import LockManager, LockMode
+from repro.errors import DeadlockError
+
+
+@st.composite
+def lock_script(draw):
+    """Random single-threaded acquire/release script over few txns and
+    resources (blocking acquires surface as fast DeadlockErrors)."""
+    n = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n):
+        ops.append((
+            draw(st.sampled_from(["acquire_s", "acquire_x", "release"])),
+            draw(st.integers(1, 4)),          # txn id
+            draw(st.sampled_from(["r1", "r2", "r3"])),
+        ))
+    return ops
+
+
+def holders_of(lm: LockManager, resource: str) -> dict[int, LockMode]:
+    state = lm._locks.get(resource)
+    return dict(state.holders) if state else {}
+
+
+class TestLockSafety:
+    @given(lock_script())
+    @settings(max_examples=200, deadline=None)
+    def test_no_conflicting_grants(self, ops):
+        lm = LockManager(timeout_s=0.01)
+        for op_name, txn, resource in ops:
+            try:
+                if op_name == "acquire_s":
+                    lm.acquire(txn, resource, LockMode.SHARED)
+                elif op_name == "acquire_x":
+                    lm.acquire(txn, resource, LockMode.EXCLUSIVE)
+                else:
+                    lm.release_all(txn)
+            except DeadlockError:
+                pass
+            # Invariant after every step: for every resource, either one
+            # exclusive holder, or any number of shared holders.
+            for res in ("r1", "r2", "r3"):
+                holders = holders_of(lm, res)
+                exclusive = [t for t, m in holders.items()
+                             if m is LockMode.EXCLUSIVE]
+                if exclusive:
+                    assert len(holders) == 1, (
+                        f"{res}: X held with others: {holders}")
+
+    @given(lock_script())
+    @settings(max_examples=100, deadline=None)
+    def test_release_all_is_complete(self, ops):
+        lm = LockManager(timeout_s=0.01)
+        for op_name, txn, resource in ops:
+            try:
+                if op_name == "acquire_s":
+                    lm.acquire(txn, resource, LockMode.SHARED)
+                elif op_name == "acquire_x":
+                    lm.acquire(txn, resource, LockMode.EXCLUSIVE)
+                else:
+                    lm.release_all(txn)
+                    assert lm.held(txn) == {}
+            except DeadlockError:
+                pass
+        for txn in (1, 2, 3, 4):
+            lm.release_all(txn)
+            assert lm.held(txn) == {}
+
+    @given(st.integers(1, 4), st.sampled_from(["r1", "r2"]))
+    @settings(max_examples=50, deadline=None)
+    def test_upgrade_never_downgrades(self, txn, resource):
+        lm = LockManager(timeout_s=0.01)
+        lm.acquire(txn, resource, LockMode.EXCLUSIVE)
+        lm.acquire(txn, resource, LockMode.SHARED)  # no-op, keeps X
+        assert lm.held(txn)[resource] is LockMode.EXCLUSIVE

@@ -1,0 +1,265 @@
+"""Schema, table, and catalog tests."""
+
+import pytest
+
+from repro.data import Database, Schema
+from repro.data.schema import Column
+from repro.access.record import ColumnType
+from repro.errors import CatalogError, DuplicateKeyError, SchemaError
+
+
+class TestSchema:
+    def test_build_shorthand(self):
+        schema = Schema.build(("id", "int", "pk"), ("name", "text"),
+                              ("score", "float", "not_null"))
+        assert schema.names == ["id", "name", "score"]
+        assert schema.primary_key.name == "id"
+        assert schema.primary_key_index == 0
+        assert schema.column("score").not_null
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", "int"), ("a", "text"))
+
+    def test_validate_arity(self):
+        schema = Schema.build(("a", "int"))
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2))
+
+    def test_validate_not_null(self):
+        schema = Schema.build(("a", "int", "not_null"))
+        with pytest.raises(SchemaError):
+            schema.validate((None,))
+
+    def test_validate_types(self):
+        schema = Schema.build(("a", "int"), ("b", "text"))
+        with pytest.raises(SchemaError):
+            schema.validate(("x", "y"))
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2))
+        with pytest.raises(SchemaError):
+            schema.validate((True, "y"))
+
+    def test_int_coerced_for_float(self):
+        schema = Schema.build(("x", "float"))
+        assert schema.validate((3,)) == (3.0,)
+
+    def test_encode_decode(self):
+        schema = Schema.build(("id", "int"), ("name", "text"))
+        assert schema.decode(schema.encode((1, "a"))) == (1, "a")
+
+    def test_serialisation_round_trip(self):
+        schema = Schema.build(("id", "int", "pk"), ("name", "text"))
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+    def test_index_of_unknown(self):
+        schema = Schema.build(("a", "int"))
+        with pytest.raises(SchemaError):
+            schema.index_of("zz")
+
+    def test_project(self):
+        schema = Schema.build(("a", "int"), ("b", "text"), ("c", "bool"))
+        projected = schema.project(["c", "a"])
+        assert projected.names == ["c", "a"]
+
+
+def fresh_db(**kwargs):
+    return Database(**kwargs)
+
+
+class TestTable:
+    def make_table(self, db=None):
+        db = db or fresh_db()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, "
+                   "score FLOAT)")
+        return db, db.catalog.table("t")
+
+    def test_insert_read(self):
+        _, table = self.make_table()
+        rid = table.insert((1, "a", 2.5))
+        assert table.read(rid) == (1, "a", 2.5)
+        assert table.count() == 1
+
+    def test_pk_uniqueness(self):
+        _, table = self.make_table()
+        table.insert((1, "a", None))
+        with pytest.raises(DuplicateKeyError):
+            table.insert((1, "b", None))
+
+    def test_pk_lookup_via_index(self):
+        _, table = self.make_table()
+        rids = {table.insert((i, f"n{i}", None)): i for i in range(50)}
+        index = table.index_on(("id",))
+        for rid, i in rids.items():
+            assert index.lookup_eq((i,)) == [rid]
+
+    def test_delete_maintains_indexes(self):
+        _, table = self.make_table()
+        rid = table.insert((1, "a", None))
+        table.delete(rid)
+        assert table.index_on(("id",)).lookup_eq((1,)) == []
+        table.insert((1, "again", None))  # PK is free again
+
+    def test_update_changes_indexes(self):
+        _, table = self.make_table()
+        rid = table.insert((1, "a", None))
+        table.update(rid, (2, "a", None))
+        index = table.index_on(("id",))
+        assert index.lookup_eq((1,)) == []
+        assert len(index.lookup_eq((2,))) == 1
+
+    def test_update_pk_conflict(self):
+        _, table = self.make_table()
+        table.insert((1, "a", None))
+        rid = table.insert((2, "b", None))
+        with pytest.raises(DuplicateKeyError):
+            table.update(rid, (1, "b", None))
+
+    def test_update_same_pk_allowed(self):
+        _, table = self.make_table()
+        rid = table.insert((1, "a", None))
+        table.update(rid, (1, "b", None))
+        assert table.read(rid)[1] == "b"
+
+    def test_secondary_non_unique_index(self):
+        db, table = self.make_table()
+        db.execute("CREATE INDEX by_name ON t (name)")
+        table.insert((1, "dup", None))
+        table.insert((2, "dup", None))
+        index = table.index_on(("name",))
+        assert len(index.lookup_eq(("dup",))) == 2
+
+    def test_index_range_scan(self):
+        db, table = self.make_table()
+        for i in range(20):
+            table.insert((i, f"n{i}", float(i)))
+        index = table.index_on(("id",))
+        rids = list(index.range_scan((5,), (10,)))
+        values = sorted(table.read(r)[0] for r in rids)
+        assert values == [5, 6, 7, 8, 9]
+
+    def test_hash_index(self):
+        db, table = self.make_table()
+        db.execute("CREATE UNIQUE INDEX h ON t (name) USING hash")
+        table.insert((1, "alpha", None))
+        index = table.index_on(("name",))
+        assert index.definition.method in ("btree", "hash")
+        by_hash = table.indexes["h"]
+        assert by_hash.hash is not None
+        assert len(by_hash.lookup_eq(("alpha",))) == 1
+
+    def test_properties(self):
+        _, table = self.make_table()
+        table.insert((1, "a", None))
+        props = table.properties()
+        assert props["rows"] == 1
+        assert props["indexes"] == ["pk_t"]
+        assert 0 <= props["fragmentation"] <= 1
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.catalog.create_table("t", Schema.build(("a", "int")))
+
+    def test_if_not_exists(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (a INT)")
+        result = db.execute("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert result.affected == 0
+
+    def test_drop_table_drops_indexes(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("DROP TABLE t")
+        assert "pk_t" not in db.catalog.index_defs
+        assert not db.catalog.has_table("t")
+
+    def test_drop_missing_with_if_exists(self):
+        db = fresh_db()
+        assert db.execute("DROP TABLE IF EXISTS nope").affected == 0
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE nope")
+
+    def test_view_name_collision(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW t AS SELECT 1")
+
+    def test_populating_index_on_existing_rows(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(30):
+            db.execute(f"INSERT INTO t VALUES ({i}, {i * 2})")
+        db.execute("CREATE INDEX by_v ON t (v)")
+        rows = db.query("SELECT id FROM t WHERE v = 20")
+        assert rows == [(10,)]
+
+    def test_stats(self):
+        db = fresh_db()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        stats = db.catalog.stats()
+        assert stats["total_rows"] == 1
+        assert stats["tables"] == ["t"]
+
+
+class TestPersistence:
+    def test_close_reopen_memory_device(self):
+        from repro.storage import MemoryDevice
+        device = MemoryDevice()
+        db = Database(device=device)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'ada'), (2, 'bob')")
+        db.execute("CREATE INDEX by_name ON t (name)")
+        db.checkpoint()
+
+        db2 = Database(device=device)
+        assert db2.query("SELECT name FROM t ORDER BY id") == \
+            [("ada",), ("bob",)]
+        # Index survives and is used.
+        result = db2.execute("SELECT id FROM t WHERE name = 'bob'")
+        assert result.rows == [(2,)]
+        assert any("index_eq" in p for p in result.plan["access_paths"])
+
+    def test_file_device_full_cycle(self, tmp_path):
+        from repro.storage import FileDevice
+        path = tmp_path / "db.bin"
+        device = FileDevice(path)
+        db = Database(device=device)
+        db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v INT)")
+        for i in range(100):
+            db.execute("INSERT INTO kv VALUES (?, ?)", (f"key{i}", i))
+        db.close()
+
+        device2 = FileDevice(path)
+        db2 = Database(device=device2)
+        assert db2.query("SELECT COUNT(*) FROM kv") == [(100,)]
+        assert db2.query("SELECT v FROM kv WHERE k = 'key42'") == [(42,)]
+        db2.close()
+
+    def test_views_survive_reopen(self):
+        from repro.storage import MemoryDevice
+        device = MemoryDevice()
+        db = Database(device=device)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (5)")
+        db.execute("CREATE VIEW big AS SELECT a FROM t WHERE a > 2")
+        db.checkpoint()
+        db2 = Database(device=device)
+        assert db2.query("SELECT * FROM big") == [(5,)]
+
+    def test_hash_index_rebuilt_on_reopen(self):
+        from repro.storage import MemoryDevice
+        device = MemoryDevice()
+        db = Database(device=device)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+        db.execute("CREATE UNIQUE INDEX by_tag ON t (tag) USING hash")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        db.checkpoint()
+        db2 = Database(device=device)
+        index = db2.catalog.table("t").indexes["by_tag"]
+        assert len(index.lookup_eq(("y",))) == 1

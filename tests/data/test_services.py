@@ -1,0 +1,124 @@
+"""Query/Data/Access/Monitoring service wrapper tests."""
+
+import pytest
+
+from repro.data import Database
+from repro.data.services import (
+    AccessService,
+    DataService,
+    MonitoringService,
+    QueryService,
+    deploy_database_services,
+)
+from repro.core import SBDMSKernel
+
+
+def started(service):
+    service.setup()
+    service.start()
+    return service
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT, "
+                     "v INT)")
+    database.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'a', 20), "
+                     "(3, 'b', 30)")
+    return database
+
+
+class TestQueryService:
+    def test_execute_select(self, db):
+        service = started(QueryService(db))
+        result = service.invoke("execute",
+                                statement="SELECT v FROM t WHERE id = 2",
+                                params=())
+        assert result["rows"] == [(20,)]
+        assert result["columns"] == ["v"]
+        assert "index_eq" in result["plan"]["access_paths"][0]
+
+    def test_execute_dml(self, db):
+        service = started(QueryService(db))
+        result = service.invoke("execute",
+                                statement="DELETE FROM t WHERE grp = 'a'")
+        assert result == {"operation": "delete", "affected": 2}
+
+    def test_explain(self, db):
+        service = started(QueryService(db))
+        plan = service.invoke("explain",
+                              statement="SELECT * FROM t WHERE id = 1")
+        assert plan["access_paths"] == ["index_eq(t.id)"]
+        plan = service.invoke("explain", statement="DROP TABLE t")
+        assert plan == {"statement": "DropStatement"}
+        # Explain must not have executed the drop.
+        assert db.catalog.has_table("t")
+
+
+class TestDataService:
+    def test_insert_lookup_scan(self, db):
+        service = started(DataService(db))
+        rid = service.invoke("insert", table="t", row=(4, "c", 40))
+        assert isinstance(rid, tuple)
+        assert service.invoke("lookup", table="t", key=4) == (4, "c", 40)
+        assert service.invoke("lookup", table="t", key=99) is None
+        assert len(service.invoke("scan", table="t")) == 4
+        assert service.invoke("tables") == ["t"]
+
+    def test_table_properties(self, db):
+        service = started(DataService(db))
+        props = service.invoke("table_properties", table="t")
+        assert props["rows"] == 3
+        assert "pk_t" in props["indexes"]
+
+
+class TestAccessService:
+    def test_index_lookup_and_range(self, db):
+        service = started(AccessService(db))
+        rows = service.invoke("index_lookup", table="t", index="pk_t",
+                              key=2)
+        assert rows == [(2, "a", 20)]
+        rows = service.invoke("index_range", table="t", index="pk_t",
+                              lo=1, hi=3)
+        assert [r[0] for r in rows] == [1, 2]
+
+    def test_sort_records(self, db):
+        service = started(AccessService(db))
+        rows = service.invoke("sort_records", table="t", column="v",
+                              descending=True)
+        assert [r[2] for r in rows] == [30, 20, 10]
+        rows = service.invoke("sort_records", table="t", column="grp",
+                              descending=False)
+        assert [r[1] for r in rows] == ["a", "a", "b"]
+
+
+class TestMonitoringService:
+    def test_storage_report(self, db):
+        service = started(MonitoringService(db))
+        report = service.invoke("storage_report")
+        assert report["buffer_size"] == db.pool.capacity
+        assert report["page_size"] == 4096
+        assert report["fragmentation"]["t"]["rows"] == 3
+        assert report["workload"]["statements"] == db.statements_executed
+
+
+class TestDeployHelper:
+    def test_deploy_database_services(self):
+        kernel = SBDMSKernel()
+        database = deploy_database_services(kernel)
+        assert {"storage", "access", "data", "query", "storage-monitor"} \
+            <= set(kernel.registry.names())
+        result = kernel.sql("SELECT 1")
+        assert result["rows"] == [(1,)]
+        # The storage service's monitor sees the same substrate the SQL
+        # engine writes through.
+        kernel.sql("CREATE TABLE x (a INT)")
+        kernel.sql("INSERT INTO x VALUES (1)")
+        report = kernel.call("Storage", "monitor")
+        assert report["files"] >= 2  # catalog + table
+
+    def test_deploy_without_monitoring(self):
+        kernel = SBDMSKernel()
+        deploy_database_services(kernel, include_monitoring=False)
+        assert "storage-monitor" not in kernel.registry

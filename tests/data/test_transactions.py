@@ -1,0 +1,195 @@
+"""Lock manager and transaction tests."""
+
+import threading
+
+import pytest
+
+from repro.data import Database, LockManager, LockMode, TransactionManager
+from repro.errors import DeadlockError, TransactionError
+from repro.storage import MemoryDevice, WriteAheadLog
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, "t", LockMode.SHARED)
+        lm.acquire(2, "t", LockMode.SHARED)
+        assert lm.held(1) == {"t": LockMode.SHARED}
+        assert lm.held(2) == {"t": LockMode.SHARED}
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager(timeout_s=0.05)
+        lm.acquire(1, "t", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "t", LockMode.SHARED)
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "t", LockMode.SHARED)
+        lm.acquire(1, "t", LockMode.EXCLUSIVE)
+        assert lm.held(1) == {"t": LockMode.EXCLUSIVE}
+
+    def test_reacquire_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, "t", LockMode.EXCLUSIVE)
+        lm.acquire(1, "t", LockMode.SHARED)   # already stronger
+        assert lm.held(1) == {"t": LockMode.EXCLUSIVE}
+
+    def test_release_wakes_waiter(self):
+        lm = LockManager(timeout_s=2.0)
+        lm.acquire(1, "t", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def contender():
+            lm.acquire(2, "t", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        lm.release_all(1)
+        assert acquired.wait(2.0)
+        thread.join()
+        assert lm.held(2) == {"t": LockMode.EXCLUSIVE}
+
+    def test_deadlock_detected(self):
+        lm = LockManager(timeout_s=5.0)
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+
+        def txn2_waits_for_a():
+            blocked.set()
+            try:
+                lm.acquire(2, "a", LockMode.EXCLUSIVE)
+            except DeadlockError:
+                pass
+            finally:
+                lm.release_all(2)
+
+        thread = threading.Thread(target=txn2_waits_for_a)
+        thread.start()
+        blocked.wait()
+        import time
+        time.sleep(0.05)  # let txn2 actually enqueue as a waiter
+        with pytest.raises(DeadlockError):
+            lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert lm.deadlocks_detected >= 1
+        lm.release_all(1)
+        thread.join()
+
+
+class TestTransactions:
+    def test_commit_releases_locks(self):
+        tm = TransactionManager()
+        txn = tm.begin()
+        txn.lock_exclusive("t")
+        txn.commit()
+        assert tm.locks.held(txn.txn_id) == {}
+        assert tm.committed == 1
+
+    def test_use_after_commit_rejected(self):
+        tm = TransactionManager()
+        txn = tm.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.lock_shared("t")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_runs_undo_in_reverse(self):
+        tm = TransactionManager()
+        txn = tm.begin()
+        order = []
+        txn.on_abort(lambda: order.append("first"))
+        txn.on_abort(lambda: order.append("second"))
+        txn.abort()
+        assert order == ["second", "first"]
+        assert tm.aborted == 1
+
+    def test_wal_records_commit(self):
+        wal = WriteAheadLog(MemoryDevice())
+        tm = TransactionManager(wal)
+        txn = tm.begin()
+        txn.commit()
+        committed, losers = wal.analyze()
+        assert txn.txn_id in committed
+        assert not losers
+
+
+class TestSQLTransactions:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        database.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        return database
+
+    def test_rollback_insert(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        assert db.query("SELECT COUNT(*) FROM t") == [(3,)]
+        db.execute("ROLLBACK")
+        assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_rollback_update(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+
+    def test_rollback_delete(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+        # Index consistency after undo re-insert:
+        assert db.query("SELECT v FROM t WHERE id = 2") == [(20,)]
+
+    def test_commit_persists(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        db.execute("COMMIT")
+        assert db.query("SELECT COUNT(*) FROM t") == [(3,)]
+
+    def test_mixed_operations_rollback(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        db.execute("UPDATE t SET v = v + 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("ROLLBACK")
+        rows = sorted(db.query("SELECT * FROM t"))
+        assert rows == [(1, 10), (2, 20)]
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+
+    def test_failed_statement_in_txn_leaves_txn_open(self, db):
+        from repro.errors import DuplicateKeyError
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (5, 50)")
+        with pytest.raises(DuplicateKeyError):
+            db.execute("INSERT INTO t VALUES (5, 51)")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_autocommit_failure_rolls_back(self, db):
+        from repro.errors import DuplicateKeyError
+        with pytest.raises(DuplicateKeyError):
+            db.execute("INSERT INTO t VALUES (9, 1), (9, 2)")
+        # The first row of the failed multi-row insert must be rolled back.
+        assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_transaction_stats(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        db.execute("COMMIT")
+        stats = db.transactions.stats()
+        assert stats["active"] == 0
+        assert stats["committed"] >= 1

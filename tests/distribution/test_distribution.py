@@ -1,0 +1,275 @@
+"""Distribution substrate tests: network, devices, gossip, placement,
+redirection."""
+
+import pytest
+
+from repro.core import (
+    FunctionService,
+    Interface,
+    ServiceContract,
+    op,
+)
+from repro.distribution import (
+    BatteryModel,
+    Device,
+    GossipCluster,
+    LatencyAwarePlacer,
+    SimNetwork,
+    StaticPlacer,
+    WorkloadRedirector,
+)
+from repro.errors import NetworkError, NodeError, ServiceNotFoundError
+
+
+def kv_service(name):
+    store = {}
+    svc = FunctionService(
+        name,
+        ServiceContract(name, (Interface("KV", (
+            op("get", "key:str", returns="any"),
+            op("put", "key:str", "value:any"))),)),
+        handlers={"get": lambda key: store.get(key),
+                  "put": lambda key, value: store.__setitem__(key, value)})
+    svc.setup()
+    svc.start()
+    return svc
+
+
+class TestSimNetwork:
+    def test_latency_matrix(self):
+        net = SimNetwork(default_latency_s=0.01)
+        net.set_latency("a", "b", 0.002)
+        assert net.latency("a", "b") == 0.002
+        assert net.latency("b", "a") == 0.002
+        assert net.latency("a", "c") == 0.01
+        assert net.latency("a", "a") == 0.0
+
+    def test_send_charges_and_counts(self):
+        net = SimNetwork(default_latency_s=0.01)
+        cost = net.send("a", "b", payload_bytes=1000)
+        assert cost >= 0.01
+        assert net.stats.messages == 1
+        assert net.stats.bytes_sent == 1000
+
+    def test_partition_blocks_and_heals(self):
+        net = SimNetwork()
+        net.partition("a", "b")
+        with pytest.raises(NetworkError):
+            net.send("a", "b")
+        assert net.stats.dropped == 1
+        net.heal("a", "b")
+        net.send("a", "b")
+
+    def test_seeded_loss_deterministic(self):
+        results = []
+        for _ in range(2):
+            net = SimNetwork(loss_rate=0.5, seed=11)
+            outcome = []
+            for _ in range(20):
+                try:
+                    net.send("a", "b")
+                    outcome.append(True)
+                except NetworkError:
+                    outcome.append(False)
+            results.append(outcome)
+        assert results[0] == results[1]
+        assert not all(results[0])
+
+
+class TestDevice:
+    def test_hosting(self):
+        device = Device("phone")
+        svc = kv_service("kv")
+        device.host(svc)
+        assert svc.get_property("device") == "phone"
+        with pytest.raises(NodeError):
+            device.host(kv_service("kv"))
+        device.evict("kv")
+        assert svc.get_property("device") is None
+
+    def test_battery_drain_and_alert(self):
+        device = Device("phone",
+                        battery=BatteryModel(level=100, drain_per_op=1.0),
+                        low_battery_threshold=0.5)
+        alerts = []
+        device.events.subscribe("device.low_resource", alerts.append)
+        device.serve(operations=49)
+        assert not device.under_pressure
+        device.serve(operations=2)
+        assert device.under_pressure
+        assert len(alerts) == 1
+        # Alert is edge-triggered, not repeated.
+        device.serve(operations=1)
+        assert len(alerts) == 1
+
+    def test_high_load_alert(self):
+        device = Device("busy", cpu=10.0, high_load_threshold=0.8)
+        device.serve(operations=100, cpu_per_op=0.1)
+        assert device.under_pressure
+
+    def test_offline_fails_services(self):
+        device = Device("d")
+        svc = kv_service("kv")
+        device.host(svc)
+        device.go_offline()
+        assert not svc.available
+        with pytest.raises(NodeError):
+            device.serve()
+
+    def test_status(self):
+        device = Device("d")
+        device.host(kv_service("kv"))
+        status = device.status()
+        assert status["device"] == "d"
+        assert status["services"] == ["kv"]
+
+
+class TestGossip:
+    def test_single_publish_spreads(self):
+        cluster = GossipCluster([f"n{i}" for i in range(8)], fanout=2,
+                                seed=3)
+        cluster.peer("n0").publish("storage", {"layer": "storage"})
+        rounds = cluster.rounds_to_convergence()
+        assert rounds < 10
+        assert cluster.coverage("storage") == 1.0
+
+    def test_newer_version_wins(self):
+        cluster = GossipCluster(["a", "b"], fanout=1)
+        cluster.peer("a").publish("svc", {"v": "old"})
+        cluster.peer("a").publish("svc", {"v": "new"})
+        cluster.rounds_to_convergence()
+        assert cluster.peer("b").entries["svc"].data == {"v": "new"}
+        assert cluster.peer("b").entries["svc"].version == 2
+
+    def test_concurrent_publishes_converge(self):
+        cluster = GossipCluster([f"n{i}" for i in range(6)], fanout=2,
+                                seed=5)
+        for i in range(6):
+            cluster.peer(f"n{i}").publish(f"svc-{i}", {"origin": i})
+        cluster.rounds_to_convergence()
+        assert all(len(p.entries) == 6 for p in cluster.peers.values())
+
+    def test_partitioned_peer_lags(self):
+        net = SimNetwork()
+        cluster = GossipCluster(["a", "b", "c"], network=net, fanout=2,
+                                seed=1)
+        net.partition("a", "c")
+        net.partition("b", "c")
+        cluster.peer("a").publish("svc", {})
+        for _ in range(5):
+            cluster.run_round()
+        assert "svc" not in cluster.peer("c").entries
+        net.heal_all()
+        cluster.rounds_to_convergence()
+        assert "svc" in cluster.peer("c").entries
+
+    def test_larger_cluster_needs_more_rounds(self):
+        small = GossipCluster([f"n{i}" for i in range(4)], fanout=1, seed=9)
+        large = GossipCluster([f"n{i}" for i in range(64)], fanout=1,
+                              seed=9)
+        small.peer("n0").publish("svc", {})
+        large.peer("n0").publish("svc", {})
+        assert small.rounds_to_convergence() <= \
+            large.rounds_to_convergence()
+
+
+class TestPlacement:
+    def make_world(self):
+        net = SimNetwork(default_latency_s=0.050)
+        near = Device("near")
+        far = Device("far")
+        near.host(kv_service("kv-near"))
+        far.host(kv_service("kv-far"))
+        net.set_latency("client", "near", 0.001)
+        net.set_latency("client", "far", 0.200)
+        return net, near, far
+
+    def test_chooses_closest(self):
+        net, near, far = self.make_world()
+        placer = LatencyAwarePlacer(net, [near, far])
+        decision = placer.choose("client", "KV")
+        assert decision.device == "near"
+        assert decision.expected_latency_s == 0.001
+
+    def test_latency_aware_beats_static(self):
+        net, near, far = self.make_world()
+        # Static placer iterates dict order: put far first.
+        static = StaticPlacer(net, [far, near])
+        aware = LatencyAwarePlacer(net, [far, near])
+        _, static_latency = static.call("client", "KV", "get", key="k")
+        _, aware_latency = aware.call("client", "KV", "get", key="k")
+        assert aware_latency < static_latency
+
+    def test_avoids_pressured_devices(self):
+        net, near, far = self.make_world()
+        near.battery.level = 5.0  # pressured
+        placer = LatencyAwarePlacer(net, [near, far])
+        assert placer.choose("client", "KV").device == "far"
+        # Unless everyone is pressured.
+        far.battery.level = 5.0
+        assert placer.choose("client", "KV").device == "near"
+
+    def test_partition_respected(self):
+        net, near, far = self.make_world()
+        net.partition("client", "near")
+        placer = LatencyAwarePlacer(net, [near, far])
+        assert placer.choose("client", "KV").device == "far"
+        net.partition("client", "far")
+        with pytest.raises(ServiceNotFoundError):
+            placer.choose("client", "KV")
+
+    def test_offline_device_skipped(self):
+        net, near, far = self.make_world()
+        near.go_offline()
+        placer = LatencyAwarePlacer(net, [near, far])
+        assert placer.choose("client", "KV").device == "far"
+
+
+class TestRedirection:
+    def make_fleet(self):
+        devices = []
+        for i in range(3):
+            device = Device(
+                f"dev{i}",
+                battery=BatteryModel(level=100, drain_per_op=1.0),
+                low_battery_threshold=0.3)
+            device.host(kv_service(f"kv-{i}"))
+            devices.append(device)
+        return devices
+
+    def test_load_spreads_to_least_loaded(self):
+        devices = self.make_fleet()
+        redirector = WorkloadRedirector(devices)
+        for _ in range(30):
+            redirector.route("KV", "get", key="k")
+        counts = redirector.stats.per_device
+        assert all(counts.get(f"dev{i}", 0) >= 9 for i in range(3))
+
+    def test_redirects_away_from_drained_device(self):
+        devices = self.make_fleet()
+        redirector = WorkloadRedirector(devices)
+        devices[0].battery.level = 10.0  # below threshold soon
+        for _ in range(40):
+            redirector.route("KV", "get", key="k", primary="dev0")
+        assert redirector.stats.redirected > 0
+        assert redirector.stats.continuity == 1.0
+        # dev0 served little after pressure was noticed.
+        assert redirector.stats.per_device.get("dev0", 0) < 15
+
+    def test_system_stays_operational_until_no_hosts(self):
+        devices = self.make_fleet()
+        redirector = WorkloadRedirector(devices)
+        for device in devices:
+            device.go_offline()
+        with pytest.raises(ServiceNotFoundError):
+            redirector.route("KV", "get", key="k")
+        assert redirector.stats.failed == 1
+
+    def test_degraded_beats_dead(self):
+        devices = self.make_fleet()
+        redirector = WorkloadRedirector(devices)
+        for device in devices:
+            device.battery.level = 1.0  # all pressured
+        result = redirector.route("KV", "put", key="k", value=1)
+        assert result is None  # put returns None but succeeded
+        assert redirector.stats.continuity == 1.0

@@ -1,0 +1,50 @@
+"""Hypothesis properties for the gossip protocol."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import GossipCluster
+
+
+class TestGossipProperties:
+    @given(st.integers(2, 20), st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_converges_on_connected_network(self, n_peers, fanout,
+                                                   seed):
+        cluster = GossipCluster([f"n{i}" for i in range(n_peers)],
+                                fanout=min(fanout, n_peers - 1), seed=seed)
+        cluster.peer("n0").publish("svc", {"seed": seed})
+        rounds = cluster.rounds_to_convergence(max_rounds=100)
+        assert rounds < 100
+        assert cluster.converged()
+        assert cluster.coverage("svc") == 1.0
+
+    @given(st.integers(2, 12), st.integers(0, 500),
+           st.lists(st.integers(0, 11), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_last_writer_wins_everywhere(self, n_peers, seed, publishers):
+        cluster = GossipCluster([f"n{i}" for i in range(n_peers)],
+                                fanout=2, seed=seed)
+        # The same service is republished from n0 repeatedly; versions
+        # must strictly increase and the final version must win globally.
+        final_version = 0
+        for i, _ in enumerate(publishers, start=1):
+            cluster.peer("n0").publish("svc", {"round": i})
+            final_version = i
+        cluster.rounds_to_convergence(max_rounds=100)
+        for peer in cluster.peers.values():
+            assert peer.entries["svc"].version == final_version
+            assert peer.entries["svc"].data == {"round": final_version}
+
+    @given(st.integers(3, 10), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent(self, n_peers, seed):
+        cluster = GossipCluster([f"n{i}" for i in range(n_peers)],
+                                fanout=2, seed=seed)
+        cluster.peer("n0").publish("svc", {})
+        cluster.rounds_to_convergence(max_rounds=100)
+        digests = [p.digest() for p in cluster.peers.values()]
+        # Extra rounds change nothing once converged.
+        changed = cluster.run_round()
+        assert changed == 0
+        assert [p.digest() for p in cluster.peers.values()] == digests

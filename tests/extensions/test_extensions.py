@@ -1,0 +1,354 @@
+"""Extension services tests: XML, streaming, procedures, replication."""
+
+import pytest
+
+from repro.data import Database
+from repro.errors import (
+    ExtensionError,
+    ProcedureError,
+    ReplicationError,
+    StreamError,
+    XMLParseError,
+    XPathError,
+)
+from repro.extensions import (
+    ProcedureService,
+    ReplicationService,
+    StreamService,
+    XMLService,
+    parse_xml,
+    xpath,
+)
+
+DOC = """
+<catalog>
+  <book id="1" genre="cs">
+    <title>Transaction Processing</title>
+    <author>Gray</author>
+  </book>
+  <book id="2" genre="cs">
+    <title>Readings in Databases</title>
+    <author>Stonebraker</author>
+  </book>
+  <book id="3" genre="fiction">
+    <title>Il nome della rosa</title>
+    <author>Eco</author>
+  </book>
+</catalog>
+"""
+
+
+class TestXMLModel:
+    def test_parse_structure(self):
+        root = parse_xml(DOC)
+        assert root.tag == "catalog"
+        assert len(root.children) == 3
+        assert root.children[0].attributes["id"] == "1"
+        assert root.children[0].children[0].text == \
+            "Transaction Processing"
+
+    def test_entities_and_comments(self):
+        root = parse_xml("<a><!-- note --><b>x &amp; y &lt;z&gt;</b></a>")
+        assert root.children[0].text == "x & y <z>"
+
+    def test_self_closing(self):
+        root = parse_xml('<a><empty flag="1"/></a>')
+        assert root.children[0].attributes == {"flag": "1"}
+
+    def test_serialise_round_trip(self):
+        root = parse_xml(DOC)
+        again = parse_xml(root.to_xml())
+        assert len(again.find_all("book")) == 3
+        assert again.children[2].children[1].text == "Eco"
+
+    @pytest.mark.parametrize("bad", [
+        "<a>", "<a></b>", "<a attr></a>", "<a 'x'></a>", "text only",
+        "<a></a><b></b>", "<a><b></a></b>",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_xml(bad)
+
+
+class TestXPath:
+    def setup_method(self):
+        self.root = parse_xml(DOC)
+
+    def test_child_steps(self):
+        titles = xpath(self.root, "/catalog/book/title/text()")
+        assert titles == ["Transaction Processing",
+                          "Readings in Databases", "Il nome della rosa"]
+
+    def test_descendant(self):
+        authors = xpath(self.root, "//author/text()")
+        assert "Eco" in authors and len(authors) == 3
+
+    def test_attribute_predicate(self):
+        fiction = xpath(self.root,
+                        "/catalog/book[@genre='fiction']/title/text()")
+        assert fiction == ["Il nome della rosa"]
+
+    def test_attribute_presence(self):
+        books = xpath(self.root, "/catalog/book[@id]")
+        assert len(books) == 3
+
+    def test_positional(self):
+        second = xpath(self.root, "/catalog/book[2]/author/text()")
+        assert second == ["Stonebraker"]
+
+    def test_attribute_extraction(self):
+        ids = xpath(self.root, "/catalog/book/@id")
+        assert ids == ["1", "2", "3"]
+
+    def test_wildcard(self):
+        nodes = xpath(self.root, "/catalog/book/*")
+        assert len(nodes) == 6
+
+    def test_child_element_predicate(self):
+        books = xpath(self.root, "/catalog/book[title]")
+        assert len(books) == 3
+
+    def test_bad_paths(self):
+        for bad in ["catalog/book", "/", "/catalog//", "/text()"]:
+            with pytest.raises(XPathError):
+                xpath(self.root, bad)
+
+
+class TestXMLService:
+    def make(self):
+        service = XMLService(Database())
+        service.setup()
+        service.start()
+        return service
+
+    def test_store_query_round_trip(self):
+        service = self.make()
+        count = service.invoke("store", name="books", document=DOC)
+        assert count == 10  # catalog + 3 books + 3 titles + 3 authors
+        titles = service.invoke("query", name="books",
+                                path="//title/text()")
+        assert len(titles) == 3
+
+    def test_restore_from_shredding(self):
+        service = self.make()
+        service.invoke("store", name="books", document=DOC)
+        service._cache.clear()  # force reload from the edge table
+        titles = service.invoke("query", name="books",
+                                path="/catalog/book[@genre='cs']"
+                                     "/title/text()")
+        assert titles == ["Transaction Processing",
+                          "Readings in Databases"]
+
+    def test_edge_table_queryable_via_sql(self):
+        service = self.make()
+        service.invoke("store", name="books", document=DOC)
+        table = service.invoke("shred_table", name="books")
+        rows = service.database.query(
+            f"SELECT COUNT(*) FROM {table} WHERE tag = 'book'")
+        assert rows == [(3,)]
+
+    def test_replace_document(self):
+        service = self.make()
+        service.invoke("store", name="d", document="<a><b/></a>")
+        service.invoke("store", name="d", document="<c/>")
+        assert service.invoke("serialize", name="d").startswith("<c")
+
+    def test_delete_and_list(self):
+        service = self.make()
+        service.invoke("store", name="d1", document="<a/>")
+        service.invoke("store", name="d2", document="<b/>")
+        assert service.invoke("list_documents") == ["d1", "d2"]
+        service.invoke("delete", name="d1")
+        assert service.invoke("list_documents") == ["d2"]
+        with pytest.raises(ExtensionError):
+            service.invoke("query", name="d1", path="/a")
+
+
+class TestStreamService:
+    def make(self):
+        service = StreamService()
+        service.setup()
+        service.start()
+        service.invoke("define_stream", name="temps",
+                       columns=["sensor", "reading"])
+        return service
+
+    def test_push_and_window(self):
+        service = self.make()
+        for i in range(10):
+            service.invoke("push", stream="temps", event=(f"s{i % 2}", i))
+        window = service.invoke("window", stream="temps", size=3,
+                                kind="sliding")
+        assert [r[1] for r in window] == [7, 8, 9]
+
+    def test_tumbling_window(self):
+        service = self.make()
+        for i in range(7):
+            service.invoke("push", stream="temps", event=("s", i))
+        window = service.invoke("window", stream="temps", size=3,
+                                kind="tumbling")
+        assert [r[1] for r in window] == [3, 4, 5]  # last complete window
+
+    def test_aggregate(self):
+        service = self.make()
+        for i in [1, 2, 3, 4]:
+            service.invoke("push", stream="temps", event=("s", i))
+        assert service.invoke("aggregate", stream="temps", size=2,
+                              function="avg", column="reading") == 3.5
+
+    def test_continuous_query(self):
+        service = self.make()
+        service.invoke("register_continuous", name="avg3",
+                       stream="temps", size=3, function="avg",
+                       column="reading")
+        for i in range(9):
+            service.invoke("push", stream="temps", event=("s", float(i)))
+        results = service.invoke("continuous_results", name="avg3")
+        assert results == [1.0, 4.0, 7.0]
+
+    def test_stream_table_join(self):
+        service = self.make()
+        for i in range(4):
+            service.invoke("push", stream="temps",
+                           event=(f"s{i % 2}", i))
+        table = [("s0", "kitchen"), ("s1", "lab")]
+        joined = service.stream_table_join("temps", 4, "sensor", table, 0)
+        assert ("s1", 3, "s1", "lab") in joined
+        assert len(joined) == 4
+
+    def test_errors(self):
+        service = self.make()
+        with pytest.raises(StreamError):
+            service.invoke("define_stream", name="temps", columns=["x"])
+        with pytest.raises(StreamError):
+            service.invoke("push", stream="ghost", event=(1,))
+        with pytest.raises(StreamError):
+            service.invoke("push", stream="temps", event=(1, 2, 3))
+        with pytest.raises(StreamError):
+            service.invoke("window", stream="temps", size=0)
+        with pytest.raises(StreamError):
+            service.invoke("aggregate", stream="temps", size=2,
+                           function="median", column="reading")
+
+
+class TestProcedureService:
+    def make(self):
+        database = Database()
+        database.execute("CREATE TABLE accounts "
+                         "(id INT PRIMARY KEY, balance INT NOT NULL)")
+        database.execute("INSERT INTO accounts VALUES (1, 100), (2, 50)")
+        service = ProcedureService(database)
+        service.setup()
+        service.start()
+        return service, database
+
+    def test_register_and_call(self):
+        service, _ = self.make()
+
+        def total(db):
+            return db.query("SELECT SUM(balance) FROM accounts")[0][0]
+
+        service.register("total", total)
+        assert service.invoke("call", name="total") == 150
+        assert service.invoke("list_procedures") == ["total"]
+
+    def test_transactional_rollback_on_error(self):
+        service, database = self.make()
+
+        def transfer(db, src, dst, amount):
+            db.execute("UPDATE accounts SET balance = balance - ? "
+                       "WHERE id = ?", (amount, src))
+            balance = db.query("SELECT balance FROM accounts "
+                               "WHERE id = ?", (src,))[0][0]
+            if balance < 0:
+                raise ValueError("insufficient funds")
+            db.execute("UPDATE accounts SET balance = balance + ? "
+                       "WHERE id = ?", (amount, dst))
+
+        service.register("transfer", transfer)
+        service.invoke("call", name="transfer", args=(1, 2, 30))
+        assert database.query("SELECT balance FROM accounts "
+                              "ORDER BY id") == [(70,), (80,)]
+        with pytest.raises(ValueError):
+            service.invoke("call", name="transfer", args=(1, 2, 1000))
+        # Rolled back: balances unchanged.
+        assert database.query("SELECT balance FROM accounts "
+                              "ORDER BY id") == [(70,), (80,)]
+
+    def test_duplicate_and_missing(self):
+        service, _ = self.make()
+        service.register("p", lambda db: None)
+        with pytest.raises(ProcedureError):
+            service.register("p", lambda db: None)
+        with pytest.raises(ProcedureError):
+            service.invoke("call", name="ghost")
+        service.invoke("drop", name="p")
+        with pytest.raises(ProcedureError):
+            service.invoke("drop", name="p")
+
+
+class TestReplicationService:
+    def make(self):
+        primary = Database()
+        service = ReplicationService(primary)
+        service.setup()
+        service.start()
+        return service
+
+    def test_synchronous_replication(self):
+        service = self.make()
+        service.add_replica("r1")
+        service.invoke("execute",
+                       statement="CREATE TABLE t (id INT PRIMARY KEY)")
+        service.invoke("execute", statement="INSERT INTO t VALUES (1)")
+        assert service.divergence_check("t") == {"r1": "consistent"}
+
+    def test_async_replica_lags_then_catches_up(self):
+        service = self.make()
+        service.add_replica("lazy", synchronous=False)
+        service.invoke("execute",
+                       statement="CREATE TABLE t (id INT PRIMARY KEY)")
+        service.invoke("execute", statement="INSERT INTO t VALUES (1)")
+        assert service.invoke("replica_lag")["lazy"] == 2
+        service.invoke("sync_replicas")
+        assert service.invoke("replica_lag")["lazy"] == 0
+        assert service.divergence_check("t") == {"lazy": "consistent"}
+
+    def test_late_replica_catches_up_on_attach(self):
+        service = self.make()
+        service.invoke("execute",
+                       statement="CREATE TABLE t (id INT PRIMARY KEY)")
+        service.invoke("execute", statement="INSERT INTO t VALUES (1)")
+        service.add_replica("late")
+        assert service.divergence_check("t") == {"late": "consistent"}
+
+    def test_reads_not_replicated(self):
+        service = self.make()
+        service.add_replica("r1")
+        service.invoke("execute",
+                       statement="CREATE TABLE t (id INT PRIMARY KEY)")
+        log_before = len(service.log)
+        service.invoke("execute", statement="SELECT * FROM t")
+        assert len(service.log) == log_before
+
+    def test_promote(self):
+        service = self.make()
+        service.add_replica("r1", synchronous=False)
+        service.invoke("execute",
+                       statement="CREATE TABLE t (id INT PRIMARY KEY)")
+        service.invoke("execute", statement="INSERT INTO t VALUES (7)")
+        old_primary = service.primary
+        service.invoke("promote", name="r1")
+        assert service.primary is not old_primary
+        rows = service.primary.query("SELECT * FROM t")
+        assert rows == [(7,)]
+
+    def test_errors(self):
+        service = self.make()
+        service.add_replica("r1")
+        with pytest.raises(ReplicationError):
+            service.add_replica("r1")
+        with pytest.raises(ReplicationError):
+            service.invoke("remove_replica", name="ghost")
+        with pytest.raises(ReplicationError):
+            service.invoke("promote", name="ghost")

@@ -1,0 +1,150 @@
+"""Fault injection framework tests."""
+
+import pytest
+
+from repro.core import (
+    FunctionService,
+    Interface,
+    SBDMSKernel,
+    ServiceContract,
+    op,
+)
+from repro.errors import DiskError, ServiceError
+from repro.faults import (
+    FaultAction,
+    FaultCampaign,
+    FlakyFault,
+    SlowdownFault,
+    crash_service,
+    disk_fault,
+)
+from repro.storage import MemoryDevice
+
+
+def echo_service(name="echo"):
+    svc = FunctionService(
+        name,
+        ServiceContract(name, (Interface("Echo", (
+            op("echo", "text:str", returns="str"),)),)),
+        handlers={"echo": lambda text: text})
+    svc.setup()
+    svc.start()
+    return svc
+
+
+class TestPrimitives:
+    def test_crash(self):
+        svc = echo_service()
+        crash_service(svc)
+        assert not svc.available
+        with pytest.raises(ServiceError):
+            svc.invoke("echo", text="x")
+
+    def test_slowdown_inject_and_remove(self):
+        svc = echo_service()
+        fault = SlowdownFault(svc, delay_s=0.01)
+        fault.inject()
+        import time
+        start = time.perf_counter()
+        assert svc.invoke("echo", text="x") == "x"
+        assert time.perf_counter() - start >= 0.01
+        assert svc.state.value == "degraded"
+        fault.remove()
+        start = time.perf_counter()
+        svc.invoke("echo", text="y")
+        assert time.perf_counter() - start < 0.01
+
+    def test_flaky_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            svc = echo_service()
+            fault = FlakyFault(svc, failure_rate=0.5, seed=3)
+            fault.inject()
+            run = []
+            for i in range(20):
+                try:
+                    svc.invoke("echo", text=str(i))
+                    run.append(True)
+                except ServiceError:
+                    run.append(False)
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert False in outcomes[0] and True in outcomes[0]
+
+    def test_disk_fault_bad_block(self):
+        device = MemoryDevice()
+        device.append_block(bytes(4096))
+        device.append_block(bytes(4096))
+        remove = disk_fault(device, bad_blocks={1})
+        device.read_block(0)
+        with pytest.raises(DiskError, match="bad block 1"):
+            device.read_block(1)
+        remove()
+        device.read_block(1)
+
+    def test_disk_fault_dead_device(self):
+        device = MemoryDevice()
+        device.append_block(bytes(4096))
+        disk_fault(device, fail_all=True)
+        with pytest.raises(DiskError, match="device dead"):
+            device.read_block(0)
+
+
+class TestCampaign:
+    def make_kernel(self):
+        kernel = SBDMSKernel()
+        kernel.publish(echo_service("primary"))
+        kernel.publish(echo_service("backup"))
+        return kernel
+
+    def test_crash_then_repair_schedule(self):
+        kernel = self.make_kernel()
+        campaign = FaultCampaign(kernel, [
+            FaultAction(step=3, kind="crash", service="primary"),
+            FaultAction(step=7, kind="repair", service="primary"),
+        ])
+
+        def probe(step):
+            kernel.call("Echo", "echo", text=f"probe-{step}")
+
+        report = campaign.run(steps=10, probe=probe)
+        assert report.steps_run == 10
+        # The backup keeps the interface available throughout.
+        assert report.availability == 1.0
+        assert "3:crash:primary" in report.actions_fired
+        incidents = kernel.coordinator.incidents
+        kinds = [i.kind for i in incidents]
+        assert "failed" in kinds and "recovered" in kinds
+
+    def test_total_outage_counted(self):
+        kernel = SBDMSKernel()
+        kernel.publish(echo_service("only"))
+        campaign = FaultCampaign(kernel, [
+            FaultAction(step=2, kind="crash", service="only"),
+        ])
+
+        def probe(step):
+            kernel.call("Echo", "echo", text="x")
+
+        report = campaign.run(steps=6, probe=probe)
+        assert report.availability == pytest.approx(2 / 6)
+
+    def test_slow_and_restore(self):
+        kernel = self.make_kernel()
+        campaign = FaultCampaign(kernel, [
+            FaultAction(step=1, kind="slow", service="primary",
+                        delay_s=0.001),
+            FaultAction(step=3, kind="restore", service="primary"),
+        ])
+        report = campaign.run(steps=5,
+                              probe=lambda s: kernel.call(
+                                  "Echo", "echo", text="x"))
+        assert report.availability == 1.0
+        assert kernel.registry.get("primary").state.value == "operational"
+
+    def test_unknown_kind_rejected(self):
+        kernel = self.make_kernel()
+        campaign = FaultCampaign(kernel, [
+            FaultAction(step=0, kind="meteor", service="primary")])
+        with pytest.raises(ValueError):
+            campaign.run(steps=1, probe=lambda s: None)

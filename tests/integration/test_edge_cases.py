@@ -1,0 +1,138 @@
+"""Edge cases and failure paths across subsystems."""
+
+import pytest
+
+from repro import SBDMS
+from repro.core import QualityMonitor, SBDMSKernel
+from repro.errors import ServiceNotFoundError, StreamError
+from repro.extensions import StreamService
+from repro.faults import crash_service
+
+
+class TestKernelEdges:
+    def test_sql_without_query_service(self):
+        kernel = SBDMSKernel()
+        with pytest.raises(ServiceNotFoundError):
+            kernel.sql("SELECT 1")
+
+    def test_call_after_all_providers_fail(self):
+        system = SBDMS(profile="query-only")
+        crash_service(system.registry.get("query"))
+        with pytest.raises(ServiceNotFoundError):
+            system.sql("SELECT 1")
+
+    def test_republish_after_retire(self):
+        system = SBDMS(profile="full")
+        retired = system.retire("xml")
+        assert "xml" not in system.registry
+        retired.setup()
+        retired.start()
+        system.kernel.registry.register(retired)
+        assert system.registry.get("xml").available
+
+    def test_availability_tracker_sees_failure_window(self):
+        import time
+        system = SBDMS(profile="query-only")
+        monitor = QualityMonitor(system.kernel.registry)
+        query = system.registry.get("query")
+        monitor.observe_all()
+        time.sleep(0.01)
+        query.fail()
+        monitor.observe_all()
+        time.sleep(0.01)
+        query.repair()
+        query.start()
+        monitor.observe_all()
+        availability = monitor.availability.availability("query")
+        assert 0.0 < availability < 1.0
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+        system = SBDMS(profile="embedded")
+        json.dumps(system.snapshot())
+        json.dumps(system.registry.snapshot())
+
+
+class TestStreamingEdges:
+    def test_retention_cap(self):
+        service = StreamService()
+        service.setup()
+        service.start()
+        service.invoke("define_stream", name="s", columns=["v"])
+        stream = service._streams["s"]
+        stream.max_retained = 100
+        for i in range(250):
+            service.invoke("push", stream="s", event=(i,))
+        assert len(stream.events) == 100
+        window = service.invoke("window", stream="s", size=5,
+                                kind="sliding")
+        assert [r[0] for r in window] == [245, 246, 247, 248, 249]
+        # Sequence numbers keep counting past retention.
+        assert stream.sequence == 250
+
+    def test_window_larger_than_history(self):
+        service = StreamService()
+        service.setup()
+        service.start()
+        service.invoke("define_stream", name="s", columns=["v"])
+        service.invoke("push", stream="s", event=(1,))
+        window = service.invoke("window", stream="s", size=100,
+                                kind="sliding")
+        assert window == [(1,)]
+        assert service.invoke("window", stream="s", size=100,
+                              kind="tumbling") == []
+
+    def test_continuous_query_duplicate_name(self):
+        service = StreamService()
+        service.setup()
+        service.start()
+        service.invoke("define_stream", name="s", columns=["v"])
+        service.invoke("register_continuous", name="q", stream="s",
+                       size=2, function="sum", column="v")
+        with pytest.raises(StreamError):
+            service.invoke("register_continuous", name="q", stream="s",
+                           size=2, function="sum", column="v")
+
+
+class TestSQLEdges:
+    def test_empty_table_everything(self):
+        system = SBDMS(profile="query-only")
+        system.sql("CREATE TABLE empty_t (id INT PRIMARY KEY, v TEXT)")
+        assert system.query("SELECT * FROM empty_t") == []
+        assert system.query("SELECT COUNT(*) FROM empty_t") == [(0,)]
+        assert system.query(
+            "SELECT v, COUNT(*) FROM empty_t GROUP BY v") == []
+        assert system.query(
+            "SELECT * FROM empty_t ORDER BY id LIMIT 10") == []
+
+    def test_very_wide_rows(self):
+        system = SBDMS(profile="query-only")
+        system.sql("CREATE TABLE wide (id INT PRIMARY KEY, blob TEXT)")
+        big = "x" * 3000  # near page size
+        system.sql("INSERT INTO wide VALUES (1, ?)", (big,))
+        assert system.query("SELECT blob FROM wide")[0][0] == big
+
+    def test_unicode_round_trip(self):
+        system = SBDMS(profile="query-only")
+        system.sql("CREATE TABLE u (id INT PRIMARY KEY, s TEXT)")
+        text = "žürich — 苏黎世 — Ζυρίχη 🎓"
+        system.sql("INSERT INTO u VALUES (1, ?)", (text,))
+        assert system.query("SELECT s FROM u WHERE s = ?",
+                            (text,)) == [(text,)]
+
+    def test_many_small_tables(self):
+        system = SBDMS(profile="query-only")
+        for i in range(25):
+            system.sql(f"CREATE TABLE t{i} (id INT PRIMARY KEY)")
+            system.sql(f"INSERT INTO t{i} VALUES ({i})")
+        for i in range(25):
+            assert system.query(f"SELECT id FROM t{i}") == [(i,)]
+
+    def test_deep_boolean_nesting(self):
+        system = SBDMS(profile="query-only")
+        system.sql("CREATE TABLE t (a INT PRIMARY KEY)")
+        system.sql("INSERT INTO t VALUES (1), (2), (3), (4)")
+        rows = system.query(
+            "SELECT a FROM t WHERE ((a = 1 OR a = 2) AND NOT (a = 2)) "
+            "OR (a > 3 AND a < 99)")
+        assert sorted(rows) == [(1,), (4,)]

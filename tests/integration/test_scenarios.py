@@ -1,0 +1,276 @@
+"""Integration tests: the paper's scenarios end to end.
+
+- Figure 5: flexibility by extension (publish a Page Coordinator).
+- Figure 6: flexibility by selection (release resources, alternate
+  workflow).
+- Figure 7: flexibility by adaptation (Page Manager fails, adapted
+  substitute keeps the system operational).
+- §4: the fully-fledged vs. embedded contrast, and the monitoring example.
+"""
+
+import pytest
+
+from repro import SBDMS
+from repro.core import (
+    Interface,
+    QualityDescription,
+    Service,
+    ServiceContract,
+    Step,
+    Workflow,
+    op,
+)
+from repro.errors import ServiceError
+from repro.faults import crash_service
+from repro.storage.services import GranularStorage, StorageStack
+
+
+class PageCoordinator(Service):
+    """The user-created component of Figure 5."""
+
+    layer = "storage"
+
+    def __init__(self, stack: StorageStack,
+                 name: str = "page-coordinator") -> None:
+        super().__init__(name, ServiceContract(
+            name,
+            (Interface("PageCoordination", (
+                op("hot_pages", returns="list",
+                   semantics="page ids ordered by access recency"),
+                op("advise_eviction", returns="any"),)),),
+            description="user-built page usage coordinator",
+            quality=QualityDescription(latency_ms=0.05, footprint_kb=16.0),
+            tags=frozenset({"storage", "user-extension"})))
+        self.stack = stack
+
+    def op_hot_pages(self):
+        return [str(p.page_id) for p in self.stack.pool.iter_resident()]
+
+    def op_advise_eviction(self):
+        return {"resident": self.stack.pool.resident,
+                "capacity": self.stack.pool.capacity}
+
+
+class TestFigure5Extension:
+    def test_publish_new_component(self):
+        system = SBDMS(profile="query-only")
+        stack = StorageStack()
+        coordinator = PageCoordinator(stack)
+        record = system.publish(coordinator)
+        # "From this point on, the desired functionality of the component
+        # is exposed and available for reuse."
+        assert record.interfaces == ["PageCoordination"]
+        assert system.kernel.call("PageCoordination",
+                                  "advise_eviction")["capacity"] > 0
+        # Contract published to the repository for discovery.
+        assert system.repository.contract("page-coordinator")
+        # No other service was disturbed.
+        assert system.query("SELECT 1") == [(1,)]
+
+    def test_published_service_discoverable_and_monitored(self):
+        system = SBDMS(profile="query-only")
+        system.publish(PageCoordinator(StorageStack()))
+        assert "page-coordinator" in system.coordinator.managed
+        found = system.registry.find("PageCoordination")
+        assert len(found) == 1
+
+
+class TestFigure6Selection:
+    def test_release_resources_and_alternate_workflow(self):
+        system = SBDMS(profile="query-only")
+        kernel = system.kernel
+        resources = kernel.resources
+        # Grant memory to the buffer-ish service, then have another service
+        # request more via the coordinator (Figure 6's arrow).
+        resources.grant("storage", "memory_kb", 512_000)
+        released = kernel.coordinator.invoke(
+            "release_resources", service="query", resource="memory_kb")
+        assert released == 512_000
+        storage = kernel.registry.get("storage")
+        assert storage.get_property("resource_constrained") == "memory_kb"
+
+    def test_alternate_workflows_same_task(self):
+        system = SBDMS(profile="query-only")
+        engine = system.kernel.workflows
+
+        def sql_steps(statement):
+            return [Step("Query", "execute",
+                         bind_args=lambda ctx, s=statement: {
+                             "statement": s, "params": ()},
+                         save_as="result")]
+
+        engine.register(Workflow("via-query", "answer",
+                                 sql_steps("SELECT 42"), priority=10))
+        engine.register(Workflow("via-query-alt", "answer",
+                                 sql_steps("SELECT 40 + 2"), priority=1))
+        trace = engine.execute_task("answer")
+        assert trace.workflow == "via-query"
+        assert trace.result["rows"] == [(42,)]
+        # Both alternatives are viable: that multiplicity IS selection.
+        assert len(engine.viable_alternatives("answer")) == 2
+
+    def test_selection_falls_back_when_preferred_fails(self):
+        system = SBDMS(profile="query-only")
+        engine = system.kernel.workflows
+        engine.register(Workflow("broken", "task", [
+            Step("Nonexistent", "op")], priority=10))
+        engine.register(Workflow("works", "task", [
+            Step("Query", "execute",
+                 bind_args=lambda ctx: {"statement": "SELECT 1",
+                                        "params": ()},
+                 save_as="result")], priority=1))
+        trace = engine.execute_task("task")
+        assert trace.succeeded
+        assert trace.workflow == "works"
+
+
+class TestFigure7Adaptation:
+    def test_failed_service_replaced_by_adapted_alternative(self):
+        system = SBDMS(profile="query-only")
+
+        class LegacyPager(Service):
+            """Different interface, same functionality — adaptable."""
+
+            layer = "storage"
+
+            def __init__(self):
+                super().__init__("legacy-pager", ServiceContract(
+                    "legacy-pager",
+                    (Interface("LegacyPaging", (
+                        op("fetch_bytes", "file:str", "page_no:int",
+                           "offset:int", "length:int", returns="bytes"),
+                        op("store_bytes", "file:str", "page_no:int",
+                           "offset:int", "data:bytes", returns="int"),
+                        op("make_page", "file:str", returns="int"),
+                        op("make_file", "name:str", returns="int"),
+                        op("sync", returns="any"),
+                        op("observe", returns="dict"),)),)))
+                self.stack = StorageStack()
+
+            def op_fetch_bytes(self, file, page_no, offset, length):
+                return self.stack.read(file, page_no, offset, length)
+
+            def op_store_bytes(self, file, page_no, offset, data):
+                return self.stack.write(file, page_no, offset, data)
+
+            def op_make_page(self, file):
+                return self.stack.allocate(file)
+
+            def op_make_file(self, name):
+                return self.stack.ensure_file(name)
+
+            def op_sync(self):
+                self.stack.flush()
+
+            def op_observe(self):
+                return self.stack.properties()
+
+        system.publish(LegacyPager())
+        # Automatic structural matching is ambiguous here (``allocate``
+        # could map to make_page or make_file), so the developer supplies a
+        # transformation schema (§3.1: adaptors "manually created by the
+        # developer"); the engine picks it up from the repository.
+        from repro.core import OperationMapping, TransformationSchema
+
+        system.repository.add_transformation(TransformationSchema(
+            required_interface="Storage",
+            provided_interface="LegacyPaging",
+            operations={
+                "read": OperationMapping("fetch_bytes"),
+                "write": OperationMapping("store_bytes"),
+                "allocate": OperationMapping("make_page"),
+                "ensure_file": OperationMapping("make_file"),
+                "flush": OperationMapping("sync"),
+                "monitor": OperationMapping("observe"),
+            },
+            description="developer-provided Storage -> LegacyPaging map"))
+        storage = system.registry.get("storage")
+        crash_service(storage)
+        sweep = system.monitor()
+        assert any(c["service"] == "storage" for c in sweep["changes"])
+        incident = system.coordinator.incidents[-1]
+        assert incident.resolved
+        assert incident.action == "adapt"
+        # The Storage interface is served again — by an adaptor around the
+        # legacy pager ("performance may degrade ... the system can
+        # continue to operate").
+        page_no = system.kernel.call("Storage", "allocate", file="t")
+        system.kernel.call("Storage", "write", file="t", page_no=page_no,
+                           offset=0, data=b"alive")
+        assert system.kernel.call("Storage", "read", file="t",
+                                  page_no=page_no, offset=0,
+                                  length=5) == b"alive"
+
+    def test_unresolvable_failure_reported(self):
+        system = SBDMS(profile="query-only")
+        storage = system.registry.get("storage")
+        crash_service(storage)
+        system.monitor()
+        incident = system.coordinator.incidents[-1]
+        assert not incident.resolved
+        status = system.coordinator.invoke("status")
+        assert status["unresolved"] >= 1
+        from repro.errors import ServiceNotFoundError
+
+        with pytest.raises((ServiceError, ServiceNotFoundError)):
+            system.kernel.call("Storage", "read", file="t", page_no=0,
+                               offset=0, length=1)
+
+
+class TestDiscussionScenarios:
+    def test_monitoring_service_reads_storage_properties(self):
+        system = SBDMS(profile="full")
+        system.sql("CREATE TABLE t (id INT PRIMARY KEY, blob TEXT)")
+        for i in range(200):
+            system.sql("INSERT INTO t VALUES (?, ?)", (i, "x" * 100))
+        report = system.kernel.call("Monitoring", "storage_report")
+        # "work load, buffer size, page size, and data fragmentation"
+        assert report["buffer_size"] > 0
+        assert report["page_size"] == 4096
+        assert report["workload"]["statements"] >= 200
+        assert "t" in report["fragmentation"]
+        assert 0 <= report["fragmentation"]["t"]["fragmentation"] <= 1
+
+    def test_full_vs_embedded_contrast(self):
+        full = SBDMS(profile="full")
+        embedded = SBDMS(profile="embedded")
+        assert len(full.registry) > len(embedded.registry)
+        # Both serve the same core SQL.
+        for system in (full, embedded):
+            system.sql("CREATE TABLE t (id INT PRIMARY KEY)")
+            system.sql("INSERT INTO t VALUES (1)")
+            assert system.query("SELECT COUNT(*) FROM t") == [(1,)]
+        # Embedded has no extension layer.
+        assert embedded.kernel.snapshot()["layers"]["extension"] == []
+
+
+class TestSQLThroughGranularities:
+    @pytest.mark.parametrize("granularity", ["coarse", "medium", "fine"])
+    def test_storage_behaviour_identical(self, granularity):
+        storage = GranularStorage(granularity)
+        pages = [storage.allocate("data") for _ in range(5)]
+        for i, page in enumerate(pages):
+            storage.write("data", page, 0, bytes([i]) * 100)
+        storage.flush()
+        for i, page in enumerate(pages):
+            assert storage.read("data", page, 0, 100) == bytes([i]) * 100
+
+
+class TestDurabilityAcrossRestart:
+    def test_full_system_checkpoint_reopen(self):
+        from repro.data import Database
+        from repro.storage import MemoryDevice
+
+        device = MemoryDevice()
+        system = SBDMS(profile="query-only",
+                       database=Database(device=device))
+        system.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        for i in range(50):
+            system.sql("INSERT INTO t VALUES (?, ?)", (i, f"value-{i}"))
+        system.checkpoint()
+
+        reopened = SBDMS(profile="query-only",
+                         database=Database(device=device))
+        assert reopened.query("SELECT COUNT(*) FROM t") == [(50,)]
+        assert reopened.query(
+            "SELECT v FROM t WHERE id = 42") == [("value-42",)]

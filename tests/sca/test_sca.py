@@ -1,0 +1,262 @@
+"""SCA component/composite/assembly tests (Figures 3-4)."""
+
+import pytest
+
+from repro.errors import AssemblyError, SCAError, WiringError
+from repro.sca import (
+    Component,
+    ComponentService,
+    Composite,
+    Reference,
+    load_assembly,
+)
+
+
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+
+    def increment(self, by=1):
+        self.value += by
+        return self.value
+
+    def current(self):
+        return self.value
+
+
+class Doubler:
+    """Implementation that uses a reference to another service."""
+
+    def __init__(self, counter_ref):
+        self.counter_ref = counter_ref
+
+    def double_increment(self):
+        self.counter_ref.call("increment")
+        return self.counter_ref.call("increment")
+
+
+def counter_component(name="counter", start=0):
+    return Component(
+        name,
+        implementation=Counter(start),
+        services=[ComponentService.of("Count", "increment", "current")])
+
+
+class TestComponent:
+    def test_exposed_service_call(self):
+        comp = counter_component()
+        assert comp.call_service("Count", "increment") == 1
+        assert comp.call_service("Count", "current") == 1
+
+    def test_unknown_service_rejected(self):
+        comp = counter_component()
+        with pytest.raises(SCAError, match="no service"):
+            comp.call_service("Nope", "increment")
+
+    def test_unknown_operation_rejected(self):
+        comp = counter_component()
+        with pytest.raises(SCAError, match="no operation"):
+            comp.call_service("Count", "reset")
+
+    def test_operation_rename(self):
+        comp = Component(
+            "c", implementation=Counter(),
+            services=[ComponentService("Count", {"bump": "increment"})])
+        assert comp.call_service("Count", "bump") == 1
+
+    def test_needs_implementation(self):
+        with pytest.raises(SCAError):
+            Component("empty")
+
+    def test_factory_reads_properties_at_instantiation(self):
+        comp = Component(
+            "c",
+            implementation_factory=lambda props, refs: Counter(
+                props["start"]),
+            services=[ComponentService.of("Count", "current")],
+            properties={"start": 10})
+        comp.set_property("start", 42)  # before instantiation: allowed
+        comp.instantiate()
+        assert comp.call_service("Count", "current") == 42
+        with pytest.raises(SCAError):
+            comp.set_property("start", 0)  # after: rejected
+
+    def test_uninstantiated_use_rejected(self):
+        comp = Component(
+            "c", implementation_factory=lambda p, r: Counter(),
+            services=[ComponentService.of("Count", "current")])
+        with pytest.raises(SCAError, match="not instantiated"):
+            comp.call_service("Count", "current")
+
+    def test_unwired_required_reference_blocks_instantiation(self):
+        comp = Component(
+            "d", implementation_factory=lambda p, r: Doubler(r["counter"]),
+            references=[Reference("counter")])
+        with pytest.raises(WiringError, match="unwired"):
+            comp.instantiate()
+
+    def test_optional_reference_may_stay_unwired(self):
+        comp = Component(
+            "c",
+            implementation_factory=lambda p, r: Counter(),
+            services=[ComponentService.of("Count", "current")],
+            references=[Reference("logger", required=False)])
+        comp.instantiate()
+        assert comp.call_service("Count", "current") == 0
+
+
+class TestComposite:
+    def build(self):
+        composite = Composite("pair")
+        composite.add(counter_component())
+        composite.add(Component(
+            "doubler",
+            implementation_factory=lambda p, r: Doubler(r["counter"]),
+            services=[ComponentService.of("Double", "double_increment")],
+            references=[Reference("counter", interface="Count")]))
+        composite.wire("doubler", "counter", "counter", "Count")
+        composite.promote_service("doubler", "Double")
+        composite.instantiate()
+        return composite
+
+    def test_wiring_and_promotion(self):
+        composite = self.build()
+        assert composite.call_promoted("Double", "double_increment") == 2
+        assert composite.call_promoted("Double", "double_increment") == 4
+
+    def test_duplicate_component_rejected(self):
+        composite = Composite("c")
+        composite.add(counter_component())
+        with pytest.raises(SCAError):
+            composite.add(counter_component())
+
+    def test_wire_to_missing_target_rejected(self):
+        composite = Composite("c")
+        composite.add(counter_component())
+        with pytest.raises(SCAError):
+            composite.wire("counter", "x", "ghost", "Count")
+
+    def test_promote_missing_service_rejected(self):
+        composite = Composite("c")
+        composite.add(counter_component())
+        with pytest.raises(SCAError):
+            composite.promote_service("counter", "Ghost")
+
+    def test_call_unpromoted_rejected(self):
+        composite = self.build()
+        with pytest.raises(SCAError, match="promotes no service"):
+            composite.call_promoted("Count", "current")
+
+    def test_describe(self):
+        composite = self.build()
+        desc = composite.describe()
+        assert desc["name"] == "pair"
+        assert "doubler.counter -> counter.Count" in desc["wires"]
+        assert desc["promoted_services"]["Double"] == "doubler.Double"
+
+
+class TestRecursiveComposites:
+    def test_composite_inside_composite(self):
+        inner = Composite("inner")
+        inner.add(counter_component())
+        inner.promote_service("counter", "Count")
+
+        outer = Composite("outer")
+        outer.add_composite(inner)
+        outer.promote_service("inner", "Count", as_name="Counting")
+        outer.instantiate()
+        assert outer.call_promoted("Counting", "increment") == 1
+        assert outer.depth() == 2
+
+    def test_three_levels(self):
+        level1 = Composite("l1")
+        level1.add(counter_component())
+        level1.promote_service("counter", "Count")
+
+        level2 = Composite("l2")
+        level2.add_composite(level1)
+        level2.promote_service("l1", "Count")
+
+        level3 = Composite("l3")
+        level3.add_composite(level2)
+        level3.promote_service("l2", "Count")
+        level3.instantiate()
+        assert level3.call_promoted("Count", "increment") == 1
+        assert level3.depth() == 3
+
+    def test_wire_across_boundary_via_promoted_handle(self):
+        inner = Composite("inner")
+        inner.add(counter_component())
+        inner.promote_service("counter", "Count")
+        inner.instantiate()
+
+        outer = Composite("outer")
+        outer.add(Component(
+            "doubler",
+            implementation_factory=lambda p, r: Doubler(r["counter"]),
+            services=[ComponentService.of("Double", "double_increment")],
+            references=[Reference("counter")]))
+        outer.component("doubler").wire("counter", inner.handle("Count"))
+        outer.promote_service("doubler", "Double")
+        outer.instantiate()
+        assert outer.call_promoted("Double", "double_increment") == 2
+
+    def test_promoted_reference(self):
+        composite = Composite("needy")
+        composite.add(Component(
+            "doubler",
+            implementation_factory=lambda p, r: Doubler(r["counter"]),
+            services=[ComponentService.of("Double", "double_increment")],
+            references=[Reference("counter")]))
+        composite.promote_reference("doubler", "counter")
+        provider = counter_component()
+        composite.wire_promoted("counter", provider.handle("Count"))
+        composite.promote_service("doubler", "Double")
+        composite.instantiate()
+        assert composite.call_promoted("Double", "double_increment") == 2
+        with pytest.raises(WiringError):
+            composite.wire_promoted("ghost", provider.handle("Count"))
+
+
+class TestAssemblyLoader:
+    FACTORIES = {
+        "counter": lambda props, refs: Counter(props.get("start", 0)),
+        "doubler": lambda props, refs: Doubler(refs["counter"]),
+    }
+
+    DESCRIPTOR = {
+        "name": "pair",
+        "components": [
+            {"name": "counter", "implementation": "counter",
+             "properties": {"start": 5},
+             "services": [{"name": "Count",
+                           "operations": ["increment", "current"]}]},
+            {"name": "doubler", "implementation": "doubler",
+             "services": [{"name": "Double",
+                           "operations": ["double_increment"]}],
+             "references": [{"name": "counter", "interface": "Count"}]},
+        ],
+        "wires": [
+            {"source": "doubler", "reference": "counter",
+             "target": "counter", "service": "Count"},
+        ],
+        "promote": {
+            "services": [{"component": "doubler", "service": "Double"},
+                         {"component": "counter", "service": "Count",
+                          "as": "Counter"}],
+        },
+    }
+
+    def test_load_and_run(self):
+        composite = load_assembly(self.DESCRIPTOR, self.FACTORIES)
+        composite.instantiate()
+        assert composite.call_promoted("Double", "double_increment") == 7
+        assert composite.call_promoted("Counter", "current") == 7
+
+    def test_missing_factory_rejected(self):
+        with pytest.raises(AssemblyError, match="factory"):
+            load_assembly(self.DESCRIPTOR, {})
+
+    def test_malformed_descriptor_rejected(self):
+        with pytest.raises(AssemblyError):
+            load_assembly({"components": [{}]}, self.FACTORIES)

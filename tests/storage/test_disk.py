@@ -1,0 +1,147 @@
+"""Unit tests for the simulated block devices."""
+
+import pytest
+
+from repro.errors import DiskError, DiskFullError
+from repro.storage import DiskCostModel, FileDevice, MemoryDevice
+
+
+def block(fill: int, size: int = 4096) -> bytes:
+    return bytes([fill]) * size
+
+
+class TestMemoryDevice:
+    def test_append_and_read_round_trip(self):
+        dev = MemoryDevice()
+        n0 = dev.append_block(block(1))
+        n1 = dev.append_block(block(2))
+        assert (n0, n1) == (0, 1)
+        assert dev.read_block(0) == block(1)
+        assert dev.read_block(1) == block(2)
+
+    def test_overwrite(self):
+        dev = MemoryDevice()
+        dev.append_block(block(1))
+        dev.write_block(0, block(9))
+        assert dev.read_block(0) == block(9)
+
+    def test_sparse_write_zero_fills_gap(self):
+        dev = MemoryDevice()
+        dev.write_block(3, block(7))
+        assert dev.num_blocks() == 4
+        assert dev.read_block(1) == bytes(4096)
+        assert dev.read_block(3) == block(7)
+
+    def test_read_out_of_range_raises(self):
+        dev = MemoryDevice()
+        with pytest.raises(DiskError):
+            dev.read_block(0)
+        dev.append_block(block(0))
+        with pytest.raises(DiskError):
+            dev.read_block(1)
+        with pytest.raises(DiskError):
+            dev.read_block(-1)
+
+    def test_wrong_block_size_rejected(self):
+        dev = MemoryDevice(block_size=512)
+        with pytest.raises(DiskError):
+            dev.write_block(0, bytes(4096))
+
+    def test_capacity_enforced(self):
+        dev = MemoryDevice(capacity_blocks=2)
+        dev.append_block(block(1))
+        dev.append_block(block(2))
+        with pytest.raises(DiskFullError):
+            dev.append_block(block(3))
+
+    def test_closed_device_rejects_io(self):
+        dev = MemoryDevice()
+        dev.append_block(block(1))
+        dev.close()
+        assert dev.closed
+        with pytest.raises(DiskError):
+            dev.read_block(0)
+        with pytest.raises(DiskError):
+            dev.write_block(0, block(2))
+
+    def test_stats_and_cost_model(self):
+        dev = MemoryDevice(cost_model=DiskCostModel(
+            read_latency=1.0, write_latency=2.0, per_byte=0.0,
+            flush_latency=4.0))
+        dev.append_block(block(1))
+        dev.read_block(0)
+        dev.flush()
+        assert dev.stats.writes == 1
+        assert dev.stats.reads == 1
+        assert dev.stats.flushes == 1
+        assert dev.stats.bytes_written == 4096
+        assert dev.stats.time_charged == pytest.approx(7.0)
+        dev.stats.reset()
+        assert dev.stats.reads == 0
+
+    def test_fault_hook_fires_and_clears(self):
+        dev = MemoryDevice()
+        dev.append_block(block(1))
+
+        def explode(op, block_no):
+            raise DiskError(f"injected {op}@{block_no}")
+
+        dev.set_fault_hook(explode)
+        with pytest.raises(DiskError, match="injected read@0"):
+            dev.read_block(0)
+        dev.set_fault_hook(None)
+        assert dev.read_block(0) == block(1)
+
+    def test_snapshot_restore(self):
+        dev = MemoryDevice()
+        dev.append_block(block(1))
+        snap = dev.snapshot()
+        dev.write_block(0, block(9))
+        dev.restore(snap)
+        assert dev.read_block(0) == block(1)
+
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryDevice(block_size=0)
+
+
+class TestFileDevice:
+    def test_round_trip_and_persistence(self, tmp_path):
+        path = tmp_path / "data.db"
+        dev = FileDevice(path)
+        dev.append_block(block(5))
+        dev.append_block(block(6))
+        dev.close()
+
+        dev2 = FileDevice(path)
+        assert dev2.num_blocks() == 2
+        assert dev2.read_block(0) == block(5)
+        assert dev2.read_block(1) == block(6)
+        dev2.close()
+
+    def test_rejects_misaligned_file(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(DiskError):
+            FileDevice(path)
+
+    def test_overwrite_persists(self, tmp_path):
+        path = tmp_path / "data.db"
+        dev = FileDevice(path)
+        dev.append_block(block(1))
+        dev.write_block(0, block(2))
+        dev.close()
+        dev2 = FileDevice(path)
+        assert dev2.read_block(0) == block(2)
+        dev2.close()
+
+
+class TestCostModelPresets:
+    def test_hdd_slower_than_ssd(self):
+        assert DiskCostModel.hdd().read_cost(4096) > \
+            DiskCostModel.ssd().read_cost(4096)
+
+    def test_free_costs_nothing(self):
+        model = DiskCostModel.free()
+        assert model.read_cost(4096) == 0.0
+        assert model.write_cost(4096) == 0.0

@@ -1,0 +1,204 @@
+"""Tests for pages, the disk manager, and the file manager."""
+
+import pytest
+
+from repro.errors import ChecksumError, DiskError, FileManagerError
+from repro.storage import (
+    DiskManager,
+    FileDevice,
+    FileManager,
+    MemoryDevice,
+    Page,
+    PageId,
+)
+
+
+class TestPage:
+    def test_read_write_round_trip(self):
+        page = Page(PageId(1, 0), 4096)
+        page.write(10, b"hello")
+        assert page.read(10, 5) == b"hello"
+        assert page.dirty
+
+    def test_usable_size_excludes_checksum(self):
+        page = Page(PageId(1, 0), 4096)
+        assert page.usable_size == 4092
+
+    def test_write_out_of_bounds_rejected(self):
+        page = Page(PageId(1, 0), 4096)
+        with pytest.raises(ValueError):
+            page.write(4090, b"toolong")
+        with pytest.raises(ValueError):
+            page.write(-1, b"x")
+
+    def test_block_round_trip_with_checksum(self):
+        page = Page(PageId(1, 0), 4096)
+        page.write(0, b"payload")
+        block = page.to_block()
+        assert len(block) == 4096
+        back = Page.from_block(PageId(1, 0), block)
+        assert back.read(0, 7) == b"payload"
+
+    def test_corrupt_block_detected(self):
+        page = Page(PageId(1, 0), 4096)
+        page.write(0, b"payload")
+        block = bytearray(page.to_block())
+        block[3] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            Page.from_block(PageId(1, 0), bytes(block))
+
+    def test_all_zero_block_is_valid_fresh_page(self):
+        page = Page.from_block(PageId(1, 0), bytes(4096))
+        assert page.read(0, 4) == bytes(4)
+
+
+class TestDiskManager:
+    def test_allocate_skips_reserved_block_zero(self):
+        dm = DiskManager(MemoryDevice())
+        assert dm.allocate() == 1
+
+    def test_release_and_reuse(self):
+        dm = DiskManager(MemoryDevice())
+        a = dm.allocate()
+        b = dm.allocate()
+        dm.release(a)
+        assert dm.allocate() == a
+        assert b == 2
+
+    def test_double_free_rejected(self):
+        dm = DiskManager(MemoryDevice())
+        a = dm.allocate()
+        dm.release(a)
+        with pytest.raises(DiskError):
+            dm.release(a)
+
+    def test_release_block_zero_rejected(self):
+        dm = DiskManager(MemoryDevice())
+        with pytest.raises(DiskError):
+            dm.release(0)
+
+    def test_allocated_block_is_zeroed(self):
+        dev = MemoryDevice()
+        dm = DiskManager(dev)
+        blk = dm.allocate()
+        dev.write_block(blk, b"\xAA" * 4096)
+        dm.release(blk)
+        blk2 = dm.allocate()
+        assert blk2 == blk
+        assert dev.read_block(blk2) == bytes(4096)
+
+
+class TestFileManager:
+    def make(self):
+        return FileManager(DiskManager(MemoryDevice()))
+
+    def test_create_and_open(self):
+        fm = self.make()
+        fid = fm.create_file("t")
+        assert fm.open_file("t") == fid
+        assert fm.has_file("t")
+        assert fm.list_files() == ["t"]
+
+    def test_duplicate_create_rejected(self):
+        fm = self.make()
+        fm.create_file("t")
+        with pytest.raises(FileManagerError):
+            fm.create_file("t")
+
+    def test_open_missing_rejected(self):
+        fm = self.make()
+        with pytest.raises(FileManagerError):
+            fm.open_file("nope")
+
+    def test_ensure_file_idempotent(self):
+        fm = self.make()
+        fid = fm.ensure_file("t")
+        assert fm.ensure_file("t") == fid
+
+    def test_page_allocation_and_io(self):
+        fm = self.make()
+        fid = fm.create_file("t")
+        pid0 = fm.allocate_page(fid)
+        pid1 = fm.allocate_page(fid)
+        assert (pid0.page_no, pid1.page_no) == (0, 1)
+        assert fm.file_size_pages(fid) == 2
+        data = b"\x07" * 4096
+        fm.write_page(pid1, data)
+        assert fm.read_page(pid1) == data
+        assert list(fm.pages_of(fid)) == [pid0, pid1]
+
+    def test_out_of_range_page_rejected(self):
+        fm = self.make()
+        fid = fm.create_file("t")
+        with pytest.raises(FileManagerError):
+            fm.read_page(PageId(fid, 0))
+        with pytest.raises(FileManagerError):
+            fm.read_page(PageId(99, 0))
+
+    def test_delete_file_recycles_blocks(self):
+        fm = self.make()
+        fid = fm.create_file("t")
+        fm.allocate_page(fid)
+        fm.allocate_page(fid)
+        fm.delete_file("t")
+        assert not fm.has_file("t")
+        assert len(fm.disk.free_blocks) == 2
+
+    def test_free_last_page(self):
+        fm = self.make()
+        fid = fm.create_file("t")
+        fm.allocate_page(fid)
+        fm.free_last_page(fid)
+        assert fm.file_size_pages(fid) == 0
+        with pytest.raises(FileManagerError):
+            fm.free_last_page(fid)
+
+    def test_metadata_checkpoint_reopen_memory(self):
+        dev = MemoryDevice()
+        fm = FileManager(DiskManager(dev))
+        fid = fm.create_file("t")
+        pid = fm.allocate_page(fid)
+        fm.write_page(pid, b"\x42" * 4096)
+        fm.checkpoint_metadata()
+
+        fm2 = FileManager(DiskManager(dev))
+        fid2 = fm2.open_file("t")
+        assert fm2.file_size_pages(fid2) == 1
+        assert fm2.read_page(PageId(fid2, 0)) == b"\x42" * 4096
+
+    def test_metadata_survives_file_device_reopen(self, tmp_path):
+        path = tmp_path / "db.bin"
+        dev = FileDevice(path)
+        fm = FileManager(DiskManager(dev))
+        fid = fm.create_file("users")
+        pid = fm.allocate_page(fid)
+        fm.write_page(pid, b"\x11" * 4096)
+        fm.checkpoint_metadata()
+        dev.close()
+
+        dev2 = FileDevice(path)
+        fm2 = FileManager(DiskManager(dev2))
+        assert fm2.list_files() == ["users"]
+        fid2 = fm2.open_file("users")
+        assert fm2.read_page(PageId(fid2, 0)) == b"\x11" * 4096
+        dev2.close()
+
+    def test_large_metadata_spans_multiple_blocks(self):
+        dev = MemoryDevice(block_size=512)
+        fm = FileManager(DiskManager(dev))
+        for i in range(60):
+            fm.create_file(f"table_with_a_rather_long_name_{i:04d}")
+        fm.checkpoint_metadata()
+        fm2 = FileManager(DiskManager(dev))
+        assert len(fm2.list_files()) == 60
+
+    def test_repeated_checkpoints_recycle_chain_blocks(self):
+        dev = MemoryDevice(block_size=512)
+        fm = FileManager(DiskManager(dev))
+        for i in range(40):
+            fm.create_file(f"f{i}")
+        fm.checkpoint_metadata()
+        blocks_after_first = dev.num_blocks()
+        for _ in range(5):
+            fm.checkpoint_metadata()
+        assert dev.num_blocks() == blocks_after_first

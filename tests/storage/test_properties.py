@@ -1,0 +1,146 @@
+"""Hypothesis property tests for storage-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    FileManager,
+    LogKind,
+    LogRecord,
+    MemoryDevice,
+    PageId,
+    WriteAheadLog,
+)
+
+
+class TestWALCodecProperties:
+    @given(
+        lsn=st.integers(min_value=0, max_value=2**63 - 1),
+        txn=st.integers(min_value=0, max_value=2**63 - 1),
+        file_id=st.integers(min_value=0, max_value=2**32 - 1),
+        page_no=st.integers(min_value=0, max_value=2**32 - 1),
+        offset=st.integers(min_value=0, max_value=2**32 - 1),
+        before=st.binary(max_size=500),
+        after=st.binary(max_size=500))
+    @settings(max_examples=200, deadline=None)
+    def test_update_record_round_trip(self, lsn, txn, file_id, page_no,
+                                      offset, before, after):
+        rec = LogRecord(lsn, txn, LogKind.UPDATE,
+                        PageId(file_id, page_no), offset, before, after)
+        decoded, pos = LogRecord.decode(rec.encode(), 0)
+        assert decoded == rec
+        assert pos == len(rec.encode())
+
+    @given(st.lists(st.sampled_from(list(LogKind)), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_stream_of_records_parses(self, kinds):
+        wal = WriteAheadLog(MemoryDevice())
+        for i, kind in enumerate(kinds):
+            if kind is LogKind.UPDATE:
+                wal.log_update(i, PageId(1, 0), 0, b"a", b"b")
+            else:
+                wal.append(i, kind)
+        wal.flush()
+        parsed = list(WriteAheadLog(wal.device).records())
+        assert [r.kind for r in parsed] == kinds
+        assert [r.lsn for r in parsed] == list(range(1, len(kinds) + 1))
+
+
+@st.composite
+def pool_operations(draw):
+    """A sequence of buffer pool ops over a small page universe."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n):
+        ops.append((
+            draw(st.sampled_from(["write", "read", "flush", "crash_check"])),
+            draw(st.integers(min_value=0, max_value=9)),   # page index
+            draw(st.binary(min_size=1, max_size=16)),
+        ))
+    return ops
+
+
+class TestBufferPoolModel:
+    @given(pool_operations(),
+           st.integers(min_value=2, max_value=6),
+           st.sampled_from(["lru", "clock", "fifo", "lfu", "mru"]))
+    @settings(max_examples=80, deadline=None)
+    def test_no_lost_writes(self, ops, capacity, policy):
+        """Whatever the eviction policy and pool size, every acknowledged
+        write must be readable afterwards — through the cache or disk."""
+        fm = FileManager(DiskManager(MemoryDevice()))
+        fid = fm.create_file("t")
+        pool = BufferPool(fm, capacity=capacity, policy=policy)
+        pages: list[PageId] = []
+        for _ in range(10):
+            page = pool.new_page(fid)
+            pages.append(page.page_id)
+            pool.unpin(page.page_id, dirty=True)
+        model: dict[int, bytes] = {}
+        for op_name, idx, payload in ops:
+            page_id = pages[idx]
+            if op_name == "write":
+                page = pool.fetch(page_id)
+                page.write(0, payload.ljust(16, b"\0"))
+                pool.unpin(page_id, dirty=True)
+                model[idx] = payload.ljust(16, b"\0")
+            elif op_name == "read":
+                page = pool.fetch(page_id)
+                expected = model.get(idx, None)
+                if expected is not None:
+                    assert page.read(0, 16) == expected
+                pool.unpin(page_id)
+            elif op_name == "flush":
+                pool.flush_all()
+            else:  # crash_check: flush + drop and verify durability
+                pool.flush_all()
+                pool.drop_all()
+                for known_idx, expected in model.items():
+                    page = pool.fetch(pages[known_idx])
+                    assert page.read(0, 16) == expected
+                    pool.unpin(pages[known_idx])
+        # Final: all pins released, nothing pinned.
+        assert pool.pinned_pages == set()
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.sampled_from(["lru", "clock", "fifo", "lfu", "mru"]))
+    @settings(max_examples=40, deadline=None)
+    def test_resident_never_exceeds_capacity(self, capacity, policy):
+        fm = FileManager(DiskManager(MemoryDevice()))
+        fid = fm.create_file("t")
+        pool = BufferPool(fm, capacity=capacity, policy=policy)
+        for _ in range(capacity * 3):
+            page = pool.new_page(fid)
+            pool.unpin(page.page_id, dirty=True)
+            assert pool.resident <= capacity
+
+
+class TestFileManagerProperties:
+    @given(st.lists(st.sampled_from(["create", "pages", "delete"]),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_metadata_round_trip_any_state(self, ops, salt):
+        """Checkpoint + reload reproduces the file table exactly, from any
+        reachable state."""
+        device = MemoryDevice()
+        fm = FileManager(DiskManager(device))
+        counter = 0
+        for op_name in ops:
+            if op_name == "create":
+                fm.create_file(f"f{counter}_{salt}")
+                counter += 1
+            elif op_name == "pages" and fm.list_files():
+                fid = fm.open_file(fm.list_files()[0])
+                fm.allocate_page(fid)
+            elif op_name == "delete" and fm.list_files():
+                fm.delete_file(fm.list_files()[-1])
+        fm.checkpoint_metadata()
+        reloaded = FileManager(DiskManager(device))
+        assert reloaded.list_files() == fm.list_files()
+        for name in fm.list_files():
+            assert reloaded.file_size_pages(reloaded.open_file(name)) == \
+                fm.file_size_pages(fm.open_file(name))
