@@ -163,6 +163,9 @@ class Sort(Operator):
 
 
 class Limit(Operator):
+    """Emit at most ``limit`` rows after skipping ``offset`` (a ``None``
+    limit means offset-only)."""
+
     def __init__(self, child: Operator, limit: Optional[int],
                  offset: int = 0) -> None:
         self.child = child
@@ -188,6 +191,8 @@ _SENTINEL = object()
 
 
 class Distinct(Operator):
+    """Drop duplicate rows, keeping first occurrences in input order."""
+
     def __init__(self, child: Operator) -> None:
         self.child = child
         self.columns = list(child.columns)

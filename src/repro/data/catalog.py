@@ -1,10 +1,18 @@
-"""The catalog: tables, indexes, and views, with page-backed persistence.
+"""The catalog: tables, indexes, views, and optimizer statistics, with
+page-backed persistence.
 
 The catalog is itself stored in the database ("__catalog" file) as a JSON
 blob chunked across pages — DDL is rare, so a full rewrite per checkpoint
 is the simple, robust choice.  On open, tables and B+-tree indexes rebind
 to their existing files; hash indexes (in-memory structures) are rebuilt
 by scanning their table.
+
+Besides the name → physical-object mapping, the catalog owns the
+*statistics* side of the metadata: :meth:`Catalog.analyze` scans a table
+into a :class:`~repro.data.sql.stats.TableStats` snapshot (row/page
+counts, per-column distinct counts, min/max, equi-depth histograms) that
+the cost-based planner reads through :meth:`Catalog.stats_for`.  Stats
+ride along in the same persisted JSON blob.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Optional
 
 from repro.access.heap_file import HeapFile
 from repro.data.schema import Schema
+from repro.data.sql.stats import TableStats, collect_table_stats
 from repro.data.table import IndexDef, Table, TableIndex
 from repro.errors import CatalogError
 from repro.storage.page import PageId
@@ -40,6 +49,7 @@ class Catalog:
         self.tables: dict[str, Table] = {}
         self.views: dict[str, str] = {}        # name -> SQL text
         self.index_defs: dict[str, IndexDef] = {}
+        self.table_stats: dict[str, TableStats] = {}
         files = pages.pool.files
         if files.has_file(_CATALOG_FILE):
             self._load()
@@ -80,6 +90,7 @@ class Catalog:
         self._purge_file_frames(table.heap.file_id)
         files.delete_file(_table_file(name))
         del self.tables[name]
+        self.table_stats.pop(name, None)
 
     # -- indexes ----------------------------------------------------------------
 
@@ -107,6 +118,25 @@ class Catalog:
         files = self.pages.pool.files
         self._purge_file_frames(index.file_id)
         files.delete_file(_index_file(index_name))
+
+    # -- statistics ------------------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None) -> int:
+        """Collect optimizer statistics for one table (or all of them).
+
+        Returns the number of tables analyzed.  The snapshots feed the
+        cost-based planner; call :meth:`save` (or let ``Database``'s
+        ANALYZE statement do it) to persist them.
+        """
+        names = [table_name] if table_name is not None \
+            else sorted(self.tables)
+        for name in names:
+            self.table_stats[name] = collect_table_stats(self.table(name))
+        return len(names)
+
+    def stats_for(self, table_name: str) -> Optional[TableStats]:
+        """The last ANALYZE snapshot for ``table_name``, if any."""
+        return self.table_stats.get(table_name)
 
     # -- views ----------------------------------------------------------------------
 
@@ -136,6 +166,9 @@ class Catalog:
             "indexes": {name: d.to_dict()
                         for name, d in self.index_defs.items()},
             "views": dict(self.views),
+            "stats": {name: s.to_dict()
+                      for name, s in self.table_stats.items()
+                      if name in self.tables},
         }).encode()
         files = self.pages.pool.files
         file_id = files.open_file(_CATALOG_FILE)
@@ -194,6 +227,10 @@ class Catalog:
                                populate=definition.method == "hash")
             self.index_defs[name] = definition
         self.views = dict(state["views"])
+        self.table_stats = {
+            name: TableStats.from_dict(s)
+            for name, s in state.get("stats", {}).items()
+            if name in self.tables}
 
     # -- helpers ------------------------------------------------------------------------
 
@@ -209,5 +246,6 @@ class Catalog:
             "tables": sorted(self.tables),
             "indexes": sorted(self.index_defs),
             "views": sorted(self.views),
+            "analyzed": sorted(self.table_stats),
             "total_rows": sum(t.row_count for t in self.tables.values()),
         }

@@ -99,6 +99,8 @@ class Database:
             return self._union(statement, params)
         if isinstance(statement, ast.Explain):
             return self._explain(statement.query, params)
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
         if isinstance(statement, ast.Insert):
             return self._insert(statement, params)
         if isinstance(statement, ast.Update):
@@ -171,10 +173,8 @@ class Database:
             rows = list(plan)
             if autocommit:
                 txn.commit()
-            return ResultSet(list(plan.columns), rows, plan={
-                "access_paths": info.access_paths,
-                "joins": info.joins,
-                "aggregated": info.aggregated})
+            return ResultSet(list(plan.columns), rows,
+                             plan=info.as_dict())
         except BaseException:
             if autocommit:
                 txn.abort()
@@ -229,12 +229,46 @@ class Database:
         planner = Planner(self.catalog, view_parser=self._parse_view)
         _, info = planner.plan(query, params)
         rows: list[tuple] = [("access_path", p) for p in info.access_paths]
+        if info.cost_based:
+            rows.extend(
+                ("estimate",
+                 f"{e['binding']}: rows={e['rows']} cost={e['cost']}")
+                for e in info.estimates)
         rows.extend(("join", j) for j in info.joins)
+        if info.cost_based and info.join_order:
+            rows.append(("join_order", " -> ".join(info.join_order)))
+            rows.append(("total",
+                         f"rows={info.estimated_rows} "
+                         f"cost={info.estimated_cost}"))
         rows.append(("aggregated", str(info.aggregated)))
-        return ResultSet(["kind", "detail"], rows, plan={
-            "access_paths": info.access_paths,
-            "joins": info.joins,
-            "aggregated": info.aggregated})
+        return ResultSet(["kind", "detail"], rows, plan=info.as_dict())
+
+    def _analyze(self, statement: ast.Analyze) -> ExecutionResult:
+        """Collect optimizer statistics under shared locks.
+
+        Like the other DDL-ish statements, the persisted snapshot is
+        written immediately and is not undone by ROLLBACK; statistics
+        are advisory estimates, not user data, and drift is tolerated
+        by design.  The shared locks keep ANALYZE from reading another
+        transaction's uncommitted rows.
+        """
+        names = ([statement.table] if statement.table is not None
+                 else sorted(self.catalog.tables))
+        for name in names:
+            self.catalog.table(name)   # raise early on unknown tables
+        txn, autocommit = self._txn()
+        try:
+            for name in names:
+                txn.lock_shared(name)
+                self.catalog.analyze(name)
+            if autocommit:
+                txn.commit()
+        except BaseException:
+            if autocommit:
+                txn.abort()
+            raise
+        self.catalog.save()
+        return ExecutionResult("analyze", len(names))
 
     @staticmethod
     def _parse_view(sql_text: str) -> ast.SelectStatement:

@@ -37,6 +37,8 @@ DATA_INTERFACE = Interface("Data", (
     op("scan", "table:str", returns="list"),
     op("tables", returns="list"),
     op("table_properties", "table:str", returns="dict"),
+    op("analyze", "table:str", returns="int",
+       semantics="collect optimizer statistics (all tables when None)"),
 ))
 
 ACCESS_INTERFACE = Interface("Access", (
@@ -88,8 +90,7 @@ class QueryService(Service):
         planner = Planner(self.database.catalog,
                           view_parser=self.database._parse_view)
         _, info = planner.plan(parsed, tuple(params or ()))
-        return {"access_paths": info.access_paths, "joins": info.joins,
-                "aggregated": info.aggregated}
+        return info.as_dict()
 
 
 class DataService(Service):
@@ -128,6 +129,11 @@ class DataService(Service):
 
     def op_table_properties(self, table: str) -> dict:
         return self.database.catalog.table(table).properties()
+
+    def op_analyze(self, table: Any = None) -> int:
+        analyzed = self.database.catalog.analyze(table)
+        self.database.catalog.save()
+        return analyzed
 
 
 class AccessService(Service):

@@ -218,6 +218,14 @@ class Explain:
 
 
 @dataclass(frozen=True)
+class Analyze:
+    """ANALYZE [table]: collect optimizer statistics (all tables when
+    ``table`` is None)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class BeginTransaction:
     pass
 
@@ -234,7 +242,7 @@ class RollbackTransaction:
 
 Statement = Union[CreateTable, CreateIndex, CreateView, DropStatement,
                   Insert, Update, Delete, SelectStatement, UnionSelect,
-                  Explain, BeginTransaction, CommitTransaction,
+                  Explain, Analyze, BeginTransaction, CommitTransaction,
                   RollbackTransaction]
 
 

@@ -1,0 +1,329 @@
+"""Cost-based physical planning: selectivity, cost model, join ordering.
+
+The planner splits query compilation into a *logical* step (which tables,
+which predicates, which join edges) and a *physical* step (which access
+path per table, which join order, which join algorithm).  This module is
+the physical step's brain:
+
+- :class:`SelectivityEstimator` turns predicate shapes into expected
+  row fractions using the ANALYZE snapshots in the catalog
+  (:mod:`repro.data.sql.stats`), with textbook defaults when a value or
+  histogram is unavailable;
+- :class:`CostModel` prices sequential pages, index probes, and join
+  algorithms, aware of the buffer pool size (a table that fits in the
+  pool pays sequential-read cost even for "random" probes);
+- :func:`choose_access_path` picks heap scan vs index equality vs index
+  range per table reference;
+- :func:`order_joins` greedily orders inner equi-join graphs by
+  estimated intermediate cardinality and selects hash vs nested-loop
+  per step.
+
+Everything here is pure estimation over plain data — operator
+construction stays in :mod:`repro.data.sql.planner`, which consumes the
+:class:`ScanChoice` / :class:`JoinStep` decisions this module emits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.data.sql.stats import ColumnStats, TableStats
+
+# Default selectivities when no statistics (or no comparable value) are
+# available — the classical System R constants.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_SELECTIVITY = 0.25
+
+
+# ---------------------------------------------------------------------------
+# Predicate shapes (built by the planner from WHERE/ON conjuncts)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One single-table conjunct in estimator-friendly form.
+
+    ``op`` is one of ``= < <= > >= between isnull notnull in other``;
+    ``value`` holds the comparison constant (or item count for ``in``),
+    ``low``/``high`` the BETWEEN bounds.
+    """
+
+    column: str
+    op: str
+    value: object = None
+    low: object = None
+    high: object = None
+
+
+# ---------------------------------------------------------------------------
+# Selectivity
+# ---------------------------------------------------------------------------
+
+
+class SelectivityEstimator:
+    """Maps predicate specs to row fractions using a table's statistics."""
+
+    def __init__(self, stats: Optional[TableStats]) -> None:
+        self.stats = stats
+
+    def _column(self, name: str) -> Optional[ColumnStats]:
+        if self.stats is None:
+            return None
+        return self.stats.column(name)
+
+    def conjunct(self, spec: PredicateSpec) -> float:
+        column = self._column(spec.column)
+        if spec.op == "=":
+            if column is not None and column.n_distinct > 0:
+                return column.eq_selectivity(spec.value)
+            return DEFAULT_EQ_SELECTIVITY
+        if spec.op in ("<", "<=", ">", ">="):
+            if column is not None and column.histogram:
+                return column.range_selectivity(spec.op, spec.value)
+            return DEFAULT_RANGE_SELECTIVITY
+        if spec.op == "between":
+            if column is not None and column.histogram:
+                return column.between_selectivity(spec.low, spec.high)
+            return DEFAULT_RANGE_SELECTIVITY / 2
+        if spec.op == "isnull":
+            return column.null_fraction if column is not None \
+                else DEFAULT_EQ_SELECTIVITY
+        if spec.op == "notnull":
+            return (1.0 - column.null_fraction) if column is not None \
+                else 1.0 - DEFAULT_EQ_SELECTIVITY
+        if spec.op == "in":
+            per_item = (column.eq_selectivity()
+                        if column is not None and column.n_distinct > 0
+                        else DEFAULT_EQ_SELECTIVITY)
+            count = spec.value if isinstance(spec.value, int) else 1
+            return min(1.0, per_item * max(count, 1))
+        return DEFAULT_SELECTIVITY
+
+    def combined(self, specs: list[PredicateSpec]) -> float:
+        """Independence-assumption product over all conjuncts."""
+        selectivity = 1.0
+        for spec in specs:
+            selectivity *= self.conjunct(spec)
+        return selectivity
+
+    def n_distinct(self, column_name: str) -> int:
+        column = self._column(column_name)
+        if column is not None and column.n_distinct > 0:
+            return column.n_distinct
+        if self.stats is not None:
+            return max(self.stats.row_count, 1)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CostModel:
+    """Disk/CPU cost constants in "sequential page read" units.
+
+    ``buffer_pages`` makes the model buffer-pool-aware: when a table's
+    pages all fit in the pool, repeated "random" probes hit cache, so
+    they are charged at sequential rather than random cost.
+    """
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_operator_cost: float = 0.0025
+    hash_entry_cost: float = 0.015
+    buffer_pages: int = 256
+
+    def random_page(self, table_pages: int) -> float:
+        if table_pages <= self.buffer_pages:
+            return self.seq_page_cost
+        return self.random_page_cost
+
+    @staticmethod
+    def _btree_height(rows: float) -> float:
+        # ~100-way fanout; at least root + leaf.
+        return max(2.0, math.log(max(rows, 2.0), 100) + 1.0)
+
+    def seq_scan(self, pages: int, rows: float) -> float:
+        return pages * self.seq_page_cost + rows * self.cpu_tuple_cost
+
+    def index_scan(self, pages: int, rows: float,
+                   matching_rows: float) -> float:
+        """An index probe plus one heap fetch per matching row."""
+        probe = self._btree_height(rows) * self.random_page(pages)
+        fetches = matching_rows * self.random_page(pages)
+        return probe + fetches + matching_rows * self.cpu_tuple_cost
+
+    def hash_join(self, outer_rows: float, inner_rows: float,
+                  out_rows: float) -> float:
+        build = inner_rows * (self.cpu_tuple_cost + self.hash_entry_cost)
+        probe = outer_rows * (self.cpu_tuple_cost + self.cpu_operator_cost)
+        return build + probe + out_rows * self.cpu_tuple_cost
+
+    def nested_loop(self, outer_rows: float, inner_rows: float,
+                    out_rows: float) -> float:
+        compares = outer_rows * max(inner_rows, 1.0) \
+            * self.cpu_operator_cost
+        return compares + out_rows * self.cpu_tuple_cost
+
+
+# ---------------------------------------------------------------------------
+# Access path choice
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScanChoice:
+    """The physical access path selected for one table reference."""
+
+    kind: str                  # seq | index_eq | index_range
+    path: str                  # explain string, e.g. "index_eq(t.id)"
+    cost: float
+    est_rows: float            # rows after ALL pushable filters
+    column: Optional[str] = None
+    op: Optional[str] = None
+    value: object = None
+    low: object = None         # (value, inclusive) or None
+    high: object = None
+
+
+def choose_access_path(table, stats: TableStats,
+                       specs: list[PredicateSpec],
+                       cost_model: CostModel) -> ScanChoice:
+    """Pick the cheapest access path for a base table.
+
+    ``specs`` are the single-table conjuncts; each spec whose column has
+    a matching index generates an index candidate.  The estimated output
+    cardinality (used for join ordering) is the same for every candidate
+    — it reflects all filters — only the cost differs.
+    """
+    estimator = SelectivityEstimator(stats)
+    rows = float(stats.row_count)
+    pages = max(stats.page_count, 1)
+    out_rows = max(rows * estimator.combined(specs), 0.0)
+
+    best = ScanChoice("seq", f"seq_scan({table.name})",
+                      cost_model.seq_scan(pages, rows), out_rows)
+    for spec in specs:
+        selectivity = estimator.conjunct(spec)
+        matching = rows * selectivity
+        if spec.op == "=":
+            index = table.index_on((spec.column,))
+            if index is None:
+                continue
+            cost = cost_model.index_scan(pages, rows, matching)
+            if cost < best.cost:
+                best = ScanChoice(
+                    "index_eq", f"index_eq({table.name}.{spec.column})",
+                    cost, out_rows, spec.column, "=", spec.value)
+        elif spec.op in ("<", "<=", ">", ">="):
+            index = table.index_on((spec.column,), require_btree=True)
+            if index is None:
+                continue
+            cost = cost_model.index_scan(pages, rows, matching)
+            if cost < best.cost:
+                low = high = None
+                if spec.op in (">", ">="):
+                    low = (spec.value, spec.op == ">=")
+                else:
+                    high = (spec.value, spec.op == "<=")
+                best = ScanChoice(
+                    "index_range",
+                    f"index_range({table.name}.{spec.column})",
+                    cost, out_rows, spec.column, spec.op,
+                    low=low, high=high)
+        elif spec.op == "between":
+            index = table.index_on((spec.column,), require_btree=True)
+            if index is None:
+                continue
+            cost = cost_model.index_scan(pages, rows, matching)
+            if cost < best.cost:
+                best = ScanChoice(
+                    "index_range",
+                    f"index_range({table.name}.{spec.column})",
+                    cost, out_rows, spec.column, "between",
+                    low=(spec.low, True), high=(spec.high, True))
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Join ordering
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join conjunct connecting two relations.
+
+    Columns are binding-qualified display names ("e.dept"); ``ndv``
+    values come from the base tables' statistics.
+    """
+
+    left_rel: int
+    right_rel: int
+    left_column: str
+    right_column: str
+    left_ndv: int
+    right_ndv: int
+
+
+@dataclass
+class JoinStep:
+    """One step of the chosen left-deep join sequence."""
+
+    relation: int              # index of the relation joined in
+    method: str                # hash | nested_loop (cross when no edge)
+    edges: list[JoinEdge] = field(default_factory=list)
+    est_rows: float = 0.0      # cardinality after this step
+    cost: float = 0.0
+
+
+def order_joins(rel_rows: list[float], edges: list[JoinEdge],
+                cost_model: CostModel) -> tuple[int, list[JoinStep]]:
+    """Greedy left-deep join ordering by estimated cardinality.
+
+    Starts from the smallest relation and repeatedly joins in the
+    not-yet-joined relation that yields the smallest intermediate
+    result, preferring connected relations over cross products.
+    Returns the starting relation index and the step list.
+    """
+    count = len(rel_rows)
+    start = min(range(count), key=lambda i: rel_rows[i])
+    joined = {start}
+    card = max(rel_rows[start], 0.0)
+    steps: list[JoinStep] = []
+    while len(joined) < count:
+        candidates = []
+        for j in range(count):
+            if j in joined:
+                continue
+            connecting = [e for e in edges
+                          if (e.left_rel in joined and e.right_rel == j)
+                          or (e.right_rel in joined and e.left_rel == j)]
+            selectivity = 1.0
+            for edge in connecting:
+                selectivity /= max(edge.left_ndv, edge.right_ndv, 1)
+            out = card * max(rel_rows[j], 0.0) * selectivity
+            candidates.append((not connecting, out, j, connecting))
+        # Sort order: connected first, then smallest intermediate,
+        # then syntactic position for determinism.
+        candidates.sort()
+        _, out, j, connecting = candidates[0]
+        hash_cost = cost_model.hash_join(card, rel_rows[j], out)
+        loop_cost = cost_model.nested_loop(card, rel_rows[j], out)
+        if connecting and hash_cost <= loop_cost:
+            method = "hash"
+            cost = hash_cost
+        else:
+            method = "nested_loop"
+            cost = loop_cost
+        steps.append(JoinStep(j, method, connecting, out, cost))
+        joined.add(j)
+        card = out
+    return start, steps

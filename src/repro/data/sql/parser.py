@@ -61,6 +61,9 @@ class Parser:
             return self.drop()
         if s.accept_keyword("EXPLAIN"):
             return ast.Explain(self.select_or_union())
+        if s.accept_keyword("ANALYZE"):
+            name = s.expect_ident() if s.peek().kind == "IDENT" else None
+            return ast.Analyze(name)
         if s.accept_keyword("BEGIN"):
             return ast.BeginTransaction()
         if s.accept_keyword("COMMIT"):

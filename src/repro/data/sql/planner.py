@@ -1,14 +1,25 @@
 """Planner: SELECT statements → access-layer operator trees.
 
-Rule-based planning in the classical style:
+Planning is a two-phase pipeline:
 
-- table references become scans; an equality or range conjunct on an
-  indexed column turns the scan into an index scan (predicate pushdown to
-  the access path);
-- equi-join conditions become hash joins, anything else nested loops;
-- grouping/aggregation compiles to a pre-projection + hash aggregate +
-  post-projection sandwich;
-- ORDER BY / LIMIT / DISTINCT map directly onto their operators.
+1. **Logical**: the FROM/WHERE clauses are decomposed into table
+   references, single-table filter conjuncts, and equi-join edges.
+2. **Physical**: when every referenced table has ANALYZE statistics
+   (and all joins are inner), the cost-based optimizer
+   (:mod:`repro.data.sql.optimizer`) chooses access paths (heap scan vs
+   index equality vs index range), orders the join graph greedily by
+   estimated cardinality, and picks hash vs nested-loop per join.
+   Without statistics the planner falls back to the original syntactic
+   rules, which keeps plans deterministic for fresh tables:
+
+   - an equality or range conjunct on an indexed column turns the scan
+     into an index scan (predicate pushdown to the access path);
+   - equi-join conditions become hash joins, anything else nested
+     loops, in FROM-clause order.
+
+Either way, grouping/aggregation compiles to a pre-projection + hash
+aggregate + post-projection sandwich, and ORDER BY / LIMIT / DISTINCT
+map directly onto their operators.
 
 Expression evaluation follows SQL three-valued logic: comparisons with
 NULL yield NULL, AND/OR propagate unknowns, and WHERE keeps only rows
@@ -35,6 +46,15 @@ from repro.access.operators import (
     Source,
 )
 from repro.data.sql import ast
+from repro.data.sql.optimizer import (
+    CostModel,
+    JoinEdge,
+    PredicateSpec,
+    ScanChoice,
+    SelectivityEstimator,
+    choose_access_path,
+    order_joins,
+)
 from repro.errors import SQLPlanError
 
 # ---------------------------------------------------------------------------
@@ -277,11 +297,35 @@ def _expression_name(expr: ast.Expression) -> str:
 
 @dataclass
 class PlanInfo:
-    """Explain-style plan summary, asserted on by tests and benchmarks."""
+    """Explain-style plan summary, asserted on by tests and benchmarks.
+
+    ``access_paths``/``joins``/``aggregated`` keep their historical
+    rule-based format; the remaining fields are filled in when the
+    cost-based optimizer produced the plan: per-table row/cost
+    estimates, the chosen join order (binding names, execution order),
+    and the plan's total estimated cardinality and cost.
+    """
 
     access_paths: list[str] = field(default_factory=list)
     joins: list[str] = field(default_factory=list)
     aggregated: bool = False
+    cost_based: bool = False
+    join_order: list[str] = field(default_factory=list)
+    estimates: list[dict] = field(default_factory=list)
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        summary = {"access_paths": self.access_paths, "joins": self.joins,
+                   "aggregated": self.aggregated,
+                   "cost_based": self.cost_based}
+        if self.cost_based:
+            summary.update({
+                "join_order": self.join_order,
+                "estimates": self.estimates,
+                "estimated_rows": self.estimated_rows,
+                "estimated_cost": self.estimated_cost})
+        return summary
 
 
 class Planner:
@@ -347,25 +391,38 @@ class Planner:
                 continue
             value = compile_expression(value_expr, Scope([]), params)(())
             if op_name == "=":
-                rids = lambda: iter(index.lookup_eq((value,)))  # noqa: E731
-                path = f"index_eq({table.name}.{column})"
+                info.access_paths.append(
+                    f"index_eq({table.name}.{column})")
+                return self._index_source(table, columns, index, "eq",
+                                          value)
+            lo = hi = None
+            lo_inc = hi_inc = True
+            if op_name in (">", ">="):
+                lo, lo_inc = (value,), op_name == ">="
             else:
-                lo = hi = None
-                lo_inc = hi_inc = True
-                if op_name in (">", ">="):
-                    lo, lo_inc = (value,), op_name == ">="
-                else:
-                    hi, hi_inc = (value,), op_name == "<="
-                rids = (lambda lo=lo, hi=hi, lo_inc=lo_inc, hi_inc=hi_inc:
-                        index.range_scan(lo, hi, lo_inc, hi_inc))
-                path = f"index_range({table.name}.{column})"
-            info.access_paths.append(path)
-
-            def factory(rids=rids, table=table):
-                return (table.read(rid) for rid in rids())
-
-            return Source(columns, factory)
+                hi, hi_inc = (value,), op_name == "<="
+            info.access_paths.append(
+                f"index_range({table.name}.{column})")
+            return self._index_source(table, columns, index, "range",
+                                      lo=lo, hi=hi, lo_inclusive=lo_inc,
+                                      hi_inclusive=hi_inc)
         return None
+
+    @staticmethod
+    def _index_source(table, columns: list[str], index, kind: str,
+                      value: Any = None, lo: Optional[tuple] = None,
+                      hi: Optional[tuple] = None,
+                      lo_inclusive: bool = True,
+                      hi_inclusive: bool = True) -> Source:
+        """Leaf operator fetching heap rows through an index probe
+        (shared by the rule-based and cost-based paths)."""
+        if kind == "eq":
+            rids = lambda: iter(index.lookup_eq((value,)))  # noqa: E731
+        else:
+            rids = (lambda: index.range_scan(lo, hi, lo_inclusive,
+                                             hi_inclusive))
+        return Source(columns,
+                      lambda: (table.read(rid) for rid in rids()))
 
     # -- subqueries (uncorrelated) ---------------------------------------------------
 
@@ -443,11 +500,7 @@ class Planner:
             # SELECT without FROM: single synthetic row.
             plan: Operator = Source([], lambda: iter([()]))
         else:
-            plan = self._table_source(select.table, select.where, params,
-                                      info)
-            for join in select.joins:
-                right = self._table_source(join.table, None, params, info)
-                plan = self._plan_join(plan, right, join, params, info)
+            plan = self._plan_from_clause(select, params, info)
         scope = Scope(list(plan.columns))
         if select.where is not None:
             predicate = compile_expression(select.where, scope, params)
@@ -478,6 +531,205 @@ class Planner:
                       if select.offset is not None else 0)
             plan = Limit(plan, limit, offset or 0)
         return plan, info
+
+    # -- FROM-clause planning (cost-based with rule-based fallback) -------------------
+
+    def _plan_from_clause(self, select: ast.SelectStatement,
+                          params: Sequence[Any],
+                          info: PlanInfo) -> Operator:
+        costed = self._cost_based_from(select, params, info)
+        if costed is not None:
+            return costed
+        plan = self._table_source(select.table, select.where, params,
+                                  info)
+        for join in select.joins:
+            right = self._table_source(join.table, None, params, info)
+            plan = self._plan_join(plan, right, join, params, info)
+        return plan
+
+    def _cost_based_from(self, select: ast.SelectStatement,
+                         params: Sequence[Any],
+                         info: PlanInfo) -> Optional[Operator]:
+        """Physical planning over statistics; None → rule-based fallback.
+
+        Applies only when every reference is a base table with ANALYZE
+        statistics, bindings are unambiguous, and all joins are inner
+        (outer joins constrain both pushdown and reordering).
+        """
+        stats_for = getattr(self.catalog, "stats_for", None)
+        if stats_for is None or select.table is None:
+            return None
+        refs = [select.table] + [join.table for join in select.joins]
+        if any(join.kind != "inner" for join in select.joins):
+            return None
+        bindings: dict[str, Any] = {}
+        all_stats = {}
+        for ref in refs:
+            if not self.catalog.has_table(ref.name) \
+                    or ref.binding in bindings:
+                return None
+            stats = stats_for(ref.name)
+            if stats is None or (stats.row_count == 0 and
+                                 self.catalog.table(ref.name).row_count):
+                # No statistics (or a snapshot of a then-empty table):
+                # stay rule-based.  Ordinary drift is tolerated — stats
+                # describe the table as of the last ANALYZE.
+                return None
+            bindings[ref.binding] = self.catalog.table(ref.name)
+            all_stats[ref.binding] = stats
+        schemas = {b: t.schema for b, t in bindings.items()}
+
+        # Logical step: gather conjuncts from WHERE and all ON clauses.
+        conjuncts: list[ast.Expression] = []
+        if select.where is not None:
+            conjuncts.extend(_conjuncts(select.where))
+        on_conjuncts: list[ast.Expression] = []
+        for join in select.joins:
+            if join.condition is not None:
+                on_conjuncts.extend(_conjuncts(join.condition))
+        conjuncts.extend(on_conjuncts)
+
+        specs: dict[str, list[PredicateSpec]] = \
+            {b: [] for b in bindings}
+        pushdown: dict[str, list[ast.Expression]] = \
+            {b: [] for b in bindings}
+        edges: list[JoinEdge] = []
+        rel_index = {ref.binding: i for i, ref in enumerate(refs)}
+        estimators = {b: SelectivityEstimator(all_stats[b])
+                      for b in bindings}
+        for conjunct in conjuncts:
+            owners = _conjunct_bindings(conjunct, schemas)
+            if owners is None:
+                continue
+            if len(owners) == 1:
+                binding = next(iter(owners))
+                specs[binding].append(
+                    _predicate_spec(conjunct, binding, schemas, params))
+                pushdown[binding].append(conjunct)
+            elif len(owners) == 2:
+                edge = _join_edge(conjunct, schemas, rel_index,
+                                  estimators)
+                if edge is not None:
+                    edges.append(edge)
+
+        cost_model = CostModel(buffer_pages=self._buffer_pages())
+
+        # Physical step 1: access path per table reference.
+        relations: list[tuple[str, Operator, ScanChoice]] = []
+        total_cost = 0.0
+        for ref in refs:
+            table = bindings[ref.binding]
+            if self.txn is not None:
+                self.txn.lock_shared(ref.name)
+            choice = choose_access_path(table, all_stats[ref.binding],
+                                        specs[ref.binding], cost_model)
+            source = self._choice_source(table, ref.binding, choice)
+            # Apply the relation's own filters at the scan, so joins
+            # see the cardinality the estimates were computed from
+            # (legal because all joins are inner here).
+            if pushdown[ref.binding]:
+                condition = pushdown[ref.binding][0]
+                for extra in pushdown[ref.binding][1:]:
+                    condition = ast.Binary("AND", condition, extra)
+                predicate = compile_expression(
+                    condition, Scope(list(source.columns)), params)
+                source = Select(
+                    source, lambda row, p=predicate: p(row) is True)
+            info.access_paths.append(choice.path)
+            info.estimates.append({
+                "table": ref.name, "binding": ref.binding,
+                "path": choice.path,
+                "rows": round(choice.est_rows, 1),
+                "cost": round(choice.cost, 2)})
+            total_cost += choice.cost
+            relations.append((ref.binding, source, choice))
+
+        # Physical step 2: join order + algorithm per step.
+        start, steps = order_joins(
+            [choice.est_rows for _, _, choice in relations], edges,
+            cost_model)
+        binding_order = [relations[start][0]]
+        tree = relations[start][1]
+        est_rows = relations[start][2].est_rows
+        for step in steps:
+            binding, source, choice = relations[step.relation]
+            tree = self._join_step(tree, source, step, info)
+            binding_order.append(binding)
+            total_cost += step.cost
+            est_rows = step.est_rows
+        info.join_order = binding_order
+        info.estimated_rows = round(est_rows, 1)
+        info.estimated_cost = round(total_cost, 2)
+        info.cost_based = True
+
+        # Re-enforce every ON conjunct (hash joins only check their equi
+        # keys; WHERE is applied by the caller).
+        if on_conjuncts:
+            condition = on_conjuncts[0]
+            for extra in on_conjuncts[1:]:
+                condition = ast.Binary("AND", condition, extra)
+            predicate = compile_expression(
+                condition, Scope(list(tree.columns)), params)
+            tree = Select(tree, lambda row, p=predicate: p(row) is True)
+
+        # Restore the syntactic column order so downstream name
+        # resolution (and SELECT *) is independent of the join order.
+        syntactic = []
+        for binding, source, _ in relations:
+            syntactic.extend(source.columns)
+        if list(tree.columns) != syntactic:
+            positions = [tree.columns.index(c) for c in syntactic]
+            tree = Project.by_indexes(tree, positions)
+        return tree
+
+    def _buffer_pages(self) -> int:
+        pages = getattr(self.catalog, "pages", None)
+        pool = getattr(pages, "pool", None)
+        return getattr(pool, "capacity", 256)
+
+    def _choice_source(self, table, binding: str,
+                       choice: ScanChoice) -> Operator:
+        """Materialise a :class:`ScanChoice` as a leaf operator."""
+        columns = [f"{binding}.{c}" for c in table.schema.names]
+        if choice.kind == "seq":
+            return Source(columns, lambda: table.rows())
+        index = table.index_on((choice.column,),
+                               require_btree=choice.kind == "index_range")
+        if choice.kind == "index_eq":
+            return self._index_source(table, columns, index, "eq",
+                                      choice.value)
+        lo = (choice.low[0],) if choice.low is not None else None
+        lo_inc = choice.low[1] if choice.low is not None else True
+        hi = (choice.high[0],) if choice.high is not None else None
+        hi_inc = choice.high[1] if choice.high is not None else True
+        return self._index_source(table, columns, index, "range",
+                                  lo=lo, hi=hi, lo_inclusive=lo_inc,
+                                  hi_inclusive=hi_inc)
+
+    def _join_step(self, tree: Operator, source: Operator, step,
+                   info: PlanInfo) -> Operator:
+        """Apply one ordered join step to the running left-deep tree."""
+        pairs = []       # (outer index in tree, inner index in source)
+        for edge in step.edges:
+            if edge.left_column in tree.columns:
+                tree_col, rel_col = edge.left_column, edge.right_column
+            else:
+                tree_col, rel_col = edge.right_column, edge.left_column
+            pairs.append((tree.columns.index(tree_col),
+                          source.columns.index(rel_col)))
+        if step.method == "hash" and pairs:
+            info.joins.append("hash_join")
+            return HashJoin(tree, source, [o for o, _ in pairs],
+                            [i for _, i in pairs])
+        if pairs:
+            info.joins.append("nested_loop")
+            return NestedLoopJoin(
+                tree, source,
+                lambda o, i, pairs=pairs: all(
+                    o[oi] is not None and o[oi] == i[ii]
+                    for oi, ii in pairs))
+        info.joins.append("cross(nested_loop)")
+        return NestedLoopJoin(tree, source, lambda o, i: True)
 
     # -- join planning ----------------------------------------------------------------
 
@@ -716,6 +968,95 @@ def _index_match(expr: ast.Expression,
     if right_col is not None and constant(expr.left):
         return right_col, flipped[expr.operator], expr.left
     return None
+
+
+def _binding_of_ref(ref: ast.ColumnRef,
+                    schemas: dict) -> Optional[str]:
+    """Which FROM binding a column reference belongs to (None: unknown
+    or ambiguous)."""
+    if ref.table is not None:
+        schema = schemas.get(ref.table)
+        return ref.table if schema is not None \
+            and ref.name in schema.names else None
+    owners = [binding for binding, schema in schemas.items()
+              if ref.name in schema.names]
+    return owners[0] if len(owners) == 1 else None
+
+
+def _conjunct_bindings(conjunct: ast.Expression,
+                       schemas: dict) -> Optional[set]:
+    """The set of bindings a conjunct references (None: unresolvable —
+    the conjunct still executes via the residual WHERE, it just cannot
+    inform pushdown or join edges)."""
+    owners: set = set()
+    for node in ast.walk_expression(conjunct):
+        if isinstance(node, (ast.Subquery, ast.InSubquery)):
+            return None
+        if isinstance(node, ast.ColumnRef):
+            owner = _binding_of_ref(node, schemas)
+            if owner is None:
+                return None
+            owners.add(owner)
+    return owners
+
+
+def _constant_value(expr: ast.Expression,
+                    params: Sequence[Any]) -> tuple[bool, Any]:
+    if isinstance(expr, (ast.Literal, ast.Param)):
+        return True, compile_expression(expr, Scope([]), params)(())
+    return False, None
+
+
+def _predicate_spec(conjunct: ast.Expression, binding: str,
+                    schemas: dict,
+                    params: Sequence[Any]) -> PredicateSpec:
+    """Distil a single-table conjunct into estimator-friendly form."""
+    if isinstance(conjunct, ast.Binary):
+        match = _index_match(conjunct, binding)
+        if match is not None:
+            column, op_name, value_expr = match
+            known, value = _constant_value(value_expr, params)
+            if known:
+                return PredicateSpec(column, op_name, value)
+    if isinstance(conjunct, ast.Between) and not conjunct.negated \
+            and isinstance(conjunct.operand, ast.ColumnRef):
+        low_known, low = _constant_value(conjunct.low, params)
+        high_known, high = _constant_value(conjunct.high, params)
+        if low_known and high_known:
+            return PredicateSpec(conjunct.operand.name, "between",
+                                 low=low, high=high)
+    if isinstance(conjunct, ast.IsNull) \
+            and isinstance(conjunct.operand, ast.ColumnRef):
+        return PredicateSpec(conjunct.operand.name,
+                             "notnull" if conjunct.negated else "isnull")
+    if isinstance(conjunct, ast.InList) and not conjunct.negated \
+            and isinstance(conjunct.operand, ast.ColumnRef) \
+            and all(isinstance(i, (ast.Literal, ast.Param))
+                    for i in conjunct.items):
+        return PredicateSpec(conjunct.operand.name, "in",
+                             len(conjunct.items))
+    return PredicateSpec("", "other")
+
+
+def _join_edge(conjunct: ast.Expression, schemas: dict,
+               rel_index: dict, estimators: dict) -> Optional[JoinEdge]:
+    """Recognise ``a.x = b.y`` between two different bindings."""
+    if not isinstance(conjunct, ast.Binary) or conjunct.operator != "=":
+        return None
+    if not isinstance(conjunct.left, ast.ColumnRef) or \
+            not isinstance(conjunct.right, ast.ColumnRef):
+        return None
+    left_owner = _binding_of_ref(conjunct.left, schemas)
+    right_owner = _binding_of_ref(conjunct.right, schemas)
+    if left_owner is None or right_owner is None or \
+            left_owner == right_owner:
+        return None
+    return JoinEdge(
+        rel_index[left_owner], rel_index[right_owner],
+        f"{left_owner}.{conjunct.left.name}",
+        f"{right_owner}.{conjunct.right.name}",
+        estimators[left_owner].n_distinct(conjunct.left.name),
+        estimators[right_owner].n_distinct(conjunct.right.name))
 
 
 def _equi_join_keys(condition: ast.Expression, left_arity: int,
