@@ -197,7 +197,9 @@ class BPlusTree:
 
     @property
     def _page_capacity(self) -> int:
-        return (self.pages.pool.files.disk.device.block_size - 4)
+        from repro.storage.page import PAGE_TRAILER_SIZE
+        return (self.pages.pool.files.disk.device.block_size
+                - PAGE_TRAILER_SIZE)
 
     def _overflows(self, node: _Node) -> bool:
         return node.size_bytes() > self._page_capacity

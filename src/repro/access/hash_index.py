@@ -173,7 +173,8 @@ class ExtendibleHashIndex:
 
         files = pages.pool.files
         existing = files.file_size_pages(file_id)
-        page_payload = files.disk.device.block_size - 8
+        from repro.storage.page import PAGE_TRAILER_SIZE
+        page_payload = files.disk.device.block_size - PAGE_TRAILER_SIZE - 4
         needed = max(1, (len(blob) + page_payload - 1) // page_payload)
         for _ in range(existing, needed):
             page = pages.allocate(file_id)

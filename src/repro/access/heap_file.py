@@ -6,6 +6,17 @@ manager's free-space map, so inserts do not scan the file.
 
 Updates that no longer fit on the record's page move the record and return
 a new RID; callers that maintain indexes (the data layer) re-index on move.
+
+Transactional mutations: every CRUD method takes an optional ``txn``
+(a :class:`~repro.data.transactions.Transaction`).  When present and a WAL
+is attached, the mutation runs under the page latch and logs one
+*physiological* record — operation + slot + record payload images, chained
+by ``prev_lsn`` (see :mod:`repro.storage.wal`) — and stamps the page LSN.
+Physiological (slot-level) logging rather than raw byte diffs is what
+makes row-level concurrency crash-safe: undoing one transaction's insert
+removes *its slot* without clobbering the slot-directory/compaction bytes
+a committed neighbour on the same page wrote afterwards.  Without a
+``txn`` the mutation is unlogged (bootstrap/maintenance paths).
 """
 
 from __future__ import annotations
@@ -14,8 +25,10 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import PageLayoutError
-from repro.storage.page import PageId
+from repro.faults.crashpoints import maybe_crash
+from repro.storage.page import Page, PageId
 from repro.storage.page_manager import PageManager
+from repro.storage.wal import OP_HEAP_DELETE, OP_HEAP_INSERT, OP_HEAP_UPDATE
 from repro.access.slotted_page import SlottedPage
 
 
@@ -45,28 +58,46 @@ class HeapFile:
     def _note_free(self, view: SlottedPage) -> None:
         self.pages.note_free_space(view.page.page_id, view.free_space)
 
+    @staticmethod
+    def _log(page: Page, txn, op: int, slot: int,
+             before: bytes, after: bytes) -> None:
+        """Log one physiological heap record and stamp the page LSN.
+        Caller holds the page latch."""
+        if txn is None or not getattr(txn, "logs_physical", False):
+            return
+        lsn = txn.log_heap(op, page.page_id, slot, before, after)
+        if lsn:
+            if page.rec_lsn is None:
+                page.rec_lsn = lsn
+            page.lsn = lsn
+
     # -- CRUD ----------------------------------------------------------------
 
-    def insert(self, payload: bytes) -> RID:
+    def insert(self, payload: bytes, txn=None) -> RID:
         needed = len(payload) + 4  # payload + one slot-directory entry
         target = self.pages.page_with_space(self.file_id, needed)
         if target is not None:
             page = self.pages.fetch(target)
-            view = SlottedPage(page)
-            if not view.has_room(len(payload)):
-                # Stale hint; fix it and fall through to allocation.
+            slot: Optional[int] = None
+            with page.latch:
+                view = SlottedPage(page)
+                if view.has_room(len(payload)):
+                    slot = view.insert(payload)
+                    self._log(page, txn, OP_HEAP_INSERT, slot, b"", payload)
+                # Stale hint either way; refresh it.
                 self._note_free(view)
-                self.pages.unpin(target)
-                target = None
-            else:
-                slot = view.insert(payload)
-                self._note_free(view)
+            maybe_crash("heap.insert")
+            if slot is not None:
                 self.pages.unpin(target, dirty=True)
                 return RID(target.page_no, slot)
+            self.pages.unpin(target)
         page = self.pages.allocate(self.file_id)
-        view = SlottedPage.format(page)
-        slot = view.insert(payload)
-        self._note_free(view)
+        with page.latch:
+            view = SlottedPage.format(page)
+            slot = view.insert(payload)
+            self._log(page, txn, OP_HEAP_INSERT, slot, b"", payload)
+            self._note_free(view)
+        maybe_crash("heap.insert")
         rid = RID(page.page_id.page_no, slot)
         self.pages.unpin(page.page_id, dirty=True)
         return rid
@@ -75,7 +106,8 @@ class HeapFile:
         page_id = self._page_id(rid.page_no)
         page = self.pages.fetch(page_id)
         try:
-            return SlottedPage(page).read(rid.slot)
+            with page.latch:
+                return SlottedPage(page).read(rid.slot)
         finally:
             self.pages.unpin(page_id)
 
@@ -85,37 +117,54 @@ class HeapFile:
             return False
         page = self.pages.fetch(page_id)
         try:
-            view = SlottedPage(page)
-            return rid.slot < view.num_slots and view.is_live(rid.slot)
+            with page.latch:
+                view = SlottedPage(page)
+                return rid.slot < view.num_slots and view.is_live(rid.slot)
         finally:
             self.pages.unpin(page_id)
 
-    def delete(self, rid: RID) -> None:
+    def delete(self, rid: RID, txn=None) -> None:
         page_id = self._page_id(rid.page_no)
         page = self.pages.fetch(page_id)
         try:
-            view = SlottedPage(page)
-            view.delete(rid.slot)
-            self._note_free(view)
+            with page.latch:
+                view = SlottedPage(page)
+                before = view.read(rid.slot)
+                view.delete(rid.slot)
+                self._log(page, txn, OP_HEAP_DELETE, rid.slot, before, b"")
+                self._note_free(view)
+            maybe_crash("heap.delete")
         finally:
             self.pages.unpin(page_id, dirty=True)
 
-    def update(self, rid: RID, payload: bytes) -> RID:
+    def update(self, rid: RID, payload: bytes, txn=None) -> RID:
         """Rewrite a record; returns its (possibly new) RID."""
         page_id = self._page_id(rid.page_no)
         page = self.pages.fetch(page_id)
-        view = SlottedPage(page)
+        moved = False
         try:
-            view.update(rid.slot, payload)
-            self._note_free(view)
+            with page.latch:
+                view = SlottedPage(page)
+                before = view.read(rid.slot)
+                try:
+                    view.update(rid.slot, payload)
+                    self._log(page, txn, OP_HEAP_UPDATE, rid.slot,
+                              before, payload)
+                    self._note_free(view)
+                except PageLayoutError:
+                    # Does not fit here: delete and reinsert elsewhere,
+                    # each half logged as its own single-page operation.
+                    view.delete(rid.slot)
+                    self._log(page, txn, OP_HEAP_DELETE, rid.slot,
+                              before, b"")
+                    self._note_free(view)
+                    moved = True
+            maybe_crash("heap.update")
+        finally:
             self.pages.unpin(page_id, dirty=True)
-            return rid
-        except PageLayoutError:
-            # Does not fit here: delete and reinsert elsewhere.
-            view.delete(rid.slot)
-            self._note_free(view)
-            self.pages.unpin(page_id, dirty=True)
-            return self.insert(payload)
+        if moved:
+            return self.insert(payload, txn=txn)
+        return rid
 
     # -- scanning --------------------------------------------------------------
 
@@ -125,7 +174,8 @@ class HeapFile:
             page_id = self._page_id(page_no)
             page = self.pages.fetch(page_id)
             try:
-                records = list(SlottedPage(page).records())
+                with page.latch:
+                    records = list(SlottedPage(page).records())
             finally:
                 self.pages.unpin(page_id)
             for slot, payload in records:

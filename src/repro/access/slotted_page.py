@@ -119,6 +119,33 @@ class SlottedPage:
             self._set_slot(slot_no, offset, len(payload))
         return slot_no
 
+    def place(self, slot_no: int, payload: bytes) -> None:
+        """Force ``payload`` into a *specific* slot — the recovery/undo
+        path (redo of an insert, undo of a delete must restore the exact
+        slot so RIDs stay stable).  Extends the slot directory with
+        tombstones as needed; the target slot must not hold a live
+        record."""
+        if len(payload) >= _TOMBSTONE:
+            raise PageLayoutError(
+                f"payload of {len(payload)} bytes exceeds slotted page limit")
+        num_slots = self.num_slots
+        grow = max(0, slot_no + 1 - num_slots)
+        if self.free_space < len(payload) + grow * _SLOT.size:
+            self._compact()
+            if self.free_space < len(payload) + grow * _SLOT.size:
+                raise PageLayoutError("page full")
+        if grow:
+            self._set_header(slot_no + 1, self._free_ptr)
+            for filler in range(num_slots, slot_no + 1):
+                self._set_slot(filler, _TOMBSTONE, 0)
+        elif self._slot(slot_no)[0] != _TOMBSTONE:
+            raise PageLayoutError(
+                f"slot {slot_no} is live; cannot place over it")
+        offset = self._free_ptr - len(payload)
+        self.page.write(offset, payload)
+        self._set_slot(slot_no, offset, len(payload))
+        self._set_header(self.num_slots, offset)
+
     def read(self, slot_no: int) -> bytes:
         offset, length = self._slot(slot_no)
         if offset == _TOMBSTONE:

@@ -26,7 +26,7 @@ from repro.data.schema import Schema
 from repro.data.sql.stats import TableStats, collect_table_stats
 from repro.data.table import IndexDef, Table, TableIndex
 from repro.errors import CatalogError
-from repro.storage.page import PageId
+from repro.storage.page import PAGE_TRAILER_SIZE, PageId
 from repro.storage.page_manager import PageManager
 
 _LEN = struct.Struct("<I")
@@ -109,6 +109,27 @@ class Catalog:
         self.index_defs[index_name] = definition
         return index
 
+    def rebuild_indexes(self) -> int:
+        """Drop and repopulate every index from its table's heap.
+
+        Called after crash recovery: index pages are not WAL-logged (the
+        documented ARIES-lite simplification), so after redo/undo their
+        files may hold entries for undone rows or miss entries for redone
+        ones.  Regenerating from the recovered heaps restores consistency.
+        Returns the number of indexes rebuilt.
+        """
+        files = self.pages.pool.files
+        for name, definition in list(self.index_defs.items()):
+            table = self.table(definition.table)
+            old = table.detach_index(name)
+            self._purge_file_frames(old.file_id)
+            files.delete_file(_index_file(name))
+            file_id = files.ensure_file(_index_file(name))
+            index = TableIndex(definition, table.schema, self.pages,
+                               file_id)
+            table.attach_index(index, populate=True)
+        return len(self.index_defs)
+
     def drop_index(self, index_name: str) -> None:
         definition = self.index_defs.pop(index_name, None)
         if definition is None:
@@ -172,7 +193,8 @@ class Catalog:
         }).encode()
         files = self.pages.pool.files
         file_id = files.open_file(_CATALOG_FILE)
-        payload_per_page = files.disk.device.block_size - 8
+        payload_per_page = (files.disk.device.block_size
+                            - PAGE_TRAILER_SIZE - _LEN.size)
         needed = max(1, (len(blob) + payload_per_page - 1)
                      // payload_per_page)
         existing = files.file_size_pages(file_id)

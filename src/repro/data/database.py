@@ -20,12 +20,26 @@ from repro.data.sql.parser import parse
 from repro.data.sql.planner import Planner, Scope, compile_expression
 from repro.data.transactions import Transaction, TransactionManager
 from repro.access.record import ColumnType
-from repro.errors import CatalogError, SQLPlanError, TransactionError
+from repro.errors import (
+    CatalogError,
+    PageLayoutError,
+    SQLPlanError,
+    TransactionError,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, MemoryDevice
 from repro.storage.file_manager import DiskManager, FileManager
 from repro.storage.page_manager import PageManager
+from repro.storage.recovery import RecoveryManager
 from repro.storage.wal import WriteAheadLog
+
+
+# Row locks taken on fresh RIDs inside Table.insert/update run under the
+# table latch; a short bound keeps a blocked acquisition (slot reuse of an
+# uncommitted delete) from convoying every writer on the table.  Failing
+# the statement after this wait is safe: the stage-aware undo removes the
+# half-placed row.
+_LATCHED_LOCK_TIMEOUT_S = 0.1
 
 
 @dataclass
@@ -63,18 +77,45 @@ class Database:
                  wal_device: Optional[BlockDevice] = None,
                  buffer_capacity: int = 256,
                  replacement_policy: str = "lru",
-                 lock_timeout_s: float = 2.0) -> None:
+                 lock_timeout_s: float = 2.0,
+                 lock_granularity: str = "row",
+                 group_commit: bool = True,
+                 auto_recover: bool = True) -> None:
+        if lock_granularity not in ("row", "table"):
+            raise TransactionError(
+                f"lock_granularity must be 'row' or 'table', "
+                f"not {lock_granularity!r}")
         self.device = device or MemoryDevice()
         self.files = FileManager(DiskManager(self.device))
         self.wal = WriteAheadLog(wal_device) if wal_device is not None \
             else None
+        self.lock_granularity = lock_granularity
+        # Crash recovery runs before the buffer pool and catalog exist:
+        # a non-empty WAL over a non-empty data device means the previous
+        # incarnation did not close cleanly (a clean close truncates the
+        # log), so redo/undo rebuild the heap pages first and the catalog
+        # then loads the recovered state.
+        self.last_recovery: Optional[dict] = None
+        if auto_recover and self.wal is not None \
+                and self.wal.size_bytes() > 0 \
+                and self.device.num_blocks() > 0:
+            self.last_recovery = RecoveryManager(self.wal,
+                                                 self.files).recover()
         self.pool = BufferPool(self.files, capacity=buffer_capacity,
                                policy=replacement_policy, wal=self.wal)
         self.pages = PageManager(self.pool)
         self.catalog = Catalog(self.pages)
-        self.transactions = TransactionManager(self.wal, lock_timeout_s)
+        self.transactions = TransactionManager(self.wal, lock_timeout_s,
+                                               group_commit=group_commit)
         self._session_txn: Optional[Transaction] = None
         self.statements_executed = 0
+        if self.last_recovery is not None:
+            # Recovery ran, so the previous incarnation died unclean:
+            # index pages are not WAL-logged and may be torn (partially
+            # flushed) even when redo/undo had nothing to do — always
+            # regenerate them from the recovered heaps.
+            self.catalog.rebuild_indexes()
+            self.checkpoint()
 
     # -- public API --------------------------------------------------------------
 
@@ -135,6 +176,40 @@ class Database:
         raise SQLPlanError(f"unsupported statement {type(statement).__name__}")
 
     # -- transactions -------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open the session transaction (the programmatic face of SQL
+        ``BEGIN``); part of the unified begin/commit/abort/recover
+        contract shared with the service layer."""
+        self._begin_session_txn()
+        return self._session_txn
+
+    def commit(self) -> None:
+        """Commit the open session transaction."""
+        self._end_session_txn(commit=True)
+
+    def abort(self) -> None:
+        """Roll back the open session transaction."""
+        self._end_session_txn(commit=False)
+
+    def recover(self) -> dict:
+        """Re-run ARIES-lite recovery over the current devices.
+
+        Discards all cached (possibly uncommitted) pages, replays the
+        log, rebuilds indexes, and reloads the catalog — the programmatic
+        equivalent of crashing and reopening.  Returns the recovery
+        summary."""
+        if self.wal is None:
+            raise TransactionError("no WAL attached; nothing to recover")
+        if self._session_txn is not None:
+            raise TransactionError("cannot recover inside a transaction")
+        self.pool.drop_all(flush=False)
+        summary = RecoveryManager(self.wal, self.files).recover()
+        self.catalog = Catalog(self.pages)
+        self.catalog.rebuild_indexes()
+        self.last_recovery = summary
+        self.checkpoint()
+        return summary
 
     def _begin_session_txn(self) -> None:
         if self._session_txn is not None:
@@ -279,6 +354,15 @@ class Database:
 
     # -- DML ---------------------------------------------------------------------------------
 
+    def _lock_for_write(self, txn: Transaction, table_name: str) -> None:
+        """Statement-level write lock: an intention-exclusive table lock
+        at row granularity (row X locks follow per touched row), or the
+        classic whole-table exclusive lock."""
+        if self.lock_granularity == "row":
+            txn.lock_table_intent(table_name, exclusive=True)
+        else:
+            txn.lock_exclusive(table_name)
+
     def _insert(self, statement: ast.Insert, params: tuple) -> ExecutionResult:
         table = self.catalog.table(statement.table)
         schema = table.schema
@@ -286,7 +370,7 @@ class Database:
         positions = [schema.index_of(c) for c in columns]
         txn, autocommit = self._txn()
         try:
-            txn.lock_exclusive(statement.table)
+            self._lock_for_write(txn, statement.table)
             inserted = 0
             empty_scope = Scope([])
             for value_row in statement.rows:
@@ -298,10 +382,12 @@ class Database:
                 for position, expr in zip(positions, value_row):
                     full[position] = compile_expression(
                         expr, empty_scope, params)(())
-                rid = table.insert(tuple(full))
-                stored = table.read(rid)
-                txn.on_abort(lambda t=table, r=rid: t.delete(r))
-                del stored
+                lock_row = (
+                    (lambda r: txn.lock_row_exclusive(
+                        statement.table, r,
+                        timeout_s=_LATCHED_LOCK_TIMEOUT_S))
+                    if self.lock_granularity == "row" else None)
+                table.insert(tuple(full), txn=txn, lock_row=lock_row)
                 inserted += 1
             if autocommit:
                 txn.commit()
@@ -326,19 +412,33 @@ class Database:
                      if where is not None else None)
         txn, autocommit = self._txn()
         try:
-            txn.lock_exclusive(statement.table)
+            self._lock_for_write(txn, statement.table)
             touched = 0
-            victims: list[tuple[RID, tuple]] = []
+            victims: list[RID] = []
             for rid, row in table.scan():
                 if predicate is None or predicate(row) is True:
-                    victims.append((rid, row))
-            for rid, row in victims:
+                    victims.append(rid)
+            for rid in victims:
+                if self.lock_granularity == "row":
+                    txn.lock_row_exclusive(statement.table, rid)
+                # Re-read under the row lock: a concurrent writer may
+                # have changed (or deleted/moved) the row while we waited.
+                try:
+                    row = table.read(rid)
+                except PageLayoutError:
+                    continue  # row deleted or moved: no longer a victim
+                if predicate is not None and predicate(row) is not True:
+                    continue
                 new_row = list(row)
                 for position, compute in assignments:
                     new_row[position] = compute(row)
-                new_rid = table.update(rid, tuple(new_row))
-                txn.on_abort(
-                    lambda t=table, r=new_rid, old=row: t.update(r, old))
+                lock_row = (
+                    (lambda r: txn.lock_row_exclusive(
+                        statement.table, r,
+                        timeout_s=_LATCHED_LOCK_TIMEOUT_S))
+                    if self.lock_granularity == "row" else None)
+                table.update(rid, tuple(new_row), txn=txn,
+                             lock_row=lock_row)
                 touched += 1
             if autocommit:
                 txn.commit()
@@ -357,15 +457,24 @@ class Database:
                      if where is not None else None)
         txn, autocommit = self._txn()
         try:
-            txn.lock_exclusive(statement.table)
-            victims = [(rid, row) for rid, row in table.scan()
+            self._lock_for_write(txn, statement.table)
+            victims = [rid for rid, row in table.scan()
                        if predicate is None or predicate(row) is True]
-            for rid, row in victims:
-                table.delete(rid)
-                txn.on_abort(lambda t=table, r=row: t.insert(r))
+            deleted = 0
+            for rid in victims:
+                if self.lock_granularity == "row":
+                    txn.lock_row_exclusive(statement.table, rid)
+                try:
+                    row = table.read(rid)
+                except PageLayoutError:
+                    continue  # row deleted or moved: no longer a victim
+                if predicate is not None and predicate(row) is not True:
+                    continue
+                table.delete(rid, txn=txn)
+                deleted += 1
             if autocommit:
                 txn.commit()
-            return ExecutionResult("delete", len(victims))
+            return ExecutionResult("delete", deleted)
         except BaseException:
             if autocommit:
                 txn.abort()
@@ -404,17 +513,56 @@ class Database:
 
     # -- durability -----------------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Flush everything; after this, a reopened database sees all data."""
+    def checkpoint(self, full: bool = True) -> None:
+        """Make the database durable.
+
+        ``full=True`` (the default) flushes every dirty page and, when no
+        transaction is active, truncates the WAL — the sharp checkpoint a
+        clean shutdown wants.  With active transactions the log is kept
+        (their undo information lives there) and a fuzzy CHECKPOINT
+        record is appended instead.
+
+        ``full=False`` is a *fuzzy* checkpoint: no data pages are
+        flushed; only the unlogged metadata (catalog, hash-index
+        snapshots, the file table) is forced, and a CHECKPOINT record
+        carrying the dirty-page table and active-transaction table is
+        appended.  Committed-but-unflushed heap data survives a crash via
+        redo on reopen — writers never stall behind a full pool flush.
+        """
         self.catalog.save()
+        metadata_files = {self.files.open_file("__catalog")}
         for table in self.catalog.tables.values():
             for index in table.indexes.values():
                 if index.hash is not None:
                     index.hash.checkpoint(self.pages, index.file_id)
-        self.pool.flush_all()
+                    metadata_files.add(index.file_id)
+        if full:
+            self.pool.flush_all()
+        else:
+            for page in self.pool.iter_resident():
+                if page.dirty and page.page_id.file_id in metadata_files:
+                    self.pool.flush_page(page.page_id)
+            self.files.disk.flush()
         self.files.checkpoint_metadata()
         if self.wal is not None:
-            self.wal.truncate()
+            # Truncation requires that nothing in the log is still
+            # needed: no live transaction, and no unresolved loser (an
+            # unclean abort leaves one on purpose — its undo images are
+            # the only way recovery can repair it on reopen).
+            if full and not self.transactions.active \
+                    and not self.wal.has_losers():
+                self.wal.truncate()
+            else:
+                # Capture the bound BEFORE snapshotting the DPT: a page
+                # dirtied while we snapshot is missing from the DPT, but
+                # its records' LSNs are >= this bound, so redo never
+                # prunes them.
+                bound = self.wal.next_lsn
+                dirty = self.pool.dirty_page_table()
+                self.wal.log_checkpoint(
+                    dirty, self.transactions.active_txn_table(),
+                    redo_lsn=min([bound, *dirty.values()]))
+                self.wal.flush()
 
     def close(self) -> None:
         self.checkpoint()

@@ -39,6 +39,14 @@ DATA_INTERFACE = Interface("Data", (
     op("table_properties", "table:str", returns="dict"),
     op("analyze", "table:str", returns="int",
        semantics="collect optimizer statistics (all tables when None)"),
+    op("begin", returns="int",
+       semantics="open the session transaction, returning its id"),
+    op("commit", returns="any",
+       semantics="commit the session transaction (group-commit flushed)"),
+    op("abort", returns="any",
+       semantics="roll back the session transaction"),
+    op("recover", returns="dict",
+       semantics="ARIES-lite analysis/redo/undo over the attached WAL"),
 ))
 
 ACCESS_INTERFACE = Interface("Access", (
@@ -109,7 +117,22 @@ class DataService(Service):
         self.database = database
 
     def op_insert(self, table: str, row: Any) -> Any:
-        rid = self.database.catalog.table(table).insert(tuple(row))
+        # Route through an autocommit transaction so the mutation is
+        # WAL-logged and crash-safe like its SQL equivalent.
+        table_obj = self.database.catalog.table(table)
+        txn = self.database.transactions.begin()
+        try:
+            from repro.data.database import _LATCHED_LOCK_TIMEOUT_S
+
+            txn.lock_table_intent(table, exclusive=True)
+            rid = table_obj.insert(
+                tuple(row), txn=txn,
+                lock_row=lambda r: txn.lock_row_exclusive(
+                    table, r, timeout_s=_LATCHED_LOCK_TIMEOUT_S))
+            txn.commit()
+        except BaseException:
+            txn.abort()
+            raise
         return (rid.page_no, rid.slot)
 
     def op_lookup(self, table: str, key: Any) -> Any:
@@ -134,6 +157,20 @@ class DataService(Service):
         analyzed = self.database.catalog.analyze(table)
         self.database.catalog.save()
         return analyzed
+
+    # -- unified transaction contract (shared with StorageService) ---------
+
+    def op_begin(self) -> int:
+        return self.database.begin().txn_id
+
+    def op_commit(self) -> None:
+        self.database.commit()
+
+    def op_abort(self) -> None:
+        self.database.abort()
+
+    def op_recover(self) -> dict:
+        return self.database.recover()
 
 
 class AccessService(Service):

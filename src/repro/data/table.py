@@ -13,10 +13,12 @@ clustered by key prefix (see :mod:`repro.access.keycodec`).
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Sequence
 
 from repro.access.btree import BPlusTree
+from repro.faults.crashpoints import maybe_crash
 from repro.access.hash_index import ExtendibleHashIndex
 from repro.access.heap_file import RID, HeapFile
 from repro.access.keycodec import encode_key
@@ -165,6 +167,10 @@ class Table:
         self.heap = heap
         self.indexes: dict[str, TableIndex] = {}
         self.row_count = 0
+        # Short-term latch serialising index maintenance + row counting:
+        # row-level transaction locks admit concurrent writers to one
+        # table, but the in-memory index structures are not thread-safe.
+        self._latch = threading.RLock()
 
     # -- index management -----------------------------------------------------------
 
@@ -196,48 +202,117 @@ class Table:
 
     # -- mutations ----------------------------------------------------------------------
 
-    def insert(self, row: Sequence[Any]) -> RID:
+    def insert(self, row: Sequence[Any], txn=None, lock_row=None) -> RID:
+        """Insert one row.
+
+        When ``txn`` is given the inverse operation is registered with it
+        *immediately after* the heap placement — before row locking and
+        index maintenance, either of which may raise — so an abort always
+        knows how to take the row back out.  ``lock_row(rid)`` — when
+        given — runs under the table latch, so the caller acquires its
+        row lock before any concurrent scan can see (and lock) the new
+        RID.
+        """
         validated = self.schema.validate(row)
-        for index in self.indexes.values():
-            if index.would_conflict(validated):
-                raise DuplicateKeyError(
-                    f"{self.name}: duplicate key "
-                    f"{index.key_values(validated)!r} for unique index "
-                    f"{index.definition.name!r}")
-        rid = self.heap.insert(self.schema.codec.encode(validated))
-        for index in self.indexes.values():
-            index.insert(validated, rid)
-        self.row_count += 1
+        with self._latch:
+            for index in self.indexes.values():
+                if index.would_conflict(validated):
+                    raise DuplicateKeyError(
+                        f"{self.name}: duplicate key "
+                        f"{index.key_values(validated)!r} for unique index "
+                        f"{index.definition.name!r}")
+            rid = self.heap.insert(self.schema.codec.encode(validated),
+                                   txn=txn)
+            # The undo tracks how far the insert got: if lock_row (which
+            # may hit a routine deadlock/timeout) or a crash point stops
+            # us before index maintenance, the rollback must remove only
+            # the heap record — index.delete of never-inserted entries
+            # would itself fail and leave a phantom row behind.
+            progress = {"indexed": False}
+            if txn is not None:
+                txn.on_abort(lambda: self._undo_insert(rid, progress, txn))
+            if lock_row is not None:
+                lock_row(rid)
+            maybe_crash("table.index")
+            for index in self.indexes.values():
+                index.insert(validated, rid)
+            progress["indexed"] = True
+            self.row_count += 1
         return rid
+
+    def _undo_insert(self, rid: RID, progress: dict, txn) -> None:
+        with self._latch:
+            if progress["indexed"]:
+                self.delete(rid, txn=txn)
+            else:
+                self.heap.delete(rid, txn=txn)
 
     def read(self, rid: RID) -> tuple:
         return self.schema.decode(self.heap.read(rid))
 
-    def delete(self, rid: RID) -> tuple:
-        row = self.read(rid)
-        for index in self.indexes.values():
-            index.delete(row, rid)
-        self.heap.delete(rid)
-        self.row_count -= 1
+    def delete(self, rid: RID, txn=None) -> tuple:
+        with self._latch:
+            row = self.read(rid)
+            for index in self.indexes.values():
+                index.delete(row, rid)
+            self.heap.delete(rid, txn=txn)
+            if txn is not None:
+                txn.on_abort(lambda: self.insert(row, txn=txn))
+            self.row_count -= 1
         return row
 
-    def update(self, rid: RID, new_row: Sequence[Any]) -> RID:
+    def update(self, rid: RID, new_row: Sequence[Any], txn=None,
+               lock_row=None) -> RID:
+        """Rewrite one row.
+
+        The inverse (restore the old row at its current RID) registers
+        with ``txn`` right after the heap rewrite, before locking or
+        index maintenance can fail.  When the record moves (does not fit
+        in place), ``lock_row(new_rid)`` runs under the table latch so
+        the caller's lock follows the row to its new RID before anyone
+        else can claim it.
+        """
         validated = self.schema.validate(new_row)
-        old_row = self.read(rid)
-        for index in self.indexes.values():
-            if index.definition.unique and \
-                    index.key_values(validated) != index.key_values(old_row) \
-                    and index.would_conflict(validated):
-                raise DuplicateKeyError(
-                    f"{self.name}: duplicate key "
-                    f"{index.key_values(validated)!r} for unique index "
-                    f"{index.definition.name!r}")
-        for index in self.indexes.values():
-            index.delete(old_row, rid)
-        new_rid = self.heap.update(rid, self.schema.codec.encode(validated))
-        for index in self.indexes.values():
-            index.insert(validated, new_rid)
+        with self._latch:
+            old_row = self.read(rid)
+            for index in self.indexes.values():
+                if index.definition.unique and \
+                        index.key_values(validated) != \
+                        index.key_values(old_row) \
+                        and index.would_conflict(validated):
+                    raise DuplicateKeyError(
+                        f"{self.name}: duplicate key "
+                        f"{index.key_values(validated)!r} for unique index "
+                        f"{index.definition.name!r}")
+            for index in self.indexes.values():
+                index.delete(old_row, rid)
+            new_rid = self.heap.update(
+                rid, self.schema.codec.encode(validated), txn=txn)
+            progress = {"indexed": False}
+            if txn is not None:
+                txn.on_abort(lambda: self._undo_update(
+                    new_rid, old_row, progress, txn))
+            if new_rid != rid and lock_row is not None:
+                lock_row(new_rid)
+            maybe_crash("table.index")
+            for index in self.indexes.values():
+                index.insert(validated, new_rid)
+            progress["indexed"] = True
         return new_rid
+
+    def _undo_update(self, rid: RID, old_row: tuple, progress: dict,
+                     txn) -> None:
+        with self._latch:
+            if progress["indexed"]:
+                self.update(rid, old_row, txn=txn)
+            else:
+                # The new index entries were never inserted (the old ones
+                # are already gone): restore the heap payload and re-key
+                # the indexes with the old row directly.
+                back_rid = self.heap.update(
+                    rid, self.schema.codec.encode(old_row), txn=txn)
+                for index in self.indexes.values():
+                    index.insert(old_row, back_rid)
 
     # -- reads -------------------------------------------------------------------------
 

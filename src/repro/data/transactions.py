@@ -1,17 +1,32 @@
-"""Transactions: strict two-phase locking with deadlock detection.
+"""Transactions: hierarchical strict 2PL + ARIES-lite WAL integration.
 
-The lock manager grants shared/exclusive table locks with upgrade support
-and detects deadlocks on a wait-for graph (the youngest transaction in the
-cycle is the victim).  Transactions collect *logical undo* actions —
-inverse operations replayed on abort — which composes cleanly with the
-index-maintaining :class:`~repro.data.table.Table` mutations.
+The lock manager grants locks at two granularities — tables and rows
+(RIDs) — with intention modes (IS/IX/SIX) at the table level so that
+row-level writers to *distinct* rows of one table run concurrently while
+whole-table readers and writers still conflict correctly.  Deadlocks are
+detected on a wait-for graph (the requester that would close a cycle is
+the victim).
 
-Durability model: commit appends a COMMIT record to the storage-layer WAL
-(when attached) and flushes it; data pages reach disk lazily or at
-checkpoints.  Physical crash recovery is exercised at the storage layer
-(:mod:`repro.storage.wal`); the data layer's guarantee is atomicity via
-logical undo plus checkpoint durability — a deliberate, documented
-simplification (see DESIGN.md §7).
+Durability is unified with the storage layer's write-ahead log: every
+heap mutation made through a transaction logs a physical before/after
+image chained by ``prev_lsn`` (see :mod:`repro.storage.wal`), and
+
+- **commit** appends a COMMIT record and forces the log — through the
+  *group committer*, which batches the flushes of concurrently committing
+  threads into a single device flush, so commit throughput scales past
+  one fsync per transaction;
+- **abort** appends an ABORT record, replays the transaction's logical
+  undo actions (each of which logs its own compensating images under the
+  same transaction), and seals the rollback with an END record.  A crash
+  at any point of this sequence leaves the transaction a recovery *loser*
+  whose physical images are undone idempotently by
+  :class:`~repro.storage.recovery.RecoveryManager` with CLRs.
+
+Crash recovery for the full stack lives in
+:mod:`repro.storage.recovery`; ``Database`` runs it on reopen.  (The
+historical split — logical-undo-only data layer vs physical-only storage
+WAL — is gone; ``docs/architecture.md`` documents the unified model and
+the log record format.)
 """
 
 from __future__ import annotations
@@ -22,13 +37,57 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional
 
+from repro.access.heap_file import RID
 from repro.errors import DeadlockError, TransactionError
+from repro.faults.crashpoints import maybe_crash
+from repro.storage.page import PageId
 from repro.storage.wal import LogKind, WriteAheadLog
 
 
 class LockMode(Enum):
+    INTENTION_SHARED = "IS"
+    INTENTION_EXCLUSIVE = "IX"
     SHARED = "S"
+    SHARED_INTENTION_EXCLUSIVE = "SIX"
     EXCLUSIVE = "X"
+
+
+_M = LockMode
+_COMPAT: dict[LockMode, frozenset[LockMode]] = {
+    _M.INTENTION_SHARED: frozenset({
+        _M.INTENTION_SHARED, _M.INTENTION_EXCLUSIVE, _M.SHARED,
+        _M.SHARED_INTENTION_EXCLUSIVE}),
+    _M.INTENTION_EXCLUSIVE: frozenset({
+        _M.INTENTION_SHARED, _M.INTENTION_EXCLUSIVE}),
+    _M.SHARED: frozenset({_M.INTENTION_SHARED, _M.SHARED}),
+    _M.SHARED_INTENTION_EXCLUSIVE: frozenset({_M.INTENTION_SHARED}),
+    _M.EXCLUSIVE: frozenset(),
+}
+
+
+def _compatible(a: LockMode, b: LockMode) -> bool:
+    return b in _COMPAT[a]
+
+
+def _combine(held: Optional[LockMode], wanted: LockMode) -> LockMode:
+    """Least upper bound of two lock modes (the mode after an upgrade)."""
+    if held is None or held is wanted:
+        return wanted
+    pair = {held, wanted}
+    if _M.EXCLUSIVE in pair:
+        return _M.EXCLUSIVE
+    if _M.SHARED_INTENTION_EXCLUSIVE in pair:
+        return _M.SHARED_INTENTION_EXCLUSIVE
+    if pair == {_M.SHARED, _M.INTENTION_EXCLUSIVE}:
+        return _M.SHARED_INTENTION_EXCLUSIVE
+    if _M.SHARED in pair:          # S + IS
+        return _M.SHARED
+    return _M.INTENTION_EXCLUSIVE  # IX + IS
+
+
+def row_resource(table: str, rid: RID) -> str:
+    """Lock-manager resource name for one row of ``table``."""
+    return f"{table}\x00{rid.page_no}:{rid.slot}"
 
 
 @dataclass
@@ -40,38 +99,50 @@ class _LockState:
 
 
 class LockManager:
-    """Table-granularity S/X locks, strict 2PL, wait-for-graph deadlocks.
+    """Hierarchical S/X/IS/IX/SIX locks, strict 2PL, wait-for-graph
+    deadlock detection.
 
     Designed to work both single-threaded (waits fail fast as deadlocks
     when no progress is possible) and multi-threaded (waiters block on
-    events with a timeout).
+    events with a timeout).  Resources are plain strings: table names at
+    the coarse granularity, :func:`row_resource` keys at row granularity.
     """
 
     def __init__(self, timeout_s: float = 2.0) -> None:
         self._locks: dict[str, _LockState] = {}
+        self._held: dict[int, set[str]] = {}   # txn -> resources it holds
         self._mutex = threading.RLock()
         self.timeout_s = timeout_s
         self.deadlocks_detected = 0
 
     # -- acquisition ------------------------------------------------------------
 
-    def acquire(self, txn_id: int, resource: str, mode: LockMode) -> None:
+    def acquire(self, txn_id: int, resource: str, mode: LockMode,
+                timeout_s: Optional[float] = None) -> None:
         with self._mutex:
             state = self._locks.setdefault(resource, _LockState())
             if self._grantable(state, txn_id, mode):
-                self._grant(state, txn_id, mode)
+                self._grant(state, resource, txn_id, mode)
                 return
-            if self._would_deadlock(txn_id, resource):
+            if self._would_deadlock(txn_id, resource, mode):
                 self.deadlocks_detected += 1
                 raise DeadlockError(
                     f"txn {txn_id} would deadlock waiting for "
                     f"{mode.value} on {resource!r}")
             event = threading.Event()
             state.waiters.append((txn_id, mode, event))
-        if not event.wait(self.timeout_s):
+        if not event.wait(self.timeout_s if timeout_s is None
+                          else timeout_s):
             with self._mutex:
+                if event.is_set():
+                    # The grant raced our timeout: _wake_waiters already
+                    # made us a holder — succeeding is the only honest
+                    # answer (raising would leave the txn silently
+                    # holding a lock it reported failing to get).
+                    return
                 state.waiters = [(t, m, e) for t, m, e in state.waiters
                                  if e is not event]
+                self._drop_if_unused(resource)
             raise DeadlockError(
                 f"txn {txn_id} timed out waiting for {mode.value} on "
                 f"{resource!r}")
@@ -80,51 +151,65 @@ class LockManager:
     def _grantable(self, state: _LockState, txn_id: int,
                    mode: LockMode) -> bool:
         held = state.holders.get(txn_id)
-        if held is LockMode.EXCLUSIVE:
-            return True
-        if mode is LockMode.SHARED:
-            return all(m is LockMode.SHARED for t, m in
-                       state.holders.items() if t != txn_id)
-        # Exclusive (possibly an upgrade from our own shared lock):
-        return all(t == txn_id for t in state.holders)
+        if held is not None and _combine(held, mode) is held:
+            return True  # already holds a covering mode
+        target = _combine(held, mode)
+        return all(_compatible(target, m)
+                   for t, m in state.holders.items() if t != txn_id)
 
-    def _grant(self, state: _LockState, txn_id: int, mode: LockMode) -> None:
-        held = state.holders.get(txn_id)
-        if held is LockMode.EXCLUSIVE:
-            return
-        if held is LockMode.SHARED and mode is LockMode.SHARED:
-            return
-        state.holders[txn_id] = mode
+    def _grant(self, state: _LockState, resource: str, txn_id: int,
+               mode: LockMode) -> None:
+        state.holders[txn_id] = _combine(state.holders.get(txn_id), mode)
+        self._held.setdefault(txn_id, set()).add(resource)
 
     # -- release -------------------------------------------------------------------
 
     def release_all(self, txn_id: int) -> None:
+        """Release every lock the transaction holds — touching only the
+        resources it actually held, not the whole lock table."""
         with self._mutex:
-            for state in self._locks.values():
-                if txn_id in state.holders:
-                    del state.holders[txn_id]
-                self._wake_waiters(state)
+            for resource in self._held.pop(txn_id, ()):
+                state = self._locks.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                self._wake_waiters(resource, state)
+                self._drop_if_unused(resource)
 
-    def _wake_waiters(self, state: _LockState) -> None:
+    def _wake_waiters(self, resource: str, state: _LockState) -> None:
         progressed = True
         while progressed and state.waiters:
             progressed = False
             for waiter in list(state.waiters):
                 txn_id, mode, event = waiter
                 if self._grantable(state, txn_id, mode):
-                    self._grant(state, txn_id, mode)
+                    self._grant(state, resource, txn_id, mode)
                     state.waiters.remove(waiter)
                     event.set()
                     progressed = True
 
+    def _drop_if_unused(self, resource: str) -> None:
+        state = self._locks.get(resource)
+        if state is not None and not state.holders and not state.waiters:
+            del self._locks[resource]
+
     # -- deadlock detection -------------------------------------------------------------
 
-    def _would_deadlock(self, txn_id: int, resource: str) -> bool:
+    def _blockers(self, state: _LockState, txn_id: int,
+                  mode: LockMode) -> set[int]:
+        """Holders actually incompatible with ``txn_id`` requesting
+        ``mode`` — compatible holders (e.g. other intention modes) are
+        not wait-for edges."""
+        target = _combine(state.holders.get(txn_id), mode)
+        return {t for t, m in state.holders.items()
+                if t != txn_id and not _compatible(target, m)}
+
+    def _would_deadlock(self, txn_id: int, resource: str,
+                        mode: LockMode) -> bool:
         """DFS over the wait-for graph assuming ``txn_id`` starts waiting
-        on ``resource``'s current holders."""
-        blockers = {t for t in self._locks[resource].holders if t != txn_id}
+        on ``resource``'s incompatible holders."""
         seen: set[int] = set()
-        stack = list(blockers)
+        stack = list(self._blockers(self._locks[resource], txn_id, mode))
         while stack:
             current = stack.pop()
             if current == txn_id:
@@ -134,17 +219,28 @@ class LockManager:
             seen.add(current)
             # Who is `current` waiting on?
             for state in self._locks.values():
-                for waiting_txn, _, _ in state.waiters:
+                for waiting_txn, waiting_mode, _ in state.waiters:
                     if waiting_txn == current:
-                        stack.extend(t for t in state.holders
-                                     if t != current)
+                        stack.extend(
+                            self._blockers(state, current, waiting_mode))
         return False
+
+    # -- introspection ---------------------------------------------------------
 
     def held(self, txn_id: int) -> dict[str, LockMode]:
         with self._mutex:
-            return {resource: state.holders[txn_id]
-                    for resource, state in self._locks.items()
-                    if txn_id in state.holders}
+            return {resource: self._locks[resource].holders[txn_id]
+                    for resource in self._held.get(txn_id, ())
+                    if resource in self._locks}
+
+    def stats(self) -> dict:
+        with self._mutex:
+            return {
+                "locks_held": sum(len(r) for r in self._held.values()),
+                "resources": len(self._locks),
+                "waiters": sum(len(s.waiters) for s in self._locks.values()),
+                "deadlocks": self.deadlocks_detected,
+            }
 
 
 class TransactionState(Enum):
@@ -154,13 +250,15 @@ class TransactionState(Enum):
 
 
 class Transaction:
-    """One unit of work: locks + logical undo log."""
+    """One unit of work: locks + undo actions + WAL record chain."""
 
     def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
         self.txn_id = txn_id
         self.manager = manager
         self.state = TransactionState.ACTIVE
         self._undo: list[Callable[[], None]] = []
+        self.last_lsn = 0      # head of this txn's prev_lsn chain
+        self.wrote = False     # logged at least one physical image
 
     def _check_active(self) -> None:
         if self.state is not TransactionState.ACTIVE:
@@ -178,10 +276,55 @@ class Transaction:
         self.manager.locks.acquire(self.txn_id, resource,
                                    LockMode.EXCLUSIVE)
 
+    def lock_table_intent(self, table: str, exclusive: bool) -> None:
+        """Intention lock on the table before locking its rows."""
+        self._check_active()
+        mode = (LockMode.INTENTION_EXCLUSIVE if exclusive
+                else LockMode.INTENTION_SHARED)
+        self.manager.locks.acquire(self.txn_id, table, mode)
+
+    def lock_row_shared(self, table: str, rid: RID,
+                        timeout_s: Optional[float] = None) -> None:
+        self.lock_table_intent(table, exclusive=False)
+        self.manager.locks.acquire(self.txn_id, row_resource(table, rid),
+                                   LockMode.SHARED, timeout_s=timeout_s)
+
+    def lock_row_exclusive(self, table: str, rid: RID,
+                           timeout_s: Optional[float] = None) -> None:
+        """``timeout_s`` overrides the manager default — callers that
+        wait while holding a table latch (fresh-RID locking inside
+        ``Table.insert``/``update``) pass a short bound so a blocked
+        acquisition cannot convoy every writer on the table."""
+        self.lock_table_intent(table, exclusive=True)
+        self.manager.locks.acquire(self.txn_id, row_resource(table, rid),
+                                   LockMode.EXCLUSIVE, timeout_s=timeout_s)
+
     def on_abort(self, undo: Callable[[], None]) -> None:
         """Register the inverse of a change just made."""
         self._check_active()
         self._undo.append(undo)
+
+    # -- WAL integration ------------------------------------------------------
+
+    @property
+    def logs_physical(self) -> bool:
+        """True when mutations made through this transaction must log
+        physical images (a WAL is attached and the txn is live)."""
+        return (self.manager.wal is not None
+                and self.state is TransactionState.ACTIVE)
+
+    def log_heap(self, op: int, page_id: PageId, slot: int,
+                 before: bytes, after: bytes) -> int:
+        """Append one physiological heap record, chained via
+        ``prev_lsn``."""
+        wal = self.manager.wal
+        if wal is None:
+            return 0
+        lsn = wal.log_heap(self.txn_id, op, page_id, slot, before, after,
+                           prev_lsn=self.last_lsn)
+        self.last_lsn = lsn
+        self.wrote = True
+        return lsn
 
     # -- outcome ------------------------------------------------------------------------
 
@@ -193,49 +336,150 @@ class Transaction:
 
     def abort(self) -> None:
         self._check_active()
+        self.manager._abort_begin(self)
+        # Logical undo actions run newest-first; each one mutates pages
+        # through this still-active transaction, logging compensating
+        # images under the same txn id (so redo after a post-abort crash
+        # replays the rollback too).  A failing undo action (e.g. a
+        # unique key re-taken by a concurrent committer) must not wedge
+        # the transaction: remaining undos still run, locks are released,
+        # and — crucially — no END record is written, leaving the txn a
+        # recovery *loser* whose physical images are restored at the next
+        # reopen.
+        failures: list[BaseException] = []
         for undo in reversed(self._undo):
-            undo()
+            try:
+                undo()
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
         self._undo.clear()
-        self.manager._abort(self)
+        self.manager._abort_finish(self, clean=not failures)
         self.state = TransactionState.ABORTED
+        if failures:
+            raise TransactionError(
+                f"txn {self.txn_id}: {len(failures)} undo action(s) "
+                f"failed ({failures[0]!r}); locks released, physical "
+                f"state will be repaired by crash recovery on reopen"
+            ) from failures[0]
+
+
+class GroupCommitter:
+    """Batches concurrent commit flushes into single device flushes.
+
+    The first committer to arrive becomes the *leader* and flushes the
+    whole WAL buffer; committers that append their COMMIT record while the
+    leader's flush is in flight simply wait, and the next leader's single
+    flush covers all of them.  With N threads committing concurrently the
+    device sees far fewer than N flushes.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+        self._cond = threading.Condition()
+        self._leader_active = False
+        self.commits = 0
+        self.flushes = 0
+
+    def flush_upto(self, lsn: int) -> None:
+        with self._cond:
+            self.commits += 1
+            while True:
+                if self.wal.flushed_lsn >= lsn:
+                    return  # another leader's flush covered us
+                if not self._leader_active:
+                    self._leader_active = True
+                    break
+                self._cond.wait()
+        try:
+            self.wal.flush()
+            self.flushes += 1
+        finally:
+            with self._cond:
+                self._leader_active = False
+                self._cond.notify_all()
+
+    def stats(self) -> dict:
+        return {"commits": self.commits, "flushes": self.flushes,
+                "batching": (self.commits / self.flushes
+                             if self.flushes else 0.0)}
 
 
 class TransactionManager:
     """Creates transactions and owns the lock manager + WAL hookup."""
 
     def __init__(self, wal: Optional[WriteAheadLog] = None,
-                 lock_timeout_s: float = 2.0) -> None:
+                 lock_timeout_s: float = 2.0,
+                 group_commit: bool = True) -> None:
         self.locks = LockManager(lock_timeout_s)
         self.wal = wal
+        self.group = GroupCommitter(wal) if (wal is not None
+                                             and group_commit) else None
         self._ids = itertools.count(1)
+        self._mutex = threading.Lock()
         self.active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
 
     def begin(self) -> Transaction:
         txn = Transaction(next(self._ids), self)
-        self.active[txn.txn_id] = txn
+        with self._mutex:
+            self.active[txn.txn_id] = txn
         if self.wal is not None:
-            self.wal.append(txn.txn_id, LogKind.BEGIN)
+            txn.last_lsn = self.wal.append(txn.txn_id, LogKind.BEGIN)
         return txn
 
-    def _commit(self, txn: Transaction) -> None:
-        if self.wal is not None:
-            self.wal.append(txn.txn_id, LogKind.COMMIT)
-            self.wal.flush()
-        self.locks.release_all(txn.txn_id)
-        self.active.pop(txn.txn_id, None)
-        self.committed += 1
+    def active_txn_table(self) -> dict[int, int]:
+        """{txn_id: last_lsn} of live transactions — the ATT a fuzzy
+        checkpoint records."""
+        with self._mutex:
+            return {txn_id: txn.last_lsn
+                    for txn_id, txn in self.active.items()}
 
-    def _abort(self, txn: Transaction) -> None:
+    def _commit(self, txn: Transaction) -> None:
+        maybe_crash("txn.commit")
         if self.wal is not None:
-            self.wal.append(txn.txn_id, LogKind.ABORT)
-            self.wal.flush()
+            lsn = self.wal.append(txn.txn_id, LogKind.COMMIT,
+                                  prev_lsn=txn.last_lsn)
+            txn.last_lsn = lsn
+            maybe_crash("txn.commit.logged")
+            if txn.wrote:
+                # Read-only transactions skip the force entirely.
+                if self.group is not None:
+                    self.group.flush_upto(lsn)
+                else:
+                    self.wal.flush(upto_lsn=lsn)
+                maybe_crash("txn.commit.flushed")
         self.locks.release_all(txn.txn_id)
-        self.active.pop(txn.txn_id, None)
-        self.aborted += 1
+        with self._mutex:
+            self.active.pop(txn.txn_id, None)
+            self.committed += 1
+
+    def _abort_begin(self, txn: Transaction) -> None:
+        maybe_crash("txn.abort")
+        if self.wal is not None:
+            txn.last_lsn = self.wal.append(txn.txn_id, LogKind.ABORT,
+                                           prev_lsn=txn.last_lsn)
+
+    def _abort_finish(self, txn: Transaction, clean: bool = True) -> None:
+        if self.wal is not None:
+            if clean:
+                txn.last_lsn = self.wal.append(txn.txn_id, LogKind.END,
+                                               prev_lsn=txn.last_lsn)
+            if txn.wrote:
+                # Unclean aborts flush too: the loser's images (ABORT, no
+                # END) must be durable for recovery to repair them.
+                self.wal.flush()
+        self.locks.release_all(txn.txn_id)
+        with self._mutex:
+            self.active.pop(txn.txn_id, None)
+            self.aborted += 1
 
     def stats(self) -> dict:
-        return {"active": len(self.active), "committed": self.committed,
-                "aborted": self.aborted,
-                "deadlocks": self.locks.deadlocks_detected}
+        lock_stats = self.locks.stats()
+        stats = {"active": len(self.active), "committed": self.committed,
+                 "aborted": self.aborted,
+                 "deadlocks": lock_stats["deadlocks"],
+                 "locks_held": lock_stats["locks_held"]}
+        if self.group is not None:
+            stats["group_commit"] = self.group.stats()
+        return stats

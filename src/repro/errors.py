@@ -124,6 +124,16 @@ class LockTimeoutError(TransactionError):
     """A lock could not be acquired within its timeout."""
 
 
+class InjectedCrashError(SBDMSError):
+    """A crash point armed by the fault-injection framework fired.
+
+    Raised from inside storage/access/data-layer operations to simulate a
+    process crash at that exact point: everything already durable stays,
+    everything buffered in memory is lost when the test reopens the
+    database over the same devices.
+    """
+
+
 # ---------------------------------------------------------------------------
 # SOA kernel
 # ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
-"""Fault injection framework for the adaptation experiments."""
+"""Fault injection framework: service faults for the adaptation
+experiments and crash points for the transaction/recovery tests."""
 
+from repro.faults import crashpoints
 from repro.faults.injection import (
     CampaignReport,
     FaultAction,
@@ -17,5 +19,6 @@ __all__ = [
     "FlakyFault",
     "SlowdownFault",
     "crash_service",
+    "crashpoints",
     "disk_fault",
 ]

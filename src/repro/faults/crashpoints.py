@@ -1,0 +1,115 @@
+"""Crash points: die mid-transaction at any layer, deterministically.
+
+Storage, access, and data-layer code calls :func:`maybe_crash` at the
+interesting moments of a transaction's life (buffer eviction, heap
+mutation, index maintenance, commit flush, mid-WAL-flush).  Tests arm a
+site with :func:`arm` (optionally skipping the first ``after`` hits) and
+run a workload; when the armed hit is reached an
+:class:`~repro.errors.InjectedCrashError` propagates out of the engine.
+The test then *abandons* the crashed instance and reopens a fresh
+``Database`` over the same devices — exactly what a process crash looks
+like: durable state only.
+
+The module is dependency-free (it must be importable from the bottom of
+the storage layer without cycles) and every call is a dict lookup when
+nothing is armed.
+
+Known sites (grep for ``maybe_crash`` to verify the list):
+
+- ``buffer.writeback``   — after WAL flush, before the page reaches disk
+- ``wal.flush.mid``      — between WAL data-block writes and the tail
+                           header update (a torn log flush)
+- ``heap.insert`` / ``heap.update`` / ``heap.delete`` — after the page
+                           mutation + log append, before unpin
+- ``table.index``        — after the heap change, before index maintenance
+- ``txn.commit.logged``  — COMMIT record appended, not yet flushed
+- ``txn.commit.flushed`` — COMMIT record durable, before lock release
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+_mutex = threading.Lock()
+_armed: dict[str, int] = {}      # site -> remaining hits before firing
+_hits: dict[str, int] = {}       # site -> total times the site was reached
+_halted = False                  # a crash fired: the "process" is dead
+_active = False                  # anything armed/halted? (lock-free gate)
+
+
+def arm(site: str, after: int = 0) -> None:
+    """Arm ``site`` to crash on its ``after + 1``-th hit."""
+    global _active
+    with _mutex:
+        _armed[site] = after
+        _active = True
+
+
+def disarm(site: Optional[str] = None) -> None:
+    """Disarm one site (or every site when ``None``)."""
+    global _active
+    with _mutex:
+        if site is None:
+            _armed.clear()
+        else:
+            _armed.pop(site, None)
+        _active = bool(_armed) or _halted
+
+
+def reset() -> None:
+    """Disarm everything, clear hit counters, and revive the process
+    (tests call this before reopening the database — the fresh instance
+    models a new process with no injector)."""
+    global _halted, _active
+    with _mutex:
+        _armed.clear()
+        _hits.clear()
+        _halted = False
+        _active = False
+
+
+def halted() -> bool:
+    with _mutex:
+        return _halted
+
+
+def hits(site: str) -> int:
+    """How often ``site`` was reached while the injector was active
+    (hits are only counted between :func:`arm` and :func:`reset`) —
+    lets tests randomise ``after`` within the observed range."""
+    with _mutex:
+        return _hits.get(site, 0)
+
+
+def maybe_crash(site: str) -> None:
+    """Crash-point hook: raises when ``site`` is armed and due.
+
+    When nothing is armed this is a single unlocked boolean check —
+    the hook sits on hot paths (heap mutations, buffer write-back, WAL
+    flush, commit) and must not serialize them in normal operation.
+
+    Once any site has fired, *every* subsequent hit raises too: a crashed
+    process executes nothing, so cleanup handlers (rollback, commit,
+    flush) that catch the first exception must not be able to keep
+    mutating durable state.  The WAL's torn-flush design makes any write
+    that slipped out before a site was reached invisible on reopen.
+    """
+    global _halted
+    if not _active:
+        return
+    with _mutex:
+        _hits[site] = _hits.get(site, 0) + 1
+        if _halted:
+            pass  # fall through and raise again
+        elif site not in _armed:
+            return
+        elif _armed[site] > 0:
+            _armed[site] -= 1
+            return
+        else:
+            del _armed[site]
+            _halted = True
+    from repro.errors import InjectedCrashError
+
+    raise InjectedCrashError(f"injected crash at {site}")

@@ -26,8 +26,15 @@ from repro.storage.disk import (
     MemoryDevice,
 )
 from repro.storage.file_manager import DiskManager, FileManager
-from repro.storage.page import CHECKSUM_SIZE, Page, PageId
+from repro.storage.page import (
+    CHECKSUM_SIZE,
+    LSN_SIZE,
+    PAGE_TRAILER_SIZE,
+    Page,
+    PageId,
+)
 from repro.storage.page_manager import PageManager
+from repro.storage.recovery import RecoveryManager
 from repro.storage.wal import LogKind, LogRecord, WriteAheadLog
 
 __all__ = [
@@ -49,9 +56,12 @@ __all__ = [
     "DiskManager",
     "FileManager",
     "CHECKSUM_SIZE",
+    "LSN_SIZE",
+    "PAGE_TRAILER_SIZE",
     "Page",
     "PageId",
     "PageManager",
+    "RecoveryManager",
     "LogKind",
     "LogRecord",
     "WriteAheadLog",

@@ -26,6 +26,7 @@ from repro.errors import (
     BufferPoolFullError,
     PageNotPinnedError,
 )
+from repro.faults.crashpoints import maybe_crash
 from repro.storage.file_manager import FileManager
 from repro.storage.page import Page, PageId
 
@@ -256,6 +257,14 @@ class BufferPool:
     def is_resident(self, page_id: PageId) -> bool:
         return page_id in self._frames
 
+    def dirty_page_table(self) -> dict[PageId, int]:
+        """Dirty pages with their recovery LSNs (the LSN that first
+        dirtied each page) — the DPT a fuzzy checkpoint records."""
+        with self._lock:
+            return {pid: (page.rec_lsn if page.rec_lsn is not None
+                          else page.lsn)
+                    for pid, page in self._frames.items() if page.dirty}
+
     def properties(self) -> dict:
         """Functional properties exposed through the service layer
         (the Discussion's monitoring example reads these)."""
@@ -358,11 +367,22 @@ class BufferPool:
     # -- internals ---------------------------------------------------------------
 
     def _write_back(self, page: Page) -> None:
-        if page.dirty:
+        # The page latch keeps a concurrent logged mutation from being
+        # captured half-applied (and before its LSN stamp): flush_all /
+        # flush_page may run while writers are active.  Mutators never
+        # take the pool lock while holding a page latch, so the
+        # pool-lock -> page-latch order here cannot deadlock.
+        with page.latch:
+            if not page.dirty:
+                return
             if self.wal is not None:
+                # WAL-before-page: only the prefix covering this page's
+                # last logged change is forced, not the whole buffer.
                 self.wal.flush(upto_lsn=page.lsn)
+            maybe_crash("buffer.writeback")
             self.files.write_page(page.page_id, page.to_block())
             page.dirty = False
+            page.rec_lsn = None
             self.stats.dirty_writebacks += 1
 
     def _ensure_frame_available(self) -> None:

@@ -1,0 +1,285 @@
+"""ARIES-lite crash recovery: analysis, redo, undo with compensation.
+
+:class:`RecoveryManager` owns the three classical phases over a
+:class:`~repro.storage.wal.WriteAheadLog` and a
+:class:`~repro.storage.file_manager.FileManager`:
+
+1. **Analysis** — one forward scan builds the winner/loser sets (a
+   transaction with neither COMMIT nor END is a loser; an ABORT record
+   alone marks an *unfinished* rollback), seeds the active-transaction
+   table from the last fuzzy CHECKPOINT record (so transactions whose
+   BEGIN predates the checkpoint are still found), and takes the
+   checkpoint's dirty-page table as the redo lower bound: records older
+   than the oldest ``rec_lsn`` in the DPT touched pages that were
+   already durable at the checkpoint.
+
+2. **Redo** — repeat history from the redo bound, *conditionally*: a
+   record only touches the page when ``record.lsn > page_lsn`` (the LSN
+   stored in the page trailer), so pages that made it to disk are not
+   rewritten.  Byte-image records (``op = 0``) re-apply their after
+   image; physiological heap records re-apply the slotted-page operation
+   at their slot.  Pages whose allocation never reached the durable file
+   metadata are re-allocated on the fly — their content is reconstructed
+   from the log.
+
+3. **Undo** — losers are rolled back in reverse log order.  Each undone
+   record writes a redo-only CLR carrying ``undo_next_lsn``; on a
+   recovery that itself crashed mid-undo, the *newest* CLR's
+   ``undo_next_lsn`` is the resume point — records above it are already
+   compensated and are skipped, so nothing is undone twice.  The CLR is
+   forced to the log *before* the undone page is written (the WAL rule
+   applies to recovery's own writes too).  A fully undone loser gets an
+   END record.
+
+   Undo is physiological for heap records: the inverse operation touches
+   only the loser's own slot, never the bytes (slot directory, compacted
+   payloads) that a committed transaction interleaved on the same page —
+   this is what makes row-level locking crash-safe.  Byte-image records
+   restore their before image verbatim (their writers — the storage
+   service — serialize page access).
+
+The manager works directly against the file manager (the buffer pool must
+be empty / not yet constructed); ``Database`` runs it on reopen before
+loading the catalog, then rebuilds secondary indexes from the recovered
+heaps (index pages are not logged — regeneration at restart is the
+documented ARIES-lite simplification).
+
+Known limitation: undoing an in-place heap update whose before image no
+longer fits its page (neighbours consumed the space after the original
+write) falls back to delete + re-insert on a fresh page; a crash landing
+exactly between those two compensations loses the restored row.  The
+window is a handful of instructions inside recovery of an already-rare
+overflow case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.access.slotted_page import SlottedPage
+from repro.errors import PageLayoutError
+from repro.storage.file_manager import FileManager
+from repro.storage.page import Page, PageId
+from repro.storage.wal import (
+    OP_BYTES,
+    OP_HEAP_DELETE,
+    OP_HEAP_INSERT,
+    OP_HEAP_UPDATE,
+    LogKind,
+    LogRecord,
+    WriteAheadLog,
+)
+
+
+class RecoveryManager:
+    """Analysis → redo → undo over one WAL + file manager pair.
+
+    ``file_manager`` may be ``None`` for analysis-only use (the WAL's own
+    :meth:`~repro.storage.wal.WriteAheadLog.analyze` delegates here).
+    """
+
+    def __init__(self, wal: WriteAheadLog,
+                 file_manager: Optional[FileManager]) -> None:
+        self.wal = wal
+        self.files = file_manager
+
+    # -- phases -----------------------------------------------------------------
+
+    def analyze(self, collect_updates: bool = True) -> dict:
+        """Forward scan: winners, losers, per-transaction last LSNs, the
+        redo lower bound, and the tables carried by the last fuzzy
+        checkpoint.  ``collect_updates=False`` skips materializing the
+        update records (and their images) for callers that only need the
+        classification, e.g. :meth:`WriteAheadLog.has_losers`."""
+        seen: set[int] = set()
+        committed: set[int] = set()
+        finished: set[int] = set()
+        last_lsn: dict[int, int] = {}
+        dirty_pages: dict[PageId, int] = {}
+        updates: list[LogRecord] = []
+        redo_lsn = 0
+        for record in self.wal.records():
+            if record.kind is LogKind.CHECKPOINT:
+                ckpt_dirty, ckpt_active = record.checkpoint_tables()
+                dirty_pages.update(ckpt_dirty)
+                seen.update(ckpt_active)
+                for txn, lsn in ckpt_active.items():
+                    last_lsn.setdefault(txn, lsn)
+                # The redo bound was computed by the checkpointer before
+                # it snapshotted the DPT, so pages dirtied while the
+                # checkpoint was being taken are covered (their records'
+                # LSNs are at or above the bound).
+                redo_lsn = record.checkpoint_redo_lsn()
+                continue
+            seen.add(record.txn_id)
+            last_lsn[record.txn_id] = record.lsn
+            if record.kind is LogKind.COMMIT:
+                committed.add(record.txn_id)
+            elif record.kind is LogKind.END:
+                finished.add(record.txn_id)
+            elif record.kind in (LogKind.UPDATE, LogKind.CLR):
+                if collect_updates:
+                    updates.append(record)
+                dirty_pages.setdefault(record.page_id, record.lsn)
+        return {
+            "committed": committed,
+            "losers": seen - committed - finished,
+            "last_lsn": last_lsn,
+            "dirty_pages": dirty_pages,
+            "redo_lsn": redo_lsn,
+            "updates": updates,
+        }
+
+    def recover(self) -> dict:
+        analysis = self.analyze()
+        updates: list[LogRecord] = analysis["updates"]
+        committed: set[int] = analysis["committed"]
+        losers: set[int] = analysis["losers"]
+        redo_lsn: int = analysis["redo_lsn"]
+
+        redone = redo_skipped = redo_pruned = unknown = 0
+        # -- redo: repeat history, conditionally -------------------------------
+        for record in updates:
+            if record.lsn < redo_lsn:
+                redo_pruned += 1
+                continue
+            page = self._load_page(record.page_id)
+            if page is None:
+                unknown += 1
+                continue
+            if record.lsn > page.lsn:
+                self._apply(page, record.op, record.offset, record.after)
+                page.lsn = record.lsn
+                self._store_page(page)
+                redone += 1
+            else:
+                redo_skipped += 1
+
+        # -- undo: losers in reverse order, with CLR compensation -------------
+        undone = clrs = 0
+        # The newest CLR per loser marks where an earlier (crashed) undo
+        # stopped: records above its undo_next_lsn are compensated.
+        resume: dict[int, int] = {}
+        undo_prev: dict[int, int] = {
+            txn: analysis["last_lsn"].get(txn, 0) for txn in losers}
+        for record in reversed(updates):
+            if record.txn_id not in losers:
+                continue
+            if record.kind is LogKind.CLR:
+                resume.setdefault(record.txn_id, record.undo_next_lsn)
+                continue
+            if record.lsn > resume.get(record.txn_id, record.lsn):
+                continue  # already compensated by an earlier undo pass
+            page = self._load_page(record.page_id)
+            if page is None:
+                unknown += 1
+                continue
+            undone += 1
+            clrs += self._undo_record(record, page, undo_prev)
+        for txn in sorted(losers):
+            self.wal.append(txn, LogKind.END,
+                            prev_lsn=undo_prev.get(txn, 0))
+        if losers:
+            self.wal.flush()
+        if self.files is not None:
+            self.files.disk.flush()
+        return {
+            "redone": redone,
+            "redo_skipped": redo_skipped,
+            "redo_pruned": redo_pruned,
+            "undone": undone,
+            "clrs": clrs,
+            "unknown_pages": unknown,
+            "committed": sorted(committed),
+            "losers": sorted(losers),
+        }
+
+    # -- record application ------------------------------------------------------
+
+    @staticmethod
+    def _apply(page: Page, op: int, slot_or_offset: int,
+               image: bytes) -> None:
+        """Apply a record's redo action to an in-memory page."""
+        if op == OP_BYTES:
+            page.write(slot_or_offset, image)
+            return
+        view = SlottedPage(page)
+        if view._free_ptr == 0:
+            # The page was allocated (zeros) but its formatting was part
+            # of the logged insert being replayed.
+            view = SlottedPage.format(page)
+        if op == OP_HEAP_INSERT:
+            view.place(slot_or_offset, image)
+        elif op == OP_HEAP_DELETE:
+            view.delete(slot_or_offset)
+        elif op == OP_HEAP_UPDATE:
+            view.update(slot_or_offset, image)
+        else:
+            raise PageLayoutError(f"unknown heap op {op}")
+
+    _UNDO_OP = {OP_HEAP_INSERT: OP_HEAP_DELETE,
+                OP_HEAP_DELETE: OP_HEAP_INSERT,
+                OP_HEAP_UPDATE: OP_HEAP_UPDATE}
+
+    def _undo_record(self, record: LogRecord, page: Page,
+                     undo_prev: dict[int, int]) -> int:
+        """Undo one loser record (page already loaded), writing CLR(s).
+        Returns the number of CLRs emitted."""
+        txn = record.txn_id
+        inverse_op = self._UNDO_OP.get(record.op, OP_BYTES)
+        try:
+            self._compensate(txn, record.page_id, inverse_op,
+                             record.offset, record.before,
+                             record.prev_lsn, undo_prev, page)
+            return 1
+        except PageLayoutError:
+            if record.op != OP_HEAP_UPDATE:
+                raise
+        # In-place update undo overflowed: free the slot, then restore
+        # the before image on a fresh page (see module docstring for the
+        # crash window this leaves).
+        self._compensate(txn, record.page_id, OP_HEAP_DELETE,
+                         record.offset, b"", record.prev_lsn,
+                         undo_prev, page)
+        fresh_id = self.files.allocate_page(record.page_id.file_id)
+        fresh = Page(fresh_id, self.files.disk.device.block_size)
+        SlottedPage.format(fresh)
+        self._compensate(txn, fresh_id, OP_HEAP_INSERT, 0,
+                         record.before, record.prev_lsn, undo_prev, fresh)
+        return 2
+
+    def _compensate(self, txn: int, page_id: PageId, op: int, slot: int,
+                    image: bytes, undo_next: int,
+                    undo_prev: dict[int, int],
+                    page: Page) -> None:
+        """Apply one compensating action: log the CLR, force it, then
+        write the page (WAL-before-page, recovery edition)."""
+        clr_lsn = self.wal.log_clr(txn, page_id, slot, after=image,
+                                   undo_next_lsn=undo_next,
+                                   prev_lsn=undo_prev.get(txn, 0), op=op)
+        undo_prev[txn] = clr_lsn
+        self.wal.flush(upto_lsn=clr_lsn)
+        self._apply(page, op, slot, image)
+        page.lsn = clr_lsn
+        self._store_page(page)
+
+    # -- page I/O ----------------------------------------------------------------
+
+    def _load_page(self, page_id: PageId) -> Optional[Page]:
+        """Read a page for recovery, re-allocating tail pages whose
+        allocation never reached the durable file metadata.  Returns
+        ``None`` when the file itself is unknown (its creation was never
+        checkpointed — nothing to recover into)."""
+        fid = page_id.file_id
+        try:
+            size = self.files.file_size_pages(fid)
+        except Exception:
+            return None
+        while size <= page_id.page_no:
+            self.files.allocate_page(fid)
+            size += 1
+        return Page.from_block(page_id, self.files.read_page(page_id),
+                               verify=False)
+
+    def _store_page(self, page: Page) -> None:
+        self.files.write_page(page.page_id, page.to_block())

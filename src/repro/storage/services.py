@@ -21,9 +21,11 @@ pure decomposition overhead with identical physical behaviour.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from repro.core.bindings import Binding, LocalBinding
+from repro.errors import WALError
 from repro.core.contract import (
     Interface,
     QualityDescription,
@@ -37,7 +39,7 @@ from repro.storage.disk import BlockDevice, MemoryDevice
 from repro.storage.file_manager import DiskManager, FileManager
 from repro.storage.page import PageId
 from repro.storage.page_manager import PageManager
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import LogKind, WriteAheadLog
 
 GRANULARITIES = ("coarse", "medium", "fine")
 
@@ -57,6 +59,9 @@ class StorageStack:
         self.pool = BufferPool(self.files, capacity=buffer_capacity,
                                policy=replacement_policy, wal=self.wal)
         self.pages = PageManager(self.pool)
+        self._txn_ids = itertools.count(1)
+        self._current_txn: Optional[int] = None
+        self._txn_last: dict[int, int] = {}
 
     # Operations shared by the service wrappers ------------------------------------
 
@@ -75,7 +80,20 @@ class StorageStack:
         page_id = PageId(file_id, page_no)
         page = self.pool.fetch(page_id)
         try:
-            page.write(offset, data)
+            with page.latch:
+                txn = self._current_txn
+                if txn is not None and self.wal is not None:
+                    before = page.read(offset, len(data))
+                    page.write(offset, data)
+                    lsn = self.wal.log_update(
+                        txn, page_id, offset, before, bytes(data),
+                        prev_lsn=self._txn_last.get(txn, 0))
+                    self._txn_last[txn] = lsn
+                    if page.rec_lsn is None:
+                        page.rec_lsn = lsn
+                    page.lsn = lsn
+                else:
+                    page.write(offset, data)
         finally:
             self.pool.unpin(page_id, dirty=True)
         return len(data)
@@ -90,6 +108,91 @@ class StorageStack:
     def flush(self) -> None:
         self.pool.flush_all()
         self.files.checkpoint_metadata()
+
+    # -- unified begin/commit/abort/recover contract ---------------------------
+    #
+    # The same transactional surface the data layer exposes, at the byte
+    # level: a storage transaction physically logs every ``write`` made
+    # while it is open, commit forces the log, abort applies the
+    # before-images back (with CLRs, like recovery would).
+
+    def _require_wal(self) -> WriteAheadLog:
+        if self.wal is None:
+            raise WALError("no WAL attached to this storage stack")
+        return self.wal
+
+    def begin(self) -> int:
+        wal = self._require_wal()
+        if self._current_txn is not None:
+            raise WALError("storage transaction already open")
+        txn = next(self._txn_ids)
+        self._current_txn = txn
+        self._txn_last[txn] = wal.append(txn, LogKind.BEGIN)
+        return txn
+
+    def commit(self) -> int:
+        wal = self._require_wal()
+        txn = self._require_open()
+        lsn = wal.append(txn, LogKind.COMMIT,
+                         prev_lsn=self._txn_last.pop(txn, 0))
+        wal.flush(upto_lsn=lsn)
+        self._current_txn = None
+        return txn
+
+    def abort(self) -> int:
+        """Physically undo the open transaction's writes, newest first,
+        logging a CLR per image and an END once fully compensated.
+
+        The records to undo are found by walking this transaction's
+        ``prev_lsn`` chain backwards from its last record — not by
+        matching txn ids across the whole log, which could pick up a
+        same-numbered transaction from an earlier incarnation of the
+        stack over a persisted log.
+        """
+        wal = self._require_wal()
+        txn = self._require_open()
+        chain_head = self._txn_last.pop(txn, 0)
+        last = wal.append(txn, LogKind.ABORT, prev_lsn=chain_head)
+        by_lsn = {record.lsn: record for record in wal.records()}
+        undo = []
+        lsn = chain_head
+        while lsn:
+            record = by_lsn.get(lsn)
+            if record is None:
+                break
+            if record.kind is LogKind.UPDATE:
+                undo.append(record)
+            lsn = record.prev_lsn
+        for record in undo:  # chain walk already yields newest-first
+            page = self.pool.fetch(record.page_id)
+            try:
+                with page.latch:
+                    page.write(record.offset, record.before)
+                    last = wal.log_clr(txn, record.page_id, record.offset,
+                                       after=record.before,
+                                       undo_next_lsn=record.prev_lsn,
+                                       prev_lsn=last)
+                    page.lsn = last
+            finally:
+                self.pool.unpin(record.page_id, dirty=True)
+        wal.append(txn, LogKind.END, prev_lsn=last)
+        wal.flush()
+        self._current_txn = None
+        return txn
+
+    def recover(self) -> dict:
+        """Drop cached pages and replay the WAL (analysis/redo/undo)."""
+        from repro.storage.recovery import RecoveryManager
+
+        wal = self._require_wal()
+        self.pool.drop_all(flush=False)
+        self._current_txn = None
+        return RecoveryManager(wal, self.files).recover()
+
+    def _require_open(self) -> int:
+        if self._current_txn is None:
+            raise WALError("no storage transaction open")
+        return self._current_txn
 
     def properties(self) -> dict:
         props = self.pool.properties()
@@ -125,6 +228,20 @@ STORAGE_INTERFACE = Interface("Storage", (
        semantics="functional properties: workload, buffer, fragmentation"),
 ))
 
+# The unified transaction contract is a *separate* interface on the same
+# service: legacy storage implementations can still be adapted to plain
+# ``Storage`` without having to provide transactional semantics.
+STORAGE_TXN_INTERFACE = Interface("StorageTransactions", (
+    op("begin", returns="int",
+       semantics="open a storage transaction; writes log physical images"),
+    op("commit", returns="int",
+       semantics="force the log and close the storage transaction"),
+    op("abort", returns="int",
+       semantics="physically undo the open transaction (CLR + END)"),
+    op("recover", returns="dict",
+       semantics="ARIES-lite analysis/redo/undo over the attached WAL"),
+))
+
 
 class StorageService(Service):
     """Coarse-grained storage: the whole stack behind one contract."""
@@ -138,7 +255,7 @@ class StorageService(Service):
                      * stack.device.block_size) / 1024.0
         contract = ServiceContract(
             service_name=name,
-            interfaces=(STORAGE_INTERFACE,),
+            interfaces=(STORAGE_INTERFACE, STORAGE_TXN_INTERFACE),
             description="byte-level storage over non-volatile devices",
             quality=_storage_quality(footprint_kb=96.0 + buffer_kb),
             tags=frozenset({"storage", "coarse"}))
@@ -162,6 +279,18 @@ class StorageService(Service):
 
     def op_monitor(self):
         return self.stack.properties()
+
+    def op_begin(self):
+        return self.stack.begin()
+
+    def op_commit(self):
+        return self.stack.commit()
+
+    def op_abort(self):
+        return self.stack.abort()
+
+    def op_recover(self):
+        return self.stack.recover()
 
     def properties(self) -> dict:
         merged = super().properties()

@@ -1,25 +1,60 @@
-"""Write-ahead log.
+"""Write-ahead log (ARIES-lite).
 
-A redo/undo log on its own block device (mirroring the classical practice of
-separating the log from data volumes).  Records carry physical before/after
-images, which makes both recovery phases idempotent:
+A redo/undo log on its own block device (mirroring the classical practice
+of separating the log from data volumes).  Records carry physical
+before/after images plus the per-transaction backward chain ARIES needs:
 
-- **redo**: re-apply every update's after-image in log order;
-- **undo**: apply before-images of losers (transactions with no COMMIT) in
-  reverse log order.
+- ``prev_lsn`` links each record to the transaction's previous record, so
+  rollback can walk a transaction's history without scanning the log;
+- ``CLR`` (compensation) records are written while undoing; they are
+  *redo-only* and carry ``undo_next_lsn`` so that a crash in the middle of
+  an abort or of recovery's own undo pass never undoes the same update
+  twice;
+- ``END`` marks a transaction fully finished (committed and released, or
+  aborted and fully compensated); analysis treats only transactions
+  without an END/COMMIT as losers.
+
+Record format (header little-endian, payload per kind)::
+
+    lsn u64 | txn_id u64 | prev_lsn u64 | undo_next_lsn u64 | kind u8 | len u32
+    UPDATE/CLR payload: op u8 | file u32 | page u32 | slot_or_offset u32
+                        | blen u32 | alen u32 | before image | after image
+    CHECKPOINT payload: JSON {"dirty": [[file, page, rec_lsn]...],
+                              "active": {txn_id: last_lsn}}
+
+UPDATE/CLR records come in two flavours, distinguished by ``op``:
+
+- ``op = 0`` (byte image): before/after are raw bytes at a page offset.
+  Used by the storage service's byte-level transactions.  Undo applies
+  the before image verbatim — sound only when writers to one page are
+  serialized.
+- ``op = HEAP_INSERT/HEAP_DELETE/HEAP_UPDATE`` (physiological): the
+  images are *record payloads* and the third integer is a slot number.
+  Redo re-applies the slotted-page operation; undo applies the logical
+  inverse on the slot.  This is what makes row-level concurrency safe:
+  undoing one transaction's slot never clobbers bytes (slot directory,
+  compacted payloads) that a committed neighbour on the same page wrote
+  later.
 
 The buffer pool enforces the write-ahead rule by calling
-:meth:`WriteAheadLog.flush` with each page's LSN before writing the page.
+:meth:`WriteAheadLog.flush` with each page's LSN before writing the page;
+:meth:`flush` honours that bound and only forces the needed log prefix.
+Appends and flushes are thread-safe: group commit relies on concurrent
+committers batching into a single device flush.
 """
 
 from __future__ import annotations
 
+import json
 import struct
+import threading
+from collections import deque
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, Optional
 
 from repro.errors import WALError
+from repro.faults.crashpoints import maybe_crash
 from repro.storage.disk import BlockDevice
 from repro.storage.page import PageId
 
@@ -30,15 +65,26 @@ class LogKind(IntEnum):
     ABORT = 3
     UPDATE = 4
     CHECKPOINT = 5
+    CLR = 6       # compensation log record (redo-only)
+    END = 7       # transaction fully finished (post-commit or post-undo)
 
 
-_REC_HEADER = struct.Struct("<QQBI")  # lsn, txn_id, kind, payload_len
-_UPDATE_HEADER = struct.Struct("<IIIII")  # file, page, offset, blen, alen
+_REC_HEADER = struct.Struct("<QQQQBI")  # lsn, txn, prev, undo_next, kind, len
+_UPDATE_HEADER = struct.Struct("<BIIIII")  # op, file, page, slot/off, blen, alen
+
+# Physiological heap operation codes carried in UPDATE/CLR records.
+OP_BYTES = 0
+OP_HEAP_INSERT = 1
+OP_HEAP_DELETE = 2
+OP_HEAP_UPDATE = 3
 
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One log entry.  ``page_id``/``offset``/images only for UPDATE."""
+    """One log entry.  ``page_id``/``offset``/images only for UPDATE/CLR
+    (``offset`` holds the slot number for physiological heap ops);
+    ``undo_next_lsn`` only for CLR; ``after`` doubles as the raw payload
+    for CHECKPOINT records."""
 
     lsn: int
     txn_id: int
@@ -47,55 +93,104 @@ class LogRecord:
     offset: int = 0
     before: bytes = b""
     after: bytes = b""
+    prev_lsn: int = 0
+    undo_next_lsn: int = 0
+    op: int = OP_BYTES
 
     def encode(self) -> bytes:
-        if self.kind is LogKind.UPDATE:
+        if self.kind in (LogKind.UPDATE, LogKind.CLR):
             assert self.page_id is not None
             payload = _UPDATE_HEADER.pack(
-                self.page_id.file_id, self.page_id.page_no, self.offset,
-                len(self.before), len(self.after)) + self.before + self.after
+                self.op, self.page_id.file_id, self.page_id.page_no,
+                self.offset, len(self.before),
+                len(self.after)) + self.before + self.after
+        elif self.kind is LogKind.CHECKPOINT:
+            payload = self.after
         else:
             payload = b""
-        return _REC_HEADER.pack(self.lsn, self.txn_id, int(self.kind),
+        return _REC_HEADER.pack(self.lsn, self.txn_id, self.prev_lsn,
+                                self.undo_next_lsn, int(self.kind),
                                 len(payload)) + payload
 
     @classmethod
     def decode(cls, buf: bytes, pos: int) -> tuple["LogRecord", int]:
-        lsn, txn_id, kind, plen = _REC_HEADER.unpack_from(buf, pos)
+        lsn, txn_id, prev_lsn, undo_next, kind, plen = \
+            _REC_HEADER.unpack_from(buf, pos)
         pos += _REC_HEADER.size
         payload = buf[pos:pos + plen]
         if len(payload) != plen:
             raise WALError("truncated log record payload")
         pos += plen
-        if LogKind(kind) is LogKind.UPDATE:
-            fid, pno, offset, blen, alen = _UPDATE_HEADER.unpack_from(payload, 0)
+        kind = LogKind(kind)
+        if kind in (LogKind.UPDATE, LogKind.CLR):
+            op, fid, pno, offset, blen, alen = \
+                _UPDATE_HEADER.unpack_from(payload, 0)
             body = payload[_UPDATE_HEADER.size:]
             if len(body) != blen + alen:
                 raise WALError("corrupt UPDATE record images")
-            rec = cls(lsn, txn_id, LogKind.UPDATE, PageId(fid, pno), offset,
-                      bytes(body[:blen]), bytes(body[blen:]))
+            rec = cls(lsn, txn_id, kind, PageId(fid, pno), offset,
+                      bytes(body[:blen]), bytes(body[blen:]),
+                      prev_lsn, undo_next, op)
+        elif kind is LogKind.CHECKPOINT:
+            rec = cls(lsn, txn_id, kind, after=bytes(payload),
+                      prev_lsn=prev_lsn)
         else:
-            rec = cls(lsn, txn_id, LogKind(kind))
+            rec = cls(lsn, txn_id, kind, prev_lsn=prev_lsn,
+                      undo_next_lsn=undo_next)
         return rec, pos
+
+    # -- checkpoint payload helpers ------------------------------------------
+
+    def checkpoint_tables(self) -> tuple[dict[PageId, int], dict[int, int]]:
+        """Decode a CHECKPOINT record into (dirty page table, active txn
+        table)."""
+        if self.kind is not LogKind.CHECKPOINT:
+            raise WALError("not a CHECKPOINT record")
+        state = json.loads(self.after.decode()) if self.after else \
+            {"dirty": [], "active": {}}
+        dirty = {PageId(fid, pno): rec_lsn
+                 for fid, pno, rec_lsn in state.get("dirty", [])}
+        active = {int(txn): lsn
+                  for txn, lsn in state.get("active", {}).items()}
+        return dirty, active
+
+    def checkpoint_redo_lsn(self) -> int:
+        """The safe redo lower bound recorded by this CHECKPOINT
+        (0 = none)."""
+        if self.kind is not LogKind.CHECKPOINT:
+            raise WALError("not a CHECKPOINT record")
+        if not self.after:
+            return 0
+        return int(json.loads(self.after.decode()).get("redo", 0))
 
 
 class WriteAheadLog:
     """Append-only log over a dedicated block device.
 
-    The on-disk layout is a plain byte stream chunked into blocks; the first
-    8 bytes of the device (block 0) store the durable end-of-log offset so a
-    reopened log knows where valid data stops.
+    The on-disk layout is a plain byte stream chunked into blocks; block 0
+    stores the durable end-of-log offset (so a reopened log knows where
+    valid data stops) and an LSN floor (so LSNs stay monotonic across
+    checkpoint truncation — page LSNs on data pages outlive the log
+    records that produced them, and conditional redo depends on new
+    records always carrying larger LSNs).  A flush that dies between
+    data-block writes and the block-0 header update leaves the header
+    pointing at the old tail, so a torn flush is simply invisible.
     """
 
-    _TAIL_HEADER = struct.Struct("<Q")
+    _TAIL_HEADER = struct.Struct("<QQ")  # durable bytes, next-LSN floor
 
     def __init__(self, device: BlockDevice) -> None:
         self.device = device
         self._buffer = bytearray()
+        # (lsn, encoded length) per buffered record, in append order —
+        # consumed from the front by partial flushes.
+        self._bounds: deque[tuple[int, int]] = deque()
         self._next_lsn = 1
         self._flushed_lsn = 0
         self._durable_bytes = 0  # bytes of log stream on disk
         self._stream_cache: Optional[bytes] = None
+        self._mutex = threading.Lock()       # buffer + counters
+        self._flush_lock = threading.Lock()  # one flusher at a time
         if device.num_blocks() > 0:
             self._recover_tail()
 
@@ -111,62 +206,141 @@ class WriteAheadLog:
 
     def append(self, txn_id: int, kind: LogKind,
                page_id: Optional[PageId] = None, offset: int = 0,
-               before: bytes = b"", after: bytes = b"") -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        record = LogRecord(lsn, txn_id, kind, page_id, offset, before, after)
-        self._buffer += record.encode()
-        self._pending_lsn = lsn
-        return lsn
+               before: bytes = b"", after: bytes = b"",
+               prev_lsn: int = 0, undo_next_lsn: int = 0,
+               op: int = OP_BYTES) -> int:
+        with self._mutex:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            record = LogRecord(lsn, txn_id, kind, page_id, offset,
+                               before, after, prev_lsn, undo_next_lsn, op)
+            encoded = record.encode()
+            self._buffer += encoded
+            self._bounds.append((lsn, len(encoded)))
+            return lsn
 
     def log_update(self, txn_id: int, page_id: PageId, offset: int,
-                   before: bytes, after: bytes) -> int:
+                   before: bytes, after: bytes, prev_lsn: int = 0) -> int:
+        """Byte-image update: raw before/after bytes at a page offset."""
         return self.append(txn_id, LogKind.UPDATE, page_id, offset,
-                           before, after)
+                           before, after, prev_lsn=prev_lsn)
+
+    def log_heap(self, txn_id: int, op: int, page_id: PageId, slot: int,
+                 before: bytes, after: bytes, prev_lsn: int = 0) -> int:
+        """Physiological heap update: record payload images at a slot."""
+        return self.append(txn_id, LogKind.UPDATE, page_id, slot,
+                           before, after, prev_lsn=prev_lsn, op=op)
+
+    def log_clr(self, txn_id: int, page_id: PageId, offset: int,
+                after: bytes, undo_next_lsn: int, prev_lsn: int = 0,
+                op: int = OP_BYTES) -> int:
+        """Compensation record: redo-only image written while undoing."""
+        return self.append(txn_id, LogKind.CLR, page_id, offset,
+                           b"", after, prev_lsn=prev_lsn,
+                           undo_next_lsn=undo_next_lsn, op=op)
+
+    def log_checkpoint(self, dirty_pages: dict[PageId, int],
+                       active_txns: dict[int, int],
+                       redo_lsn: int = 0) -> int:
+        """Fuzzy checkpoint: dirty page table + active transaction table,
+        taken without quiescing writers or flushing data pages.
+
+        ``redo_lsn`` is the caller-computed safe redo lower bound.  The
+        caller must capture it *before* snapshotting the dirty page
+        table (``min(next_lsn-at-capture, DPT rec_lsns)``): a page
+        dirtied between the DPT snapshot and this append is missing from
+        the DPT, but its records carry LSNs at or above the captured
+        bound, so they are never pruned from redo.  0 means "no bound"
+        (redo scans everything; conditional page-LSN gating still skips
+        the writes)."""
+        payload = json.dumps({
+            "dirty": [[pid.file_id, pid.page_no, rec_lsn]
+                      for pid, rec_lsn in sorted(dirty_pages.items())],
+            "active": {str(txn): lsn
+                       for txn, lsn in sorted(active_txns.items())},
+            "redo": redo_lsn,
+        }).encode()
+        return self.append(0, LogKind.CHECKPOINT, after=payload)
 
     # -- durability --------------------------------------------------------------
 
     def flush(self, upto_lsn: Optional[int] = None) -> None:
         """Make the log durable at least up to ``upto_lsn`` (all of it when
-        ``None``).  No-op when already durable."""
+        ``None``).  Partial bounds are honoured: the WAL-before-page rule
+        only forces the prefix the evicting page needs.  No-op when already
+        durable."""
         if upto_lsn is not None and upto_lsn <= self._flushed_lsn:
             return
-        if not self._buffer:
-            return
-        stream_offset = self._durable_bytes
-        data = bytes(self._buffer)
-        block_size = self.device.block_size
-        first_block = 1 + stream_offset // block_size
-        pad_before = stream_offset % block_size
-        if pad_before:
-            # Re-read the partially filled tail block and extend it.
-            tail = bytearray(self.device.read_block(first_block))
-            tail[pad_before:pad_before + len(data)] = \
-                data[:block_size - pad_before]
-            self.device.write_block(first_block, bytes(tail[:block_size]))
-            data = data[block_size - pad_before:]
-            first_block += 1
-        block_no = first_block
-        while data:
-            chunk = data[:block_size]
-            data = data[block_size:]
-            if len(chunk) < block_size:
-                chunk = chunk + bytes(block_size - len(chunk))
-            self.device.write_block(block_no, chunk)
-            block_no += 1
-        self._durable_bytes += len(self._buffer)
-        self._buffer.clear()
-        header = self._TAIL_HEADER.pack(self._durable_bytes)
-        self.device.write_block(0, header + bytes(block_size - len(header)))
-        self.device.flush()
-        self._flushed_lsn = self._next_lsn - 1
-        self._stream_cache = None
+        with self._flush_lock:
+            with self._mutex:
+                if upto_lsn is not None and upto_lsn <= self._flushed_lsn:
+                    return
+                if not self._buffer:
+                    return
+                if upto_lsn is None:
+                    cut = len(self._buffer)
+                    last_lsn = self._bounds[-1][0]
+                    self._bounds.clear()
+                else:
+                    cut = 0
+                    last_lsn = self._flushed_lsn
+                    while self._bounds and self._bounds[0][0] <= upto_lsn:
+                        lsn, nbytes = self._bounds.popleft()
+                        cut += nbytes
+                        last_lsn = lsn
+                    if cut == 0:
+                        return
+                data = bytes(self._buffer[:cut])
+                del self._buffer[:cut]
+                stream_offset = self._durable_bytes
+                self._durable_bytes += cut
+            # Device writes happen outside the buffer mutex so concurrent
+            # committers can keep appending (group commit batches them
+            # into the next flush); _flush_lock serialises flushers.
+            block_size = self.device.block_size
+            first_block = 1 + stream_offset // block_size
+            pad_before = stream_offset % block_size
+            if pad_before:
+                # Re-read the partially filled tail block and extend it.
+                tail = bytearray(self.device.read_block(first_block))
+                tail[pad_before:pad_before + len(data)] = \
+                    data[:block_size - pad_before]
+                self.device.write_block(first_block, bytes(tail[:block_size]))
+                data = data[block_size - pad_before:]
+                first_block += 1
+            block_no = first_block
+            while data:
+                chunk = data[:block_size]
+                data = data[block_size:]
+                if len(chunk) < block_size:
+                    chunk = chunk + bytes(block_size - len(chunk))
+                self.device.write_block(block_no, chunk)
+                block_no += 1
+            # A crash here tears the flush: data blocks written, tail
+            # header still pointing at the old end-of-log — the records
+            # are invisible on reopen, as if the flush never happened.
+            maybe_crash("wal.flush.mid")
+            header = self._TAIL_HEADER.pack(stream_offset + cut,
+                                            last_lsn + 1)
+            self.device.write_block(0, header + bytes(block_size - len(header)))
+            self.device.flush()
+            with self._mutex:
+                self._flushed_lsn = max(self._flushed_lsn, last_lsn)
+                self._stream_cache = None
 
     # -- reading ------------------------------------------------------------------
 
     def records(self) -> Iterator[LogRecord]:
-        """Iterate durable records followed by still-buffered ones."""
-        stream = self._durable_stream() + bytes(self._buffer)
+        """Iterate durable records followed by still-buffered ones.
+
+        The snapshot is taken under the flush lock: an in-flight flush
+        has already advanced ``_durable_bytes`` past blocks it has not
+        finished writing, so reading without the lock could decode
+        garbage (or silently misclassify transactions).  Both locks are
+        released before the first record is yielded.
+        """
+        with self._flush_lock, self._mutex:
+            stream = self._durable_stream() + bytes(self._buffer)
         pos = 0
         while pos < len(stream):
             record, pos = LogRecord.decode(stream, pos)
@@ -189,71 +363,65 @@ class WriteAheadLog:
 
     def _recover_tail(self) -> None:
         header = self.device.read_block(0)
-        (self._durable_bytes,) = self._TAIL_HEADER.unpack_from(header, 0)
+        self._durable_bytes, lsn_floor = \
+            self._TAIL_HEADER.unpack_from(header, 0)
         max_lsn = 0
         for record in self.records():
             max_lsn = max(max_lsn, record.lsn)
-        self._next_lsn = max_lsn + 1
-        self._flushed_lsn = max_lsn
+        self._next_lsn = max(max_lsn + 1, lsn_floor)
+        self._flushed_lsn = max(max_lsn, self._next_lsn - 1)
 
     # -- recovery --------------------------------------------------------------
 
     def analyze(self) -> tuple[set[int], set[int]]:
-        """Return (committed txn ids, loser txn ids)."""
-        seen: set[int] = set()
-        ended: set[int] = set()
-        for record in self.records():
-            if record.kind is LogKind.BEGIN:
-                seen.add(record.txn_id)
-            elif record.kind in (LogKind.COMMIT, LogKind.ABORT):
-                ended.add(record.txn_id)
-        return ended & seen | (ended - seen), seen - ended
+        """Return (committed txn ids, loser txn ids).
+
+        Losers are transactions that neither committed nor finished undoing
+        (no COMMIT and no END record) — an ABORT record alone marks a
+        rollback *in progress*, so aborted-but-unfinished transactions are
+        undone at recovery rather than miscounted as committed.  The
+        classification is the recovery manager's analysis phase — one
+        authoritative implementation.
+        """
+        from repro.storage.recovery import RecoveryManager
+
+        analysis = RecoveryManager(self, None).analyze(
+            collect_updates=False)
+        return analysis["committed"], analysis["losers"]
+
+    def has_losers(self) -> bool:
+        """True when the log still holds unfinished transactions — their
+        undo information must survive, so checkpoints must not truncate."""
+        return bool(self.analyze()[1])
 
     def recover_into(self, file_manager) -> dict:
-        """Run redo+undo against ``file_manager``'s pages.
+        """Run the full ARIES-lite analysis/redo/undo against
+        ``file_manager``'s pages.  The caller must start with an empty
+        buffer pool.  Returns a summary dict (counts)."""
+        from repro.storage.recovery import RecoveryManager
 
-        Returns a summary dict (counts) used by recovery tests.  Pages are
-        rewritten directly through the file manager; the caller must start
-        with an empty buffer pool.
-        """
-        from repro.storage.page import Page  # local import avoids cycle
-
-        committed, losers = self.analyze()
-        records = list(self.records())
-        redone = undone = 0
-
-        def apply(page_id: PageId, offset: int, image: bytes) -> None:
-            block = file_manager.read_page(page_id)
-            page = Page.from_block(page_id, block, verify=False)
-            page.write(offset, image)
-            file_manager.write_page(page_id, page.to_block())
-
-        for record in records:
-            if record.kind is LogKind.UPDATE:
-                apply(record.page_id, record.offset, record.after)
-                redone += 1
-        for record in reversed(records):
-            if record.kind is LogKind.UPDATE and record.txn_id in losers:
-                apply(record.page_id, record.offset, record.before)
-                undone += 1
-        file_manager.disk.flush()
-        return {"redone": redone, "undone": undone,
-                "committed": sorted(committed), "losers": sorted(losers)}
+        return RecoveryManager(self, file_manager).recover()
 
     # -- maintenance -----------------------------------------------------------
 
     def truncate(self) -> None:
-        """Discard the log after a checkpoint (all data pages are durable)."""
-        self._buffer.clear()
-        self._durable_bytes = 0
-        self._stream_cache = None
-        header = self._TAIL_HEADER.pack(0)
-        block_size = self.device.block_size
-        if self.device.num_blocks() > 0:
-            self.device.write_block(0, header + bytes(block_size - len(header)))
-        else:
-            self.device.append_block(header + bytes(block_size - len(header)))
-        self.device.flush()
+        """Discard the log after a clean checkpoint (no active transactions
+        and all data pages durable)."""
+        with self._flush_lock, self._mutex:
+            self._buffer.clear()
+            self._bounds.clear()
+            self._durable_bytes = 0
+            self._stream_cache = None
+            self._flushed_lsn = self._next_lsn - 1
+            header = self._TAIL_HEADER.pack(0, self._next_lsn)
+            block_size = self.device.block_size
+            if self.device.num_blocks() > 0:
+                self.device.write_block(
+                    0, header + bytes(block_size - len(header)))
+            else:
+                self.device.append_block(
+                    header + bytes(block_size - len(header)))
+            self.device.flush()
 
     def size_bytes(self) -> int:
         return self._durable_bytes + len(self._buffer)

@@ -78,6 +78,75 @@ class TestLockManager:
         thread.join()
 
 
+class TestHierarchicalLocks:
+    def test_intention_modes_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, "t", LockMode.INTENTION_EXCLUSIVE)
+        lm.acquire(2, "t", LockMode.INTENTION_EXCLUSIVE)
+        lm.acquire(3, "t", LockMode.INTENTION_SHARED)
+        assert lm.held(1)["t"] is LockMode.INTENTION_EXCLUSIVE
+
+    def test_shared_blocks_intention_exclusive(self):
+        lm = LockManager(timeout_s=0.05)
+        lm.acquire(1, "t", LockMode.SHARED)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "t", LockMode.INTENTION_EXCLUSIVE)
+
+    def test_s_plus_ix_upgrade_is_six(self):
+        lm = LockManager()
+        lm.acquire(1, "t", LockMode.SHARED)
+        lm.acquire(1, "t", LockMode.INTENTION_EXCLUSIVE)
+        assert lm.held(1)["t"] is LockMode.SHARED_INTENTION_EXCLUSIVE
+
+    def test_compatible_holders_are_not_waitfor_edges(self):
+        """An IS holder that happens to be waiting elsewhere must not
+        close a phantom deadlock cycle for an S requester it does not
+        even block."""
+        lm = LockManager(timeout_s=0.1)
+        lm.acquire(1, "t", LockMode.INTENTION_SHARED)
+        lm.acquire(3, "t", LockMode.INTENTION_EXCLUSIVE)
+        lm.acquire(2, "row", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+
+        def txn1_waits_for_row():
+            blocked.set()
+            try:
+                lm.acquire(1, "row", LockMode.EXCLUSIVE)
+            except DeadlockError:
+                pass
+
+        thread = threading.Thread(target=txn1_waits_for_row)
+        thread.start()
+        blocked.wait()
+        import time
+        time.sleep(0.02)  # let txn 1 enqueue as a waiter
+        # Txn 2 requests S on "t": genuinely blocked by txn 3's IX, but
+        # txn 1's compatible IS must not be treated as a blocker (the
+        # old all-holders graph found a false 2 -> 1 -> 2 cycle here).
+        with pytest.raises(DeadlockError):  # timeout, not a cycle
+            lm.acquire(2, "t", LockMode.SHARED)
+        assert lm.deadlocks_detected == 0
+        lm.release_all(2)
+        thread.join()
+
+    def test_release_all_only_touches_held_resources(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.release_all(1)
+        assert lm.held(1) == {}
+        assert lm.held(2) == {"b": LockMode.EXCLUSIVE}
+        assert lm.stats()["locks_held"] == 1
+
+    def test_stats_gauge(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.SHARED)
+        lm.acquire(2, "a", LockMode.SHARED)
+        stats = lm.stats()
+        assert stats["locks_held"] == 2
+        assert stats["resources"] == 1
+
+
 class TestTransactions:
     def test_commit_releases_locks(self):
         tm = TransactionManager()
@@ -114,6 +183,33 @@ class TestTransactions:
         committed, losers = wal.analyze()
         assert txn.txn_id in committed
         assert not losers
+
+    def test_failing_undo_does_not_wedge_the_transaction(self):
+        from repro.storage import LogKind
+
+        wal = WriteAheadLog(MemoryDevice())
+        tm = TransactionManager(wal)
+        txn = tm.begin()
+        txn.lock_exclusive("t")
+        ran = []
+        txn.on_abort(lambda: ran.append("second"))
+
+        def boom():
+            raise RuntimeError("undo failed")
+
+        txn.on_abort(boom)
+        with pytest.raises(TransactionError, match="undo action"):
+            txn.abort()
+        # All other undos still ran, locks are gone, state is terminal...
+        assert ran == ["second"]
+        assert tm.locks.held(txn.txn_id) == {}
+        assert txn.txn_id not in tm.active
+        # ...and no END was logged: the txn stays a recovery loser so
+        # physical undo repairs it at the next reopen.
+        kinds = [r.kind for r in wal.records() if r.txn_id == txn.txn_id]
+        assert LogKind.ABORT in kinds and LogKind.END not in kinds
+        _, losers = wal.analyze()
+        assert txn.txn_id in losers
 
 
 class TestSQLTransactions:

@@ -20,9 +20,18 @@ class TestPage:
         assert page.read(10, 5) == b"hello"
         assert page.dirty
 
-    def test_usable_size_excludes_checksum(self):
+    def test_usable_size_excludes_trailer(self):
+        from repro.storage import PAGE_TRAILER_SIZE
         page = Page(PageId(1, 0), 4096)
-        assert page.usable_size == 4092
+        assert page.usable_size == 4096 - PAGE_TRAILER_SIZE == 4084
+
+    def test_page_lsn_survives_block_round_trip(self):
+        page = Page(PageId(1, 0), 4096)
+        page.write(0, b"payload")
+        page.lsn = 41
+        back = Page.from_block(PageId(1, 0), page.to_block())
+        assert back.lsn == 41
+        assert back.read(0, 7) == b"payload"
 
     def test_write_out_of_bounds_rejected(self):
         page = Page(PageId(1, 0), 4096)

@@ -41,6 +41,8 @@ class TestWALCodecProperties:
         for i, kind in enumerate(kinds):
             if kind is LogKind.UPDATE:
                 wal.log_update(i, PageId(1, 0), 0, b"a", b"b")
+            elif kind is LogKind.CLR:
+                wal.log_clr(i, PageId(1, 0), 0, b"a", undo_next_lsn=0)
             else:
                 wal.append(i, kind)
         wal.flush()
