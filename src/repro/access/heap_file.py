@@ -22,7 +22,7 @@ a committed neighbour on the same page wrote afterwards.  Without a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import PageLayoutError
 from repro.faults.crashpoints import maybe_crash
@@ -180,6 +180,53 @@ class HeapFile:
                 self.pages.unpin(page_id)
             for slot, payload in records:
                 yield RID(page_no, slot), payload
+
+    def scan_payload_batches(self, target_rows: int = 1024
+                             ) -> Iterator[list[bytes]]:
+        """Yield runs of live payloads, at least ``target_rows`` per run
+        (except the last).
+
+        Each page is fetched/pinned exactly once and its whole slot
+        directory is swept in one bulk copy under the latch — the batch
+        engine's page-at-a-time counterpart to :meth:`scan`.
+        """
+        buffered: list[bytes] = []
+        num_pages = self.pages.pool.files.file_size_pages(self.file_id)
+        for page_no in range(num_pages):
+            page_id = self._page_id(page_no)
+            page = self.pages.fetch(page_id)
+            try:
+                with page.latch:
+                    buffered.extend(SlottedPage(page).payloads())
+            finally:
+                self.pages.unpin(page_id)
+            if len(buffered) >= target_rows:
+                yield buffered
+                buffered = []
+        if buffered:
+            yield buffered
+
+    def read_many(self, rids: Iterable[RID]) -> Iterator[bytes]:
+        """Read several records in the given order, holding one pin per
+        *run* of same-page RIDs instead of pinning per record (index
+        scans feed RIDs clustered by page, so the common case is one
+        fetch per page)."""
+        pinned_no: Optional[int] = None
+        pinned_page = None
+        try:
+            for rid in rids:
+                if pinned_no != rid.page_no or pinned_page is None:
+                    if pinned_page is not None:
+                        self.pages.unpin(self._page_id(pinned_no))
+                        pinned_page = None
+                    pinned_page = self.pages.fetch(self._page_id(rid.page_no))
+                    pinned_no = rid.page_no
+                with pinned_page.latch:
+                    payload = SlottedPage(pinned_page).read(rid.slot)
+                yield payload
+        finally:
+            if pinned_page is not None:
+                self.pages.unpin(self._page_id(pinned_no))
 
     def count(self) -> int:
         return sum(1 for _ in self.scan())

@@ -1,4 +1,4 @@
-"""Iterator-model (Volcano-style) relational operators.
+"""Relational operators: Volcano-style row iterators + a batch engine.
 
 The paper's Access Services layer is "responsible for higher level
 operations, such as joins, selections, and sorting of record sets"; these
@@ -7,14 +7,27 @@ compose freely.  Each operator is a restartable iterable: calling
 :meth:`Operator.__iter__` re-executes it, which blocking operators (sort,
 hash build) exploit for rescans in nested loops.
 
+Every operator additionally exposes :meth:`Operator.batches`, the
+**vectorized** execution surface: operators exchange
+:class:`~repro.access.batch.RowBatch` objects (~1024 rows in columnar
+form) so per-row interpreter dispatch is amortised across a whole batch.
+Batch-native operators (select/project/join/aggregate/sort/limit/
+distinct) override ``batches()``; everything else inherits the row→batch
+adapter, so the two engines compose freely in one tree and DML/legacy
+callers keep the one-row API.
+
 Operators work on tuples and carry a ``columns`` list so downstream
 operators and the SQL executor can resolve names positionally.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.access.batch import BATCH_SIZE, RowBatch, batches_from_rows
 from repro.errors import AccessError
 
 
@@ -26,8 +39,23 @@ class Operator:
     def __iter__(self) -> Iterator[tuple]:
         raise NotImplementedError
 
+    def batches(self) -> Iterator[RowBatch]:
+        """Batch adapter: chunk the row iterator.
+
+        Batch-native operators override this; the default keeps any
+        row-only operator usable inside a vectorized plan.
+        """
+        return batches_from_rows(iter(self), len(self.columns))
+
     def to_list(self) -> list[tuple]:
         return list(self)
+
+    def to_list_batched(self) -> list[tuple]:
+        """Materialise through the batch engine (vectorized execution)."""
+        out: list[tuple] = []
+        for batch in self.batches():
+            out.extend(batch.iter_rows())
+        return out
 
 
 class Source(Operator):
@@ -38,9 +66,12 @@ class Source(Operator):
     """
 
     def __init__(self, columns: Sequence[str],
-                 factory: Callable[[], Iterable[tuple]]) -> None:
+                 factory: Callable[[], Iterable[tuple]],
+                 batch_factory: Optional[
+                     Callable[[], Iterable[RowBatch]]] = None) -> None:
         self.columns = list(columns)
         self._factory = factory
+        self._batch_factory = batch_factory
 
     @classmethod
     def from_rows(cls, columns: Sequence[str],
@@ -51,18 +82,57 @@ class Source(Operator):
     def __iter__(self) -> Iterator[tuple]:
         return iter(self._factory())
 
+    def batches(self) -> Iterator[RowBatch]:
+        """Native batches when the leaf can produce them (heap/index
+        scans decode page-at-a-time); chunked rows otherwise."""
+        if self._batch_factory is not None:
+            return iter(self._batch_factory())
+        return batches_from_rows(iter(self._factory()), len(self.columns))
+
 
 class Select(Operator):
-    """Filter rows by a predicate over the tuple."""
+    """Filter rows by a predicate over the tuple.
+
+    ``batch_predicate``/``rows_predicate`` — when the expression
+    compiler could lower the predicate — map a whole batch (columnar /
+    row-backed form respectively) to the list of surviving row
+    positions in one compiled loop.
+    """
 
     def __init__(self, child: Operator,
-                 predicate: Callable[[tuple], bool]) -> None:
+                 predicate: Callable[[tuple], bool],
+                 batch_predicate: Optional[
+                     Callable[[Sequence[list], int], list[int]]] = None,
+                 rows_predicate: Optional[
+                     Callable[[Sequence[tuple]], list[int]]] = None
+                 ) -> None:
         self.child = child
         self.predicate = predicate
+        self.batch_predicate = batch_predicate
+        self.rows_predicate = rows_predicate
         self.columns = list(child.columns)
 
     def __iter__(self) -> Iterator[tuple]:
         return (row for row in self.child if self.predicate(row))
+
+    def _keep(self, batch: RowBatch) -> list[int]:
+        if self.rows_predicate is not None and batch.rows is not None:
+            return self.rows_predicate(batch.rows)
+        if self.batch_predicate is not None:
+            return self.batch_predicate(batch.columns, batch.num_rows)
+        predicate = self.predicate
+        return [i for i, row in enumerate(batch.iter_rows())
+                if predicate(row)]
+
+    def batches(self) -> Iterator[RowBatch]:
+        for batch in self.child.batches():
+            num_rows = batch.num_rows
+            if not num_rows:
+                continue
+            keep = self._keep(batch)
+            if not keep:
+                continue
+            yield batch if len(keep) == num_rows else batch.take(keep)
 
 
 class Project(Operator):
@@ -72,23 +142,145 @@ class Project(Operator):
     """
 
     def __init__(self, child: Operator, columns: Sequence[str],
-                 exprs: Sequence[Callable[[tuple], Any]]) -> None:
+                 exprs: Sequence[Callable[[tuple], Any]],
+                 positions: Optional[Sequence[int]] = None,
+                 batch_fn: Optional[
+                     Callable[[Sequence[list], int],
+                              tuple[list, ...]]] = None,
+                 rows_fn: Optional[
+                     Callable[[Sequence[tuple]],
+                              tuple[list, ...]]] = None) -> None:
         if len(columns) != len(exprs):
             raise AccessError("Project: columns/exprs arity mismatch")
         self.child = child
         self.columns = list(columns)
         self.exprs = list(exprs)
+        # ``positions`` marks a pure column selection/permutation: the
+        # batch path re-references the input column lists (zero copy).
+        # ``batch_fn``/``rows_fn`` compute all output columns in one
+        # compiled loop over a columnar / row-backed batch.
+        self.positions = list(positions) if positions is not None else None
+        self.batch_fn = batch_fn
+        self.rows_fn = rows_fn
 
     @classmethod
     def by_indexes(cls, child: Operator,
                    indexes: Sequence[int]) -> "Project":
         cols = [child.columns[i] for i in indexes]
         exprs = [(lambda row, i=i: row[i]) for i in indexes]
-        return cls(child, cols, exprs)
+        return cls(child, cols, exprs, positions=indexes)
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self.child:
             yield tuple(expr(row) for expr in self.exprs)
+
+    def batches(self) -> Iterator[RowBatch]:
+        if self.positions is not None:
+            for batch in self.child.batches():
+                yield batch.project(self.positions)
+            return
+        batch_fn = self.batch_fn
+        rows_fn = self.rows_fn
+        exprs = self.exprs
+        arity = len(self.columns)
+        for batch in self.child.batches():
+            num_rows = batch.num_rows
+            if not num_rows:
+                continue
+            if rows_fn is not None and batch.rows is not None:
+                yield RowBatch(rows_fn(batch.rows), num_rows)
+            elif batch_fn is not None:
+                yield RowBatch(batch_fn(batch.columns, num_rows), num_rows)
+            else:
+                rows = [tuple(expr(row) for expr in exprs)
+                        for row in batch.iter_rows()]
+                yield RowBatch.from_rows(rows, arity)
+
+
+class FusedSelectProject(Operator):
+    """Fused scan→filter→project: one pass per batch, no intermediate.
+
+    The planner emits this when a projection sits directly on a filter
+    (both stateless, so fusion is always semantics-preserving).  The
+    payoff over ``Project(Select(...))`` is that rejected rows are never
+    materialised and — for positional projections — only the *projected*
+    columns are gathered for the surviving row positions.
+    """
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[tuple], bool],
+                 columns: Sequence[str],
+                 exprs: Sequence[Callable[[tuple], Any]],
+                 batch_predicate: Optional[Callable] = None,
+                 rows_predicate: Optional[Callable] = None,
+                 positions: Optional[Sequence[int]] = None,
+                 batch_fn: Optional[Callable] = None,
+                 rows_fn: Optional[Callable] = None) -> None:
+        if len(columns) != len(exprs):
+            raise AccessError("FusedSelectProject: arity mismatch")
+        self.child = child
+        self.predicate = predicate
+        self.batch_predicate = batch_predicate
+        self.rows_predicate = rows_predicate
+        self.columns = list(columns)
+        self.exprs = list(exprs)
+        self.positions = list(positions) if positions is not None else None
+        self.batch_fn = batch_fn
+        self.rows_fn = rows_fn
+
+    def __iter__(self) -> Iterator[tuple]:
+        exprs = self.exprs
+        predicate = self.predicate
+        for row in self.child:
+            if predicate(row):
+                yield tuple(expr(row) for expr in exprs)
+
+    def batches(self) -> Iterator[RowBatch]:
+        rows_predicate = self.rows_predicate
+        batch_predicate = self.batch_predicate
+        predicate = self.predicate
+        positions = self.positions
+        batch_fn = self.batch_fn
+        rows_fn = self.rows_fn
+        exprs = self.exprs
+        arity = len(self.columns)
+        for batch in self.child.batches():
+            num_rows = batch.num_rows
+            if not num_rows:
+                continue
+            if rows_predicate is not None and batch.rows is not None:
+                keep = rows_predicate(batch.rows)
+            elif batch_predicate is not None:
+                keep = batch_predicate(batch.columns, num_rows)
+            else:
+                keep = [i for i, row in enumerate(batch.iter_rows())
+                        if predicate(row)]
+            if not keep:
+                continue
+            if positions is not None:
+                if len(keep) == num_rows:
+                    yield batch.project(positions)
+                elif batch.rows is not None:
+                    # Row-backed input: gather the surviving rows first
+                    # (k ops) and transpose only the projected columns.
+                    yield batch.take(keep).project(positions)
+                else:
+                    columns = batch.columns
+                    yield RowBatch(
+                        tuple([columns[p][i] for i in keep]
+                              for p in positions), len(keep))
+                continue
+            filtered = batch if len(keep) == num_rows else batch.take(keep)
+            if rows_fn is not None and filtered.rows is not None:
+                yield RowBatch(rows_fn(filtered.rows), filtered.num_rows)
+            elif batch_fn is not None:
+                yield RowBatch(batch_fn(filtered.columns,
+                                        filtered.num_rows),
+                               filtered.num_rows)
+            else:
+                rows = [tuple(expr(row) for expr in exprs)
+                        for row in filtered.iter_rows()]
+                yield RowBatch.from_rows(rows, arity)
 
 
 def _sort_key(keys: Sequence[tuple[int, bool]]):
@@ -161,6 +353,40 @@ class Sort(Operator):
     def __iter__(self) -> Iterator[tuple]:
         return iter(sorted(self.child, key=_sort_key(self.keys)))
 
+    def batches(self) -> Iterator[RowBatch]:
+        rows = [row for batch in self.child.batches()
+                for row in batch.iter_rows()]
+        rows.sort(key=_sort_key(self.keys))
+        return batches_from_rows(iter(rows), len(self.columns))
+
+
+class TopK(Operator):
+    """Bounded top-k: ``ORDER BY ... LIMIT k`` without a full sort.
+
+    Stable and order-equivalent to ``Sort`` followed by ``Limit`` —
+    ``heapq.nsmallest`` is documented equivalent to
+    ``sorted(rows, key=key)[:k]`` — but holds only ``k`` rows.
+    """
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[int, bool]],
+                 k: int) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.k = k
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(heapq.nsmallest(self.k, self.child,
+                                    key=_sort_key(self.keys)))
+
+    def batches(self) -> Iterator[RowBatch]:
+        rows = heapq.nsmallest(
+            self.k,
+            (row for batch in self.child.batches()
+             for row in batch.iter_rows()),
+            key=_sort_key(self.keys))
+        return batches_from_rows(iter(rows), len(self.columns))
+
 
 class Limit(Operator):
     """Emit at most ``limit`` rows after skipping ``offset`` (a ``None``
@@ -186,6 +412,36 @@ class Limit(Operator):
                 return
             yield row
 
+    def batches(self) -> Iterator[RowBatch]:
+        # Mirror __iter__'s tolerance of odd bounds: a negative offset
+        # skips nothing (range() semantics), and a fractional limit
+        # yields rows while the count is still below it — i.e. its
+        # ceiling.
+        to_skip = max(self.offset, 0)
+        remaining = self.limit
+        if remaining is not None and not isinstance(remaining, int):
+            remaining = math.ceil(remaining)
+        if remaining is not None and remaining <= 0:
+            return
+        for batch in self.child.batches():
+            num_rows = batch.num_rows
+            if to_skip:
+                if num_rows <= to_skip:
+                    to_skip -= num_rows
+                    continue
+                batch = batch.take(range(to_skip, num_rows))
+                num_rows = batch.num_rows
+                to_skip = 0
+            if remaining is None:
+                yield batch
+                continue
+            if num_rows >= remaining:
+                yield (batch if num_rows == remaining
+                       else batch.take(range(remaining)))
+                return
+            remaining -= num_rows
+            yield batch
+
 
 _SENTINEL = object()
 
@@ -203,6 +459,24 @@ class Distinct(Operator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def batches(self) -> Iterator[RowBatch]:
+        seen: set = set()
+        arity = len(self.columns)
+        for batch in self.child.batches():
+            fresh = []
+            append = fresh.append
+            add = seen.add
+            for row in batch.iter_rows():
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if not fresh:
+                continue
+            if len(fresh) == batch.num_rows:
+                yield batch
+            else:
+                yield RowBatch.from_rows(fresh, arity)
 
 
 class NestedLoopJoin(Operator):
@@ -239,6 +513,20 @@ class HashJoin(Operator):
         self.left_outer = left_outer
         self.columns = list(outer.columns) + list(inner.columns)
 
+    def _build(self) -> dict[tuple, list[tuple]]:
+        """Hash the inner child's rows on its key columns (batched pull;
+        the build side is identical for both engines)."""
+        table: dict[tuple, list[tuple]] = {}
+        setdefault = table.setdefault
+        inner_keys = self.inner_keys
+        for batch in self.inner.batches():
+            for row in batch.iter_rows():
+                key = tuple(row[i] for i in inner_keys)
+                if any(part is None for part in key):
+                    continue  # SQL semantics: NULL never matches
+                setdefault(key, []).append(row)
+        return table
+
     def __iter__(self) -> Iterator[tuple]:
         table: dict[tuple, list[tuple]] = {}
         inner_arity = len(self.inner.columns)
@@ -257,6 +545,53 @@ class HashJoin(Operator):
                     yield row + inner_row
             elif self.left_outer:
                 yield row + null_row
+
+    def batches(self) -> Iterator[RowBatch]:
+        table = self._build()
+        get = table.get
+        outer_keys = self.outer_keys
+        left_outer = self.left_outer
+        null_row = (None,) * len(self.inner.columns)
+        arity = len(self.columns)
+        empty: list[tuple] = []
+        flush_rows = 4 * BATCH_SIZE
+        for batch in self.outer.batches():
+            out_rows: list[tuple] = []
+            extend = out_rows.extend
+            append = out_rows.append
+            if len(outer_keys) == 1:
+                # Single-key probe: skip per-row key-tuple construction;
+                # map() concatenates match runs at C speed.
+                key_column = batch.columns[outer_keys[0]] if batch.columns \
+                    else []
+                for row, part in zip(batch.iter_rows(), key_column):
+                    matches = empty if part is None \
+                        else get((part,), empty)
+                    if matches:
+                        extend(map(row.__add__, matches))
+                        if len(out_rows) >= flush_rows:
+                            yield RowBatch.from_rows(out_rows, arity)
+                            out_rows = []
+                            extend = out_rows.extend
+                            append = out_rows.append
+                    elif left_outer:
+                        append(row + null_row)
+            else:
+                for row in batch.iter_rows():
+                    key = tuple(row[i] for i in outer_keys)
+                    matches = empty if any(p is None for p in key) \
+                        else get(key, empty)
+                    if matches:
+                        extend(map(row.__add__, matches))
+                        if len(out_rows) >= flush_rows:
+                            yield RowBatch.from_rows(out_rows, arity)
+                            out_rows = []
+                            extend = out_rows.extend
+                            append = out_rows.append
+                    elif left_outer:
+                        append(row + null_row)
+            if out_rows:
+                yield RowBatch.from_rows(out_rows, arity)
 
 
 class MergeJoin(Operator):
@@ -351,6 +686,51 @@ class Aggregate(Operator):
         for key, states in groups.items():
             yield key + tuple(state.result() for state in states)
 
+    def batches(self) -> Iterator[RowBatch]:
+        if not self.group_by:
+            # Global aggregates collapse each batch column with one
+            # bulk feed (C-speed sum/min/max/count under the hood).
+            states = [_AggState(fn, distinct)
+                      for _, fn, _, distinct in self.aggregates]
+            for batch in self.child.batches():
+                num_rows = batch.num_rows
+                if not num_rows:
+                    continue
+                columns = batch.columns
+                for state, (_, _, idx, _) in zip(states, self.aggregates):
+                    if idx is None:
+                        state.feed_count(num_rows)
+                    else:
+                        state.feed_many(columns[idx])
+            row = tuple(state.result() for state in states)
+            yield RowBatch.from_rows([row], len(self.columns))
+            return
+        groups: dict[tuple, list[_AggState]] = {}
+        get = groups.get
+        group_by = self.group_by
+        specs = self.aggregates
+        single_group = group_by[0] if len(group_by) == 1 else None
+        for batch in self.child.batches():
+            rows = batch.iter_rows()
+            if single_group is not None and batch.columns:
+                keyed = zip(batch.columns[single_group], rows)
+            else:
+                keyed = ((tuple(row[i] for i in group_by), row)
+                         for row in rows)
+            for key, row in keyed:
+                if single_group is not None:
+                    key = (key,)
+                states = get(key)
+                if states is None:
+                    states = [_AggState(fn, distinct)
+                              for _, fn, _, distinct in specs]
+                    groups[key] = states
+                for state, (_, _, idx, _) in zip(states, specs):
+                    state.feed(row[idx] if idx is not None else _COUNT_STAR)
+        out_rows = [key + tuple(state.result() for state in states)
+                    for key, states in groups.items()]
+        yield from batches_from_rows(iter(out_rows), len(self.columns))
+
 
 _COUNT_STAR = object()
 
@@ -368,6 +748,57 @@ class _AggState:
         self.seen = False
         self.distinct = distinct
         self._values: set = set() if distinct else None
+
+    def feed_count(self, n: int) -> None:
+        """Bulk COUNT(*): ``n`` rows at once (batch engine)."""
+        self.count += n
+
+    def feed_many(self, values: list) -> None:
+        """Bulk feed of one batch column; result-equivalent to calling
+        :meth:`feed` per value, but using C-speed builtins."""
+        if self.distinct:
+            # Preserve encounter order: float SUM/AVG are not
+            # associative, so summing in set order would diverge from
+            # the row engine's feed() order.
+            seen = self._values
+            fresh: list = []
+            append = fresh.append
+            add = seen.add
+            for value in values:
+                if value is None or value in seen:
+                    continue
+                add(value)
+                append(value)
+            if not fresh:
+                return
+            live: Any = fresh
+            count = len(fresh)
+        else:
+            nulls = values.count(None)
+            count = len(values) - nulls
+            if not count:
+                return
+            live = values if not nulls \
+                else [v for v in values if v is not None]
+        self.count += count
+        self.seen = True
+        if self.fn in ("sum", "avg"):
+            # Accumulate sequentially from the running total: float
+            # addition is not associative, and `total += sum(batch)`
+            # would round differently than the row engine's per-value
+            # feeds.
+            total = self.total
+            for value in live:
+                total += value
+            self.total = total
+        elif self.fn == "min":
+            low = min(live)
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif self.fn == "max":
+            high = max(live)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
 
     def feed(self, value: Any) -> None:
         if value is _COUNT_STAR:

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import struct
 from enum import Enum
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
+from repro.access.batch import RowBatch
 from repro.errors import RecordCodecError
 
 
@@ -62,6 +63,12 @@ _INT = struct.Struct("<q")
 _FLOAT = struct.Struct("<d")
 _LEN = struct.Struct("<I")
 
+_STRUCT_CODES = {
+    ColumnType.INT: "q",
+    ColumnType.FLOAT: "d",
+    ColumnType.BOOL: "?",
+}
+
 _PYTHON_TYPES = {
     ColumnType.INT: int,
     ColumnType.FLOAT: (int, float),
@@ -71,12 +78,118 @@ _PYTHON_TYPES = {
 }
 
 
+def _build_decoder(types: Sequence[ColumnType], bitmap: bytes,
+                   bitmap_bytes: int):
+    """Generate decoders for one null-bitmap pattern.
+
+    NULL columns occupy no bytes, so for a given bitmap the layout is
+    static between varlen fields: every run of non-null fixed-width
+    columns compiles into one precompiled :class:`struct.Struct`, and
+    varlen fields advance the offset inline — no per-column dispatch.
+
+    Returns ``(decode, decode_run)``: ``decode(payload) -> tuple`` for
+    single records, and ``decode_run(payloads, i, append) -> i'`` which
+    decodes consecutive payloads sharing this bitmap in one Python frame
+    (the batch-scan hot loop), stopping at the first payload with a
+    different bitmap.
+    """
+    arity = len(types)
+    present = [i for i in range(arity)
+               if not bitmap[i // 8] & (1 << (i % 8))]
+    namespace: dict = {"_E": RecordCodecError, "_LEN": _LEN,
+                       "_SE": struct.error, "_KEY": bitmap}
+    body: list[str] = [f"pos = {bitmap_bytes}"]
+    run: list[int] = []
+    n_structs = 0
+
+    def flush_run() -> None:
+        nonlocal n_structs
+        if not run:
+            return
+        fmt = "<" + "".join(_STRUCT_CODES[types[i]] for i in run)
+        packer = struct.Struct(fmt)
+        name = f"_S{n_structs}"
+        n_structs += 1
+        namespace[name] = packer
+        targets = ", ".join(f"v{i}" for i in run)
+        comma = "," if len(run) == 1 else ""
+        body.append(f"{targets}{comma} = {name}.unpack_from(data, pos)")
+        body.append(f"pos += {packer.size}")
+        run.clear()
+
+    for idx in present:
+        if types[idx] in _STRUCT_CODES:
+            run.append(idx)
+            continue
+        flush_run()
+        body.append("n, = _LEN.unpack_from(data, pos)")
+        body.append("pos += 4")
+        body.append("raw = data[pos:pos + n]")
+        body.append("if len(raw) != n:")
+        body.append("    raise _E('truncated varlen field')")
+        if types[idx] is ColumnType.TEXT:
+            body.append(f"v{idx} = raw.decode('utf-8')")
+        else:
+            body.append(f"v{idx} = bytes(raw)")
+        body.append("pos += n")
+    flush_run()
+    present_set = set(present)
+    values = ", ".join(
+        f"v{i}" if i in present_set else "None" for i in range(arity))
+    comma = "," if arity == 1 else ""
+    tail = [
+        "except (_SE, IndexError):",
+        "    raise _E('truncated record') from None",
+        "if pos != len(data):",
+        "    raise _E(f'{len(data) - pos} trailing bytes after record')",
+    ]
+
+    def indented(lines: Sequence[str], levels: int) -> str:
+        pad = "    " * levels
+        return "\n".join(pad + line for line in lines)
+
+    if bitmap_bytes == 1:
+        mismatch = f"if not data or data[0] != {bitmap[0]}:"
+    else:
+        mismatch = f"if data[:{bitmap_bytes}] != _KEY:"
+    source = (
+        "def _decode(data):\n"
+        "    try:\n"
+        + indented(body, 2) + "\n"
+        + indented(tail[:2], 1) + "\n"
+        + indented(tail[2:], 1) + "\n"
+        + f"    return ({values}{comma})\n"
+        "\n"
+        "def _decode_run(payloads, i, append):\n"
+        "    n_payloads = len(payloads)\n"
+        "    while i < n_payloads:\n"
+        "        data = payloads[i]\n"
+        f"        {mismatch}\n"
+        "            return i\n"
+        "        try:\n"
+        + indented(body, 3) + "\n"
+        + indented(tail[:2], 2) + "\n"
+        + indented(tail[2:], 2) + "\n"
+        + f"        append(({values}{comma}))\n"
+        "        i += 1\n"
+        "    return i\n")
+    exec(compile(source, "<record-decoder>", "exec"), namespace)
+    return namespace["_decode"], namespace["_decode_run"]
+
+
 class RecordCodec:
-    """Encode/decode tuples against a fixed column-type list."""
+    """Encode/decode tuples against a fixed column-type list.
+
+    Decoding is plan-driven: the first record seen with a given null
+    bitmap compiles a specialised decoder (cached per codec), so the
+    hot path re-derives no format strings and — for fixed-width rows —
+    decodes the whole record with one ``Struct.unpack_from`` call.
+    """
 
     def __init__(self, types: Sequence[ColumnType]) -> None:
         self.types = tuple(types)
         self._bitmap_bytes = (len(self.types) + 7) // 8
+        self._plans: dict[bytes, Callable[[bytes], tuple]] = {}
 
     @classmethod
     def from_names(cls, names: Iterable[str]) -> "RecordCodec":
@@ -132,9 +245,23 @@ class RecordCodec:
 
     # -- decoding --------------------------------------------------------------
 
-    def decode(self, data: bytes) -> tuple:
-        if len(data) < self._bitmap_bytes:
-            raise RecordCodecError("record shorter than its null bitmap")
+    # Wide nullable schemas can show up to 2**columns distinct bitmaps;
+    # past this many cached decoders new patterns fall back to the
+    # interpreted loop instead of compiling (and caching) forever.
+    _PLAN_CACHE_LIMIT = 256
+
+    def _decoders_for(self, bitmap: bytes):
+        decoders = self._plans.get(bitmap)
+        if decoders is None:
+            if len(self._plans) >= self._PLAN_CACHE_LIMIT:
+                return None
+            decoders = _build_decoder(self.types, bitmap,
+                                      self._bitmap_bytes)
+            self._plans[bitmap] = decoders
+        return decoders
+
+    def _decode_interpreted(self, data: bytes) -> tuple:
+        """Per-column decode loop (cache-overflow fallback)."""
         bitmap = data[:self._bitmap_bytes]
         pos = self._bitmap_bytes
         values: list[Any] = []
@@ -148,6 +275,50 @@ class RecordCodec:
             raise RecordCodecError(
                 f"{len(data) - pos} trailing bytes after record")
         return tuple(values)
+
+    def decode(self, data: bytes) -> tuple:
+        bitmap_bytes = self._bitmap_bytes
+        if len(data) < bitmap_bytes:
+            raise RecordCodecError("record shorter than its null bitmap")
+        decoders = self._decoders_for(bytes(data[:bitmap_bytes]))
+        if decoders is None:
+            return self._decode_interpreted(data)
+        return decoders[0](data)
+
+    def decode_many(self, payloads: Sequence[bytes]) -> list[tuple]:
+        """Decode records in bulk (the batch scan path).
+
+        Consecutive records sharing a null bitmap — the overwhelmingly
+        common shape — are decoded by one generated loop in a single
+        Python frame; the per-record cost is an index, a one-byte bitmap
+        check, one ``unpack_from`` per fixed run, and an append.
+        """
+        bitmap_bytes = self._bitmap_bytes
+        out: list[tuple] = []
+        append = out.append
+        i = 0
+        total = len(payloads)
+        while i < total:
+            data = payloads[i]
+            if len(data) < bitmap_bytes:
+                raise RecordCodecError(
+                    "record shorter than its null bitmap")
+            decoders = self._decoders_for(bytes(data[:bitmap_bytes]))
+            if decoders is None:
+                append(self._decode_interpreted(data))
+                i += 1
+                continue
+            advanced = decoders[1](payloads, i, append)
+            if advanced == i:   # defensive: a run must consume its head
+                append(self.decode(data))
+                advanced = i + 1
+            i = advanced
+        return out
+
+    def decode_batch(self, payloads: Sequence[bytes]) -> RowBatch:
+        """Decode records straight into a columnar :class:`RowBatch`."""
+        return RowBatch.from_rows(self.decode_many(payloads),
+                                  len(self.types))
 
     def _decode_value(self, data: bytes, pos: int,
                       ctype: ColumnType) -> tuple[Any, int]:

@@ -199,6 +199,25 @@ class SlottedPage:
             if offset != _TOMBSTONE:
                 yield slot_no, self.page.read(offset, length)
 
+    def payloads(self) -> list[bytes]:
+        """All live payloads in slot order, copied out in one sweep.
+
+        The bulk-decode scan path calls this once per page under the
+        page latch; the copies let decoding happen after the pin is
+        released.
+        """
+        data = self.page.data
+        unpack = _SLOT.unpack_from
+        base = _HEADER.size
+        slot_size = _SLOT.size
+        out: list[bytes] = []
+        append = out.append
+        for slot_no in range(self.num_slots):
+            offset, length = unpack(data, base + slot_no * slot_size)
+            if offset != _TOMBSTONE:
+                append(bytes(data[offset:offset + length]))
+        return out
+
     @property
     def live_count(self) -> int:
         return sum(1 for _ in self.records())

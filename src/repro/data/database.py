@@ -17,7 +17,8 @@ from repro.data.catalog import Catalog
 from repro.data.schema import Column, Schema
 from repro.data.sql import ast
 from repro.data.sql.parser import parse
-from repro.data.sql.planner import Planner, Scope, compile_expression
+from repro.data.sql.compiler import compile_scalar
+from repro.data.sql.planner import Planner, Scope
 from repro.data.transactions import Transaction, TransactionManager
 from repro.access.record import ColumnType
 from repro.errors import (
@@ -80,11 +81,17 @@ class Database:
                  lock_timeout_s: float = 2.0,
                  lock_granularity: str = "row",
                  group_commit: bool = True,
-                 auto_recover: bool = True) -> None:
+                 auto_recover: bool = True,
+                 execution_engine: str = "vectorized") -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
                 f"lock_granularity must be 'row' or 'table', "
                 f"not {lock_granularity!r}")
+        if execution_engine not in ("vectorized", "row"):
+            raise SQLPlanError(
+                f"execution_engine must be 'vectorized' or 'row', "
+                f"not {execution_engine!r}")
+        self.execution_engine = execution_engine
         self.device = device or MemoryDevice()
         self.files = FileManager(DiskManager(self.device))
         self.wal = WriteAheadLog(wal_device) if wal_device is not None \
@@ -243,9 +250,13 @@ class Database:
         txn, autocommit = self._txn()
         try:
             planner = Planner(self.catalog,
-                              view_parser=self._parse_view, txn=txn)
+                              view_parser=self._parse_view, txn=txn,
+                              engine=self.execution_engine)
             plan, info = planner.plan(statement, params)
-            rows = list(plan)
+            # Vectorized execution streams RowBatches end-to-end; the
+            # row engine (config switch) walks the Volcano iterators.
+            rows = plan.to_list_batched() \
+                if self.execution_engine == "vectorized" else list(plan)
             if autocommit:
                 txn.commit()
             return ResultSet(list(plan.columns), rows,
@@ -301,9 +312,15 @@ class Database:
             rows = [("union", "set" if not query.all else "all")]
             return ResultSet(["kind", "detail"], rows,
                              plan={"union": True})
-        planner = Planner(self.catalog, view_parser=self._parse_view)
+        planner = Planner(self.catalog, view_parser=self._parse_view,
+                          engine=self.execution_engine)
         _, info = planner.plan(query, params)
-        rows: list[tuple] = [("access_path", p) for p in info.access_paths]
+        rows: list[tuple] = [("exec", info.exec_engine)]
+        if info.top_k:
+            rows.append(("top_k", "True"))
+        if info.fused:
+            rows.append(("fused", "True"))
+        rows.extend(("access_path", p) for p in info.access_paths)
         if info.cost_based:
             rows.extend(
                 ("estimate",
@@ -380,7 +397,7 @@ class Database:
                         f"for {len(columns)} columns")
                 full = [None] * len(schema)
                 for position, expr in zip(positions, value_row):
-                    full[position] = compile_expression(
+                    full[position] = compile_scalar(
                         expr, empty_scope, params)(())
                 lock_row = (
                     (lambda r: txn.lock_row_exclusive(
@@ -401,14 +418,15 @@ class Database:
         table = self.catalog.table(statement.table)
         schema = table.schema
         scope = Scope(list(schema.names))
-        resolver = Planner(self.catalog, view_parser=self._parse_view)
+        resolver = Planner(self.catalog, view_parser=self._parse_view,
+                           engine=self.execution_engine)
         assignments = [
             (schema.index_of(column),
-             compile_expression(
+             compile_scalar(
                  resolver.resolve_subqueries(expr, params), scope, params))
             for column, expr in statement.assignments]
         where = resolver.resolve_subqueries(statement.where, params)
-        predicate = (compile_expression(where, scope, params)
+        predicate = (compile_scalar(where, scope, params)
                      if where is not None else None)
         txn, autocommit = self._txn()
         try:
@@ -451,9 +469,10 @@ class Database:
     def _delete(self, statement: ast.Delete, params: tuple) -> ExecutionResult:
         table = self.catalog.table(statement.table)
         scope = Scope(list(table.schema.names))
-        where = Planner(self.catalog, view_parser=self._parse_view) \
+        where = Planner(self.catalog, view_parser=self._parse_view,
+                        engine=self.execution_engine) \
             .resolve_subqueries(statement.where, params)
-        predicate = (compile_expression(where, scope, params)
+        predicate = (compile_scalar(where, scope, params)
                      if where is not None else None)
         txn, autocommit = self._txn()
         try:

@@ -96,7 +96,8 @@ class QueryService(Service):
         if not isinstance(parsed, sql_ast.SelectStatement):
             return {"statement": type(parsed).__name__}
         planner = Planner(self.database.catalog,
-                          view_parser=self.database._parse_view)
+                          view_parser=self.database._parse_view,
+                          engine=self.database.execution_engine)
         _, info = planner.plan(parsed, tuple(params or ()))
         return info.as_dict()
 
@@ -145,7 +146,13 @@ class DataService(Service):
         return table_obj.read(rids[0]) if rids else None
 
     def op_scan(self, table: str) -> list:
-        return list(self.database.catalog.table(table).rows())
+        # Stream the heap in batches: one pin + bulk decode per page run
+        # instead of per-row iterator dispatch.
+        table_obj = self.database.catalog.table(table)
+        rows: list = []
+        for batch in table_obj.scan_batches():
+            rows.extend(batch.iter_rows())
+        return rows
 
     def op_tables(self) -> list:
         return sorted(self.database.catalog.tables)

@@ -29,13 +29,13 @@ whose predicate is exactly TRUE.
 from __future__ import annotations
 
 import operator
-import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.access.operators import (
     Aggregate,
     Distinct,
+    FusedSelectProject,
     HashJoin,
     Limit,
     NestedLoopJoin,
@@ -44,8 +44,15 @@ from repro.access.operators import (
     Select,
     Sort,
     Source,
+    TopK,
 )
 from repro.data.sql import ast
+from repro.data.sql.compiler import (
+    _like_to_regex,
+    compile_predicate,
+    compile_projection,
+    compile_scalar,
+)
 from repro.data.sql.optimizer import (
     CostModel,
     JoinEdge,
@@ -134,18 +141,6 @@ _ARITH = {
     "-": operator.sub,
     "*": operator.mul,
 }
-
-
-def _like_to_regex(pattern: str) -> re.Pattern:
-    out = []
-    for ch in pattern:
-        if ch == "%":
-            out.append(".*")
-        elif ch == "_":
-            out.append(".")
-        else:
-            out.append(re.escape(ch))
-    return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 
 def compile_expression(expr: ast.Expression, scope: Scope,
@@ -314,11 +309,16 @@ class PlanInfo:
     estimates: list[dict] = field(default_factory=list)
     estimated_rows: Optional[float] = None
     estimated_cost: Optional[float] = None
+    exec_engine: str = "row"
+    top_k: bool = False
+    fused: bool = False
 
     def as_dict(self) -> dict:
         summary = {"access_paths": self.access_paths, "joins": self.joins,
                    "aggregated": self.aggregated,
-                   "cost_based": self.cost_based}
+                   "cost_based": self.cost_based,
+                   "exec": self.exec_engine,
+                   "top_k": self.top_k, "fused": self.fused}
         if self.cost_based:
             summary.update({
                 "join_order": self.join_order,
@@ -337,10 +337,15 @@ class Planner:
     """
 
     def __init__(self, catalog, view_parser: Optional[Callable] = None,
-                 txn=None) -> None:
+                 txn=None, engine: str = "vectorized") -> None:
+        if engine not in ("vectorized", "row"):
+            raise SQLPlanError(
+                f"execution engine must be 'vectorized' or 'row', "
+                f"not {engine!r}")
         self.catalog = catalog
         self._view_parser = view_parser
         self.txn = txn
+        self.engine = engine
 
     # -- sources -----------------------------------------------------------------
 
@@ -360,7 +365,8 @@ class Planner:
             if source is not None:
                 return source
             info.access_paths.append(f"seq_scan({name})")
-            return Source(columns, lambda: table.rows())
+            return Source(columns, lambda: table.rows(),
+                          batch_factory=lambda: table.scan_batches())
         if name in getattr(self.catalog, "views", {}):
             if self._view_parser is None:
                 raise SQLPlanError(f"cannot expand view {name!r}")
@@ -370,7 +376,8 @@ class Planner:
                 f"view({name}):{p}" for p in inner_info.access_paths)
             rows_factory = inner  # operators are re-iterable
             columns = [f"{binding}.{c}" for c in inner.columns]
-            return Source(columns, lambda: iter(rows_factory))
+            return Source(columns, lambda: iter(rows_factory),
+                          batch_factory=lambda: rows_factory.batches())
         raise SQLPlanError(f"no table or view named {name!r}")
 
     def _indexed_source(self, table, binding: str, columns: list[str],
@@ -421,8 +428,12 @@ class Planner:
         else:
             rids = (lambda: index.range_scan(lo, hi, lo_inclusive,
                                              hi_inclusive))
+        # read_many holds one pin per same-page RID run (instead of a
+        # pin/unpin per record) and preserves index order; the batch
+        # factory additionally decodes each run in bulk.
         return Source(columns,
-                      lambda: (table.read(rid) for rid in rids()))
+                      lambda: table.read_many(rids()),
+                      batch_factory=lambda: table.read_batches(rids()))
 
     # -- subqueries (uncorrelated) ---------------------------------------------------
 
@@ -479,8 +490,11 @@ class Planner:
 
     def _run_subquery(self, query: ast.SelectStatement,
                       params: Sequence[Any]) -> list[tuple]:
-        nested = Planner(self.catalog, self._view_parser, self.txn)
+        nested = Planner(self.catalog, self._view_parser, self.txn,
+                         engine=self.engine)
         plan, _ = nested.plan(query, params)
+        if self.engine == "vectorized":
+            return plan.to_list_batched()
         return list(plan)
 
     # -- SELECT planning -----------------------------------------------------------
@@ -496,6 +510,7 @@ class Planner:
                 order_by=select.order_by, limit=select.limit,
                 offset=select.offset, distinct=select.distinct)
         info = PlanInfo()
+        info.exec_engine = self.engine
         if select.table is None:
             # SELECT without FROM: single synthetic row.
             plan: Operator = Source([], lambda: iter([()]))
@@ -503,34 +518,59 @@ class Planner:
             plan = self._plan_from_clause(select, params, info)
         scope = Scope(list(plan.columns))
         if select.where is not None:
-            predicate = compile_expression(select.where, scope, params)
-            plan = Select(plan, lambda row, p=predicate: p(row) is True)
+            predicate = compile_predicate(select.where, scope, params)
+            plan = Select(plan, predicate.row,
+                          batch_predicate=predicate.batch,
+                          rows_predicate=predicate.rows)
 
         aggregates = _collect_aggregates(select)
         if aggregates or select.group_by:
             plan, scope = self._plan_aggregation(plan, scope, select,
                                                  aggregates, params, info)
             if select.having is not None:
-                having = compile_expression(select.having, scope, params)
-                plan = Select(plan, lambda row, p=having: p(row) is True)
+                having = compile_predicate(select.having, scope, params)
+                plan = Select(plan, having.row,
+                              batch_predicate=having.batch,
+                              rows_predicate=having.rows)
             plan, scope = self._plan_projection(plan, scope, select, params)
         else:
             if select.having is not None:
                 raise SQLPlanError("HAVING requires GROUP BY or aggregates")
             plan, scope = self._plan_order_then_project(plan, scope, select,
-                                                        params)
+                                                        params, info)
         if select.distinct:
             plan = Distinct(plan)
         if aggregates or select.group_by:
-            plan = self._plan_order(plan, scope, select, params)
+            plan = self._plan_order(plan, scope, select, params, info)
         if select.limit is not None or select.offset is not None:
-            limit = (compile_expression(select.limit, Scope([]), params)(())
-                     if select.limit is not None else None)
-            offset = (compile_expression(select.offset, Scope([]),
-                                         params)(())
-                      if select.offset is not None else 0)
+            limit, offset = self._limit_bounds(select, params)
             plan = Limit(plan, limit, offset or 0)
         return plan, info
+
+    @staticmethod
+    def _limit_bounds(select: ast.SelectStatement,
+                      params: Sequence[Any]) -> tuple[Optional[int], int]:
+        limit = (compile_scalar(select.limit, Scope([]), params)(())
+                 if select.limit is not None else None)
+        offset = (compile_scalar(select.offset, Scope([]), params)(())
+                  if select.offset is not None else 0)
+        return limit, offset or 0
+
+    def _sort_operator(self, child: Operator,
+                       keys: Sequence[tuple[int, bool]],
+                       select: Optional[ast.SelectStatement],
+                       params: Sequence[Any],
+                       info: PlanInfo) -> Operator:
+        """Sort, or a bounded top-k heap when a LIMIT directly bounds
+        this sort (Sort→Limit plans keep only limit+offset rows)."""
+        if select is not None and select.limit is not None:
+            limit, offset = self._limit_bounds(select, params)
+            if isinstance(limit, int) and not isinstance(limit, bool) \
+                    and limit >= 0 and isinstance(offset, int) \
+                    and offset >= 0:
+                info.top_k = True
+                return TopK(child, keys, limit + offset)
+        return Sort(child, keys)
 
     # -- FROM-clause planning (cost-based with rule-based fallback) -------------------
 
@@ -631,10 +671,11 @@ class Planner:
                 condition = pushdown[ref.binding][0]
                 for extra in pushdown[ref.binding][1:]:
                     condition = ast.Binary("AND", condition, extra)
-                predicate = compile_expression(
+                predicate = compile_predicate(
                     condition, Scope(list(source.columns)), params)
-                source = Select(
-                    source, lambda row, p=predicate: p(row) is True)
+                source = Select(source, predicate.row,
+                                batch_predicate=predicate.batch,
+                                rows_predicate=predicate.rows)
             info.access_paths.append(choice.path)
             info.estimates.append({
                 "table": ref.name, "binding": ref.binding,
@@ -668,9 +709,11 @@ class Planner:
             condition = on_conjuncts[0]
             for extra in on_conjuncts[1:]:
                 condition = ast.Binary("AND", condition, extra)
-            predicate = compile_expression(
+            predicate = compile_predicate(
                 condition, Scope(list(tree.columns)), params)
-            tree = Select(tree, lambda row, p=predicate: p(row) is True)
+            tree = Select(tree, predicate.row,
+                          batch_predicate=predicate.batch,
+                          rows_predicate=predicate.rows)
 
         # Restore the syntactic column order so downstream name
         # resolution (and SELECT *) is independent of the join order.
@@ -767,13 +810,12 @@ class Planner:
                           info: PlanInfo) -> tuple[Operator, Scope]:
         info.aggregated = True
         # Pre-projection: group-by expressions first, then each aggregate's
-        # input expression (COUNT(*) needs no input but gets a slot of 1s
-        # for uniform shape).
+        # input expression (COUNT(*) needs no input and gets no slot).
         pre_columns: list[str] = []
-        pre_exprs: list[Callable[[tuple], Any]] = []
+        pre_outputs: list = []
         for i, group_expr in enumerate(select.group_by):
             pre_columns.append(f"__group_{i}")
-            pre_exprs.append(compile_expression(group_expr, scope, params))
+            pre_outputs.append(group_expr)
         agg_specs: list[tuple] = []
         for i, aggregate in enumerate(aggregates):
             column_name = f"__agg_{i}"
@@ -782,11 +824,14 @@ class Planner:
             else:
                 input_index = len(pre_columns)
                 pre_columns.append(f"__agg_in_{i}")
-                pre_exprs.append(compile_expression(
-                    aggregate.argument, scope, params))
+                pre_outputs.append(aggregate.argument)
                 agg_specs.append((column_name, aggregate.name, input_index,
                                   aggregate.distinct))
-        plan = Project(plan, pre_columns, pre_exprs)
+        projection = compile_projection(pre_outputs, scope, params)
+        plan = Project(plan, pre_columns, projection.row_exprs,
+                       positions=projection.positions,
+                       batch_fn=projection.batch,
+                       rows_fn=projection.rows)
         plan = Aggregate(plan, list(range(len(select.group_by))), agg_specs)
         # Post-scope: group-by AST nodes and aggregate AST nodes map to
         # output slots.
@@ -802,13 +847,17 @@ class Planner:
                          select: ast.SelectStatement,
                          params: Sequence[Any]) -> tuple[Operator, Scope]:
         columns: list[str] = []
-        exprs: list[Callable[[tuple], Any]] = []
+        outputs: list = []
         for item in select.items:
             if isinstance(item.expression, ast.Star):
                 raise SQLPlanError("* cannot be combined with GROUP BY")
             columns.append(item.alias or _expression_name(item.expression))
-            exprs.append(compile_expression(item.expression, scope, params))
-        projected = Project(plan, columns, exprs)
+            outputs.append(item.expression)
+        projection = compile_projection(outputs, scope, params)
+        projected = Project(plan, columns, projection.row_exprs,
+                            positions=projection.positions,
+                            batch_fn=projection.batch,
+                            rows_fn=projection.rows)
         # ORDER BY in aggregate queries may reference aliases or the same
         # aggregate nodes; build a scope carrying both.
         order_slots = dict(scope.node_slots)
@@ -821,7 +870,7 @@ class Planner:
 
     def _plan_order(self, plan: Operator, scope: Scope,
                     select: ast.SelectStatement,
-                    params: Sequence[Any]) -> Operator:
+                    params: Sequence[Any], info: PlanInfo) -> Operator:
         if not select.order_by:
             return plan
         keys: list[tuple[int, bool]] = []
@@ -858,14 +907,20 @@ class Planner:
             raise SQLPlanError(
                 "ORDER BY expression must be a selected column, alias, or "
                 "group key in aggregate queries")
-        return Sort(plan, keys)
+        # DISTINCT (if any) already ran below this sort, so a LIMIT can
+        # safely bound it to a top-k heap.
+        return self._sort_operator(plan, keys, select, params, info)
 
     def _plan_order_then_project(
             self, plan: Operator, scope: Scope,
             select: ast.SelectStatement,
-            params: Sequence[Any]) -> tuple[Operator, Scope]:
+            params: Sequence[Any],
+            info: PlanInfo) -> tuple[Operator, Scope]:
         """Non-aggregate path: sort on base columns (so ORDER BY can use
         non-selected columns), then project."""
+        # Top-k is only legal here when no DISTINCT runs above the sort
+        # (dedup after truncation would under-produce rows).
+        bounded = select if not select.distinct else None
         if select.order_by:
             keys: list[tuple[int, bool]] = []
             computed: list[tuple[ast.Expression, bool]] = []
@@ -897,27 +952,30 @@ class Planner:
                 keys.append((-1, item.descending))
             if computed:
                 # Append computed sort keys as hidden columns, sort, strip.
-                hidden_exprs = [compile_expression(e, scope, params)
-                                for e, _ in computed]
                 base_arity = len(plan.columns)
+                hidden = compile_projection(
+                    list(range(base_arity)) + [e for e, _ in computed],
+                    scope, params)
                 augmented = Project(
                     plan,
                     list(plan.columns) + [f"__sort_{i}" for i in
-                                          range(len(hidden_exprs))],
-                    [(lambda row, i=i: row[i])
-                     for i in range(base_arity)] + hidden_exprs)
+                                          range(len(computed))],
+                    hidden.row_exprs, positions=hidden.positions,
+                    batch_fn=hidden.batch, rows_fn=hidden.rows)
                 hidden_iter = iter(range(base_arity,
-                                         base_arity + len(hidden_exprs)))
+                                         base_arity + len(computed)))
                 keys = [(k if k >= 0 else next(hidden_iter), d)
                         for k, d in keys]
-                plan = Sort(augmented, keys)
+                plan = self._sort_operator(augmented, keys, bounded,
+                                           params, info)
                 plan = Project.by_indexes(plan, list(range(base_arity)))
                 plan.columns = list(scope.columns)
             else:
-                plan = Sort(plan, keys)
+                plan = self._sort_operator(plan, keys, bounded, params,
+                                           info)
         # Projection.
         columns: list[str] = []
-        exprs: list[Callable[[tuple], Any]] = []
+        outputs: list = []
         for item in select.items:
             if isinstance(item.expression, ast.Star):
                 star = item.expression
@@ -926,11 +984,27 @@ class Planner:
                             not column.startswith(f"{star.table}."):
                         continue
                     columns.append(column.split(".", 1)[-1])
-                    exprs.append(lambda row, i=i: row[i])
+                    outputs.append(i)
                 continue
             columns.append(item.alias or _expression_name(item.expression))
-            exprs.append(compile_expression(item.expression, scope, params))
-        projected = Project(plan, columns, exprs)
+            outputs.append(item.expression)
+        projection = compile_projection(outputs, scope, params)
+        if self.engine == "vectorized" and isinstance(plan, Select):
+            # Fuse filter+projection into one batch pass (both operators
+            # are stateless row-wise maps, so fusion is always safe).
+            info.fused = True
+            projected: Operator = FusedSelectProject(
+                plan.child, plan.predicate, columns, projection.row_exprs,
+                batch_predicate=plan.batch_predicate,
+                rows_predicate=plan.rows_predicate,
+                positions=projection.positions,
+                batch_fn=projection.batch,
+                rows_fn=projection.rows)
+        else:
+            projected = Project(plan, columns, projection.row_exprs,
+                                positions=projection.positions,
+                                batch_fn=projection.batch,
+                                rows_fn=projection.rows)
         return projected, Scope(columns)
 
 

@@ -15,8 +15,9 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from repro.access.batch import BATCH_SIZE, RowBatch
 from repro.access.btree import BPlusTree
 from repro.faults.crashpoints import maybe_crash
 from repro.access.hash_index import ExtendibleHashIndex
@@ -323,6 +324,34 @@ class Table:
     def rows(self) -> Iterator[tuple]:
         for _, row in self.scan():
             yield row
+
+    def scan_batches(self, batch_rows: int = BATCH_SIZE
+                     ) -> Iterator[RowBatch]:
+        """Columnar full scan: one pin per page, bulk slot sweep, and
+        plan-cached decode of each run (the vectorized engine's leaf)."""
+        codec = self.schema.codec
+        for payloads in self.heap.scan_payload_batches(batch_rows):
+            yield codec.decode_batch(payloads)
+
+    def read_many(self, rids: Iterable[RID]) -> Iterator[tuple]:
+        """Decode records in RID order, pinning once per same-page run."""
+        decode = self.schema.decode
+        for payload in self.heap.read_many(rids):
+            yield decode(payload)
+
+    def read_batches(self, rids: Iterable[RID],
+                     batch_rows: int = BATCH_SIZE) -> Iterator[RowBatch]:
+        """Batched index-scan fetch: RID runs are read under one pin per
+        page and decoded in bulk, preserving RID order."""
+        codec = self.schema.codec
+        payloads: list[bytes] = []
+        for payload in self.heap.read_many(rids):
+            payloads.append(payload)
+            if len(payloads) >= batch_rows:
+                yield codec.decode_batch(payloads)
+                payloads = []
+        if payloads:
+            yield codec.decode_batch(payloads)
 
     def count(self) -> int:
         return self.row_count

@@ -1,0 +1,251 @@
+"""Batch infrastructure: RowBatch, bulk page decode, batch scans, and
+batch-operator equivalence with the row operators."""
+
+import random
+
+import pytest
+
+from repro.access.batch import BATCH_SIZE, RowBatch, batches_from_rows
+from repro.access.heap_file import HeapFile, RID
+from repro.access.operators import (
+    Aggregate,
+    Distinct,
+    FusedSelectProject,
+    HashJoin,
+    Limit,
+    Project,
+    Select,
+    Sort,
+    Source,
+    TopK,
+)
+from repro.access.record import ColumnType, RecordCodec
+from repro.errors import RecordCodecError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import MemoryDevice
+from repro.storage.file_manager import DiskManager, FileManager
+from repro.storage.page_manager import PageManager
+
+
+class TestRowBatch:
+    def test_from_rows_is_lazily_columnar(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        batch = RowBatch.from_rows(rows, 2)
+        assert batch.num_rows == 3
+        assert batch.rows is rows
+        assert batch.columns[1] == ["a", "b", "c"]
+        assert batch.columns[0] == [1, 2, 3]
+        assert batch.to_rows() == rows
+
+    def test_take_and_project(self):
+        rows = [(i, i * 10, str(i)) for i in range(6)]
+        batch = RowBatch.from_rows(rows, 3)
+        taken = batch.take([4, 1])
+        assert taken.to_rows() == [(4, 40, "4"), (1, 10, "1")]
+        projected = batch.project([2, 0])
+        assert projected.to_rows()[0] == ("0", 0)
+        columnar = RowBatch(tuple(map(list, zip(*rows))), 6)
+        assert columnar.take([5, 0]).to_rows() == [(5, 50, "5"),
+                                                   (0, 0, "0")]
+        # Column projection of a columnar batch shares the lists.
+        assert columnar.project([1]).columns[0] is columnar.columns[1]
+
+    def test_zero_column_batches(self):
+        batch = RowBatch.from_rows([(), (), ()], 0)
+        assert batch.num_rows == 3
+        assert batch.to_rows() == [(), (), ()]
+        assert batch.take([1]).num_rows == 1
+
+    def test_chunking(self):
+        rows = [(i,) for i in range(BATCH_SIZE + 10)]
+        batches = list(batches_from_rows(iter(rows), 1))
+        assert [b.num_rows for b in batches] == [BATCH_SIZE, 10]
+        assert [r for b in batches for r in b.iter_rows()] == rows
+
+
+class TestBulkDecode:
+    TYPES = [ColumnType.INT, ColumnType.TEXT, ColumnType.FLOAT,
+             ColumnType.BOOL, ColumnType.BYTES]
+
+    def _random_row(self, rng):
+        return (
+            rng.choice([None, rng.randint(-2**40, 2**40)]),
+            rng.choice([None, "", "héllo", "x" * rng.randint(0, 50)]),
+            rng.choice([None, 0.0, -1.5, 3.14159]),
+            rng.choice([None, True, False]),
+            rng.choice([None, b"", b"\x00\xff", bytes(range(7))]),
+        )
+
+    def test_decode_many_matches_decode(self):
+        rng = random.Random(0xA8)
+        codec = RecordCodec(self.TYPES)
+        rows = [self._random_row(rng) for _ in range(300)]
+        payloads = [codec.encode(row) for row in rows]
+        assert codec.decode_many(payloads) == rows
+        assert [codec.decode(p) for p in payloads] == rows
+        batch = codec.decode_batch(payloads)
+        assert batch.to_rows() == rows
+
+    def test_decode_many_mixed_bitmaps(self):
+        codec = RecordCodec([ColumnType.INT, ColumnType.INT])
+        rows = [(1, 2), (None, 3), (4, None), (None, None), (5, 6)]
+        payloads = [codec.encode(r) for r in rows]
+        assert codec.decode_many(payloads) == rows
+
+    def test_wide_schema_multibyte_bitmap(self):
+        codec = RecordCodec([ColumnType.INT] * 12)
+        row = tuple(i if i % 3 else None for i in range(12))
+        assert codec.decode_many([codec.encode(row)]) == [row]
+
+    def test_decoder_cache_bounded_on_wide_nullable_schemas(self):
+        rng = random.Random(3)
+        codec = RecordCodec([ColumnType.INT] * 16)
+        rows = [tuple(rng.randint(0, 9) if rng.random() < 0.5 else None
+                      for _ in range(16)) for _ in range(600)]
+        payloads = [codec.encode(row) for row in rows]
+        assert codec.decode_many(payloads) == rows
+        assert [codec.decode(p) for p in payloads] == rows
+        assert len(codec._plans) <= RecordCodec._PLAN_CACHE_LIMIT
+
+    def test_decode_errors_preserved(self):
+        codec = RecordCodec([ColumnType.INT, ColumnType.TEXT])
+        good = codec.encode((1, "abc"))
+        with pytest.raises(RecordCodecError):
+            codec.decode(good[:-1])           # truncated varlen
+        with pytest.raises(RecordCodecError):
+            codec.decode(good + b"x")         # trailing bytes
+        with pytest.raises(RecordCodecError):
+            codec.decode(b"")                 # shorter than bitmap
+        with pytest.raises(RecordCodecError):
+            codec.decode_many([good, good[:4]])
+        # The run decoder must not poison later good records.
+        assert codec.decode_many([good, good]) == [(1, "abc")] * 2
+
+
+@pytest.fixture()
+def heap():
+    files = FileManager(DiskManager(MemoryDevice()))
+    file_id = files.create_file("heap")
+    pages = PageManager(BufferPool(files, capacity=32))
+    return HeapFile(pages, file_id)
+
+
+class TestHeapBatchScans:
+    def test_scan_payload_batches_equals_scan(self, heap):
+        payloads = [bytes([i % 251]) * (20 + i % 60) for i in range(500)]
+        for payload in payloads:
+            heap.insert(payload)
+        flat = [p for batch in heap.scan_payload_batches(64)
+                for p in batch]
+        assert flat == [p for _, p in heap.scan()]
+        sizes = [len(b) for b in heap.scan_payload_batches(64)]
+        assert all(size >= 64 for size in sizes[:-1])
+
+    def test_read_many_preserves_order_and_pins_once_per_run(self, heap):
+        rids = [heap.insert(bytes([i % 256]) * 30) for i in range(300)]
+        order = list(reversed(rids))
+        got = list(heap.read_many(order))
+        assert got == [heap.read(rid) for rid in order]
+        # No pins leak, even when the consumer abandons the iterator.
+        iterator = heap.read_many(rids)
+        next(iterator)
+        iterator.close()
+        for page in heap.pages.pool.iter_resident():
+            assert page.pin_count == 0
+
+    def test_read_many_skips_refetch_within_page_run(self, heap):
+        rids = [heap.insert(b"x" * 30) for _ in range(100)]
+        fetches_before = heap.pages.pool.stats.hits + \
+            heap.pages.pool.stats.misses
+        list(heap.read_many(sorted(rids)))
+        fetches = heap.pages.pool.stats.hits + \
+            heap.pages.pool.stats.misses - fetches_before
+        assert fetches == heap.num_pages()
+
+
+def _rows_source(rows, columns):
+    return Source(columns, lambda: iter(rows))
+
+
+def _collect_batched(op):
+    return op.to_list_batched()
+
+
+class TestBatchOperatorEquivalence:
+    """batches() must equal __iter__ for every operator, including
+    order, on randomized inputs crossing the batch size."""
+
+    @pytest.fixture()
+    def rows(self):
+        rng = random.Random(7)
+        return [(rng.randint(0, 50),
+                 rng.choice([None, rng.randint(0, 9)]),
+                 rng.choice(["a", "b", None]))
+                for _ in range(2 * BATCH_SIZE + 77)]
+
+    def test_select(self, rows):
+        source = _rows_source(rows, ["x", "y", "z"])
+        op = Select(source, lambda row: row[1] is not None and row[1] > 4)
+        assert _collect_batched(op) == list(op)
+
+    def test_project(self, rows):
+        source = _rows_source(rows, ["x", "y", "z"])
+        op = Project(source, ["z", "sum"],
+                     [lambda r: r[2], lambda r: (r[0] or 0) + (r[1] or 0)])
+        assert _collect_batched(op) == list(op)
+        positional = Project.by_indexes(source, [2, 0])
+        assert _collect_batched(positional) == list(positional)
+
+    def test_fused_select_project(self, rows):
+        source = _rows_source(rows, ["x", "y", "z"])
+        op = FusedSelectProject(source, lambda r: r[0] > 25,
+                                ["x", "z"],
+                                [lambda r: r[0], lambda r: r[2]],
+                                positions=[0, 2])
+        assert _collect_batched(op) == list(op)
+
+    def test_sort_topk_limit(self, rows):
+        source = _rows_source(rows, ["x", "y", "z"])
+        sort = Sort(source, [(0, True), (1, False)])
+        assert _collect_batched(sort) == list(sort)
+        topk = TopK(source, [(0, True), (1, False)], 17)
+        assert list(topk) == list(sort)[:17]
+        assert _collect_batched(topk) == list(topk)
+        limit = Limit(source, 13, offset=BATCH_SIZE + 5)
+        assert _collect_batched(limit) == list(limit)
+        offset_only = Limit(source, None, offset=9)
+        assert _collect_batched(offset_only) == list(offset_only)
+
+    def test_distinct(self, rows):
+        source = _rows_source([(r[1], r[2]) for r in rows], ["y", "z"])
+        op = Distinct(source)
+        assert _collect_batched(op) == list(op)
+
+    def test_hash_join(self, rows):
+        outer = _rows_source(rows, ["x", "y", "z"])
+        inner = _rows_source([(i, str(i)) for i in range(0, 10)],
+                             ["k", "label"])
+        join = HashJoin(outer, inner, [1], [0])
+        assert _collect_batched(join) == list(join)
+        left = HashJoin(outer, inner, [1], [0], left_outer=True)
+        assert _collect_batched(left) == list(left)
+
+    def test_aggregate_global_and_grouped(self, rows):
+        source = _rows_source(rows, ["x", "y", "z"])
+        grouped = Aggregate(source, [2], [
+            ("n", "count", None), ("s", "sum", 1), ("m", "min", 0),
+            ("mx", "max", 1), ("a", "avg", 0),
+            ("d", "count", 1, True)])
+        assert sorted(_collect_batched(grouped), key=repr) == \
+            sorted(grouped, key=repr)
+        globally = Aggregate(source, [], [
+            ("n", "count", None), ("c", "count", 1), ("s", "sum", 1),
+            ("m", "min", 1), ("mx", "max", 1),
+            ("sd", "sum", 1, True)])
+        assert _collect_batched(globally) == list(globally)
+
+    def test_aggregate_empty_input(self):
+        source = _rows_source([], ["x"])
+        op = Aggregate(source, [], [("n", "count", None),
+                                    ("s", "sum", 0)])
+        assert _collect_batched(op) == list(op) == [(0, None)]
