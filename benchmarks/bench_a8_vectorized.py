@@ -45,7 +45,12 @@ QUERIES = {
 
 
 def build(engine: str) -> Database:
-    db = Database(buffer_capacity=4096, execution_engine=engine)
+    # Pin the 2PL/unversioned concurrency component so this ablation
+    # isolates the execution-engine axis alone (versioned heaps add a
+    # constant per-row visibility cost to BOTH engines, compressing the
+    # ratio; bench_a9_mvcc.py owns the concurrency-control axis).
+    db = Database(buffer_capacity=4096, execution_engine=engine,
+                  isolation="2pl")
     db.execute("CREATE TABLE t (id INT PRIMARY KEY, g TEXT, v FLOAT, "
                "w INT)")
     for lo in range(0, ROWS, 1000):

@@ -1,0 +1,171 @@
+"""A9 (ablation) — snapshot isolation vs 2PL under mixed read/write load.
+
+The MVCC refactor's claim: *reader throughput becomes independent of
+writer load*.  Under 2PL a scan's table S lock collides with every
+writer's IX lock, so N readers + M writers serialise; under snapshot
+isolation readers take no locks at all and filter versions by snapshot
+arithmetic.
+
+Protocol (result-equality asserted first):
+
+1. **Equivalence** — one deterministic single-threaded workload runs on
+   both engines' databases; every query must return identical results.
+2. **Throughput** — 4 reader threads (full-table aggregate) + 2 writer
+   threads (explicit multi-update transactions over disjoint row
+   partitions, so 2PL writers hold their IX locks for realistic
+   stretches) run for a fixed window per isolation mode; aggregate
+   reader ops/second is the figure.  Writer counts and a sum-integrity
+   check guard against measuring a stalled configuration.
+
+Reduced configuration for CI smoke runs: set ``A9_SMOKE=1``.
+"""
+
+import os
+import threading
+import time
+
+from conftest import fmt_table, record
+from repro.data import Database
+from repro.errors import DeadlockError, SerializationError
+
+SMOKE = os.environ.get("A9_SMOKE") == "1"
+ROWS = 200
+READERS = 4
+WRITERS = 2
+UPDATES_PER_TXN = 25
+WINDOW_S = 0.8 if SMOKE else 2.0
+FLOOR = 1.2 if SMOKE else 3.0
+
+
+def fresh_db(isolation: str) -> Database:
+    # The background vacuum daemon keeps the version chains the writers
+    # shed from bloating the heap the readers scan.
+    db = Database(isolation=isolation, lock_timeout_s=30.0,
+                  vacuum_interval_s=0.05)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for base in range(0, ROWS, 50):
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, {i % 7})" for i in range(base, min(base + 50, ROWS))))
+    return db
+
+
+# -- phase 1: result equality ---------------------------------------------------
+
+EQUIVALENCE_DML = [
+    "UPDATE t SET v = v + 3 WHERE id < 50",
+    "DELETE FROM t WHERE id % 7 = 3 AND id >= 150",
+    "INSERT INTO t VALUES (100000, 42)",
+    "UPDATE t SET v = v * 2 WHERE v BETWEEN 4 AND 9",
+]
+EQUIVALENCE_QUERIES = [
+    "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t",
+    "SELECT id, v FROM t WHERE id < 25 ORDER BY id",
+    "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v",
+    "SELECT v FROM t WHERE id = 100000",
+]
+
+
+def equivalent_results() -> bool:
+    outcomes = []
+    for isolation in ("snapshot", "2pl"):
+        db = fresh_db(isolation)
+        for statement in EQUIVALENCE_DML:
+            db.execute(statement)
+        outcomes.append([db.query(q) for q in EQUIVALENCE_QUERIES])
+    return outcomes[0] == outcomes[1]
+
+
+# -- phase 2: reader throughput under writer load -------------------------------
+
+def mixed_load(isolation: str) -> dict:
+    db = fresh_db(isolation)
+    stop = threading.Event()
+    read_ops = [0] * READERS
+    write_txns = [0] * WRITERS
+    errors: list[Exception] = []
+
+    def reader(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                rows = db.query("SELECT COUNT(*), SUM(v) FROM t")
+                assert rows[0][0] > 0
+                read_ops[slot] += 1
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def writer(slot: int) -> None:
+        span = ROWS // WRITERS
+        ids = list(range(slot * span, (slot + 1) * span))
+        cursor = 0
+        try:
+            while not stop.is_set():
+                try:
+                    db.execute("BEGIN")
+                    for _ in range(UPDATES_PER_TXN):
+                        row_id = ids[cursor % len(ids)]
+                        cursor += 1
+                        db.execute(
+                            "UPDATE t SET v = v + 1 WHERE id = ?",
+                            (row_id,))
+                    db.execute("COMMIT")
+                    write_txns[slot] += 1
+                except (DeadlockError, SerializationError):
+                    if db.in_transaction:
+                        db.execute("ROLLBACK")
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(i,))
+               for i in range(READERS)]
+    threads += [threading.Thread(target=writer, args=(i,))
+                for i in range(WRITERS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(WINDOW_S)
+    stop.set()
+    for thread in threads:
+        thread.join(20.0)
+    elapsed = time.perf_counter() - start
+    assert errors == [], errors
+    # Integrity: the committed increments are all in the table.
+    total = db.query("SELECT SUM(v) FROM t")[0][0]
+    base = sum(i % 7 for i in range(ROWS))
+    committed_updates = total - base
+    assert committed_updates >= \
+        sum(write_txns) * UPDATES_PER_TXN, \
+        "sum drifted below the committed update count"
+    return {
+        "reads_per_s": sum(read_ops) / elapsed,
+        "writes_per_s": sum(write_txns) / elapsed,
+        "reads": sum(read_ops),
+        "write_txns": sum(write_txns),
+    }
+
+
+def test_a9_snapshot_reader_throughput(benchmark):
+    assert equivalent_results(), \
+        "snapshot and 2PL returned different query results"
+    two_pl = mixed_load("2pl")
+    snapshot = mixed_load("snapshot")
+
+    benchmark.pedantic(lambda: mixed_load("snapshot"), rounds=1)
+    ratio = snapshot["reads_per_s"] / max(two_pl["reads_per_s"], 1e-9)
+    record(benchmark, readers=READERS, writers=WRITERS, rows=ROWS,
+           snapshot_reads_per_s=round(snapshot["reads_per_s"], 1),
+           two_pl_reads_per_s=round(two_pl["reads_per_s"], 1),
+           snapshot_write_txns=snapshot["write_txns"],
+           two_pl_write_txns=two_pl["write_txns"],
+           reader_speedup=round(ratio, 2))
+    print("\n" + fmt_table(
+        ["isolation", "reader ops/s", "writer txns/s"],
+        [("2pl", round(two_pl["reads_per_s"], 1),
+          round(two_pl["writes_per_s"], 1)),
+         ("snapshot", round(snapshot["reads_per_s"], 1),
+          round(snapshot["writes_per_s"], 1)),
+         ("reader speedup", f"{ratio:.2f}x", "")]))
+    assert snapshot["write_txns"] > 0 and two_pl["write_txns"] > 0, \
+        "a writer made no progress; the comparison is meaningless"
+    assert ratio >= FLOOR, \
+        f"snapshot readers only {ratio:.2f}x faster than 2PL " \
+        f"(floor {FLOOR}x) with {READERS} readers + {WRITERS} writers"

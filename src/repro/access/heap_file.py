@@ -73,7 +73,10 @@ class HeapFile:
 
     # -- CRUD ----------------------------------------------------------------
 
-    def insert(self, payload: bytes, txn=None) -> RID:
+    def insert(self, payload: bytes, txn=None,
+               op: int = OP_HEAP_INSERT) -> RID:
+        """Store a record somewhere with room; ``op`` overrides the WAL
+        record kind (version-chain maintenance logs its own kinds)."""
         needed = len(payload) + 4  # payload + one slot-directory entry
         target = self.pages.page_with_space(self.file_id, needed)
         if target is not None:
@@ -83,7 +86,7 @@ class HeapFile:
                 view = SlottedPage(page)
                 if view.has_room(len(payload)):
                     slot = view.insert(payload)
-                    self._log(page, txn, OP_HEAP_INSERT, slot, b"", payload)
+                    self._log(page, txn, op, slot, b"", payload)
                 # Stale hint either way; refresh it.
                 self._note_free(view)
             maybe_crash("heap.insert")
@@ -95,7 +98,7 @@ class HeapFile:
         with page.latch:
             view = SlottedPage.format(page)
             slot = view.insert(payload)
-            self._log(page, txn, OP_HEAP_INSERT, slot, b"", payload)
+            self._log(page, txn, op, slot, b"", payload)
             self._note_free(view)
         maybe_crash("heap.insert")
         rid = RID(page.page_id.page_no, slot)
@@ -137,8 +140,11 @@ class HeapFile:
         finally:
             self.pages.unpin(page_id, dirty=True)
 
-    def update(self, rid: RID, payload: bytes, txn=None) -> RID:
-        """Rewrite a record; returns its (possibly new) RID."""
+    def update(self, rid: RID, payload: bytes, txn=None,
+               op: int = OP_HEAP_UPDATE) -> RID:
+        """Rewrite a record; returns its (possibly new) RID.  ``op``
+        overrides the WAL record kind for in-place rewrites (header
+        stamps never change the record size, so they never move)."""
         page_id = self._page_id(rid.page_no)
         page = self.pages.fetch(page_id)
         moved = False
@@ -148,7 +154,7 @@ class HeapFile:
                 before = view.read(rid.slot)
                 try:
                     view.update(rid.slot, payload)
-                    self._log(page, txn, OP_HEAP_UPDATE, rid.slot,
+                    self._log(page, txn, op, rid.slot,
                               before, payload)
                     self._note_free(view)
                 except PageLayoutError:
@@ -181,6 +187,25 @@ class HeapFile:
             for slot, payload in records:
                 yield RID(page_no, slot), payload
 
+    def _sweep_pages(self, slotted: bool
+                     ) -> Iterator[tuple[int, list]]:
+        """One pin + one bulk copy per page: ``(page_no, payloads)``
+        when ``slotted`` is False, ``(page_no, [(slot, payload)...])``
+        when True — the single pin/latch loop both batch scanners
+        share."""
+        num_pages = self.pages.pool.files.file_size_pages(self.file_id)
+        for page_no in range(num_pages):
+            page_id = self._page_id(page_no)
+            page = self.pages.fetch(page_id)
+            try:
+                with page.latch:
+                    view = SlottedPage(page)
+                    records = list(view.records()) if slotted \
+                        else view.payloads()
+            finally:
+                self.pages.unpin(page_id)
+            yield page_no, records
+
     def scan_payload_batches(self, target_rows: int = 1024
                              ) -> Iterator[list[bytes]]:
         """Yield runs of live payloads, at least ``target_rows`` per run
@@ -191,26 +216,44 @@ class HeapFile:
         engine's page-at-a-time counterpart to :meth:`scan`.
         """
         buffered: list[bytes] = []
-        num_pages = self.pages.pool.files.file_size_pages(self.file_id)
-        for page_no in range(num_pages):
-            page_id = self._page_id(page_no)
-            page = self.pages.fetch(page_id)
-            try:
-                with page.latch:
-                    buffered.extend(SlottedPage(page).payloads())
-            finally:
-                self.pages.unpin(page_id)
+        for _, payloads in self._sweep_pages(slotted=False):
+            buffered.extend(payloads)
             if len(buffered) >= target_rows:
                 yield buffered
                 buffered = []
         if buffered:
             yield buffered
 
-    def read_many(self, rids: Iterable[RID]) -> Iterator[bytes]:
+    def scan_version_batches(self, target_rows: int = 1024
+                             ) -> Iterator[tuple[list[int], list[int],
+                                                 list[bytes]]]:
+        """Like :meth:`scan_payload_batches` but each run also carries
+        the records' positions as parallel ``(page_nos, slots)`` int
+        lists — the versioned-scan leaf.  Positions stay primitive so
+        the hot path allocates no RID objects; the (rare) chain walk of
+        an invisible head builds its RID on demand."""
+        page_nos: list[int] = []
+        slots: list[int] = []
+        buffered: list[bytes] = []
+        for page_no, records in self._sweep_pages(slotted=True):
+            for slot, payload in records:
+                page_nos.append(page_no)
+                slots.append(slot)
+                buffered.append(payload)
+            if len(buffered) >= target_rows:
+                yield page_nos, slots, buffered
+                page_nos, slots, buffered = [], [], []
+        if buffered:
+            yield page_nos, slots, buffered
+
+    def read_many(self, rids: Iterable[RID],
+                  missing_ok: bool = False) -> Iterator[Optional[bytes]]:
         """Read several records in the given order, holding one pin per
         *run* of same-page RIDs instead of pinning per record (index
         scans feed RIDs clustered by page, so the common case is one
-        fetch per page)."""
+        fetch per page).  With ``missing_ok`` a deleted/invalid slot
+        yields ``None`` instead of raising — versioned-table fetches
+        tolerate index entries racing a vacuum prune."""
         pinned_no: Optional[int] = None
         pinned_page = None
         try:
@@ -222,7 +265,12 @@ class HeapFile:
                     pinned_page = self.pages.fetch(self._page_id(rid.page_no))
                     pinned_no = rid.page_no
                 with pinned_page.latch:
-                    payload = SlottedPage(pinned_page).read(rid.slot)
+                    try:
+                        payload = SlottedPage(pinned_page).read(rid.slot)
+                    except PageLayoutError:
+                        if not missing_ok:
+                            raise
+                        payload = None
                 yield payload
         finally:
             if pinned_page is not None:

@@ -79,13 +79,16 @@ _PYTHON_TYPES = {
 
 
 def _build_decoder(types: Sequence[ColumnType], bitmap: bytes,
-                   bitmap_bytes: int):
+                   bitmap_bytes: int, base: int = 0):
     """Generate decoders for one null-bitmap pattern.
 
     NULL columns occupy no bytes, so for a given bitmap the layout is
     static between varlen fields: every run of non-null fixed-width
     columns compiles into one precompiled :class:`struct.Struct`, and
     varlen fields advance the offset inline — no per-column dispatch.
+    ``base`` is a fixed number of leading bytes to skip — versioned
+    heaps decode *past* their record version header without slicing a
+    copy of every payload.
 
     Returns ``(decode, decode_run)``: ``decode(payload) -> tuple`` for
     single records, and ``decode_run(payloads, i, append) -> i'`` which
@@ -98,7 +101,7 @@ def _build_decoder(types: Sequence[ColumnType], bitmap: bytes,
                if not bitmap[i // 8] & (1 << (i % 8))]
     namespace: dict = {"_E": RecordCodecError, "_LEN": _LEN,
                        "_SE": struct.error, "_KEY": bitmap}
-    body: list[str] = [f"pos = {bitmap_bytes}"]
+    body: list[str] = [f"pos = {base + bitmap_bytes}"]
     run: list[int] = []
     n_structs = 0
 
@@ -149,9 +152,10 @@ def _build_decoder(types: Sequence[ColumnType], bitmap: bytes,
         return "\n".join(pad + line for line in lines)
 
     if bitmap_bytes == 1:
-        mismatch = f"if not data or data[0] != {bitmap[0]}:"
+        mismatch = (f"if len(data) <= {base} or "
+                    f"data[{base}] != {bitmap[0]}:")
     else:
-        mismatch = f"if data[:{bitmap_bytes}] != _KEY:"
+        mismatch = f"if data[{base}:{base + bitmap_bytes}] != _KEY:"
     source = (
         "def _decode(data):\n"
         "    try:\n"
@@ -186,8 +190,12 @@ class RecordCodec:
     decodes the whole record with one ``Struct.unpack_from`` call.
     """
 
-    def __init__(self, types: Sequence[ColumnType]) -> None:
+    def __init__(self, types: Sequence[ColumnType],
+                 offset: int = 0) -> None:
         self.types = tuple(types)
+        #: Leading bytes every payload carries before the record proper
+        #: (e.g. a version header) — skipped in place, never sliced off.
+        self.offset = offset
         self._bitmap_bytes = (len(self.types) + 7) // 8
         self._plans: dict[bytes, Callable[[bytes], tuple]] = {}
 
@@ -256,14 +264,15 @@ class RecordCodec:
             if len(self._plans) >= self._PLAN_CACHE_LIMIT:
                 return None
             decoders = _build_decoder(self.types, bitmap,
-                                      self._bitmap_bytes)
+                                      self._bitmap_bytes, self.offset)
             self._plans[bitmap] = decoders
         return decoders
 
     def _decode_interpreted(self, data: bytes) -> tuple:
         """Per-column decode loop (cache-overflow fallback)."""
-        bitmap = data[:self._bitmap_bytes]
-        pos = self._bitmap_bytes
+        base = self.offset
+        bitmap = data[base:base + self._bitmap_bytes]
+        pos = base + self._bitmap_bytes
         values: list[Any] = []
         for idx, ctype in enumerate(self.types):
             if bitmap[idx // 8] & (1 << (idx % 8)):
@@ -277,10 +286,12 @@ class RecordCodec:
         return tuple(values)
 
     def decode(self, data: bytes) -> tuple:
+        base = self.offset
         bitmap_bytes = self._bitmap_bytes
-        if len(data) < bitmap_bytes:
+        if len(data) < base + bitmap_bytes:
             raise RecordCodecError("record shorter than its null bitmap")
-        decoders = self._decoders_for(bytes(data[:bitmap_bytes]))
+        decoders = self._decoders_for(
+            bytes(data[base:base + bitmap_bytes]))
         if decoders is None:
             return self._decode_interpreted(data)
         return decoders[0](data)
@@ -293,6 +304,7 @@ class RecordCodec:
         Python frame; the per-record cost is an index, a one-byte bitmap
         check, one ``unpack_from`` per fixed run, and an append.
         """
+        base = self.offset
         bitmap_bytes = self._bitmap_bytes
         out: list[tuple] = []
         append = out.append
@@ -300,10 +312,11 @@ class RecordCodec:
         total = len(payloads)
         while i < total:
             data = payloads[i]
-            if len(data) < bitmap_bytes:
+            if len(data) < base + bitmap_bytes:
                 raise RecordCodecError(
                     "record shorter than its null bitmap")
-            decoders = self._decoders_for(bytes(data[:bitmap_bytes]))
+            decoders = self._decoders_for(
+                bytes(data[base:base + bitmap_bytes]))
             if decoders is None:
                 append(self._decode_interpreted(data))
                 i += 1

@@ -1,0 +1,105 @@
+"""Record version headers for multi-version concurrency control.
+
+Versioned heap records carry a fixed 25-byte header ahead of the tuple
+payload::
+
+    flags u8 | xmin u64 | xmax u64 | prev_page u32 | prev_slot u32
+
+- ``flags`` distinguishes the *head* record of a row (the record every
+  index entry and RID addresses) from the *old-version copies* an update
+  leaves behind; scans skip copies and reach them only by walking a
+  head's ``prev`` chain.
+- ``xmin`` is the transaction id that created this version, ``xmax`` the
+  id that superseded it (0 while the version is the live one).  A stamp
+  of ``xmin = 0`` marks bootstrap data written outside any transaction —
+  visible to every snapshot.
+- ``prev_page``/``prev_slot`` point at the next-older version of the row
+  *in the same heap file* (:data:`NO_PREV` terminates the chain).
+
+Visibility against a snapshot is pure arithmetic over this header (see
+:class:`repro.data.transactions.Snapshot`); the layer split keeps the
+header codec in the access layer while snapshot semantics stay with the
+transaction manager.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.access.heap_file import RID
+
+VERSION_HEADER = struct.Struct("<BQQII")
+HEADER_SIZE = VERSION_HEADER.size
+
+FLAG_HEAD = 0x01       # head of a row's version chain (RID-stable)
+FLAG_OLD = 0x00        # superseded copy, reachable only through a chain
+NO_PREV = 0xFFFFFFFF   # prev_page sentinel: end of chain
+
+
+@dataclass(frozen=True)
+class VersionHeader:
+    """Decoded version header of one heap record."""
+
+    flags: int
+    xmin: int
+    xmax: int
+    prev_page: int
+    prev_slot: int
+
+    @property
+    def is_head(self) -> bool:
+        return bool(self.flags & FLAG_HEAD)
+
+    @property
+    def prev(self) -> Optional[RID]:
+        if self.prev_page == NO_PREV:
+            return None
+        return RID(self.prev_page, self.prev_slot)
+
+
+def pack_version(flags: int, xmin: int, xmax: int,
+                 prev: Optional[RID] = None) -> bytes:
+    """Encode a header (prepend the tuple payload to it)."""
+    if prev is None:
+        return VERSION_HEADER.pack(flags, xmin, xmax, NO_PREV, 0)
+    return VERSION_HEADER.pack(flags, xmin, xmax, prev.page_no, prev.slot)
+
+
+def unpack_version(payload: bytes) -> VersionHeader:
+    """Decode the header of one versioned record."""
+    return VersionHeader(*VERSION_HEADER.unpack_from(payload, 0))
+
+
+def restamp(payload: bytes, xmax: Optional[int] = None,
+            prev: Optional[RID] = None,
+            cut_prev: bool = False) -> bytes:
+    """A copy of ``payload`` with header fields rewritten in place.
+
+    Only the header changes, so the record keeps its exact size — the
+    slotted-page update is guaranteed to stay in place (RID-stable),
+    which is what makes xmax stamping and chain cuts safe under an index
+    entry that points at the record.
+    """
+    flags, xmin, old_xmax, prev_page, prev_slot = \
+        VERSION_HEADER.unpack_from(payload, 0)
+    if xmax is not None:
+        old_xmax = xmax
+    if cut_prev:
+        prev_page, prev_slot = NO_PREV, 0
+    elif prev is not None:
+        prev_page, prev_slot = prev.page_no, prev.slot
+    return VERSION_HEADER.pack(flags, xmin, old_xmax, prev_page,
+                               prev_slot) + payload[HEADER_SIZE:]
+
+
+def bulk_headers(payloads: Sequence[bytes]) -> list[tuple]:
+    """Decode the version headers of a whole payload batch in one tight
+    loop — the vectorized scan's per-batch visibility input.
+
+    Returns raw ``(flags, xmin, xmax, prev_page, prev_slot)`` tuples
+    (no dataclass allocation on the hot path).
+    """
+    unpack = VERSION_HEADER.unpack_from
+    return [unpack(data, 0) for data in payloads]

@@ -12,6 +12,7 @@ from repro.data.table import IndexDef, Table, TableIndex, decode_rid, encode_rid
 from repro.data.transactions import (
     LockManager,
     LockMode,
+    Snapshot,
     Transaction,
     TransactionManager,
     TransactionState,
@@ -31,6 +32,7 @@ __all__ = [
     "encode_rid",
     "LockManager",
     "LockMode",
+    "Snapshot",
     "Transaction",
     "TransactionManager",
     "TransactionState",

@@ -44,28 +44,49 @@ def _index_file(name: str) -> str:
 class Catalog:
     """Names → physical objects, persisted in the storage stack itself."""
 
-    def __init__(self, pages: PageManager) -> None:
+    def __init__(self, pages: PageManager,
+                 default_versioned: bool = False) -> None:
         self.pages = pages
         self.tables: dict[str, Table] = {}
         self.views: dict[str, str] = {}        # name -> SQL text
         self.index_defs: dict[str, IndexDef] = {}
         self.table_stats: dict[str, TableStats] = {}
+        #: Whether new tables get MVCC version headers (the snapshot
+        #: isolation default); persisted per table, so a database
+        #: reopened under the other isolation mode still decodes its
+        #: heaps correctly.
+        self.default_versioned = default_versioned
+        #: Largest transaction id stamped into any loaded versioned heap
+        #: — the floor the transaction-id counter must clear on reopen.
+        self.max_seen_xid = 0
+        self._txns = None
         files = pages.pool.files
         if files.has_file(_CATALOG_FILE):
             self._load()
         else:
             files.create_file(_CATALOG_FILE)
 
+    def bind_transactions(self, transactions) -> None:
+        """Wire the transaction manager into every (current and future)
+        table so versioned reads can build "latest" views."""
+        self._txns = transactions
+        for table in self.tables.values():
+            table.txns = transactions
+
     # -- tables --------------------------------------------------------------
 
-    def create_table(self, name: str, schema: Schema) -> Table:
+    def create_table(self, name: str, schema: Schema,
+                     versioned: Optional[bool] = None) -> Table:
         if name in self.tables:
             raise CatalogError(f"table {name!r} already exists")
         if name in self.views:
             raise CatalogError(f"{name!r} is a view")
         files = self.pages.pool.files
         file_id = files.ensure_file(_table_file(name))
-        table = Table(name, schema, HeapFile(self.pages, file_id))
+        table = Table(name, schema, HeapFile(self.pages, file_id),
+                      versioned=self.default_versioned
+                      if versioned is None else versioned)
+        table.txns = self._txns
         self.tables[name] = table
         pk = schema.primary_key
         if pk is not None:
@@ -182,7 +203,8 @@ class Catalog:
     def save(self) -> None:
         blob = json.dumps({
             "tables": {
-                name: {"schema": table.schema.to_dict()}
+                name: {"schema": table.schema.to_dict(),
+                       "versioned": table.versioned}
                 for name, table in self.tables.items()},
             "indexes": {name: d.to_dict()
                         for name, d in self.index_defs.items()},
@@ -235,8 +257,14 @@ class Catalog:
         for name, tdata in state["tables"].items():
             schema = Schema.from_dict(tdata["schema"])
             heap_file = files.open_file(_table_file(name))
-            table = Table(name, schema, HeapFile(self.pages, heap_file))
-            table.row_count = sum(1 for _ in table.heap.scan())
+            table = Table(name, schema, HeapFile(self.pages, heap_file),
+                          versioned=tdata.get("versioned", False))
+            table.txns = self._txns
+            # One bootstrap pass: live rows (frozen visibility — crash
+            # recovery already ran, so disk state is all-committed) and
+            # the largest version stamp, which floors the txn counter.
+            table.row_count, max_xid = table.bootstrap_stats()
+            self.max_seen_xid = max(self.max_seen_xid, max_xid)
             self.tables[name] = table
         for name, idata in state["indexes"].items():
             definition = IndexDef.from_dict(idata)

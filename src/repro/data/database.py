@@ -9,6 +9,7 @@ substrate testable in isolation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -23,7 +24,6 @@ from repro.data.transactions import Transaction, TransactionManager
 from repro.access.record import ColumnType
 from repro.errors import (
     CatalogError,
-    PageLayoutError,
     SQLPlanError,
     TransactionError,
 )
@@ -32,6 +32,7 @@ from repro.storage.disk import BlockDevice, MemoryDevice
 from repro.storage.file_manager import DiskManager, FileManager
 from repro.storage.page_manager import PageManager
 from repro.storage.recovery import RecoveryManager
+from repro.storage.vacuum import VacuumManager
 from repro.storage.wal import WriteAheadLog
 
 
@@ -39,7 +40,7 @@ from repro.storage.wal import WriteAheadLog
 # table latch; a short bound keeps a blocked acquisition (slot reuse of an
 # uncommitted delete) from convoying every writer on the table.  Failing
 # the statement after this wait is safe: the stage-aware undo removes the
-# half-placed row.
+# half-placed row.  Default for Database(latched_lock_timeout_s=...).
 _LATCHED_LOCK_TIMEOUT_S = 0.1
 
 
@@ -82,7 +83,11 @@ class Database:
                  lock_granularity: str = "row",
                  group_commit: bool = True,
                  auto_recover: bool = True,
-                 execution_engine: str = "vectorized") -> None:
+                 execution_engine: str = "vectorized",
+                 isolation: str = "snapshot",
+                 latched_lock_timeout_s: float = _LATCHED_LOCK_TIMEOUT_S,
+                 vacuum_threshold: int = 256,
+                 vacuum_interval_s: Optional[float] = None) -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
                 f"lock_granularity must be 'row' or 'table', "
@@ -91,7 +96,13 @@ class Database:
             raise SQLPlanError(
                 f"execution_engine must be 'vectorized' or 'row', "
                 f"not {execution_engine!r}")
+        if isolation not in ("snapshot", "2pl"):
+            raise TransactionError(
+                f"isolation must be 'snapshot' or '2pl', "
+                f"not {isolation!r}")
         self.execution_engine = execution_engine
+        self.isolation = isolation
+        self.latched_lock_timeout_s = latched_lock_timeout_s
         self.device = device or MemoryDevice()
         self.files = FileManager(DiskManager(self.device))
         self.wal = WriteAheadLog(wal_device) if wal_device is not None \
@@ -111,10 +122,22 @@ class Database:
         self.pool = BufferPool(self.files, capacity=buffer_capacity,
                                policy=replacement_policy, wal=self.wal)
         self.pages = PageManager(self.pool)
-        self.catalog = Catalog(self.pages)
+        self.catalog = Catalog(self.pages,
+                               default_versioned=isolation == "snapshot")
         self.transactions = TransactionManager(self.wal, lock_timeout_s,
-                                               group_commit=group_commit)
-        self._session_txn: Optional[Transaction] = None
+                                               group_commit=group_commit,
+                                               isolation=isolation)
+        # Persisted version stamps must stay below every future txn id.
+        self.transactions.advance_ids(self.catalog.max_seen_xid + 1)
+        self.catalog.bind_transactions(self.transactions)
+        self.vacuum_manager = VacuumManager(
+            lambda: self.catalog.tables, self.transactions,
+            threshold=vacuum_threshold, interval_s=vacuum_interval_s)
+        self.vacuum_manager.start()
+        # One session per thread: BEGIN/COMMIT state is thread-local, so
+        # N threads sharing one Database behave as N sessions (readers
+        # in other threads never land inside this thread's transaction).
+        self._sessions = threading.local()
         self.statements_executed = 0
         if self.last_recovery is not None:
             # Recovery ran, so the previous incarnation died unclean:
@@ -149,6 +172,11 @@ class Database:
             return self._explain(statement.query, params)
         if isinstance(statement, ast.Analyze):
             return self._analyze(statement)
+        if isinstance(statement, ast.Vacuum):
+            if statement.table is not None:
+                self.catalog.table(statement.table)  # raise on unknown
+            summary = self.vacuum(statement.table)
+            return ExecutionResult("vacuum", summary["versions"])
         if isinstance(statement, ast.Insert):
             return self._insert(statement, params)
         if isinstance(statement, ast.Update):
@@ -208,15 +236,43 @@ class Database:
         summary."""
         if self.wal is None:
             raise TransactionError("no WAL attached; nothing to recover")
-        if self._session_txn is not None:
-            raise TransactionError("cannot recover inside a transaction")
+        if self.transactions.active:
+            # Sessions are per-thread: checking only this thread's slot
+            # would let one session yank pages out from under another's
+            # open transaction.
+            raise TransactionError(
+                "cannot recover with active transactions")
         self.pool.drop_all(flush=False)
         summary = RecoveryManager(self.wal, self.files).recover()
-        self.catalog = Catalog(self.pages)
+        self.catalog = Catalog(
+            self.pages, default_versioned=self.isolation == "snapshot")
+        self.transactions.advance_ids(self.catalog.max_seen_xid + 1)
+        self.catalog.bind_transactions(self.transactions)
         self.catalog.rebuild_indexes()
         self.last_recovery = summary
         self.checkpoint()
         return summary
+
+    # -- vacuum -------------------------------------------------------------------------
+
+    def vacuum(self, table: Optional[str] = None) -> dict:
+        """Prune row versions no live snapshot can see (the SQL
+        ``VACUUM`` statement's engine)."""
+        return self.vacuum_manager.run(table)
+
+    def _maybe_autovacuum(self, table_name: str) -> None:
+        """Threshold-triggered vacuum after a mutating statement commits
+        outside any session transaction."""
+        if self._session_txn is None:
+            self.vacuum_manager.maybe(table_name)
+
+    @property
+    def _session_txn(self) -> Optional[Transaction]:
+        return getattr(self._sessions, "txn", None)
+
+    @_session_txn.setter
+    def _session_txn(self, txn: Optional[Transaction]) -> None:
+        self._sessions.txn = txn
 
     def _begin_session_txn(self) -> None:
         if self._session_txn is not None:
@@ -230,6 +286,14 @@ class Database:
         self._session_txn = None
         if commit:
             txn.commit()
+            # Explicit transactions bypass the per-statement threshold
+            # check; sweep the gauges at commit so their dead versions
+            # get reclaimed too (touched tables are not tracked — the
+            # per-table counter compare is cheap).
+            for name, table in list(self.catalog.tables.items()):
+                if table.versioned and \
+                        table.dead_versions >= self.vacuum_manager.threshold:
+                    self.vacuum_manager.maybe(name)
         else:
             txn.abort()
 
@@ -251,7 +315,8 @@ class Database:
         try:
             planner = Planner(self.catalog,
                               view_parser=self._parse_view, txn=txn,
-                              engine=self.execution_engine)
+                              engine=self.execution_engine,
+                              isolation=self.isolation)
             plan, info = planner.plan(statement, params)
             # Vectorized execution streams RowBatches end-to-end; the
             # row engine (config switch) walks the Volcano iterators.
@@ -313,9 +378,11 @@ class Database:
             return ResultSet(["kind", "detail"], rows,
                              plan={"union": True})
         planner = Planner(self.catalog, view_parser=self._parse_view,
-                          engine=self.execution_engine)
+                          engine=self.execution_engine,
+                          isolation=self.isolation)
         _, info = planner.plan(query, params)
-        rows: list[tuple] = [("exec", info.exec_engine)]
+        rows: list[tuple] = [("exec", info.exec_engine),
+                             ("isolation", info.isolation)]
         if info.top_k:
             rows.append(("top_k", "True"))
         if info.fused:
@@ -402,7 +469,7 @@ class Database:
                 lock_row = (
                     (lambda r: txn.lock_row_exclusive(
                         statement.table, r,
-                        timeout_s=_LATCHED_LOCK_TIMEOUT_S))
+                        timeout_s=self.latched_lock_timeout_s))
                     if self.lock_granularity == "row" else None)
                 table.insert(tuple(full), txn=txn, lock_row=lock_row)
                 inserted += 1
@@ -418,32 +485,47 @@ class Database:
         table = self.catalog.table(statement.table)
         schema = table.schema
         scope = Scope(list(schema.names))
-        resolver = Planner(self.catalog, view_parser=self._parse_view,
-                           engine=self.execution_engine)
-        assignments = [
-            (schema.index_of(column),
-             compile_scalar(
-                 resolver.resolve_subqueries(expr, params), scope, params))
-            for column, expr in statement.assignments]
-        where = resolver.resolve_subqueries(statement.where, params)
-        predicate = (compile_scalar(where, scope, params)
-                     if where is not None else None)
         txn, autocommit = self._txn()
         try:
+            # Subqueries resolve under this transaction so they read
+            # its snapshot — and its own uncommitted writes.
+            resolver = Planner(self.catalog,
+                               view_parser=self._parse_view, txn=txn,
+                               engine=self.execution_engine,
+                               isolation=self.isolation)
+            assignments = [
+                (schema.index_of(column),
+                 compile_scalar(
+                     resolver.resolve_subqueries(expr, params), scope,
+                     params))
+                for column, expr in statement.assignments]
+            where = resolver.resolve_subqueries(statement.where, params)
+            predicate = (compile_scalar(where, scope, params)
+                         if where is not None else None)
             self._lock_for_write(txn, statement.table)
             touched = 0
             victims: list[RID] = []
-            for rid, row in table.scan():
+            # Victims come from the statement's read view: the txn
+            # snapshot under snapshot isolation, latest-plus-own-writes
+            # under 2PL.
+            for rid, row in table.scan(snapshot=txn.read_view()):
                 if predicate is None or predicate(row) is True:
                     victims.append(rid)
+            # First-updater-wins applies inside explicit transactions:
+            # the snapshot the victims were chosen from is the one an
+            # earlier read may have exposed to the application.  A
+            # single autocommit statement has no earlier reads, so it
+            # refreshes to latest-committed under its row lock instead
+            # of failing (read-committed statement semantics).
+            enforce = not autocommit
             for rid in victims:
                 if self.lock_granularity == "row":
                     txn.lock_row_exclusive(statement.table, rid)
                 # Re-read under the row lock: a concurrent writer may
                 # have changed (or deleted/moved) the row while we waited.
-                try:
-                    row = table.read(rid)
-                except PageLayoutError:
+                row = table.writable_row(rid, txn,
+                                         enforce_snapshot=enforce)
+                if row is None:
                     continue  # row deleted or moved: no longer a victim
                 if predicate is not None and predicate(row) is not True:
                     continue
@@ -453,13 +535,14 @@ class Database:
                 lock_row = (
                     (lambda r: txn.lock_row_exclusive(
                         statement.table, r,
-                        timeout_s=_LATCHED_LOCK_TIMEOUT_S))
+                        timeout_s=self.latched_lock_timeout_s))
                     if self.lock_granularity == "row" else None)
                 table.update(rid, tuple(new_row), txn=txn,
                              lock_row=lock_row)
                 touched += 1
             if autocommit:
                 txn.commit()
+                self._maybe_autovacuum(statement.table)
             return ExecutionResult("update", touched)
         except BaseException:
             if autocommit:
@@ -469,23 +552,25 @@ class Database:
     def _delete(self, statement: ast.Delete, params: tuple) -> ExecutionResult:
         table = self.catalog.table(statement.table)
         scope = Scope(list(table.schema.names))
-        where = Planner(self.catalog, view_parser=self._parse_view,
-                        engine=self.execution_engine) \
-            .resolve_subqueries(statement.where, params)
-        predicate = (compile_scalar(where, scope, params)
-                     if where is not None else None)
         txn, autocommit = self._txn()
         try:
+            where = Planner(self.catalog, view_parser=self._parse_view,
+                            txn=txn, engine=self.execution_engine,
+                            isolation=self.isolation) \
+                .resolve_subqueries(statement.where, params)
+            predicate = (compile_scalar(where, scope, params)
+                         if where is not None else None)
             self._lock_for_write(txn, statement.table)
-            victims = [rid for rid, row in table.scan()
+            victims = [rid for rid, row
+                       in table.scan(snapshot=txn.read_view())
                        if predicate is None or predicate(row) is True]
             deleted = 0
             for rid in victims:
                 if self.lock_granularity == "row":
                     txn.lock_row_exclusive(statement.table, rid)
-                try:
-                    row = table.read(rid)
-                except PageLayoutError:
+                row = table.writable_row(rid, txn,
+                                         enforce_snapshot=not autocommit)
+                if row is None:
                     continue  # row deleted or moved: no longer a victim
                 if predicate is not None and predicate(row) is not True:
                     continue
@@ -493,6 +578,7 @@ class Database:
                 deleted += 1
             if autocommit:
                 txn.commit()
+                self._maybe_autovacuum(statement.table)
             return ExecutionResult("delete", deleted)
         except BaseException:
             if autocommit:
@@ -584,6 +670,7 @@ class Database:
                 self.wal.flush()
 
     def close(self) -> None:
+        self.vacuum_manager.stop()
         self.checkpoint()
         self.device.close()
 
@@ -599,6 +686,11 @@ class Database:
                 "time_charged": self.device.stats.time_charged,
             },
             "transactions": self.transactions.stats(),
+            "locks": self.transactions.locks.stats(),
+            "isolation": self.isolation,
+            "snapshots": self.transactions.active_snapshots(),
+            "lock_timeout_s": self.transactions.locks.timeout_s,
+            "vacuum": self.vacuum_manager.stats(),
             "statements": self.statements_executed,
         }
 

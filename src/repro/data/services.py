@@ -39,6 +39,10 @@ DATA_INTERFACE = Interface("Data", (
     op("table_properties", "table:str", returns="dict"),
     op("analyze", "table:str", returns="int",
        semantics="collect optimizer statistics (all tables when None)"),
+    op("vacuum", "table:str", returns="dict",
+       semantics="prune row versions no active snapshot can see"),
+    op("stats", returns="dict",
+       semantics="engine-wide gauges: locks, snapshots, vacuum, buffer"),
     op("begin", returns="int",
        semantics="open the session transaction, returning its id"),
     op("commit", returns="any",
@@ -137,13 +141,20 @@ class DataService(Service):
         return (rid.page_no, rid.slot)
 
     def op_lookup(self, table: str, key: Any) -> Any:
+        from repro.errors import PageLayoutError
+
         table_obj = self.database.catalog.table(table)
         pk = table_obj.schema.primary_key
         if pk is None:
             return None
         index = table_obj.index_on((pk.name,))
         rids = index.lookup_eq((key,))
-        return table_obj.read(rids[0]) if rids else None
+        if not rids:
+            return None
+        try:
+            return table_obj.read(rids[0])
+        except PageLayoutError:
+            return None    # deleted row awaiting vacuum
 
     def op_scan(self, table: str) -> list:
         # Stream the heap in batches: one pin + bulk decode per page run
@@ -164,6 +175,12 @@ class DataService(Service):
         analyzed = self.database.catalog.analyze(table)
         self.database.catalog.save()
         return analyzed
+
+    def op_vacuum(self, table: Any = None) -> dict:
+        return self.database.vacuum(table)
+
+    def op_stats(self) -> dict:
+        return self.database.stats()
 
     # -- unified transaction contract (shared with StorageService) ---------
 
@@ -202,14 +219,14 @@ class AccessService(Service):
     def op_index_lookup(self, table: str, index: str, key: Any) -> list:
         table_obj, idx = self._index(table, index)
         key_tuple = key if isinstance(key, tuple) else (key,)
-        return [table_obj.read(rid) for rid in idx.lookup_eq(key_tuple)]
+        return list(table_obj.read_many(idx.lookup_eq(key_tuple)))
 
     def op_index_range(self, table: str, index: str, lo: Any,
                        hi: Any) -> list:
         table_obj, idx = self._index(table, index)
         lo_t = (lo,) if lo is not None and not isinstance(lo, tuple) else lo
         hi_t = (hi,) if hi is not None and not isinstance(hi, tuple) else hi
-        return [table_obj.read(rid) for rid in idx.range_scan(lo_t, hi_t)]
+        return list(table_obj.read_many(idx.range_scan(lo_t, hi_t)))
 
     def op_sort_records(self, table: str, column: str,
                         descending: bool = False) -> list:

@@ -226,6 +226,14 @@ class Analyze:
 
 
 @dataclass(frozen=True)
+class Vacuum:
+    """VACUUM [table]: prune row versions no active snapshot can see
+    (all versioned tables when ``table`` is None)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class BeginTransaction:
     pass
 
@@ -242,8 +250,8 @@ class RollbackTransaction:
 
 Statement = Union[CreateTable, CreateIndex, CreateView, DropStatement,
                   Insert, Update, Delete, SelectStatement, UnionSelect,
-                  Explain, Analyze, BeginTransaction, CommitTransaction,
-                  RollbackTransaction]
+                  Explain, Analyze, Vacuum, BeginTransaction,
+                  CommitTransaction, RollbackTransaction]
 
 
 def walk_expression(expr: Expression):

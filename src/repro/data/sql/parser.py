@@ -64,6 +64,9 @@ class Parser:
         if s.accept_keyword("ANALYZE"):
             name = s.expect_ident() if s.peek().kind == "IDENT" else None
             return ast.Analyze(name)
+        if s.accept_keyword("VACUUM"):
+            name = s.expect_ident() if s.peek().kind == "IDENT" else None
+            return ast.Vacuum(name)
         if s.accept_keyword("BEGIN"):
             return ast.BeginTransaction()
         if s.accept_keyword("COMMIT"):

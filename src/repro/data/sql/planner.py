@@ -312,12 +312,14 @@ class PlanInfo:
     exec_engine: str = "row"
     top_k: bool = False
     fused: bool = False
+    isolation: str = "2pl"
 
     def as_dict(self) -> dict:
         summary = {"access_paths": self.access_paths, "joins": self.joins,
                    "aggregated": self.aggregated,
                    "cost_based": self.cost_based,
                    "exec": self.exec_engine,
+                   "isolation": self.isolation,
                    "top_k": self.top_k, "fused": self.fused}
         if self.cost_based:
             summary.update({
@@ -337,7 +339,8 @@ class Planner:
     """
 
     def __init__(self, catalog, view_parser: Optional[Callable] = None,
-                 txn=None, engine: str = "vectorized") -> None:
+                 txn=None, engine: str = "vectorized",
+                 isolation: str = "2pl") -> None:
         if engine not in ("vectorized", "row"):
             raise SQLPlanError(
                 f"execution engine must be 'vectorized' or 'row', "
@@ -346,6 +349,26 @@ class Planner:
         self._view_parser = view_parser
         self.txn = txn
         self.engine = engine
+        self.isolation = isolation
+        # The statement's read view over *versioned* tables: the fixed
+        # transaction snapshot under snapshot isolation (lock-free
+        # reads), else latest-committed-plus-own-writes for a 2PL
+        # transaction touching versioned heaps.
+        self.snapshot = txn.read_view() \
+            if txn is not None and hasattr(txn, "read_view") else None
+
+    def _lock_for_read(self, name: str, table=None) -> None:
+        """S table lock for the locking read path.  Skipped only when
+        the table is versioned *and* the session runs snapshot
+        isolation — an unversioned table (e.g. created under 2PL and
+        reopened under snapshot) has no version headers to filter by,
+        so its readers must still block out writers."""
+        if self.txn is None:
+            return
+        if self.isolation == "snapshot" and table is not None \
+                and getattr(table, "versioned", False):
+            return
+        self.txn.lock_shared(name)
 
     # -- sources -----------------------------------------------------------------
 
@@ -356,17 +379,18 @@ class Planner:
         name = table_ref.name
         binding = table_ref.binding
         if self.catalog.has_table(name):
-            if self.txn is not None:
-                self.txn.lock_shared(name)
             table = self.catalog.table(name)
+            self._lock_for_read(name, table)
             columns = [f"{binding}.{c}" for c in table.schema.names]
             source = self._indexed_source(table, binding, columns, where,
                                           params, info)
             if source is not None:
                 return source
             info.access_paths.append(f"seq_scan({name})")
-            return Source(columns, lambda: table.rows(),
-                          batch_factory=lambda: table.scan_batches())
+            snap = self.snapshot
+            return Source(columns, lambda: table.rows(snapshot=snap),
+                          batch_factory=lambda: table.scan_batches(
+                              snapshot=snap))
         if name in getattr(self.catalog, "views", {}):
             if self._view_parser is None:
                 raise SQLPlanError(f"cannot expand view {name!r}")
@@ -415,25 +439,47 @@ class Planner:
                                       hi_inclusive=hi_inc)
         return None
 
-    @staticmethod
-    def _index_source(table, columns: list[str], index, kind: str,
+    def _index_source(self, table, columns: list[str], index, kind: str,
                       value: Any = None, lo: Optional[tuple] = None,
                       hi: Optional[tuple] = None,
                       lo_inclusive: bool = True,
                       hi_inclusive: bool = True) -> Source:
         """Leaf operator fetching heap rows through an index probe
-        (shared by the rule-based and cost-based paths)."""
+        (shared by the rule-based and cost-based paths).
+
+        On the lock-free read path (snapshot isolation over a versioned
+        table) the probe runs under the table latch: readers take no
+        transaction locks, so the in-memory index structure must be
+        guarded against concurrent maintenance.  Point probes hold it
+        for microseconds; a huge unbounded range scan holds it for its
+        whole traversal — writers stall for that window (chunked
+        re-seeking probes are a noted follow-up).  Locking read paths
+        (2PL, or unversioned tables) already exclude writers via their
+        S lock and skip the latch.
+        """
         if kind == "eq":
-            rids = lambda: iter(index.lookup_eq((value,)))  # noqa: E731
+            probe = lambda: index.lookup_eq((value,))  # noqa: E731
         else:
-            rids = (lambda: index.range_scan(lo, hi, lo_inclusive,
-                                             hi_inclusive))
+            probe = (lambda: index.range_scan(lo, hi, lo_inclusive,
+                                              hi_inclusive))
+        latch = getattr(table, "_latch", None) \
+            if self.isolation == "snapshot" and \
+            getattr(table, "versioned", False) else None
+
+        def rids():
+            if latch is None:
+                return probe()   # locking read path: stream lazily
+            with latch:
+                return list(probe())
+
+        snap = self.snapshot
         # read_many holds one pin per same-page RID run (instead of a
         # pin/unpin per record) and preserves index order; the batch
         # factory additionally decodes each run in bulk.
         return Source(columns,
-                      lambda: table.read_many(rids()),
-                      batch_factory=lambda: table.read_batches(rids()))
+                      lambda: table.read_many(rids(), snapshot=snap),
+                      batch_factory=lambda: table.read_batches(
+                          rids(), snapshot=snap))
 
     # -- subqueries (uncorrelated) ---------------------------------------------------
 
@@ -491,7 +537,7 @@ class Planner:
     def _run_subquery(self, query: ast.SelectStatement,
                       params: Sequence[Any]) -> list[tuple]:
         nested = Planner(self.catalog, self._view_parser, self.txn,
-                         engine=self.engine)
+                         engine=self.engine, isolation=self.isolation)
         plan, _ = nested.plan(query, params)
         if self.engine == "vectorized":
             return plan.to_list_batched()
@@ -511,6 +557,7 @@ class Planner:
                 offset=select.offset, distinct=select.distinct)
         info = PlanInfo()
         info.exec_engine = self.engine
+        info.isolation = self.isolation
         if select.table is None:
             # SELECT without FROM: single synthetic row.
             plan: Operator = Source([], lambda: iter([()]))
@@ -659,8 +706,7 @@ class Planner:
         total_cost = 0.0
         for ref in refs:
             table = bindings[ref.binding]
-            if self.txn is not None:
-                self.txn.lock_shared(ref.name)
+            self._lock_for_read(ref.name, table)
             choice = choose_access_path(table, all_stats[ref.binding],
                                         specs[ref.binding], cost_model)
             source = self._choice_source(table, ref.binding, choice)
@@ -735,7 +781,10 @@ class Planner:
         """Materialise a :class:`ScanChoice` as a leaf operator."""
         columns = [f"{binding}.{c}" for c in table.schema.names]
         if choice.kind == "seq":
-            return Source(columns, lambda: table.rows())
+            snap = self.snapshot
+            return Source(columns, lambda: table.rows(snapshot=snap),
+                          batch_factory=lambda: table.scan_batches(
+                              snapshot=snap))
         index = table.index_on((choice.column,),
                                require_btree=choice.kind == "index_range")
         if choice.kind == "index_eq":

@@ -1,4 +1,4 @@
-"""Tables: heap storage + schema + index maintenance.
+"""Tables: heap storage + schema + index maintenance + multi-versioning.
 
 A :class:`Table` owns one heap file and any number of secondary indexes
 (B+-tree or extendible hash).  The primary key, when declared, is a unique
@@ -8,6 +8,34 @@ consistent; uniqueness is enforced at insert/update time.
 Index keys use the order-preserving key codec; non-unique indexes append
 the record's RID to the key, making entries unique while keeping them
 clustered by key prefix (see :mod:`repro.access.keycodec`).
+
+**Versioned tables** (``versioned=True``, the snapshot-isolation default)
+store every heap record behind a 25-byte version header
+(:mod:`repro.access.version`).  The record at a row's original RID is the
+*head* of its version chain — indexes and row locks always address the
+head.  An update copies the pre-image into an ``OLD`` record (stamped
+``xmax = updater``) and rewrites the head in place; a delete merely
+stamps the head's ``xmax``.  Reads carry a
+:class:`~repro.data.transactions.Snapshot` and filter versions by pure
+header arithmetic — no locks — walking the prev chain (under the table
+latch, so writers/vacuum cannot dangle a pointer mid-walk) only when the
+head itself is invisible.  Superseded versions live until
+:mod:`repro.storage.vacuum` prunes everything older than the oldest
+active snapshot.
+
+Known index/visibility trade-off: index entries track the *latest* key
+of each row (plus entries for not-yet-vacuumed deleted rows).  A
+snapshot reader therefore observes full snapshot semantics through
+sequential scans and through index probes on unchanged keys, but an
+index probe on a key some concurrent transaction changed (or a unique
+key recycled after its dead holder was unlinked) can miss a version the
+snapshot would otherwise see — the residual WHERE re-check above every
+index source guarantees no wrong rows, only that narrow class of missed
+ones (the documented ARIES-lite-grade simplification; version-aware
+indexes are future work).  Similarly, the rare head rewrite that
+overflows its page moves the head to a fresh RID; a scan racing that
+exact move can miss the row for one statement (2PL's S locks used to
+exclude this window; redirect tombstones would close it).
 """
 
 from __future__ import annotations
@@ -23,9 +51,28 @@ from repro.faults.crashpoints import maybe_crash
 from repro.access.hash_index import ExtendibleHashIndex
 from repro.access.heap_file import RID, HeapFile
 from repro.access.keycodec import encode_key
+from repro.access.version import (
+    FLAG_HEAD,
+    HEADER_SIZE,
+    VERSION_HEADER,
+    bulk_headers,
+    pack_version,
+    restamp,
+    unpack_version,
+)
+from repro.access.record import RecordCodec
 from repro.data.schema import Schema
-from repro.errors import CatalogError, DuplicateKeyError, SchemaError
+from repro.data.transactions import FROZEN_SNAPSHOT, Snapshot
+from repro.errors import (
+    CatalogError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    PageLayoutError,
+    SchemaError,
+    SerializationError,
+)
 from repro.storage.page_manager import PageManager
+from repro.storage.wal import OP_VERSION_CREATE, OP_VERSION_STAMP
 
 _RID = struct.Struct("<II")
 
@@ -37,6 +84,12 @@ def encode_rid(rid: RID) -> bytes:
 def decode_rid(data: bytes) -> RID:
     page_no, slot = _RID.unpack(data)
     return RID(page_no, slot)
+
+
+#: Neutral header prepended to chain-walked tuple bytes so one offset
+#: codec decodes fast-path and walked payloads alike (xmin = 0 means
+#: "bootstrap, visible to all" — the header is never re-examined).
+_WALKED_HEADER = pack_version(FLAG_HEAD, 0, 0)
 
 
 @dataclass
@@ -162,16 +215,87 @@ class TableIndex:
 class Table:
     """A logical table bound to its physical storage."""
 
-    def __init__(self, name: str, schema: Schema, heap: HeapFile) -> None:
+    def __init__(self, name: str, schema: Schema, heap: HeapFile,
+                 versioned: bool = False) -> None:
         self.name = name
         self.schema = schema
         self.heap = heap
+        self.versioned = versioned
+        # Versioned payloads decode *past* their header in place (an
+        # offset codec) — the batch scan never slices a copy per record.
+        self._version_codec = RecordCodec(
+            schema.codec.types, offset=HEADER_SIZE) if versioned else None
+        #: Transaction manager supplying "latest" read views for
+        #: versioned tables (wired by the catalog/database; None for
+        #: standalone tables, which read with frozen visibility).
+        self.txns = None
+        #: Superseded/deleted version stamps awaiting vacuum
+        #: (approximate gauge driving the auto-vacuum threshold).
+        self.dead_versions = 0
         self.indexes: dict[str, TableIndex] = {}
         self.row_count = 0
         # Short-term latch serialising index maintenance + row counting:
         # row-level transaction locks admit concurrent writers to one
         # table, but the in-memory index structures are not thread-safe.
         self._latch = threading.RLock()
+
+    # -- version visibility ------------------------------------------------------
+
+    def _read_view(self, snapshot: Optional[Snapshot]) -> Snapshot:
+        if snapshot is not None:
+            return snapshot
+        if self.txns is not None:
+            return self.txns.latest_snapshot()
+        return FROZEN_SNAPSHOT
+
+    def _visible_version(self, head_rid: RID,
+                         view: Snapshot) -> Optional[bytes]:
+        """Tuple bytes of the chain version ``view`` sees, or None.
+
+        The slow path of every versioned read: taken only when a head's
+        own stamps are not visible.  Runs under the table latch so a
+        concurrent abort-undo or vacuum cannot delete a chain member
+        between the pointer read and the record fetch; the head is
+        re-read first because its bytes may have changed since the
+        caller's lock-free copy.
+        """
+        with self._latch:
+            try:
+                payload = self.heap.read(head_rid)
+            except PageLayoutError:
+                return None
+            header = unpack_version(payload)
+            if not header.is_head:
+                return None    # RID recycled since the caller's copy
+            while True:
+                if view.visible(header.xmin, header.xmax):
+                    return payload[HEADER_SIZE:]
+                prev = header.prev
+                if prev is None:
+                    return None
+                try:
+                    payload = self.heap.read(prev)
+                except PageLayoutError:
+                    return None   # defensive: truncated chain
+                header = unpack_version(payload)
+
+    def bootstrap_stats(self) -> tuple[int, int]:
+        """(live row count, max transaction id seen) from one heap pass —
+        what the catalog needs at load time, when everything on disk is
+        committed (crash recovery ran first) and no manager exists yet."""
+        if not self.versioned:
+            return self.heap.count(), 0
+        live = 0
+        max_xid = 0
+        for _, payload in self.heap.scan():
+            flags, xmin, xmax, _, _ = VERSION_HEADER.unpack_from(payload, 0)
+            if xmin > max_xid:
+                max_xid = xmin
+            if xmax > max_xid:
+                max_xid = xmax
+            if flags & FLAG_HEAD and xmax == 0:
+                live += 1
+        return live, max_xid
 
     # -- index management -----------------------------------------------------------
 
@@ -216,14 +340,12 @@ class Table:
         """
         validated = self.schema.validate(row)
         with self._latch:
-            for index in self.indexes.values():
-                if index.would_conflict(validated):
-                    raise DuplicateKeyError(
-                        f"{self.name}: duplicate key "
-                        f"{index.key_values(validated)!r} for unique index "
-                        f"{index.definition.name!r}")
-            rid = self.heap.insert(self.schema.codec.encode(validated),
-                                   txn=txn)
+            self._check_unique(validated, txn)
+            payload = self.schema.codec.encode(validated)
+            if self.versioned:
+                xid = txn.txn_id if txn is not None else 0
+                payload = pack_version(FLAG_HEAD, xid, 0) + payload
+            rid = self.heap.insert(payload, txn=txn)
             # The undo tracks how far the insert got: if lock_row (which
             # may hit a routine deadlock/timeout) or a crash point stops
             # us before index maintenance, the rollback must remove only
@@ -241,26 +363,148 @@ class Table:
             self.row_count += 1
         return rid
 
+    def _check_unique(self, validated: tuple, txn,
+                      exclude_rid: Optional[RID] = None,
+                      old_row: Optional[tuple] = None) -> None:
+        """Enforce uniqueness against *live* rows.  Caller holds the
+        table latch.
+
+        For unversioned tables a physical entry is a conflict.  For
+        versioned tables a conflicting unique entry may point at a head
+        that is dead at latest (committed delete awaiting vacuum, or
+        deleted by this very transaction): that holder is unlinked from
+        its unique indexes so the key can be taken over — with an undo
+        that restores the entries, keeping abort exact.  A holder
+        whose delete (or insert) is still uncommitted by another
+        transaction stays a hard conflict.
+        """
+        for index in self.indexes.values():
+            if not index.definition.unique:
+                continue
+            if old_row is not None and \
+                    index.key_values(validated) == index.key_values(old_row):
+                continue   # update keeping this key: no conflict possible
+            if not self.versioned:
+                if index.would_conflict(validated):
+                    raise DuplicateKeyError(
+                        f"{self.name}: duplicate key "
+                        f"{index.key_values(validated)!r} for unique index "
+                        f"{index.definition.name!r}")
+                continue
+            for conflict_rid in index.lookup_eq(index.key_values(validated)):
+                if conflict_rid == exclude_rid:
+                    continue
+                self._resolve_dead_conflict(index, conflict_rid,
+                                            validated, txn)
+
+    def _resolve_dead_conflict(self, index: "TableIndex", rid: RID,
+                               validated: tuple, txn) -> None:
+        try:
+            payload = self.heap.read(rid)
+        except PageLayoutError:
+            return        # entry raced a vacuum; the key is free
+        header = unpack_version(payload)
+        xid = txn.txn_id if txn is not None else 0
+        view = self._read_view(None)
+        dead = header.xmax != 0 and (header.xmax == xid
+                                     or view.sees(header.xmax))
+        if not header.is_head or not dead:
+            raise DuplicateKeyError(
+                f"{self.name}: duplicate key "
+                f"{index.key_values(validated)!r} for unique index "
+                f"{index.definition.name!r}")
+        # Unlink the dead holder from every *unique* index so the fresh
+        # row can take the keys over; its non-unique entries and heap
+        # versions stay for old snapshots until vacuum.
+        dead_row = self.schema.decode(payload[HEADER_SIZE:])
+        unlinked: list[TableIndex] = []
+        for other in self.indexes.values():
+            if not other.definition.unique:
+                continue
+            try:
+                other.delete(dead_row, rid)
+                unlinked.append(other)
+            except (KeyNotFoundError, PageLayoutError):
+                pass
+        if txn is not None and unlinked:
+            def relink() -> None:
+                with self._latch:
+                    for other in unlinked:
+                        try:
+                            other.insert(dead_row, rid)
+                        except DuplicateKeyError:
+                            pass
+            txn.on_abort(relink)
+
     def _undo_insert(self, rid: RID, progress: dict, txn) -> None:
         with self._latch:
             if progress["indexed"]:
-                self.delete(rid, txn=txn)
+                self._remove_row(rid, txn)
             else:
                 self.heap.delete(rid, txn=txn)
 
-    def read(self, rid: RID) -> tuple:
-        return self.schema.decode(self.heap.read(rid))
+    def _remove_row(self, rid: RID, txn) -> tuple:
+        """Physically remove a row: index entries + heap record.  The
+        undo path of an insert (and the whole delete for unversioned
+        tables) — never used to execute a user DELETE on a versioned
+        table, which only stamps ``xmax``."""
+        payload = self.heap.read(rid)
+        row = self.schema.decode(payload[HEADER_SIZE:] if self.versioned
+                                 else payload)
+        for index in self.indexes.values():
+            try:
+                index.delete(row, rid)
+            except KeyNotFoundError:
+                pass   # e.g. already unlinked by a dead-key takeover
+        self.heap.delete(rid, txn=txn)
+        self.row_count -= 1
+        return row
+
+    def read(self, rid: RID, snapshot: Optional[Snapshot] = None) -> tuple:
+        """The row at ``rid`` as ``snapshot`` (default: latest) sees it.
+        Raises :class:`PageLayoutError` when no version is visible —
+        versioned tables mirror the tombstone semantics of plain heaps.
+        """
+        payload = self.heap.read(rid)
+        if not self.versioned:
+            return self.schema.decode(payload)
+        view = self._read_view(snapshot)
+        header = unpack_version(payload)
+        if header.is_head and view.visible(header.xmin, header.xmax):
+            return self.schema.decode(payload[HEADER_SIZE:])
+        tuple_bytes = self._visible_version(rid, view)
+        if tuple_bytes is None:
+            raise PageLayoutError(
+                f"{self.name}: no version of {rid} visible to the "
+                f"read view")
+        return self.schema.decode(tuple_bytes)
 
     def delete(self, rid: RID, txn=None) -> tuple:
         with self._latch:
-            row = self.read(rid)
-            for index in self.indexes.values():
-                index.delete(row, rid)
-            self.heap.delete(rid, txn=txn)
-            if txn is not None:
-                txn.on_abort(lambda: self.insert(row, txn=txn))
+            if not self.versioned or txn is None:
+                # Unversioned (or maintenance) path: physical removal.
+                row = self._remove_row(rid, txn)
+                if txn is not None:
+                    txn.on_abort(lambda: self.insert(row, txn=txn))
+                return row
+            # MVCC delete: stamp xmax on the head, leave payload, chain
+            # and index entries in place for concurrent snapshots.
+            payload = self.heap.read(rid)
+            row = self.schema.decode(payload[HEADER_SIZE:])
+            self.heap.update(rid, restamp(payload, xmax=txn.txn_id),
+                             txn=txn, op=OP_VERSION_STAMP)
             self.row_count -= 1
+            self.dead_versions += 1
+            txn.on_abort(lambda: self._undo_delete_stamp(rid, txn))
         return row
+
+    def _undo_delete_stamp(self, rid: RID, txn) -> None:
+        with self._latch:
+            payload = self.heap.read(rid)
+            self.heap.update(rid, restamp(payload, xmax=0), txn=txn,
+                             op=OP_VERSION_STAMP)
+            self.row_count += 1
+            self.dead_versions -= 1
 
     def update(self, rid: RID, new_row: Sequence[Any], txn=None,
                lock_row=None) -> RID:
@@ -275,20 +519,21 @@ class Table:
         """
         validated = self.schema.validate(new_row)
         with self._latch:
-            old_row = self.read(rid)
-            for index in self.indexes.values():
-                if index.definition.unique and \
-                        index.key_values(validated) != \
-                        index.key_values(old_row) \
-                        and index.would_conflict(validated):
-                    raise DuplicateKeyError(
-                        f"{self.name}: duplicate key "
-                        f"{index.key_values(validated)!r} for unique index "
-                        f"{index.definition.name!r}")
+            if self.versioned and txn is not None:
+                return self._mvcc_update(rid, validated, txn, lock_row)
+            old_payload = self.heap.read(rid)
+            old_row = self.schema.decode(
+                old_payload[HEADER_SIZE:] if self.versioned
+                else old_payload)
+            self._check_unique(validated, txn, exclude_rid=rid,
+                               old_row=old_row)
             for index in self.indexes.values():
                 index.delete(old_row, rid)
-            new_rid = self.heap.update(
-                rid, self.schema.codec.encode(validated), txn=txn)
+            new_payload = self.schema.codec.encode(validated)
+            if self.versioned:
+                # Maintenance rewrite: keep the existing header intact.
+                new_payload = old_payload[:HEADER_SIZE] + new_payload
+            new_rid = self.heap.update(rid, new_payload, txn=txn)
             progress = {"indexed": False}
             if txn is not None:
                 txn.on_abort(lambda: self._undo_update(
@@ -301,6 +546,63 @@ class Table:
             progress["indexed"] = True
         return new_rid
 
+    def _mvcc_update(self, rid: RID, validated: tuple, txn,
+                     lock_row) -> RID:
+        """Version-chain update (caller holds the table latch): push the
+        pre-image down the chain as an ``OLD`` copy stamped with our
+        xmax, rewrite the head with ``xmin = us``, re-key the indexes to
+        the head's (possibly moved) RID."""
+        head_payload = self.heap.read(rid)
+        header = unpack_version(head_payload)
+        old_row = self.schema.decode(head_payload[HEADER_SIZE:])
+        self._check_unique(validated, txn, exclude_rid=rid,
+                           old_row=old_row)
+        copy_payload = pack_version(header.flags & ~FLAG_HEAD,
+                                    header.xmin, txn.txn_id,
+                                    header.prev) + \
+            head_payload[HEADER_SIZE:]
+        copy_rid = self.heap.insert(copy_payload, txn=txn,
+                                    op=OP_VERSION_CREATE)
+        for index in self.indexes.values():
+            index.delete(old_row, rid)
+        new_head = pack_version(FLAG_HEAD, txn.txn_id, 0, copy_rid) + \
+            self.schema.codec.encode(validated)
+        new_rid = self.heap.update(rid, new_head, txn=txn)
+        progress = {"indexed": False}
+        txn.on_abort(lambda: self._undo_mvcc_update(
+            new_rid, copy_rid, head_payload, old_row, validated,
+            progress, txn))
+        # Increment the gauge in the same always-runs window as the
+        # undo registration, so a failure below (row-lock timeout,
+        # index crash point) cannot drive it negative at abort.
+        self.dead_versions += 1
+        if new_rid != rid and lock_row is not None:
+            lock_row(new_rid)
+        maybe_crash("table.index")
+        for index in self.indexes.values():
+            index.insert(validated, new_rid)
+        progress["indexed"] = True
+        return new_rid
+
+    def _undo_mvcc_update(self, head_rid: RID, copy_rid: RID,
+                          old_head_payload: bytes, old_row: tuple,
+                          new_row: tuple, progress: dict, txn) -> None:
+        with self._latch:
+            if progress["indexed"]:
+                for index in self.indexes.values():
+                    try:
+                        index.delete(new_row, head_rid)
+                    except KeyNotFoundError:
+                        pass
+            # Restore the pre-image (original xmin/xmax/prev) at the
+            # head, re-key the indexes back, drop the version copy.
+            back_rid = self.heap.update(head_rid, old_head_payload,
+                                        txn=txn)
+            for index in self.indexes.values():
+                index.insert(old_row, back_rid)
+            self.heap.delete(copy_rid, txn=txn)
+            self.dead_versions -= 1
+
     def _undo_update(self, rid: RID, old_row: tuple, progress: dict,
                      txn) -> None:
         with self._latch:
@@ -310,42 +612,189 @@ class Table:
                 # The new index entries were never inserted (the old ones
                 # are already gone): restore the heap payload and re-key
                 # the indexes with the old row directly.
-                back_rid = self.heap.update(
-                    rid, self.schema.codec.encode(old_row), txn=txn)
+                payload = self.schema.codec.encode(old_row)
+                if self.versioned:
+                    payload = self.heap.read(rid)[:HEADER_SIZE] + payload
+                back_rid = self.heap.update(rid, payload, txn=txn)
                 for index in self.indexes.values():
                     index.insert(old_row, back_rid)
 
+    # -- write-write conflict detection (snapshot isolation) ---------------------------
+
+    def writable_row(self, rid: RID, txn,
+                     enforce_snapshot: bool = False) -> Optional[tuple]:
+        """The latest row at head ``rid`` for a writer that already
+        holds its X row lock — or ``None`` when the row is gone at
+        latest state (skip the victim).
+
+        First-updater-wins: with ``enforce_snapshot`` (explicit
+        snapshot-isolation transactions), a head whose latest version
+        was created — or whose deletion committed — after the writer's
+        snapshot raises :class:`SerializationError` instead.  Autocommit
+        statements pass ``enforce_snapshot=False`` and simply re-read
+        latest committed state (their one statement *is* the whole
+        transaction, so refreshing the read is sound, and it keeps
+        single-statement counters free of spurious aborts).
+        """
+        if not self.versioned:
+            try:
+                return self.read(rid)
+            except PageLayoutError:
+                return None
+        try:
+            payload = self.heap.read(rid)
+        except PageLayoutError:
+            return None
+        header = unpack_version(payload)
+        if not header.is_head:
+            return None
+        xid = txn.txn_id if txn is not None else 0
+        snapshot = getattr(txn, "snapshot", None)
+        if header.xmax != 0:
+            if header.xmax == xid:
+                return None    # we deleted it ourselves this transaction
+            # Holding the X lock means the stamping transaction finished;
+            # an abort would have reset the stamp — so this is a
+            # committed concurrent delete.
+            if enforce_snapshot and snapshot is not None:
+                raise SerializationError(
+                    f"{self.name}: row {rid} was deleted by a "
+                    f"transaction concurrent with txn {xid}'s snapshot")
+            return None
+        if enforce_snapshot and snapshot is not None \
+                and header.xmin not in (0, xid) \
+                and not snapshot.sees(header.xmin):
+            raise SerializationError(
+                f"{self.name}: row {rid} was updated by a transaction "
+                f"concurrent with txn {xid}'s snapshot "
+                f"(first-updater-wins)")
+        return self.schema.decode(payload[HEADER_SIZE:])
+
     # -- reads -------------------------------------------------------------------------
 
-    def scan(self) -> Iterator[tuple[RID, tuple]]:
+    def scan(self, snapshot: Optional[Snapshot] = None
+             ) -> Iterator[tuple[RID, tuple]]:
+        if not self.versioned:
+            for rid, payload in self.heap.scan():
+                yield rid, self.schema.decode(payload)
+            return
+        view = self._read_view(snapshot)
+        decode = self.schema.decode
+        vdecode = self._version_codec.decode
+        unpack = VERSION_HEADER.unpack_from
         for rid, payload in self.heap.scan():
-            yield rid, self.schema.decode(payload)
+            flags, xmin, xmax, _, _ = unpack(payload, 0)
+            if not flags & FLAG_HEAD:
+                continue
+            if (xmin == 0 or view.sees(xmin)) and \
+                    (xmax == 0 or not view.sees(xmax)):
+                yield rid, vdecode(payload)
+            else:
+                tuple_bytes = self._visible_version(rid, view)
+                if tuple_bytes is not None:
+                    yield rid, decode(tuple_bytes)
 
-    def rows(self) -> Iterator[tuple]:
-        for _, row in self.scan():
+    def rows(self, snapshot: Optional[Snapshot] = None) -> Iterator[tuple]:
+        for _, row in self.scan(snapshot):
             yield row
 
-    def scan_batches(self, batch_rows: int = BATCH_SIZE
+    def _select_visible(self, page_nos: Sequence[int],
+                        slots: Sequence[int],
+                        payloads: Sequence[bytes],
+                        view: Snapshot) -> list[bytes]:
+        """Apply the batch's visibility bitmap: decode every version
+        header in one tight loop, keep visible heads' *full* payloads
+        (the offset codec skips the header in place — zero copies), and
+        chain-walk only the (rare) concurrently-modified heads."""
+        out: list[bytes] = []
+        append = out.append
+        sees = view.sees
+        for i, (flags, xmin, xmax, _, _) in \
+                enumerate(bulk_headers(payloads)):
+            if not flags & FLAG_HEAD:
+                continue
+            if (xmin == 0 or sees(xmin)) and (xmax == 0 or not sees(xmax)):
+                append(payloads[i])
+            else:
+                tuple_bytes = self._visible_version(
+                    RID(page_nos[i], slots[i]), view)
+                if tuple_bytes is not None:
+                    append(_WALKED_HEADER + tuple_bytes)
+        return out
+
+    def scan_batches(self, batch_rows: int = BATCH_SIZE,
+                     snapshot: Optional[Snapshot] = None
                      ) -> Iterator[RowBatch]:
         """Columnar full scan: one pin per page, bulk slot sweep, and
-        plan-cached decode of each run (the vectorized engine's leaf)."""
-        codec = self.schema.codec
-        for payloads in self.heap.scan_payload_batches(batch_rows):
-            yield codec.decode_batch(payloads)
+        plan-cached decode of each run (the vectorized engine's leaf).
+        Versioned tables filter each run by a per-batch visibility pass
+        before decoding — no per-row lock traffic on the read path."""
+        if not self.versioned:
+            codec = self.schema.codec
+            for payloads in self.heap.scan_payload_batches(batch_rows):
+                yield codec.decode_batch(payloads)
+            return
+        view = self._read_view(snapshot)
+        codec = self._version_codec
+        for page_nos, slots, payloads in \
+                self.heap.scan_version_batches(batch_rows):
+            visible = self._select_visible(page_nos, slots, payloads,
+                                           view)
+            if visible:
+                yield codec.decode_batch(visible)
 
-    def read_many(self, rids: Iterable[RID]) -> Iterator[tuple]:
-        """Decode records in RID order, pinning once per same-page run."""
-        decode = self.schema.decode
-        for payload in self.heap.read_many(rids):
+    def read_many(self, rids: Iterable[RID],
+                  snapshot: Optional[Snapshot] = None) -> Iterator[tuple]:
+        """Decode records in RID order, pinning once per same-page run.
+        Versioned tables yield only versions the read view sees (index
+        entries may point at rows dead to it)."""
+        if not self.versioned:
+            decode = self.schema.decode
+            for payload in self.heap.read_many(rids):
+                yield decode(payload)
+            return
+        decode = self._version_codec.decode
+        for payload in self._fetch_visible(rids, snapshot):
             yield decode(payload)
 
+    def _fetch_visible(self, rids: Iterable[RID],
+                       snapshot: Optional[Snapshot]) -> Iterator[bytes]:
+        """Full payloads of the versions the view sees, in RID order
+        (walked chain versions re-wrapped behind a neutral header so the
+        offset codec decodes everything uniformly)."""
+        view = self._read_view(snapshot)
+        rid_list = rids if isinstance(rids, list) else list(rids)
+        unpack = VERSION_HEADER.unpack_from
+        sees = view.sees
+        for rid, payload in zip(
+                rid_list, self.heap.read_many(rid_list, missing_ok=True)):
+            if payload is None:
+                continue      # entry raced a vacuum prune
+            flags, xmin, xmax, _, _ = unpack(payload, 0)
+            if not flags & FLAG_HEAD:
+                continue
+            if (xmin == 0 or sees(xmin)) and (xmax == 0 or not sees(xmax)):
+                yield payload
+            else:
+                tuple_bytes = self._visible_version(rid, view)
+                if tuple_bytes is not None:
+                    yield _WALKED_HEADER + tuple_bytes
+
     def read_batches(self, rids: Iterable[RID],
-                     batch_rows: int = BATCH_SIZE) -> Iterator[RowBatch]:
+                     batch_rows: int = BATCH_SIZE,
+                     snapshot: Optional[Snapshot] = None
+                     ) -> Iterator[RowBatch]:
         """Batched index-scan fetch: RID runs are read under one pin per
-        page and decoded in bulk, preserving RID order."""
-        codec = self.schema.codec
+        page and decoded in bulk, preserving RID order (and filtered by
+        the read view on versioned tables)."""
+        if not self.versioned:
+            codec = self.schema.codec
+            source: Iterable[bytes] = self.heap.read_many(rids)
+        else:
+            codec = self._version_codec
+            source = self._fetch_visible(rids, snapshot)
         payloads: list[bytes] = []
-        for payload in self.heap.read_many(rids):
+        for payload in source:
             payloads.append(payload)
             if len(payloads) >= batch_rows:
                 yield codec.decode_batch(payloads)
@@ -363,4 +812,6 @@ class Table:
             "pages": self.heap.num_pages(),
             "indexes": sorted(self.indexes),
             "fragmentation": self.heap.fragmentation(),
+            "versioned": self.versioned,
+            "dead_versions": self.dead_versions,
         }

@@ -1,11 +1,25 @@
-"""Transactions: hierarchical strict 2PL + ARIES-lite WAL integration.
+"""Transactions: snapshot isolation / strict 2PL + ARIES-lite WAL.
+
+The concurrency-control component comes in two interchangeable flavours
+(the paper's service-component story: swap one component, keep the
+layer boundaries):
+
+- **snapshot** (the engine default): every transaction carries a fixed
+  :class:`Snapshot` read view — readers take *no locks at all* and
+  filter heap versions by pure id arithmetic; writers keep row X locks
+  only to detect write-write conflicts (first-updater-wins,
+  :class:`~repro.errors.SerializationError`).  Read-only transactions
+  write zero WAL records.
+- **2pl**: classic hierarchical strict two-phase locking; readers take
+  S/IS locks and read latest-committed state.
 
 The lock manager grants locks at two granularities — tables and rows
 (RIDs) — with intention modes (IS/IX/SIX) at the table level so that
 row-level writers to *distinct* rows of one table run concurrently while
 whole-table readers and writers still conflict correctly.  Deadlocks are
 detected on a wait-for graph (the requester that would close a cycle is
-the victim).
+the victim); grants are queue-fair, so a stream of compatible readers
+cannot starve a waiting writer.
 
 Durability is unified with the storage layer's write-ahead log: every
 heap mutation made through a transaction logs a physical before/after
@@ -31,7 +45,6 @@ the log record format.)
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
@@ -121,7 +134,15 @@ class LockManager:
                 timeout_s: Optional[float] = None) -> None:
         with self._mutex:
             state = self._locks.setdefault(resource, _LockState())
-            if self._grantable(state, txn_id, mode):
+            held = state.holders.get(txn_id)
+            if held is not None and _combine(held, mode) is held:
+                return  # already holds a covering mode
+            # Fairness: a fresh request must not overtake a queued
+            # waiter it conflicts with — without this, a steady stream
+            # of S readers starves every IX/X writer indefinitely (the
+            # readers keep overlapping, the writer never sees a gap).
+            if self._grantable(state, txn_id, mode) and \
+                    not self._overtakes_waiter(state, txn_id, mode):
                 self._grant(state, resource, txn_id, mode)
                 return
             if self._would_deadlock(txn_id, resource, mode):
@@ -142,11 +163,26 @@ class LockManager:
                     return
                 state.waiters = [(t, m, e) for t, m, e in state.waiters
                                  if e is not event]
+                # Whoever queued behind this waiter out of fairness may
+                # be grantable now that it is gone.
+                self._wake_waiters(resource, state)
                 self._drop_if_unused(resource)
             raise DeadlockError(
                 f"txn {txn_id} timed out waiting for {mode.value} on "
                 f"{resource!r}")
         # Woken: the releaser granted us the lock already.
+
+    def _overtakes_waiter(self, state: _LockState, txn_id: int,
+                          mode: LockMode) -> bool:
+        """Would granting now jump the queue past a conflicting waiter?
+        Upgrades are exempt: a holder waiting behind its own blockers
+        can deadlock with them instead of politely queueing."""
+        if state.holders.get(txn_id) is not None:
+            return False
+        target = _combine(None, mode)
+        return any(not _compatible(target, waiting_mode)
+                   for waiting_txn, waiting_mode, _ in state.waiters
+                   if waiting_txn != txn_id)
 
     def _grantable(self, state: _LockState, txn_id: int,
                    mode: LockMode) -> bool:
@@ -182,11 +218,30 @@ class LockManager:
             progressed = False
             for waiter in list(state.waiters):
                 txn_id, mode, event = waiter
-                if self._grantable(state, txn_id, mode):
-                    self._grant(state, resource, txn_id, mode)
-                    state.waiters.remove(waiter)
-                    event.set()
-                    progressed = True
+                if not self._grantable(state, txn_id, mode):
+                    continue
+                if self._behind_conflicting_waiter(state, waiter):
+                    continue
+                self._grant(state, resource, txn_id, mode)
+                state.waiters.remove(waiter)
+                event.set()
+                progressed = True
+
+    @staticmethod
+    def _behind_conflicting_waiter(state: _LockState, waiter) -> bool:
+        """Queue fairness, wake-side: a waiter must not be granted past
+        an *earlier* waiter it conflicts with (upgrades exempt, as in
+        :meth:`_overtakes_waiter`)."""
+        txn_id, mode, _ = waiter
+        if state.holders.get(txn_id) is not None:
+            return False
+        target = _combine(None, mode)
+        for other in state.waiters:
+            if other is waiter:
+                return False
+            if other[0] != txn_id and not _compatible(target, other[1]):
+                return True
+        return False
 
     def _drop_if_unused(self, resource: str) -> None:
         state = self._locks.get(resource)
@@ -196,18 +251,30 @@ class LockManager:
     # -- deadlock detection -------------------------------------------------------------
 
     def _blockers(self, state: _LockState, txn_id: int,
-                  mode: LockMode) -> set[int]:
-        """Holders actually incompatible with ``txn_id`` requesting
-        ``mode`` — compatible holders (e.g. other intention modes) are
-        not wait-for edges."""
+                  mode: LockMode, queued_behind=None) -> set[int]:
+        """Transactions actually blocking ``txn_id``'s request for
+        ``mode``: incompatible holders, plus — because grants are
+        queue-fair — conflicting waiters queued *ahead* of it
+        (``queued_behind`` is the requester's own waiter event, or
+        ``None`` for a fresh request that would enqueue at the tail).
+        Upgrades are exempt from the fairness edges, mirroring
+        :meth:`_overtakes_waiter`."""
         target = _combine(state.holders.get(txn_id), mode)
-        return {t for t, m in state.holders.items()
-                if t != txn_id and not _compatible(target, m)}
+        edges = {t for t, m in state.holders.items()
+                 if t != txn_id and not _compatible(target, m)}
+        if state.holders.get(txn_id) is None:
+            for waiting_txn, waiting_mode, event in state.waiters:
+                if event is queued_behind:
+                    break
+                if waiting_txn != txn_id and \
+                        not _compatible(target, waiting_mode):
+                    edges.add(waiting_txn)
+        return edges
 
     def _would_deadlock(self, txn_id: int, resource: str,
                         mode: LockMode) -> bool:
         """DFS over the wait-for graph assuming ``txn_id`` starts waiting
-        on ``resource``'s incompatible holders."""
+        on ``resource``'s blockers (holders and ahead-queued waiters)."""
         seen: set[int] = set()
         stack = list(self._blockers(self._locks[resource], txn_id, mode))
         while stack:
@@ -219,10 +286,11 @@ class LockManager:
             seen.add(current)
             # Who is `current` waiting on?
             for state in self._locks.values():
-                for waiting_txn, waiting_mode, _ in state.waiters:
+                for waiting_txn, waiting_mode, event in state.waiters:
                     if waiting_txn == current:
-                        stack.extend(
-                            self._blockers(state, current, waiting_mode))
+                        stack.extend(self._blockers(
+                            state, current, waiting_mode,
+                            queued_behind=event))
         return False
 
     # -- introspection ---------------------------------------------------------
@@ -243,6 +311,54 @@ class LockManager:
             }
 
 
+@dataclass(frozen=True)
+class Snapshot:
+    """A point-in-time read view for multi-version visibility.
+
+    ``xid`` is the owning transaction (0 for a detached "latest" view),
+    ``next_xid`` the id counter at snapshot time (ids at or above it
+    began later), and ``active`` the ids live at snapshot time.  A
+    transaction id's effects are in the view exactly when the id is the
+    owner's, or began before the snapshot and was not still active —
+    aborted transactions never linger as visible because an abort only
+    leaves the active set *after* its undo physically reverted every
+    stamp (and crash losers are reverted by recovery before reopen).
+    """
+
+    xid: int
+    next_xid: int
+    active: frozenset
+
+    def sees(self, xid: int) -> bool:
+        """Did transaction ``xid`` commit within this view?"""
+        return xid == self.xid or \
+            (xid < self.next_xid and xid not in self.active)
+
+    def visible(self, xmin: int, xmax: int) -> bool:
+        """Is a version with this (xmin, xmax) stamp pair in the view?
+        ``xmin = 0`` marks bootstrap data visible to everyone."""
+        if xmin != 0 and not self.sees(xmin):
+            return False
+        return xmax == 0 or not self.sees(xmax)
+
+    def horizon(self) -> int:
+        """The oldest transaction id whose outcome this snapshot might
+        *not* see — versions stamped only by ids strictly below the
+        horizon of every live snapshot are dead or frozen to all of
+        them (the vacuum bound)."""
+        bound = min(self.active) if self.active else self.next_xid
+        if self.xid:
+            bound = min(bound, self.xid)
+        return min(bound, self.next_xid)
+
+
+#: A frozen "everything on disk is committed" view — the visibility used
+#: by bootstrap paths (catalog load, index rebuild) that run before a
+#: transaction manager exists; after crash recovery that is literally
+#: true.
+FROZEN_SNAPSHOT = Snapshot(0, 2 ** 62, frozenset())
+
+
 class TransactionState(Enum):
     ACTIVE = "active"
     COMMITTED = "committed"
@@ -252,13 +368,18 @@ class TransactionState(Enum):
 class Transaction:
     """One unit of work: locks + undo actions + WAL record chain."""
 
-    def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
+    def __init__(self, txn_id: int, manager: "TransactionManager",
+                 snapshot: Optional[Snapshot] = None) -> None:
         self.txn_id = txn_id
         self.manager = manager
         self.state = TransactionState.ACTIVE
         self._undo: list[Callable[[], None]] = []
         self.last_lsn = 0      # head of this txn's prev_lsn chain
         self.wrote = False     # logged at least one physical image
+        #: Fixed transaction-scoped read view (snapshot isolation); None
+        #: for 2PL transactions, which read "latest committed" under
+        #: their shared locks.
+        self.snapshot = snapshot
 
     def _check_active(self) -> None:
         if self.state is not TransactionState.ACTIVE:
@@ -304,6 +425,19 @@ class Transaction:
         self._check_active()
         self._undo.append(undo)
 
+    def read_view(self) -> Snapshot:
+        """The view this transaction reads versioned tables with: its
+        fixed snapshot under snapshot isolation, else latest-committed
+        *plus its own writes* (a 2PL transaction over a versioned table
+        must read-its-own-writes; a bare ``latest_snapshot()`` would
+        hide them, since the reader itself sits in the active set)."""
+        if self.snapshot is not None:
+            return self.snapshot
+        manager = self.manager
+        with manager._mutex:
+            return Snapshot(self.txn_id, manager._next_xid,
+                            frozenset(manager.active))
+
     # -- WAL integration ------------------------------------------------------
 
     @property
@@ -320,6 +454,11 @@ class Transaction:
         wal = self.manager.wal
         if wal is None:
             return 0
+        if not self.wrote and self.last_lsn == 0:
+            # Deferred BEGIN (snapshot mode): the record is written at
+            # the first mutation, so read-only transactions leave zero
+            # WAL records and never contribute to any flush.
+            self.last_lsn = wal.append(self.txn_id, LogKind.BEGIN)
         lsn = wal.log_heap(self.txn_id, op, page_id, slot, before, after,
                            prev_lsn=self.last_lsn)
         self.last_lsn = lsn
@@ -405,39 +544,99 @@ class GroupCommitter:
 
 
 class TransactionManager:
-    """Creates transactions and owns the lock manager + WAL hookup."""
+    """Creates transactions and owns the lock manager + WAL hookup.
+
+    ``isolation`` selects the default concurrency-control component for
+    transactions it creates: ``"2pl"`` (classic strict two-phase
+    locking; readers take S/IS locks and read latest-committed state)
+    or ``"snapshot"`` (each transaction carries a fixed
+    :class:`Snapshot` read view; readers take no locks at all and
+    write-write conflicts surface as
+    :class:`~repro.errors.SerializationError`).  Transaction ids double
+    as the MVCC timestamps, so they are issued monotonically and —
+    because versioned heap records persist them — re-seeded above any
+    id found on disk via :meth:`advance_ids` on reopen.
+    """
 
     def __init__(self, wal: Optional[WriteAheadLog] = None,
                  lock_timeout_s: float = 2.0,
-                 group_commit: bool = True) -> None:
+                 group_commit: bool = True,
+                 isolation: str = "2pl") -> None:
+        if isolation not in ("2pl", "snapshot"):
+            raise TransactionError(
+                f"isolation must be '2pl' or 'snapshot', "
+                f"not {isolation!r}")
         self.locks = LockManager(lock_timeout_s)
         self.wal = wal
         self.group = GroupCommitter(wal) if (wal is not None
                                              and group_commit) else None
-        self._ids = itertools.count(1)
+        self.isolation = isolation
+        self._next_xid = 1
         self._mutex = threading.Lock()
         self.active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
 
     def begin(self) -> Transaction:
-        txn = Transaction(next(self._ids), self)
         with self._mutex:
-            self.active[txn.txn_id] = txn
-        if self.wal is not None:
+            xid = self._next_xid
+            self._next_xid += 1
+            snapshot = None
+            if self.isolation == "snapshot":
+                snapshot = Snapshot(xid, self._next_xid,
+                                    frozenset(self.active))
+            txn = Transaction(xid, self, snapshot)
+            self.active[xid] = txn
+        if self.wal is not None and snapshot is None:
+            # 2PL transactions log BEGIN eagerly (the historical
+            # contract); snapshot transactions defer it to their first
+            # write so pure readers leave no WAL footprint.
             txn.last_lsn = self.wal.append(txn.txn_id, LogKind.BEGIN)
         return txn
 
+    def advance_ids(self, floor: int) -> None:
+        """Ensure future transaction ids are ``>= floor`` — called on
+        reopen with one past the largest xmin/xmax found in versioned
+        heaps, so persisted version stamps stay meaningful."""
+        with self._mutex:
+            self._next_xid = max(self._next_xid, floor)
+
+    def latest_snapshot(self) -> Snapshot:
+        """A detached view of current latest-committed state (what 2PL
+        readers and bootstrap scans observe)."""
+        with self._mutex:
+            return Snapshot(0, self._next_xid, frozenset(self.active))
+
+    def snapshot_horizon(self) -> int:
+        """Oldest id any live read view might still need — versions
+        superseded strictly below it are invisible to every current and
+        future snapshot (the vacuum cutoff)."""
+        with self._mutex:
+            bound = self._next_xid
+            for txn_id, txn in self.active.items():
+                bound = min(bound, txn_id)
+                if txn.snapshot is not None:
+                    bound = min(bound, txn.snapshot.horizon())
+            return bound
+
+    def active_snapshots(self) -> int:
+        """How many live transactions hold a snapshot read view."""
+        with self._mutex:
+            return sum(1 for txn in self.active.values()
+                       if txn.snapshot is not None)
+
     def active_txn_table(self) -> dict[int, int]:
-        """{txn_id: last_lsn} of live transactions — the ATT a fuzzy
-        checkpoint records."""
+        """{txn_id: last_lsn} of live transactions that have logged
+        anything — the ATT a fuzzy checkpoint records (read-only
+        snapshot transactions have no log presence to track)."""
         with self._mutex:
             return {txn_id: txn.last_lsn
-                    for txn_id, txn in self.active.items()}
+                    for txn_id, txn in self.active.items()
+                    if txn.last_lsn}
 
     def _commit(self, txn: Transaction) -> None:
         maybe_crash("txn.commit")
-        if self.wal is not None:
+        if self.wal is not None and (txn.wrote or txn.last_lsn):
             lsn = self.wal.append(txn.txn_id, LogKind.COMMIT,
                                   prev_lsn=txn.last_lsn)
             txn.last_lsn = lsn
@@ -456,12 +655,12 @@ class TransactionManager:
 
     def _abort_begin(self, txn: Transaction) -> None:
         maybe_crash("txn.abort")
-        if self.wal is not None:
+        if self.wal is not None and (txn.wrote or txn.last_lsn):
             txn.last_lsn = self.wal.append(txn.txn_id, LogKind.ABORT,
                                            prev_lsn=txn.last_lsn)
 
     def _abort_finish(self, txn: Transaction, clean: bool = True) -> None:
-        if self.wal is not None:
+        if self.wal is not None and (txn.wrote or txn.last_lsn):
             if clean:
                 txn.last_lsn = self.wal.append(txn.txn_id, LogKind.END,
                                                prev_lsn=txn.last_lsn)
@@ -478,6 +677,8 @@ class TransactionManager:
         lock_stats = self.locks.stats()
         stats = {"active": len(self.active), "committed": self.committed,
                  "aborted": self.aborted,
+                 "isolation": self.isolation,
+                 "snapshots": self.active_snapshots(),
                  "deadlocks": lock_stats["deadlocks"],
                  "locks_held": lock_stats["locks_held"]}
         if self.group is not None:

@@ -124,6 +124,16 @@ class LockTimeoutError(TransactionError):
     """A lock could not be acquired within its timeout."""
 
 
+class SerializationError(TransactionError):
+    """First-updater-wins conflict under snapshot isolation.
+
+    Raised when a transaction tries to update or delete a row whose
+    latest version was created (or whose deletion was committed) by a
+    transaction concurrent with this one's snapshot — retrying the whole
+    transaction on a fresh snapshot is the standard client response.
+    """
+
+
 class InjectedCrashError(SBDMSError):
     """A crash point armed by the fault-injection framework fired.
 

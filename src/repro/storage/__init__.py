@@ -35,6 +35,7 @@ from repro.storage.page import (
 )
 from repro.storage.page_manager import PageManager
 from repro.storage.recovery import RecoveryManager
+from repro.storage.vacuum import VacuumManager
 from repro.storage.wal import LogKind, LogRecord, WriteAheadLog
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "PageId",
     "PageManager",
     "RecoveryManager",
+    "VacuumManager",
     "LogKind",
     "LogRecord",
     "WriteAheadLog",

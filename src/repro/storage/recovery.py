@@ -65,6 +65,8 @@ from repro.storage.wal import (
     OP_HEAP_DELETE,
     OP_HEAP_INSERT,
     OP_HEAP_UPDATE,
+    OP_VERSION_CREATE,
+    OP_VERSION_STAMP,
     LogKind,
     LogRecord,
     WriteAheadLog,
@@ -208,18 +210,23 @@ class RecoveryManager:
             # The page was allocated (zeros) but its formatting was part
             # of the logged insert being replayed.
             view = SlottedPage.format(page)
-        if op == OP_HEAP_INSERT:
+        if op in (OP_HEAP_INSERT, OP_VERSION_CREATE):
             view.place(slot_or_offset, image)
         elif op == OP_HEAP_DELETE:
             view.delete(slot_or_offset)
-        elif op == OP_HEAP_UPDATE:
+        elif op in (OP_HEAP_UPDATE, OP_VERSION_STAMP):
             view.update(slot_or_offset, image)
         else:
             raise PageLayoutError(f"unknown heap op {op}")
 
     _UNDO_OP = {OP_HEAP_INSERT: OP_HEAP_DELETE,
                 OP_HEAP_DELETE: OP_HEAP_INSERT,
-                OP_HEAP_UPDATE: OP_HEAP_UPDATE}
+                OP_HEAP_UPDATE: OP_HEAP_UPDATE,
+                # Version-chain records undo physiologically too: an old
+                # -version copy is removed, a header stamp restores its
+                # same-size before image (never overflows the page).
+                OP_VERSION_CREATE: OP_HEAP_DELETE,
+                OP_VERSION_STAMP: OP_VERSION_STAMP}
 
     def _undo_record(self, record: LogRecord, page: Page,
                      undo_prev: dict[int, int]) -> int:

@@ -1,0 +1,260 @@
+"""Version garbage collection for multi-version (snapshot-isolated) heaps.
+
+MVCC never reclaims space at delete/update time: a delete only stamps the
+head's ``xmax`` and an update pushes the pre-image down the row's version
+chain, so concurrent snapshots keep reading.  :class:`VacuumManager` is
+the background collector that makes the storage bounded again, pruning
+exactly what no live (or future) read view can see:
+
+- the *horizon* is the oldest transaction id any active snapshot might
+  still care about (:meth:`TransactionManager.snapshot_horizon`);
+- a **head** whose ``xmax`` committed strictly below the horizon is dead
+  to everyone: its index entries are unlinked and the head plus its
+  whole chain are deleted from the heap;
+- on a live head, the chain is walked until the first copy whose
+  ``xmax`` is below the horizon — that copy and everything older is
+  unreachable by any snapshot, so the last-kept version's ``prev``
+  pointer is cut (a header-only ``VERSION_STAMP`` rewrite) and the tail
+  deleted.
+
+All surgery for one table happens inside a transaction under the table
+latch (readers chain-walk under the same latch, so no pointer ever
+dangles mid-walk), and every mutation is WAL-logged — a *process crash*
+mid-vacuum leaves a recovery loser whose undo restores the chain
+intact.  An in-process exception aborts the vacuum transaction without
+physical undo; mutation order makes that safe: a head is deleted (and a
+prev pointer cut) *before* the chain below it, so an interrupted prune
+can only strand unreferenced copies — a bounded space leak cleaned by a
+later heap audit, never a dangling pointer.
+
+Triggers: a manual ``VACUUM [table]`` SQL statement, an auto-threshold
+(``dead_versions`` per table, checked after commits), and an optional
+background daemon thread running on a fixed interval.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.access.heap_file import RID
+from repro.access.version import HEADER_SIZE, restamp, unpack_version
+from repro.errors import CatalogError, KeyNotFoundError, PageLayoutError
+from repro.storage.wal import OP_VERSION_STAMP
+
+
+class VacuumManager:
+    """Prunes versions no snapshot needs, per table, transactionally.
+
+    ``tables`` is a zero-argument callable returning the live
+    ``{name: Table}`` mapping (a callable so catalog replacement on
+    recovery is transparent); ``transactions`` the
+    :class:`~repro.data.transactions.TransactionManager` that supplies
+    horizons and vacuum transactions.
+    """
+
+    def __init__(self, tables: Callable[[], dict],
+                 transactions,
+                 threshold: int = 256,
+                 interval_s: Optional[float] = None) -> None:
+        self.tables = tables
+        self.transactions = transactions
+        self.threshold = threshold
+        self.interval_s = interval_s
+        self.runs = 0
+        self.auto_runs = 0
+        self.versions_reclaimed = 0
+        self.rows_reclaimed = 0
+        self.last_run: Optional[dict] = None
+        self._mutex = threading.Lock()   # one vacuum at a time
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- entry points ------------------------------------------------------------
+
+    def run(self, table_name: Optional[str] = None) -> dict:
+        """Vacuum one table (or every versioned table).  Returns a
+        summary: versions and whole rows reclaimed, tables visited."""
+        catalog_tables = self.tables()
+        if table_name is not None and table_name not in catalog_tables:
+            raise CatalogError(f"no table {table_name!r}")
+        names = [table_name] if table_name is not None \
+            else sorted(catalog_tables)
+        summary = {"tables": 0, "versions": 0, "rows": 0}
+        with self._mutex:
+            for name in names:
+                table = catalog_tables[name]
+                if not getattr(table, "versioned", False):
+                    continue
+                versions, rows = self._vacuum_table(table)
+                summary["tables"] += 1
+                summary["versions"] += versions
+                summary["rows"] += rows
+            self.runs += 1
+            self.versions_reclaimed += summary["versions"]
+            self.rows_reclaimed += summary["rows"]
+            self.last_run = summary
+        return summary
+
+    def maybe(self, table_name: str) -> Optional[dict]:
+        """Auto-threshold trigger: vacuum the table if its dead-version
+        gauge crossed the configured threshold."""
+        table = self.tables().get(table_name)
+        if table is None or not getattr(table, "versioned", False):
+            return None
+        if table.dead_versions < self.threshold:
+            return None
+        summary = self.run(table_name)
+        self.auto_runs += 1
+        return summary
+
+    # -- background daemon -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the interval daemon (no-op without an interval)."""
+        if self.interval_s is None or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="vacuum-daemon", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run()
+            except Exception:  # noqa: BLE001 — daemon must survive races
+                pass
+
+    # -- the collector -----------------------------------------------------------
+
+    def _vacuum_table(self, table) -> tuple[int, int]:
+        txn = self.transactions.begin()
+        removed_versions = removed_rows = 0
+        try:
+            # Candidate heads are collected without the table latch
+            # (page latches make the reads safe); each row's surgery
+            # then re-reads its head under a short per-row latch hold,
+            # so writers and chain-walking readers are never blocked for
+            # a whole-table pass.  The horizon is captured once up
+            # front — it only moves forward, so it stays conservative.
+            horizon = self.transactions.snapshot_horizon()
+            candidates = [rid for rid, payload in table.heap.scan()
+                          if unpack_version(payload).is_head]
+            remaining_dead = 0
+            for rid in candidates:
+                with table._latch:
+                    try:
+                        payload = table.heap.read(rid)
+                    except PageLayoutError:
+                        continue    # head vanished since collection
+                    header = unpack_version(payload)
+                    if not header.is_head:
+                        continue    # slot recycled into a chain copy
+                    if header.xmax != 0 and header.xmax < horizon:
+                        # Dead to every live and future snapshot.
+                        removed_versions += self._drop_row(
+                            table, rid, header, payload, txn)
+                        removed_rows += 1
+                        continue
+                    if header.xmax != 0:
+                        remaining_dead += 1   # dead, but still visible
+                    pruned, kept = self._prune_chain(
+                        table, rid, header, payload, horizon, txn)
+                    removed_versions += pruned
+                    remaining_dead += kept
+            with table._latch:
+                table.dead_versions = remaining_dead
+            txn.commit()
+        except BaseException:
+            txn.abort()
+            raise
+        return removed_versions, removed_rows
+
+    def _drop_row(self, table, rid: RID, header, payload: bytes,
+                  txn) -> int:
+        """Unlink a dead head from its indexes and delete head + chain.
+        Returns the number of heap records removed.
+
+        The head goes first: if the vacuum is interrupted after it, the
+        chain below is merely unreferenced (a leak a later pass of a
+        fresh insert's slot reuse absorbs), never a dangling pointer.
+        """
+        row = table.schema.decode(payload[HEADER_SIZE:])
+        for index in table.indexes.values():
+            try:
+                if index.definition.unique and \
+                        index.lookup_eq(index.key_values(row)) != [rid]:
+                    # The key was recycled: the unique entry now points
+                    # at a *live* replacement row (dead-key takeover).
+                    # Unique deletes are RID-blind, so deleting here
+                    # would orphan the live row from its index.
+                    continue
+                index.delete(row, rid)
+            except (KeyNotFoundError, PageLayoutError):
+                pass    # entry already unlinked (rebuild, key takeover)
+        chain = self._chain_rids(table, header)
+        table.heap.delete(rid, txn=txn)
+        for member in chain:
+            table.heap.delete(member, txn=txn)
+        return len(chain) + 1
+
+    def _prune_chain(self, table, head_rid: RID, header, payload: bytes,
+                     horizon: int, txn) -> tuple[int, int]:
+        """Cut a live head's chain at the first copy below the horizon.
+        Returns (versions removed, versions kept-but-dead)."""
+        keeper_rid, keeper_payload = head_rid, payload
+        prev = header.prev
+        kept = 0
+        while prev is not None:
+            try:
+                copy_payload = table.heap.read(prev)
+            except PageLayoutError:
+                return 0, kept   # defensive: chain already truncated
+            copy_header = unpack_version(copy_payload)
+            if copy_header.xmax != 0 and copy_header.xmax < horizon:
+                # This copy and everything older is unreachable.
+                table.heap.update(
+                    keeper_rid, restamp(keeper_payload, cut_prev=True),
+                    txn=txn, op=OP_VERSION_STAMP)
+                doomed = [prev] + self._chain_rids(table, copy_header)
+                for member in doomed:
+                    table.heap.delete(member, txn=txn)
+                return len(doomed), kept
+            kept += 1
+            keeper_rid, keeper_payload = prev, copy_payload
+            prev = copy_header.prev
+        return 0, kept
+
+    @staticmethod
+    def _chain_rids(table, header) -> list[RID]:
+        """All chain members strictly below ``header``, oldest last."""
+        out: list[RID] = []
+        prev = header.prev
+        while prev is not None:
+            try:
+                payload = table.heap.read(prev)
+            except PageLayoutError:
+                break
+            out.append(prev)
+            prev = unpack_version(payload).prev
+        return out
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "runs": self.runs,
+            "auto_runs": self.auto_runs,
+            "versions_reclaimed": self.versions_reclaimed,
+            "rows_reclaimed": self.rows_reclaimed,
+            "threshold": self.threshold,
+            "interval_s": self.interval_s,
+            "last_run": self.last_run,
+        }

@@ -77,6 +77,16 @@ OP_BYTES = 0
 OP_HEAP_INSERT = 1
 OP_HEAP_DELETE = 2
 OP_HEAP_UPDATE = 3
+# MVCC version-chain operations (versioned heaps).  They redo/undo like
+# their plain-heap counterparts but are distinct kinds so the log is
+# self-describing about version-chain maintenance:
+# - VERSION_CREATE places an old-version *copy* record (the pre-update
+#   image an update pushes down its chain) — physically an insert;
+# - VERSION_STAMP rewrites only a record's version header in place
+#   (xmax stamping on delete, prev-pointer cuts by vacuum) — physically
+#   a same-size update carrying full before/after payload images.
+OP_VERSION_CREATE = 4
+OP_VERSION_STAMP = 5
 
 
 @dataclass(frozen=True)

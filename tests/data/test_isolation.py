@@ -1,0 +1,555 @@
+"""Isolation anomaly coverage: snapshot isolation vs 2PL, both engines.
+
+Sessions are thread-local on a shared :class:`Database`, so a second
+session is simply a second thread (autocommit) or a thread running its
+own BEGIN/COMMIT sequence.
+"""
+
+import threading
+
+import pytest
+
+from repro.data import Database
+from repro.errors import DuplicateKeyError, SerializationError
+from repro.storage import MemoryDevice
+
+ENGINES = ["vectorized", "row"]
+ISOLATIONS = ["snapshot", "2pl"]
+
+
+def make_db(isolation="snapshot", engine="vectorized", **kwargs):
+    db = Database(isolation=isolation, execution_engine=engine, **kwargs)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("CREATE INDEX by_v ON t (v)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    return db
+
+
+def in_thread(fn):
+    """Run ``fn`` to completion in a second session (thread)."""
+    result: dict = {}
+
+    def runner():
+        try:
+            result["value"] = fn()
+        except Exception as exc:  # noqa: BLE001
+            result["error"] = exc
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join(10.0)
+    assert not thread.is_alive(), "second session blocked"
+    if "error" in result:
+        raise result["error"]
+    return result["value"]
+
+
+class TestDirtyRead:
+    """A reader never sees another session's uncommitted changes."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_uncommitted_update_invisible(self, engine):
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        db.execute("DELETE FROM t WHERE id = 3")
+        seen = in_thread(lambda: sorted(db.query("SELECT id, v FROM t")))
+        assert seen == [(1, 10), (2, 20), (3, 30)]
+        # ... while the writing session reads its own changes:
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 99), (2, 20), (4, 40)]
+        db.execute("COMMIT")
+        seen = in_thread(lambda: sorted(db.query("SELECT id, v FROM t")))
+        assert seen == [(1, 99), (2, 20), (4, 40)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_uncommitted_change_invisible_through_index(self, engine):
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        # Point probes through the primary key index.
+        assert in_thread(
+            lambda: db.query("SELECT v FROM t WHERE id = 1")) == [(10,)]
+        assert in_thread(
+            lambda: db.query("SELECT v FROM t WHERE id = 2")) == [(20,)]
+        db.execute("ROLLBACK")
+
+
+class TestNonRepeatableRead:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_snapshot_reader_is_repeatable(self, engine):
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        first = db.query("SELECT v FROM t WHERE id = 1")
+        assert first == [(10,)]
+        in_thread(lambda: db.execute("UPDATE t SET v = 11 WHERE id = 1"))
+        # The transaction's snapshot still sees the old version (served
+        # from the version chain), repeatedly.
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+        assert db.query("SELECT SUM(v) FROM t") == [(60,)]
+        db.execute("COMMIT")
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(11,)]
+
+
+class TestLostUpdate:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_first_updater_wins_raises(self, engine):
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+        in_thread(lambda: db.execute(
+            "UPDATE t SET v = v + 5 WHERE id = 1"))
+        with pytest.raises(SerializationError):
+            db.execute("UPDATE t SET v = 100 WHERE id = 1")
+        db.execute("ROLLBACK")
+        # The concurrent increment survived; nothing was lost.
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(15,)]
+
+    def test_concurrent_delete_raises_for_explicit_txn(self):
+        db = make_db()
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")
+        in_thread(lambda: db.execute("DELETE FROM t WHERE id = 1"))
+        with pytest.raises(SerializationError):
+            db.execute("UPDATE t SET v = 0 WHERE id = 1")
+        db.execute("ROLLBACK")
+
+    def test_autocommit_counter_increments_are_not_lost(self):
+        """Single-statement updates refresh to latest under their row
+        lock (no spurious serialization failures), so N concurrent
+        increments always sum to N."""
+        db = make_db(lock_timeout_s=10.0)
+        db.execute("UPDATE t SET v = 0 WHERE id = 1")
+        errors = []
+
+        def bump():
+            try:
+                for _ in range(10):
+                    db.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(40,)]
+
+
+class TestWriteConflictsAndKeys:
+    def test_uncommitted_delete_blocks_key_reuse(self):
+        db = make_db()
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE id = 1")
+        with pytest.raises(DuplicateKeyError):
+            in_thread(lambda: db.execute("INSERT INTO t VALUES (1, 0)"))
+        db.execute("ROLLBACK")
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+
+    def test_committed_delete_frees_key_before_vacuum(self):
+        db = make_db()
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (1, 111)")   # dead head unlinked
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(111,)]
+        assert db.query("SELECT COUNT(*) FROM t") == [(3,)]
+
+    def test_vacuum_preserves_recycled_unique_key(self):
+        """Regression: vacuuming the dead former holder of a recycled
+        unique key must not delete the live replacement's index entry
+        (unique-index deletes are RID-blind)."""
+        db = make_db()
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (1, 111)")
+        assert db.vacuum()["rows"] == 1        # the dead former holder
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(111,)]
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 111), (2, 20), (3, 30)]
+
+    def test_dml_subquery_reads_own_writes(self):
+        """Regression: UPDATE/DELETE subqueries resolve under the
+        session transaction, so they see its uncommitted inserts."""
+        db = make_db()
+        db.execute("CREATE TABLE picks (id INT PRIMARY KEY)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO picks VALUES (1), (3)")
+        touched = db.execute(
+            "UPDATE t SET v = 0 WHERE id IN (SELECT id FROM picks)")
+        assert touched.affected == 2
+        removed = db.execute(
+            "DELETE FROM t WHERE id IN (SELECT id FROM picks)")
+        assert removed.affected == 2
+        db.execute("COMMIT")
+        assert db.query("SELECT id, v FROM t") == [(2, 20)]
+
+
+class TestSnapshotEquivalence:
+    """Identical workloads produce identical results across both
+    engines and both isolation modes — and a read-only snapshot taken
+    during a concurrent committed update equals the pre-update state."""
+
+    WORKLOAD = [
+        "UPDATE t SET v = v * 2 WHERE id <= 2",
+        "INSERT INTO t VALUES (4, 40), (5, 50)",
+        "DELETE FROM t WHERE v = 30",
+        "UPDATE t SET v = v + 1",
+    ]
+    QUERIES = [
+        "SELECT id, v FROM t ORDER BY id",
+        "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t",
+        "SELECT v FROM t WHERE id = 4",
+        "SELECT id FROM t WHERE v > 21 ORDER BY v DESC",
+    ]
+
+    def _run(self, isolation, engine):
+        db = make_db(isolation=isolation, engine=engine)
+        for statement in self.WORKLOAD:
+            db.execute(statement)
+        return [db.query(q) for q in self.QUERIES]
+
+    def test_engine_and_isolation_equivalence(self):
+        results = {(i, e): self._run(i, e)
+                   for i in ISOLATIONS for e in ENGINES}
+        reference = results[("snapshot", "vectorized")]
+        for key, result in results.items():
+            assert result == reference, f"{key} diverged"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_read_only_snapshot_during_concurrent_update(self, engine):
+        db = make_db(engine=engine)
+        before = sorted(db.query("SELECT id, v FROM t"))
+        db.execute("BEGIN")     # read-only snapshot session
+        assert sorted(db.query("SELECT id, v FROM t")) == before
+        in_thread(lambda: db.execute("UPDATE t SET v = v + 100"))
+        in_thread(lambda: db.execute("DELETE FROM t WHERE id = 2"))
+        # Mid-churn, the snapshot still reports exactly the old state —
+        # through scans and aggregates alike.
+        assert sorted(db.query("SELECT id, v FROM t")) == before
+        assert db.query("SELECT SUM(v) FROM t") == \
+            [(sum(v for _, v in before),)]
+        db.execute("COMMIT")
+        after = sorted(db.query("SELECT id, v FROM t"))
+        assert after == [(1, 110), (3, 130)]
+
+
+class Test2PLModeUnchanged:
+    def test_2pl_tables_are_unversioned(self):
+        db = make_db(isolation="2pl")
+        assert db.catalog.table("t").versioned is False
+        result = db.execute("EXPLAIN SELECT * FROM t")
+        assert ("isolation", "2pl") in result.rows
+
+    def test_snapshot_mode_reports_isolation(self):
+        db = make_db()
+        assert db.catalog.table("t").versioned is True
+        result = db.execute("EXPLAIN SELECT * FROM t")
+        assert ("isolation", "snapshot") in result.rows
+        assert result.plan["isolation"] == "snapshot"
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_all_dead_versions(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        for i in range(5):
+            db.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 3")
+        assert table.heap.count() > 3       # chains + dead head linger
+        summary = db.vacuum()
+        assert summary["rows"] == 1
+        assert summary["versions"] >= 6     # 5 copies + dead head
+        # Heap now holds exactly the live heads; nothing dead remains.
+        assert table.heap.count() == 2
+        assert table.dead_versions == 0
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 15), (2, 20)]
+        # Idempotent: a second pass finds nothing.
+        assert db.vacuum()["versions"] == 0
+
+    def test_vacuum_respects_active_snapshots(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        db.execute("BEGIN")                 # snapshot pinned here
+        db.query("SELECT * FROM t")
+        in_thread(lambda: db.execute(
+            "UPDATE t SET v = 99 WHERE id = 1"))
+        in_thread(lambda: db.execute("DELETE FROM t WHERE id = 2"))
+        kept = db.vacuum()
+        assert kept["versions"] == 0, \
+            "vacuum pruned versions an active snapshot still needs"
+        # The pinned snapshot still reads the old state after the vacuum
+        # attempt...
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 10), (2, 20), (3, 30)]
+        db.execute("COMMIT")
+        # ...and once it releases, everything dead is collectable.
+        summary = db.vacuum()
+        assert summary["versions"] >= 2 and summary["rows"] == 1
+        assert table.heap.count() == 2
+
+    def test_vacuum_sql_statement(self):
+        db = make_db()
+        db.execute("UPDATE t SET v = v + 1")
+        result = db.execute("VACUUM t")
+        assert result.operation == "vacuum"
+        assert result.affected == 3          # one copy per updated row
+        assert db.execute("VACUUM").operation == "vacuum"
+
+    def test_auto_vacuum_threshold(self):
+        db = Database(vacuum_threshold=8)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 0)")
+        for _ in range(10):
+            db.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        stats = db.vacuum_manager.stats()
+        assert stats["auto_runs"] >= 1
+        assert db.catalog.table("t").dead_versions < 8
+        assert db.query("SELECT v FROM t") == [(10,)]
+
+
+class TestReadOnlyCommitsNeverFlush:
+    """Regression (GroupCommitter.flush_upto path): pure-read
+    transactions write no WAL records and cause zero device flushes."""
+
+    class CountingDevice(MemoryDevice):
+        def __init__(self):
+            super().__init__()
+            self.flushes = 0
+
+        def _flush(self):
+            self.flushes += 1
+
+    def test_zero_fsyncs_for_pure_read_workload(self):
+        wdev = self.CountingDevice()
+        db = Database(wal_device=wdev)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.checkpoint()
+        flushes_before = wdev.flushes
+        wal_before = db.wal.size_bytes()
+        commits_before = db.transactions.group.commits
+        for _ in range(25):
+            db.query("SELECT * FROM t")             # autocommit reads
+        db.execute("BEGIN")                         # explicit read txn
+        db.query("SELECT COUNT(*) FROM t")
+        db.execute("COMMIT")
+        assert wdev.flushes == flushes_before
+        assert db.wal.size_bytes() == wal_before, \
+            "read-only transactions left WAL records behind"
+        assert db.transactions.group.commits == commits_before, \
+            "a read-only commit enqueued a group-commit flush"
+
+    def test_writers_still_flush(self):
+        wdev = self.CountingDevice()
+        db = Database(wal_device=wdev)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        before = wdev.flushes
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        assert wdev.flushes > before
+
+
+class TestConfigurationSurface:
+    def test_lock_timeout_reaches_lock_manager(self):
+        db = Database(lock_timeout_s=0.125)
+        assert db.transactions.locks.timeout_s == 0.125
+        assert db.stats()["lock_timeout_s"] == 0.125
+
+    def test_stats_surface(self):
+        db = make_db()
+        stats = db.stats()
+        assert stats["isolation"] == "snapshot"
+        assert {"locks_held", "resources", "waiters",
+                "deadlocks"} <= set(stats["locks"])
+        assert stats["snapshots"] == 0
+        assert stats["vacuum"]["runs"] == 0
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")
+        assert db.stats()["snapshots"] == 1
+        db.execute("COMMIT")
+        assert db.stats()["snapshots"] == 0
+
+    def test_latched_lock_timeout_configurable(self):
+        db = Database(latched_lock_timeout_s=0.05)
+        assert db.latched_lock_timeout_s == 0.05
+
+
+class TestCrossIsolationReopen:
+    """A database created under one isolation mode reopened under the
+    other: per-table versioning decides the read protocol."""
+
+    def test_2pl_txn_on_versioned_table_reads_own_writes(self):
+        dev, wdev = MemoryDevice(), MemoryDevice()
+        db = Database(device=dev, wal_device=wdev)     # snapshot
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.checkpoint()
+        db2 = Database(device=dev, wal_device=wdev, isolation="2pl")
+        assert db2.catalog.table("t").versioned is True
+        db2.execute("BEGIN")
+        db2.execute("INSERT INTO t VALUES (2, 20)")
+        assert sorted(db2.query("SELECT id, v FROM t")) == \
+            [(1, 10), (2, 20)]
+        db2.execute("UPDATE t SET v = 21 WHERE id = 2")
+        assert db2.query("SELECT v FROM t WHERE id = 2") == [(21,)]
+        db2.execute("DELETE FROM t WHERE id = 1")
+        assert db2.query("SELECT id FROM t") == [(2,)]
+        db2.execute("COMMIT")
+        assert sorted(db2.query("SELECT id, v FROM t")) == [(2, 21)]
+
+    def test_unversioned_table_under_snapshot_keeps_lock_discipline(self):
+        from repro.errors import DeadlockError
+
+        dev, wdev = MemoryDevice(), MemoryDevice()
+        db = Database(device=dev, wal_device=wdev, isolation="2pl")
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.checkpoint()
+        db2 = Database(device=dev, wal_device=wdev,
+                       isolation="snapshot", lock_timeout_s=0.1)
+        assert db2.catalog.table("t").versioned is False
+        db2.execute("BEGIN")
+        db2.execute("UPDATE t SET v = 99 WHERE id = 1")
+        # An unversioned heap has no versions to filter: the reader
+        # must fall back to S locking (here: block, then time out) —
+        # never observe the uncommitted 99.
+        with pytest.raises(DeadlockError):
+            in_thread(lambda: db2.query("SELECT v FROM t"))
+        db2.execute("ROLLBACK")
+        assert in_thread(lambda: db2.query("SELECT v FROM t")) == [(10,)]
+
+    def test_vacuum_unknown_table_raises_catalog_error(self):
+        from repro.errors import CatalogError
+
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.vacuum("nope")
+
+
+class TestFairnessDeadlockDetection:
+    def test_cycle_through_fairness_queued_waiter_is_detected(self):
+        """A waiter queued purely by grant fairness is a real wait-for
+        edge: the cycle T1→T3→T2→T1 must be detected immediately, not
+        resolved by timeout."""
+        import time
+
+        from repro.data import LockManager, LockMode
+        from repro.errors import DeadlockError
+
+        lm = LockManager(timeout_s=10.0)
+        lm.acquire(1, "A", LockMode.SHARED)
+        lm.acquire(3, "B", LockMode.EXCLUSIVE)
+        threads = [
+            threading.Thread(
+                target=lambda: self._swallow(
+                    lambda: lm.acquire(2, "A", LockMode.EXCLUSIVE))),
+            # T3's S(A) is holder-compatible but queues behind T2.
+            threading.Thread(
+                target=lambda: self._swallow(
+                    lambda: lm.acquire(3, "A", LockMode.SHARED))),
+        ]
+        threads[0].start()
+        time.sleep(0.05)
+        threads[1].start()
+        time.sleep(0.05)
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError):
+            lm.acquire(1, "B", LockMode.SHARED)
+        assert time.perf_counter() - start < 1.0, \
+            "cycle resolved by timeout, not detection"
+        assert lm.deadlocks_detected >= 1
+        lm.release_all(1)
+        lm.release_all(3)
+        for thread in threads:
+            thread.join(5.0)
+
+    @staticmethod
+    def _swallow(fn):
+        try:
+            fn()
+        except Exception:  # noqa: BLE001 — released by the main thread
+            pass
+
+
+class TestSessionSafety:
+    def test_recover_blocked_by_other_sessions_transaction(self):
+        from repro.errors import TransactionError
+
+        db = Database(wal_device=MemoryDevice())
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        with pytest.raises(TransactionError):
+            in_thread(db.recover)   # another thread = another session
+        db.execute("COMMIT")
+        assert db.query("SELECT COUNT(*) FROM t") == [(1,)]
+
+    def test_session_commit_triggers_threshold_vacuum(self):
+        db = Database(vacuum_threshold=5)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 0)")
+        db.execute("BEGIN")
+        for _ in range(8):
+            db.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        db.execute("COMMIT")
+        assert db.vacuum_manager.auto_runs >= 1
+        assert db.catalog.table("t").dead_versions < 5
+        assert db.query("SELECT v FROM t") == [(8,)]
+
+    def test_failed_update_keeps_dead_version_gauge_consistent(self):
+        from repro.errors import InjectedCrashError
+        from repro.faults import crashpoints
+
+        db = make_db()
+        table = db.catalog.table("t")
+        db.execute("BEGIN")
+        crashpoints.arm("table.index")
+        with pytest.raises(InjectedCrashError):
+            db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        crashpoints.reset()     # revive so the rollback can run
+        db.execute("ROLLBACK")
+        assert table.dead_versions == 0
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+
+
+class TestVersionedCrashRecovery:
+    def test_version_chains_rebuilt_by_redo(self):
+        dev, wdev = MemoryDevice(), MemoryDevice()
+        db = Database(device=dev, wal_device=wdev)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.checkpoint()
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        db.execute("UPDATE t SET v = 11 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        # Crash: nothing checkpointed since the inserts — redo must
+        # rebuild heads, chains and xmax stamps from the log.
+        db2 = Database(device=dev, wal_device=wdev)
+        assert db2.last_recovery is not None
+        assert db2.query("SELECT id, v FROM t") == [(1, 11)]
+        assert db2.query("SELECT COUNT(*) FROM t") == [(1,)]
+        assert db2.query("SELECT v FROM t WHERE id = 1") == [(11,)]
+        # Version stamps persisted; new ids must clear them.
+        assert db2.transactions.latest_snapshot().next_xid > \
+            db2.catalog.max_seen_xid
+        # The recovered chain and dead head are still vacuumable.
+        assert db2.vacuum()["rows"] == 1
+        assert db2.query("SELECT id, v FROM t") == [(1, 11)]
+
+    def test_loser_with_version_ops_fully_undone(self):
+        dev, wdev = MemoryDevice(), MemoryDevice()
+        db = Database(device=dev, wal_device=wdev)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.checkpoint()          # make the file metadata durable
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.pool.flush_all()      # steal the loser's pages to disk
+        db2 = Database(device=dev, wal_device=wdev)
+        assert db2.last_recovery["undone"] > 0
+        assert db2.query("SELECT id, v FROM t") == [(1, 10)]
+        assert db2.query("SELECT COUNT(*) FROM t") == [(1,)]
+        # No orphaned version copies survive the undo.
+        assert db2.catalog.table("t").heap.count() == 1
