@@ -20,6 +20,7 @@ from repro.core.contract import (
     ServicePolicy,
     op,
 )
+from repro.access.keycodec import encode_key
 from repro.core.service import Service
 from repro.data.database import Database
 
@@ -148,13 +149,16 @@ class DataService(Service):
         if pk is None:
             return None
         index = table_obj.index_on((pk.name,))
-        rids = index.lookup_eq((key,))
-        if not rids:
-            return None
-        try:
-            return table_obj.read(rids[0])
-        except PageLayoutError:
-            return None    # deleted row awaiting vacuum
+        # Versioned indexes return *candidate* RIDs (retained entries
+        # may be stale or dead): re-check visibility and the probed key.
+        for rid in index.lookup_eq((key,)):
+            try:
+                row = table_obj.read(rid)
+            except PageLayoutError:
+                continue   # deleted row awaiting vacuum
+            if index.key_values(row) == (key,):
+                return row
+        return None
 
     def op_scan(self, table: str) -> list:
         # Stream the heap in batches: one pin + bulk decode per page run
@@ -219,14 +223,31 @@ class AccessService(Service):
     def op_index_lookup(self, table: str, index: str, key: Any) -> list:
         table_obj, idx = self._index(table, index)
         key_tuple = key if isinstance(key, tuple) else (key,)
-        return list(table_obj.read_many(idx.lookup_eq(key_tuple)))
+        # read_many filters candidates by visibility; the key re-check
+        # drops retained entries whose visible version moved off the key.
+        return [row for row
+                in table_obj.read_many(idx.lookup_eq(key_tuple))
+                if idx.key_values(row) == key_tuple]
 
     def op_index_range(self, table: str, index: str, lo: Any,
                        hi: Any) -> list:
         table_obj, idx = self._index(table, index)
         lo_t = (lo,) if lo is not None and not isinstance(lo, tuple) else lo
         hi_t = (hi,) if hi is not None and not isinstance(hi, tuple) else hi
-        return list(table_obj.read_many(idx.range_scan(lo_t, hi_t)))
+        # Re-check each visible row's key against the bounds in *encoded*
+        # form — the index's own total order, which (unlike Python tuple
+        # comparison) is defined for NULL components too.
+        lo_key = encode_key(lo_t) if lo_t is not None else None
+        hi_key = encode_key(hi_t) if hi_t is not None else None
+        out = []
+        for row in table_obj.read_many(idx.range_scan(lo_t, hi_t)):
+            key = encode_key(idx.key_values(row))
+            if lo_key is not None and key < lo_key:
+                continue
+            if hi_key is not None and key >= hi_key:
+                continue   # range_scan's default bound is exclusive-hi
+            out.append(row)
+        return out
 
     def op_sort_records(self, table: str, column: str,
                         descending: bool = False) -> list:

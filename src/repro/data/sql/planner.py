@@ -447,6 +447,17 @@ class Planner:
         """Leaf operator fetching heap rows through an index probe
         (shared by the rule-based and cost-based paths).
 
+        Version-aware semantics: on versioned tables the probe returns
+        *candidate* head RIDs — superseded-key entries are retained
+        until vacuum, so a key some concurrent transaction changed still
+        leads back to the row.  ``read_many``/``read_batches`` re-check
+        each candidate's version chain against the statement snapshot
+        (``self.snapshot``), and the residual WHERE applied above every
+        index source re-checks the probed key against the *visible*
+        version's values, discarding stale candidates — which is what
+        makes an EXPLAIN-chosen index path answer identically to a
+        sequential scan under any snapshot.
+
         On the lock-free read path (snapshot isolation over a versioned
         table) the probe runs under the table latch: readers take no
         transaction locks, so the in-memory index structure must be

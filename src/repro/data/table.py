@@ -23,19 +23,27 @@ head itself is invisible.  Superseded versions live until
 :mod:`repro.storage.vacuum` prunes everything older than the oldest
 active snapshot.
 
-Known index/visibility trade-off: index entries track the *latest* key
-of each row (plus entries for not-yet-vacuumed deleted rows).  A
-snapshot reader therefore observes full snapshot semantics through
-sequential scans and through index probes on unchanged keys, but an
-index probe on a key some concurrent transaction changed (or a unique
-key recycled after its dead holder was unlinked) can miss a version the
-snapshot would otherwise see — the residual WHERE re-check above every
-index source guarantees no wrong rows, only that narrow class of missed
-ones (the documented ARIES-lite-grade simplification; version-aware
-indexes are future work).  Similarly, the rare head rewrite that
-overflows its page moves the head to a fresh RID; a scan racing that
-exact move can miss the row for one statement (2PL's S locks used to
-exclude this window; redirect tombstones would close it).
+**Version-aware index entries.**  On versioned tables, index entries are
+retained until vacuum rather than maintained eagerly: an UPDATE that
+changes an indexed key *adds* an entry for the new key and keeps the
+superseded-key entry pointing at the head RID, and a DELETE leaves every
+entry in place — so a snapshot reader probing by any key a visible
+version ever carried still finds the row.  Index probes therefore return
+*candidate* head RIDs; the fetch path re-checks each candidate's version
+chain against the statement :class:`~repro.data.transactions.Snapshot`,
+and the residual WHERE re-check above every index source discards stale
+entries whose visible version no longer carries the probed key — index
+paths and sequential scans answer identically under any snapshot.
+Unique entries hold a small *list* of head RIDs (a key being recycled or
+in key-flight holds two transiently); uniqueness is enforced logically by
+:meth:`Table._check_unique` against latest *visible* versions plus
+in-flight writers, not by raw index membership.
+:mod:`repro.storage.vacuum` unlinks a superseded-key entry once the
+superseding version falls below the snapshot horizon.  The rare head
+rewrite that overflows its page moves the head to a fresh RID and
+re-points every retained entry at it under the table latch; a scan
+racing that exact move can miss the row for one statement (2PL's S
+locks used to exclude this window; redirect tombstones would close it).
 """
 
 from __future__ import annotations
@@ -114,7 +122,16 @@ class IndexDef:
 
 
 class TableIndex:
-    """One physical index attached to a table."""
+    """One physical index attached to a table.
+
+    On *versioned* tables (``self.versioned``, set by
+    :meth:`Table.attach_index`) entries are retained until vacuum and
+    probes return candidate head RIDs whose visibility the fetch path
+    re-checks, so maintenance is idempotent per ``(key, RID)`` pair:
+    unique entries hold a packed *list* of RIDs (two rows may hold one
+    key transiently while a recycle or key-move is in flight), inserts
+    of an already-present pair are no-ops, and deletes are RID-aware.
+    """
 
     def __init__(self, definition: IndexDef, schema: Schema,
                  pages: PageManager, file_id: int) -> None:
@@ -123,6 +140,9 @@ class TableIndex:
                                for c in definition.columns]
         self.pages = pages
         self.file_id = file_id
+        #: Retained-entry (version-aware) mode; wired from the owning
+        #: table's ``versioned`` flag at attach time.
+        self.versioned = False
         if definition.method == "btree":
             self.tree: Optional[BPlusTree] = BPlusTree(pages, file_id)
             self.hash: Optional[ExtendibleHashIndex] = None
@@ -138,32 +158,92 @@ class TableIndex:
     def key_values(self, row: Sequence[Any]) -> tuple:
         return tuple(row[i] for i in self.column_indexes)
 
-    def _entry_key(self, row: Sequence[Any], rid: RID) -> bytes:
-        key = encode_key(self.key_values(row))
+    def _entry_key(self, values: tuple, rid: RID) -> bytes:
+        key = encode_key(values)
         if not self.definition.unique:
             key += encode_rid(rid)
         return key
 
+    @staticmethod
+    def _rid_chunks(value: bytes) -> list[bytes]:
+        """Split a multi-RID unique entry value into its packed RIDs."""
+        return [value[off:off + _RID.size]
+                for off in range(0, len(value), _RID.size)]
+
+    @classmethod
+    def _rid_list(cls, value: bytes) -> list[RID]:
+        """Decode a multi-RID unique entry value (8 bytes per RID)."""
+        return [decode_rid(chunk) for chunk in cls._rid_chunks(value)]
+
     # -- maintenance ---------------------------------------------------------------
 
-    def insert(self, row: Sequence[Any], rid: RID) -> None:
-        key = self._entry_key(row, rid)
-        value = encode_rid(rid) if self.definition.unique else b""
+    def insert(self, row: Sequence[Any], rid: RID) -> bool:
+        return self.insert_values(self.key_values(row), rid)
+
+    def insert_values(self, values: tuple, rid: RID) -> bool:
+        """Add the entry for ``(values, rid)``.
+
+        Returns ``True`` when a new physical entry (or RID) was added,
+        ``False`` when the pair was already present — possible only in
+        versioned mode, where an update back to a key an older retained
+        version still carries must be a no-op.
+        """
         index = self.tree if self.tree is not None else self.hash
+        if self.definition.unique and self.versioned:
+            key = encode_key(values)
+            packed = encode_rid(rid)
+            existing = index.get(key)
+            if existing is None:
+                index.insert(key, packed)
+                return True
+            if packed in self._rid_chunks(existing):
+                return False
+            index.insert(key, existing + packed, replace=True)
+            return True
+        key = self._entry_key(values, rid)
+        value = encode_rid(rid) if self.definition.unique else b""
         try:
             index.insert(key, value)
         except DuplicateKeyError:
+            if self.versioned:
+                return False   # retained entry already present
             raise DuplicateKeyError(
-                f"duplicate key {self.key_values(row)!r} in unique index "
+                f"duplicate key {values!r} in unique index "
                 f"{self.definition.name!r}") from None
+        return True
 
     def delete(self, row: Sequence[Any], rid: RID) -> None:
-        key = self._entry_key(row, rid)
+        self.delete_values(self.key_values(row), rid)
+
+    def delete_values(self, values: tuple, rid: RID) -> None:
+        """Remove the entry for ``(values, rid)``; raises
+        :class:`KeyNotFoundError` when no such pair exists.  RID-aware
+        in versioned mode: a multi-RID unique entry only sheds the given
+        RID, so unlinking a dead former holder never orphans a live row
+        that recycled the key."""
         index = self.tree if self.tree is not None else self.hash
-        index.delete(key)
+        if self.definition.unique and self.versioned:
+            key = encode_key(values)
+            existing = index.get(key)
+            packed = encode_rid(rid)
+            if existing is not None:
+                chunks = self._rid_chunks(existing)
+                if packed in chunks:
+                    chunks.remove(packed)
+                    if chunks:
+                        index.insert(key, b"".join(chunks), replace=True)
+                    else:
+                        index.delete(key)
+                    return
+            raise KeyNotFoundError(
+                f"no entry {values!r} -> {rid} in unique index "
+                f"{self.definition.name!r}")
+        index.delete(self._entry_key(values, rid))
 
     def would_conflict(self, row: Sequence[Any]) -> bool:
-        """True when inserting ``row`` would violate uniqueness."""
+        """True when inserting ``row`` would violate uniqueness (raw
+        membership — meaningful only for unversioned tables, where an
+        entry implies a live row)."""
         if not self.definition.unique:
             return False
         key = encode_key(self.key_values(row))
@@ -174,13 +254,20 @@ class TableIndex:
     # -- lookups ----------------------------------------------------------------------
 
     def lookup_eq(self, values: tuple) -> list[RID]:
+        """Candidate head RIDs for an equality probe.  On versioned
+        tables stale candidates are expected: callers re-check the
+        version chain against their snapshot and re-check the key."""
         key = encode_key(values)
         if self.definition.unique:
             if self.tree is not None:
                 found = self.tree.get(key)
             else:
                 found = self.hash.get(key)
-            return [decode_rid(found)] if found is not None else []
+            if found is None:
+                return []
+            if self.versioned:
+                return self._rid_list(found)
+            return [decode_rid(found)]
         if self.tree is None:
             raise CatalogError("hash indexes must be unique in this engine")
         return [decode_rid(entry_key[len(key):])
@@ -189,23 +276,47 @@ class TableIndex:
     def range_scan(self, lo: Optional[tuple], hi: Optional[tuple],
                    lo_inclusive: bool = True,
                    hi_inclusive: bool = False) -> Iterator[RID]:
+        """Candidate head RIDs with keys inside the bounds, deduplicated
+        in versioned mode (one head may carry entries under several
+        retained keys of the range)."""
         if self.tree is None:
             raise CatalogError(
                 f"index {self.definition.name!r} is hash-based; "
                 f"range scans need a btree index")
         lo_key = encode_key(lo) if lo is not None else None
         hi_key = encode_key(hi) if hi is not None else None
-        if hi_key is not None and hi_inclusive and not self.definition.unique:
-            # Non-unique entries carry a RID suffix; extend the bound so
-            # every entry with the hi key prefix is included.
-            hi_key += b"\xff" * (_RID.size + 1)
+        if not self.definition.unique:
+            # Non-unique entries carry a RID suffix, so every entry of a
+            # boundary key compares strictly *greater* than the bare
+            # encoded bound.  Extend the bound past any possible suffix
+            # where the bare bound would misclassify the boundary key:
+            # inclusive-hi must admit its entries, and exclusive-lo must
+            # skip them (without the extension ``key > lo`` re-admitted
+            # every boundary entry).
+            suffix = b"\xff" * (_RID.size + 1)
+            if hi_key is not None and hi_inclusive:
+                hi_key += suffix
+            if lo_key is not None and not lo_inclusive:
+                lo_key += suffix
+        seen: Optional[set] = set() if self.versioned else None
         for entry_key, value in self.tree.items(
                 lo=lo_key, hi=hi_key,
                 lo_inclusive=lo_inclusive, hi_inclusive=hi_inclusive):
             if self.definition.unique:
-                yield decode_rid(value)
+                if seen is None:
+                    yield decode_rid(value)
+                    continue
+                for rid in self._rid_list(value):
+                    if rid not in seen:
+                        seen.add(rid)
+                        yield rid
             else:
-                yield decode_rid(entry_key[-_RID.size:])
+                rid = decode_rid(entry_key[-_RID.size:])
+                if seen is None:
+                    yield rid
+                elif rid not in seen:
+                    seen.add(rid)
+                    yield rid
 
     def __len__(self) -> int:
         index = self.tree if self.tree is not None else self.hash
@@ -304,6 +415,7 @@ class Table:
         if index.definition.name in self.indexes:
             raise CatalogError(
                 f"index {index.definition.name!r} already attached")
+        index.versioned = self.versioned
         if populate:
             for rid, row in self.scan():
                 index.insert(row, rid)
@@ -366,75 +478,75 @@ class Table:
     def _check_unique(self, validated: tuple, txn,
                       exclude_rid: Optional[RID] = None,
                       old_row: Optional[tuple] = None) -> None:
-        """Enforce uniqueness against *live* rows.  Caller holds the
-        table latch.
+        """Enforce uniqueness.  Caller holds the table latch.
 
         For unversioned tables a physical entry is a conflict.  For
-        versioned tables a conflicting unique entry may point at a head
-        that is dead at latest (committed delete awaiting vacuum, or
-        deleted by this very transaction): that holder is unlinked from
-        its unique indexes so the key can be taken over — with an undo
-        that restores the entries, keeping abort exact.  A holder
-        whose delete (or insert) is still uncommitted by another
-        transaction stays a hard conflict.
+        versioned tables the indexes retain superseded and dead entries
+        until vacuum, so membership proves nothing: every candidate head
+        is re-read and the key re-checked against its *latest* version.
+        Only a live committed holder — or an in-flight writer whose
+        outcome could leave the key taken (uncommitted insert, delete,
+        or key-move away) — is a conflict; stale and committed-dead
+        entries are simply skipped, and the fresh row's RID joins the
+        key's entry list alongside them.
         """
+        view = self._read_view(None) if self.versioned else None
         for index in self.indexes.values():
             if not index.definition.unique:
                 continue
-            if old_row is not None and \
-                    index.key_values(validated) == index.key_values(old_row):
+            values = index.key_values(validated)
+            if old_row is not None and values == index.key_values(old_row):
                 continue   # update keeping this key: no conflict possible
             if not self.versioned:
                 if index.would_conflict(validated):
                     raise DuplicateKeyError(
-                        f"{self.name}: duplicate key "
-                        f"{index.key_values(validated)!r} for unique index "
-                        f"{index.definition.name!r}")
+                        f"{self.name}: duplicate key {values!r} for "
+                        f"unique index {index.definition.name!r}")
                 continue
-            for conflict_rid in index.lookup_eq(index.key_values(validated)):
+            for conflict_rid in index.lookup_eq(values):
                 if conflict_rid == exclude_rid:
                     continue
-                self._resolve_dead_conflict(index, conflict_rid,
-                                            validated, txn)
+                if self._unique_conflict(index, conflict_rid, values,
+                                         txn, view):
+                    raise DuplicateKeyError(
+                        f"{self.name}: duplicate key {values!r} for "
+                        f"unique index {index.definition.name!r}")
 
-    def _resolve_dead_conflict(self, index: "TableIndex", rid: RID,
-                               validated: tuple, txn) -> None:
+    def _unique_conflict(self, index: "TableIndex", rid: RID,
+                         values: tuple, txn, view: Snapshot) -> bool:
+        """Does the head at ``rid`` actually contest ``values``?
+        ``view`` is the caller's latest-committed read view (one per
+        statement — fresh enough, since the table latch is held)."""
         try:
             payload = self.heap.read(rid)
         except PageLayoutError:
-            return        # entry raced a vacuum; the key is free
+            return False   # entry raced a vacuum prune; the key is free
         header = unpack_version(payload)
+        if not header.is_head:
+            return False   # slot recycled into a chain copy: stale entry
         xid = txn.txn_id if txn is not None else 0
-        view = self._read_view(None)
-        dead = header.xmax != 0 and (header.xmax == xid
-                                     or view.sees(header.xmax))
-        if not header.is_head or not dead:
-            raise DuplicateKeyError(
-                f"{self.name}: duplicate key "
-                f"{index.key_values(validated)!r} for unique index "
-                f"{index.definition.name!r}")
-        # Unlink the dead holder from every *unique* index so the fresh
-        # row can take the keys over; its non-unique entries and heap
-        # versions stay for old snapshots until vacuum.
-        dead_row = self.schema.decode(payload[HEADER_SIZE:])
-        unlinked: list[TableIndex] = []
-        for other in self.indexes.values():
-            if not other.definition.unique:
-                continue
-            try:
-                other.delete(dead_row, rid)
-                unlinked.append(other)
-            except (KeyNotFoundError, PageLayoutError):
-                pass
-        if txn is not None and unlinked:
-            def relink() -> None:
-                with self._latch:
-                    for other in unlinked:
-                        try:
-                            other.insert(dead_row, rid)
-                        except DuplicateKeyError:
-                            pass
-            txn.on_abort(relink)
+        row = self.schema.decode(payload[HEADER_SIZE:])
+        if index.key_values(row) != values:
+            # The latest version moved off this key.  A committed
+            # key-move leaves the entry stale (readable only through old
+            # snapshots): the key is free at latest.  An uncommitted
+            # move may still abort — but an abort restores the latest
+            # *committed* version, so only the key that version carries
+            # can come back; every older retained key is free forever.
+            if header.xmin in (0, xid) or view.sees(header.xmin):
+                return False
+            committed = self._visible_version(rid, view)
+            return committed is not None and \
+                index.key_values(self.schema.decode(committed)) == values
+        if header.xmax != 0:
+            if header.xmax == xid:
+                return False   # we deleted it ourselves this transaction
+            # A committed delete awaiting vacuum frees the key; an
+            # uncommitted delete by another transaction may abort.
+            return not view.sees(header.xmax)
+        # Live holder (committed, or an in-flight insert that may yet
+        # commit): the key is taken.
+        return True
 
     def _undo_insert(self, rid: RID, progress: dict, txn) -> None:
         with self._latch:
@@ -550,8 +662,12 @@ class Table:
                      lock_row) -> RID:
         """Version-chain update (caller holds the table latch): push the
         pre-image down the chain as an ``OLD`` copy stamped with our
-        xmax, rewrite the head with ``xmin = us``, re-key the indexes to
-        the head's (possibly moved) RID."""
+        xmax, rewrite the head with ``xmin = us``, and *add* entries for
+        any new keys.  Superseded-key entries are retained (still
+        pointing at the head) so concurrent snapshots keep finding the
+        row through them; vacuum unlinks each once no live view needs
+        the versions that carried it.  An update that keeps every
+        indexed key touches no index at all."""
         head_payload = self.heap.read(rid)
         header = unpack_version(head_payload)
         old_row = self.schema.decode(head_payload[HEADER_SIZE:])
@@ -563,15 +679,13 @@ class Table:
             head_payload[HEADER_SIZE:]
         copy_rid = self.heap.insert(copy_payload, txn=txn,
                                     op=OP_VERSION_CREATE)
-        for index in self.indexes.values():
-            index.delete(old_row, rid)
         new_head = pack_version(FLAG_HEAD, txn.txn_id, 0, copy_rid) + \
             self.schema.codec.encode(validated)
         new_rid = self.heap.update(rid, new_head, txn=txn)
-        progress = {"indexed": False}
+        progress = {"added": [],
+                    "moved_from": rid if new_rid != rid else None}
         txn.on_abort(lambda: self._undo_mvcc_update(
-            new_rid, copy_rid, head_payload, old_row, validated,
-            progress, txn))
+            new_rid, copy_rid, head_payload, old_row, progress, txn))
         # Increment the gauge in the same always-runs window as the
         # undo registration, so a failure below (row-lock timeout,
         # index crash point) cannot drive it negative at abort.
@@ -579,27 +693,85 @@ class Table:
         if new_rid != rid and lock_row is not None:
             lock_row(new_rid)
         maybe_crash("table.index")
+        if new_rid != rid:
+            # Rare head relocation (the rewrite outgrew its page): every
+            # retained entry must follow the head to its new RID.
+            self._repoint_entries(
+                self._history_rows(old_row, header.prev), rid, new_rid)
         for index in self.indexes.values():
-            index.insert(validated, new_rid)
-        progress["indexed"] = True
+            values = index.key_values(validated)
+            if index.insert_values(values, new_rid):
+                progress["added"].append((index, values))
         return new_rid
+
+    def chain_members(self, prev: Optional[RID]
+                      ) -> list[tuple[RID, bytes]]:
+        """``(rid, payload)`` of every chain version from ``prev`` down,
+        tolerating a truncated chain (caller holds the table latch).
+        Shared by head-relocation re-pointing and the vacuum collector.
+        """
+        members: list[tuple[RID, bytes]] = []
+        while prev is not None:
+            try:
+                payload = self.heap.read(prev)
+            except PageLayoutError:
+                break   # defensive: truncated chain
+            members.append((prev, payload))
+            prev = unpack_version(payload).prev
+        return members
+
+    def _history_rows(self, newest_row: tuple,
+                      prev: Optional[RID]) -> list[tuple]:
+        """``newest_row`` plus the rows of every chain version below
+        ``prev`` (caller holds the table latch) — the key history the
+        retained index entries were derived from."""
+        return [newest_row] + [self.schema.decode(payload[HEADER_SIZE:])
+                               for _, payload in self.chain_members(prev)]
+
+    def _repoint_entries(self, rows: Sequence[tuple], from_rid: RID,
+                         to_rid: RID) -> None:
+        """Move every index entry derived from ``rows`` from one head
+        RID to another, tolerating entries already pruned by vacuum."""
+        for index in self.indexes.values():
+            seen: set = set()
+            for row in rows:
+                values = index.key_values(row)
+                if values in seen:
+                    continue
+                seen.add(values)
+                try:
+                    index.delete_values(values, from_rid)
+                except KeyNotFoundError:
+                    continue
+                index.insert_values(values, to_rid)
 
     def _undo_mvcc_update(self, head_rid: RID, copy_rid: RID,
                           old_head_payload: bytes, old_row: tuple,
-                          new_row: tuple, progress: dict, txn) -> None:
+                          progress: dict, txn) -> None:
         with self._latch:
-            if progress["indexed"]:
-                for index in self.indexes.values():
-                    try:
-                        index.delete(new_row, head_rid)
-                    except KeyNotFoundError:
-                        pass
+            # Only the entries this update actually added come out;
+            # retained superseded-key entries were never touched.  The
+            # list grows per index, so it is exact even when the insert
+            # loop itself failed partway through.
+            for index, values in progress["added"]:
+                try:
+                    index.delete_values(values, head_rid)
+                except KeyNotFoundError:
+                    pass
             # Restore the pre-image (original xmin/xmax/prev) at the
-            # head, re-key the indexes back, drop the version copy.
+            # head and drop the version copy.
             back_rid = self.heap.update(head_rid, old_head_payload,
                                         txn=txn)
-            for index in self.indexes.values():
-                index.insert(old_row, back_rid)
+            moved_from = progress["moved_from"]
+            if back_rid != head_rid or (moved_from is not None
+                                        and moved_from != head_rid):
+                # The head moved during the update, the undo, or both:
+                # chase the retained entries from wherever they point
+                # and re-point them at the restored head.
+                rows = self._history_rows(
+                    old_row, unpack_version(old_head_payload).prev)
+                for source in {head_rid, moved_from} - {None, back_rid}:
+                    self._repoint_entries(rows, source, back_rid)
             self.heap.delete(copy_rid, txn=txn)
             self.dead_versions -= 1
 

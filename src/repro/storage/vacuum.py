@@ -9,13 +9,18 @@ exactly what no live (or future) read view can see:
 - the *horizon* is the oldest transaction id any active snapshot might
   still care about (:meth:`TransactionManager.snapshot_horizon`);
 - a **head** whose ``xmax`` committed strictly below the horizon is dead
-  to everyone: its index entries are unlinked and the head plus its
-  whole chain are deleted from the heap;
+  to everyone: every index entry any of its versions ever carried
+  (retained superseded-key entries included) is unlinked — RID-aware,
+  so a live row that recycled one of those keys keeps its own entry —
+  and the head plus its whole chain are deleted from the heap;
 - on a live head, the chain is walked until the first copy whose
   ``xmax`` is below the horizon — that copy and everything older is
   unreachable by any snapshot, so the last-kept version's ``prev``
   pointer is cut (a header-only ``VERSION_STAMP`` rewrite) and the tail
-  deleted.
+  deleted; superseded-key index entries whose keys no *kept* version
+  carries are unlinked in the same step (the superseding version has
+  fallen below the horizon, so no current or future snapshot can probe
+  its way to the pruned versions).
 
 All surgery for one table happens inside a transaction under the table
 latch (readers chain-walk under the same latch, so no pointer ever
@@ -35,6 +40,7 @@ background daemon thread running on a fixed interval.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.access.heap_file import RID
@@ -65,7 +71,11 @@ class VacuumManager:
         self.auto_runs = 0
         self.versions_reclaimed = 0
         self.rows_reclaimed = 0
+        self.stale_entries_reclaimed = 0
         self.last_run: Optional[dict] = None
+        #: Per-table vacuum report (``pg_stat``-style), surfaced through
+        #: ``Database.stats()["vacuum"]["tables"]``.
+        self.table_reports: dict[str, dict] = {}
         self._mutex = threading.Lock()   # one vacuum at a time
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -74,27 +84,47 @@ class VacuumManager:
 
     def run(self, table_name: Optional[str] = None) -> dict:
         """Vacuum one table (or every versioned table).  Returns a
-        summary: versions and whole rows reclaimed, tables visited."""
+        summary: versions, whole rows, and stale index entries
+        reclaimed, plus tables visited."""
         catalog_tables = self.tables()
         if table_name is not None and table_name not in catalog_tables:
             raise CatalogError(f"no table {table_name!r}")
         names = [table_name] if table_name is not None \
             else sorted(catalog_tables)
-        summary = {"tables": 0, "versions": 0, "rows": 0}
+        summary = {"tables": 0, "versions": 0, "rows": 0,
+                   "stale_entries": 0}
         with self._mutex:
             for name in names:
                 table = catalog_tables[name]
                 if not getattr(table, "versioned", False):
                     continue
-                versions, rows = self._vacuum_table(table)
+                versions, rows, stale = self._vacuum_table(table)
                 summary["tables"] += 1
                 summary["versions"] += versions
                 summary["rows"] += rows
+                summary["stale_entries"] += stale
+                self._record_run(name, table, versions, rows, stale)
             self.runs += 1
             self.versions_reclaimed += summary["versions"]
             self.rows_reclaimed += summary["rows"]
+            self.stale_entries_reclaimed += summary["stale_entries"]
             self.last_run = summary
         return summary
+
+    def _record_run(self, name: str, table, versions: int, rows: int,
+                    stale: int) -> None:
+        report = self.table_reports.setdefault(name, {
+            "runs": 0, "versions_reclaimed": 0, "rows_reclaimed": 0,
+            "stale_index_entries": 0, "dead_versions": 0,
+            "last_run": None})
+        report["runs"] += 1
+        report["versions_reclaimed"] += versions
+        report["rows_reclaimed"] += rows
+        report["stale_index_entries"] += stale
+        report["dead_versions"] = table.dead_versions
+        report["last_run"] = {"versions": versions, "rows": rows,
+                              "stale_index_entries": stale,
+                              "at": time.time()}
 
     def maybe(self, table_name: str) -> Optional[dict]:
         """Auto-threshold trigger: vacuum the table if its dead-version
@@ -134,9 +164,9 @@ class VacuumManager:
 
     # -- the collector -----------------------------------------------------------
 
-    def _vacuum_table(self, table) -> tuple[int, int]:
+    def _vacuum_table(self, table) -> tuple[int, int, int]:
         txn = self.transactions.begin()
-        removed_versions = removed_rows = 0
+        removed_versions = removed_rows = removed_entries = 0
         try:
             # Candidate heads are collected without the table latch
             # (page latches make the reads safe); each row's surgery
@@ -159,56 +189,77 @@ class VacuumManager:
                         continue    # slot recycled into a chain copy
                     if header.xmax != 0 and header.xmax < horizon:
                         # Dead to every live and future snapshot.
-                        removed_versions += self._drop_row(
+                        versions, stale = self._drop_row(
                             table, rid, header, payload, txn)
+                        removed_versions += versions
+                        removed_entries += stale
                         removed_rows += 1
                         continue
                     if header.xmax != 0:
                         remaining_dead += 1   # dead, but still visible
-                    pruned, kept = self._prune_chain(
+                    pruned, kept, stale = self._prune_chain(
                         table, rid, header, payload, horizon, txn)
                     removed_versions += pruned
                     remaining_dead += kept
+                    removed_entries += stale
             with table._latch:
                 table.dead_versions = remaining_dead
             txn.commit()
         except BaseException:
             txn.abort()
             raise
-        return removed_versions, removed_rows
+        return removed_versions, removed_rows, removed_entries
 
     def _drop_row(self, table, rid: RID, header, payload: bytes,
-                  txn) -> int:
+                  txn) -> tuple[int, int]:
         """Unlink a dead head from its indexes and delete head + chain.
-        Returns the number of heap records removed.
+        Returns (heap records removed, index entries unlinked).
 
-        The head goes first: if the vacuum is interrupted after it, the
-        chain below is merely unreferenced (a leak a later pass of a
-        fresh insert's slot reuse absorbs), never a dangling pointer.
+        Every key any version of the row ever carried is unlinked — the
+        retained superseded-key entries as well as the latest one.
+        Deletes are RID-aware, so a live row that recycled one of these
+        keys (dead-key takeover) keeps its own entry.  Entries go
+        first: an interrupted pass then strands unreferenced
+        below-horizon copies (a bounded space leak), never a probe-able
+        key pointing at freed heap slots.
         """
-        row = table.schema.decode(payload[HEADER_SIZE:])
-        for index in table.indexes.values():
-            try:
-                if index.definition.unique and \
-                        index.lookup_eq(index.key_values(row)) != [rid]:
-                    # The key was recycled: the unique entry now points
-                    # at a *live* replacement row (dead-key takeover).
-                    # Unique deletes are RID-blind, so deleting here
-                    # would orphan the live row from its index.
-                    continue
-                index.delete(row, rid)
-            except (KeyNotFoundError, PageLayoutError):
-                pass    # entry already unlinked (rebuild, key takeover)
-        chain = self._chain_rids(table, header)
+        members = table.chain_members(header.prev)
+        rows = [table.schema.decode(payload[HEADER_SIZE:])] + \
+            [table.schema.decode(p[HEADER_SIZE:]) for _, p in members]
+        stale = self._unlink_entries(table, rows, rid)
         table.heap.delete(rid, txn=txn)
-        for member in chain:
-            table.heap.delete(member, txn=txn)
-        return len(chain) + 1
+        for member_rid, _ in members:
+            table.heap.delete(member_rid, txn=txn)
+        return len(members) + 1, stale
+
+    @staticmethod
+    def _unlink_entries(table, rows, rid: RID,
+                        keep_rows=()) -> int:
+        """Remove the index entries derived from ``rows`` (pointing at
+        head ``rid``), except keys some row in ``keep_rows`` still
+        carries.  Returns the number of entries removed."""
+        removed = 0
+        for index in table.indexes.values():
+            kept_keys = {index.key_values(row) for row in keep_rows}
+            for row in rows:
+                values = index.key_values(row)
+                if values in kept_keys:
+                    continue
+                kept_keys.add(values)   # dedup repeated history keys
+                try:
+                    index.delete_values(values, rid)
+                    removed += 1
+                except (KeyNotFoundError, PageLayoutError):
+                    pass    # already unlinked (rebuild, earlier pass)
+        return removed
 
     def _prune_chain(self, table, head_rid: RID, header, payload: bytes,
-                     horizon: int, txn) -> tuple[int, int]:
-        """Cut a live head's chain at the first copy below the horizon.
-        Returns (versions removed, versions kept-but-dead)."""
+                     horizon: int, txn) -> tuple[int, int, int]:
+        """Cut a live head's chain at the first copy below the horizon
+        and unlink the superseded-key entries only those pruned
+        versions carried.  Returns (versions removed, versions
+        kept-but-dead, entries unlinked)."""
+        kept_rows = [table.schema.decode(payload[HEADER_SIZE:])]
         keeper_rid, keeper_payload = head_rid, payload
         prev = header.prev
         kept = 0
@@ -216,35 +267,30 @@ class VacuumManager:
             try:
                 copy_payload = table.heap.read(prev)
             except PageLayoutError:
-                return 0, kept   # defensive: chain already truncated
+                return 0, kept, 0   # defensive: chain already truncated
             copy_header = unpack_version(copy_payload)
             if copy_header.xmax != 0 and copy_header.xmax < horizon:
-                # This copy and everything older is unreachable.
+                # This copy and everything older is unreachable: the
+                # version that superseded it is below the horizon, so
+                # keys only this tail carried can never be probed again.
+                doomed = [(prev, copy_payload)] + \
+                    table.chain_members(copy_header.prev)
+                doomed_rids = [member_rid for member_rid, _ in doomed]
+                doomed_rows = [table.schema.decode(p[HEADER_SIZE:])
+                               for _, p in doomed]
+                stale = self._unlink_entries(table, doomed_rows, head_rid,
+                                             keep_rows=kept_rows)
                 table.heap.update(
                     keeper_rid, restamp(keeper_payload, cut_prev=True),
                     txn=txn, op=OP_VERSION_STAMP)
-                doomed = [prev] + self._chain_rids(table, copy_header)
-                for member in doomed:
+                for member in doomed_rids:
                     table.heap.delete(member, txn=txn)
-                return len(doomed), kept
+                return len(doomed_rids), kept, stale
             kept += 1
+            kept_rows.append(table.schema.decode(copy_payload[HEADER_SIZE:]))
             keeper_rid, keeper_payload = prev, copy_payload
             prev = copy_header.prev
-        return 0, kept
-
-    @staticmethod
-    def _chain_rids(table, header) -> list[RID]:
-        """All chain members strictly below ``header``, oldest last."""
-        out: list[RID] = []
-        prev = header.prev
-        while prev is not None:
-            try:
-                payload = table.heap.read(prev)
-            except PageLayoutError:
-                break
-            out.append(prev)
-            prev = unpack_version(payload).prev
-        return out
+        return 0, kept, 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -254,7 +300,10 @@ class VacuumManager:
             "auto_runs": self.auto_runs,
             "versions_reclaimed": self.versions_reclaimed,
             "rows_reclaimed": self.rows_reclaimed,
+            "stale_index_entries": self.stale_entries_reclaimed,
             "threshold": self.threshold,
             "interval_s": self.interval_s,
             "last_run": self.last_run,
+            "tables": {name: dict(report)
+                       for name, report in self.table_reports.items()},
         }

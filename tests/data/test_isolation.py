@@ -5,12 +5,14 @@ session is simply a second thread (autocommit) or a thread running its
 own BEGIN/COMMIT sequence.
 """
 
+import random
 import threading
 
 import pytest
 
 from repro.data import Database
-from repro.errors import DuplicateKeyError, SerializationError
+from repro.errors import DeadlockError, DuplicateKeyError, \
+    SerializationError
 from repro.storage import MemoryDevice
 
 ENGINES = ["vectorized", "row"]
@@ -233,6 +235,284 @@ class TestSnapshotEquivalence:
         db.execute("COMMIT")
         after = sorted(db.query("SELECT id, v FROM t"))
         assert after == [(1, 110), (3, 130)]
+
+
+class TestVersionAwareIndexes:
+    """Index probes are snapshot-consistent: superseded-key entries are
+    retained until vacuum and re-checked against the statement snapshot,
+    so index paths and sequential scans answer identically."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_probe_finds_version_after_concurrent_key_change(self, engine):
+        """Regression (fails on eager index maintenance): a snapshot
+        reader probing by a key a concurrent committed transaction
+        changed must still find the version its snapshot sees."""
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")            # pin the snapshot
+        in_thread(lambda: db.execute(
+            "UPDATE t SET v = 99 WHERE id = 1"))   # commits: 10 -> 99
+        # The index probe by the *old* key must see the old version...
+        result = db.execute("SELECT id FROM t WHERE v = 10")
+        assert any("index" in p for p in result.plan["access_paths"])
+        assert result.rows == [(1,)]
+        # ...and a probe by the *new* key must not leak the new one.
+        assert db.query("SELECT id FROM t WHERE v = 99") == []
+        db.execute("COMMIT")
+        assert db.query("SELECT id FROM t WHERE v = 99") == [(1,)]
+        assert db.query("SELECT id FROM t WHERE v = 10") == []
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_probe_after_concurrent_delete_and_key_reuse(self, engine):
+        """A unique key recycled while a snapshot is pinned: the old
+        reader sees the old holder through the index, new readers the
+        new one — never both, never neither."""
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")
+        in_thread(lambda: db.execute("DELETE FROM t WHERE id = 1"))
+        in_thread(lambda: db.execute("INSERT INTO t VALUES (1, 111)"))
+        result = db.execute("SELECT id, v FROM t WHERE id = 1")
+        assert any("index" in p for p in result.plan["access_paths"])
+        assert result.rows == [(1, 10)]
+        db.execute("COMMIT")
+        assert db.query("SELECT id, v FROM t WHERE id = 1") == [(1, 111)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_range_probe_no_duplicates_across_retained_keys(self, engine):
+        """A row whose key moved within a probed range appears exactly
+        once, for old and new snapshots alike."""
+        db = make_db(engine=engine)
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")
+        in_thread(lambda: db.execute(
+            "UPDATE t SET v = 12 WHERE id = 1"))   # 10 -> 12, in range
+        result = db.execute("SELECT id FROM t WHERE v >= 5 AND v <= 25")
+        assert any("index" in p for p in result.plan["access_paths"])
+        assert sorted(result.rows) == [(1,), (2,)]
+        db.execute("COMMIT")
+        assert sorted(db.query(
+            "SELECT id FROM t WHERE v >= 5 AND v <= 25")) == [(1,), (2,)]
+
+    def test_unique_check_ignores_committed_key_move(self):
+        """Regression: a retained unique entry whose holder's latest
+        version moved off the key must not raise a spurious
+        duplicate-key error (the key is free at latest)."""
+        db = make_db()
+        db.execute("UPDATE t SET id = 4 WHERE id = 1")   # PK 1 -> 4
+        db.execute("INSERT INTO t VALUES (1, 50)")       # key 1 is free
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 50), (2, 20), (3, 30), (4, 10)]
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(50,)]
+        assert db.query("SELECT v FROM t WHERE id = 4") == [(10,)]
+
+    def test_uncommitted_key_move_blocks_reuse(self):
+        """An in-flight key change may abort and put the key back: the
+        old key stays a hard conflict until the mover resolves."""
+        db = make_db()
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET id = 5 WHERE id = 1")
+        with pytest.raises(DuplicateKeyError):
+            in_thread(lambda: db.execute("INSERT INTO t VALUES (1, 0)"))
+        db.execute("ROLLBACK")
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+        # Once the move commits, the key is genuinely free.
+        db.execute("UPDATE t SET id = 5 WHERE id = 1")
+        in_thread(lambda: db.execute("INSERT INTO t VALUES (1, 0)"))
+        assert sorted(db.query("SELECT id FROM t WHERE id <= 5")) == \
+            [(1,), (2,), (3,), (5,)]
+
+    def test_in_flight_move_only_guards_restorable_key(self):
+        """Regression: an uncommitted head blocks reuse of exactly the
+        key its abort can restore — the latest *committed* version's
+        key — never older retained keys, which are free forever."""
+        db = make_db()
+        db.execute("UPDATE t SET id = 5 WHERE id = 1")   # commit: 1 -> 5
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET id = 6 WHERE id = 5")   # in flight: 5 -> 6
+        # Key 1's retained entry points at the same head, but no abort
+        # can ever bring key 1 back: it must be insertable right now.
+        in_thread(lambda: db.execute("INSERT INTO t VALUES (1, 77)"))
+        # Key 5 is the in-flight move's pre-image: still a hard conflict.
+        with pytest.raises(DuplicateKeyError):
+            in_thread(lambda: db.execute("INSERT INTO t VALUES (5, 0)"))
+        db.execute("ROLLBACK")
+        assert sorted(db.query("SELECT id, v FROM t")) == \
+            [(1, 77), (2, 20), (3, 30), (5, 10)]
+
+    def test_aborted_key_change_leaves_index_exact(self):
+        """Rolling back a key change removes only the entry the update
+        added; the retained old-key entry keeps serving."""
+        db = make_db()
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        assert db.query("SELECT id FROM t WHERE v = 77") == [(1,)]
+        db.execute("ROLLBACK")
+        assert db.query("SELECT id FROM t WHERE v = 77") == []
+        assert db.query("SELECT id FROM t WHERE v = 10") == [(1,)]
+
+    def test_vacuum_unlinks_superseded_entries(self):
+        """Once the superseding update falls below the horizon, vacuum
+        unlinks the old-key entries (and reports them)."""
+        db = make_db()
+        table = db.catalog.table("t")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")   # 10 -> 99
+        by_v = table.indexes["by_v"]
+        assert by_v.lookup_eq((10,)) != []     # retained until vacuum
+        summary = db.vacuum()
+        assert summary["stale_entries"] >= 1
+        assert by_v.lookup_eq((10,)) == []
+        assert by_v.lookup_eq((99,)) != []
+        assert db.query("SELECT id FROM t WHERE v = 99") == [(1,)]
+        assert db.query("SELECT id FROM t WHERE v = 10") == []
+
+    def test_vacuum_respects_snapshot_needing_old_key(self):
+        """The old-key entry survives vacuum while a snapshot that can
+        still see the superseded version is live."""
+        db = make_db()
+        table = db.catalog.table("t")
+        db.execute("BEGIN")
+        db.query("SELECT * FROM t")
+        in_thread(lambda: db.execute(
+            "UPDATE t SET v = 99 WHERE id = 1"))
+        assert db.vacuum()["stale_entries"] == 0
+        assert db.query("SELECT id FROM t WHERE v = 10") == [(1,)]
+        db.execute("COMMIT")
+        assert db.vacuum()["stale_entries"] >= 1
+        assert table.indexes["by_v"].lookup_eq((10,)) == []
+
+    def test_per_table_vacuum_report_in_stats(self):
+        db = make_db()
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.vacuum()
+        report = db.stats()["vacuum"]["tables"]["t"]
+        assert report["runs"] >= 1
+        assert report["rows_reclaimed"] == 1
+        assert report["versions_reclaimed"] >= 2
+        assert report["stale_index_entries"] >= 1
+        assert report["dead_versions"] == 0
+        assert report["last_run"]["at"] > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("isolation", ISOLATIONS)
+    def test_probe_equals_seq_scan_under_concurrent_churn(
+            self, engine, isolation):
+        """Randomized harness: inside one reader transaction, an index
+        equality/range probe must return exactly the rows a sequential
+        scan of the same snapshot admits — while concurrent writers
+        update keys, delete rows, and recycle unique keys."""
+        db = Database(isolation=isolation, execution_engine=engine,
+                      lock_timeout_s=15.0)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("CREATE INDEX by_v ON t (v)")
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, {i % 8})" for i in range(48)))
+        # The probes must actually take index paths.
+        plan = db.execute("EXPLAIN SELECT id FROM t WHERE v = 3").plan
+        assert any("index_eq" in p for p in plan["access_paths"])
+        plan = db.execute("EXPLAIN SELECT id FROM t WHERE v > 3").plan
+        assert any("index_range" in p for p in plan["access_paths"])
+
+        rng = random.Random(0xA10)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def churn(seed: int, ids: list[int]) -> None:
+            wrng = random.Random(seed)
+            fresh = iter(range(1000 + seed * 1000, 2000 + seed * 1000))
+            try:
+                while not stop.is_set():
+                    try:
+                        roll = wrng.random()
+                        victim = wrng.choice(ids)
+                        if roll < 0.70:
+                            db.execute(
+                                "UPDATE t SET v = ? WHERE id = ?",
+                                (wrng.randint(0, 8), victim))
+                        elif roll < 0.85:
+                            db.execute("DELETE FROM t WHERE id = ?",
+                                       (victim,))
+                            db.execute("INSERT INTO t VALUES (?, ?)",
+                                       (victim, wrng.randint(0, 8)))
+                        else:
+                            db.execute("INSERT INTO t VALUES (?, ?)",
+                                       (next(fresh), wrng.randint(0, 8)))
+                    except (DeadlockError, SerializationError,
+                            DuplicateKeyError):
+                        pass   # routine contention; try again
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writers = [threading.Thread(target=churn,
+                                    args=(n, list(range(n * 24,
+                                                        n * 24 + 24))))
+                   for n in range(2)]
+        for writer in writers:
+            writer.start()
+        try:
+            for _ in range(10):
+                db.execute("BEGIN")
+                try:
+                    baseline = db.query("SELECT id, v FROM t")
+                    probe_v = rng.randint(0, 8)
+                    eq = db.query("SELECT id, v FROM t WHERE v = ?",
+                                  (probe_v,))
+                    lo, hi = sorted(rng.sample(range(9), 2))
+                    op = rng.choice((">", ">="))
+                    rng_rows = db.query(
+                        f"SELECT id, v FROM t WHERE v {op} ? AND v <= ?",
+                        (lo, hi))
+                finally:
+                    db.execute("COMMIT")
+                assert sorted(eq) == sorted(
+                    r for r in baseline if r[1] == probe_v)
+                keep = ((lambda x: lo < x <= hi) if op == ">"
+                        else (lambda x: lo <= x <= hi))
+                assert sorted(rng_rows) == sorted(
+                    r for r in baseline if keep(r[1]))
+        finally:
+            stop.set()
+            for writer in writers:
+                writer.join(20.0)
+        assert errors == []
+        assert not any(writer.is_alive() for writer in writers)
+
+
+class TestVersionedIndexCrashRecovery:
+    def test_index_rebuilt_from_recovered_heaps_stays_consistent(self):
+        """After a crash, rebuilt indexes must answer exactly like
+        sequential scans — key history, deletes, and recycled unique
+        keys included — and remain maintainable (vacuum, key reuse)."""
+        dev, wdev = MemoryDevice(), MemoryDevice()
+        db = Database(device=dev, wal_device=wdev)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("CREATE INDEX by_v ON t (v)")
+        db.checkpoint()
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, {i % 4})" for i in range(12)))
+        db.execute("UPDATE t SET v = 9 WHERE id < 4")     # key churn
+        db.execute("DELETE FROM t WHERE id = 5")
+        db.execute("INSERT INTO t VALUES (5, 7)")         # PK recycled
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 100 WHERE id = 8")   # loser txn
+        db.pool.flush_all()     # steal uncommitted pages to disk
+        db2 = Database(device=dev, wal_device=wdev)
+        assert db2.last_recovery is not None
+        baseline = sorted(db2.query("SELECT id, v FROM t"))
+        for probe in (0, 1, 2, 3, 7, 9, 100):
+            result = db2.execute(
+                "SELECT id, v FROM t WHERE v = ?", (probe,))
+            assert any("index" in p for p in result.plan["access_paths"])
+            assert sorted(result.rows) == sorted(
+                r for r in baseline if r[1] == probe)
+        assert db2.query("SELECT v FROM t WHERE id = 5") == [(7,)]
+        # The recovered table stays fully maintainable.
+        db2.vacuum()
+        db2.execute("DELETE FROM t WHERE id = 0")
+        db2.execute("INSERT INTO t VALUES (0, 42)")
+        assert db2.query("SELECT v FROM t WHERE id = 0") == [(42,)]
+        assert sorted(db2.query("SELECT id FROM t WHERE v = 42")) == [(0,)]
 
 
 class Test2PLModeUnchanged:

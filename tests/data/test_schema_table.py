@@ -138,6 +138,68 @@ class TestTable:
         values = sorted(table.read(r)[0] for r in rids)
         assert values == [5, 6, 7, 8, 9]
 
+    def _range_values(self, table, index, **bounds):
+        return sorted(table.read(rid)[0]
+                      for rid in index.range_scan(**bounds))
+
+    def test_unique_range_scan_boundaries(self):
+        _, table = self.make_table()
+        for i in range(10):
+            table.insert((i, f"n{i}", None))
+        index = table.index_on(("id",))
+        assert self._range_values(
+            table, index, lo=(3,), hi=(6,), lo_inclusive=True,
+            hi_inclusive=True) == [3, 4, 5, 6]
+        assert self._range_values(
+            table, index, lo=(3,), hi=(6,), lo_inclusive=False,
+            hi_inclusive=False) == [4, 5]
+
+    def test_non_unique_range_scan_boundaries(self):
+        """Boundary semantics on RID-suffixed (non-unique) entry keys:
+        an exclusive bound must exclude *every* entry of the boundary
+        key and an inclusive one must admit them all — the RID suffix
+        makes each boundary entry compare strictly greater than the
+        bare encoded bound, so both bounds need the suffix extension."""
+        db, table = self.make_table()
+        db.execute("CREATE INDEX by_score ON t (score)")
+        for i in range(12):
+            table.insert((i, "x", float(i % 4)))   # three rows per key
+        index = table.index_on(("score",))
+        cases = [
+            (dict(lo=(1.0,), hi=(3.0,), lo_inclusive=True,
+                  hi_inclusive=False), {1.0, 2.0}),
+            (dict(lo=(1.0,), hi=(3.0,), lo_inclusive=False,
+                  hi_inclusive=False), {2.0}),
+            (dict(lo=(1.0,), hi=(3.0,), lo_inclusive=False,
+                  hi_inclusive=True), {2.0, 3.0}),
+            (dict(lo=(1.0,), hi=(3.0,), lo_inclusive=True,
+                  hi_inclusive=True), {1.0, 2.0, 3.0}),
+            (dict(lo=(1.0,), hi=None, lo_inclusive=False), {2.0, 3.0}),
+            (dict(lo=None, hi=(1.0,), hi_inclusive=True), {0.0, 1.0}),
+        ]
+        for bounds, expected in cases:
+            scores = [table.read(rid)[2]
+                      for rid in index.range_scan(**bounds)]
+            assert set(scores) == expected, bounds
+            # Every entry of each admitted key, exactly once.
+            assert len(scores) == 3 * len(expected), bounds
+
+    def test_non_unique_range_scan_text_boundaries(self):
+        """The suffix extension must stay exact for varlen (text) keys:
+        no bleed into adjacent keys in either direction."""
+        db, table = self.make_table()
+        db.execute("CREATE INDEX by_name ON t (name)")
+        names = ["ab", "ab\x00x", "abc", "b"]
+        for i, name in enumerate(names):
+            table.insert((i * 2, name, None))
+            table.insert((i * 2 + 1, name, None))
+        index = table.index_on(("name",))
+        got = [table.read(rid)[1]
+               for rid in index.range_scan(("ab",), ("abc",),
+                                           lo_inclusive=False,
+                                           hi_inclusive=True)]
+        assert sorted(got) == ["ab\x00x", "ab\x00x", "abc", "abc"]
+
     def test_hash_index(self):
         db, table = self.make_table()
         db.execute("CREATE UNIQUE INDEX h ON t (name) USING hash")

@@ -83,6 +83,22 @@ class TestAccessService:
                               lo=1, hi=3)
         assert [r[0] for r in rows] == [1, 2]
 
+    def test_index_ops_skip_stale_retained_entries(self, db):
+        """Version-aware indexes hand back candidate RIDs: the service
+        ops must re-check the visible key, including a visible key that
+        went NULL (encoded-order comparison, not Python tuples)."""
+        db.execute("CREATE INDEX by_v ON t (v)")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")     # 10 -> 99
+        db.execute("UPDATE t SET v = NULL WHERE id = 2")   # 20 -> NULL
+        service = started(AccessService(db))
+        assert service.invoke("index_lookup", table="t", index="by_v",
+                              key=10) == []
+        assert service.invoke("index_lookup", table="t", index="by_v",
+                              key=99) == [(1, "a", 99)]
+        rows = service.invoke("index_range", table="t", index="by_v",
+                              lo=5, hi=50)
+        assert rows == [(3, "b", 30)]
+
     def test_sort_records(self, db):
         service = started(AccessService(db))
         rows = service.invoke("sort_records", table="t", column="v",
