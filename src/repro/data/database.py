@@ -96,10 +96,10 @@ class Database:
             raise SQLPlanError(
                 f"execution_engine must be 'vectorized' or 'row', "
                 f"not {execution_engine!r}")
-        if isolation not in ("snapshot", "2pl"):
+        if isolation not in ("snapshot", "serializable", "2pl"):
             raise TransactionError(
-                f"isolation must be 'snapshot' or '2pl', "
-                f"not {isolation!r}")
+                f"isolation must be 'snapshot', 'serializable', or "
+                f"'2pl', not {isolation!r}")
         self.execution_engine = execution_engine
         self.isolation = isolation
         self.latched_lock_timeout_s = latched_lock_timeout_s
@@ -122,8 +122,9 @@ class Database:
         self.pool = BufferPool(self.files, capacity=buffer_capacity,
                                policy=replacement_policy, wal=self.wal)
         self.pages = PageManager(self.pool)
-        self.catalog = Catalog(self.pages,
-                               default_versioned=isolation == "snapshot")
+        self.catalog = Catalog(
+            self.pages,
+            default_versioned=isolation in ("snapshot", "serializable"))
         self.transactions = TransactionManager(self.wal, lock_timeout_s,
                                                group_commit=group_commit,
                                                isolation=isolation)
@@ -245,7 +246,9 @@ class Database:
         self.pool.drop_all(flush=False)
         summary = RecoveryManager(self.wal, self.files).recover()
         self.catalog = Catalog(
-            self.pages, default_versioned=self.isolation == "snapshot")
+            self.pages,
+            default_versioned=self.isolation in ("snapshot",
+                                                 "serializable"))
         self.transactions.advance_ids(self.catalog.max_seen_xid + 1)
         self.catalog.bind_transactions(self.transactions)
         self.catalog.rebuild_indexes()
@@ -380,6 +383,23 @@ class Database:
         planner = Planner(self.catalog, view_parser=self._parse_view,
                           engine=self.execution_engine,
                           isolation=self.isolation)
+        if isinstance(query, (ast.Update, ast.Delete)):
+            # DML EXPLAIN: show the costed victim-selection path (the
+            # statement is planned, never executed — uncorrelated
+            # subqueries in WHERE still run, as reads).
+            where = planner.resolve_subqueries(query.where, params)
+            plan = planner.plan_dml(query.table, where, params)
+            rows = [("statement",
+                     "update" if isinstance(query, ast.Update)
+                     else "delete"),
+                    ("isolation", self.isolation),
+                    ("access_path", plan.access_path)]
+            if plan.cost_based:
+                rows.append(("estimate",
+                             f"{query.table}: rows={plan.est_rows} "
+                             f"cost={plan.est_cost}"))
+            return ResultSet(["kind", "detail"], rows,
+                             plan=plan.as_dict())
         _, info = planner.plan(query, params)
         rows: list[tuple] = [("exec", info.exec_engine),
                              ("isolation", info.isolation)]
@@ -504,20 +524,29 @@ class Database:
                          if where is not None else None)
             self._lock_for_write(txn, statement.table)
             touched = 0
-            victims: list[RID] = []
-            # Victims come from the statement's read view: the txn
-            # snapshot under snapshot isolation, latest-plus-own-writes
-            # under 2PL.
-            for rid, row in table.scan(snapshot=txn.read_view()):
-                if predicate is None or predicate(row) is True:
-                    victims.append(rid)
+            # Victim selection goes through the planner: a costed (or
+            # rule-based) index probe yields candidate RIDs from the
+            # statement's read view — the txn snapshot under
+            # snapshot-based isolation, latest-plus-own-writes under
+            # 2PL — instead of a full heap scan.  The full WHERE is
+            # re-applied to each candidate's visible row, so stale
+            # index candidates drop out exactly like scan victims.
+            plan = resolver.plan_dml(statement.table, where, params)
+            victims: list[RID] = [
+                rid for rid, row in plan.victims()
+                if predicate is None or predicate(row) is True]
             # First-updater-wins applies inside explicit transactions:
             # the snapshot the victims were chosen from is the one an
             # earlier read may have exposed to the application.  A
             # single autocommit statement has no earlier reads, so it
             # refreshes to latest-committed under its row lock instead
-            # of failing (read-committed statement semantics).
-            enforce = not autocommit
+            # of failing (read-committed statement semantics) — except
+            # under serializable isolation, where the statement's SSI
+            # read tracking is tied to its snapshot: refreshing the
+            # write base to a different state than the reads were
+            # checked against would reopen the very anomalies SSI
+            # exists to close.
+            enforce = not autocommit or self.isolation == "serializable"
             for rid in victims:
                 if self.lock_granularity == "row":
                     txn.lock_row_exclusive(statement.table, rid)
@@ -554,22 +583,25 @@ class Database:
         scope = Scope(list(table.schema.names))
         txn, autocommit = self._txn()
         try:
-            where = Planner(self.catalog, view_parser=self._parse_view,
-                            txn=txn, engine=self.execution_engine,
-                            isolation=self.isolation) \
-                .resolve_subqueries(statement.where, params)
+            resolver = Planner(self.catalog, view_parser=self._parse_view,
+                               txn=txn, engine=self.execution_engine,
+                               isolation=self.isolation)
+            where = resolver.resolve_subqueries(statement.where, params)
             predicate = (compile_scalar(where, scope, params)
                          if where is not None else None)
             self._lock_for_write(txn, statement.table)
-            victims = [rid for rid, row
-                       in table.scan(snapshot=txn.read_view())
+            # Planner-driven victim selection; see _update for the
+            # residual-predicate and snapshot-enforcement rationale.
+            plan = resolver.plan_dml(statement.table, where, params)
+            victims = [rid for rid, row in plan.victims()
                        if predicate is None or predicate(row) is True]
             deleted = 0
+            enforce = not autocommit or self.isolation == "serializable"
             for rid in victims:
                 if self.lock_granularity == "row":
                     txn.lock_row_exclusive(statement.table, rid)
                 row = table.writable_row(rid, txn,
-                                         enforce_snapshot=not autocommit)
+                                         enforce_snapshot=enforce)
                 if row is None:
                     continue  # row deleted or moved: no longer a victim
                 if predicate is not None and predicate(row) is not True:
@@ -677,7 +709,7 @@ class Database:
     # -- introspection ----------------------------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        summary = {
             "catalog": self.catalog.stats(),
             "buffer": self.pool.properties(),
             "disk": {
@@ -693,6 +725,12 @@ class Database:
             "vacuum": self.vacuum_manager.stats(),
             "statements": self.statements_executed,
         }
+        if self.transactions.ssi is not None:
+            # Serializable mode: SIREAD/rw-edge gauges (tracked_reads,
+            # rw_edges, pivot_aborts, retained_committed,
+            # sireads_released) — also nested under "transactions".
+            summary["ssi"] = self.transactions.ssi.stats()
+        return summary
 
 
 def _render_select(select: ast.SelectStatement) -> str:

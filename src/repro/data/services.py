@@ -98,11 +98,19 @@ class QueryService(Service):
         from repro.data.sql.planner import Planner
 
         parsed = parse(statement)
-        if not isinstance(parsed, sql_ast.SelectStatement):
-            return {"statement": type(parsed).__name__}
         planner = Planner(self.database.catalog,
                           view_parser=self.database._parse_view,
-                          engine=self.database.execution_engine)
+                          engine=self.database.execution_engine,
+                          isolation=self.database.isolation)
+        if isinstance(parsed, (sql_ast.Update, sql_ast.Delete)):
+            # DML statements expose their costed victim-selection path
+            # (planner-driven UPDATE/DELETE) without executing.
+            where = planner.resolve_subqueries(parsed.where,
+                                               tuple(params or ()))
+            return planner.plan_dml(parsed.table, where,
+                                    tuple(params or ())).as_dict()
+        if not isinstance(parsed, sql_ast.SelectStatement):
+            return {"statement": type(parsed).__name__}
         _, info = planner.plan(parsed, tuple(params or ()))
         return info.as_dict()
 

@@ -212,9 +212,9 @@ class UnionSelect:
 
 @dataclass(frozen=True)
 class Explain:
-    """EXPLAIN <select>: plan without executing."""
+    """EXPLAIN <select|update|delete>: plan without executing."""
 
-    query: Union["SelectStatement", "UnionSelect"]
+    query: Union["SelectStatement", "UnionSelect", "Update", "Delete"]
 
 
 @dataclass(frozen=True)

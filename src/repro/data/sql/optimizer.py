@@ -138,6 +138,11 @@ class CostModel:
     cpu_tuple_cost: float = 0.01
     cpu_operator_cost: float = 0.0025
     hash_entry_cost: float = 0.015
+    #: Per-victim surcharge of an UPDATE/DELETE on top of its access
+    #: path: row lock, snapshot re-read, version create/stamp, index
+    #: maintenance.  Identical across candidate paths, so it shifts DML
+    #: estimates without ever changing the access-path choice.
+    cpu_dml_tuple_cost: float = 0.02
     buffer_pages: int = 256
 
     def random_page(self, table_pages: int) -> float:
@@ -159,6 +164,11 @@ class CostModel:
         probe = self._btree_height(rows) * self.random_page(pages)
         fetches = matching_rows * self.random_page(pages)
         return probe + fetches + matching_rows * self.cpu_tuple_cost
+
+    def dml_overhead(self, matching_rows: float) -> float:
+        """Write-side cost an UPDATE/DELETE adds to its chosen access
+        path (see :attr:`cpu_dml_tuple_cost`)."""
+        return matching_rows * self.cpu_dml_tuple_cost
 
     def hash_join(self, outer_rows: float, inner_rows: float,
                   out_rows: float) -> float:

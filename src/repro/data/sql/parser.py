@@ -60,6 +60,10 @@ class Parser:
         if s.at_keyword("DROP"):
             return self.drop()
         if s.accept_keyword("EXPLAIN"):
+            if s.at_keyword("UPDATE"):
+                return ast.Explain(self.update())
+            if s.at_keyword("DELETE"):
+                return ast.Explain(self.delete())
             return ast.Explain(self.select_or_union())
         if s.accept_keyword("ANALYZE"):
             name = s.expect_ident() if s.peek().kind == "IDENT" else None

@@ -330,6 +330,35 @@ class PlanInfo:
         return summary
 
 
+@dataclass
+class DMLPlan:
+    """Victim-selection plan for one UPDATE/DELETE statement.
+
+    ``victims`` yields ``(head_rid, row)`` candidates from the
+    statement's read view; the executor still locks, re-reads, and
+    re-applies the full WHERE per candidate (stale index candidates are
+    dropped exactly like a stale seq-scan victim), so an index-driven
+    plan answers identically to a full scan — just without reading the
+    whole heap.
+    """
+
+    table_name: str
+    access_path: str
+    cost_based: bool = False
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
+    victims: Optional[Callable[[], Any]] = None
+
+    def as_dict(self) -> dict:
+        summary = {"table": self.table_name,
+                   "access_path": self.access_path,
+                   "cost_based": self.cost_based}
+        if self.cost_based:
+            summary.update({"estimated_rows": self.est_rows,
+                            "estimated_cost": self.est_cost})
+        return summary
+
+
 class Planner:
     """Plans SELECT statements against a catalog of tables and views.
 
@@ -359,16 +388,34 @@ class Planner:
 
     def _lock_for_read(self, name: str, table=None) -> None:
         """S table lock for the locking read path.  Skipped only when
-        the table is versioned *and* the session runs snapshot
-        isolation — an unversioned table (e.g. created under 2PL and
-        reopened under snapshot) has no version headers to filter by,
-        so its readers must still block out writers."""
+        the table is versioned *and* the session runs snapshot-based
+        isolation (snapshot or serializable — SSI reads stay lock-free
+        too; SIREAD tracking replaces blocking) — an unversioned table
+        (e.g. created under 2PL and reopened under snapshot) has no
+        version headers to filter by, so its readers must still block
+        out writers."""
         if self.txn is None:
             return
-        if self.isolation == "snapshot" and table is not None \
+        if self.isolation in ("snapshot", "serializable") \
+                and table is not None \
                 and getattr(table, "versioned", False):
             return
         self.txn.lock_shared(name)
+
+    def _ssi_pair(self):
+        """``(SSIManager, tracker)`` when the planning transaction runs
+        serializable, else ``None`` — used to register index probes as
+        SIREAD predicate (key-range) locks."""
+        txn = self.txn
+        if txn is None:
+            return None
+        ssi = getattr(getattr(txn, "manager", None), "ssi", None)
+        if ssi is None:
+            return None
+        tracker = ssi.tracker(txn.txn_id)
+        if tracker is None:
+            return None
+        return ssi, tracker
 
     # -- sources -----------------------------------------------------------------
 
@@ -470,14 +517,28 @@ class Planner:
         """
         if kind == "eq":
             probe = lambda: index.lookup_eq((value,))  # noqa: E731
+            lo_values = hi_values = (value,)
+            lo_inc = hi_inc = True
         else:
             probe = (lambda: index.range_scan(lo, hi, lo_inclusive,
                                               hi_inclusive))
+            lo_values, hi_values = lo, hi
+            lo_inc, hi_inc = lo_inclusive, hi_inclusive
         latch = getattr(table, "_latch", None) \
-            if self.isolation == "snapshot" and \
+            if self.isolation in ("snapshot", "serializable") and \
             getattr(table, "versioned", False) else None
+        ssi = self._ssi_pair()
+        key_columns = index.definition.columns
 
         def rids():
+            if ssi is not None:
+                # The probed bounds are this statement's predicate read:
+                # a SIREAD key-range lock catches writers that move rows
+                # into (or out of) the range — the phantom case tuple
+                # SIREADs cannot cover.
+                ssi[0].record_key_range(ssi[1], table.name, key_columns,
+                                        lo_values, hi_values, lo_inc,
+                                        hi_inc)
             if latch is None:
                 return probe()   # locking read path: stream lazily
             with latch:
@@ -808,6 +869,136 @@ class Planner:
         return self._index_source(table, columns, index, "range",
                                   lo=lo, hi=hi, lo_inclusive=lo_inc,
                                   hi_inclusive=hi_inc)
+
+    # -- DML victim selection ---------------------------------------------------------
+
+    def plan_dml(self, table_name: str,
+                 where: Optional[ast.Expression],
+                 params: Sequence[Any]) -> DMLPlan:
+        """Costed access path for UPDATE/DELETE victim selection.
+
+        With ANALYZE statistics the cost model chooses between a heap
+        scan and the matching index probes (same machinery as SELECT,
+        plus the per-victim write overhead); without statistics the
+        first conjunct matching an index drives a rule-based probe, and
+        a statement with no usable conjunct falls back to the seq scan
+        DML always used before.
+        """
+        table = self.catalog.table(table_name)
+        snap = self.snapshot
+        seq_victims = lambda: table.scan(snapshot=snap)  # noqa: E731
+        conjuncts = _conjuncts(where) if where is not None else []
+
+        stats_for = getattr(self.catalog, "stats_for", None)
+        stats = stats_for(table_name) if stats_for is not None else None
+        if stats is not None and not (stats.row_count == 0
+                                      and table.row_count):
+            schemas = {table_name: table.schema}
+            specs = []
+            for conjunct in conjuncts:
+                owners = _conjunct_bindings(conjunct, schemas)
+                if owners is not None and owners <= {table_name}:
+                    specs.append(_predicate_spec(conjunct, table_name,
+                                                 schemas, params))
+                else:
+                    specs.append(PredicateSpec("", "other"))
+            cost_model = CostModel(buffer_pages=self._buffer_pages())
+            choice = choose_access_path(table, stats, specs, cost_model)
+            plan = DMLPlan(
+                table_name, choice.path, cost_based=True,
+                est_rows=round(choice.est_rows, 1),
+                est_cost=round(
+                    choice.cost + cost_model.dml_overhead(choice.est_rows),
+                    2))
+            if choice.kind == "seq":
+                plan.victims = seq_victims
+            elif choice.kind == "index_eq":
+                index = table.index_on((choice.column,))
+                plan.victims = self._dml_index_victims(
+                    table, index, "eq", value=choice.value)
+            else:
+                index = table.index_on((choice.column,),
+                                       require_btree=True)
+                lo = (choice.low[0],) if choice.low is not None else None
+                lo_inc = choice.low[1] if choice.low is not None else True
+                hi = (choice.high[0],) \
+                    if choice.high is not None else None
+                hi_inc = choice.high[1] \
+                    if choice.high is not None else True
+                plan.victims = self._dml_index_victims(
+                    table, index, "range", lo=lo, hi=hi,
+                    lo_inclusive=lo_inc, hi_inclusive=hi_inc)
+            return plan
+
+        for conjunct in conjuncts:
+            match = _index_match(conjunct, table_name)
+            if match is None:
+                continue
+            column, op_name, value_expr = match
+            index = table.index_on((column,),
+                                   require_btree=op_name != "=")
+            if index is None:
+                continue
+            value = compile_expression(value_expr, Scope([]), params)(())
+            if op_name == "=":
+                return DMLPlan(
+                    table_name, f"index_eq({table.name}.{column})",
+                    victims=self._dml_index_victims(table, index, "eq",
+                                                    value=value))
+            lo = hi = None
+            lo_inc = hi_inc = True
+            if op_name in (">", ">="):
+                lo, lo_inc = (value,), op_name == ">="
+            else:
+                hi, hi_inc = (value,), op_name == "<="
+            return DMLPlan(
+                table_name, f"index_range({table.name}.{column})",
+                victims=self._dml_index_victims(
+                    table, index, "range", lo=lo, hi=hi,
+                    lo_inclusive=lo_inc, hi_inclusive=hi_inc))
+        return DMLPlan(table_name, f"seq_scan({table_name})",
+                       victims=seq_victims)
+
+    def _dml_index_victims(self, table, index, kind: str,
+                           value: Any = None, lo: Optional[tuple] = None,
+                           hi: Optional[tuple] = None,
+                           lo_inclusive: bool = True,
+                           hi_inclusive: bool = True) -> Callable:
+        """Victim producer for a DML index probe: candidate head RIDs
+        from the (version-aware) index, re-checked against the statement
+        view by ``read_pairs``.  The probe always runs under the table
+        latch — a DML statement holds no S lock in any isolation mode,
+        so the in-memory index structure must be guarded against
+        concurrent maintenance.  Under serializable isolation the probed
+        bounds register as a SIREAD key-range lock, exactly like a
+        SELECT through the same index."""
+        if kind == "eq":
+            probe = lambda: index.lookup_eq((value,))  # noqa: E731
+            lo_values = hi_values = (value,)
+            lo_inc = hi_inc = True
+        else:
+            probe = (lambda: index.range_scan(lo, hi, lo_inclusive,
+                                              hi_inclusive))
+            lo_values, hi_values = lo, hi
+            lo_inc, hi_inc = lo_inclusive, hi_inclusive
+        latch = getattr(table, "_latch", None)
+        snap = self.snapshot
+        ssi = self._ssi_pair()
+        key_columns = index.definition.columns
+
+        def victims():
+            if ssi is not None:
+                ssi[0].record_key_range(ssi[1], table.name, key_columns,
+                                        lo_values, hi_values, lo_inc,
+                                        hi_inc)
+            if latch is None:
+                candidates = list(probe())
+            else:
+                with latch:
+                    candidates = list(probe())
+            return table.read_pairs(candidates, snapshot=snap)
+
+        return victims
 
     def _join_step(self, tree: Operator, source: Operator, step,
                    info: PlanInfo) -> Operator:

@@ -1,0 +1,345 @@
+"""Serializable snapshot isolation (SSI): rw-antidependency tracking.
+
+Snapshot isolation (PR 4) permits *write skew*: two transactions each
+read a predicate the other writes, neither sees the other's write, and
+the serial orders implied by the two reads contradict each other.  The
+resulting history has a cycle of **rw-antidependency** edges — ``T1 -rw->
+T2`` meaning T1 read a version that T2 superseded — which no serial
+order can satisfy.
+
+This module implements Cahill et al.'s serializable snapshot isolation
+(VLDB '08, the algorithm PostgreSQL 9.1 ships as ``SERIALIZABLE``): keep
+snapshot isolation's lock-free reads, but track enough read metadata to
+notice rw-edges and abort before a cycle can commit.
+
+- **SIREAD locks.**  Readers register what they observed with their
+  transaction's :class:`SSITransaction` tracker: individual head RIDs
+  (index point fetches), whole relations (sequential scans), and encoded
+  index key *ranges* (index range/eq probes — these are the predicate
+  locks that catch phantoms).  SIREAD locks never block anyone; they are
+  pure bookkeeping.
+- **Edge detection** happens at two sites.  *Write-time*: immediately
+  after creating/stamping a version (still under the table latch), a
+  writer checks every overlapping tracker's SIREAD set against the
+  row's old and new state, creating ``reader -rw-> writer`` edges.
+  *Read-time*: a reader walking a version chain past versions its
+  snapshot cannot see creates ``reader -rw-> creator`` edges — required
+  when the writer committed before the reader ever read (no SIREAD
+  existed to check at write time).  Ordering closes the race on both
+  sides: readers register SIREADs *before* physically reading and
+  writers check *after* physically installing, so a reader that saw the
+  pre-write state either registered before the writer's check (caught
+  at write time) or reads the installed version (caught at read time).
+- **Dangerous structure.**  A transaction with both an incoming and an
+  outgoing rw-edge (the *pivot*) is the necessary apex of any cycle of
+  concurrent transactions.  On edge creation the pivot is aborted: if it
+  is the transaction at hand a :class:`SerializationError` is raised
+  immediately; if it is another active transaction it is *doomed* (its
+  next write or its commit raises); if it already committed, the
+  transaction creating the edge aborts instead.  This is the simplified
+  Cahill policy — no commit-ordering refinement — so false-positive
+  aborts are possible and accepted; retrying on a fresh snapshot is
+  always the correct client response.
+- **Retention.**  A committed transaction's SIREADs must outlive it: a
+  concurrent writer may still create an edge to it.  Trackers are kept
+  until every active serializable snapshot sees the committed xid, then
+  collected — opportunistically after commits and by the vacuum daemon
+  alongside the version-horizon bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+from repro.access.keycodec import encode_key
+from repro.errors import SerializationError
+
+
+class SSITransaction:
+    """Per-transaction SSI state: SIREAD sets and conflict flags."""
+
+    __slots__ = ("xid", "snapshot", "in_conflict", "out_conflict",
+                 "doomed", "committing", "committed", "tuple_reads",
+                 "relation_reads", "key_reads", "edges_out")
+
+    def __init__(self, xid: int, snapshot) -> None:
+        self.xid = xid
+        self.snapshot = snapshot
+        #: Some overlapping transaction read a version this one superseded.
+        self.in_conflict = False
+        #: This transaction read a version an overlapping one superseded.
+        self.out_conflict = False
+        #: Chosen as a dangerous-structure pivot: must abort.
+        self.doomed = False
+        #: Passed its commit-point doom check; the COMMIT record is being
+        #: written.  Dooming it now would be a lost abort, so the pivot
+        #: policy treats it as already committed.
+        self.committing = False
+        self.committed = False
+        #: Head RIDs point-fetched: ``{(table, page_no, slot)}``.
+        self.tuple_reads: set = set()
+        #: Tables sequentially scanned (relation-granularity SIREAD).
+        self.relation_reads: set = set()
+        #: Index predicate reads:
+        #: ``{table: {columns: {(lo, hi, lo_inc, hi_inc)}}}`` with bounds
+        #: in encoded-key form (``None`` = unbounded side).
+        self.key_reads: dict = {}
+        #: Writer xids already linked (edge dedup).
+        self.edges_out: set = set()
+
+
+class SSIManager:
+    """Tracks SIREAD locks and rw-antidependency edges for one engine.
+
+    Owned by the :class:`~repro.data.transactions.TransactionManager`
+    when ``isolation="serializable"``; ``None`` otherwise, so every hook
+    in the read/write paths degrades to a single attribute test.
+    All methods are thread-safe behind one mutex — SSI bookkeeping is
+    short critical sections layered on the existing latches.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.RLock()
+        self._txns: dict[int, SSITransaction] = {}
+        self.reads_tracked = 0
+        self.rw_edges = 0
+        self.pivot_aborts = 0
+        self.sireads_released = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, xid: int, snapshot) -> SSITransaction:
+        tracker = SSITransaction(xid, snapshot)
+        with self._mutex:
+            self._txns[xid] = tracker
+        return tracker
+
+    def tracker(self, xid: int) -> Optional[SSITransaction]:
+        """The *active* tracker for ``xid`` (``None`` once finished —
+        committed trackers only matter to write-time checks)."""
+        with self._mutex:
+            tracker = self._txns.get(xid)
+            if tracker is None or tracker.committed:
+                return None
+            return tracker
+
+    def prepare_commit(self, xid: int) -> None:
+        """Called before the COMMIT record is logged: a doomed pivot
+        must abort instead of committing.  Passing the check flips the
+        tracker to *committing* — from here until :meth:`on_commit` the
+        WAL force is in flight and the transaction can no longer be
+        doomed, so edge creation treats it as committed (the edge's
+        other endpoint aborts instead)."""
+        with self._mutex:
+            tracker = self._txns.get(xid)
+            if tracker is None:
+                return
+            if tracker.doomed:
+                raise SerializationError(
+                    f"txn {xid} aborted by SSI: pivot of a dangerous "
+                    f"rw-antidependency structure; retry on a fresh "
+                    f"snapshot")
+            tracker.committing = True
+
+    def on_commit(self, xid: int) -> None:
+        """Mark committed but *retain* the tracker: overlapping writers
+        may still create edges against its SIREADs."""
+        with self._mutex:
+            tracker = self._txns.get(xid)
+            if tracker is not None:
+                tracker.committed = True
+        self.collect()
+
+    def on_abort(self, xid: int) -> None:
+        """Drop the tracker.  Conflict flags it already propagated to
+        peers remain set — a tolerated false-positive source."""
+        with self._mutex:
+            self._txns.pop(xid, None)
+
+    def collect(self) -> int:
+        """Release committed trackers once no active serializable
+        transaction's snapshot can overlap them (the SIREAD horizon —
+        the SSI analogue of the vacuum version horizon)."""
+        with self._mutex:
+            active = [t for t in self._txns.values() if not t.committed]
+            drop = [xid for xid, t in self._txns.items()
+                    if t.committed
+                    and all(a.snapshot.sees(xid) for a in active)]
+            for xid in drop:
+                del self._txns[xid]
+            self.sireads_released += len(drop)
+            return len(drop)
+
+    # -- SIREAD registration (read side) -----------------------------------------
+
+    def record_relation_read(self, tracker: SSITransaction,
+                             table: str) -> None:
+        with self._mutex:
+            if table not in tracker.relation_reads:
+                tracker.relation_reads.add(table)
+                self.reads_tracked += 1
+
+    def record_tuple_read(self, tracker: SSITransaction, table: str,
+                          rid) -> None:
+        with self._mutex:
+            key = (table, rid.page_no, rid.slot)
+            if key not in tracker.tuple_reads:
+                tracker.tuple_reads.add(key)
+                self.reads_tracked += 1
+
+    def record_key_range(self, tracker: SSITransaction, table: str,
+                         columns: tuple,
+                         lo_values: Optional[tuple],
+                         hi_values: Optional[tuple],
+                         lo_inclusive: bool = True,
+                         hi_inclusive: bool = True) -> None:
+        """Register an index predicate read.  Bounds are value tuples
+        for ``columns`` (``None`` = unbounded); stored in encoded-key
+        form so membership tests share the index's total order."""
+        lo = encode_key(lo_values) if lo_values is not None else None
+        hi = encode_key(hi_values) if hi_values is not None else None
+        with self._mutex:
+            ranges = tracker.key_reads.setdefault(table, {}) \
+                .setdefault(tuple(columns), set())
+            entry = (lo, hi, lo_inclusive, hi_inclusive)
+            if entry not in ranges:
+                ranges.add(entry)
+                self.reads_tracked += 1
+
+    def observe_version(self, tracker: SSITransaction, writer_xid: int,
+                        ) -> None:
+        """Read-time edge: ``tracker`` read past (or under) a version
+        created/stamped by ``writer_xid``, which its snapshot cannot
+        see — so the writer overlaps and superseded something the
+        reader observed."""
+        with self._mutex:
+            writer = self._txns.get(writer_xid)
+            if writer is None:     # not serializable-tracked, or aborted
+                return
+            self._rw_edge(tracker, writer, current_xid=tracker.xid)
+
+    # -- write-time checks -------------------------------------------------------
+
+    def check_write(self, writer_xid: int, table: str, rid, schema,
+                    old_row: Optional[tuple],
+                    new_row: Optional[tuple]) -> None:
+        """Called under the table latch before a version is created or
+        stamped.  ``old_row`` is the pre-image being superseded (``None``
+        for inserts), ``new_row`` the post-image (``None`` for deletes).
+        Creates ``reader -rw-> writer`` edges for every overlapping
+        tracker whose SIREADs cover the row."""
+        with self._mutex:
+            writer = self._txns.get(writer_xid)
+            if writer is None:
+                return
+            if writer.doomed:
+                self._raise_doomed(writer)
+            rid_key = (table, rid.page_no, rid.slot) \
+                if rid is not None else None
+            key_cache: dict = {}
+            for reader in list(self._txns.values()):
+                if reader is writer:
+                    continue
+                if reader.committed and writer.snapshot is not None \
+                        and writer.snapshot.sees(reader.xid):
+                    continue   # reader finished before writer began
+                hit = table in reader.relation_reads \
+                    or (rid_key is not None
+                        and rid_key in reader.tuple_reads)
+                if not hit:
+                    hit = self._key_ranges_hit(
+                        reader, table, schema, (old_row, new_row),
+                        key_cache)
+                if hit:
+                    self._rw_edge(reader, writer, current_xid=writer_xid)
+
+    @staticmethod
+    def _key_ranges_hit(reader: SSITransaction, table: str, schema,
+                        rows: Iterable[Optional[tuple]],
+                        key_cache: dict) -> bool:
+        by_columns = reader.key_reads.get(table)
+        if not by_columns:
+            return False
+        for columns, ranges in by_columns.items():
+            for row in rows:
+                if row is None:
+                    continue
+                cache_key = (columns, row)
+                encoded = key_cache.get(cache_key)
+                if encoded is None:
+                    encoded = encode_key(tuple(
+                        row[schema.index_of(column)]
+                        for column in columns))
+                    key_cache[cache_key] = encoded
+                for lo, hi, lo_inc, hi_inc in ranges:
+                    if lo is not None and (
+                            encoded < lo
+                            or (encoded == lo and not lo_inc)):
+                        continue
+                    if hi is not None and (
+                            encoded > hi
+                            or (encoded == hi and not hi_inc)):
+                        continue
+                    return True
+        return False
+
+    # -- dangerous-structure policy ----------------------------------------------
+
+    def _rw_edge(self, reader: SSITransaction, writer: SSITransaction,
+                 current_xid: int) -> None:
+        """Record ``reader -rw-> writer`` and break any dangerous
+        structure it completes.  ``current_xid`` is the transaction in
+        whose thread we are running: if the policy aborts *it*, raise;
+        if it aborts another active transaction, doom it instead."""
+        if reader is writer or writer.xid in reader.edges_out:
+            return
+        reader.edges_out.add(writer.xid)
+        reader.out_conflict = True
+        writer.in_conflict = True
+        self.rw_edges += 1
+        # A pivot (in + out conflicts) is the apex of any potential
+        # cycle.  Abort it — unless it already committed, in which case
+        # the transaction creating this edge must go instead.
+        for pivot in (reader, writer):
+            if not (pivot.in_conflict and pivot.out_conflict):
+                continue
+            if pivot.committed or pivot.committing:
+                # Committed — or past its commit-point doom check with
+                # the WAL force in flight (dooming it now would be a
+                # lost abort): the edge creator goes instead.
+                self.pivot_aborts += 1
+                raise SerializationError(
+                    f"txn {current_xid} aborted by SSI: completes a "
+                    f"dangerous rw-antidependency structure whose pivot "
+                    f"(txn {pivot.xid}) already committed; retry on a "
+                    f"fresh snapshot")
+            if not pivot.doomed:
+                pivot.doomed = True
+                self.pivot_aborts += 1
+            if pivot.xid == current_xid:
+                self._raise_doomed(pivot)
+            # Dooming one pivot breaks the structure; the edge's other
+            # endpoint may proceed.
+            break
+
+    @staticmethod
+    def _raise_doomed(tracker: SSITransaction) -> None:
+        raise SerializationError(
+            f"txn {tracker.xid} aborted by SSI: pivot of a dangerous "
+            f"rw-antidependency structure (rw-in and rw-out edges to "
+            f"overlapping transactions); retry on a fresh snapshot")
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._mutex:
+            retained = sum(1 for t in self._txns.values() if t.committed)
+            return {
+                "tracked_reads": self.reads_tracked,
+                "rw_edges": self.rw_edges,
+                "pivot_aborts": self.pivot_aborts,
+                "retained_committed": retained,
+                "sireads_released": self.sireads_released,
+                "active": len(self._txns) - retained,
+            }

@@ -359,6 +359,35 @@ class Table:
             return self.txns.latest_snapshot()
         return FROZEN_SNAPSHOT
 
+    # -- SSI hooks (serializable isolation) --------------------------------------
+
+    def _ssi(self, view: Snapshot):
+        """``(manager, tracker)`` when ``view`` belongs to an active
+        serializable transaction, else ``None`` — the single test every
+        read-path SSI hook hangs off.  Detached latest views carry
+        ``xid == 0`` and internal visitors (vacuum, unique checks) read
+        through them, so they never register SIREADs."""
+        if view.xid == 0 or self.txns is None:
+            return None
+        ssi = getattr(self.txns, "ssi", None)
+        if ssi is None:
+            return None
+        tracker = ssi.tracker(view.xid)
+        if tracker is None:
+            return None
+        return ssi, tracker
+
+    def _ssi_check_write(self, txn, rid, old_row: Optional[tuple],
+                         new_row: Optional[tuple]) -> None:
+        """Write-time SSI check (caller holds the table latch): creating
+        or stamping a version supersedes what overlapping readers may
+        have observed — raise if that completes a dangerous structure."""
+        ssi = getattr(self.txns, "ssi", None) if self.txns is not None \
+            else None
+        if ssi is not None:
+            ssi.check_write(txn.txn_id, self.name, rid, self.schema,
+                            old_row, new_row)
+
     def _visible_version(self, head_rid: RID,
                          view: Snapshot) -> Optional[bytes]:
         """Tuple bytes of the chain version ``view`` sees, or None.
@@ -378,9 +407,22 @@ class Table:
             header = unpack_version(payload)
             if not header.is_head:
                 return None    # RID recycled since the caller's copy
+            # Read-time rw-edges (SSI): every stamp this walk passes
+            # that the view cannot see belongs to an overlapping writer
+            # that superseded what we are about to read — the only
+            # detection point when that writer committed before we read
+            # (its write-time check predates our SIREADs).
+            ssi = self._ssi(view)
             while True:
                 if view.visible(header.xmin, header.xmax):
+                    if ssi is not None and header.xmax != 0 \
+                            and not view.sees(header.xmax):
+                        ssi[0].observe_version(ssi[1], header.xmax)
                     return payload[HEADER_SIZE:]
+                if ssi is not None:
+                    for stamp in (header.xmin, header.xmax):
+                        if stamp != 0 and not view.sees(stamp):
+                            ssi[0].observe_version(ssi[1], stamp)
                 prev = header.prev
                 if prev is None:
                     return None
@@ -466,6 +508,15 @@ class Table:
             progress = {"indexed": False}
             if txn is not None:
                 txn.on_abort(lambda: self._undo_insert(rid, progress, txn))
+            if self.versioned and txn is not None:
+                # A new row materialises inside predicates overlapping
+                # readers already evaluated (the phantom case).  Checked
+                # *after* heap placement: a reader registering its SIREAD
+                # in between would otherwise slip past both detection
+                # points (it read pre-insert state, we checked pre-
+                # registration state).  A raise here aborts through the
+                # undo just registered.
+                self._ssi_check_write(txn, rid, None, validated)
             if lock_row is not None:
                 lock_row(rid)
             maybe_crash("table.index")
@@ -577,12 +628,22 @@ class Table:
         Raises :class:`PageLayoutError` when no version is visible —
         versioned tables mirror the tombstone semantics of plain heaps.
         """
-        payload = self.heap.read(rid)
         if not self.versioned:
-            return self.schema.decode(payload)
+            return self.schema.decode(self.heap.read(rid))
         view = self._read_view(snapshot)
+        ssi = self._ssi(view)
+        if ssi is not None:
+            # Registered before the physical read (and before visibility
+            # resolves): a write landing in between then sees the SIREAD
+            # at its post-install check, and reading *absence* (no
+            # visible version) is an observation writers must see.
+            ssi[0].record_tuple_read(ssi[1], self.name, rid)
+        payload = self.heap.read(rid)
         header = unpack_version(payload)
         if header.is_head and view.visible(header.xmin, header.xmax):
+            if ssi is not None and header.xmax != 0 \
+                    and not view.sees(header.xmax):
+                ssi[0].observe_version(ssi[1], header.xmax)
             return self.schema.decode(payload[HEADER_SIZE:])
         tuple_bytes = self._visible_version(rid, view)
         if tuple_bytes is None:
@@ -608,6 +669,9 @@ class Table:
             self.row_count -= 1
             self.dead_versions += 1
             txn.on_abort(lambda: self._undo_delete_stamp(rid, txn))
+            # SSI check after the stamp is in place (see insert): a
+            # raise aborts through the undo just registered.
+            self._ssi_check_write(txn, rid, row, None)
         return row
 
     def _undo_delete_stamp(self, rid: RID, txn) -> None:
@@ -690,6 +754,11 @@ class Table:
         # undo registration, so a failure below (row-lock timeout,
         # index crash point) cannot drive it negative at abort.
         self.dead_versions += 1
+        # SSI check after the new head is in place (see insert): a
+        # reader registering its SIREAD between a pre-install check and
+        # the install would be invisible to both detection points.  A
+        # raise here aborts through the undo just registered.
+        self._ssi_check_write(txn, rid, old_row, validated)
         if new_rid != rid and lock_row is not None:
             lock_row(new_rid)
         maybe_crash("table.index")
@@ -806,7 +875,10 @@ class Table:
         statements pass ``enforce_snapshot=False`` and simply re-read
         latest committed state (their one statement *is* the whole
         transaction, so refreshing the read is sound, and it keeps
-        single-statement counters free of spurious aborts).
+        single-statement counters free of spurious aborts) — except
+        under serializable isolation, where the statement's SSI read
+        tracking is bound to its snapshot and refreshing would mix
+        read views inside one atomic statement.
         """
         if not self.versioned:
             try:
@@ -851,6 +923,10 @@ class Table:
                 yield rid, self.schema.decode(payload)
             return
         view = self._read_view(snapshot)
+        ssi = self._ssi(view)
+        if ssi is not None:
+            # Full scan: the predicate observed is the whole relation.
+            ssi[0].record_relation_read(ssi[1], self.name)
         decode = self.schema.decode
         vdecode = self._version_codec.decode
         unpack = VERSION_HEADER.unpack_from
@@ -860,6 +936,10 @@ class Table:
                 continue
             if (xmin == 0 or view.sees(xmin)) and \
                     (xmax == 0 or not view.sees(xmax)):
+                if ssi is not None and xmax != 0:
+                    # Visible despite a stamp the view cannot see: an
+                    # overlapping writer superseded what we just read.
+                    ssi[0].observe_version(ssi[1], xmax)
                 yield rid, vdecode(payload)
             else:
                 tuple_bytes = self._visible_version(rid, view)
@@ -881,11 +961,14 @@ class Table:
         out: list[bytes] = []
         append = out.append
         sees = view.sees
+        ssi = self._ssi(view)
         for i, (flags, xmin, xmax, _, _) in \
                 enumerate(bulk_headers(payloads)):
             if not flags & FLAG_HEAD:
                 continue
             if (xmin == 0 or sees(xmin)) and (xmax == 0 or not sees(xmax)):
+                if ssi is not None and xmax != 0:
+                    ssi[0].observe_version(ssi[1], xmax)
                 append(payloads[i])
             else:
                 tuple_bytes = self._visible_version(
@@ -907,6 +990,9 @@ class Table:
                 yield codec.decode_batch(payloads)
             return
         view = self._read_view(snapshot)
+        ssi = self._ssi(view)
+        if ssi is not None:
+            ssi[0].record_relation_read(ssi[1], self.name)
         codec = self._version_codec
         for page_nos, slots, payloads in \
                 self.heap.scan_version_batches(batch_rows):
@@ -926,16 +1012,42 @@ class Table:
                 yield decode(payload)
             return
         decode = self._version_codec.decode
-        for payload in self._fetch_visible(rids, snapshot):
+        for _, payload in self._fetch_visible(rids, snapshot):
             yield decode(payload)
 
+    def read_pairs(self, rids: Iterable[RID],
+                   snapshot: Optional[Snapshot] = None
+                   ) -> Iterator[tuple[RID, tuple]]:
+        """``(head_rid, row)`` for the candidate RIDs the view sees —
+        the DML victim-selection analogue of :meth:`read_many`: writers
+        need the RID back so they can lock and re-read each victim."""
+        if not self.versioned:
+            for rid in rids:
+                try:
+                    payload = self.heap.read(rid)
+                except PageLayoutError:
+                    continue   # stale candidate (entry raced a delete)
+                yield rid, self.schema.decode(payload)
+            return
+        decode = self._version_codec.decode
+        for rid, payload in self._fetch_visible(rids, snapshot):
+            yield rid, decode(payload)
+
     def _fetch_visible(self, rids: Iterable[RID],
-                       snapshot: Optional[Snapshot]) -> Iterator[bytes]:
-        """Full payloads of the versions the view sees, in RID order
-        (walked chain versions re-wrapped behind a neutral header so the
-        offset codec decodes everything uniformly)."""
+                       snapshot: Optional[Snapshot]
+                       ) -> Iterator[tuple[RID, bytes]]:
+        """``(head_rid, payload)`` of the versions the view sees, in RID
+        order (walked chain versions re-wrapped behind a neutral header
+        so the offset codec decodes everything uniformly)."""
         view = self._read_view(snapshot)
+        ssi = self._ssi(view)
         rid_list = rids if isinstance(rids, list) else list(rids)
+        if ssi is not None:
+            # All candidates registered before any physical read, so a
+            # write landing mid-fetch meets the SIREADs at its
+            # post-install check.
+            for rid in rid_list:
+                ssi[0].record_tuple_read(ssi[1], self.name, rid)
         unpack = VERSION_HEADER.unpack_from
         sees = view.sees
         for rid, payload in zip(
@@ -946,11 +1058,13 @@ class Table:
             if not flags & FLAG_HEAD:
                 continue
             if (xmin == 0 or sees(xmin)) and (xmax == 0 or not sees(xmax)):
-                yield payload
+                if ssi is not None and xmax != 0:
+                    ssi[0].observe_version(ssi[1], xmax)
+                yield rid, payload
             else:
                 tuple_bytes = self._visible_version(rid, view)
                 if tuple_bytes is not None:
-                    yield _WALKED_HEADER + tuple_bytes
+                    yield rid, _WALKED_HEADER + tuple_bytes
 
     def read_batches(self, rids: Iterable[RID],
                      batch_rows: int = BATCH_SIZE,
@@ -964,7 +1078,8 @@ class Table:
             source: Iterable[bytes] = self.heap.read_many(rids)
         else:
             codec = self._version_codec
-            source = self._fetch_visible(rids, snapshot)
+            source = (payload for _, payload
+                      in self._fetch_visible(rids, snapshot))
         payloads: list[bytes] = []
         for payload in source:
             payloads.append(payload)

@@ -1,8 +1,8 @@
 """Transactions: snapshot isolation / strict 2PL + ARIES-lite WAL.
 
-The concurrency-control component comes in two interchangeable flavours
-(the paper's service-component story: swap one component, keep the
-layer boundaries):
+The concurrency-control component comes in three interchangeable
+flavours (the paper's service-component story: swap one component, keep
+the layer boundaries):
 
 - **snapshot** (the engine default): every transaction carries a fixed
   :class:`Snapshot` read view — readers take *no locks at all* and
@@ -10,6 +10,10 @@ layer boundaries):
   only to detect write-write conflicts (first-updater-wins,
   :class:`~repro.errors.SerializationError`).  Read-only transactions
   write zero WAL records.
+- **serializable**: snapshot isolation plus SSI (Cahill-style
+  rw-antidependency tracking, :mod:`repro.data.ssi`) — reads stay
+  lock-free but register SIREAD metadata, and dangerous structures
+  abort a pivot so every committed history is serializable.
 - **2pl**: classic hierarchical strict two-phase locking; readers take
   S/IS locks and read latest-committed state.
 
@@ -51,7 +55,8 @@ from enum import Enum
 from typing import Callable, Optional
 
 from repro.access.heap_file import RID
-from repro.errors import DeadlockError, TransactionError
+from repro.errors import (DeadlockError, SerializationError,
+                          TransactionError)
 from repro.faults.crashpoints import maybe_crash
 from repro.storage.page import PageId
 from repro.storage.wal import LogKind, WriteAheadLog
@@ -469,7 +474,15 @@ class Transaction:
 
     def commit(self) -> None:
         self._check_active()
-        self.manager._commit(self)
+        try:
+            self.manager._commit(self)
+        except SerializationError:
+            # A doomed SSI pivot discovered at commit time: roll the
+            # transaction back (undo actions, locks, WAL ABORT) before
+            # re-raising, so the caller holds a finished transaction
+            # rather than a wedged active one.
+            self.abort()
+            raise
         self.state = TransactionState.COMMITTED
         self._undo.clear()
 
@@ -548,11 +561,15 @@ class TransactionManager:
 
     ``isolation`` selects the default concurrency-control component for
     transactions it creates: ``"2pl"`` (classic strict two-phase
-    locking; readers take S/IS locks and read latest-committed state)
-    or ``"snapshot"`` (each transaction carries a fixed
+    locking; readers take S/IS locks and read latest-committed state),
+    ``"snapshot"`` (each transaction carries a fixed
     :class:`Snapshot` read view; readers take no locks at all and
     write-write conflicts surface as
-    :class:`~repro.errors.SerializationError`).  Transaction ids double
+    :class:`~repro.errors.SerializationError`), or ``"serializable"``
+    (snapshot isolation plus SSI rw-antidependency tracking through
+    :class:`~repro.data.ssi.SSIManager`, aborting dangerous-structure
+    pivots so committed histories stay serializable).  Transaction ids
+    double
     as the MVCC timestamps, so they are issued monotonically and —
     because versioned heap records persist them — re-seeded above any
     id found on disk via :meth:`advance_ids` on reopen.
@@ -562,15 +579,22 @@ class TransactionManager:
                  lock_timeout_s: float = 2.0,
                  group_commit: bool = True,
                  isolation: str = "2pl") -> None:
-        if isolation not in ("2pl", "snapshot"):
+        if isolation not in ("2pl", "snapshot", "serializable"):
             raise TransactionError(
-                f"isolation must be '2pl' or 'snapshot', "
-                f"not {isolation!r}")
+                f"isolation must be '2pl', 'snapshot', or "
+                f"'serializable', not {isolation!r}")
         self.locks = LockManager(lock_timeout_s)
         self.wal = wal
         self.group = GroupCommitter(wal) if (wal is not None
                                              and group_commit) else None
         self.isolation = isolation
+        #: SSI rw-antidependency tracker; ``None`` outside serializable
+        #: mode, so hot-path hooks cost one attribute test.
+        if isolation == "serializable":
+            from repro.data.ssi import SSIManager
+            self.ssi: Optional["SSIManager"] = SSIManager()
+        else:
+            self.ssi = None
         self._next_xid = 1
         self._mutex = threading.Lock()
         self.active: dict[int, Transaction] = {}
@@ -582,11 +606,19 @@ class TransactionManager:
             xid = self._next_xid
             self._next_xid += 1
             snapshot = None
-            if self.isolation == "snapshot":
+            if self.isolation in ("snapshot", "serializable"):
                 snapshot = Snapshot(xid, self._next_xid,
                                     frozenset(self.active))
             txn = Transaction(xid, self, snapshot)
             self.active[xid] = txn
+            if self.ssi is not None:
+                # Tracker registration must be atomic with snapshot
+                # construction: a peer's commit (pop under this mutex,
+                # then SIREAD collection) otherwise lands in between,
+                # and collection — not yet seeing this transaction as
+                # active — may drop a committed tracker this snapshot
+                # still overlaps, silently losing every rw-edge to it.
+                self.ssi.begin(xid, snapshot)
         if self.wal is not None and snapshot is None:
             # 2PL transactions log BEGIN eagerly (the historical
             # contract); snapshot transactions defer it to their first
@@ -635,6 +667,11 @@ class TransactionManager:
                     if txn.last_lsn}
 
     def _commit(self, txn: Transaction) -> None:
+        if self.ssi is not None:
+            # A doomed SSI pivot must abort instead of committing; this
+            # runs before any COMMIT record exists, so the caller's
+            # rollback leaves a clean WAL history.
+            self.ssi.prepare_commit(txn.txn_id)
         maybe_crash("txn.commit")
         if self.wal is not None and (txn.wrote or txn.last_lsn):
             lsn = self.wal.append(txn.txn_id, LogKind.COMMIT,
@@ -652,6 +689,11 @@ class TransactionManager:
         with self._mutex:
             self.active.pop(txn.txn_id, None)
             self.committed += 1
+        if self.ssi is not None:
+            # Retain the SIREAD tracker (overlapping writers can still
+            # conflict with it); collection happens once the horizon
+            # passes.
+            self.ssi.on_commit(txn.txn_id)
 
     def _abort_begin(self, txn: Transaction) -> None:
         maybe_crash("txn.abort")
@@ -672,6 +714,8 @@ class TransactionManager:
         with self._mutex:
             self.active.pop(txn.txn_id, None)
             self.aborted += 1
+        if self.ssi is not None:
+            self.ssi.on_abort(txn.txn_id)
 
     def stats(self) -> dict:
         lock_stats = self.locks.stats()
@@ -683,4 +727,6 @@ class TransactionManager:
                  "locks_held": lock_stats["locks_held"]}
         if self.group is not None:
             stats["group_commit"] = self.group.stats()
+        if self.ssi is not None:
+            stats["ssi"] = self.ssi.stats()
         return stats

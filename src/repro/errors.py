@@ -125,12 +125,17 @@ class LockTimeoutError(TransactionError):
 
 
 class SerializationError(TransactionError):
-    """First-updater-wins conflict under snapshot isolation.
+    """Concurrency conflict under snapshot-based isolation.
 
-    Raised when a transaction tries to update or delete a row whose
-    latest version was created (or whose deletion was committed) by a
-    transaction concurrent with this one's snapshot — retrying the whole
-    transaction on a fresh snapshot is the standard client response.
+    Two sources: the *first-updater-wins* rule (a transaction tried to
+    update or delete a row whose latest version was created — or whose
+    deletion was committed — by a transaction concurrent with its
+    snapshot), and under ``isolation="serializable"`` an *SSI pivot
+    abort* (the transaction sits at the apex of two consecutive
+    rw-antidependency edges — a dangerous structure that could close a
+    non-serializable cycle; see :mod:`repro.data.ssi`).  Either way,
+    retrying the whole transaction on a fresh snapshot is the standard
+    client response.
     """
 
 

@@ -85,7 +85,10 @@ class VacuumManager:
     def run(self, table_name: Optional[str] = None) -> dict:
         """Vacuum one table (or every versioned table).  Returns a
         summary: versions, whole rows, and stale index entries
-        reclaimed, plus tables visited."""
+        reclaimed, plus tables visited.  Under serializable isolation
+        each run also sweeps the SSI manager's retained SIREAD
+        trackers — committed read metadata is droppable on the same
+        overlapping-transaction horizon that bounds version pruning."""
         catalog_tables = self.tables()
         if table_name is not None and table_name not in catalog_tables:
             raise CatalogError(f"no table {table_name!r}")
@@ -104,6 +107,9 @@ class VacuumManager:
                 summary["rows"] += rows
                 summary["stale_entries"] += stale
                 self._record_run(name, table, versions, rows, stale)
+            ssi = getattr(self.transactions, "ssi", None)
+            if ssi is not None:
+                summary["sireads_released"] = ssi.collect()
             self.runs += 1
             self.versions_reclaimed += summary["versions"]
             self.rows_reclaimed += summary["rows"]

@@ -40,9 +40,20 @@ class TestExplain:
         result = db.execute("EXPLAIN SELECT v, COUNT(*) FROM t GROUP BY v")
         assert ("aggregated", "True") in result.rows
 
-    def test_explain_requires_select(self, db):
+    def test_explain_update_shows_access_path(self, db):
+        result = db.execute("EXPLAIN UPDATE t SET v = 0 WHERE id = 1")
+        assert ("access_path", "index_eq(t.id)") in result.rows
+        # Planning a DML statement must not execute it.
+        assert db.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+
+    def test_explain_delete_does_not_execute(self, db):
+        result = db.execute("EXPLAIN DELETE FROM t WHERE v > 15")
+        assert ("statement", "delete") in result.rows
+        assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_explain_requires_select_or_dml(self, db):
         with pytest.raises(SQLSyntaxError):
-            db.execute("EXPLAIN DELETE FROM t")
+            db.execute("EXPLAIN INSERT INTO t VALUES (3, 30)")
 
 
 class TestWALBackedDatabase:

@@ -16,7 +16,8 @@ import time
 import pytest
 
 from repro.data import Database
-from repro.errors import DeadlockError, InjectedCrashError
+from repro.errors import DeadlockError, InjectedCrashError, \
+    SerializationError
 from repro.faults import crashpoints
 from repro.storage import MemoryDevice
 
@@ -192,6 +193,101 @@ class TestLosersLeaveNoTrace:
         assert rows == {(2, 20)}, \
             f"loser undo damaged the committed neighbour: {rows}"
         assert_index_consistent(db2, rows)
+
+
+class TestSerializableCrashRecovery:
+    """SSI state is process-local bookkeeping: losers under
+    ``isolation="serializable"`` recover exactly like snapshot losers,
+    and no SIREAD/conflict state survives (or leaks across) a reopen."""
+
+    def test_serializable_loser_undone_on_reopen(self):
+        db, dev, wdev = fresh_db(isolation="serializable")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.pool.flush_all()     # steal the loser's pages
+        db2 = reopen(dev, wdev, isolation="serializable")
+        assert db2.last_recovery is not None
+        assert db2.last_recovery["undone"] > 0
+        rows = visible_rows(db2)
+        assert rows == {(1, 10), (2, 20)}
+        assert_index_consistent(db2, rows)
+
+    def test_pivot_abort_at_commit_leaves_recoverable_history(self):
+        """A commit-point SSI abort must roll back before any COMMIT
+        record exists, so a crash right after leaves an ordinary loser
+        (ABORT + END in the log), not a half-committed transaction."""
+        db, dev, wdev = fresh_db(isolation="serializable")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 99 WHERE id = 1")
+        xid = db._session_txn.txn_id
+        # Deterministically doom the pivot instead of racing a rival.
+        db.transactions.ssi._txns[xid].doomed = True
+        with pytest.raises(SerializationError):
+            db.execute("COMMIT")
+        assert not db.in_transaction
+        db.pool.flush_all()
+        db2 = reopen(dev, wdev, isolation="serializable")
+        rows = visible_rows(db2)
+        assert rows == {(1, 10)}
+        assert_index_consistent(db2, rows)
+
+    def test_siread_state_is_process_local_not_persisted(self):
+        db, dev, wdev = fresh_db(isolation="serializable")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        # Accumulate SSI state: an open transaction's SIREADs plus a
+        # committed reader it retains past commit.
+        db.execute("BEGIN")
+        db.query("SELECT id, v FROM t")
+
+        def reader():
+            db.execute("BEGIN")
+            db.query("SELECT id, v FROM t")
+            db.execute("COMMIT")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join()
+        before = db.transactions.ssi.stats()
+        assert before["tracked_reads"] > 0
+        assert before["retained_committed"] >= 1
+        # Crash with the transaction (and its SIREADs) still open.
+        db2 = reopen(dev, wdev, isolation="serializable")
+        fresh = db2.transactions.ssi.stats()
+        assert fresh["active"] == 0
+        assert fresh["retained_committed"] == 0
+        assert fresh["rw_edges"] == 0
+        assert fresh["pivot_aborts"] == 0
+
+    def test_ssi_still_detects_write_skew_after_recovery(self):
+        db, dev, wdev = fresh_db(isolation="serializable")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        db2 = reopen(dev, wdev, isolation="serializable")
+        db2.execute("BEGIN")
+        db2.query("SELECT id, v FROM t")
+        db2.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        aborted = []
+
+        def rival():
+            try:
+                db2.execute("BEGIN")
+                db2.query("SELECT id, v FROM t")
+                db2.execute("UPDATE t SET v = v + 1 WHERE id = 2")
+                db2.execute("COMMIT")
+            except SerializationError:
+                aborted.append("rival")
+                if db2.in_transaction:
+                    db2.execute("ROLLBACK")
+
+        thread = threading.Thread(target=rival)
+        thread.start()
+        thread.join()
+        try:
+            db2.execute("COMMIT")
+        except SerializationError:
+            aborted.append("main")
+        assert aborted, "write skew undetected on recovered database"
 
 
 SITES = ["heap.insert", "heap.update", "table.index", "txn.commit",
