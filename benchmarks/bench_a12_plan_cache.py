@@ -1,0 +1,136 @@
+"""A12 (ablation) — the statement cache on the SQL hot path.
+
+PR 7 fronts the executor with a fingerprinting plan cache: literals
+normalize to synthetic parameters, so statement variants share one
+parsed/compiled template and execution skips the per-call parse, plan,
+and closure-compilation work.  Two figures bound what that buys:
+
+1. **Point-read round-trips** — the same sequence of single-row SELECTs
+   (distinct literal every call, the classic un-parameterized app loop)
+   against a cache-enabled and a cache-disabled database.  Result
+   equality is asserted *before* any timing so the speedup figure can
+   only come from doing the same work faster, and the acceptance gate
+   is a >=2x median per-round speedup.
+2. **Bulk DML** — ``executemany`` (one prepared statement, N bindings)
+   against the same rows issued as N independent ``execute`` calls on a
+   cache-disabled engine.
+
+Reduced configuration for CI smoke runs: set ``A12_SMOKE=1``.
+"""
+
+import os
+import statistics
+import time
+
+from conftest import emit_result, fmt_table, record
+from repro.data import Database
+
+SMOKE = os.environ.get("A12_SMOKE") == "1"
+ROWS = 300 if SMOKE else 2000
+LOOKUPS = 120 if SMOKE else 600
+ROUNDS = 5 if SMOKE else 9
+BULK_ROWS = 200 if SMOKE else 1500
+MIN_SPEEDUP = 2.0
+
+
+def build(plan_cache_size: int) -> Database:
+    db = Database(plan_cache_size=plan_cache_size)
+    db.execute("CREATE TABLE acct "
+               "(id INT PRIMARY KEY, owner TEXT, bal FLOAT)")
+    db.executemany("INSERT INTO acct VALUES (?, ?, ?)",
+                   [(i, f"owner{i}", float(i % 97)) for i in range(ROWS)])
+    return db
+
+
+def lookup_round(db: Database) -> list[tuple]:
+    """The un-parameterized app loop: every statement textually unique."""
+    out = []
+    for i in range(LOOKUPS):
+        key = (i * 37) % ROWS
+        out.extend(db.query(
+            f"SELECT owner, bal FROM acct "
+            f"WHERE id = {key} AND bal >= 0.0 AND owner <> 'nobody'"))
+    return out
+
+
+def median_round_s(db: Database) -> float:
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        lookup_round(db)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_a12_point_reads_speedup(benchmark):
+    cached = build(plan_cache_size=128)
+    uncached = build(plan_cache_size=0)
+
+    # Correctness before speed: both engines must answer identically.
+    assert lookup_round(cached) == lookup_round(uncached)
+
+    cold = median_round_s(uncached)
+    hot = median_round_s(cached)
+    benchmark.pedantic(lambda: lookup_round(cached), rounds=1)
+    speedup = cold / hot
+    gauges = cached.stats()["plan_cache"]
+
+    record(benchmark, lookups_per_round=LOOKUPS, rounds=ROUNDS,
+           uncached_round_ms=round(cold * 1e3, 2),
+           cached_round_ms=round(hot * 1e3, 2),
+           speedup=round(speedup, 2),
+           hit_rate=gauges["hit_rate"])
+    emit_result("a12_plan_cache",
+                lookups_per_round=LOOKUPS, rounds=ROUNDS, smoke=SMOKE,
+                uncached_round_ms=round(cold * 1e3, 3),
+                cached_round_ms=round(hot * 1e3, 3),
+                speedup=round(speedup, 3), gauges=gauges)
+    print("\n" + fmt_table(
+        ["config", "median round (ms)", "per stmt (us)"],
+        [("plan_cache=off", round(cold * 1e3, 2),
+          round(cold / LOOKUPS * 1e6, 1)),
+         ("plan_cache=on", round(hot * 1e3, 2),
+          round(hot / LOOKUPS * 1e6, 1))]))
+    print(f"speedup: {speedup:.2f}x  (gate: >= {MIN_SPEEDUP}x)  "
+          f"hit rate: {gauges['hit_rate']}")
+
+    assert gauges["hits"] > 0, "the cache never hit: fingerprinting broke"
+    assert speedup >= MIN_SPEEDUP, (
+        f"plan cache bought only {speedup:.2f}x "
+        f"(uncached {cold * 1e3:.2f}ms vs cached {hot * 1e3:.2f}ms)")
+
+
+def test_a12_executemany_bulk_dml(benchmark):
+    cached = build(plan_cache_size=128)
+    uncached = build(plan_cache_size=0)
+    rows = [(ROWS + i, f"bulk{i}", 1.0) for i in range(BULK_ROWS)]
+
+    start = time.perf_counter()
+    for row in rows:
+        uncached.execute(
+            f"INSERT INTO acct VALUES ({row[0]}, '{row[1]}', {row[2]})")
+    loose = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached.executemany("INSERT INTO acct VALUES (?, ?, ?)", rows)
+    bulk = time.perf_counter() - start
+
+    check = "SELECT COUNT(*) FROM acct WHERE id >= ?"
+    assert cached.query(check, (ROWS,)) == uncached.query(check, (ROWS,)) \
+        == [(BULK_ROWS,)]
+
+    benchmark.pedantic(
+        lambda: cached.executemany(
+            "UPDATE acct SET bal = bal + 1 WHERE id = ?",
+            [(i,) for i in range(0, ROWS, 7)]),
+        rounds=1)
+    record(benchmark, bulk_rows=BULK_ROWS,
+           loose_ms=round(loose * 1e3, 2), bulk_ms=round(bulk * 1e3, 2),
+           speedup=round(loose / bulk, 2))
+    print("\n" + fmt_table(
+        ["path", "total (ms)", "per row (us)"],
+        [("execute x N (cache off)", round(loose * 1e3, 2),
+          round(loose / BULK_ROWS * 1e6, 1)),
+         ("executemany (prepared)", round(bulk * 1e3, 2),
+          round(bulk / BULK_ROWS * 1e6, 1))]))
+    assert bulk < loose, "prepared bulk path slower than loose statements"

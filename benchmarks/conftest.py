@@ -12,6 +12,26 @@ evaluation).  Conventions:
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
+
+def emit_result(name: str, **payload) -> pathlib.Path:
+    """Write a benchmark's findings to ``BENCH_<name>.json``.
+
+    The target directory is ``$BENCH_RESULTS_DIR`` (created if needed),
+    defaulting to the working directory — CI uploads the ``BENCH_*.json``
+    files as build artifacts so figures survive the job log.
+    """
+    directory = pathlib.Path(os.environ.get("BENCH_RESULTS_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
 
 def record(benchmark, **extra) -> None:
     """Stash experiment findings into the benchmark record."""

@@ -90,6 +90,10 @@ def encode_component(value: Any) -> bytes:
         return _TAG_BOOL + (b"\x01" if value else b"\x00")
     if isinstance(value, (int, float)):
         as_float = float(value)
+        if as_float == 0.0:
+            # Collapse -0.0: it compares equal to 0.0/0 in SQL, but its
+            # sign-flipped IEEE image would sort below the positive zero.
+            as_float = 0.0
         body = _sortable_double(as_float)
         if isinstance(value, int):
             # Exact i64 suffix breaks ties among ints sharing a float image.

@@ -59,6 +59,15 @@ class Catalog:
         #: Largest transaction id stamped into any loaded versioned heap
         #: — the floor the transaction-id counter must clear on reopen.
         self.max_seen_xid = 0
+        #: Monotonic schema generation: bumped by every DDL statement
+        #: (CREATE/DROP TABLE/INDEX/VIEW, recovery rebuilds).  Cached
+        #: plans capture the value they were built under and are
+        #: discarded on mismatch.
+        self.ddl_version = 0
+        #: Per-table statistics generation, bumped by ANALYZE and by
+        #: vacuum passes that change visibility; invalidates cached
+        #: plans whose access-path choice may now be stale.
+        self.stats_versions: dict[str, int] = {}
         self._txns = None
         files = pages.pool.files
         if files.has_file(_CATALOG_FILE):
@@ -72,6 +81,13 @@ class Catalog:
         self._txns = transactions
         for table in self.tables.values():
             table.txns = transactions
+
+    def bump_ddl_version(self) -> None:
+        self.ddl_version += 1
+
+    def bump_stats_version(self, table_name: str) -> None:
+        self.stats_versions[table_name] = \
+            self.stats_versions.get(table_name, 0) + 1
 
     # -- tables --------------------------------------------------------------
 
@@ -91,6 +107,7 @@ class Catalog:
         pk = schema.primary_key
         if pk is not None:
             self.create_index(f"pk_{name}", name, (pk.name,), unique=True)
+        self.bump_ddl_version()
         return table
 
     def table(self, name: str) -> Table:
@@ -112,6 +129,7 @@ class Catalog:
         files.delete_file(_table_file(name))
         del self.tables[name]
         self.table_stats.pop(name, None)
+        self.bump_ddl_version()
 
     # -- indexes ----------------------------------------------------------------
 
@@ -128,6 +146,7 @@ class Catalog:
         index = TableIndex(definition, table.schema, self.pages, file_id)
         table.attach_index(index, populate=True)
         self.index_defs[index_name] = definition
+        self.bump_ddl_version()
         return index
 
     def rebuild_indexes(self) -> int:
@@ -149,6 +168,7 @@ class Catalog:
             index = TableIndex(definition, table.schema, self.pages,
                                file_id)
             table.attach_index(index, populate=True)
+        self.bump_ddl_version()
         return len(self.index_defs)
 
     def drop_index(self, index_name: str) -> None:
@@ -160,6 +180,7 @@ class Catalog:
         files = self.pages.pool.files
         self._purge_file_frames(index.file_id)
         files.delete_file(_index_file(index_name))
+        self.bump_ddl_version()
 
     # -- statistics ------------------------------------------------------------------
 
@@ -174,6 +195,7 @@ class Catalog:
             else sorted(self.tables)
         for name in names:
             self.table_stats[name] = collect_table_stats(self.table(name))
+            self.bump_stats_version(name)
         return len(names)
 
     def stats_for(self, table_name: str) -> Optional[TableStats]:
@@ -186,6 +208,7 @@ class Catalog:
         if name in self.views or name in self.tables:
             raise CatalogError(f"{name!r} already exists")
         self.views[name] = sql_text
+        self.bump_ddl_version()
 
     def view(self, name: str) -> str:
         try:
@@ -197,6 +220,7 @@ class Catalog:
         if name not in self.views:
             raise CatalogError(f"no view {name!r}")
         del self.views[name]
+        self.bump_ddl_version()
 
     # -- persistence ---------------------------------------------------------------------
 

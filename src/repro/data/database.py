@@ -17,14 +17,23 @@ from repro.access.heap_file import RID
 from repro.data.catalog import Catalog
 from repro.data.schema import Column, Schema
 from repro.data.sql import ast
+from repro.data.sql.lexer import tokenize
 from repro.data.sql.parser import parse
 from repro.data.sql.compiler import compile_scalar
-from repro.data.sql.planner import Planner, Scope
+from repro.data.sql.plancache import (
+    CACHEABLE_KEYWORDS,
+    FingerprintCache,
+    PlanCache,
+    StalePlanError,
+    build_template,
+)
+from repro.data.sql.planner import Planner, PlanInfo, Scope
 from repro.data.transactions import Transaction, TransactionManager
 from repro.access.record import ColumnType
 from repro.errors import (
     CatalogError,
     SQLPlanError,
+    SQLSyntaxError,
     TransactionError,
 )
 from repro.storage.buffer import BufferPool
@@ -87,7 +96,8 @@ class Database:
                  isolation: str = "snapshot",
                  latched_lock_timeout_s: float = _LATCHED_LOCK_TIMEOUT_S,
                  vacuum_threshold: int = 256,
-                 vacuum_interval_s: Optional[float] = None) -> None:
+                 vacuum_interval_s: Optional[float] = None,
+                 plan_cache_size: int = 128) -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
                 f"lock_granularity must be 'row' or 'table', "
@@ -133,8 +143,17 @@ class Database:
         self.catalog.bind_transactions(self.transactions)
         self.vacuum_manager = VacuumManager(
             lambda: self.catalog.tables, self.transactions,
-            threshold=vacuum_threshold, interval_s=vacuum_interval_s)
+            threshold=vacuum_threshold, interval_s=vacuum_interval_s,
+            on_stats_change=lambda name:
+                self.catalog.bump_stats_version(name))
         self.vacuum_manager.start()
+        # Statement cache: normalized-text fingerprints plus reusable
+        # plan templates.  ``plan_cache_size=0`` disables the cached
+        # path entirely (every statement parses and plans from scratch).
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._fingerprints = FingerprintCache()
+        self._prepared: dict[str, PreparedStatement] = {}
+        self._prepared_lock = threading.Lock()
         # One session per thread: BEGIN/COMMIT state is thread-local, so
         # N threads sharing one Database behave as N sessions (readers
         # in other threads never land inside this thread's transaction).
@@ -151,17 +170,142 @@ class Database:
     # -- public API --------------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
-        """Parse and run one statement.
+        """Run one statement, through the statement cache when possible.
 
         SELECTs return a :class:`ResultSet`; everything else an
-        :class:`ExecutionResult`.
+        :class:`ExecutionResult`.  SELECT/INSERT/UPDATE/DELETE text is
+        soft-parsed (literals become synthetic parameters) and executed
+        through a cached plan template keyed on the normalized text —
+        repeated statement shapes skip tokenize/parse/plan/codegen.
         """
+        params = tuple(params)
+        fp = self._fingerprints.get(sql) \
+            if self._plan_cache.capacity > 0 else None
+        if fp is not None and fp.cacheable \
+                and fp.keyword in CACHEABLE_KEYWORDS:
+            try:
+                return self._execute_fingerprinted(fp, params)
+            except SQLSyntaxError:
+                # The normalized text failed to parse (a literal the
+                # grammar treats syntactically); pin this statement to
+                # the raw path and fall through.
+                self._fingerprints.demote(sql)
         statement = parse(sql)
         self.statements_executed += 1
-        return self.execute_statement(statement, tuple(params))
+        if isinstance(statement, ast.Prepare) and statement.sql is None:
+            # Textual PREPARE: carry the body's original text so the
+            # registered statement routes through the plan cache.
+            statement = ast.Prepare(statement.name, statement.statement,
+                                    sql=_prepare_body(sql))
+        if isinstance(statement, ast.Explain):
+            state = self._probe_cache(fp, params) \
+                if fp is not None and fp.keyword == "EXPLAIN" else None
+            return self._explain(statement.query, params,
+                                 cached_state=state)
+        return self.execute_statement(statement, params)
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         return self.execute(sql, params).rows
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse (and, when the shape allows, plan) ``sql`` once; the
+        returned handle's ``execute(params)`` skips the per-call parse
+        and reuses the cached plan template."""
+        return PreparedStatement(self, sql)
+
+    def executemany(self, sql: str,
+                    param_rows: Sequence[Sequence[Any]]) -> list:
+        """Run ``sql`` once per parameter row through a single prepared
+        statement (one parse/plan, N bindings); returns the per-row
+        results in order."""
+        return self.prepare(sql).executemany(param_rows)
+
+    # -- the fingerprinted hot path ----------------------------------------------
+
+    def _execute_fingerprinted(self, fp, params: tuple) -> Any:
+        entry = self._plan_cache.lookup(fp.text, self)
+        if entry is None:
+            statement = parse(fp.text)
+            template = build_template(statement, self)
+            entry = self._plan_cache.store(fp.text, statement, template,
+                                           self)
+            state = "miss" if template is not None else "bypass"
+        else:
+            state = "hit" if entry.template is not None else "bypass"
+        self.statements_executed += 1
+        merged = fp.bind(params)
+        if entry.template is not None:
+            try:
+                return entry.template.execute(self, merged, state)
+            except StalePlanError:
+                # Catalog drift the version counters missed; drop the
+                # entry and run this execution through the planner.
+                self._plan_cache.invalidate(fp.text)
+        result = self.execute_statement(entry.statement, merged)
+        if isinstance(result, ResultSet) and isinstance(result.plan,
+                                                        dict):
+            result.plan.setdefault("cached", "bypass")
+        return result
+
+    def _probe_cache(self, fp, params: tuple) -> Optional[str]:
+        """EXPLAIN support: the cached state ('hit'|'miss'|'bypass') of
+        the inner statement, warming the cache as a side effect."""
+        prefix = "EXPLAIN "
+        if not fp.text.startswith(prefix):
+            return None
+        inner = fp.text[len(prefix):]
+        if inner.split(" ", 1)[0] not in CACHEABLE_KEYWORDS:
+            return None
+        entry = self._plan_cache.lookup(inner, self)
+        if entry is not None:
+            return "hit" if entry.template is not None else "bypass"
+        try:
+            statement = parse(inner)
+        except SQLSyntaxError:
+            return None
+        template = build_template(statement, self)
+        self._plan_cache.store(inner, statement, template, self)
+        return "miss" if template is not None else "bypass"
+
+    # -- template execution hooks (constructors live in this module) -------------
+
+    def _result_set(self, columns: list[str], rows: list[tuple],
+                    info: PlanInfo) -> ResultSet:
+        return ResultSet(columns, rows, plan=info.as_dict())
+
+    @staticmethod
+    def _execution_result(operation: str, affected: int) -> ExecutionResult:
+        return ExecutionResult(operation, affected)
+
+    # -- named prepared statements (PREPARE/EXECUTE/DEALLOCATE) -------------------
+
+    def _prepare_named(self, statement: ast.Prepare) -> ExecutionResult:
+        if statement.sql is not None:
+            prepared = self.prepare(statement.sql)
+        else:
+            # AST-only registration (programmatic execute_statement):
+            # replans per EXECUTE, still skipping the parse.
+            prepared = PreparedStatement(self, None,
+                                         statement=statement.statement)
+        with self._prepared_lock:
+            if statement.name in self._prepared:
+                raise SQLPlanError(
+                    f"prepared statement {statement.name!r} already "
+                    f"exists")
+            self._prepared[statement.name] = prepared
+        return ExecutionResult("prepare")
+
+    def _execute_prepared(self, statement: ast.ExecutePrepared,
+                          params: tuple) -> Any:
+        with self._prepared_lock:
+            prepared = self._prepared.get(statement.name)
+        if prepared is None:
+            raise SQLPlanError(
+                f"no prepared statement named {statement.name!r}")
+        scope = Scope([])
+        arguments = tuple(compile_scalar(expr, scope, params)(())
+                          for expr in statement.arguments)
+        return prepared._run(arguments)
 
     def execute_statement(self, statement: ast.Statement,
                           params: tuple = ()) -> Any:
@@ -200,6 +344,17 @@ class Database:
             return ExecutionResult("create_view")
         if isinstance(statement, ast.DropStatement):
             return self._drop(statement)
+        if isinstance(statement, ast.Prepare):
+            return self._prepare_named(statement)
+        if isinstance(statement, ast.ExecutePrepared):
+            return self._execute_prepared(statement, params)
+        if isinstance(statement, ast.Deallocate):
+            with self._prepared_lock:
+                if statement.name not in self._prepared:
+                    raise SQLPlanError(
+                        f"no prepared statement named {statement.name!r}")
+                del self._prepared[statement.name]
+            return ExecutionResult("deallocate")
         if isinstance(statement, ast.BeginTransaction):
             self._begin_session_txn()
             return ExecutionResult("begin")
@@ -252,6 +407,10 @@ class Database:
         self.transactions.advance_ids(self.catalog.max_seen_xid + 1)
         self.catalog.bind_transactions(self.transactions)
         self.catalog.rebuild_indexes()
+        # The catalog object was replaced wholesale: cached templates
+        # hold version counters from the old one and must not validate
+        # against the new one's fresh (zeroed) counters.
+        self._plan_cache.clear()
         self.last_recovery = summary
         self.checkpoint()
         return summary
@@ -374,12 +533,22 @@ class Database:
                          plan={"union_branches": len(branches),
                                "all": all(all_flags)})
 
-    def _explain(self, query, params: tuple) -> ResultSet:
-        """Plan the query without executing it; one row per plan fact."""
+    def _explain(self, query, params: tuple,
+                 cached_state: Optional[str] = None) -> ResultSet:
+        """Plan the query without executing it; one row per plan fact.
+
+        ``cached_state`` reports the statement cache's disposition for
+        the equivalent normalized statement ('hit'|'miss'|'bypass') —
+        the plan facts themselves always come from a fresh planner run
+        over the literal query, so EXPLAIN stays value-accurate even
+        when execution would reuse a generic template."""
         if isinstance(query, ast.UnionSelect):
             rows = [("union", "set" if not query.all else "all")]
-            return ResultSet(["kind", "detail"], rows,
-                             plan={"union": True})
+            plan_dict: dict = {"union": True}
+            if cached_state is not None:
+                rows.append(("cached", cached_state))
+                plan_dict["cached"] = cached_state
+            return ResultSet(["kind", "detail"], rows, plan=plan_dict)
         planner = Planner(self.catalog, view_parser=self._parse_view,
                           engine=self.execution_engine,
                           isolation=self.isolation)
@@ -398,9 +567,13 @@ class Database:
                 rows.append(("estimate",
                              f"{query.table}: rows={plan.est_rows} "
                              f"cost={plan.est_cost}"))
-            return ResultSet(["kind", "detail"], rows,
-                             plan=plan.as_dict())
+            plan_dict = plan.as_dict()
+            if cached_state is not None:
+                rows.append(("cached", cached_state))
+                plan_dict["cached"] = cached_state
+            return ResultSet(["kind", "detail"], rows, plan=plan_dict)
         _, info = planner.plan(query, params)
+        info.cached = cached_state
         rows: list[tuple] = [("exec", info.exec_engine),
                              ("isolation", info.isolation)]
         if info.top_k:
@@ -419,6 +592,8 @@ class Database:
             rows.append(("total",
                          f"rows={info.estimated_rows} "
                          f"cost={info.estimated_cost}"))
+        if cached_state is not None:
+            rows.append(("cached", cached_state))
         rows.append(("aggregated", str(info.aggregated)))
         return ResultSet(["kind", "detail"], rows, plan=info.as_dict())
 
@@ -467,6 +642,18 @@ class Database:
         else:
             txn.lock_exclusive(table_name)
 
+    def _apply_insert(self, table, table_name: str, full: tuple,
+                      txn: Transaction) -> None:
+        """Insert one fully-materialized row under the statement's
+        locking protocol (shared by the parse-time executor and the
+        cached :class:`~repro.data.sql.plancache.InsertTemplate`)."""
+        lock_row = (
+            (lambda r: txn.lock_row_exclusive(
+                table_name, r,
+                timeout_s=self.latched_lock_timeout_s))
+            if self.lock_granularity == "row" else None)
+        table.insert(full, txn=txn, lock_row=lock_row)
+
     def _insert(self, statement: ast.Insert, params: tuple) -> ExecutionResult:
         table = self.catalog.table(statement.table)
         schema = table.schema
@@ -486,12 +673,8 @@ class Database:
                 for position, expr in zip(positions, value_row):
                     full[position] = compile_scalar(
                         expr, empty_scope, params)(())
-                lock_row = (
-                    (lambda r: txn.lock_row_exclusive(
-                        statement.table, r,
-                        timeout_s=self.latched_lock_timeout_s))
-                    if self.lock_granularity == "row" else None)
-                table.insert(tuple(full), txn=txn, lock_row=lock_row)
+                self._apply_insert(table, statement.table, tuple(full),
+                                   txn)
                 inserted += 1
             if autocommit:
                 txn.commit()
@@ -523,7 +706,6 @@ class Database:
             predicate = (compile_scalar(where, scope, params)
                          if where is not None else None)
             self._lock_for_write(txn, statement.table)
-            touched = 0
             # Victim selection goes through the planner: a costed (or
             # rule-based) index probe yields candidate RIDs from the
             # statement's read view — the txn snapshot under
@@ -532,43 +714,9 @@ class Database:
             # re-applied to each candidate's visible row, so stale
             # index candidates drop out exactly like scan victims.
             plan = resolver.plan_dml(statement.table, where, params)
-            victims: list[RID] = [
-                rid for rid, row in plan.victims()
-                if predicate is None or predicate(row) is True]
-            # First-updater-wins applies inside explicit transactions:
-            # the snapshot the victims were chosen from is the one an
-            # earlier read may have exposed to the application.  A
-            # single autocommit statement has no earlier reads, so it
-            # refreshes to latest-committed under its row lock instead
-            # of failing (read-committed statement semantics) — except
-            # under serializable isolation, where the statement's SSI
-            # read tracking is tied to its snapshot: refreshing the
-            # write base to a different state than the reads were
-            # checked against would reopen the very anomalies SSI
-            # exists to close.
-            enforce = not autocommit or self.isolation == "serializable"
-            for rid in victims:
-                if self.lock_granularity == "row":
-                    txn.lock_row_exclusive(statement.table, rid)
-                # Re-read under the row lock: a concurrent writer may
-                # have changed (or deleted/moved) the row while we waited.
-                row = table.writable_row(rid, txn,
-                                         enforce_snapshot=enforce)
-                if row is None:
-                    continue  # row deleted or moved: no longer a victim
-                if predicate is not None and predicate(row) is not True:
-                    continue
-                new_row = list(row)
-                for position, compute in assignments:
-                    new_row[position] = compute(row)
-                lock_row = (
-                    (lambda r: txn.lock_row_exclusive(
-                        statement.table, r,
-                        timeout_s=self.latched_lock_timeout_s))
-                    if self.lock_granularity == "row" else None)
-                table.update(rid, tuple(new_row), txn=txn,
-                             lock_row=lock_row)
-                touched += 1
+            touched = self._apply_update(table, statement.table,
+                                         assignments, predicate, plan,
+                                         txn, autocommit)
             if autocommit:
                 txn.commit()
                 self._maybe_autovacuum(statement.table)
@@ -593,21 +741,9 @@ class Database:
             # Planner-driven victim selection; see _update for the
             # residual-predicate and snapshot-enforcement rationale.
             plan = resolver.plan_dml(statement.table, where, params)
-            victims = [rid for rid, row in plan.victims()
-                       if predicate is None or predicate(row) is True]
-            deleted = 0
-            enforce = not autocommit or self.isolation == "serializable"
-            for rid in victims:
-                if self.lock_granularity == "row":
-                    txn.lock_row_exclusive(statement.table, rid)
-                row = table.writable_row(rid, txn,
-                                         enforce_snapshot=enforce)
-                if row is None:
-                    continue  # row deleted or moved: no longer a victim
-                if predicate is not None and predicate(row) is not True:
-                    continue
-                table.delete(rid, txn=txn)
-                deleted += 1
+            deleted = self._apply_delete(table, statement.table,
+                                         predicate, plan, txn,
+                                         autocommit)
             if autocommit:
                 txn.commit()
                 self._maybe_autovacuum(statement.table)
@@ -616,6 +752,72 @@ class Database:
             if autocommit:
                 txn.abort()
             raise
+
+    def _apply_update(self, table, table_name: str, assignments,
+                      predicate, plan, txn: Transaction,
+                      autocommit: bool) -> int:
+        """The UPDATE write loop (shared with the cached
+        :class:`~repro.data.sql.plancache.DmlTemplate`): filter the
+        plan's victim candidates through the residual predicate, then
+        lock, re-read, re-check, and apply per row.
+
+        First-updater-wins applies inside explicit transactions: the
+        snapshot the victims were chosen from is the one an earlier
+        read may have exposed to the application.  A single autocommit
+        statement has no earlier reads, so it refreshes to
+        latest-committed under its row lock instead of failing
+        (read-committed statement semantics) — except under
+        serializable isolation, where the statement's SSI read tracking
+        is tied to its snapshot: refreshing the write base to a
+        different state than the reads were checked against would
+        reopen the very anomalies SSI exists to close.
+        """
+        victims: list[RID] = [
+            rid for rid, row in plan.victims()
+            if predicate is None or predicate(row) is True]
+        touched = 0
+        enforce = not autocommit or self.isolation == "serializable"
+        for rid in victims:
+            if self.lock_granularity == "row":
+                txn.lock_row_exclusive(table_name, rid)
+            # Re-read under the row lock: a concurrent writer may have
+            # changed (or deleted/moved) the row while we waited.
+            row = table.writable_row(rid, txn, enforce_snapshot=enforce)
+            if row is None:
+                continue  # row deleted or moved: no longer a victim
+            if predicate is not None and predicate(row) is not True:
+                continue
+            new_row = list(row)
+            for position, compute in assignments:
+                new_row[position] = compute(row)
+            lock_row = (
+                (lambda r: txn.lock_row_exclusive(
+                    table_name, r,
+                    timeout_s=self.latched_lock_timeout_s))
+                if self.lock_granularity == "row" else None)
+            table.update(rid, tuple(new_row), txn=txn, lock_row=lock_row)
+            touched += 1
+        return touched
+
+    def _apply_delete(self, table, table_name: str, predicate, plan,
+                      txn: Transaction, autocommit: bool) -> int:
+        """The DELETE write loop; see :meth:`_apply_update` for the
+        locking and snapshot-enforcement rationale."""
+        victims = [rid for rid, row in plan.victims()
+                   if predicate is None or predicate(row) is True]
+        deleted = 0
+        enforce = not autocommit or self.isolation == "serializable"
+        for rid in victims:
+            if self.lock_granularity == "row":
+                txn.lock_row_exclusive(table_name, rid)
+            row = table.writable_row(rid, txn, enforce_snapshot=enforce)
+            if row is None:
+                continue  # row deleted or moved: no longer a victim
+            if predicate is not None and predicate(row) is not True:
+                continue
+            table.delete(rid, txn=txn)
+            deleted += 1
+        return deleted
 
     # -- DDL ----------------------------------------------------------------------------------
 
@@ -724,6 +926,7 @@ class Database:
             "lock_timeout_s": self.transactions.locks.timeout_s,
             "vacuum": self.vacuum_manager.stats(),
             "statements": self.statements_executed,
+            "plan_cache": self._plan_cache.stats(),
         }
         if self.transactions.ssi is not None:
             # Serializable mode: SIREAD/rw-edge gauges (tracked_reads,
@@ -731,6 +934,68 @@ class Database:
             # sireads_released) — also nested under "transactions".
             summary["ssi"] = self.transactions.ssi.stats()
         return summary
+
+
+class PreparedStatement:
+    """A statement parsed — and, when the shape allows, planned — once.
+
+    ``execute(params)`` binds a parameter vector and runs; repeated
+    executions skip tokenize/parse and reuse the database's cached plan
+    template for the statement's normalized text.  Handles are created
+    by :meth:`Database.prepare` (anonymous) or the SQL ``PREPARE name
+    AS ...`` statement (registered on the database; run via ``EXECUTE
+    name (args)``, dropped via ``DEALLOCATE name``)."""
+
+    def __init__(self, db: Database, sql: Optional[str],
+                 statement: Optional[ast.Statement] = None) -> None:
+        self._db = db
+        self.sql = sql
+        self._fp = None
+        self._statement = statement
+        if sql is not None:
+            if db._plan_cache.capacity > 0:
+                fp = db._fingerprints.get(sql)
+                if fp is not None and fp.cacheable \
+                        and fp.keyword in CACHEABLE_KEYWORDS:
+                    self._fp = fp
+            if self._fp is None:
+                self._statement = parse(sql)
+
+    def execute(self, params: Sequence[Any] = ()) -> Any:
+        return self._run(tuple(params))
+
+    def executemany(self, param_rows: Sequence[Sequence[Any]]) -> list:
+        return [self._run(tuple(p)) for p in param_rows]
+
+    def _run(self, params: tuple) -> Any:
+        db = self._db
+        if self._fp is not None:
+            try:
+                return db._execute_fingerprinted(self._fp, params)
+            except SQLSyntaxError:
+                # Normalized text the parser rejects: fall back to the
+                # raw AST permanently for this handle.
+                self._statement = parse(self.sql)
+                self._fp = None
+        db.statements_executed += 1
+        return db.execute_statement(self._statement, params)
+
+
+def _prepare_body(sql: str) -> Optional[str]:
+    """The statement text after ``PREPARE <name> AS`` (None when the
+    shape is surprising — the AST-only registration path then runs)."""
+    try:
+        tokens = tokenize(sql)
+    except SQLSyntaxError:
+        return None
+    if len(tokens) > 4 and tokens[0].kind == "KEYWORD" \
+            and tokens[0].value == "PREPARE" \
+            and tokens[2].kind == "KEYWORD" and tokens[2].value == "AS" \
+            and tokens[3].kind == "KEYWORD":
+        # Statements begin with a keyword, whose token records its
+        # start offset — slice the original text from there.
+        return sql[tokens[3].position:]
+    return None
 
 
 def _render_select(select: ast.SelectStatement) -> str:

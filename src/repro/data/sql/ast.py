@@ -234,6 +234,34 @@ class Vacuum:
 
 
 @dataclass(frozen=True)
+class Prepare:
+    """``PREPARE name AS <statement>``: register a named prepared
+    statement on the session's database."""
+
+    name: str
+    statement: "Statement"
+    #: Original SQL text of the inner statement, when parsed from text —
+    #: lets the executor route EXECUTE through the fingerprinted plan
+    #: cache instead of replanning the AST each time.
+    sql: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExecutePrepared:
+    """``EXECUTE name [(arg, ...)]``: run a prepared statement."""
+
+    name: str
+    arguments: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class Deallocate:
+    """``DEALLOCATE name``: drop a prepared statement."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class BeginTransaction:
     pass
 
@@ -250,8 +278,9 @@ class RollbackTransaction:
 
 Statement = Union[CreateTable, CreateIndex, CreateView, DropStatement,
                   Insert, Update, Delete, SelectStatement, UnionSelect,
-                  Explain, Analyze, Vacuum, BeginTransaction,
-                  CommitTransaction, RollbackTransaction]
+                  Explain, Analyze, Vacuum, Prepare, ExecutePrepared,
+                  Deallocate, BeginTransaction, CommitTransaction,
+                  RollbackTransaction]
 
 
 def walk_expression(expr: Expression):

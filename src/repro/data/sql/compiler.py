@@ -30,6 +30,8 @@ results between the two.
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Union
 
@@ -49,13 +51,21 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 
+# Adversarial workloads can stream unbounded distinct LIKE patterns;
+# past this many cached regexes new patterns compile uncached, same
+# capped style as the record decoder's bitmap plan cache.
+_LIKE_CACHE_LIMIT = 256
+
+
 def _sql_like(value: Any, pattern: Any, _cache: dict = {}) -> Any:
     """Dynamic LIKE (non-constant pattern); regexes cached per pattern."""
     if value is None or pattern is None:
         return None
     regex = _cache.get(pattern)
     if regex is None:
-        regex = _cache[pattern] = _like_to_regex(pattern)
+        regex = _like_to_regex(pattern)
+        if len(_cache) < _LIKE_CACHE_LIMIT:
+            _cache[pattern] = regex
     return bool(regex.match(value))
 
 
@@ -89,6 +99,7 @@ class _Emitter:
 
     def __init__(self) -> None:
         self.prologue: list[str] = []   # once-per-call column binds
+        self.outer: list[str] = []      # once-per-bind parameter loads
         self.body: list[str] = []
         self.indent = 0
         self.counter = 0
@@ -133,18 +144,28 @@ class _Block:
 
 
 class _Codegen:
-    """Lowers one expression tree; ``mode`` picks the column load form."""
+    """Lowers one expression tree; ``mode`` picks the column load form.
 
-    def __init__(self, scope, params: Sequence[Any], mode: str) -> None:
+    With ``late=True`` parameter values are not baked in as constants:
+    each ``ast.Param`` lowers to a load from the enclosing factory's
+    ``params`` argument, so the generated closure is reusable across
+    executions with different bindings (the statement-cache hot path).
+    """
+
+    def __init__(self, scope, params: Sequence[Any], mode: str,
+                 late: bool = False) -> None:
         self.scope = scope
         self.params = params
         self.mode = mode          # "row" | "batch" | "rows"
+        self.late = late
         self.em = _Emitter()
         # Static null-tracking: names known to never hold None let the
         # lowering drop ``is None`` guards (constants, comparison
         # results over non-null operands, ...).
         self.nonnull: set[str] = {"True", "False"}
         self.const_values: dict[str, Any] = {}
+        self.param_locals: dict[int, str] = {}
+        self.max_param = -1
 
     # -- constants ------------------------------------------------------------
 
@@ -174,6 +195,17 @@ class _Codegen:
         return [f"{v} is None" for v in operands
                 if v not in self.nonnull]
 
+    def _late_param(self, index: int) -> str:
+        """Bind ``params[index]`` once per execution in the factory."""
+        name = self.param_locals.get(index)
+        if name is None:
+            name = f"p{index}"
+            self.param_locals[index] = name
+            self.em.outer.append(f"{name} = params[{index}]")
+            if index > self.max_param:
+                self.max_param = index
+        return name
+
     # -- loads ---------------------------------------------------------------
 
     def load(self, index: int) -> str:
@@ -199,6 +231,8 @@ class _Codegen:
         if isinstance(expr, ast.Literal):
             return self.const(expr.value)
         if isinstance(expr, ast.Param):
+            if self.late:
+                return self._late_param(expr.index)
             if expr.index >= len(self.params):
                 raise SQLPlanError(
                     f"statement references parameter {expr.index} but only "
@@ -266,8 +300,10 @@ class _Codegen:
         em = self.em
         operand = self.emit(expr.operand)
         target = em.temp()
-        constant_items = all(isinstance(item, (ast.Literal, ast.Param))
-                             for item in expr.items)
+        constant_items = all(
+            isinstance(item, ast.Literal)
+            or (not self.late and isinstance(item, ast.Param))
+            for item in expr.items)
         if constant_items:
             values = [item.value if isinstance(item, ast.Literal)
                       else self._param_value(item) for item in expr.items]
@@ -335,7 +371,7 @@ class _Codegen:
         target = em.temp()
         pattern_node = expr.right
         if isinstance(pattern_node, ast.Literal) or \
-                isinstance(pattern_node, ast.Param):
+                (not self.late and isinstance(pattern_node, ast.Param)):
             pattern = pattern_node.value \
                 if isinstance(pattern_node, ast.Literal) \
                 else self._param_value(pattern_node)
@@ -382,9 +418,49 @@ class _Codegen:
 # ---------------------------------------------------------------------------
 
 
-def _assemble(source: str, namespace: dict) -> Callable:
-    exec(compile(source, "<sql-compiled>", "exec"), namespace)
-    return namespace.pop("_compiled")
+# Generated source repeats heavily across statements that share a shape
+# (the statement cache normalizes literals away), so code objects are
+# cached by source text: ``exec`` still runs per call against a fresh
+# namespace, but ``compile`` — the expensive half — is amortized.
+_CODE_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+_CODE_CACHE_LIMIT = 512
+_CODE_LOCK = threading.Lock()
+
+
+def _assemble(source: str, namespace: dict,
+              name: str = "_compiled") -> Callable:
+    with _CODE_LOCK:
+        code = _CODE_CACHE.get(source)
+        if code is not None:
+            _CODE_CACHE.move_to_end(source)
+    if code is None:
+        code = compile(source, "<sql-compiled>", "exec")
+        with _CODE_LOCK:
+            if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+                _CODE_CACHE.popitem(last=False)
+            _CODE_CACHE[source] = code
+    exec(code, namespace)
+    return namespace.pop(name)
+
+
+def _bad_param_count(index: int, given: int) -> SQLPlanError:
+    return SQLPlanError(
+        f"statement references parameter {index} but only {given} given")
+
+
+def _factory_source(gen: _Codegen, inner: str) -> str:
+    """Wrap an inner closure definition (already indented one level) in
+    ``def _factory(params)`` performing the once-per-bind loads."""
+    lines = []
+    if gen.max_param >= 0:
+        helper = gen.em.helper("_bad_param_count", _bad_param_count)
+        lines.append(f"    if len(params) <= {gen.max_param}:")
+        lines.append(f"        raise {helper}({gen.max_param}, len(params))")
+    lines.extend(f"    {stmt}" for stmt in gen.em.outer)
+    return ("def _factory(params):\n"
+            + "".join(line + "\n" for line in lines)
+            + inner
+            + "    return _compiled\n")
 
 
 def _interpreted(expr: ast.Expression, scope,
@@ -554,3 +630,143 @@ def compile_projection(outputs: Sequence[Output], scope,
     except _Unsupported:
         batch_fn = rows_fn = None
     return CompiledProjection(row_exprs, None, batch_fn, rows_fn)
+
+
+# ---------------------------------------------------------------------------
+# Late-binding factories (statement cache)
+# ---------------------------------------------------------------------------
+#
+# The ``compile_*`` entry points above bake ``params`` into the closure,
+# so nothing survives the statement.  The ``*_factory`` variants lower
+# the expression ONCE with parameter loads left symbolic; the result is
+# a cheap ``factory(params) -> closure`` call per execution.  They are
+# what the plan cache stores.
+
+
+def compile_scalar_factory(expr: ast.Expression,
+                           scope) -> Callable[[Sequence[Any]], Callable]:
+    """``factory(params) -> (row -> value)`` with late-bound params."""
+    try:
+        gen = _Codegen(scope, (), "row", late=True)
+        result = gen.emit(expr)
+        inner = ("    def _compiled(row):\n"
+                 + (gen.em.rendered(2) + "\n" if gen.em.body else "")
+                 + f"        return {result}\n")
+        return _assemble(_factory_source(gen, inner), gen.em.namespace,
+                         name="_factory")
+    except _Unsupported:
+        return lambda params: _interpreted(expr, scope, params)
+
+
+def compile_predicate_factory(
+        expr: ast.Expression,
+        scope) -> Callable[[Sequence[Any]], CompiledPredicate]:
+    """``factory(params) -> CompiledPredicate`` with late-bound params."""
+    try:
+        gen = _Codegen(scope, (), "row", late=True)
+        result = gen.emit(expr)
+        inner = ("    def _compiled(row):\n"
+                 + (gen.em.rendered(2) + "\n" if gen.em.body else "")
+                 + f"        return {result} is True\n")
+        row_factory = _assemble(_factory_source(gen, inner),
+                                gen.em.namespace, name="_factory")
+    except _Unsupported:
+        def bind_interpreted(params: Sequence[Any]) -> CompiledPredicate:
+            inner_fn = _interpreted(expr, scope, params)
+            return CompiledPredicate(
+                lambda row: inner_fn(row) is True, None, None, False)
+        return bind_interpreted
+
+    def loop_factory(mode: str, header: str, loop: str) -> Callable:
+        gen = _Codegen(scope, (), mode, late=True)
+        result = gen.emit(expr)
+        inner = (header
+                 + "".join(f"        {line}\n" for line in gen.em.prologue)
+                 + "        keep = []\n"
+                 "        _append = keep.append\n"
+                 + loop
+                 + (gen.em.rendered(3) + "\n" if gen.em.body else "")
+                 + f"            if {result} is True:\n"
+                 "                _append(i)\n"
+                 "        return keep\n")
+        return _assemble(_factory_source(gen, inner), gen.em.namespace,
+                         name="_factory")
+
+    batch_factory = loop_factory("batch", "    def _compiled(cols, n):\n",
+                                 "        for i in range(n):\n")
+    rows_factory = loop_factory("rows", "    def _compiled(rows):\n",
+                                "        for i, row in enumerate(rows):\n")
+
+    def bind(params: Sequence[Any]) -> CompiledPredicate:
+        return CompiledPredicate(row_factory(params), batch_factory(params),
+                                 rows_factory(params), True)
+    return bind
+
+
+def compile_projection_factory(
+        outputs: Sequence[Output],
+        scope) -> Callable[[Sequence[Any]], CompiledProjection]:
+    """``factory(params) -> CompiledProjection`` with late-bound params."""
+    factories: list[Callable] = []
+    positions: Optional[list[int]] = []
+    for output in outputs:
+        if isinstance(output, int):
+            factories.append(
+                lambda params, _i=output: (lambda row, _j=_i: row[_j]))
+        else:
+            factories.append(compile_scalar_factory(output, scope))
+        position = _output_position(output, scope)
+        if positions is not None and position is not None:
+            positions.append(position)
+        else:
+            positions = None
+    if positions is not None:
+        frozen = positions
+
+        def bind_positions(params: Sequence[Any]) -> CompiledProjection:
+            return CompiledProjection(
+                [f(params) for f in factories], frozen, None, None)
+        return bind_positions
+
+    def loop_factory(mode: str, header: str, loop: str) -> Callable:
+        gen = _Codegen(scope, (), mode, late=True)
+        results = []
+        for output in outputs:
+            if isinstance(output, int):
+                results.append(gen.load(output))
+            else:
+                results.append(gen.emit(output))
+        declares = "".join(
+            f"        out{i} = []\n        _a{i} = out{i}.append\n"
+            for i in range(len(outputs)))
+        appends = "".join(
+            f"            _a{i}({result})\n"
+            for i, result in enumerate(results))
+        returns = ", ".join(f"out{i}" for i in range(len(outputs)))
+        comma = "," if len(outputs) == 1 else ""
+        inner = (header
+                 + "".join(f"        {line}\n" for line in gen.em.prologue)
+                 + declares
+                 + loop
+                 + (gen.em.rendered(3) + "\n" if gen.em.body else "")
+                 + appends
+                 + f"        return ({returns}{comma})\n")
+        return _assemble(_factory_source(gen, inner), gen.em.namespace,
+                         name="_factory")
+
+    try:
+        batch_factory = loop_factory(
+            "batch", "    def _compiled(cols, n):\n",
+            "        for i in range(n):\n")
+        rows_factory = loop_factory(
+            "rows", "    def _compiled(rows):\n",
+            "        for row in rows:\n")
+    except _Unsupported:
+        batch_factory = rows_factory = None
+
+    def bind(params: Sequence[Any]) -> CompiledProjection:
+        return CompiledProjection(
+            [f(params) for f in factories], None,
+            batch_factory(params) if batch_factory else None,
+            rows_factory(params) if rows_factory else None)
+    return bind

@@ -3,7 +3,8 @@
 Grammar (informal)::
 
     statement  := select | insert | update | delete | create | drop
-                | BEGIN | COMMIT | ROLLBACK
+                | PREPARE name AS statement | EXECUTE name [(args)]
+                | DEALLOCATE name | BEGIN | COMMIT | ROLLBACK
     select     := SELECT [DISTINCT] items FROM table_ref join*
                   [WHERE expr] [GROUP BY exprs [HAVING expr]]
                   [ORDER BY order_items] [LIMIT expr [OFFSET expr]]
@@ -71,6 +72,27 @@ class Parser:
         if s.accept_keyword("VACUUM"):
             name = s.expect_ident() if s.peek().kind == "IDENT" else None
             return ast.Vacuum(name)
+        if s.accept_keyword("PREPARE"):
+            name = s.expect_ident()
+            s.expect_keyword("AS")
+            inner = self.statement()
+            if isinstance(inner, (ast.Prepare, ast.ExecutePrepared,
+                                  ast.Deallocate)):
+                raise SQLSyntaxError(
+                    "PREPARE body must be a plain statement")
+            return ast.Prepare(name, inner)
+        if s.accept_keyword("EXECUTE"):
+            name = s.expect_ident()
+            arguments: list[ast.Expression] = []
+            if s.accept_symbol("("):
+                if not s.at_symbol(")"):
+                    arguments.append(self.expression())
+                    while s.accept_symbol(","):
+                        arguments.append(self.expression())
+                s.expect_symbol(")")
+            return ast.ExecutePrepared(name, tuple(arguments))
+        if s.accept_keyword("DEALLOCATE"):
+            return ast.Deallocate(s.expect_ident())
         if s.accept_keyword("BEGIN"):
             return ast.BeginTransaction()
         if s.accept_keyword("COMMIT"):

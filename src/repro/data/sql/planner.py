@@ -313,6 +313,9 @@ class PlanInfo:
     top_k: bool = False
     fused: bool = False
     isolation: str = "2pl"
+    #: Statement-cache disposition ("hit" | "miss" | "bypass") when the
+    #: statement went through `Database.execute`'s text path, else None.
+    cached: Optional[str] = None
 
     def as_dict(self) -> dict:
         summary = {"access_paths": self.access_paths, "joins": self.joins,
@@ -321,6 +324,8 @@ class PlanInfo:
                    "exec": self.exec_engine,
                    "isolation": self.isolation,
                    "top_k": self.top_k, "fused": self.fused}
+        if self.cached is not None:
+            summary["cached"] = self.cached
         if self.cost_based:
             summary.update({
                 "join_order": self.join_order,

@@ -62,11 +62,17 @@ class VacuumManager:
     def __init__(self, tables: Callable[[], dict],
                  transactions,
                  threshold: int = 256,
-                 interval_s: Optional[float] = None) -> None:
+                 interval_s: Optional[float] = None,
+                 on_stats_change: Optional[Callable[[str], None]] = None
+                 ) -> None:
         self.tables = tables
         self.transactions = transactions
         self.threshold = threshold
         self.interval_s = interval_s
+        #: Called with a table name whenever a vacuum pass reclaimed
+        #: anything there — the statement cache hooks this to invalidate
+        #: plans whose cost estimates the reclaim may have skewed.
+        self.on_stats_change = on_stats_change
         self.runs = 0
         self.auto_runs = 0
         self.versions_reclaimed = 0
@@ -107,6 +113,9 @@ class VacuumManager:
                 summary["rows"] += rows
                 summary["stale_entries"] += stale
                 self._record_run(name, table, versions, rows, stale)
+                if self.on_stats_change is not None and \
+                        (versions or rows or stale):
+                    self.on_stats_change(name)
             ssi = getattr(self.transactions, "ssi", None)
             if ssi is not None:
                 summary["sireads_released"] = ssi.collect()
@@ -134,13 +143,22 @@ class VacuumManager:
 
     def maybe(self, table_name: str) -> Optional[dict]:
         """Auto-threshold trigger: vacuum the table if its dead-version
-        gauge crossed the configured threshold."""
+        gauge crossed the configured threshold.
+
+        Best-effort like the interval daemon: concurrent DDL (an index
+        or the table itself dropped mid-pass) must not surface a
+        storage error into the unrelated statement that tripped the
+        threshold — the next trigger retries on fresh catalog state.
+        """
         table = self.tables().get(table_name)
         if table is None or not getattr(table, "versioned", False):
             return None
         if table.dead_versions < self.threshold:
             return None
-        summary = self.run(table_name)
+        try:
+            summary = self.run(table_name)
+        except Exception:  # noqa: BLE001 — opportunistic, races DDL
+            return None
         self.auto_runs += 1
         return summary
 

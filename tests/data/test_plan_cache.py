@@ -1,0 +1,458 @@
+"""Statement cache: fingerprinting, plan reuse, and invalidation.
+
+PR 7 splits parameter binding out of planning so compiled plans become
+reusable templates, then fronts the executor with an LRU plan cache
+keyed by a literal-normalizing SQL fingerprint.  These tests pin down:
+
+- **Sharing** — statements differing only in literal values hit one
+  cache entry (soft parse), and results match the uncached engine.
+- **Freshness** — a cached plan re-resolves its snapshot, session
+  transaction, and access path at every execution; caching must never
+  change what a statement sees or locks.
+- **Invalidation** — DDL, index create/drop, ANALYZE, and vacuum-driven
+  statistics changes each retire affected entries, proven per
+  mechanism through the cache gauges and through plan output.
+- **Surface** — PREPARE/EXECUTE/DEALLOCATE, ``Database.prepare``,
+  ``executemany``, EXPLAIN's ``cached=`` row, and ``stats()`` gauges.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.data import Database
+from repro.data.sql.compiler import _LIKE_CACHE_LIMIT, _sql_like
+from repro.data.sql.plancache import fingerprint
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    SerializationError,
+    SQLPlanError,
+)
+
+RETRYABLE = (SerializationError, DeadlockError, LockTimeoutError)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp "
+                     "(id INT PRIMARY KEY, name TEXT, salary FLOAT, "
+                     "dept INT)")
+    database.executemany(
+        "INSERT INTO emp VALUES (?, ?, ?, ?)",
+        [(i, f"emp{i}", 1000.0 + i, i % 4) for i in range(40)])
+    return database
+
+
+def gauges(database):
+    return database.stats()["plan_cache"]
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_literals_normalize_to_one_text(self):
+        a = fingerprint("SELECT * FROM t WHERE id = 3")
+        b = fingerprint("SELECT * FROM t WHERE id = 99")
+        assert a.cacheable and b.cacheable
+        assert a.text == b.text
+
+    def test_strings_and_negatives_normalize(self):
+        a = fingerprint("SELECT * FROM t WHERE name = 'ann' AND v = -1")
+        b = fingerprint("SELECT * FROM t WHERE name = 'bo''b' AND v = -7")
+        assert a.text == b.text
+
+    def test_user_params_survive(self):
+        fp = fingerprint("SELECT * FROM t WHERE a = ? AND b = 5")
+        merged = fp.bind((10,))
+        assert 10 in merged and 5 in merged
+
+    def test_select_item_literals_stay_literal(self):
+        # ``SELECT 1`` names its output column "1"; parameterizing it
+        # would rename the column, so projection literals are left alone.
+        fp = fingerprint("SELECT 1, id FROM t WHERE id = 2")
+        assert "1" in fp.text
+
+    def test_missing_params_raise(self):
+        fp = fingerprint("SELECT * FROM t WHERE a = ? AND b = ?")
+        with pytest.raises(SQLPlanError, match="parameter"):
+            fp.bind((1,))
+
+
+# -- sharing and correctness --------------------------------------------------
+
+
+class TestPlanReuse:
+    def test_literal_variants_share_an_entry(self, db):
+        r1 = db.execute("SELECT name FROM emp WHERE id = 3")
+        r2 = db.execute("SELECT name FROM emp WHERE id = 17")
+        r3 = db.execute("SELECT name FROM emp WHERE id = ?", (25,))
+        assert r1.plan["cached"] == "miss"
+        assert r2.plan["cached"] == "hit"
+        assert r3.plan["cached"] == "hit"     # same fingerprint as literals
+        assert (r1.rows, r2.rows, r3.rows) == \
+            ([("emp3",)], [("emp17",)], [("emp25",)])
+
+    def test_cached_results_match_uncached(self, db):
+        cold = Database(plan_cache_size=0)
+        cold.execute("CREATE TABLE emp "
+                     "(id INT PRIMARY KEY, name TEXT, salary FLOAT, "
+                     "dept INT)")
+        cold.executemany(
+            "INSERT INTO emp VALUES (?, ?, ?, ?)",
+            [(i, f"emp{i}", 1000.0 + i, i % 4) for i in range(40)])
+        statements = [
+            ("SELECT * FROM emp WHERE id = ?", (7,)),
+            ("SELECT name, salary FROM emp WHERE dept = ? "
+             "ORDER BY salary DESC LIMIT 3", (2,)),
+            ("SELECT DISTINCT dept FROM emp WHERE id > ?", (20,)),
+            ("SELECT id FROM emp WHERE name LIKE ?", ("emp1%",)),
+        ]
+        for sql, params in statements:
+            for _ in range(2):                 # second pass = cache hit
+                assert db.query(sql, params) == cold.query(sql, params)
+
+    def test_access_path_rechosen_per_execution(self, db):
+        # The template re-runs access-path selection with the live bound
+        # parameters, so plan output is identical to the uncached planner.
+        r1 = db.execute("SELECT * FROM emp WHERE id = 3")
+        r2 = db.execute("SELECT * FROM emp WHERE id = 9")
+        assert r1.plan["access_paths"] == ["index_eq(emp.id)"]
+        assert r2.plan["access_paths"] == ["index_eq(emp.id)"]
+        assert r2.plan["cached"] == "hit"
+
+    def test_dml_through_cache(self, db):
+        u1 = db.execute("UPDATE emp SET salary = salary + 1 WHERE id = 4")
+        u2 = db.execute("UPDATE emp SET salary = salary + 2 WHERE id = 5")
+        assert (u1.affected, u2.affected) == (1, 1)
+        assert db.query("SELECT salary FROM emp WHERE id = 5") == [(1007.0,)]
+        d1 = db.execute("DELETE FROM emp WHERE id = 39")
+        d2 = db.execute("DELETE FROM emp WHERE id = 38")
+        assert (d1.affected, d2.affected) == (1, 1)
+        assert db.query("SELECT COUNT(*) FROM emp") == [(38,)]
+
+    def test_complex_shapes_bypass_not_fail(self, db):
+        # Joins/aggregates are not templated (yet); they run the legacy
+        # path through a bypass entry and still answer correctly.
+        r = db.execute("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        assert sorted(r.rows) == [(0, 10), (1, 10), (2, 10), (3, 10)]
+        before = gauges(db)["bypasses"]
+        db.execute("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        assert gauges(db)["bypasses"] == before + 1
+
+    def test_cache_disable_switch(self):
+        database = Database(plan_cache_size=0)
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        database.execute("INSERT INTO t VALUES (1, 10)")
+        for _ in range(3):
+            assert database.query("SELECT v FROM t WHERE id = 1") == [(10,)]
+        stats = gauges(database)
+        assert stats["size"] == 0 and stats["hits"] == 0
+
+    def test_lru_eviction(self):
+        database = Database(plan_cache_size=2)
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        database.execute("INSERT INTO t VALUES (1, 10)")
+        database.query("SELECT v FROM t WHERE id = 1")
+        database.query("SELECT id FROM t WHERE v = 10")
+        database.query("SELECT id, v FROM t WHERE id = 1")
+        stats = gauges(database)
+        assert stats["size"] <= 2
+        assert stats["evictions"] >= 1
+
+
+# -- prepared statements ------------------------------------------------------
+
+
+class TestPrepared:
+    def test_prepare_execute_deallocate_sql(self, db):
+        db.execute("PREPARE by_id AS SELECT name FROM emp WHERE id = ?")
+        assert db.execute("EXECUTE by_id (6)").rows == [("emp6",)]
+        assert db.execute("EXECUTE by_id (8)").rows == [("emp8",)]
+        db.execute("DEALLOCATE by_id")
+        with pytest.raises(SQLPlanError, match="no prepared statement"):
+            db.execute("EXECUTE by_id (1)")
+
+    def test_duplicate_prepare_rejected(self, db):
+        db.execute("PREPARE p AS SELECT * FROM emp")
+        with pytest.raises(SQLPlanError, match="already exists"):
+            db.execute("PREPARE p AS SELECT * FROM emp")
+        db.execute("DEALLOCATE p")
+
+    def test_deallocate_unknown_rejected(self, db):
+        with pytest.raises(SQLPlanError, match="no prepared statement"):
+            db.execute("DEALLOCATE ghost")
+
+    def test_prepare_api_handle(self, db):
+        handle = db.prepare("SELECT salary FROM emp WHERE id = ?")
+        assert handle.execute((1,)).rows == [(1001.0,)]
+        assert handle.execute((2,)).rows == [(1002.0,)]
+        assert gauges(db)["hits"] >= 1
+
+    def test_executemany_dml(self, db):
+        results = db.executemany(
+            "UPDATE emp SET salary = ? WHERE id = ?",
+            [(9000.0 + i, i) for i in range(10)])
+        assert [r.affected for r in results] == [1] * 10
+        assert db.query("SELECT salary FROM emp WHERE id = 9") == [(9009.0,)]
+
+    def test_prepared_expressions_as_arguments(self, db):
+        db.execute("PREPARE probe AS SELECT id FROM emp WHERE id = ?")
+        assert db.execute("EXECUTE probe (2 + 3)").rows == [(5,)]
+        db.execute("DEALLOCATE probe")
+
+
+# -- EXPLAIN ------------------------------------------------------------------
+
+
+class TestExplain:
+    def test_explain_reports_cache_state(self, db):
+        first = dict(db.execute("EXPLAIN SELECT * FROM emp WHERE id = 3").rows)
+        again = dict(db.execute("EXPLAIN SELECT * FROM emp WHERE id = 4").rows)
+        assert first["cached"] == "miss"
+        assert again["cached"] == "hit"
+
+    def test_explain_reports_bypass(self, db):
+        plan = dict(db.execute(
+            "EXPLAIN SELECT e.name, d.name FROM emp e "
+            "JOIN emp d ON e.id = d.id").rows)
+        assert plan["cached"] == "bypass"
+
+    def test_explain_does_not_execute(self, db):
+        db.execute("EXPLAIN DELETE FROM emp WHERE id = 1")
+        assert db.query("SELECT COUNT(*) FROM emp WHERE id = 1") == [(1,)]
+
+
+# -- invalidation, one mechanism at a time ------------------------------------
+
+
+class TestInvalidation:
+    def warm(self, db, sql="SELECT * FROM emp WHERE id = 3"):
+        db.execute(sql)
+        result = db.execute(sql)
+        assert result.plan["cached"] == "hit"
+
+    def test_create_table_invalidates(self, db):
+        self.warm(db)
+        db.execute("CREATE TABLE other (id INT PRIMARY KEY)")
+        assert db.execute(
+            "SELECT * FROM emp WHERE id = 3").plan["cached"] == "miss"
+
+    def test_drop_table_invalidates(self, db):
+        db.execute("CREATE TABLE doomed (id INT PRIMARY KEY)")
+        self.warm(db)
+        db.execute("DROP TABLE doomed")
+        assert db.execute(
+            "SELECT * FROM emp WHERE id = 3").plan["cached"] == "miss"
+
+    def test_dropped_table_entry_errors_cleanly(self, db):
+        db.execute("CREATE TABLE gone (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO gone VALUES (1, 2)")
+        self.warm(db, "SELECT v FROM gone WHERE id = 1")
+        db.execute("DROP TABLE gone")
+        with pytest.raises(Exception):
+            db.execute("SELECT v FROM gone WHERE id = 1")
+
+    def test_create_index_switches_access_path(self, db):
+        sql = "SELECT id FROM emp WHERE dept = 2"
+        self.warm(db, sql)
+        assert db.execute(sql).plan["access_paths"] == ["seq_scan(emp)"]
+        db.execute("CREATE INDEX emp_dept ON emp (dept)")
+        replanned = db.execute(sql)
+        assert replanned.plan["cached"] == "miss"
+        assert replanned.plan["access_paths"] == ["index_eq(emp.dept)"]
+
+    def test_drop_index_stops_probing_it(self, db):
+        db.execute("CREATE INDEX emp_dept ON emp (dept)")
+        sql = "SELECT id FROM emp WHERE dept = 1"
+        self.warm(db, sql)
+        assert db.execute(sql).plan["access_paths"] == ["index_eq(emp.dept)"]
+        db.execute("DROP INDEX emp_dept")
+        replanned = db.execute(sql)
+        assert replanned.plan["cached"] == "miss"
+        assert replanned.plan["access_paths"] == ["seq_scan(emp)"]
+        assert sorted(replanned.rows) == \
+            [(i,) for i in range(40) if i % 4 == 1]
+
+    def test_analyze_invalidates(self, db):
+        self.warm(db)
+        before = gauges(db)["invalidations"]
+        db.execute("ANALYZE emp")
+        replanned = db.execute("SELECT * FROM emp WHERE id = 3")
+        assert replanned.plan["cached"] == "miss"
+        assert replanned.plan["cost_based"] is True
+        assert gauges(db)["invalidations"] > before
+
+    def test_vacuum_stats_change_invalidates(self, db):
+        db.execute("ANALYZE emp")
+        self.warm(db)
+        # Deleting rows and vacuuming refreshes table statistics, which
+        # bumps the stats version and retires dependent entries.
+        db.executemany("DELETE FROM emp WHERE id = ?",
+                       [(i,) for i in range(20, 40)])
+        before = gauges(db)["invalidations"]
+        db.execute("VACUUM emp")
+        replanned = db.execute("SELECT * FROM emp WHERE id = 3")
+        assert replanned.plan["cached"] == "miss"
+        assert gauges(db)["invalidations"] > before
+
+    def test_engine_config_guard(self):
+        # Same SQL, different engine config: entries must not leak
+        # across databases with different execution settings (each
+        # Database has its own cache, so this pins per-entry guards by
+        # checking the entry revalidates against live settings).
+        database = Database(execution_engine="row")
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        database.query("SELECT * FROM t WHERE id = 1")
+        result = database.execute("SELECT * FROM t WHERE id = 1")
+        assert result.plan["cached"] == "hit"
+        assert result.plan["exec"] == "row"
+
+
+# -- freshness: cached plans must re-resolve snapshot and session -------------
+
+
+class TestSnapshotFreshness:
+    def test_cached_select_sees_later_commits(self, db):
+        sql = "SELECT id FROM emp WHERE dept = 0"
+        assert len(db.query(sql)) == 10
+        db.execute("INSERT INTO emp VALUES (100, 'new', 1.0, 0)")
+        result = db.execute(sql)
+        assert result.plan["cached"] == "hit"
+        assert len(result.rows) == 11 and (100,) in result.rows
+
+    def test_cached_select_holds_txn_snapshot(self, db):
+        sql = "SELECT salary FROM emp WHERE id = 0"
+        db.query(sql)                                   # warm: hit next time
+        db.execute("BEGIN")
+        in_txn_before = db.query(sql)
+
+        def writer():
+            db.execute("UPDATE emp SET salary = 1.5 WHERE id = 0")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join()
+        result = db.execute(sql)
+        assert result.plan["cached"] == "hit"
+        assert result.rows == in_txn_before             # snapshot held
+        db.execute("COMMIT")
+        assert db.query(sql) == [(1.5,)]                # fresh snapshot
+
+    def test_cached_select_sees_own_txn_writes(self, db):
+        sql = "SELECT salary FROM emp WHERE id = 1"
+        db.query(sql)
+        db.execute("BEGIN")
+        db.execute("UPDATE emp SET salary = 7.0 WHERE id = 1")
+        result = db.execute(sql)
+        assert result.plan["cached"] == "hit"
+        assert result.rows == [(7.0,)]
+        db.execute("ROLLBACK")
+        assert db.query(sql) == [(1001.0,)]
+
+
+# -- concurrency: cached execution vs live DDL --------------------------------
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "row"])
+@pytest.mark.parametrize("isolation", ["snapshot", "serializable"])
+def test_concurrent_ddl_vs_cached_statements(engine, isolation):
+    """Randomized DDL/ANALYZE/index churn racing cached statements.
+
+    Readers and writers run everything through prepared statements (the
+    cached path) while a churn thread creates/drops an index, runs
+    ANALYZE, and creates/drops an unrelated table.  Every answer must be
+    correct-or-retryable; stale plans may never touch a dropped index or
+    return wrong rows.
+    """
+    db = Database(isolation=isolation, execution_engine=engine,
+                  lock_timeout_s=5.0)
+    db.execute("CREATE TABLE kv (id INT PRIMARY KEY, v INT, tag INT)")
+    db.executemany("INSERT INTO kv VALUES (?, ?, ?)",
+                   [(i, i * 10, i % 5) for i in range(50)])
+    errors = []
+    stop = threading.Event()
+
+    def churn():
+        rng = random.Random(42)
+        try:
+            for round_no in range(30):
+                action = rng.randrange(4)
+                if action == 0:
+                    db.execute("CREATE INDEX kv_tag ON kv (tag)")
+                    db.execute("DROP INDEX kv_tag")
+                elif action == 1:
+                    db.execute("ANALYZE kv")
+                elif action == 2:
+                    db.execute(f"CREATE TABLE scratch_{round_no} "
+                               "(id INT PRIMARY KEY)")
+                    db.execute(f"DROP TABLE scratch_{round_no}")
+                else:
+                    db.execute("VACUUM kv")
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader():
+        rng = random.Random(7)
+        try:
+            handle = db.prepare("SELECT v FROM kv WHERE id = ?")
+            by_tag = db.prepare("SELECT COUNT(*) FROM kv WHERE tag = ?")
+            while not stop.is_set():
+                key = rng.randrange(50)
+                assert handle.execute((key,)).rows == [(key * 10,)]
+                assert by_tag.execute((rng.randrange(5),)).rows == [(10,)]
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def writer():
+        rng = random.Random(11)
+        try:
+            while not stop.is_set():
+                key = rng.randrange(50)
+                try:
+                    db.executemany(
+                        "UPDATE kv SET v = ? WHERE id = ?",
+                        [(key * 10, key)])
+                except RETRYABLE:
+                    pass
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fn)
+               for fn in (churn, reader, writer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "worker deadlocked"
+    assert not errors, errors[0]
+
+
+# -- compiled-closure caches stay bounded -------------------------------------
+
+
+class TestBoundedCaches:
+    def test_like_regex_cache_bounded(self, db):
+        db.execute("CREATE TABLE pat (p TEXT)")
+        db.execute("INSERT INTO pat VALUES ('x')")
+        handle = db.prepare("SELECT COUNT(*) FROM pat WHERE 'abc' LIKE ?")
+        for i in range(_LIKE_CACHE_LIMIT + 50):
+            handle.execute((f"abc{i}%",))
+        assert len(_sql_like.__defaults__[0]) <= _LIKE_CACHE_LIMIT
+
+    def test_gauges_shape(self, db):
+        db.query("SELECT * FROM emp WHERE id = 1")
+        db.query("SELECT * FROM emp WHERE id = 2")
+        stats = gauges(db)
+        assert set(stats) == {"capacity", "size", "hits", "misses",
+                              "bypasses", "invalidations", "evictions",
+                              "hit_rate"}
+        assert stats["capacity"] == 128
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0

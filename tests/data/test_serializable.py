@@ -27,6 +27,7 @@ failing interleaving replays exactly.
 
 import random
 import threading
+import time
 import zlib
 from collections import defaultdict
 
@@ -157,6 +158,11 @@ def mix_write_skew(db, rng, n_items):
     a, b = 2 * pair, 2 * pair + 1
     db.execute("BEGIN")
     reads, state = _read_all(db)
+    # Yield between snapshot read and write so concurrent sessions
+    # interleave at the anomaly window; with the statement cache a whole
+    # transaction fits inside one GIL timeslice and would otherwise
+    # serialize by accident, leaving the oracle nothing to detect.
+    time.sleep(rng.uniform(0.0, 0.002))
     writes = {}
     if state[a][0] + state[b][0] > 60:
         _bump(db, reads, writes, rng.choice((a, b)), val_delta=-50)
