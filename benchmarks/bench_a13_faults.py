@@ -1,0 +1,188 @@
+"""A13 (robustness) — what fault tolerance costs when nothing fails.
+
+PR 8 threads every block-device operation through the
+:class:`FaultyDevice` decorator's accounting (op counters, the
+last-honest-flush shadow, schedule lookup) and adds checksum
+verification, quarantine bookkeeping, and retry wrappers on the I/O
+paths.  Three figures bound the bill:
+
+1. **Fault-free overhead** — an identical OLTP-ish workload on a raw
+   ``MemoryDevice`` engine and on one wrapped in ``FaultyDevice`` with
+   an *empty* schedule.  Result equality is asserted before any timing,
+   and the acceptance gate is <= 5% overhead on the best-of-N round
+   time (the decorator is a dict lookup and two counter bumps per I/O;
+   anything above noise means the hot path regressed).
+2. **Scrub salvage** — corrupt one heap page, measure the online
+   ``SCRUB`` pass end-to-end: pages checked, rows salvaged, wall time.
+3. **WAL backpressure** — sustained inserts against a 4-block WAL
+   device: throughput with clean-abort/retry, plus how often the
+   on-wal-full relief (flush + truncate + checkpoint) fired.
+
+Reduced configuration for CI smoke runs: set ``A13_SMOKE=1``.
+"""
+
+import os
+import time
+
+from conftest import emit_result, fmt_table, record
+from repro.data.database import Database
+from repro.errors import TransactionError
+from repro.storage import MemoryDevice
+from repro.storage.faultdev import FaultyDevice
+from repro.storage.page import PageId
+
+SMOKE = os.environ.get("A13_SMOKE") == "1"
+ROWS = 200 if SMOKE else 1200
+OPS = 120 if SMOKE else 500
+ROUNDS = 5 if SMOKE else 9
+PRESSURE_ROWS = 150 if SMOKE else 600
+MAX_OVERHEAD = 0.05
+
+
+def build(faulty: bool) -> Database:
+    if faulty:
+        db = Database(device=FaultyDevice(MemoryDevice()),
+                      wal_device=FaultyDevice(MemoryDevice()),
+                      buffer_capacity=64)
+    else:
+        db = Database(device=MemoryDevice(), wal_device=MemoryDevice(),
+                      buffer_capacity=64)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT, n INT)")
+    db.executemany("INSERT INTO t VALUES (?, ?, ?)",
+                   [(i, f"row{i}", i % 53) for i in range(ROWS)])
+    return db
+
+
+def round_ops(db: Database) -> list[tuple]:
+    """One timed round: point updates + reads, then a checkpoint so the
+    flush/write-back path (where the decorator sits) is exercised."""
+    out = []
+    for i in range(OPS):
+        key = (i * 31) % ROWS
+        db.execute("UPDATE t SET n = n + 1 WHERE id = ?", (key,))
+        out.extend(db.query("SELECT v, n FROM t WHERE id = ?", (key,)))
+    out.extend(db.query("SELECT COUNT(*) FROM t"))
+    db.checkpoint()
+    return out
+
+
+def test_a13_fault_free_overhead(benchmark):
+    raw = build(faulty=False)
+    wrapped = build(faulty=True)
+
+    # Correctness before speed: both engines must answer identically.
+    assert round_ops(raw) == round_ops(wrapped)
+
+    raw_times, wrapped_times = [], []
+    for _ in range(ROUNDS):          # interleave to decorrelate drift
+        start = time.perf_counter()
+        expect = round_ops(raw)
+        raw_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        got = round_ops(wrapped)
+        wrapped_times.append(time.perf_counter() - start)
+        assert got == expect
+    benchmark.pedantic(lambda: round_ops(wrapped), rounds=1)
+
+    best_raw, best_wrapped = min(raw_times), min(wrapped_times)
+    overhead = best_wrapped / best_raw - 1.0
+    data_fd, wal_fd = wrapped.device, wrapped.wal.device
+
+    # The wrapper must actually have been on the hot path, injecting
+    # nothing.
+    assert data_fd.ops_total > 0 and wal_fd.ops_total > 0
+    assert data_fd.schedule.injected == wal_fd.schedule.injected == 0
+
+    record(benchmark, rows=ROWS, ops_per_round=OPS, rounds=ROUNDS,
+           raw_round_ms=round(best_raw * 1e3, 2),
+           wrapped_round_ms=round(best_wrapped * 1e3, 2),
+           overhead_pct=round(overhead * 100, 2))
+    emit_result("a13_faults", rows=ROWS, ops_per_round=OPS,
+                rounds=ROUNDS, smoke=SMOKE,
+                raw_round_ms=round(best_raw * 1e3, 3),
+                wrapped_round_ms=round(best_wrapped * 1e3, 3),
+                overhead_pct=round(overhead * 100, 3),
+                data_device_ops=data_fd.ops_total,
+                wal_device_ops=wal_fd.ops_total)
+    print("\n" + fmt_table(
+        ["device", "best round (ms)", "device ops"],
+        [("raw MemoryDevice", round(best_raw * 1e3, 2), "-"),
+         ("FaultyDevice (empty schedule)", round(best_wrapped * 1e3, 2),
+          data_fd.ops_total + wal_fd.ops_total)]))
+    print(f"fault-free overhead: {overhead * 100:.2f}%  "
+          f"(gate: <= {MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead <= MAX_OVERHEAD, (
+        f"fault instrumentation costs {overhead * 100:.2f}% on the "
+        f"fault-free path (raw {best_raw * 1e3:.2f}ms vs wrapped "
+        f"{best_wrapped * 1e3:.2f}ms)")
+
+
+def test_a13_scrub_salvage(benchmark):
+    db = Database(device=MemoryDevice(), wal_device=MemoryDevice())
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    db.executemany("INSERT INTO t VALUES (?, ?)",
+                   [(i, f"val{i}") for i in range(ROWS)])
+    db.checkpoint()
+    fid = db.catalog.table("t").heap.file_id
+    block = db.files.block_of(PageId(fid, 1))
+    raw = bytearray(db.device.read_block(block))
+    raw[60] ^= 0xFF
+    db.device.write_block(block, bytes(raw))
+    db.pool.drop_all(flush=False)
+
+    (degraded,) = db.query("SELECT COUNT(*) FROM t")[0]
+    start = time.perf_counter()
+    summary = db.scrub("t")
+    scrub_ms = (time.perf_counter() - start) * 1e3
+    (after,) = db.query("SELECT COUNT(*) FROM t")[0]
+    benchmark.pedantic(lambda: db.scrub("t"), rounds=1)
+
+    assert summary["pages_salvaged"] == 1
+    assert after >= degraded
+    assert db.stats()["integrity"]["quarantined_pages"] == 0
+    record(benchmark, rows=ROWS, degraded_rows=degraded,
+           rows_after_scrub=after, scrub_ms=round(scrub_ms, 2),
+           rows_salvaged=summary["rows_salvaged"])
+    emit_result("a13_scrub", rows=ROWS, smoke=SMOKE,
+                degraded_rows=degraded, rows_after_scrub=after,
+                pages_checked=summary["pages_checked"],
+                rows_salvaged=summary["rows_salvaged"],
+                scrub_ms=round(scrub_ms, 3))
+    print("\n" + fmt_table(
+        ["phase", "readable rows"],
+        [("after corruption (degraded scan)", degraded),
+         ("after SCRUB", after)]))
+    print(f"scrub: {summary['pages_checked']} pages checked, "
+          f"{summary['rows_salvaged']} rows salvaged in {scrub_ms:.2f}ms")
+
+
+def test_a13_wal_backpressure(benchmark):
+    db = Database(device=MemoryDevice(),
+                  wal_device=MemoryDevice(capacity_blocks=4))
+    db.execute("CREATE TABLE w (id INT, v TEXT)")
+    retries = 0
+    start = time.perf_counter()
+    for i in range(PRESSURE_ROWS):
+        try:
+            db.execute("INSERT INTO w VALUES (?, ?)", (i, "x" * 60))
+        except TransactionError:
+            retries += 1
+            db.execute("INSERT INTO w VALUES (?, ?)", (i, "x" * 60))
+    elapsed = time.perf_counter() - start
+    benchmark.pedantic(
+        lambda: db.execute("INSERT INTO w VALUES (?, ?)",
+                           (PRESSURE_ROWS, "y")), rounds=1)
+
+    (count,) = db.query("SELECT COUNT(*) FROM w")[0]
+    assert count >= PRESSURE_ROWS
+    stats = db.stats()["transactions"]
+    assert stats["wal_full_aborts"] == retries > 0
+    rate = PRESSURE_ROWS / elapsed
+    record(benchmark, rows=PRESSURE_ROWS, wal_full_aborts=retries,
+           inserts_per_s=round(rate, 1))
+    emit_result("a13_backpressure", rows=PRESSURE_ROWS, smoke=SMOKE,
+                wal_full_aborts=retries, elapsed_ms=round(elapsed * 1e3, 3),
+                inserts_per_s=round(rate, 1))
+    print(f"\n{PRESSURE_ROWS} inserts through a 4-block WAL: "
+          f"{rate:.0f} rows/s, {retries} clean WAL-full aborts "
+          f"(each relieved by flush + truncate + checkpoint)")

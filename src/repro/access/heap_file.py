@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-from repro.errors import PageLayoutError
+from repro.errors import ChecksumError, PageLayoutError
 from repro.faults.crashpoints import maybe_crash
 from repro.storage.page import Page, PageId
 from repro.storage.page_manager import PageManager
@@ -82,28 +82,30 @@ class HeapFile:
         if target is not None:
             page = self.pages.fetch(target)
             slot: Optional[int] = None
+            try:
+                with page.latch:
+                    view = SlottedPage(page)
+                    if view.has_room(len(payload)):
+                        slot = view.insert(payload)
+                        self._log(page, txn, op, slot, b"", payload)
+                    # Stale hint either way; refresh it.
+                    self._note_free(view)
+                maybe_crash("heap.insert")
+            finally:
+                self.pages.unpin(target, dirty=slot is not None)
+            if slot is not None:
+                return RID(target.page_no, slot)
+        page = self.pages.allocate(self.file_id)
+        try:
             with page.latch:
-                view = SlottedPage(page)
-                if view.has_room(len(payload)):
-                    slot = view.insert(payload)
-                    self._log(page, txn, op, slot, b"", payload)
-                # Stale hint either way; refresh it.
+                view = SlottedPage.format(page)
+                slot = view.insert(payload)
+                self._log(page, txn, op, slot, b"", payload)
                 self._note_free(view)
             maybe_crash("heap.insert")
-            if slot is not None:
-                self.pages.unpin(target, dirty=True)
-                return RID(target.page_no, slot)
-            self.pages.unpin(target)
-        page = self.pages.allocate(self.file_id)
-        with page.latch:
-            view = SlottedPage.format(page)
-            slot = view.insert(payload)
-            self._log(page, txn, op, slot, b"", payload)
-            self._note_free(view)
-        maybe_crash("heap.insert")
-        rid = RID(page.page_id.page_no, slot)
-        self.pages.unpin(page.page_id, dirty=True)
-        return rid
+        finally:
+            self.pages.unpin(page.page_id, dirty=True)
+        return RID(page.page_id.page_no, slot)
 
     def read(self, rid: RID) -> bytes:
         page_id = self._page_id(rid.page_no)
@@ -174,11 +176,29 @@ class HeapFile:
 
     # -- scanning --------------------------------------------------------------
 
+    def _fetch_or_skip(self, page_id: PageId):
+        """Fetch for a sequential sweep, degrading around corruption.
+
+        When the pool carries a quarantine registry, a page that fails
+        checksum verification is skipped (fetch has already quarantined
+        it) so one corrupt page does not make the whole table
+        unreadable; the scrubber repairs it later.  Pools without a
+        registry keep the historical fail-fast behaviour.  Point reads
+        (:meth:`read`, :meth:`read_many`) always propagate."""
+        try:
+            return self.pages.fetch(page_id)
+        except ChecksumError:
+            if getattr(self.pages.pool, "integrity", None) is not None:
+                return None
+            raise
+
     def scan(self) -> Iterator[tuple[RID, bytes]]:
         num_pages = self.pages.pool.files.file_size_pages(self.file_id)
         for page_no in range(num_pages):
             page_id = self._page_id(page_no)
-            page = self.pages.fetch(page_id)
+            page = self._fetch_or_skip(page_id)
+            if page is None:
+                continue
             try:
                 with page.latch:
                     records = list(SlottedPage(page).records())
@@ -196,7 +216,9 @@ class HeapFile:
         num_pages = self.pages.pool.files.file_size_pages(self.file_id)
         for page_no in range(num_pages):
             page_id = self._page_id(page_no)
-            page = self.pages.fetch(page_id)
+            page = self._fetch_or_skip(page_id)
+            if page is None:
+                continue
             try:
                 with page.latch:
                     view = SlottedPage(page)

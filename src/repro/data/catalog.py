@@ -149,17 +149,22 @@ class Catalog:
         self.bump_ddl_version()
         return index
 
-    def rebuild_indexes(self) -> int:
-        """Drop and repopulate every index from its table's heap.
+    def rebuild_indexes(self, table_name: Optional[str] = None) -> int:
+        """Drop and repopulate indexes from their table's heap.
 
         Called after crash recovery: index pages are not WAL-logged (the
         documented ARIES-lite simplification), so after redo/undo their
         files may hold entries for undone rows or miss entries for redone
         ones.  Regenerating from the recovered heaps restores consistency.
-        Returns the number of indexes rebuilt.
+        ``table_name`` limits the rebuild to one table's indexes (the
+        scrubber's post-salvage repair).  Returns the number of indexes
+        rebuilt.
         """
         files = self.pages.pool.files
+        rebuilt = 0
         for name, definition in list(self.index_defs.items()):
+            if table_name is not None and definition.table != table_name:
+                continue
             table = self.table(definition.table)
             old = table.detach_index(name)
             self._purge_file_frames(old.file_id)
@@ -168,8 +173,9 @@ class Catalog:
             index = TableIndex(definition, table.schema, self.pages,
                                file_id)
             table.attach_index(index, populate=True)
+            rebuilt += 1
         self.bump_ddl_version()
-        return len(self.index_defs)
+        return rebuilt
 
     def drop_index(self, index_name: str) -> None:
         definition = self.index_defs.pop(index_name, None)

@@ -39,8 +39,10 @@ from repro.errors import (
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, MemoryDevice
 from repro.storage.file_manager import DiskManager, FileManager
+from repro.storage.integrity import QuarantineRegistry
 from repro.storage.page_manager import PageManager
 from repro.storage.recovery import RecoveryManager
+from repro.storage.scrub import ScrubManager
 from repro.storage.vacuum import VacuumManager
 from repro.storage.wal import WriteAheadLog
 
@@ -97,6 +99,7 @@ class Database:
                  latched_lock_timeout_s: float = _LATCHED_LOCK_TIMEOUT_S,
                  vacuum_threshold: int = 256,
                  vacuum_interval_s: Optional[float] = None,
+                 scrub_interval_s: Optional[float] = None,
                  plan_cache_size: int = 128) -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
@@ -124,13 +127,16 @@ class Database:
         # log), so redo/undo rebuild the heap pages first and the catalog
         # then loads the recovered state.
         self.last_recovery: Optional[dict] = None
+        self.integrity = QuarantineRegistry()
         if auto_recover and self.wal is not None \
                 and self.wal.size_bytes() > 0 \
                 and self.device.num_blocks() > 0:
             self.last_recovery = RecoveryManager(self.wal,
                                                  self.files).recover()
+            self._absorb_recovery_integrity(self.last_recovery)
         self.pool = BufferPool(self.files, capacity=buffer_capacity,
-                               policy=replacement_policy, wal=self.wal)
+                               policy=replacement_policy, wal=self.wal,
+                               integrity=self.integrity)
         self.pages = PageManager(self.pool)
         self.catalog = Catalog(
             self.pages,
@@ -147,6 +153,18 @@ class Database:
             on_stats_change=lambda name:
                 self.catalog.bump_stats_version(name))
         self.vacuum_manager.start()
+        self.scrub_manager = ScrubManager(
+            lambda: self.catalog.tables, self.transactions, self.pool,
+            self.integrity,
+            lambda name: self.catalog.rebuild_indexes(name),
+            interval_s=scrub_interval_s)
+        self.scrub_manager.start()
+        # ENOSPC backpressure: a commit refused because the WAL device
+        # is full triggers the staged relief below.  Failures are
+        # swallowed by the hook caller: relief that cannot complete
+        # leaves the engine degraded but unwedged (commits keep erroring
+        # cleanly, reads keep working).
+        self.transactions.on_wal_full = self._relieve_wal_pressure
         # Statement cache: normalized-text fingerprints plus reusable
         # plan templates.  ``plan_cache_size=0`` disables the cached
         # path entirely (every statement parses and plans from scratch).
@@ -322,6 +340,10 @@ class Database:
                 self.catalog.table(statement.table)  # raise on unknown
             summary = self.vacuum(statement.table)
             return ExecutionResult("vacuum", summary["versions"])
+        if isinstance(statement, ast.Scrub):
+            summary = self.scrub(statement.table)
+            return ExecutionResult("scrub", summary["pages_salvaged"]
+                                   + summary["pages_repaired"])
         if isinstance(statement, ast.Insert):
             return self._insert(statement, params)
         if isinstance(statement, ast.Update):
@@ -400,6 +422,7 @@ class Database:
                 "cannot recover with active transactions")
         self.pool.drop_all(flush=False)
         summary = RecoveryManager(self.wal, self.files).recover()
+        self._absorb_recovery_integrity(summary)
         self.catalog = Catalog(
             self.pages,
             default_versioned=self.isolation in ("snapshot",
@@ -415,12 +438,26 @@ class Database:
         self.checkpoint()
         return summary
 
-    # -- vacuum -------------------------------------------------------------------------
+    def _absorb_recovery_integrity(self, summary: dict) -> None:
+        """Carry a recovery run's page verdicts into the quarantine
+        registry: rebuilt pages are healthy again, unrecoverable ones
+        stay quarantined until a scrub salvages them."""
+        for file_id, page_no in summary.get("rebuilt_pages", ()):
+            self.integrity.clear(file_id, page_no)
+        for file_id, page_no in summary.get("quarantined_pages", ()):
+            self.integrity.quarantine(file_id, page_no)
+
+    # -- vacuum / scrub -----------------------------------------------------------------
 
     def vacuum(self, table: Optional[str] = None) -> dict:
         """Prune row versions no live snapshot can see (the SQL
         ``VACUUM`` statement's engine)."""
         return self.vacuum_manager.run(table)
+
+    def scrub(self, table: Optional[str] = None) -> dict:
+        """Verify page checksums and repair/salvage corruption (the SQL
+        ``SCRUB`` statement's engine)."""
+        return self.scrub_manager.run(table)
 
     def _maybe_autovacuum(self, table_name: str) -> None:
         """Threshold-triggered vacuum after a mutating statement commits
@@ -903,12 +940,61 @@ class Database:
                     redo_lsn=min([bound, *dirty.values()]))
                 self.wal.flush()
 
+    def _relieve_wal_pressure(self) -> None:
+        """Drain a full WAL device so the next commit can proceed.
+
+        A naive full checkpoint deadlocks here: flushing a page requires
+        its covering log records durable first (WAL-before-data), and
+        the full device cannot take another byte.  The staged order
+        breaks the cycle:
+
+        1. Write back every dirty page already covered by the *durable*
+           log — no WAL flush needed.  The disk then holds every
+           durably-logged change.
+        2. With no live transaction and no loser, the log is redundant:
+           truncate it.  Any unflushable buffered tail belongs to
+           finished transactions (the refused commit's rollback) whose
+           pages were never written back — discarding it loses nothing.
+        3. A normal full checkpoint flushes the remaining pages (their
+           stamps now trail the reset log) and the metadata.
+        """
+        if self.wal is None:
+            return
+        for page in self.pool.iter_resident():
+            if page.dirty and page.lsn <= self.wal.flushed_lsn:
+                self.pool.flush_page(page.page_id)
+        # The data device must be durable BEFORE the log is discarded —
+        # a crash between the two would otherwise revert the pages with
+        # no log left to redo them.
+        self.files.disk.flush()
+        if self.transactions.active or self.wal.has_losers():
+            return
+        self.wal.truncate()
+        self.checkpoint(full=True)
+
     def close(self) -> None:
+        self.scrub_manager.stop()
         self.vacuum_manager.stop()
         self.checkpoint()
         self.device.close()
 
     # -- introspection ----------------------------------------------------------------------------
+
+    def _integrity_stats(self) -> dict:
+        """The quarantine registry's gauges plus the per-table view
+        (file ids mapped back to table names) and the WAL's torn-tail
+        counter — the operator's corruption dashboard."""
+        summary = self.integrity.stats()
+        per_table = {}
+        for name, table in self.catalog.tables.items():
+            pages = self.integrity.for_file(table.heap.file_id)
+            if pages:
+                per_table[name] = sorted(pages)
+        summary["by_table"] = per_table
+        if self.wal is not None:
+            summary["wal_truncated_tail_bytes"] = \
+                self.wal.truncated_tail_bytes
+        return summary
 
     def stats(self) -> dict:
         summary = {
@@ -925,6 +1011,8 @@ class Database:
             "snapshots": self.transactions.active_snapshots(),
             "lock_timeout_s": self.transactions.locks.timeout_s,
             "vacuum": self.vacuum_manager.stats(),
+            "integrity": self._integrity_stats(),
+            "scrub": self.scrub_manager.stats(),
             "statements": self.statements_executed,
             "plan_cache": self._plan_cache.stats(),
         }

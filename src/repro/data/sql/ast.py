@@ -234,6 +234,14 @@ class Vacuum:
 
 
 @dataclass(frozen=True)
+class Scrub:
+    """SCRUB [table]: verify page checksums and repair or salvage
+    corrupt pages (all tables when ``table`` is None)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Prepare:
     """``PREPARE name AS <statement>``: register a named prepared
     statement on the session's database."""
@@ -278,7 +286,8 @@ class RollbackTransaction:
 
 Statement = Union[CreateTable, CreateIndex, CreateView, DropStatement,
                   Insert, Update, Delete, SelectStatement, UnionSelect,
-                  Explain, Analyze, Vacuum, Prepare, ExecutePrepared,
+                  Explain, Analyze, Vacuum, Scrub, Prepare,
+                  ExecutePrepared,
                   Deallocate, BeginTransaction, CommitTransaction,
                   RollbackTransaction]
 

@@ -15,7 +15,7 @@ KEYWORDS = {
     "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "VIEW", "PRIMARY",
     "KEY", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "USING",
     "IF", "EXISTS", "COUNT", "SUM", "AVG", "MIN", "MAX",
-    "EXPLAIN", "UNION", "ALL", "ANALYZE", "VACUUM",
+    "EXPLAIN", "UNION", "ALL", "ANALYZE", "VACUUM", "SCRUB",
     "PREPARE", "EXECUTE", "DEALLOCATE",
 }
 

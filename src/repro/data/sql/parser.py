@@ -72,6 +72,9 @@ class Parser:
         if s.accept_keyword("VACUUM"):
             name = s.expect_ident() if s.peek().kind == "IDENT" else None
             return ast.Vacuum(name)
+        if s.accept_keyword("SCRUB"):
+            name = s.expect_ident() if s.peek().kind == "IDENT" else None
+            return ast.Scrub(name)
         if s.accept_keyword("PREPARE"):
             name = s.expect_ident()
             s.expect_keyword("AS")

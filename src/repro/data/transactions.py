@@ -55,8 +55,9 @@ from enum import Enum
 from typing import Callable, Optional
 
 from repro.access.heap_file import RID
-from repro.errors import (DeadlockError, SerializationError,
-                          TransactionError)
+from repro.errors import (CommitOutcomeUnknownError, DeadlockError,
+                          DiskError, SerializationError,
+                          TransactionError, WALError, WALFullError)
 from repro.faults.crashpoints import maybe_crash
 from repro.storage.page import PageId
 from repro.storage.wal import LogKind, WriteAheadLog
@@ -381,6 +382,11 @@ class Transaction:
         self._undo: list[Callable[[], None]] = []
         self.last_lsn = 0      # head of this txn's prev_lsn chain
         self.wrote = False     # logged at least one physical image
+        #: Upper bound on the WAL bytes a rollback of this txn would
+        #: append (CLRs + ABORT).  Commit refuses while the log can
+        #: still absorb this, so a WAL-full abort never wedges on its
+        #: own undo records.
+        self.undo_bytes = 0
         #: Fixed transaction-scoped read view (snapshot isolation); None
         #: for 2PL transactions, which read "latest committed" under
         #: their shared locks.
@@ -468,6 +474,7 @@ class Transaction:
                            prev_lsn=self.last_lsn)
         self.last_lsn = lsn
         self.wrote = True
+        self.undo_bytes += len(before) + len(after) + 96
         return lsn
 
     # -- outcome ------------------------------------------------------------------------
@@ -483,10 +490,39 @@ class Transaction:
             # rather than a wedged active one.
             self.abort()
             raise
+        except CommitOutcomeUnknownError:
+            # The COMMIT record exists but could not be forced; a later
+            # successful flush (or recovery) decides the outcome.  The
+            # transaction must not be rolled back — the commit may yet
+            # win — so it finishes engine-side while the caller learns
+            # the truth from the raised error.
+            self.state = TransactionState.COMMITTED
+            self._undo.clear()
+            raise
+        except WALFullError as exc:
+            # No COMMIT record exists: roll back cleanly, then apply
+            # backpressure (checkpoint + WAL truncation) so the log
+            # drains and the engine stays usable.
+            try:
+                self.abort()
+            finally:
+                self.manager._wal_backpressure()
+            raise TransactionError(
+                f"txn {self.txn_id} aborted: {exc}") from exc
         self.state = TransactionState.COMMITTED
         self._undo.clear()
 
     def abort(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            # Idempotent on finished transactions: error-cleanup paths
+            # (autocommit handlers, session teardown) may abort a
+            # transaction the commit path already rolled back — or one
+            # whose commit record was written before the error surfaced
+            # (CommitOutcomeUnknownError, post-commit maintenance).
+            # There is nothing left to roll back either way, and raising
+            # here would mask the original error with a protocol
+            # violation.
+            return
         self._check_active()
         self.manager._abort_begin(self)
         # Logical undo actions run newest-first; each one mutates pages
@@ -600,6 +636,12 @@ class TransactionManager:
         self.active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        #: Backpressure hook invoked (best-effort) after a commit is
+        #: refused because the WAL device is full; ``Database`` wires it
+        #: to a forced checkpoint + WAL truncation.
+        self.on_wal_full: Optional[Callable[[], None]] = None
+        self.indeterminate_commits = 0
+        self.wal_full_aborts = 0
 
     def begin(self) -> Transaction:
         with self._mutex:
@@ -674,17 +716,46 @@ class TransactionManager:
             self.ssi.prepare_commit(txn.txn_id)
         maybe_crash("txn.commit")
         if self.wal is not None and (txn.wrote or txn.last_lsn):
+            if txn.wrote and self.wal.would_overflow(128 + txn.undo_bytes):
+                # The log provably cannot take the COMMIT record plus —
+                # should this commit be refused — the rollback's CLRs.
+                # Refusing while the undo chain still fits keeps the
+                # abort clean AND flushable: its pages can then be
+                # written back, which is what lets the backpressure
+                # checkpoint truncate the log and drain the pressure.
+                self.wal_full_aborts += 1
+                raise WALFullError(
+                    f"WAL device full; refusing to commit txn "
+                    f"{txn.txn_id}")
             lsn = self.wal.append(txn.txn_id, LogKind.COMMIT,
                                   prev_lsn=txn.last_lsn)
             txn.last_lsn = lsn
             maybe_crash("txn.commit.logged")
             if txn.wrote:
                 # Read-only transactions skip the force entirely.
-                if self.group is not None:
-                    self.group.flush_upto(lsn)
-                else:
-                    self.wal.flush(upto_lsn=lsn)
+                try:
+                    if self.group is not None:
+                        self.group.flush_upto(lsn)
+                    else:
+                        self.wal.flush(upto_lsn=lsn)
+                except (DiskError, WALError) as exc:
+                    # The COMMIT record is appended but not durable.
+                    # Writing an ABORT now would risk a phantom commit
+                    # (crash after COMMIT flushes but before the
+                    # rollback does), so the outcome stays open: release
+                    # everything, leave the record buffered — the next
+                    # successful flush commits it, a crash first rolls
+                    # it back — and tell the caller the truth.
+                    self._finish_commit(txn)
+                    self.indeterminate_commits += 1
+                    raise CommitOutcomeUnknownError(
+                        f"txn {txn.txn_id}: COMMIT logged but the log "
+                        f"force failed ({exc}); outcome will be decided "
+                        f"by the next flush or by recovery") from exc
                 maybe_crash("txn.commit.flushed")
+        self._finish_commit(txn)
+
+    def _finish_commit(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)
         with self._mutex:
             self.active.pop(txn.txn_id, None)
@@ -694,6 +765,16 @@ class TransactionManager:
             # conflict with it); collection happens once the horizon
             # passes.
             self.ssi.on_commit(txn.txn_id)
+
+    def _wal_backpressure(self) -> None:
+        """Invoke the WAL-full backpressure hook, best-effort."""
+        hook = self.on_wal_full
+        if hook is None:
+            return
+        try:
+            hook()
+        except Exception:  # noqa: BLE001 — backpressure must not mask
+            pass           # the abort being reported to the caller
 
     def _abort_begin(self, txn: Transaction) -> None:
         maybe_crash("txn.abort")
@@ -709,7 +790,15 @@ class TransactionManager:
             if txn.wrote:
                 # Unclean aborts flush too: the loser's images (ABORT, no
                 # END) must be durable for recovery to repair them.
-                self.wal.flush()
+                try:
+                    self.wal.flush()
+                except (DiskError, WALError):
+                    # A log that cannot flush leaves the rollback
+                    # buffered: whatever of this txn reached disk has no
+                    # COMMIT/END, so recovery undoes it as a loser.
+                    # Holding locks hostage to a sick device would wedge
+                    # the engine, so the abort still completes.
+                    pass
         self.locks.release_all(txn.txn_id)
         with self._mutex:
             self.active.pop(txn.txn_id, None)
@@ -721,6 +810,8 @@ class TransactionManager:
         lock_stats = self.locks.stats()
         stats = {"active": len(self.active), "committed": self.committed,
                  "aborted": self.aborted,
+                 "indeterminate_commits": self.indeterminate_commits,
+                 "wal_full_aborts": self.wal_full_aborts,
                  "isolation": self.isolation,
                  "snapshots": self.active_snapshots(),
                  "deadlocks": lock_stats["deadlocks"],

@@ -54,6 +54,16 @@ class WALError(StorageError):
     """Write-ahead log corruption or protocol violation."""
 
 
+class WALFullError(WALError):
+    """The write-ahead log device is out of space.
+
+    Raised on the append/flush path when the underlying device reports
+    ``ENOSPC`` (:class:`DiskFullError`).  Transactions translate it into a
+    clean abort plus backpressure (checkpoint + WAL truncation) so the
+    engine stays usable while the log is full.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Access layer
 # ---------------------------------------------------------------------------
@@ -136,6 +146,17 @@ class SerializationError(TransactionError):
     non-serializable cycle; see :mod:`repro.data.ssi`).  Either way,
     retrying the whole transaction on a fresh snapshot is the standard
     client response.
+    """
+
+
+class CommitOutcomeUnknownError(TransactionError):
+    """A commit record was written but could not be forced to disk.
+
+    The transaction's COMMIT record sits in the WAL buffer: a later
+    successful flush (or group-commit leader) makes the commit durable,
+    while a crash before that point rolls it back during recovery.  The
+    client must treat the transaction outcome as indeterminate until it
+    re-reads the data.
     """
 
 

@@ -11,6 +11,11 @@ This module makes that controllable and deterministic:
 - :func:`disk_fault` — bad blocks / dead device at the storage substrate;
 - :class:`FaultCampaign` — a deterministic schedule of fault actions
   replayed against a kernel, step by step, with monitor sweeps between.
+
+Device-level injection is now expressed through the richer
+:mod:`repro.storage.faultdev` vocabulary (:class:`FaultSchedule` /
+:class:`FaultyDevice`); :func:`disk_fault` remains as the campaign-level
+shorthand, delegating to the shared schedule machinery.
 """
 
 from __future__ import annotations
@@ -22,8 +27,9 @@ from typing import Callable, Optional
 
 from repro.core.kernel import SBDMSKernel
 from repro.core.service import Service
-from repro.errors import DiskError, ServiceError
+from repro.errors import ServiceError
 from repro.storage.disk import BlockDevice
+from repro.storage.faultdev import FaultSchedule, install_hook
 
 
 def crash_service(service: Service,
@@ -94,16 +100,17 @@ class FlakyFault:
 
 def disk_fault(device: BlockDevice, bad_blocks: Optional[set[int]] = None,
                fail_all: bool = False) -> Callable[[], None]:
-    """Install a device fault; returns a remover callable."""
+    """Install a device fault; returns a remover callable.
 
-    def hook(op: str, block_no: int) -> None:
-        if fail_all:
-            raise DiskError(f"injected: device dead ({op})")
-        if bad_blocks and block_no in bad_blocks:
-            raise DiskError(f"injected: bad block {block_no} ({op})")
-
-    device.set_fault_hook(hook)
-    return lambda: device.set_fault_hook(None)
+    Thin front over :mod:`repro.storage.faultdev`: a dead device is
+    ``FaultSchedule.dead()``, bad blocks are per-block always-on EIO
+    specs — the same specs a :class:`FaultyDevice` torture run uses.
+    """
+    if fail_all:
+        schedule = FaultSchedule.dead()
+    else:
+        schedule = FaultSchedule.bad_blocks(bad_blocks or ())
+    return install_hook(device, schedule)
 
 
 @dataclass

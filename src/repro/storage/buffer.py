@@ -24,10 +24,12 @@ from typing import Iterator, Optional, Protocol
 from repro.errors import (
     BufferPoolError,
     BufferPoolFullError,
+    ChecksumError,
     PageNotPinnedError,
 )
 from repro.faults.crashpoints import maybe_crash
 from repro.storage.file_manager import FileManager
+from repro.storage.integrity import QuarantineRegistry, retry_io
 from repro.storage.page import Page, PageId
 
 
@@ -232,7 +234,8 @@ class BufferPool:
 
     def __init__(self, file_manager: FileManager, capacity: int = 64,
                  policy: str | ReplacementPolicy = "lru",
-                 wal: Optional["WriteAheadLog"] = None) -> None:
+                 wal: Optional["WriteAheadLog"] = None,
+                 integrity: Optional[QuarantineRegistry] = None) -> None:
         if capacity <= 0:
             raise BufferPoolError("capacity must be positive")
         self.files = file_manager
@@ -240,6 +243,11 @@ class BufferPool:
         self.policy: ReplacementPolicy = (
             make_policy(policy) if isinstance(policy, str) else policy)
         self.wal = wal
+        # Quarantine registry (optional): fetch() records pages that fail
+        # checksum verification persistently, so scans can degrade around
+        # them and the scrubber can repair them, instead of the table
+        # becoming unreadable forever.
+        self.integrity = integrity
         self.stats = BufferStats()
         self._frames: dict[PageId, Page] = {}
         self._lock = threading.RLock()
@@ -292,12 +300,31 @@ class BufferPool:
             else:
                 self.stats.misses += 1
                 self._ensure_frame_available()
-                block = self.files.read_page(page_id)
-                page = Page.from_block(page_id, block)
+                page = self._read_page(page_id)
                 self._frames[page_id] = page
                 self.policy.admit(page_id)
             page.pin_count += 1
             return page
+
+    def _read_page(self, page_id: PageId) -> Page:
+        """Read and verify a page with bounded retry.
+
+        Transient device errors *and* checksum failures are retried (a
+        re-read heals transient read-path corruption such as a one-off
+        bit flip on the bus); a persistent :class:`ChecksumError`
+        quarantines the page before propagating, so the first touch of a
+        corrupt page is a clean statement error and later scans degrade
+        around it."""
+        def read_and_verify() -> Page:
+            block = self.files.read_page(page_id)
+            return Page.from_block(page_id, block)
+
+        try:
+            return retry_io(read_and_verify, retry_checksum=True)
+        except ChecksumError:
+            if self.integrity is not None:
+                self.integrity.quarantine(page_id.file_id, page_id.page_no)
+            raise
 
     def new_page(self, file_id: int) -> Page:
         """Allocate a fresh page at the tail of ``file_id`` and pin it."""
@@ -380,7 +407,11 @@ class BufferPool:
                 # last logged change is forced, not the whole buffer.
                 self.wal.flush(upto_lsn=page.lsn)
             maybe_crash("buffer.writeback")
-            self.files.write_page(page.page_id, page.to_block())
+            block = page.to_block()
+            # Bounded retry: page writes are idempotent.  On final
+            # failure the page stays dirty (and resident, for eviction
+            # callers) so no acknowledged data is silently dropped.
+            retry_io(lambda: self.files.write_page(page.page_id, block))
             page.dirty = False
             page.rec_lsn = None
             self.stats.dirty_writebacks += 1
@@ -392,10 +423,31 @@ class BufferPool:
         if victim_id is None:
             raise BufferPoolFullError(
                 f"all {self.capacity} frames are pinned")
-        victim = self._frames.pop(victim_id)
+        # Write back *before* removing the frame: if the device write
+        # fails, the dirty victim must stay resident or its latest
+        # (possibly committed) contents would be lost with it.
+        victim = self._frames[victim_id]
         self._write_back(victim)
+        del self._frames[victim_id]
         self.policy.evict(victim_id)
         self.stats.evictions += 1
+
+    def discard_page(self, page_id: PageId) -> None:
+        """Drop a resident frame without writing it back.
+
+        Used by the scrubber after it rewrites a page image directly on
+        disk: the stale in-memory copy must not shadow (or later
+        clobber) the repaired block.  Discarding a pinned page is a
+        caller bug."""
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is None:
+                return
+            if page.pin_count > 0:
+                raise BufferPoolError(
+                    f"cannot discard pinned page {page_id}")
+            del self._frames[page_id]
+            self.policy.evict(page_id)
 
     def iter_resident(self) -> Iterator[Page]:
         return iter(list(self._frames.values()))

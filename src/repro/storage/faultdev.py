@@ -1,0 +1,324 @@
+"""Deterministic I/O fault injection at the block-device boundary.
+
+The paper's thesis is an architecture that stays useful when services
+become "missing or erroneous".  :class:`FaultyDevice` makes the storage
+substrate erroneous on demand: it decorates any :class:`BlockDevice` and
+injects seeded, replayable faults scheduled by *operation count*, so a
+failing torture-test seed reproduces the exact same fault sequence every
+run.
+
+Fault taxonomy (``FaultSpec.kind``):
+
+``eio``
+    The operation raises :class:`~repro.errors.DiskError` and has no
+    effect — a transient or persistent medium error.
+``enospc``
+    A write raises :class:`~repro.errors.DiskFullError` — the device is
+    out of space.
+``torn``
+    A write persists only a prefix of the new data (the suffix keeps the
+    block's previous contents — sector-atomicity model) and then raises
+    :class:`~repro.errors.DiskError`.  The page CRC catches the tear on
+    the next read.
+``fsync_lie``
+    A flush *acknowledges* without making anything durable: writes since
+    the previous honest flush are still lost if the device crashes.
+``bitrot``
+    A read returns data with one seeded bit flipped.  With
+    ``persist=True`` the corruption is also written back, modelling
+    latent sector rot instead of a transient bus error.
+
+Durability model: the device keeps a *shadow* of every block's content
+as of the last honest flush.  :meth:`FaultyDevice.crash` rolls the inner
+device back to that shadow — exactly the data an fsync-respecting medium
+would guarantee — so crash tests can distinguish "acknowledged" from
+"durable".  ``durable_write_ops`` records the write-operation count at
+the last honest flush; a writer that saw its flush return *and* whose
+writes happened at or before that mark can assert its data survives.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DiskError, DiskFullError
+from repro.storage.disk import BlockDevice
+
+FAULT_KINDS = ("eio", "enospc", "torn", "fsync_lie", "bitrot")
+
+_OPS = ("read", "write", "flush", "any")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``op`` selects which operation stream the fault counts against
+    (``"read"``, ``"write"``, ``"flush"``, or ``"any"``); ``at`` is the
+    0-based operation index within that stream at which the fault fires
+    (``None`` = fire on every matching operation, optionally narrowed by
+    ``block``).  ``count`` fires the fault for that many consecutive
+    matching operations, modelling transient faults that heal after a
+    retry or persistent ones that never do.
+    """
+
+    op: str
+    kind: str
+    at: Optional[int] = None
+    count: int = 1
+    block: Optional[int] = None
+    persist: bool = False
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown fault op {self.op!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def matches(self, op: str, block_no: int, op_index: int,
+                any_index: int) -> bool:
+        if self.op not in (op, "any"):
+            return False
+        if self.block is not None and self.block != block_no:
+            return False
+        if self.at is None:
+            return True
+        index = any_index if self.op == "any" else op_index
+        return self.at <= index < self.at + self.count
+
+    def spent(self) -> bool:
+        return self.at is not None and self.fired >= self.count
+
+
+class FaultSchedule:
+    """A seeded, replayable set of :class:`FaultSpec` entries.
+
+    The schedule owns the RNG used for bit-rot placement and torn-write
+    cut points, so the same seed always corrupts the same bit of the
+    same block.  ``injected`` counts faults actually delivered.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (),
+                 seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.injected = 0
+        self.injected_by_kind: Dict[str, int] = {k: 0 for k in FAULT_KINDS}
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        self.specs.append(spec)
+        return self
+
+    def clear(self) -> None:
+        self.specs.clear()
+
+    def pick(self, op: str, block_no: int, op_index: int,
+             any_index: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.spent():
+                continue
+            if spec.matches(op, block_no, op_index, any_index):
+                spec.fired += 1
+                self.injected += 1
+                self.injected_by_kind[spec.kind] += 1
+                return spec
+        return None
+
+    # -- canned schedules ---------------------------------------------------
+
+    @classmethod
+    def dead(cls) -> "FaultSchedule":
+        """Every operation fails — a dead device."""
+        return cls([FaultSpec(op="any", kind="eio")])
+
+    @classmethod
+    def bad_blocks(cls, blocks: Iterable[int]) -> "FaultSchedule":
+        """Reads and writes of the listed blocks fail persistently."""
+        schedule = cls()
+        for block_no in blocks:
+            schedule.add(FaultSpec(op="read", kind="eio", block=block_no))
+            schedule.add(FaultSpec(op="write", kind="eio", block=block_no))
+        return schedule
+
+    @classmethod
+    def random_schedule(cls, seed: int, horizon: int = 400,
+                        faults: int = 4,
+                        kinds: Tuple[str, ...] = FAULT_KINDS,
+                        transient: bool = True) -> "FaultSchedule":
+        """Seeded random schedule over the first ``horizon`` operations.
+
+        With ``transient=True`` every fault heals after 1-3 operations, so
+        bounded retry can make progress; persistent schedules model media
+        that never recovers.
+        """
+        rng = random.Random(seed)
+        schedule = cls(seed=seed)
+        for _ in range(faults):
+            kind = rng.choice(kinds)
+            op = {"enospc": "write", "fsync_lie": "flush",
+                  "bitrot": "read", "torn": "write"}.get(kind, "any")
+            count = rng.randint(1, 3) if transient else horizon
+            schedule.add(FaultSpec(
+                op=op, kind=kind, at=rng.randrange(horizon), count=count,
+                persist=(kind == "bitrot" and rng.random() < 0.5)))
+        return schedule
+
+
+class FaultyDevice(BlockDevice):
+    """Decorator over a :class:`BlockDevice` that injects scheduled faults.
+
+    All physical storage stays in the inner device; this wrapper adds the
+    fault schedule, the last-honest-flush shadow used by :meth:`crash`,
+    and durability accounting.  Construct the engine over the wrapper and
+    drive the schedule from the test.
+    """
+
+    def __init__(self, inner: BlockDevice,
+                 schedule: Optional[FaultSchedule] = None) -> None:
+        super().__init__(inner.block_size, inner.capacity_blocks,
+                         inner.cost_model)
+        self.inner = inner
+        self.schedule = schedule or FaultSchedule()
+        # Per-op and global operation counters (faults schedule against
+        # these, so replaying the same workload replays the same faults).
+        self.ops: Dict[str, int] = {"read": 0, "write": 0, "flush": 0}
+        self.ops_total = 0
+        # block_no -> content at last honest flush; None = block did not
+        # exist then.  Only populated for blocks written since that flush.
+        self._shadow: Dict[int, Optional[bytes]] = {}
+        self.durable_write_ops = 0
+        self.crashes = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _next(self, op: str, block_no: int) -> Optional[FaultSpec]:
+        spec = self.schedule.pick(op, block_no, self.ops[op], self.ops_total)
+        self.ops[op] += 1
+        self.ops_total += 1
+        return spec
+
+    def _remember(self, block_no: int) -> None:
+        if block_no in self._shadow:
+            return
+        if block_no < self.inner.num_blocks():
+            self._shadow[block_no] = self.inner._read_block(block_no)
+        else:
+            self._shadow[block_no] = None
+
+    # -- BlockDevice hooks --------------------------------------------------
+
+    def num_blocks(self) -> int:
+        return self.inner.num_blocks()
+
+    def _read_block(self, block_no: int) -> bytes:
+        spec = self._next("read", block_no)
+        data = self.inner._read_block(block_no)
+        if spec is None:
+            return data
+        if spec.kind == "eio":
+            raise DiskError(f"injected EIO reading block {block_no}")
+        if spec.kind == "bitrot":
+            bit = self.schedule.rng.randrange(len(data) * 8)
+            rotted = bytearray(data)
+            rotted[bit // 8] ^= 1 << (bit % 8)
+            rotted = bytes(rotted)
+            if spec.persist:
+                self._remember(block_no)
+                self.inner._write_block(block_no, rotted)
+            return rotted
+        return data
+
+    def _write_block(self, block_no: int, data: bytes) -> None:
+        spec = self._next("write", block_no)
+        if spec is None:
+            self._remember(block_no)
+            self.inner._write_block(block_no, data)
+            return
+        if spec.kind == "eio":
+            raise DiskError(f"injected EIO writing block {block_no}")
+        if spec.kind == "enospc":
+            raise DiskFullError(
+                f"injected ENOSPC writing block {block_no}")
+        if spec.kind == "torn":
+            self._remember(block_no)
+            if block_no < self.inner.num_blocks():
+                old = self.inner._read_block(block_no)
+            else:
+                old = bytes(self.block_size)
+            cut = self.schedule.rng.randrange(1, self.block_size)
+            self.inner._write_block(block_no, data[:cut] + old[cut:])
+            raise DiskError(
+                f"injected torn write at block {block_no} (cut {cut})")
+        # Other kinds scheduled against "write" degrade to plain EIO.
+        raise DiskError(f"injected {spec.kind} fault writing {block_no}")
+
+    def _flush(self) -> None:
+        spec = self._next("flush", -1)
+        if spec is not None and spec.kind == "fsync_lie":
+            return  # acknowledge without durability
+        if spec is not None and spec.kind == "eio":
+            raise DiskError("injected EIO on flush")
+        self.inner._flush()
+        self._shadow.clear()
+        self.durable_write_ops = self.ops["write"]
+
+    # -- crash simulation ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop everything not durable: restore the last-honest-flush state.
+
+        Blocks written since the last honest flush revert to their shadow
+        content (zeroes if they did not exist), exactly what a power cut
+        would leave on an fsync-respecting medium.
+        """
+        with self._lock:
+            for block_no, before in self._shadow.items():
+                if before is None:
+                    before = bytes(self.block_size)
+                self.inner._write_block(block_no, before)
+            self._shadow.clear()
+            self.crashes += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                super().close()
+                self.inner.close()
+
+
+def install_hook(device: BlockDevice,
+                 schedule: FaultSchedule) -> Callable[[], None]:
+    """Drive a plain device's legacy fault hook from a :class:`FaultSchedule`.
+
+    Bridge for devices that were constructed without a
+    :class:`FaultyDevice` wrapper (the Figure-7 adaptation experiments):
+    only *erroring* fault kinds make sense here (``eio``/``enospc``) —
+    data-mutating kinds (torn, bitrot, fsync-lie) need the wrapper.
+    Returns a callable that removes the hook.
+    """
+    counters: Dict[str, int] = {"read": 0, "write": 0, "flush": 0}
+    state = {"total": 0}
+
+    def hook(op: str, block_no: int) -> None:
+        spec = schedule.pick(op, block_no, counters[op], state["total"])
+        counters[op] += 1
+        state["total"] += 1
+        if spec is None:
+            return
+        if spec.kind == "enospc":
+            raise DiskFullError(
+                f"injected ENOSPC at block {block_no} ({op})")
+        if spec.block is not None:
+            raise DiskError(f"injected: bad block {block_no} ({op})")
+        if spec.at is None:
+            raise DiskError(f"injected: device dead ({op})")
+        raise DiskError(
+            f"injected {spec.kind} fault at block {block_no} ({op})")
+
+    device.set_fault_hook(hook)
+    return lambda: device.set_fault_hook(None)

@@ -15,6 +15,7 @@ flush, and tests exercise crash/reopen cycles.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Iterable, Optional
 
 from repro.errors import DiskError, FileManagerError
@@ -37,27 +38,38 @@ class DiskManager:
         self.device = device
         self._free: list[int] = []
         self._next_fresh = max(1, device.num_blocks())
+        self._alloc_lock = threading.Lock()
 
     @property
     def free_blocks(self) -> tuple[int, ...]:
-        return tuple(self._free)
+        with self._alloc_lock:
+            return tuple(self._free)
 
     def allocate(self) -> int:
-        """Return a block number owned by the caller, zero-filled on disk."""
-        if self._free:
-            block_no = self._free.pop()
-        else:
-            block_no = self._next_fresh
-            self._next_fresh += 1
-        self.device.write_block(block_no, bytes(self.device.block_size))
-        return block_no
+        """Return a block number owned by the caller, zero-filled on disk.
+
+        Allocator state is committed only after the zero-fill write
+        succeeds: a device error here must not leak the block from the
+        free list or gap the fresh-block counter.  The lock covers the
+        write too, so concurrent allocators cannot claim the same
+        candidate block while one of them is mid-zero-fill."""
+        with self._alloc_lock:
+            block_no = self._free[-1] if self._free else self._next_fresh
+            self.device.write_block(block_no,
+                                    bytes(self.device.block_size))
+            if self._free:
+                self._free.pop()
+            else:
+                self._next_fresh += 1
+            return block_no
 
     def release(self, block_no: int) -> None:
         if block_no <= 0:
             raise DiskError(f"cannot release reserved block {block_no}")
-        if block_no in self._free:
-            raise DiskError(f"double free of block {block_no}")
-        self._free.append(block_no)
+        with self._alloc_lock:
+            if block_no in self._free:
+                raise DiskError(f"double free of block {block_no}")
+            self._free.append(block_no)
 
     def read(self, block_no: int) -> bytes:
         return self.device.read_block(block_no)

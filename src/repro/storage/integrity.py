@@ -1,0 +1,123 @@
+"""Integrity bookkeeping and transient-fault retry policy.
+
+Two small pieces shared by the containment layer:
+
+* :func:`retry_io` — bounded retry with exponential backoff for
+  *transient* device errors.  :class:`~repro.errors.DiskFullError` is
+  never retried (space does not reappear on its own) and
+  :class:`~repro.errors.InjectedCrashError` is not a ``DiskError`` so
+  crash-point injection is never swallowed here.
+
+* :class:`QuarantineRegistry` — the set of pages known to be corrupt.
+  A persistent :class:`~repro.errors.ChecksumError` quarantines the page
+  instead of failing its table forever: sequential scans skip
+  quarantined pages (degraded reads), ``Database.stats()["integrity"]``
+  exposes per-table gauges, and the scrubber / recovery repair pages and
+  clear their entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple, TypeVar
+
+from repro.errors import DiskError, DiskFullError
+
+T = TypeVar("T")
+
+#: Attempts made for a transiently failing device operation.
+RETRY_ATTEMPTS = 3
+#: Base backoff in seconds; attempt ``k`` sleeps ``BACKOFF_BASE * 2**k``.
+BACKOFF_BASE = 0.001
+
+
+def retry_io(operation: Callable[[], T], *,
+             attempts: int = RETRY_ATTEMPTS,
+             backoff: float = BACKOFF_BASE,
+             retry_checksum: bool = False) -> T:
+    """Run ``operation``, retrying transient :class:`DiskError` failures.
+
+    ``DiskFullError`` propagates immediately (retry cannot create space).
+    ``ChecksumError`` is a ``DiskError`` subclass but only retried when
+    ``retry_checksum`` is set — a re-read can heal transient read-path
+    corruption, while a deliberate verification pass must see it.
+    The final failure propagates unchanged.
+    """
+    from repro.errors import ChecksumError
+
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except DiskFullError:
+            raise
+        except ChecksumError:
+            if not retry_checksum:
+                raise
+            if attempt + 1 >= attempts:
+                raise
+        except DiskError:
+            if attempt + 1 >= attempts:
+                raise
+        if backoff:
+            time.sleep(backoff * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class QuarantineRegistry:
+    """Thread-safe registry of pages that failed checksum verification."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pages: Set[Tuple[int, int]] = set()
+        self.detected = 0
+        self.cleared = 0
+
+    def quarantine(self, file_id: int, page_no: int) -> bool:
+        """Record a corrupt page; returns True if newly quarantined."""
+        with self._lock:
+            key = (file_id, page_no)
+            if key in self._pages:
+                return False
+            self._pages.add(key)
+            self.detected += 1
+            return True
+
+    def clear(self, file_id: int, page_no: int) -> bool:
+        with self._lock:
+            try:
+                self._pages.remove((file_id, page_no))
+            except KeyError:
+                return False
+            self.cleared += 1
+            return True
+
+    def is_quarantined(self, file_id: int, page_no: int) -> bool:
+        with self._lock:
+            return (file_id, page_no) in self._pages
+
+    def for_file(self, file_id: int) -> Tuple[int, ...]:
+        """Page numbers quarantined within one file, sorted."""
+        with self._lock:
+            return tuple(sorted(p for f, p in self._pages if f == file_id))
+
+    def pages(self) -> Tuple[Tuple[int, int], ...]:
+        with self._lock:
+            return tuple(sorted(self._pages))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            per_file: Dict[int, int] = {}
+            for file_id, _ in self._pages:
+                per_file[file_id] = per_file.get(file_id, 0) + 1
+            return {
+                "quarantined_pages": len(self._pages),
+                "detected": self.detected,
+                "cleared": self.cleared,
+                "by_file": per_file,
+            }

@@ -57,8 +57,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.access.slotted_page import SlottedPage
-from repro.errors import PageLayoutError
+from repro.errors import ChecksumError, PageLayoutError
 from repro.storage.file_manager import FileManager
+from repro.storage.integrity import retry_io
 from repro.storage.page import Page, PageId
 from repro.storage.wal import (
     OP_BYTES,
@@ -84,6 +85,16 @@ class RecoveryManager:
                  file_manager: Optional[FileManager]) -> None:
         self.wal = wal
         self.files = file_manager
+        # Corrupt-page handling (populated by :meth:`recover`): pages
+        # whose on-disk image failed its CRC are either *rebuilt* — the
+        # log holds their entire history, so redo replays them onto a
+        # zeroed image held in memory until the replay succeeds — or
+        # *quarantined* for the online scrubber.
+        self._first_update: dict[PageId, LogRecord] = {}
+        self._redo_lsn = 0
+        self._rebuild_allowed = False
+        self._rebuilding: dict[PageId, Page] = {}
+        self._quarantined: set[PageId] = set()
 
     # -- phases -----------------------------------------------------------------
 
@@ -139,6 +150,14 @@ class RecoveryManager:
         losers: set[int] = analysis["losers"]
         redo_lsn: int = analysis["redo_lsn"]
 
+        self._first_update = {}
+        for record in updates:
+            self._first_update.setdefault(record.page_id, record)
+        self._redo_lsn = redo_lsn
+        self._rebuilding = {}
+        self._quarantined = set()
+        self._rebuild_allowed = True
+
         redone = redo_skipped = redo_pruned = unknown = 0
         # -- redo: repeat history, conditionally -------------------------------
         for record in updates:
@@ -150,12 +169,24 @@ class RecoveryManager:
                 unknown += 1
                 continue
             if record.lsn > page.lsn:
-                self._apply(page, record.op, record.offset, record.after)
+                try:
+                    self._apply(page, record.op, record.offset,
+                                record.after)
+                except Exception:
+                    if record.page_id in self._rebuilding:
+                        # Structural replay failure: abandon the rebuild
+                        # and leave the page quarantined for the
+                        # scrubber instead of failing recovery.
+                        del self._rebuilding[record.page_id]
+                        self._quarantined.add(record.page_id)
+                        continue
+                    raise
                 page.lsn = record.lsn
                 self._store_page(page)
                 redone += 1
             else:
                 redo_skipped += 1
+        self._rebuild_allowed = False
 
         # -- undo: losers in reverse order, with CLR compensation -------------
         undone = clrs = 0
@@ -183,6 +214,11 @@ class RecoveryManager:
                             prev_lsn=undo_prev.get(txn, 0))
         if losers:
             self.wal.flush()
+        # Rebuilt pages replayed their whole history cleanly: write them
+        # out now (a failed rebuild never reaches the device, so a
+        # quarantined page cannot masquerade as healthy).
+        for page in self._rebuilding.values():
+            self.files.write_page(page.page_id, page.to_block())
         if self.files is not None:
             self.files.disk.flush()
         return {
@@ -194,6 +230,10 @@ class RecoveryManager:
             "unknown_pages": unknown,
             "committed": sorted(committed),
             "losers": sorted(losers),
+            "rebuilt_pages": sorted(
+                (p.file_id, p.page_no) for p in self._rebuilding),
+            "quarantined_pages": sorted(
+                (p.file_id, p.page_no) for p in self._quarantined),
         }
 
     # -- record application ------------------------------------------------------
@@ -276,17 +316,40 @@ class RecoveryManager:
         """Read a page for recovery, re-allocating tail pages whose
         allocation never reached the durable file metadata.  Returns
         ``None`` when the file itself is unknown (its creation was never
-        checkpointed — nothing to recover into)."""
+        checkpointed — nothing to recover into) or the page is corrupt
+        and not rebuildable from the log."""
         fid = page_id.file_id
         try:
             size = self.files.file_size_pages(fid)
         except Exception:
             return None
+        rebuilt = self._rebuilding.get(page_id)
+        if rebuilt is not None:
+            return rebuilt
+        if page_id in self._quarantined:
+            return None
         while size <= page_id.page_no:
             self.files.allocate_page(fid)
             size += 1
-        return Page.from_block(page_id, self.files.read_page(page_id),
-                               verify=False)
+        block = retry_io(lambda: self.files.read_page(page_id))
+        try:
+            return Page.from_block(page_id, block)
+        except ChecksumError:
+            first = self._first_update.get(page_id)
+            if (self._rebuild_allowed and first is not None
+                    and first.lsn >= self._redo_lsn
+                    and first.op in (OP_HEAP_INSERT, OP_VERSION_CREATE)
+                    and first.offset == 0):
+                # Birth signature: the page's earliest log record is the
+                # slot-0 insert that formatted it, so its entire history
+                # is in the redo range — replay onto a zeroed image.
+                page = Page(page_id, self.files.disk.device.block_size)
+                self._rebuilding[page_id] = page
+                return page
+            self._quarantined.add(page_id)
+            return None
 
     def _store_page(self, page: Page) -> None:
+        if page.page_id in self._rebuilding:
+            return  # deferred until the whole rebuild replays cleanly
         self.files.write_page(page.page_id, page.to_block())

@@ -53,9 +53,10 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, Optional
 
-from repro.errors import WALError
+from repro.errors import DiskFullError, WALError, WALFullError
 from repro.faults.crashpoints import maybe_crash
 from repro.storage.disk import BlockDevice
+from repro.storage.integrity import retry_io
 from repro.storage.page import PageId
 
 
@@ -201,6 +202,9 @@ class WriteAheadLog:
         self._stream_cache: Optional[bytes] = None
         self._mutex = threading.Lock()       # buffer + counters
         self._flush_lock = threading.Lock()  # one flusher at a time
+        # Bytes discarded from the durable tail on reopen (torn flush or
+        # trailing garbage) — exposed as an integrity gauge.
+        self.truncated_tail_bytes = 0
         if device.num_blocks() > 0:
             self._recover_tail()
 
@@ -290,53 +294,87 @@ class WriteAheadLog:
                 if upto_lsn is None:
                     cut = len(self._buffer)
                     last_lsn = self._bounds[-1][0]
-                    self._bounds.clear()
                 else:
                     cut = 0
                     last_lsn = self._flushed_lsn
-                    while self._bounds and self._bounds[0][0] <= upto_lsn:
-                        lsn, nbytes = self._bounds.popleft()
+                    for lsn, nbytes in self._bounds:
+                        if lsn > upto_lsn:
+                            break
                         cut += nbytes
                         last_lsn = lsn
                     if cut == 0:
                         return
                 data = bytes(self._buffer[:cut])
-                del self._buffer[:cut]
                 stream_offset = self._durable_bytes
-                self._durable_bytes += cut
             # Device writes happen outside the buffer mutex so concurrent
             # committers can keep appending (group commit batches them
             # into the next flush); _flush_lock serialises flushers.
-            block_size = self.device.block_size
-            first_block = 1 + stream_offset // block_size
-            pad_before = stream_offset % block_size
-            if pad_before:
-                # Re-read the partially filled tail block and extend it.
-                tail = bytearray(self.device.read_block(first_block))
-                tail[pad_before:pad_before + len(data)] = \
-                    data[:block_size - pad_before]
-                self.device.write_block(first_block, bytes(tail[:block_size]))
-                data = data[block_size - pad_before:]
-                first_block += 1
-            block_no = first_block
-            while data:
-                chunk = data[:block_size]
-                data = data[block_size:]
-                if len(chunk) < block_size:
-                    chunk = chunk + bytes(block_size - len(chunk))
-                self.device.write_block(block_no, chunk)
-                block_no += 1
-            # A crash here tears the flush: data blocks written, tail
-            # header still pointing at the old end-of-log — the records
-            # are invisible on reopen, as if the flush never happened.
-            maybe_crash("wal.flush.mid")
-            header = self._TAIL_HEADER.pack(stream_offset + cut,
-                                            last_lsn + 1)
-            self.device.write_block(0, header + bytes(block_size - len(header)))
-            self.device.flush()
+            # Buffer state is consumed only after the whole device
+            # sequence succeeds: a failed flush leaves the WAL exactly as
+            # it was (failure-atomic), so the caller can retry, abort the
+            # transaction, or apply backpressure.  The block rewrites are
+            # idempotent, so transient device errors get a bounded retry.
+            try:
+                retry_io(lambda: self._write_stream(
+                    stream_offset, data, last_lsn))
+            except DiskFullError as exc:
+                raise WALFullError(
+                    f"WAL device out of space: {exc}") from exc
             with self._mutex:
+                consumed = 0
+                while self._bounds and consumed < cut:
+                    consumed += self._bounds.popleft()[1]
+                del self._buffer[:cut]
+                self._durable_bytes += cut
                 self._flushed_lsn = max(self._flushed_lsn, last_lsn)
                 self._stream_cache = None
+
+    def _write_stream(self, stream_offset: int, data: bytes,
+                      last_lsn: int) -> None:
+        """Write ``data`` at log-stream offset ``stream_offset``, then the
+        tail header, then fsync.  Idempotent: safe to rerun after any
+        partial failure."""
+        block_size = self.device.block_size
+        first_block = 1 + stream_offset // block_size
+        pad_before = stream_offset % block_size
+        total = stream_offset + len(data)
+        if pad_before:
+            # Re-read the partially filled tail block and extend it.
+            tail = bytearray(self.device.read_block(first_block))
+            tail[pad_before:pad_before + len(data)] = \
+                data[:block_size - pad_before]
+            self.device.write_block(first_block, bytes(tail[:block_size]))
+            data = data[block_size - pad_before:]
+            first_block += 1
+        block_no = first_block
+        while data:
+            chunk = data[:block_size]
+            data = data[block_size:]
+            if len(chunk) < block_size:
+                chunk = chunk + bytes(block_size - len(chunk))
+            self.device.write_block(block_no, chunk)
+            block_no += 1
+        # A crash here tears the flush: data blocks written, tail
+        # header still pointing at the old end-of-log — the records
+        # are invisible on reopen, as if the flush never happened.
+        maybe_crash("wal.flush.mid")
+        header = self._TAIL_HEADER.pack(total, last_lsn + 1)
+        self.device.write_block(
+            0, header + bytes(block_size - len(header)))
+        self.device.flush()
+
+    def would_overflow(self, extra_bytes: int = 0) -> bool:
+        """Would flushing the buffer plus ``extra_bytes`` more exceed the
+        device's capacity?  A cheap in-memory check the commit path uses
+        to refuse a commit *before* its COMMIT record exists, turning a
+        hard ENOSPC into a clean abort."""
+        capacity = self.device.capacity_blocks
+        if capacity is None:
+            return False
+        block_size = self.device.block_size
+        with self._mutex:
+            total = self._durable_bytes + len(self._buffer) + extra_bytes
+        return 1 + -(-total // block_size) > capacity
 
     # -- reading ------------------------------------------------------------------
 
@@ -372,14 +410,38 @@ class WriteAheadLog:
         return self._stream_cache
 
     def _recover_tail(self) -> None:
+        """Rebuild in-memory state from the on-disk log, defensively.
+
+        The header's byte count is a claim, not a guarantee: a torn flush
+        or trailing garbage can leave the tail undecodable.  Rather than
+        wedging the reopen, decoding stops at the last record boundary
+        that parses cleanly with strictly increasing LSNs; everything
+        after it is discarded (counted in ``truncated_tail_bytes``).  The
+        LSN floor keeps LSNs monotonic regardless."""
         header = self.device.read_block(0)
-        self._durable_bytes, lsn_floor = \
-            self._TAIL_HEADER.unpack_from(header, 0)
+        claimed, lsn_floor = self._TAIL_HEADER.unpack_from(header, 0)
+        block_size = self.device.block_size
+        available = max(0, self.device.num_blocks() - 1) * block_size
+        self._durable_bytes = min(claimed, available)
+        self.truncated_tail_bytes = max(0, claimed - available)
+        stream = self._durable_stream()
+        pos = 0
         max_lsn = 0
-        for record in self.records():
-            max_lsn = max(max_lsn, record.lsn)
+        while pos < len(stream):
+            try:
+                record, end = LogRecord.decode(stream, pos)
+            except (WALError, ValueError, struct.error):
+                break
+            if record.lsn <= max_lsn:
+                break  # LSNs are strictly increasing; this is garbage
+            max_lsn = record.lsn
+            pos = end
+        if pos < len(stream):
+            self.truncated_tail_bytes += len(stream) - pos
+            self._durable_bytes = pos
+            self._stream_cache = stream[:pos]
         self._next_lsn = max(max_lsn + 1, lsn_floor)
-        self._flushed_lsn = max(max_lsn, self._next_lsn - 1)
+        self._flushed_lsn = self._next_lsn - 1
 
     # -- recovery --------------------------------------------------------------
 
@@ -418,20 +480,30 @@ class WriteAheadLog:
         """Discard the log after a clean checkpoint (no active transactions
         and all data pages durable)."""
         with self._flush_lock, self._mutex:
+            header = self._TAIL_HEADER.pack(0, self._next_lsn)
+            block_size = self.device.block_size
+
+            def write_header() -> None:
+                if self.device.num_blocks() > 0:
+                    self.device.write_block(
+                        0, header + bytes(block_size - len(header)))
+                else:
+                    self.device.append_block(
+                        header + bytes(block_size - len(header)))
+                self.device.flush()
+
+            # Header first: if the device fails, in-memory state still
+            # matches the (old) on-disk log.
+            try:
+                retry_io(write_header)
+            except DiskFullError as exc:
+                raise WALFullError(
+                    f"WAL device out of space: {exc}") from exc
             self._buffer.clear()
             self._bounds.clear()
             self._durable_bytes = 0
             self._stream_cache = None
             self._flushed_lsn = self._next_lsn - 1
-            header = self._TAIL_HEADER.pack(0, self._next_lsn)
-            block_size = self.device.block_size
-            if self.device.num_blocks() > 0:
-                self.device.write_block(
-                    0, header + bytes(block_size - len(header)))
-            else:
-                self.device.append_block(
-                    header + bytes(block_size - len(header)))
-            self.device.flush()
 
     def size_bytes(self) -> int:
         return self._durable_bytes + len(self._buffer)
