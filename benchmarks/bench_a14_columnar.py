@@ -1,0 +1,207 @@
+"""A14 (HTAP) — what the columnar tier buys, and what it costs.
+
+The columnar mirror is a redundant copy of the heap: encoded per-column
+blocks with zone maps, populated by vacuum.  Two figures bound the
+trade:
+
+1. **Analytical speedup** — a filtered two-column aggregate over a wide
+   (9-column) table, heap engine (``columnar=False``) vs the columnar
+   scan, both under a live OLTP writer thread hammering a sibling
+   table.  Result equality is asserted before any timing; the gate is
+   >= 3x on the best-of-N round time, and the emitted JSON carries the
+   zone-map block-skip counters that explain the win.
+2. **Migrator overhead** — an identical OLTP mix (point updates, point
+   reads, pacing-driven vacuum) on a columnar-enabled and a
+   columnar-free database.  Mutation tracking, migration bookkeeping
+   and WAL-logged block installs ride the same workload; the gate is
+   <= 5% on the best-of-N round time.
+
+Reduced configuration for CI smoke runs: set ``A14_SMOKE=1``.
+"""
+
+import os
+import threading
+import time
+
+from conftest import emit_result, fmt_table, record
+from repro.columnar import BLOCK_ROWS
+from repro.data.database import Database
+
+SMOKE = os.environ.get("A14_SMOKE") == "1"
+WIDE_ROWS = 2 * BLOCK_ROWS if SMOKE else 3 * BLOCK_ROWS
+QUERIES = 3 if SMOKE else 5
+ROUNDS = 3 if SMOKE else 7
+OLTP_ROWS = 300 if SMOKE else 1200
+OLTP_OPS = 150 if SMOKE else 500
+OLTP_ROUNDS = 9 if SMOKE else 11
+MIN_SPEEDUP = 3.0
+MAX_OVERHEAD = 0.05
+
+ANALYTIC_SQL = ("SELECT SUM(c), AVG(d) FROM wide "
+                "WHERE b BETWEEN ? AND ?")
+
+
+def build_wide(columnar: bool) -> Database:
+    db = Database(columnar=columnar, mirror_min_rows=64,
+                  buffer_capacity=2048)
+    db.execute("CREATE TABLE wide (id INT PRIMARY KEY, a INT, b INT, "
+               "c INT, d FLOAT, e TEXT, f INT, g INT, h TEXT)")
+    rows = [(i, i % 97, i, i % 13, (i % 71) / 7.0, f"tag{i % 5}",
+             i % 3, i * 2, f"blob-{i % 17}") for i in range(WIDE_ROWS)]
+    for lo in range(0, WIDE_ROWS, 2000):
+        db.executemany(
+            "INSERT INTO wide VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows[lo:lo + 2000])
+    db.execute("CREATE TABLE side (id INT PRIMARY KEY, n INT)")
+    if columnar:
+        db.vacuum(aggressive=True)       # build the mirror
+    db.execute("ANALYZE")
+    return db
+
+
+def analytic_round(db: Database) -> list[tuple]:
+    out = []
+    for q in range(QUERIES):
+        lo = (q * 701) % (WIDE_ROWS // 2)
+        out.extend(db.query(ANALYTIC_SQL, (lo, lo + 500)))
+    return out
+
+
+def test_a14_analytic_speedup(benchmark):
+    col = build_wide(columnar=True)
+    heap = build_wide(columnar=False)
+    plan = col.execute("EXPLAIN " + ANALYTIC_SQL.replace("?", "0")).rows
+    assert ("store", "wide=columnar") in plan, plan
+
+    # Correctness before speed: bit-identical answers.
+    assert analytic_round(col) == analytic_round(heap)
+
+    stop = threading.Event()
+
+    def writer(db):
+        i = 0
+        while not stop.is_set():
+            db.execute("INSERT INTO side VALUES (?, ?)", (i, i))
+            db.execute("UPDATE side SET n = n + 1 WHERE id = ?", (i,))
+            i += 1
+
+    threads = [threading.Thread(target=writer, args=(db,))
+               for db in (col, heap)]
+    for t in threads:
+        t.start()
+    try:
+        col_times, heap_times = [], []
+        for _ in range(ROUNDS):          # interleave to decorrelate
+            start = time.perf_counter()
+            expect = analytic_round(heap)
+            heap_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            got = analytic_round(col)
+            col_times.append(time.perf_counter() - start)
+            assert got == expect
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    benchmark.pedantic(lambda: analytic_round(col), rounds=1)
+
+    best_col, best_heap = min(col_times), min(heap_times)
+    speedup = best_heap / best_col
+    stats = col.stats()["columnar"]
+    assert stats["blocks_skipped"] > 0   # zone maps earned their keep
+
+    record(benchmark, rows=WIDE_ROWS, queries_per_round=QUERIES,
+           rounds=ROUNDS, heap_round_ms=round(best_heap * 1e3, 2),
+           columnar_round_ms=round(best_col * 1e3, 2),
+           speedup=round(speedup, 2),
+           blocks_scanned=stats["blocks_scanned"],
+           blocks_skipped=stats["blocks_skipped"])
+    emit_result("a14_columnar", rows=WIDE_ROWS, smoke=SMOKE,
+                queries_per_round=QUERIES, rounds=ROUNDS,
+                heap_round_ms=round(best_heap * 1e3, 3),
+                columnar_round_ms=round(best_col * 1e3, 3),
+                speedup=round(speedup, 3),
+                blocks_scanned=stats["blocks_scanned"],
+                blocks_skipped=stats["blocks_skipped"],
+                mirror_rows=stats["mirror_rows"])
+    print("\n" + fmt_table(
+        ["store", "best round (ms)", "blocks scanned", "blocks skipped"],
+        [("heap seq scan", round(best_heap * 1e3, 2), "-", "-"),
+         ("columnar mirror", round(best_col * 1e3, 2),
+          stats["blocks_scanned"], stats["blocks_skipped"])]))
+    print(f"analytic speedup: {speedup:.2f}x  "
+          f"(gate: >= {MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"columnar scan is only {speedup:.2f}x the heap "
+        f"({best_heap * 1e3:.2f}ms vs {best_col * 1e3:.2f}ms)")
+
+
+def build_oltp(columnar: bool) -> Database:
+    # Auto pacing is disabled so the sweep cannot fire at a different
+    # point on each side and smear the comparison; every round runs
+    # vacuum explicitly instead, at the same place on both clocks.
+    db = Database(columnar=columnar, vacuum_threshold=10 ** 9,
+                  vacuum_min_dead=10 ** 9)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT, n INT)")
+    db.executemany("INSERT INTO t VALUES (?, ?, ?)",
+                   [(i, f"row{i}", i % 53) for i in range(OLTP_ROWS)])
+    return db
+
+
+def oltp_round(db: Database) -> list[tuple]:
+    """Point updates + reads, then a vacuum pass: the columnar side
+    pays for version migration and WAL-logged block installs on the
+    same clock the heap side pays for pruning alone."""
+    out = []
+    for i in range(OLTP_OPS):
+        key = (i * 31) % OLTP_ROWS
+        db.execute("UPDATE t SET n = n + 1 WHERE id = ?", (key,))
+        out.extend(db.query("SELECT v, n FROM t WHERE id = ?", (key,)))
+    out.extend(db.query("SELECT COUNT(*) FROM t"))
+    db.vacuum()
+    return out
+
+
+def test_a14_migrator_overhead(benchmark):
+    plain = build_oltp(columnar=False)
+    tiered = build_oltp(columnar=True)
+
+    assert oltp_round(plain) == oltp_round(tiered)
+
+    plain_times, tiered_times = [], []
+    for _ in range(OLTP_ROUNDS):
+        start = time.perf_counter()
+        expect = oltp_round(plain)
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        got = oltp_round(tiered)
+        tiered_times.append(time.perf_counter() - start)
+        assert got == expect
+    benchmark.pedantic(lambda: oltp_round(tiered), rounds=1)
+
+    best_plain, best_tiered = min(plain_times), min(tiered_times)
+    overhead = best_tiered / best_plain - 1.0
+    migrated = tiered.stats()["vacuum"]["versions_migrated"]
+    assert migrated > 0                  # the migrator was on-path
+
+    record(benchmark, rows=OLTP_ROWS, ops_per_round=OLTP_OPS,
+           rounds=OLTP_ROUNDS,
+           plain_round_ms=round(best_plain * 1e3, 2),
+           tiered_round_ms=round(best_tiered * 1e3, 2),
+           overhead_pct=round(overhead * 100, 2),
+           versions_migrated=migrated)
+    emit_result("a14_migrator", rows=OLTP_ROWS, smoke=SMOKE,
+                ops_per_round=OLTP_OPS, rounds=OLTP_ROUNDS,
+                plain_round_ms=round(best_plain * 1e3, 3),
+                tiered_round_ms=round(best_tiered * 1e3, 3),
+                overhead_pct=round(overhead * 100, 3),
+                versions_migrated=migrated)
+    print("\n" + fmt_table(
+        ["engine", "best round (ms)", "versions migrated"],
+        [("columnar=False", round(best_plain * 1e3, 2), "-"),
+         ("columnar=True", round(best_tiered * 1e3, 2), migrated)]))
+    print(f"migrator OLTP overhead: {overhead * 100:.2f}%  "
+          f"(gate: <= {MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead <= MAX_OVERHEAD, (
+        f"columnar tier costs {overhead * 100:.2f}% on the OLTP path "
+        f"({best_plain * 1e3:.2f}ms vs {best_tiered * 1e3:.2f}ms)")

@@ -34,9 +34,22 @@ def emit_result(name: str, **payload) -> pathlib.Path:
 
 
 def record(benchmark, **extra) -> None:
-    """Stash experiment findings into the benchmark record."""
+    """Stash experiment findings into the benchmark record.
+
+    When ``$BENCH_RESULTS_DIR`` is set (CI smoke steps), the findings
+    are also written to ``BENCH_<test-name>.json`` so every benchmark —
+    not just those with a curated :func:`emit_result` call — lands in
+    the merged ``trend.json`` trajectory artifact.
+    """
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+    if os.environ.get("BENCH_RESULTS_DIR"):
+        name = "".join(c if c.isalnum() or c in "._-" else "-"
+                       for c in benchmark.name.removeprefix("test_"))
+        try:
+            emit_result(name, **extra)
+        except TypeError:       # non-JSON finding: keep CI green
+            pass
 
 
 def fmt_table(headers: list[str], rows: list[tuple]) -> str:

@@ -1,0 +1,66 @@
+"""Merge per-benchmark ``BENCH_*.json`` files into one trend artifact.
+
+Each benchmark module writes its findings to ``BENCH_<name>.json`` via
+:func:`conftest.emit_result`; until now CI uploaded (at most) whatever
+single file the last step happened to produce.  This collector walks a
+results directory, folds every ``BENCH_*.json`` into a single
+``trend.json`` keyed by benchmark name, and stamps the build it came
+from — one artifact per CI run, so benchmark trajectories can be
+plotted across commits instead of being lost in job logs.
+
+Usage::
+
+    python benchmarks/trend.py [results-dir]    # default: bench-results
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+
+def collect(directory: pathlib.Path) -> dict:
+    benchmarks = {}
+    skipped = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            with open(path) as handle:
+                benchmarks[name] = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            skipped.append({"file": path.name, "error": str(exc)})
+    trend = {
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "ref": os.environ.get("GITHUB_REF_NAME", ""),
+        "run": os.environ.get("GITHUB_RUN_NUMBER", ""),
+        "count": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+    if skipped:
+        trend["skipped"] = skipped
+    return trend
+
+
+def main(argv: list[str]) -> int:
+    directory = pathlib.Path(argv[1] if len(argv) > 1 else "bench-results")
+    if not directory.is_dir():
+        print(f"trend: no results directory {directory}, nothing to merge")
+        return 0
+    trend = collect(directory)
+    out = directory / "trend.json"
+    with open(out, "w") as handle:
+        json.dump(trend, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"trend: merged {trend['count']} benchmark result(s) "
+          f"into {out}")
+    for name in sorted(trend["benchmarks"]):
+        print(f"  - {name}")
+    for skip in trend.get("skipped", []):
+        print(f"  ! skipped {skip['file']}: {skip['error']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

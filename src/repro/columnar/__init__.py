@@ -1,0 +1,12 @@
+"""HTAP columnar tier: compressed column blocks, zone maps, and the
+vacuum-fed history store behind ``AS OF`` time travel."""
+
+from repro.columnar.encoding import EncodedColumn, ZoneMap
+from repro.columnar.store import (
+    BLOCK_ROWS,
+    ColumnarStore,
+    PUSHABLE_OPS,
+)
+
+__all__ = ["BLOCK_ROWS", "ColumnarStore", "EncodedColumn",
+           "PUSHABLE_OPS", "ZoneMap"]

@@ -22,6 +22,7 @@ import struct
 from typing import Optional
 
 from repro.access.heap_file import HeapFile
+from repro.columnar import ColumnarStore
 from repro.data.schema import Schema
 from repro.data.sql.stats import TableStats, collect_table_stats
 from repro.data.table import IndexDef, Table, TableIndex
@@ -41,12 +42,19 @@ def _index_file(name: str) -> str:
     return f"idx_{name}"
 
 
+def _columnar_file(name: str) -> str:
+    return f"col_{name}"
+
+
 class Catalog:
     """Names → physical objects, persisted in the storage stack itself."""
 
     def __init__(self, pages: PageManager,
-                 default_versioned: bool = False) -> None:
+                 default_versioned: bool = False,
+                 columnar: bool = True) -> None:
         self.pages = pages
+        #: Whether versioned tables get a columnar sibling store.
+        self.columnar = columnar
         self.tables: dict[str, Table] = {}
         self.views: dict[str, str] = {}        # name -> SQL text
         self.index_defs: dict[str, IndexDef] = {}
@@ -103,12 +111,38 @@ class Catalog:
                       versioned=self.default_versioned
                       if versioned is None else versioned)
         table.txns = self._txns
+        self._attach_columnar(table)
         self.tables[name] = table
         pk = schema.primary_key
         if pk is not None:
             self.create_index(f"pk_{name}", name, (pk.name,), unique=True)
         self.bump_ddl_version()
         return table
+
+    def _attach_columnar(self, table: Table,
+                         existing_heap: Optional[HeapFile] = None) -> None:
+        """Give a versioned table its columnar sibling store.  The
+        ``col_<name>`` file is created here, on the DDL path — never
+        lazily from the vacuum thread, which would race concurrent DDL
+        on the file table.  Durability of the file-table entry is the
+        store's job: it checkpoints the metadata chain right before its
+        first WAL-logged install, after the catalog's own pages exist
+        (checkpointing here, at CREATE TABLE, would persist a zero-page
+        catalog file and recovery would reopen an empty database).
+        When the file already exists at reopen the caller passes the
+        opened heap so :meth:`ColumnarStore.load` can rediscover
+        committed blocks."""
+        if not self.columnar or not table.versioned:
+            return
+        heap = existing_heap
+        if heap is None:
+            files = self.pages.pool.files
+            file_id = files.ensure_file(_columnar_file(table.name))
+            heap = HeapFile(self.pages, file_id)
+        table.columnar = ColumnarStore(table.name, table.schema,
+                                       lambda: heap, heap,
+                                       metadata_durable=existing_heap
+                                       is not None)
 
     def table(self, name: str) -> Table:
         try:
@@ -127,6 +161,11 @@ class Catalog:
         self.pages.forget_file(table.heap.file_id)
         self._purge_file_frames(table.heap.file_id)
         files.delete_file(_table_file(name))
+        if files.has_file(_columnar_file(name)):
+            file_id = files.open_file(_columnar_file(name))
+            self.pages.forget_file(file_id)
+            self._purge_file_frames(file_id)
+            files.delete_file(_columnar_file(name))
         del self.tables[name]
         self.table_stats.pop(name, None)
         self.bump_ddl_version()
@@ -231,17 +270,21 @@ class Catalog:
     # -- persistence ---------------------------------------------------------------------
 
     def save(self) -> None:
+        # dict() copies are atomic under the GIL; iterating the live
+        # dicts here races concurrent DDL (a checkpoint from another
+        # thread would raise "dictionary changed size during iteration").
+        tables = dict(self.tables)
         blob = json.dumps({
             "tables": {
                 name: {"schema": table.schema.to_dict(),
                        "versioned": table.versioned}
-                for name, table in self.tables.items()},
+                for name, table in tables.items()},
             "indexes": {name: d.to_dict()
-                        for name, d in self.index_defs.items()},
+                        for name, d in dict(self.index_defs).items()},
             "views": dict(self.views),
             "stats": {name: s.to_dict()
-                      for name, s in self.table_stats.items()
-                      if name in self.tables},
+                      for name, s in dict(self.table_stats).items()
+                      if name in tables},
         }).encode()
         files = self.pages.pool.files
         file_id = files.open_file(_CATALOG_FILE)
@@ -295,6 +338,14 @@ class Catalog:
             # the largest version stamp, which floors the txn counter.
             table.row_count, max_xid = table.bootstrap_stats()
             self.max_seen_xid = max(self.max_seen_xid, max_xid)
+            col_heap = None
+            if self.columnar and table.versioned \
+                    and files.has_file(_columnar_file(name)):
+                col_heap = HeapFile(
+                    self.pages, files.open_file(_columnar_file(name)))
+            self._attach_columnar(table, col_heap)
+            if table.columnar is not None and col_heap is not None:
+                table.columnar.load((table.row_count, max_xid))
             self.tables[name] = table
         for name, idata in state["indexes"].items():
             definition = IndexDef.from_dict(idata)

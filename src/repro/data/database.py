@@ -99,8 +99,12 @@ class Database:
                  latched_lock_timeout_s: float = _LATCHED_LOCK_TIMEOUT_S,
                  vacuum_threshold: int = 256,
                  vacuum_interval_s: Optional[float] = None,
+                 vacuum_dead_fraction: float = 0.2,
+                 vacuum_min_dead: int = 128,
                  scrub_interval_s: Optional[float] = None,
-                 plan_cache_size: int = 128) -> None:
+                 plan_cache_size: int = 128,
+                 columnar: bool = True,
+                 mirror_min_rows: int = 256) -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
                 f"lock_granularity must be 'row' or 'table', "
@@ -115,6 +119,7 @@ class Database:
                 f"'2pl', not {isolation!r}")
         self.execution_engine = execution_engine
         self.isolation = isolation
+        self.columnar = columnar
         self.latched_lock_timeout_s = latched_lock_timeout_s
         self.device = device or MemoryDevice()
         self.files = FileManager(DiskManager(self.device))
@@ -140,7 +145,8 @@ class Database:
         self.pages = PageManager(self.pool)
         self.catalog = Catalog(
             self.pages,
-            default_versioned=isolation in ("snapshot", "serializable"))
+            default_versioned=isolation in ("snapshot", "serializable"),
+            columnar=columnar)
         self.transactions = TransactionManager(self.wal, lock_timeout_s,
                                                group_commit=group_commit,
                                                isolation=isolation)
@@ -151,7 +157,10 @@ class Database:
             lambda: self.catalog.tables, self.transactions,
             threshold=vacuum_threshold, interval_s=vacuum_interval_s,
             on_stats_change=lambda name:
-                self.catalog.bump_stats_version(name))
+                self.catalog.bump_stats_version(name),
+            dead_fraction=vacuum_dead_fraction,
+            min_dead=vacuum_min_dead,
+            mirror_min_rows=mirror_min_rows)
         self.vacuum_manager.start()
         self.scrub_manager = ScrubManager(
             lambda: self.catalog.tables, self.transactions, self.pool,
@@ -338,7 +347,7 @@ class Database:
         if isinstance(statement, ast.Vacuum):
             if statement.table is not None:
                 self.catalog.table(statement.table)  # raise on unknown
-            summary = self.vacuum(statement.table)
+            summary = self.vacuum(statement.table, aggressive=True)
             return ExecutionResult("vacuum", summary["versions"])
         if isinstance(statement, ast.Scrub):
             summary = self.scrub(statement.table)
@@ -426,7 +435,8 @@ class Database:
         self.catalog = Catalog(
             self.pages,
             default_versioned=self.isolation in ("snapshot",
-                                                 "serializable"))
+                                                 "serializable"),
+            columnar=self.columnar)
         self.transactions.advance_ids(self.catalog.max_seen_xid + 1)
         self.catalog.bind_transactions(self.transactions)
         self.catalog.rebuild_indexes()
@@ -449,10 +459,12 @@ class Database:
 
     # -- vacuum / scrub -----------------------------------------------------------------
 
-    def vacuum(self, table: Optional[str] = None) -> dict:
+    def vacuum(self, table: Optional[str] = None,
+               aggressive: bool = False) -> dict:
         """Prune row versions no live snapshot can see (the SQL
-        ``VACUUM`` statement's engine)."""
-        return self.vacuum_manager.run(table)
+        ``VACUUM`` statement's engine).  ``aggressive`` (what the SQL
+        statement passes) also forces a columnar mirror rebuild."""
+        return self.vacuum_manager.run(table, aggressive=aggressive)
 
     def scrub(self, table: Optional[str] = None) -> dict:
         """Verify page checksums and repair/salvage corruption (the SQL
@@ -491,7 +503,7 @@ class Database:
             # per-table counter compare is cheap).
             for name, table in list(self.catalog.tables.items()):
                 if table.versioned and \
-                        table.dead_versions >= self.vacuum_manager.threshold:
+                        self.vacuum_manager.should_trigger(table):
                     self.vacuum_manager.maybe(name)
         else:
             txn.abort()
@@ -599,7 +611,8 @@ class Database:
                      "update" if isinstance(query, ast.Update)
                      else "delete"),
                     ("isolation", self.isolation),
-                    ("access_path", plan.access_path)]
+                    ("access_path", plan.access_path),
+                    ("store", f"{query.table}=heap")]
             if plan.cost_based:
                 rows.append(("estimate",
                              f"{query.table}: rows={plan.est_rows} "
@@ -618,6 +631,7 @@ class Database:
         if info.fused:
             rows.append(("fused", "True"))
         rows.extend(("access_path", p) for p in info.access_paths)
+        rows.extend(("store", s) for s in info.stores)
         if info.cost_based:
             rows.extend(
                 ("estimate",
@@ -996,6 +1010,25 @@ class Database:
                 self.wal.truncated_tail_bytes
         return summary
 
+    def _columnar_stats(self) -> dict:
+        """Per-table columnar-store gauges plus engine-wide totals."""
+        tables = {}
+        totals = {"history_rows": 0, "mirror_rows": 0,
+                  "blocks_scanned": 0, "blocks_skipped": 0,
+                  "rows_migrated": 0, "mirror_rebuilds": 0}
+        for name, table in self.catalog.tables.items():
+            store = table.columnar
+            if store is None:
+                continue
+            report = store.stats()
+            report["mirror_valid"] = store.mirror_valid(table)
+            tables[name] = report
+            for key in totals:
+                totals[key] += report[key]
+        totals["enabled"] = self.columnar
+        totals["tables"] = tables
+        return totals
+
     def stats(self) -> dict:
         summary = {
             "catalog": self.catalog.stats(),
@@ -1011,6 +1044,7 @@ class Database:
             "snapshots": self.transactions.active_snapshots(),
             "lock_timeout_s": self.transactions.locks.timeout_s,
             "vacuum": self.vacuum_manager.stats(),
+            "columnar": self._columnar_stats(),
             "integrity": self._integrity_stats(),
             "scrub": self.scrub_manager.stats(),
             "statements": self.statements_executed,

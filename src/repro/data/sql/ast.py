@@ -161,6 +161,9 @@ class Delete:
 class TableRef:
     name: str
     alias: Optional[str] = None
+    #: ``AS OF <xid>`` time-travel bound: answer from the state the
+    #: named transaction observed as committed.
+    as_of: Optional[Expression] = None
 
     @property
     def binding(self) -> str:

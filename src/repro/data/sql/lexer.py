@@ -16,7 +16,7 @@ KEYWORDS = {
     "KEY", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "USING",
     "IF", "EXISTS", "COUNT", "SUM", "AVG", "MIN", "MAX",
     "EXPLAIN", "UNION", "ALL", "ANALYZE", "VACUUM", "SCRUB",
-    "PREPARE", "EXECUTE", "DEALLOCATE",
+    "PREPARE", "EXECUTE", "DEALLOCATE", "OF",
 }
 
 SYMBOLS = ("<>", "<=", ">=", "!=", "(", ")", ",", "*", "+", "-", "/",

@@ -158,6 +158,12 @@ class CostModel:
     def seq_scan(self, pages: int, rows: float) -> float:
         return pages * self.seq_page_cost + rows * self.cpu_tuple_cost
 
+    def columnar_scan(self, pages: int, rows: float) -> float:
+        """Scan of a table's columnar mirror: only zone-map-admitted
+        pages are read, and encoded evaluation (dictionary codes, runs)
+        is charged per *operation*, not per materialised tuple."""
+        return pages * self.seq_page_cost + rows * self.cpu_operator_cost
+
     def index_scan(self, pages: int, rows: float,
                    matching_rows: float) -> float:
         """An index probe plus one heap fetch per matching row."""
@@ -192,7 +198,7 @@ class CostModel:
 class ScanChoice:
     """The physical access path selected for one table reference."""
 
-    kind: str                  # seq | index_eq | index_range
+    kind: str                  # seq | index_eq | index_range | columnar
     path: str                  # explain string, e.g. "index_eq(t.id)"
     cost: float
     est_rows: float            # rows after ALL pushable filters
@@ -201,17 +207,24 @@ class ScanChoice:
     value: object = None
     low: object = None         # (value, inclusive) or None
     high: object = None
+    #: Columnar scans carry the pushable conjuncts: zone maps skip
+    #: blocks and encoded evaluation pre-filters rows with them.
+    specs: tuple = ()
 
 
 def choose_access_path(table, stats: TableStats,
                        specs: list[PredicateSpec],
-                       cost_model: CostModel) -> ScanChoice:
+                       cost_model: CostModel,
+                       columnar=None) -> ScanChoice:
     """Pick the cheapest access path for a base table.
 
     ``specs`` are the single-table conjuncts; each spec whose column has
-    a matching index generates an index candidate.  The estimated output
-    cardinality (used for join ordering) is the same for every candidate
-    — it reflects all filters — only the cost differs.
+    a matching index generates an index candidate, and a valid columnar
+    mirror (``columnar`` is the table's store when usable) generates a
+    columnar-scan candidate priced by its zone-map skipping estimate.
+    The estimated output cardinality (used for join ordering) is the
+    same for every candidate — it reflects all filters — only the cost
+    differs.
     """
     estimator = SelectivityEstimator(stats)
     rows = float(stats.row_count)
@@ -220,6 +233,13 @@ def choose_access_path(table, stats: TableStats,
 
     best = ScanChoice("seq", f"seq_scan({table.name})",
                       cost_model.seq_scan(pages, rows), out_rows)
+    if columnar is not None:
+        fraction, col_pages = columnar.admitted_fraction(specs)
+        cost = cost_model.columnar_scan(col_pages, rows * fraction)
+        if cost < best.cost:
+            best = ScanChoice("columnar",
+                              f"columnar_scan({table.name})",
+                              cost, out_rows, specs=tuple(specs))
     for spec in specs:
         selectivity = estimator.conjunct(spec)
         matching = rows * selectivity

@@ -198,12 +198,19 @@ class Parser:
     def table_ref(self) -> ast.TableRef:
         s = self.stream
         name = s.expect_ident()
+        as_of = None
+        if s.peek().kind == "KEYWORD" and s.peek().value == "AS" \
+                and s.peek(1).kind == "KEYWORD" \
+                and s.peek(1).value == "OF":
+            s.next()
+            s.next()
+            as_of = self.expression()
         alias = None
         if s.accept_keyword("AS"):
             alias = s.expect_ident()
         elif s.peek().kind == "IDENT":
             alias = s.expect_ident()
-        return ast.TableRef(name, alias)
+        return ast.TableRef(name, alias, as_of)
 
     def order_item(self) -> ast.OrderItem:
         expr = self.expression()

@@ -382,9 +382,14 @@ class SelectTemplate:
                 for ok, conjunct in zip(self.spec_ok, self.conjuncts)
                 if ok]
             cost_model = CostModel(buffer_pages=planner._buffer_pages())
-            choice = choose_access_path(table, stats, specs, cost_model)
+            choice = choose_access_path(
+                table, stats, specs, cost_model,
+                columnar=planner._columnar_candidate(table))
             source = planner._choice_source(table, self.binding, choice)
             info.access_paths.append(choice.path)
+            info.stores.append(
+                f"{self.binding}="
+                f"{'columnar' if choice.kind == 'columnar' else 'heap'}")
             info.estimates.append({
                 "table": self.table_name, "binding": self.binding,
                 "path": choice.path,
@@ -405,6 +410,7 @@ class SelectTemplate:
             if op_name == "=":
                 info.access_paths.append(
                     f"index_eq({table.name}.{column})")
+                info.stores.append(f"{self.binding}=heap")
                 return planner._index_source(table, columns, index,
                                              "eq", value)
             lo = hi = None
@@ -415,11 +421,13 @@ class SelectTemplate:
                 hi, hi_inc = (value,), op_name == "<="
             info.access_paths.append(
                 f"index_range({table.name}.{column})")
+            info.stores.append(f"{self.binding}=heap")
             return planner._index_source(table, columns, index, "range",
                                          lo=lo, hi=hi,
                                          lo_inclusive=lo_inc,
                                          hi_inclusive=hi_inc)
         info.access_paths.append(f"seq_scan({self.table_name})")
+        info.stores.append(f"{self.binding}=heap")
         snap = planner.snapshot
         return Source(columns, lambda: table.rows(snapshot=snap),
                       batch_factory=lambda: table.scan_batches(
@@ -589,6 +597,8 @@ def _build_select(select: ast.SelectStatement, db) -> SelectTemplate:
     if select.table is None or select.joins or select.group_by \
             or select.having is not None:
         raise _NotCacheable("shape")
+    if select.table.as_of is not None:
+        raise _NotCacheable("as_of")
     for item in select.items:
         for node in _walk_optional(
                 item.expression if not isinstance(item.expression,

@@ -46,6 +46,9 @@ from repro.access.operators import (
     Source,
     TopK,
 )
+from repro.access.batch import batches_from_rows
+from repro.columnar import PUSHABLE_OPS
+from repro.data.transactions import Snapshot
 from repro.data.sql import ast
 from repro.data.sql.compiler import (
     _like_to_regex,
@@ -313,6 +316,9 @@ class PlanInfo:
     top_k: bool = False
     fused: bool = False
     isolation: str = "2pl"
+    #: ``binding=heap|columnar|hybrid`` per planned table access path
+    #: (hybrid = AS OF merging the heap with migrated history).
+    stores: list[str] = field(default_factory=list)
     #: Statement-cache disposition ("hit" | "miss" | "bypass") when the
     #: statement went through `Database.execute`'s text path, else None.
     cached: Optional[str] = None
@@ -323,7 +329,8 @@ class PlanInfo:
                    "cost_based": self.cost_based,
                    "exec": self.exec_engine,
                    "isolation": self.isolation,
-                   "top_k": self.top_k, "fused": self.fused}
+                   "top_k": self.top_k, "fused": self.fused,
+                   "stores": self.stores}
         if self.cached is not None:
             summary["cached"] = self.cached
         if self.cost_based:
@@ -432,13 +439,25 @@ class Planner:
         binding = table_ref.binding
         if self.catalog.has_table(name):
             table = self.catalog.table(name)
+            if table_ref.as_of is not None:
+                return self._as_of_source(table_ref, table, params, info)
             self._lock_for_read(name, table)
             columns = [f"{binding}.{c}" for c in table.schema.names]
             source = self._indexed_source(table, binding, columns, where,
                                           params, info)
             if source is not None:
+                info.stores.append(f"{binding}=heap")
                 return source
+            store = self._columnar_candidate(table)
+            if store is not None:
+                specs = self._pushable_specs(table, binding, where,
+                                             params)
+                info.access_paths.append(f"columnar_scan({name})")
+                info.stores.append(f"{binding}=columnar")
+                return self._columnar_source(table, binding, store,
+                                             specs)
             info.access_paths.append(f"seq_scan({name})")
+            info.stores.append(f"{binding}=heap")
             snap = self.snapshot
             return Source(columns, lambda: table.rows(snapshot=snap),
                           batch_factory=lambda: table.scan_batches(
@@ -450,6 +469,7 @@ class Planner:
             inner, inner_info = self.plan(view_select, params)
             info.access_paths.extend(
                 f"view({name}):{p}" for p in inner_info.access_paths)
+            info.stores.extend(inner_info.stores)
             rows_factory = inner  # operators are re-iterable
             columns = [f"{binding}.{c}" for c in inner.columns]
             return Source(columns, lambda: iter(rows_factory),
@@ -557,6 +577,107 @@ class Planner:
                       lambda: table.read_many(rids(), snapshot=snap),
                       batch_factory=lambda: table.read_batches(
                           rids(), snapshot=snap))
+
+    # -- columnar sources --------------------------------------------------------
+
+    def _columnar_candidate(self, table):
+        """The table's columnar store when a mirror scan is legal right
+        now: never under serializable isolation (mirror scans register
+        no SIREADs, so SSI would lose its rw-dependency edges) and only
+        while the mirror epoch matches the heap."""
+        if self.isolation == "serializable":
+            return None
+        store = getattr(table, "columnar", None)
+        if store is None or not store.mirror_valid(table):
+            return None
+        return store
+
+    def _pushable_specs(self, table, binding: str,
+                        where: Optional[ast.Expression],
+                        params: Sequence[Any]) -> tuple:
+        """WHERE conjuncts of this binding the columnar scan can
+        evaluate on encoded data (zone-map skip + pre-decode filter).
+        The full residual predicate still runs above the source, so a
+        conjunct left out costs nothing but decode time."""
+        if where is None:
+            return ()
+        schemas = {binding: table.schema}
+        specs = []
+        for conjunct in _conjuncts(where):
+            spec = _predicate_spec(conjunct, binding, schemas, params)
+            if spec.column and spec.op in PUSHABLE_OPS:
+                specs.append(spec)
+        return tuple(specs)
+
+    def _columnar_source(self, table, binding: str, store,
+                         specs: tuple) -> Source:
+        """Leaf operator over the table's columnar mirror.
+
+        The decision to use the mirror re-runs at iteration time under
+        the store gate: if a write invalidated the mirror between plan
+        and execution, the source silently degrades to the heap scan —
+        both answer with exactly the statement snapshot's rows.  Block
+        loads happen under the gate (so a concurrent rebuild cannot
+        erase chunks mid-read); decode stays lazy per column."""
+        columns = [f"{binding}.{c}" for c in table.schema.names]
+        snap = self.snapshot
+
+        def batches():
+            with store.gate:
+                if store.mirror_valid(table):
+                    view = snap if snap is not None \
+                        else table.txns.latest_snapshot()
+                    return iter(list(store.mirror_batches(
+                        store.mirror, view, specs)))
+            return table.scan_batches(snapshot=snap)
+
+        def rows():
+            for batch in batches():
+                yield from batch.iter_rows()
+
+        return Source(columns, rows, batch_factory=batches)
+
+    def _as_of_source(self, table_ref: ast.TableRef, table,
+                      params: Sequence[Any], info: PlanInfo) -> Source:
+        """``FROM t AS OF <xid>``: the table as transaction ``xid`` saw
+        it — rows still in the heap merged with versions the vacuum
+        migrated into columnar history.  The read view is a detached
+        snapshot (``xid = 0``): it takes no locks and registers no
+        SIREADs, time travel is a pure visibility computation."""
+        name = table_ref.name
+        binding = table_ref.binding
+        if not getattr(table, "versioned", False):
+            raise SQLPlanError(
+                f"AS OF requires a versioned table: {name!r}")
+        bound = compile_expression(table_ref.as_of, Scope([]), params)(())
+        if not isinstance(bound, int) or isinstance(bound, bool) \
+                or bound < 0:
+            raise SQLPlanError(
+                f"AS OF bound must be a non-negative transaction id, "
+                f"got {bound!r}")
+        columns = [f"{binding}.{c}" for c in table.schema.names]
+        store = getattr(table, "columnar", None)
+
+        def rows():
+            # Committed-as-of view: sees x iff x <= bound and x is not
+            # still in flight.  Heap and history are disjoint (migration
+            # deletes from one and installs into the other inside one
+            # gate hold), so the union is exact; materialising eagerly
+            # under the gate keeps a concurrent migration from moving a
+            # version between the two mid-read.
+            view = Snapshot(0, bound + 1, frozenset(table.txns.active))
+            if store is None:
+                return iter(list(table.rows(snapshot=view)))
+            with store.gate:
+                merged = list(table.rows(snapshot=view))
+                merged.extend(store.history_rows(view))
+                return iter(merged)
+
+        info.access_paths.append(f"as_of_scan({name})")
+        info.stores.append(f"{binding}=hybrid")
+        return Source(columns, rows,
+                      batch_factory=lambda: batches_from_rows(
+                          rows(), len(columns)))
 
     # -- subqueries (uncorrelated) ---------------------------------------------------
 
@@ -726,6 +847,10 @@ class Planner:
         refs = [select.table] + [join.table for join in select.joins]
         if any(join.kind != "inner" for join in select.joins):
             return None
+        if any(ref.as_of is not None for ref in refs):
+            # Time travel reads a merged heap ∪ history view; only the
+            # rule-based hybrid source knows how to build it.
+            return None
         bindings: dict[str, Any] = {}
         all_stats = {}
         for ref in refs:
@@ -784,8 +909,9 @@ class Planner:
         for ref in refs:
             table = bindings[ref.binding]
             self._lock_for_read(ref.name, table)
-            choice = choose_access_path(table, all_stats[ref.binding],
-                                        specs[ref.binding], cost_model)
+            choice = choose_access_path(
+                table, all_stats[ref.binding], specs[ref.binding],
+                cost_model, columnar=self._columnar_candidate(table))
             source = self._choice_source(table, ref.binding, choice)
             # Apply the relation's own filters at the scan, so joins
             # see the cardinality the estimates were computed from
@@ -800,6 +926,9 @@ class Planner:
                                 batch_predicate=predicate.batch,
                                 rows_predicate=predicate.rows)
             info.access_paths.append(choice.path)
+            info.stores.append(
+                f"{ref.binding}="
+                f"{'columnar' if choice.kind == 'columnar' else 'heap'}")
             info.estimates.append({
                 "table": ref.name, "binding": ref.binding,
                 "path": choice.path,
@@ -862,6 +991,16 @@ class Planner:
             return Source(columns, lambda: table.rows(snapshot=snap),
                           batch_factory=lambda: table.scan_batches(
                               snapshot=snap))
+        if choice.kind == "columnar":
+            store = getattr(table, "columnar", None)
+            if store is None:    # race: tier disabled since costing
+                snap = self.snapshot
+                return Source(columns,
+                              lambda: table.rows(snapshot=snap),
+                              batch_factory=lambda: table.scan_batches(
+                                  snapshot=snap))
+            return self._columnar_source(table, binding, store,
+                                         choice.specs)
         index = table.index_on((choice.column,),
                                require_btree=choice.kind == "index_range")
         if choice.kind == "index_eq":

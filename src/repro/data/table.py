@@ -343,6 +343,16 @@ class Table:
         #: Superseded/deleted version stamps awaiting vacuum
         #: (approximate gauge driving the auto-vacuum threshold).
         self.dead_versions = 0
+        #: Heap mutation epoch: bumped (under the latch) by every write
+        #: and every abort-undo — anything that can change what a scan
+        #: yields.  The columnar mirror captures this counter at dump
+        #: time and answers scans only while it still matches; vacuum
+        #: surgery deliberately does *not* bump it, because pruning
+        #: below the horizon never changes any live view's result.
+        self.mutations = 0
+        #: Columnar sibling store (attached by the catalog for
+        #: versioned tables when the columnar tier is enabled).
+        self.columnar = None
         self.indexes: dict[str, TableIndex] = {}
         self.row_count = 0
         # Short-term latch serialising index maintenance + row counting:
@@ -500,6 +510,7 @@ class Table:
                 xid = txn.txn_id if txn is not None else 0
                 payload = pack_version(FLAG_HEAD, xid, 0) + payload
             rid = self.heap.insert(payload, txn=txn)
+            self.mutations += 1
             # The undo tracks how far the insert got: if lock_row (which
             # may hit a routine deadlock/timeout) or a crash point stops
             # us before index maintenance, the rollback must remove only
@@ -605,6 +616,7 @@ class Table:
                 self._remove_row(rid, txn)
             else:
                 self.heap.delete(rid, txn=txn)
+                self.mutations += 1
 
     def _remove_row(self, rid: RID, txn) -> tuple:
         """Physically remove a row: index entries + heap record.  The
@@ -621,6 +633,7 @@ class Table:
                 pass   # e.g. already unlinked by a dead-key takeover
         self.heap.delete(rid, txn=txn)
         self.row_count -= 1
+        self.mutations += 1
         return row
 
     def read(self, rid: RID, snapshot: Optional[Snapshot] = None) -> tuple:
@@ -668,6 +681,7 @@ class Table:
                              txn=txn, op=OP_VERSION_STAMP)
             self.row_count -= 1
             self.dead_versions += 1
+            self.mutations += 1
             txn.on_abort(lambda: self._undo_delete_stamp(rid, txn))
             # SSI check after the stamp is in place (see insert): a
             # raise aborts through the undo just registered.
@@ -681,6 +695,7 @@ class Table:
                              op=OP_VERSION_STAMP)
             self.row_count += 1
             self.dead_versions -= 1
+            self.mutations += 1
 
     def update(self, rid: RID, new_row: Sequence[Any], txn=None,
                lock_row=None) -> RID:
@@ -710,6 +725,7 @@ class Table:
                 # Maintenance rewrite: keep the existing header intact.
                 new_payload = old_payload[:HEADER_SIZE] + new_payload
             new_rid = self.heap.update(rid, new_payload, txn=txn)
+            self.mutations += 1
             progress = {"indexed": False}
             if txn is not None:
                 txn.on_abort(lambda: self._undo_update(
@@ -754,6 +770,7 @@ class Table:
         # undo registration, so a failure below (row-lock timeout,
         # index crash point) cannot drive it negative at abort.
         self.dead_versions += 1
+        self.mutations += 1
         # SSI check after the new head is in place (see insert): a
         # reader registering its SIREAD between a pre-install check and
         # the install would be invisible to both detection points.  A
@@ -843,6 +860,7 @@ class Table:
                     self._repoint_entries(rows, source, back_rid)
             self.heap.delete(copy_rid, txn=txn)
             self.dead_versions -= 1
+            self.mutations += 1
 
     def _undo_update(self, rid: RID, old_row: tuple, progress: dict,
                      txn) -> None:
@@ -857,6 +875,7 @@ class Table:
                 if self.versioned:
                     payload = self.heap.read(rid)[:HEADER_SIZE] + payload
                 back_rid = self.heap.update(rid, payload, txn=txn)
+                self.mutations += 1
                 for index in self.indexes.values():
                     index.insert(old_row, back_rid)
 

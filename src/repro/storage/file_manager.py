@@ -102,19 +102,25 @@ class FileManager:
         self._names: dict[str, int] = {}
         self._files: dict[int, list[int]] = {}
         self._next_file_id = 1
+        # File-table mutations and metadata checkpoints serialize here:
+        # DDL (create/drop) can race a checkpoint from another thread
+        # (vacuum persisting the table before WAL-logging into it), and
+        # json-serializing a dict another thread is resizing raises.
+        self._table_lock = threading.RLock()
         if disk.device.num_blocks() > 0:
             self._load_metadata()
 
     # -- file table -----------------------------------------------------------
 
     def create_file(self, name: str) -> int:
-        if name in self._names:
-            raise FileManagerError(f"file {name!r} already exists")
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        self._names[name] = file_id
-        self._files[file_id] = []
-        return file_id
+        with self._table_lock:
+            if name in self._names:
+                raise FileManagerError(f"file {name!r} already exists")
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            self._names[name] = file_id
+            self._files[file_id] = []
+            return file_id
 
     def open_file(self, name: str) -> int:
         try:
@@ -126,14 +132,17 @@ class FileManager:
         return name in self._names
 
     def ensure_file(self, name: str) -> int:
-        return self._names[name] if name in self._names else self.create_file(name)
+        with self._table_lock:
+            return self._names[name] if name in self._names \
+                else self.create_file(name)
 
     def delete_file(self, name: str) -> None:
-        file_id = self.open_file(name)
-        for block_no in self._files[file_id]:
-            self.disk.release(block_no)
-        del self._files[file_id]
-        del self._names[name]
+        with self._table_lock:
+            file_id = self.open_file(name)
+            for block_no in self._files[file_id]:
+                self.disk.release(block_no)
+            del self._files[file_id]
+            del self._names[name]
 
     def list_files(self) -> list[str]:
         return sorted(self._names)
@@ -187,35 +196,38 @@ class FileManager:
     def checkpoint_metadata(self) -> None:
         """Write the file table, free list, and allocator state to the
         metadata chain rooted at block 0."""
-        payload = json.dumps({
-            "names": self._names,
-            "files": {str(k): v for k, v in self._files.items()},
-            "next_file_id": self._next_file_id,
-            "disk": self.disk._state(),
-        }).encode()
-        device = self.disk.device
-        chunk_size = device.block_size - _HEADER_SIZE
-        chunks = [payload[i:i + chunk_size]
-                  for i in range(0, len(payload), chunk_size)] or [b""]
-        # Metadata continuation blocks come from the allocator like any other
-        # block; previously used continuation blocks are recycled first.
-        old_chain = self._metadata_chain_blocks()
-        needed = len(chunks) - 1
-        chain = old_chain[:needed]
-        while len(chain) < needed:
-            chain.append(self.disk.allocate())
-        for stale in old_chain[needed:]:
-            self.disk.release(stale)
-        block_nos = [0] + chain
-        for idx, chunk in enumerate(chunks):
-            next_block = block_nos[idx + 1] if idx + 1 < len(chunks) else _NO_NEXT
-            header = (_MAGIC + len(chunk).to_bytes(4, "little")
-                      + next_block.to_bytes(4, "little"))
-            block = header + chunk
-            block += bytes(device.block_size - len(block))
-            device.write_block(block_nos[idx], block)
-        device.flush()
-        self._metadata_blocks = chain
+        with self._table_lock:
+            payload = json.dumps({
+                "names": self._names,
+                "files": {str(k): v for k, v in self._files.items()},
+                "next_file_id": self._next_file_id,
+                "disk": self.disk._state(),
+            }).encode()
+            device = self.disk.device
+            chunk_size = device.block_size - _HEADER_SIZE
+            chunks = [payload[i:i + chunk_size]
+                      for i in range(0, len(payload), chunk_size)] or [b""]
+            # Metadata continuation blocks come from the allocator like any
+            # other block; previously used continuation blocks are recycled
+            # first.
+            old_chain = self._metadata_chain_blocks()
+            needed = len(chunks) - 1
+            chain = old_chain[:needed]
+            while len(chain) < needed:
+                chain.append(self.disk.allocate())
+            for stale in old_chain[needed:]:
+                self.disk.release(stale)
+            block_nos = [0] + chain
+            for idx, chunk in enumerate(chunks):
+                next_block = (block_nos[idx + 1]
+                              if idx + 1 < len(chunks) else _NO_NEXT)
+                header = (_MAGIC + len(chunk).to_bytes(4, "little")
+                          + next_block.to_bytes(4, "little"))
+                block = header + chunk
+                block += bytes(device.block_size - len(block))
+                device.write_block(block_nos[idx], block)
+            device.flush()
+            self._metadata_blocks = chain
 
     def _metadata_chain_blocks(self) -> list[int]:
         return list(getattr(self, "_metadata_blocks", []))

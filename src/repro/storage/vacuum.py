@@ -32,9 +32,19 @@ prev pointer cut) *before* the chain below it, so an interrupted prune
 can only strand unreferenced copies — a bounded space leak cleaned by a
 later heap audit, never a dangling pointer.
 
-Triggers: a manual ``VACUUM [table]`` SQL statement, an auto-threshold
-(``dead_versions`` per table, checked after commits), and an optional
-background daemon thread running on a fixed interval.
+Triggers: a manual ``VACUUM [table]`` SQL statement, an auto trigger
+(absolute ``dead_versions`` per table *or* dead-version fraction of the
+table, checked after commits), and an optional background daemon thread
+running on a fixed interval.
+
+When a table owns a columnar sibling store, pruned versions are not
+discarded: each pass collects every ``(row, xmin, xmax)`` it removes and
+installs them as history blocks inside the same vacuum transaction —
+that is what ``AS OF`` time travel reads.  The pass may also rebuild the
+table's columnar *mirror* (a full dump serving analytical scans), but
+only when the table has been cold since the previous visit — rebuilds
+are priced as analytics work and must not tax a busy OLTP table.  A
+manual ``VACUUM`` is ``aggressive`` and rebuilds unconditionally.
 """
 
 from __future__ import annotations
@@ -63,11 +73,24 @@ class VacuumManager:
                  transactions,
                  threshold: int = 256,
                  interval_s: Optional[float] = None,
-                 on_stats_change: Optional[Callable[[str], None]] = None
+                 on_stats_change: Optional[Callable[[str], None]] = None,
+                 dead_fraction: float = 0.2,
+                 min_dead: int = 128,
+                 mirror_min_rows: int = 256,
                  ) -> None:
         self.tables = tables
         self.transactions = transactions
         self.threshold = threshold
+        #: Fraction-based pacing: besides the absolute threshold, a
+        #: table auto-triggers once at least ``min_dead`` versions are
+        #: dead *and* they make up ``dead_fraction`` of the table —
+        #: small hot tables vacuum early, huge tables are not hammered
+        #: by a fixed count they reach constantly.
+        self.dead_fraction = dead_fraction
+        self.min_dead = min_dead
+        #: Tables below this row count never get a columnar mirror from
+        #: auto-vacuum (the heap scan is already cheap).
+        self.mirror_min_rows = mirror_min_rows
         self.interval_s = interval_s
         #: Called with a table name whenever a vacuum pass reclaimed
         #: anything there — the statement cache hooks this to invalidate
@@ -78,7 +101,13 @@ class VacuumManager:
         self.versions_reclaimed = 0
         self.rows_reclaimed = 0
         self.stale_entries_reclaimed = 0
+        self.versions_migrated = 0
+        self.mirror_rebuilds = 0
         self.last_run: Optional[dict] = None
+        #: ``table.mutations`` observed at each table's previous vacuum
+        #: visit — an unchanged counter means the table was cold for a
+        #: whole vacuum cycle, which is the auto mirror-rebuild gate.
+        self._seen_mutations: dict[str, int] = {}
         #: Per-table vacuum report (``pg_stat``-style), surfaced through
         #: ``Database.stats()["vacuum"]["tables"]``.
         self.table_reports: dict[str, dict] = {}
@@ -88,33 +117,42 @@ class VacuumManager:
 
     # -- entry points ------------------------------------------------------------
 
-    def run(self, table_name: Optional[str] = None) -> dict:
+    def run(self, table_name: Optional[str] = None,
+            aggressive: bool = False) -> dict:
         """Vacuum one table (or every versioned table).  Returns a
         summary: versions, whole rows, and stale index entries
-        reclaimed, plus tables visited.  Under serializable isolation
-        each run also sweeps the SSI manager's retained SIREAD
-        trackers — committed read metadata is droppable on the same
-        overlapping-transaction horizon that bounds version pruning."""
+        reclaimed, versions migrated to columnar history, plus tables
+        visited.  ``aggressive`` (the manual ``VACUUM`` statement)
+        additionally forces a columnar mirror rebuild regardless of the
+        coldness gate.  Under serializable isolation each run also
+        sweeps the SSI manager's retained SIREAD trackers — committed
+        read metadata is droppable on the same overlapping-transaction
+        horizon that bounds version pruning."""
         catalog_tables = self.tables()
         if table_name is not None and table_name not in catalog_tables:
             raise CatalogError(f"no table {table_name!r}")
         names = [table_name] if table_name is not None \
             else sorted(catalog_tables)
         summary = {"tables": 0, "versions": 0, "rows": 0,
-                   "stale_entries": 0}
+                   "stale_entries": 0, "versions_migrated": 0,
+                   "mirror_rebuilds": 0}
         with self._mutex:
             for name in names:
                 table = catalog_tables[name]
                 if not getattr(table, "versioned", False):
                     continue
-                versions, rows, stale = self._vacuum_table(table)
+                versions, rows, stale, migrated, rebuilt = \
+                    self._vacuum_table(table, aggressive)
                 summary["tables"] += 1
                 summary["versions"] += versions
                 summary["rows"] += rows
                 summary["stale_entries"] += stale
-                self._record_run(name, table, versions, rows, stale)
+                summary["versions_migrated"] += migrated
+                summary["mirror_rebuilds"] += rebuilt
+                self._record_run(name, table, versions, rows, stale,
+                                 migrated, rebuilt)
                 if self.on_stats_change is not None and \
-                        (versions or rows or stale):
+                        (versions or rows or stale or rebuilt):
                     self.on_stats_change(name)
             ssi = getattr(self.transactions, "ssi", None)
             if ssi is not None:
@@ -123,27 +161,51 @@ class VacuumManager:
             self.versions_reclaimed += summary["versions"]
             self.rows_reclaimed += summary["rows"]
             self.stale_entries_reclaimed += summary["stale_entries"]
+            self.versions_migrated += summary["versions_migrated"]
+            self.mirror_rebuilds += summary["mirror_rebuilds"]
             self.last_run = summary
         return summary
 
     def _record_run(self, name: str, table, versions: int, rows: int,
-                    stale: int) -> None:
+                    stale: int, migrated: int = 0,
+                    rebuilt: int = 0) -> None:
         report = self.table_reports.setdefault(name, {
             "runs": 0, "versions_reclaimed": 0, "rows_reclaimed": 0,
-            "stale_index_entries": 0, "dead_versions": 0,
-            "last_run": None})
+            "stale_index_entries": 0, "versions_migrated": 0,
+            "mirror_rebuilds": 0, "dead_versions": 0,
+            "dead_fraction": 0.0, "last_run": None})
         report["runs"] += 1
         report["versions_reclaimed"] += versions
         report["rows_reclaimed"] += rows
         report["stale_index_entries"] += stale
+        report["versions_migrated"] += migrated
+        report["mirror_rebuilds"] += rebuilt
         report["dead_versions"] = table.dead_versions
+        report["dead_fraction"] = self._dead_fraction(table)
         report["last_run"] = {"versions": versions, "rows": rows,
                               "stale_index_entries": stale,
+                              "versions_migrated": migrated,
                               "at": time.time()}
 
+    @staticmethod
+    def _dead_fraction(table) -> float:
+        dead = table.dead_versions
+        total = table.row_count + dead
+        return dead / total if total else 0.0
+
+    def should_trigger(self, table) -> bool:
+        """Auto-vacuum pacing: an absolute dead-version count *or* a
+        dead fraction of the table (with a floor so tiny tables are not
+        vacuumed for a handful of versions)."""
+        dead = table.dead_versions
+        if dead >= self.threshold:
+            return True
+        return dead >= self.min_dead and \
+            self._dead_fraction(table) >= self.dead_fraction
+
     def maybe(self, table_name: str) -> Optional[dict]:
-        """Auto-threshold trigger: vacuum the table if its dead-version
-        gauge crossed the configured threshold.
+        """Auto trigger: vacuum the table if its dead-version gauges
+        crossed the pacing thresholds (:meth:`should_trigger`).
 
         Best-effort like the interval daemon: concurrent DDL (an index
         or the table itself dropped mid-pass) must not surface a
@@ -153,7 +215,7 @@ class VacuumManager:
         table = self.tables().get(table_name)
         if table is None or not getattr(table, "versioned", False):
             return None
-        if table.dead_versions < self.threshold:
+        if not self.should_trigger(table):
             return None
         try:
             summary = self.run(table_name)
@@ -188,9 +250,41 @@ class VacuumManager:
 
     # -- the collector -----------------------------------------------------------
 
-    def _vacuum_table(self, table) -> tuple[int, int, int]:
+    def _vacuum_table(self, table,
+                      aggressive: bool = False
+                      ) -> tuple[int, int, int, int, int]:
+        store = getattr(table, "columnar", None)
+        if store is None:
+            return self._vacuum_heap(table, None, False)
+        # The store gate spans surgery, commit, and publish: an AS OF
+        # reader (which materialises its merged heap ∪ history view
+        # under the same gate) can never observe a version present in
+        # both stores or in neither.  Lock order: gate → table latch.
+        with store.gate:
+            rebuild = self._want_mirror(table, store, aggressive)
+            self._seen_mutations[table.name] = table.mutations
+            return self._vacuum_heap(table, store, rebuild)
+
+    def _want_mirror(self, table, store, aggressive: bool) -> bool:
+        """Mirror-rebuild policy: only tables big enough to be worth
+        mirroring; automatically only when the mirror is needed (none
+        valid) and the table has been cold for a full vacuum cycle — a
+        busy OLTP table would invalidate the mirror immediately, so
+        rebuilding it would be pure overhead.  A manual ``VACUUM``
+        (aggressive) skips the coldness gate, not the size gate."""
+        if table.row_count < self.mirror_min_rows:
+            return False
+        if aggressive:
+            return True
+        if store.mirror_valid(table):
+            return False
+        return self._seen_mutations.get(table.name) == table.mutations
+
+    def _vacuum_heap(self, table, store,
+                     rebuild: bool) -> tuple[int, int, int, int, int]:
         txn = self.transactions.begin()
         removed_versions = removed_rows = removed_entries = 0
+        migrated: Optional[list] = [] if store is not None else None
         try:
             # Candidate heads are collected without the table latch
             # (page latches make the reads safe); each row's surgery
@@ -214,7 +308,7 @@ class VacuumManager:
                     if header.xmax != 0 and header.xmax < horizon:
                         # Dead to every live and future snapshot.
                         versions, stale = self._drop_row(
-                            table, rid, header, payload, txn)
+                            table, rid, header, payload, txn, migrated)
                         removed_versions += versions
                         removed_entries += stale
                         removed_rows += 1
@@ -222,22 +316,41 @@ class VacuumManager:
                     if header.xmax != 0:
                         remaining_dead += 1   # dead, but still visible
                     pruned, kept, stale = self._prune_chain(
-                        table, rid, header, payload, horizon, txn)
+                        table, rid, header, payload, horizon, txn,
+                        migrated)
                     removed_versions += pruned
                     remaining_dead += kept
                     removed_entries += stale
             with table._latch:
                 table.dead_versions = remaining_dead
+            # Migrate the pruned versions into columnar history and
+            # (optionally) re-dump the mirror, all inside the vacuum
+            # transaction: WAL makes the prune and the install one
+            # crash-atomic unit.
+            history_blocks = store.write_history(txn, migrated) \
+                if migrated else []
+            mirror_result = store.rebuild_mirror(table, txn) \
+                if store is not None and rebuild else None
             txn.commit()
         except BaseException:
             txn.abort()
             raise
-        return removed_versions, removed_rows, removed_entries
+        if history_blocks:
+            store.publish_history(history_blocks)
+        if mirror_result is not None:
+            store.publish_mirror(*mirror_result)
+        return (removed_versions, removed_rows, removed_entries,
+                len(migrated) if migrated else 0,
+                1 if mirror_result is not None else 0)
 
     def _drop_row(self, table, rid: RID, header, payload: bytes,
-                  txn) -> tuple[int, int]:
+                  txn, migrated: Optional[list] = None
+                  ) -> tuple[int, int]:
         """Unlink a dead head from its indexes and delete head + chain.
         Returns (heap records removed, index entries unlinked).
+        ``migrated`` (when the table has a columnar store) collects a
+        ``(row, xmin, xmax)`` triple per removed version — all stamps
+        are committed here, that is the prune precondition.
 
         Every key any version of the row ever carried is unlinked — the
         retained superseded-key entries as well as the latest one.
@@ -250,6 +363,11 @@ class VacuumManager:
         members = table.chain_members(header.prev)
         rows = [table.schema.decode(payload[HEADER_SIZE:])] + \
             [table.schema.decode(p[HEADER_SIZE:]) for _, p in members]
+        if migrated is not None:
+            migrated.append((rows[0], header.xmin, header.xmax))
+            for (_, member_payload), row in zip(members, rows[1:]):
+                member = unpack_version(member_payload)
+                migrated.append((row, member.xmin, member.xmax))
         stale = self._unlink_entries(table, rows, rid)
         table.heap.delete(rid, txn=txn)
         for member_rid, _ in members:
@@ -278,11 +396,14 @@ class VacuumManager:
         return removed
 
     def _prune_chain(self, table, head_rid: RID, header, payload: bytes,
-                     horizon: int, txn) -> tuple[int, int, int]:
+                     horizon: int, txn,
+                     migrated: Optional[list] = None
+                     ) -> tuple[int, int, int]:
         """Cut a live head's chain at the first copy below the horizon
         and unlink the superseded-key entries only those pruned
-        versions carried.  Returns (versions removed, versions
-        kept-but-dead, entries unlinked)."""
+        versions carried.  ``migrated`` collects ``(row, xmin, xmax)``
+        per pruned version for columnar history.  Returns (versions
+        removed, versions kept-but-dead, entries unlinked)."""
         kept_rows = [table.schema.decode(payload[HEADER_SIZE:])]
         keeper_rid, keeper_payload = head_rid, payload
         prev = header.prev
@@ -302,6 +423,12 @@ class VacuumManager:
                 doomed_rids = [member_rid for member_rid, _ in doomed]
                 doomed_rows = [table.schema.decode(p[HEADER_SIZE:])
                                for _, p in doomed]
+                if migrated is not None:
+                    for (_, doomed_payload), row in zip(doomed,
+                                                        doomed_rows):
+                        version = unpack_version(doomed_payload)
+                        migrated.append((row, version.xmin,
+                                         version.xmax))
                 stale = self._unlink_entries(table, doomed_rows, head_rid,
                                              keep_rows=kept_rows)
                 table.heap.update(
@@ -325,7 +452,11 @@ class VacuumManager:
             "versions_reclaimed": self.versions_reclaimed,
             "rows_reclaimed": self.rows_reclaimed,
             "stale_index_entries": self.stale_entries_reclaimed,
+            "versions_migrated": self.versions_migrated,
+            "mirror_rebuilds": self.mirror_rebuilds,
             "threshold": self.threshold,
+            "dead_fraction": self.dead_fraction,
+            "min_dead": self.min_dead,
             "interval_s": self.interval_s,
             "last_run": self.last_run,
             "tables": {name: dict(report)

@@ -1,0 +1,174 @@
+"""Randomized AS OF time-travel oracle.
+
+``SELECT ... FROM t AS OF <xid>`` must reproduce exactly the committed
+state the database held once transaction ``xid`` was durable — no more,
+no less.  The oracle replays a random autocommit history (inserts,
+updates, deletes, plus aborted transactions that must leave no trace),
+records the expected table state after every step together with the
+newest assigned xid, and then asks every recorded bound back:
+
+- straight off the heap (no vacuum yet),
+- after an aggressive VACUUM migrated the superseded versions into the
+  columnar history (answers now merge heap + columnar intervals),
+- after a simulated crash and recovery (the migrated history is
+  WAL-logged, so it must survive reopen bit-for-bit).
+
+Runs across engine × isolation; versioned MVCC heaps are a
+prerequisite, so 2PL databases must reject the clause cleanly.
+"""
+
+import random
+
+import pytest
+
+from repro.data import Database
+from repro.errors import SQLPlanError
+from repro.storage import MemoryDevice
+
+ENGINES = ["vectorized", "row"]
+ISOLATIONS = ["snapshot", "serializable"]
+
+
+def quiet(**kwargs):
+    """A database whose autovacuum can never fire on its own — the
+    oracle controls exactly when migration happens."""
+    return Database(vacuum_threshold=10 ** 9, vacuum_min_dead=10 ** 9,
+                    mirror_min_rows=16, **kwargs)
+
+
+def last_xid(db) -> int:
+    return db.transactions.latest_snapshot().next_xid - 1
+
+
+def build_history(db, seed, steps=60):
+    """Random committed/aborted mix; returns [(bound, expected rows)]."""
+    rng = random.Random(seed)
+    state: dict[int, int] = {}
+    next_id = 0
+    history = []
+    for i in range(24):                  # seed population
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, i * 10))
+        state[i] = i * 10
+        next_id = i + 1
+    history.append((last_xid(db), sorted(state.items())))
+    for _ in range(steps):
+        op = rng.choice(("insert", "update", "delete", "abort"))
+        if op == "insert":
+            db.execute("INSERT INTO t VALUES (?, ?)",
+                       (next_id, rng.randrange(1000)))
+            state[next_id] = None
+            state[next_id] = db.query(
+                "SELECT v FROM t WHERE id = ?", (next_id,))[0][0]
+            next_id += 1
+        elif op == "update" and state:
+            key = rng.choice(sorted(state))
+            value = rng.randrange(1000)
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (value, key))
+            state[key] = value
+        elif op == "delete" and state:
+            key = rng.choice(sorted(state))
+            db.execute("DELETE FROM t WHERE id = ?", (key,))
+            del state[key]
+        elif op == "abort":
+            db.execute("BEGIN")
+            db.execute("INSERT INTO t VALUES (?, ?)", (next_id + 500, 1))
+            if state:
+                db.execute("UPDATE t SET v = -1 WHERE id = ?",
+                           (rng.choice(sorted(state)),))
+            db.execute("ROLLBACK")
+        history.append((last_xid(db), sorted(state.items())))
+    return history
+
+
+def check(db, history):
+    for bound, expected in history:
+        rows = sorted(db.query(
+            "SELECT id, v FROM t AS OF ?", (bound,)))
+        assert rows == expected, (bound, rows[:6], expected[:6])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("isolation", ISOLATIONS)
+def test_as_of_oracle_heap_vacuum_and_crash(engine, isolation):
+    dev, wdev = MemoryDevice(), MemoryDevice()
+    db = quiet(device=dev, wal_device=wdev, isolation=isolation,
+               execution_engine=engine)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    history = build_history(db, seed=hash((engine, isolation)) & 0xFFFF)
+
+    check(db, history)                   # 1. pure heap chains
+
+    db.execute("VACUUM")                 # 2. migrate + mirror
+    assert db.stats()["vacuum"]["versions_migrated"] > 0
+    check(db, history)
+
+    db.scrub_manager.stop()              # 3. crash: no clean shutdown
+    db.vacuum_manager.stop()
+    db.pool.flush_all()
+    db2 = quiet(device=dev, wal_device=wdev, isolation=isolation,
+                execution_engine=engine)
+    assert db2.stats()["columnar"]["history_rows"] > 0
+    check(db2, history)
+
+
+def test_as_of_is_a_committed_state_view():
+    db = quiet()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t VALUES (2, 20)")
+    # An in-flight transaction is not committed state: even a bound far
+    # in the future must exclude it (the reader's own writes included).
+    assert db.query("SELECT id FROM t AS OF 1000000") == [(1,)]
+    db.execute("ROLLBACK")
+    assert db.query("SELECT id FROM t AS OF 1000000") == [(1,)]
+
+
+def test_as_of_zero_predates_everything():
+    db = quiet()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    assert db.query("SELECT * FROM t AS OF 0") == []
+
+
+def test_as_of_composes_with_filters_and_aggregates():
+    db = quiet()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for i in range(32):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, i))
+    mid = db.transactions.latest_snapshot().next_xid - 1
+    for i in range(32):
+        db.execute("UPDATE t SET v = v + 100 WHERE id = ?", (i,))
+    db.vacuum(aggressive=True)
+    assert db.query(
+        "SELECT COUNT(*), SUM(v) FROM t AS OF ?", (mid,)) == \
+        [(32, sum(range(32)))]
+    assert db.query(
+        "SELECT id FROM t AS OF ? WHERE v >= 30 ORDER BY id",
+        (mid,)) == [(30,), (31,)]
+    plan = db.execute("EXPLAIN SELECT * FROM t AS OF 5").rows
+    assert ("store", "t=hybrid") in plan
+
+
+def test_as_of_rejects_bad_bounds_and_unversioned_tables():
+    db = quiet()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    with pytest.raises(SQLPlanError):
+        db.execute("SELECT * FROM t AS OF 'yesterday'")
+    with pytest.raises(SQLPlanError):
+        db.execute("SELECT * FROM t AS OF -3")
+    db2 = Database(isolation="2pl")      # unversioned heaps
+    db2.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    with pytest.raises(SQLPlanError):
+        db2.execute("SELECT * FROM t AS OF 1")
+
+
+def test_as_of_bypasses_the_plan_cache():
+    db = quiet()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    sql = "SELECT id FROM t AS OF 1000000"
+    for _ in range(4):                   # identical text, repeated
+        assert db.query(sql) == [(1,)]
+    cached = db.stats()["plan_cache"]
+    assert sql not in str(cached.get("entries", ""))
