@@ -95,3 +95,70 @@ def test_f6_policies_steer_load(benchmark):
     benchmark(lambda: None)
     record(benchmark, round_robin=(rr_fast, rr_slow),
            quality=(quality_fast, quality_slow))
+
+
+# -- PR 10: the same selection idea, pointed at engine knobs -----------------------
+#
+# Figure 6's subject is *selection* — picking the best candidate from
+# observed quality.  The self-tuning kernel reuses that shape for knob
+# values: each KnobSelectionPolicy reads a workload window and proposes
+# the setting it would bind.  These benchmarks bound the decision cost
+# (it rides the hot path every adaptation tick) and pin the steering
+# behaviour, mirroring test_f6_policies_steer_load above.
+
+from repro.core import (                              # noqa: E402
+    ClassActivity,
+    TableActivity,
+    WorkloadWindow,
+    default_knob_policies,
+)
+
+
+def knob_window(scan_heavy: bool) -> WorkloadWindow:
+    reads = TableActivity(seq_scans=90, index_probes=10) if scan_heavy \
+        else TableActivity(seq_scans=10, index_probes=90)
+    win = WorkloadWindow(started=0.0, ended=1.0,
+                         tables={"t": reads},
+                         classes={"analytic":
+                                  ClassActivity({"vectorized": (40, 1.0)}),
+                                  "point":
+                                  ClassActivity({"vectorized": (60, 0.2)})})
+    win.buffer_hits = 30 if scan_heavy else 90
+    win.buffer_misses = 70 if scan_heavy else 10
+    return win
+
+
+def test_f6_knob_policy_decision_latency(benchmark):
+    policies = default_knob_policies()
+    win = knob_window(scan_heavy=True)
+
+    def decide():
+        return [p for policy in policies for p in policy.propose(win)]
+
+    proposals = benchmark(decide)
+    assert proposals                       # evidence produced decisions
+    record(benchmark, policies=len(policies),
+           proposals=len(proposals),
+           path="window -> every KnobSelectionPolicy.propose")
+
+
+def test_f6_knob_policies_steer_knobs(benchmark):
+    policies = default_knob_policies()
+
+    def proposed(win):
+        return {p.knob: p.value for policy in policies
+                for p in policy.propose(win)}
+
+    scans = proposed(knob_window(scan_heavy=True))
+    points = proposed(knob_window(scan_heavy=False))
+    print("\nF6: knob selection steering")
+    print(fmt_table(["workload", "buffer_policy", "engine.analytic"],
+                    [("scan-heavy", scans.get("buffer_policy"),
+                      scans.get("engine.analytic")),
+                     ("point-heavy", points.get("buffer_policy"),
+                      points.get("engine.analytic"))]))
+    assert scans["buffer_policy"] == "mru"       # scans: favour MRU
+    assert points["buffer_policy"] == "lru"      # probes: favour LRU
+    assert scans["engine.analytic"] == "vectorized"
+    benchmark(lambda: None)
+    record(benchmark, scan_heavy=scans, point_heavy=points)

@@ -21,10 +21,12 @@ def emit_result(name: str, **payload) -> pathlib.Path:
     """Write a benchmark's findings to ``BENCH_<name>.json``.
 
     The target directory is ``$BENCH_RESULTS_DIR`` (created if needed),
-    defaulting to the working directory — CI uploads the ``BENCH_*.json``
-    files as build artifacts so figures survive the job log.
+    defaulting to ``bench_results/`` — CI uploads the ``BENCH_*.json``
+    files as build artifacts so figures survive the job log, and local
+    runs no longer scatter artifacts across the repo root.
     """
-    directory = pathlib.Path(os.environ.get("BENCH_RESULTS_DIR", "."))
+    directory = pathlib.Path(
+        os.environ.get("BENCH_RESULTS_DIR", "bench_results"))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
     with open(path, "w") as handle:

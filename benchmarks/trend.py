@@ -10,7 +10,7 @@ plotted across commits instead of being lost in job logs.
 
 Usage::
 
-    python benchmarks/trend.py [results-dir]    # default: bench-results
+    python benchmarks/trend.py [results-dir]    # default: bench_results
 """
 
 from __future__ import annotations
@@ -44,7 +44,7 @@ def collect(directory: pathlib.Path) -> dict:
 
 
 def main(argv: list[str]) -> int:
-    directory = pathlib.Path(argv[1] if len(argv) > 1 else "bench-results")
+    directory = pathlib.Path(argv[1] if len(argv) > 1 else "bench_results")
     if not directory.is_dir():
         print(f"trend: no results directory {directory}, nothing to merge")
         return 0

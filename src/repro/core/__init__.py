@@ -6,8 +6,13 @@ database functionality (which lives in the storage/access/data/extension
 layers and is *deployed into* a kernel).
 """
 
-from repro.core.adaptation import AdaptationEngine, AdaptationOutcome
+from repro.core.adaptation import (
+    AdaptationEngine,
+    AdaptationOutcome,
+    KnobAdaptationEngine,
+)
 from repro.core.adaptor import AdaptorService, generate_adaptor
+from repro.core.advisor import ADVISOR_PREFIX, IndexAdvisor
 from repro.core.bindings import (
     BINDINGS,
     Binding,
@@ -38,6 +43,19 @@ from repro.core.coordinator import CoordinatorService, Incident
 from repro.core.events import Event, EventBus
 from repro.core.extension import ExtensionManager, PublishRecord, UpdateRecord
 from repro.core.kernel import LAYERS, SBDMSKernel
+from repro.core.knobs import (
+    Knob,
+    KnobRegistry,
+    KnobTransition,
+    build_registry,
+)
+from repro.core.observe import (
+    ClassActivity,
+    TableActivity,
+    WorkloadObserver,
+    WorkloadWindow,
+    merge_windows,
+)
 from repro.core.properties import ArchitectureProperties
 from repro.core.quality import QualityMonitor, QualityReport
 from repro.core.registry import ServiceRegistry
@@ -48,11 +66,18 @@ from repro.core.repository import (
 )
 from repro.core.resource import ResourceManager, ResourcePool
 from repro.core.selection import (
+    BufferPolicySelection,
+    ExecutionEngineSelection,
     FirstAvailablePolicy,
+    KnobProposal,
+    LockGranularitySelection,
     MeasuredLatencyPolicy,
+    PlanCacheSizeSelection,
     QualityDrivenPolicy,
     ResourceAwarePolicy,
     RoundRobinPolicy,
+    VacuumPacingSelection,
+    default_knob_policies,
 )
 from repro.core.service import (
     FunctionService,
@@ -63,9 +88,28 @@ from repro.core.service import (
 from repro.core.workflow import ExecutionTrace, Step, Workflow, WorkflowEngine
 
 __all__ = [
+    "ADVISOR_PREFIX",
     "AdaptationEngine",
     "AdaptationOutcome",
     "AdaptorService",
+    "BufferPolicySelection",
+    "ClassActivity",
+    "ExecutionEngineSelection",
+    "IndexAdvisor",
+    "Knob",
+    "KnobAdaptationEngine",
+    "KnobProposal",
+    "KnobRegistry",
+    "KnobTransition",
+    "LockGranularitySelection",
+    "PlanCacheSizeSelection",
+    "TableActivity",
+    "VacuumPacingSelection",
+    "WorkloadObserver",
+    "WorkloadWindow",
+    "build_registry",
+    "default_knob_policies",
+    "merge_windows",
     "generate_adaptor",
     "BINDINGS",
     "Binding",

@@ -157,3 +157,140 @@ class AdaptationEngine:
                 sum(o.elapsed_s for o in succeeded) / len(succeeded)
                 if succeeded else 0.0),
         }
+
+
+# -- the live engine's knob controller ---------------------------------------------
+#
+# AdaptationEngine above handles *failure* (substitute a broken
+# service); KnobAdaptationEngine handles *fitness* — the same §2
+# observe-decide-act loop, pointed at the real DBMS knobs instead of
+# service wiring.  It is the paper's self-tuning story made live: the
+# observer supplies workload windows, knob-selection policies turn them
+# into proposals, and the engine applies them through the typed
+# registry — with hysteresis and cooldowns so a decision is a trend
+# judgement, not a reaction to one noisy window.
+
+
+from collections import deque                              # noqa: E402
+
+from repro.core.advisor import IndexAdvisor                # noqa: E402
+from repro.core.knobs import KnobRegistry                  # noqa: E402
+from repro.core.observe import WorkloadObserver            # noqa: E402
+from repro.core.selection import default_knob_policies     # noqa: E402
+
+
+class KnobAdaptationEngine:
+    """Observe → decide → act over a database's knob registry.
+
+    ``step()`` takes one observer sample, collects proposals from every
+    policy, and applies those that survive hysteresis: a proposal must
+    recur (same knob, same value) in ``confirm`` consecutive steps, and
+    a knob that just changed sits out ``cooldown`` steps before it may
+    change again.  The index advisor runs on the same windows with its
+    own (stricter) hysteresis.
+
+    Every applied change lands in a bounded decision ``log`` with the
+    timestamp, the old → new values, the policy, and the trigger
+    metrics that justified it — the ``stats()["adaptation"]`` surface.
+    """
+
+    def __init__(self, db, observer: WorkloadObserver,
+                 registry: KnobRegistry, policies=None,
+                 advisor: IndexAdvisor = None, confirm: int = 2,
+                 cooldown: int = 4, log_limit: int = 256) -> None:
+        self.db = db
+        self.observer = observer
+        self.registry = registry
+        self.policies = list(policies) if policies is not None \
+            else default_knob_policies()
+        self.advisor = advisor
+        self.confirm = confirm
+        self.cooldown = cooldown
+        #: knob -> (proposed value, consecutive steps proposed).
+        self._streaks: dict[str, tuple] = {}
+        #: knob -> cooldown steps remaining.
+        self._cooldowns: dict[str, int] = {}
+        self.log: deque[dict] = deque(maxlen=log_limit)
+        self.steps = 0
+        self.changes = 0
+
+    def step(self) -> list[dict]:
+        """One control-loop iteration; returns the decisions applied."""
+        self.steps += 1
+        window = self.observer.sample()
+        for knob in list(self._cooldowns):
+            self._cooldowns[knob] -= 1
+            if self._cooldowns[knob] <= 0:
+                del self._cooldowns[knob]
+
+        proposals = {}
+        for policy in self.policies:
+            for proposal in policy.propose(window):
+                # First policy to claim a knob this step wins; the
+                # standard set never overlaps.
+                proposals.setdefault(proposal.knob,
+                                     (proposal, policy.name))
+
+        applied: list[dict] = []
+        for knob_name in list(self._streaks):
+            if knob_name not in proposals:
+                del self._streaks[knob_name]    # consecutive or nothing
+        for knob_name, (proposal, policy_name) in proposals.items():
+            held = self._streaks.get(knob_name)
+            streak = held[1] + 1 if held is not None \
+                and held[0] == proposal.value else 1
+            self._streaks[knob_name] = (proposal.value, streak)
+            if streak < self.confirm or knob_name in self._cooldowns:
+                continue
+            if knob_name not in self.registry:
+                continue
+            try:
+                transition = self.registry.set(
+                    knob_name, proposal.value, reason=proposal.trigger,
+                    source="adaptive")
+            except Exception as exc:  # noqa: BLE001 — log, keep looping
+                self.log.append({
+                    "at": time.time(), "knob": knob_name,
+                    "value": proposal.value, "policy": policy_name,
+                    "trigger": proposal.trigger, "error": str(exc)})
+                del self._streaks[knob_name]
+                continue
+            del self._streaks[knob_name]
+            if transition is None:      # already holds the value
+                continue
+            self._cooldowns[knob_name] = self.cooldown
+            decision = {"at": transition.at, "knob": knob_name,
+                        "old": transition.old, "new": transition.new,
+                        "policy": policy_name,
+                        "trigger": proposal.trigger}
+            self.log.append(decision)
+            applied.append(decision)
+            self.changes += 1
+
+        if self.advisor is not None:
+            for action in self.advisor.consider(window):
+                decision = dict(action)
+                decision.setdefault("policy", "index-advisor")
+                decision["knob"] = f"index:{decision.get('index', '?')}"
+                self.log.append(decision)
+                applied.append(decision)
+                self.changes += 1
+        return applied
+
+    def stats(self) -> dict:
+        entry = {
+            "steps": self.steps,
+            "changes": self.changes,
+            "windows": len(self.observer.windows),
+            "log": list(self.log),
+            "knobs": self.registry.snapshot(),
+            "pending": {knob: {"value": value, "streak": streak}
+                        for knob, (value, streak)
+                        in self._streaks.items()},
+            "cooldowns": dict(self._cooldowns),
+        }
+        if self.advisor is not None:
+            entry["advisor"] = self.advisor.stats()
+        if self.observer.windows:
+            entry["last_window"] = self.observer.windows[-1].describe()
+        return entry

@@ -1,0 +1,303 @@
+"""Typed registry of the engine's runtime-switchable knobs.
+
+The last nine PRs grew a dozen configuration switches, each settable
+only in the :class:`~repro.data.database.Database` constructor and each
+stored in a different component (buffer pool, planner default, lock
+protocol, vacuum pacing, plan cache, daemon intervals).  This module is
+the *act* leg of observe → decide → act: every such setting becomes a
+:class:`Knob` with a typed domain, a live getter, and a safe online
+``apply()`` — so the adaptation engine (and operators, through
+``db.knobs``) can re-configure a running engine without a restart, and
+every change is validated, recorded, and revertible.
+
+Safety of the online transitions (why ``apply`` never needs to quiesce
+the engine):
+
+- ``buffer_policy`` swaps the replacement strategy under the pool lock
+  and re-seeds it with the resident pages; pinned pages are never
+  victims regardless of policy.
+- ``execution_engine`` (and the per-class overrides) are read per
+  statement; the plan cache validates each entry against the effective
+  engine, so cached plans compiled for the old engine self-invalidate.
+- ``lock_granularity`` is read per statement; in-flight statements keep
+  the protocol they started with, which is always lock-compatible
+  (row-mode statements take IX + row X; table mode takes X).
+- vacuum pacing / ``plan_cache_size`` / daemon intervals are advisory
+  numbers read at trigger time; shrinking the plan cache evicts LRU
+  entries immediately under the cache lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import AdaptationError
+
+
+@dataclass
+class KnobTransition:
+    """One recorded knob change (the decision log's payload)."""
+
+    knob: str
+    old: Any
+    new: Any
+    at: float
+    reason: str
+    source: str = "manual"         # "manual" | "adaptive"
+
+    def describe(self) -> dict:
+        return {"knob": self.knob, "old": self.old, "new": self.new,
+                "at": self.at, "reason": self.reason,
+                "source": self.source}
+
+
+@dataclass
+class Knob:
+    """A runtime-switchable setting with a typed, validated domain.
+
+    ``getter`` returns the live value; ``setter`` applies a validated
+    new value to the owning component.  ``choices`` (enums) or
+    ``bounds`` (numerics, inclusive) constrain the domain; ``nullable``
+    admits ``None`` (daemon intervals use it for "off").
+    """
+
+    name: str
+    kind: str                                  # "enum" | "int" | "float"
+    getter: Callable[[], Any]
+    setter: Callable[[Any], None]
+    description: str = ""
+    choices: Optional[Sequence[Any]] = None
+    bounds: Optional[tuple] = None             # (lo, hi), either None
+    nullable: bool = False
+
+    def current(self) -> Any:
+        return self.getter()
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            if not self.nullable:
+                raise AdaptationError(f"knob {self.name!r} is not "
+                                      f"nullable")
+            return None
+        if self.kind == "enum":
+            if self.choices is not None and value not in self.choices:
+                raise AdaptationError(
+                    f"knob {self.name!r}: {value!r} not in "
+                    f"{sorted(self.choices)}")
+            return value
+        try:
+            value = int(value) if self.kind == "int" else float(value)
+        except (TypeError, ValueError):
+            raise AdaptationError(
+                f"knob {self.name!r}: {value!r} is not {self.kind}"
+            ) from None
+        if self.bounds is not None:
+            lo, hi = self.bounds
+            if lo is not None and value < lo:
+                raise AdaptationError(
+                    f"knob {self.name!r}: {value!r} below minimum {lo}")
+            if hi is not None and value > hi:
+                raise AdaptationError(
+                    f"knob {self.name!r}: {value!r} above maximum {hi}")
+        return value
+
+    def describe(self) -> dict:
+        entry = {"kind": self.kind, "value": self.current(),
+                 "description": self.description}
+        if self.choices is not None:
+            entry["choices"] = list(self.choices)
+        if self.bounds is not None:
+            entry["bounds"] = list(self.bounds)
+        return entry
+
+
+class KnobRegistry:
+    """All runtime knobs of one engine, with transition history.
+
+    ``set()`` validates, applies, and records; an ``apply`` that raises
+    re-applies the old value (best effort) so a failed transition never
+    leaves the engine half-configured.  ``revert()`` re-applies the
+    value a knob held before its most recent transition.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        self._knobs: dict[str, Knob] = {}
+        self.history: deque[KnobTransition] = deque(maxlen=history)
+        self._lock = threading.Lock()     # config plane only, not hot
+
+    def register(self, knob: Knob) -> Knob:
+        if knob.name in self._knobs:
+            raise AdaptationError(f"knob {knob.name!r} already "
+                                  f"registered")
+        self._knobs[knob.name] = knob
+        return knob
+
+    def get(self, name: str) -> Knob:
+        try:
+            return self._knobs[name]
+        except KeyError:
+            raise AdaptationError(
+                f"no knob {name!r}; known: {sorted(self._knobs)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._knobs
+
+    def names(self) -> list[str]:
+        return sorted(self._knobs)
+
+    def set(self, name: str, value: Any, reason: str = "",
+            source: str = "manual") -> Optional[KnobTransition]:
+        """Apply ``value`` to knob ``name``; returns the recorded
+        transition, or None when the knob already holds the value."""
+        knob = self.get(name)
+        value = knob.validate(value)
+        with self._lock:
+            old = knob.current()
+            if old == value:
+                return None
+            try:
+                knob.setter(value)
+            except BaseException:
+                try:
+                    knob.setter(old)
+                except Exception:  # noqa: BLE001 — best-effort restore
+                    pass
+                raise
+            transition = KnobTransition(name, old, value, time.time(),
+                                        reason, source)
+            self.history.append(transition)
+            return transition
+
+    def revert(self, name: str,
+               reason: str = "revert") -> Optional[KnobTransition]:
+        """Undo the most recent transition of ``name`` (None when the
+        knob was never changed)."""
+        last = None
+        for transition in reversed(self.history):
+            if transition.knob == name:
+                last = transition
+                break
+        if last is None:
+            return None
+        return self.set(name, last.old, reason=reason,
+                        source=last.source)
+
+    def snapshot(self) -> dict:
+        """``{name: current value}`` for every knob."""
+        return {name: knob.current()
+                for name, knob in sorted(self._knobs.items())}
+
+    def describe(self) -> dict:
+        """Full typed description (docs / stats surface)."""
+        return {name: knob.describe()
+                for name, knob in sorted(self._knobs.items())}
+
+    def transitions(self, source: Optional[str] = None) -> list[dict]:
+        return [t.describe() for t in self.history
+                if source is None or t.source == source]
+
+    def adaptive_values(self) -> dict:
+        """Latest adaptively-applied value per knob (EXPLAIN surface)."""
+        values: dict[str, Any] = {}
+        for transition in self.history:
+            if transition.source == "adaptive":
+                values[transition.knob] = transition.new
+        return values
+
+
+# -- the engine's knob set ---------------------------------------------------------
+
+
+def build_registry(db) -> KnobRegistry:
+    """Wire every runtime-switchable Database setting into a registry.
+
+    This is the one place that knows where each setting lives — the
+    cleanup of the constructor-only configuration previously scattered
+    across ``data/database.py``, ``storage/`` and ``data/sql/``.
+    """
+    from repro.data.database import Database  # noqa: F401  (doc anchor)
+
+    registry = KnobRegistry()
+    registry.register(Knob(
+        "buffer_policy", "enum",
+        getter=lambda: db.pool.policy.name,
+        setter=db.pool.set_policy,
+        choices=("lru", "mru", "fifo", "clock", "lfu"),
+        description="buffer replacement policy (online swap re-seeds "
+                    "the policy with resident pages)"))
+    registry.register(Knob(
+        "execution_engine", "enum",
+        getter=lambda: db.execution_engine,
+        setter=lambda v: setattr(db, "execution_engine", v),
+        choices=("vectorized", "row"),
+        description="default execution engine; cached plans for the "
+                    "old engine self-invalidate"))
+    for query_class in ("point", "analytic", "dml"):
+        registry.register(Knob(
+            f"engine.{query_class}", "enum",
+            getter=(lambda qc: lambda: db.engine_overrides.get(
+                qc, "default"))(query_class),
+            setter=(lambda qc: lambda v: (
+                db.engine_overrides.pop(qc, None) if v == "default"
+                else db.engine_overrides.__setitem__(qc, v)))(
+                    query_class),
+            choices=("default", "vectorized", "row"),
+            description=f"engine override for {query_class} "
+                        f"statements ('default' = execution_engine)"))
+    registry.register(Knob(
+        "lock_granularity", "enum",
+        getter=lambda: db.lock_granularity,
+        setter=lambda v: setattr(db, "lock_granularity", v),
+        choices=("row", "table"),
+        description="write-lock granularity, read per statement"))
+    registry.register(Knob(
+        "vacuum_threshold", "int",
+        getter=lambda: db.vacuum_manager.threshold,
+        setter=lambda v: setattr(db.vacuum_manager, "threshold", v),
+        bounds=(1, None),
+        description="absolute dead-version autovacuum trigger"))
+    registry.register(Knob(
+        "vacuum_dead_fraction", "float",
+        getter=lambda: db.vacuum_manager.dead_fraction,
+        setter=lambda v: setattr(db.vacuum_manager, "dead_fraction", v),
+        bounds=(0.01, 1.0),
+        description="fraction-based autovacuum pacing"))
+    registry.register(Knob(
+        "vacuum_min_dead", "int",
+        getter=lambda: db.vacuum_manager.min_dead,
+        setter=lambda v: setattr(db.vacuum_manager, "min_dead", v),
+        bounds=(1, None),
+        description="dead-version floor for fraction-based pacing"))
+    registry.register(Knob(
+        "mirror_min_rows", "int",
+        getter=lambda: db.vacuum_manager.mirror_min_rows,
+        setter=lambda v: setattr(db.vacuum_manager, "mirror_min_rows",
+                                 v),
+        bounds=(0, None),
+        description="minimum table rows before auto-vacuum builds a "
+                    "columnar mirror"))
+    registry.register(Knob(
+        "vacuum_interval_s", "float",
+        getter=lambda: db.vacuum_manager.interval_s,
+        setter=db.vacuum_manager.set_interval,
+        bounds=(0.001, None), nullable=True,
+        description="vacuum daemon interval (None = daemon off)"))
+    registry.register(Knob(
+        "scrub_interval_s", "float",
+        getter=lambda: db.scrub_manager.interval_s,
+        setter=db.scrub_manager.set_interval,
+        bounds=(0.001, None), nullable=True,
+        description="scrub daemon interval (None = daemon off)"))
+    registry.register(Knob(
+        "plan_cache_size", "int",
+        getter=lambda: db._plan_cache.capacity,
+        setter=db._plan_cache.resize,
+        bounds=(0, 65536),
+        description="statement-cache capacity (0 disables; shrinking "
+                    "evicts LRU immediately)"))
+    return registry

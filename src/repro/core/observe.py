@@ -1,0 +1,300 @@
+"""Workload observation for the self-tuning kernel (§2's "monitoring").
+
+The adaptation architecture is observe → decide → act.  This module is
+the *observe* leg: :class:`WorkloadObserver` turns the engine's cheap
+cumulative counters (per-table scans/probes/mutations, buffer hit rate,
+plan-cache traffic, lock waits, per-query-class timings, vacuum gauges)
+into **delta windows** — what happened since the previous sample — with
+a bounded history so decision policies can demand trends, not blips.
+
+Design constraints, per the refactor brief:
+
+- *no new locks on hot paths*: every counter the observer reads is a
+  plain integer (or small dict) bumped by the executing thread; samples
+  tolerate torn reads — they are advisory measurements, not invariants;
+- *cheap*: one sample walks the table dict once and copies a handful of
+  ints; it is safe to take every few hundred statements.
+
+Windows are the only currency between layers: selection policies
+(:mod:`repro.core.selection`), the index advisor
+(:mod:`repro.core.advisor`) and the knob engine
+(:mod:`repro.core.adaptation`) all consume :class:`WorkloadWindow`, so
+they can be unit-tested on synthetic windows without a database.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TableActivity:
+    """One table's activity inside a window (deltas unless noted)."""
+
+    seq_scans: int = 0
+    index_probes: int = 0
+    mutations: int = 0
+    #: Point-in-time gauges (window-end absolutes, not deltas).
+    row_count: int = 0
+    dead_versions: int = 0
+    #: ``{(column, op): count}`` sargable predicate sightings.
+    predicates: dict = field(default_factory=dict)
+    #: ``{index_name: probes}`` per-index probe deltas.
+    index_probe_counts: dict = field(default_factory=dict)
+
+    @property
+    def reads(self) -> int:
+        return self.seq_scans + self.index_probes
+
+    @property
+    def dead_fraction(self) -> float:
+        total = self.row_count + self.dead_versions
+        return self.dead_versions / total if total else 0.0
+
+    @property
+    def scan_bias(self) -> float:
+        """Fraction of read accesses served by sequential scans."""
+        reads = self.reads
+        return self.seq_scans / reads if reads else 0.0
+
+
+@dataclass
+class ClassActivity:
+    """Per-query-class execution deltas, split by engine."""
+
+    #: ``{engine: (count, seconds)}``
+    by_engine: dict = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return sum(c for c, _ in self.by_engine.values())
+
+    @property
+    def time_s(self) -> float:
+        return sum(t for _, t in self.by_engine.values())
+
+    def mean_latency_s(self, engine: Optional[str] = None) -> float:
+        if engine is None:
+            return self.time_s / self.count if self.count else 0.0
+        count, spent = self.by_engine.get(engine, (0, 0.0))
+        return spent / count if count else 0.0
+
+
+@dataclass
+class WorkloadWindow:
+    """Everything that happened between two observer samples."""
+
+    started: float
+    ended: float
+    statements: int = 0
+    tables: dict = field(default_factory=dict)     # name -> TableActivity
+    classes: dict = field(default_factory=dict)    # class -> ClassActivity
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    plan_cache_size: int = 0                       # absolute at window end
+    plan_cache_capacity: int = 0                   # absolute at window end
+    lock_waits: int = 0
+    vacuum_runs: int = 0
+    versions_reclaimed: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.ended - self.started, 1e-9)
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 1.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 1.0
+
+    @property
+    def reads(self) -> int:
+        return sum(t.reads for t in self.tables.values())
+
+    @property
+    def writes(self) -> int:
+        return sum(t.mutations for t in self.tables.values())
+
+    @property
+    def seq_scans(self) -> int:
+        return sum(t.seq_scans for t in self.tables.values())
+
+    @property
+    def index_probes(self) -> int:
+        return sum(t.index_probes for t in self.tables.values())
+
+    @property
+    def scan_bias(self) -> float:
+        reads = self.reads
+        return self.seq_scans / reads if reads else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        total = self.reads + self.writes
+        return self.writes / total if total else 0.0
+
+    def class_share(self, name: str) -> float:
+        total = sum(c.count for c in self.classes.values())
+        activity = self.classes.get(name)
+        return activity.count / total if activity is not None and total \
+            else 0.0
+
+    def describe(self) -> dict:
+        """Compact summary for decision logs and ``stats()``."""
+        return {
+            "statements": self.statements,
+            "duration_s": round(self.duration_s, 4),
+            "reads": self.reads,
+            "writes": self.writes,
+            "scan_bias": round(self.scan_bias, 3),
+            "buffer_hit_rate": round(self.buffer_hit_rate, 3),
+            "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 3),
+            "lock_waits": self.lock_waits,
+            "classes": {name: activity.count
+                        for name, activity in self.classes.items()},
+        }
+
+
+def merge_windows(windows: list[WorkloadWindow]) -> WorkloadWindow:
+    """Fold consecutive windows into one (trend smoothing)."""
+    if not windows:
+        return WorkloadWindow(time.time(), time.time())
+    merged = WorkloadWindow(windows[0].started, windows[-1].ended)
+    for window in windows:
+        merged.statements += window.statements
+        merged.buffer_hits += window.buffer_hits
+        merged.buffer_misses += window.buffer_misses
+        merged.plan_cache_hits += window.plan_cache_hits
+        merged.plan_cache_misses += window.plan_cache_misses
+        merged.plan_cache_evictions += window.plan_cache_evictions
+        merged.lock_waits += window.lock_waits
+        merged.vacuum_runs += window.vacuum_runs
+        merged.versions_reclaimed += window.versions_reclaimed
+        for name, activity in window.tables.items():
+            into = merged.tables.setdefault(name, TableActivity())
+            into.seq_scans += activity.seq_scans
+            into.index_probes += activity.index_probes
+            into.mutations += activity.mutations
+            into.row_count = activity.row_count
+            into.dead_versions = activity.dead_versions
+            for key, count in activity.predicates.items():
+                into.predicates[key] = into.predicates.get(key, 0) + count
+            for key, count in activity.index_probe_counts.items():
+                into.index_probe_counts[key] = \
+                    into.index_probe_counts.get(key, 0) + count
+        for name, activity in window.classes.items():
+            into = merged.classes.setdefault(name, ClassActivity())
+            for engine, (count, spent) in activity.by_engine.items():
+                have = into.by_engine.get(engine, (0, 0.0))
+                into.by_engine[engine] = (have[0] + count,
+                                          have[1] + spent)
+    merged.plan_cache_size = windows[-1].plan_cache_size
+    merged.plan_cache_capacity = windows[-1].plan_cache_capacity
+    return merged
+
+
+class WorkloadObserver:
+    """Delta-windowed view over a database's cumulative counters.
+
+    ``source`` is a zero-argument callable returning the cumulative
+    counter snapshot (:meth:`repro.data.database.Database.counters`);
+    the observer diffs consecutive snapshots into
+    :class:`WorkloadWindow` objects and keeps a bounded history.
+    """
+
+    def __init__(self, source, history: int = 32) -> None:
+        self._source = source
+        self.windows: deque[WorkloadWindow] = deque(maxlen=history)
+        self._last: Optional[dict] = None
+        self.samples = 0
+
+    def sample(self) -> WorkloadWindow:
+        """Take one sample; the returned window covers everything since
+        the previous sample (the first window is empty by definition —
+        it establishes the baseline)."""
+        current = self._source()
+        previous = self._last
+        self._last = current
+        self.samples += 1
+        if previous is None:
+            window = WorkloadWindow(current["at"], current["at"])
+            window.plan_cache_size = current["plan_cache"]["size"]
+            window.plan_cache_capacity = \
+                current["plan_cache"]["capacity"]
+            self.windows.append(window)
+            return window
+        window = self._diff(previous, current)
+        self.windows.append(window)
+        return window
+
+    def window(self, n: int = 1) -> WorkloadWindow:
+        """The last window, or the last ``n`` merged."""
+        recent = list(self.windows)[-n:]
+        return merge_windows(recent)
+
+    # -- delta computation -------------------------------------------------------
+
+    @staticmethod
+    def _diff(previous: dict, current: dict) -> WorkloadWindow:
+        window = WorkloadWindow(previous["at"], current["at"])
+        window.statements = current["statements"] \
+            - previous["statements"]
+        prev_tables = previous["tables"]
+        for name, now in current["tables"].items():
+            then = prev_tables.get(name, {})
+            activity = TableActivity(
+                seq_scans=now["seq_scans"] - then.get("seq_scans", 0),
+                index_probes=now["index_probes"]
+                - then.get("index_probes", 0),
+                mutations=now["mutations"] - then.get("mutations", 0),
+                row_count=now["row_count"],
+                dead_versions=now["dead_versions"])
+            then_predicates = then.get("predicates", {})
+            for key, count in now["predicates"].items():
+                delta = count - then_predicates.get(key, 0)
+                if delta > 0:
+                    activity.predicates[key] = delta
+            then_indexes = then.get("indexes", {})
+            for key, count in now["indexes"].items():
+                activity.index_probe_counts[key] = \
+                    count - then_indexes.get(key, 0)
+            window.tables[name] = activity
+        for name, now in current["classes"].items():
+            then = previous["classes"].get(name, {})
+            activity = ClassActivity()
+            for engine, (count, spent) in now.items():
+                then_count, then_spent = then.get(engine, (0, 0.0))
+                if count - then_count > 0:
+                    activity.by_engine[engine] = (count - then_count,
+                                                  spent - then_spent)
+            if activity.by_engine:
+                window.classes[name] = activity
+        window.buffer_hits = current["buffer"]["hits"] \
+            - previous["buffer"]["hits"]
+        window.buffer_misses = current["buffer"]["misses"] \
+            - previous["buffer"]["misses"]
+        pc_now, pc_then = current["plan_cache"], previous["plan_cache"]
+        window.plan_cache_hits = pc_now["hits"] - pc_then["hits"]
+        window.plan_cache_misses = pc_now["misses"] - pc_then["misses"]
+        window.plan_cache_evictions = pc_now["evictions"] \
+            - pc_then["evictions"]
+        window.plan_cache_size = pc_now["size"]
+        window.plan_cache_capacity = pc_now["capacity"]
+        window.lock_waits = current["lock_waits"] \
+            - previous["lock_waits"]
+        window.vacuum_runs = current["vacuum"]["runs"] \
+            - previous["vacuum"]["runs"]
+        window.versions_reclaimed = \
+            current["vacuum"]["versions_reclaimed"] \
+            - previous["vacuum"]["versions_reclaimed"]
+        return window

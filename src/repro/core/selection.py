@@ -139,3 +139,244 @@ POLICIES = {
     for cls in (FirstAvailablePolicy, RoundRobinPolicy, QualityDrivenPolicy,
                 MeasuredLatencyPolicy, ResourceAwarePolicy)
 }
+
+
+# -- knob-selection policies (the live engine's decision layer) --------------------
+#
+# The service policies above rank equivalent *providers*; the policies
+# below rank equivalent *configurations* — same selection idea, one
+# layer down, now driven by measured workload windows instead of static
+# contracts.  Each policy inspects a WorkloadWindow and proposes knob
+# values; the KnobAdaptationEngine owns hysteresis (confirm streaks)
+# and cooldowns, so policies are free to be reactive and stateless.
+
+
+from dataclasses import dataclass                    # noqa: E402
+
+from repro.core.observe import WorkloadWindow        # noqa: E402
+
+
+@dataclass(frozen=True)
+class KnobProposal:
+    """One policy's suggestion: set ``knob`` to ``value``.
+
+    ``trigger`` names the metric evidence, so the decision log can show
+    *why* (e.g. ``"scan_bias=0.92 hit_rate=0.31"``).
+    """
+
+    knob: str
+    value: object
+    trigger: str
+
+
+class KnobSelectionPolicy(Protocol):
+    """Strategy interface: propose knob values for an observed window."""
+
+    name: str
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]: ...
+
+
+class BufferPolicySelection:
+    """Pick the replacement policy from the access pattern.
+
+    Looping scans larger than the pool shred LRU (each pass evicts
+    exactly the pages the next pass needs); MRU keeps a stable prefix
+    resident.  Point-probe traffic is the opposite: recency wins.
+    """
+
+    name = "buffer-policy"
+
+    def __init__(self, min_reads: int = 64,
+                 scan_heavy: float = 0.7, point_heavy: float = 0.3,
+                 thrash_hit_rate: float = 0.6) -> None:
+        self.min_reads = min_reads
+        self.scan_heavy = scan_heavy
+        self.point_heavy = point_heavy
+        self.thrash_hit_rate = thrash_hit_rate
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]:
+        if window.reads < self.min_reads:
+            return []
+        bias = window.scan_bias
+        hit_rate = window.buffer_hit_rate
+        if bias >= self.scan_heavy and hit_rate < self.thrash_hit_rate:
+            return [KnobProposal(
+                "buffer_policy", "mru",
+                f"scan_bias={bias:.2f} buffer_hit_rate={hit_rate:.2f}")]
+        if bias <= self.point_heavy:
+            return [KnobProposal(
+                "buffer_policy", "lru",
+                f"scan_bias={bias:.2f} buffer_hit_rate={hit_rate:.2f}")]
+        return []
+
+
+class ExecutionEngineSelection:
+    """Pick the engine per query class from measured latencies.
+
+    Analytic statements (scans/aggregates) want the vectorized engine
+    unconditionally — PR 3 measured 2–4x.  Point statements are less
+    clear-cut (per-batch overhead vs per-row overhead), so the policy
+    trusts measurement: when both engines have enough samples for a
+    class, it proposes the faster one; with only one engine sampled it
+    leaves the class alone (the engine's exploration phase, not the
+    policy, decides to try the other).
+    """
+
+    name = "execution-engine"
+
+    def __init__(self, min_class_count: int = 32,
+                 min_samples_each: int = 8,
+                 advantage: float = 1.15) -> None:
+        self.min_class_count = min_class_count
+        self.min_samples_each = min_samples_each
+        self.advantage = advantage   # required speedup before switching
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]:
+        proposals = []
+        for query_class, activity in window.classes.items():
+            if query_class == "analytic":
+                if activity.count >= self.min_class_count // 2:
+                    proposals.append(KnobProposal(
+                        "engine.analytic", "vectorized",
+                        f"analytic_count={activity.count}"))
+                continue
+            if activity.count < self.min_class_count:
+                continue
+            sampled = {engine: (count, spent)
+                       for engine, (count, spent)
+                       in activity.by_engine.items()
+                       if count >= self.min_samples_each}
+            if len(sampled) < 2:
+                continue
+            means = {engine: spent / count
+                     for engine, (count, spent) in sampled.items()}
+            best = min(means, key=means.get)
+            worst = max(means, key=means.get)
+            if means[worst] >= means[best] * self.advantage:
+                proposals.append(KnobProposal(
+                    f"engine.{query_class}", best,
+                    f"{best}={means[best] * 1e6:.0f}us "
+                    f"{worst}={means[worst] * 1e6:.0f}us"))
+        return proposals
+
+
+class LockGranularitySelection:
+    """Row locks under contention, stay put otherwise.
+
+    Table-granularity X locks serialize concurrent writers; observed
+    lock waits are the direct evidence.  The policy never proposes
+    table mode on its own — coarse locks are a deliberate operator
+    choice (cheap for single-writer embedded deployments), and without
+    waiters there is no measurement to justify forcing it back.
+    """
+
+    name = "lock-granularity"
+
+    def __init__(self, min_waits: int = 4) -> None:
+        self.min_waits = min_waits
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]:
+        if window.lock_waits >= self.min_waits and window.writes:
+            return [KnobProposal(
+                "lock_granularity", "row",
+                f"lock_waits={window.lock_waits} "
+                f"writes={window.writes}")]
+        return []
+
+
+class VacuumPacingSelection:
+    """Tighten pacing when dead versions pile up, relax when idle.
+
+    High dead fractions slow every scan (each dead version is visited
+    and rejected); an aggressive `dead_fraction` trigger reclaims
+    sooner.  On a read-mostly window with clean tables, pacing relaxes
+    back so vacuum passes stop burning cycles.
+    """
+
+    name = "vacuum-pacing"
+
+    def __init__(self, dirty_fraction: float = 0.25,
+                 clean_fraction: float = 0.05,
+                 tight: float = 0.1, relaxed: float = 0.4,
+                 min_rows: int = 256) -> None:
+        self.dirty_fraction = dirty_fraction
+        self.clean_fraction = clean_fraction
+        self.tight = tight
+        self.relaxed = relaxed
+        self.min_rows = min_rows
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]:
+        dirtiest = 0.0
+        for activity in window.tables.values():
+            if activity.row_count + activity.dead_versions \
+                    >= self.min_rows:
+                dirtiest = max(dirtiest, activity.dead_fraction)
+        if dirtiest >= self.dirty_fraction:
+            return [KnobProposal(
+                "vacuum_dead_fraction", self.tight,
+                f"max_dead_fraction={dirtiest:.2f}")]
+        if dirtiest <= self.clean_fraction and window.writes == 0 \
+                and window.reads:
+            return [KnobProposal(
+                "vacuum_dead_fraction", self.relaxed,
+                f"max_dead_fraction={dirtiest:.2f} writes=0")]
+        return []
+
+
+class PlanCacheSizeSelection:
+    """Grow the statement cache when distinct templates overflow it.
+
+    Evictions plus a poor hit rate mean the working set of statement
+    shapes exceeds capacity; doubling is cheap (entries are compiled
+    closures, not result data).  A cache sitting mostly empty across a
+    busy window shrinks back toward its floor.
+    """
+
+    name = "plan-cache-size"
+
+    def __init__(self, min_statements: int = 64,
+                 low_hit_rate: float = 0.5, floor: int = 32,
+                 ceiling: int = 4096) -> None:
+        self.min_statements = min_statements
+        self.low_hit_rate = low_hit_rate
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def propose(self, window: WorkloadWindow) -> list[KnobProposal]:
+        traffic = window.plan_cache_hits + window.plan_cache_misses
+        if traffic < self.min_statements:
+            return []
+        capacity = window.plan_cache_capacity
+        if window.plan_cache_evictions > 0 \
+                and window.plan_cache_hit_rate < self.low_hit_rate \
+                and capacity < self.ceiling:
+            new = min(max(capacity * 2, self.floor), self.ceiling)
+            return [KnobProposal(
+                "plan_cache_size", new,
+                f"evictions={window.plan_cache_evictions} "
+                f"hit_rate={window.plan_cache_hit_rate:.2f}")]
+        if capacity > self.floor \
+                and window.plan_cache_size * 4 <= capacity \
+                and window.plan_cache_evictions == 0:
+            new = max(capacity // 2, self.floor,
+                      window.plan_cache_size * 2)
+            if new < capacity:
+                return [KnobProposal(
+                    "plan_cache_size", new,
+                    f"size={window.plan_cache_size} "
+                    f"capacity={capacity}")]
+        return []
+
+
+KNOB_POLICIES = {
+    cls.name: cls
+    for cls in (BufferPolicySelection, ExecutionEngineSelection,
+                LockGranularitySelection, VacuumPacingSelection,
+                PlanCacheSizeSelection)
+}
+
+
+def default_knob_policies() -> list:
+    """The standard policy set for ``Database(adaptive=True)``."""
+    return [cls() for cls in KNOB_POLICIES.values()]

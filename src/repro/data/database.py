@@ -10,10 +10,15 @@ substrate testable in isolation.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.access.heap_file import RID
+from repro.core.adaptation import KnobAdaptationEngine
+from repro.core.advisor import IndexAdvisor
+from repro.core.knobs import KnobRegistry, build_registry
+from repro.core.observe import WorkloadObserver
 from repro.data.catalog import Catalog
 from repro.data.schema import Column, Schema
 from repro.data.sql import ast
@@ -104,7 +109,9 @@ class Database:
                  scrub_interval_s: Optional[float] = None,
                  plan_cache_size: int = 128,
                  columnar: bool = True,
-                 mirror_min_rows: int = 256) -> None:
+                 mirror_min_rows: int = 256,
+                 adaptive: bool = False,
+                 adapt_every: int = 64) -> None:
         if lock_granularity not in ("row", "table"):
             raise TransactionError(
                 f"lock_granularity must be 'row' or 'table', "
@@ -118,6 +125,10 @@ class Database:
                 f"isolation must be 'snapshot', 'serializable', or "
                 f"'2pl', not {isolation!r}")
         self.execution_engine = execution_engine
+        # Per-query-class engine overrides ("point" | "analytic" |
+        # "dml" -> engine); absent classes fall back to
+        # ``execution_engine``.  Written only through the knob registry.
+        self.engine_overrides: dict[str, str] = {}
         self.isolation = isolation
         self.columnar = columnar
         self.latched_lock_timeout_s = latched_lock_timeout_s
@@ -186,6 +197,28 @@ class Database:
         # in other threads never land inside this thread's transaction).
         self._sessions = threading.local()
         self.statements_executed = 0
+        # Self-tuning kernel (observe → decide → act).  Every runtime-
+        # switchable setting is a typed knob in ``self.knobs`` whether
+        # or not adaptation is on — operators re-configure a running
+        # engine through ``db.knobs.set(...)``.  ``adaptive=True``
+        # closes the loop: a workload observer samples the cumulative
+        # counters every ``adapt_every`` classified statements and the
+        # knob engine + index advisor act on the observed windows.
+        self.class_metrics: dict[str, dict[str, list]] = {}
+        self.knobs: KnobRegistry = build_registry(self)
+        self.adaptive = adaptive
+        self.adapt_every = adapt_every
+        self._adapt_countdown = adapt_every
+        self._adapt_lock = threading.Lock()
+        self.observer: Optional[WorkloadObserver] = None
+        self.advisor: Optional[IndexAdvisor] = None
+        self.autotuner: Optional[KnobAdaptationEngine] = None
+        if adaptive:
+            self.observer = WorkloadObserver(self.counters)
+            self.advisor = IndexAdvisor(self)
+            self.autotuner = KnobAdaptationEngine(
+                self, self.observer, self.knobs, advisor=self.advisor)
+            self.observer.sample()   # baseline: first window is empty
         if self.last_recovery is not None:
             # Recovery ran, so the previous incarnation died unclean:
             # index pages are not WAL-logged and may be torn (partially
@@ -262,12 +295,21 @@ class Database:
         self.statements_executed += 1
         merged = fp.bind(params)
         if entry.template is not None:
+            query_class = getattr(entry.template, "query_class",
+                                  "analytic")
+            engine = self.engine_for(query_class)
+            started = time.perf_counter()
             try:
-                return entry.template.execute(self, merged, state)
+                result = entry.template.execute(self, merged, state)
             except StalePlanError:
                 # Catalog drift the version counters missed; drop the
                 # entry and run this execution through the planner.
                 self._plan_cache.invalidate(fp.text)
+            else:
+                self._record_class(query_class, engine,
+                                   time.perf_counter() - started)
+                self._maybe_adapt()
+                return result
         result = self.execute_statement(entry.statement, merged)
         if isinstance(result, ResultSet) and isinstance(result.plan,
                                                         dict):
@@ -336,6 +378,20 @@ class Database:
 
     def execute_statement(self, statement: ast.Statement,
                           params: tuple = ()) -> Any:
+        query_class = self.classify(statement)
+        if query_class is None:
+            # DDL / txn control / maintenance: dispatch unobserved.
+            return self._dispatch_statement(statement, params)
+        engine = self.engine_for(query_class)
+        started = time.perf_counter()
+        result = self._dispatch_statement(statement, params)
+        self._record_class(query_class, engine,
+                           time.perf_counter() - started)
+        self._maybe_adapt()
+        return result
+
+    def _dispatch_statement(self, statement: ast.Statement,
+                            params: tuple = ()) -> Any:
         if isinstance(statement, ast.SelectStatement):
             return self._select(statement, params)
         if isinstance(statement, ast.UnionSelect):
@@ -518,21 +574,127 @@ class Database:
     def in_transaction(self) -> bool:
         return self._session_txn is not None
 
+    # -- the self-tuning kernel (observe → decide → act) --------------------------
+
+    @staticmethod
+    def classify(statement: ast.Statement) -> Optional[str]:
+        """Query class for per-class engine routing and metrics.
+
+        ``"dml"`` for writes, ``"point"`` for single-table SELECTs with
+        an equality conjunct on a column (index-probe shape),
+        ``"analytic"`` for every other SELECT shape, None for
+        statements outside the observed workload (DDL, txn control,
+        maintenance).
+        """
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            return "dml"
+        if isinstance(statement, ast.UnionSelect):
+            return "analytic"
+        if isinstance(statement, ast.SelectStatement):
+            if statement.group_by or statement.joins:
+                return "analytic"
+            return "point" if _eq_conjunct(statement.where) \
+                else "analytic"
+        return None
+
+    def engine_for(self, query_class: str) -> str:
+        """Effective execution engine for one query class (the
+        ``engine.<class>`` override knob, else ``execution_engine``)."""
+        return self.engine_overrides.get(query_class,
+                                         self.execution_engine)
+
+    def _record_class(self, query_class: str, engine: str,
+                      seconds: float) -> None:
+        """Accumulate per-class, per-engine timings.  Plain int/float
+        bumps with no lock: the hot path stays lock-free and the
+        observer tolerates torn reads (advisory measurements)."""
+        by_engine = self.class_metrics.setdefault(query_class, {})
+        slot = by_engine.get(engine)
+        if slot is None:
+            by_engine[engine] = [1, seconds]
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+
+    def _maybe_adapt(self) -> None:
+        """Run one adaptation step every ``adapt_every`` classified
+        statements.  Skipped inside an explicit transaction (the
+        advisor's DDL must not land in a user transaction), and
+        non-blocking: concurrent sessions never queue behind the tuner,
+        and the advisor's own SQL cannot recurse into a second step."""
+        if self.autotuner is None or self._session_txn is not None:
+            return
+        self._adapt_countdown -= 1
+        if self._adapt_countdown > 0:
+            return
+        if not self._adapt_lock.acquire(blocking=False):
+            return
+        try:
+            self._adapt_countdown = self.adapt_every
+            self.autotuner.step()
+        finally:
+            self._adapt_lock.release()
+
+    def counters(self) -> dict:
+        """Cumulative counter snapshot the workload observer diffs into
+        delta windows (:class:`repro.core.observe.WorkloadObserver`).
+
+        Reads only plain counters already bumped by executing threads;
+        takes no locks, so a sample is cheap enough to run inline every
+        few hundred statements.
+        """
+        tables: dict[str, dict] = {}
+        for name, table in list(self.catalog.tables.items()):
+            tables[name] = {
+                "seq_scans": table.seq_scans,
+                "index_probes": table.index_probes,
+                "mutations": table.mutations,
+                "row_count": table.row_count,
+                "dead_versions": table.dead_versions,
+                "predicates": dict(table.predicate_counts),
+                "indexes": {index_name: index.probes
+                            for index_name, index
+                            in list(table.indexes.items())},
+            }
+        classes = {
+            query_class: {engine: (slot[0], slot[1])
+                          for engine, slot in list(by_engine.items())}
+            for query_class, by_engine in list(self.class_metrics.items())}
+        return {
+            "at": time.time(),
+            "statements": self.statements_executed,
+            "tables": tables,
+            "classes": classes,
+            "buffer": {"hits": self.pool.stats.hits,
+                       "misses": self.pool.stats.misses},
+            "plan_cache": {"hits": self._plan_cache.hits,
+                           "misses": self._plan_cache.misses,
+                           "evictions": self._plan_cache.evictions,
+                           "size": len(self._plan_cache._entries),
+                           "capacity": self._plan_cache.capacity},
+            "lock_waits": self.transactions.locks.waits,
+            "vacuum": {"runs": self.vacuum_manager.runs,
+                       "versions_reclaimed":
+                           self.vacuum_manager.versions_reclaimed},
+        }
+
     # -- SELECT ----------------------------------------------------------------------------
 
     def _select(self, statement: ast.SelectStatement,
                 params: tuple) -> ResultSet:
         txn, autocommit = self._txn()
+        engine = self.engine_for(self.classify(statement)
+                                 or "analytic")
         try:
             planner = Planner(self.catalog,
                               view_parser=self._parse_view, txn=txn,
-                              engine=self.execution_engine,
+                              engine=engine,
                               isolation=self.isolation)
             plan, info = planner.plan(statement, params)
             # Vectorized execution streams RowBatches end-to-end; the
             # row engine (config switch) walks the Volcano iterators.
             rows = plan.to_list_batched() \
-                if self.execution_engine == "vectorized" else list(plan)
+                if engine == "vectorized" else list(plan)
             if autocommit:
                 txn.commit()
             return ResultSet(list(plan.columns), rows,
@@ -599,7 +761,8 @@ class Database:
                 plan_dict["cached"] = cached_state
             return ResultSet(["kind", "detail"], rows, plan=plan_dict)
         planner = Planner(self.catalog, view_parser=self._parse_view,
-                          engine=self.execution_engine,
+                          engine=self.engine_for(self.classify(query)
+                                                 or "analytic"),
                           isolation=self.isolation)
         if isinstance(query, (ast.Update, ast.Delete)):
             # DML EXPLAIN: show the costed victim-selection path (the
@@ -621,6 +784,7 @@ class Database:
             if cached_state is not None:
                 rows.append(("cached", cached_state))
                 plan_dict["cached"] = cached_state
+            self._explain_adaptive(rows)
             return ResultSet(["kind", "detail"], rows, plan=plan_dict)
         _, info = planner.plan(query, params)
         info.cached = cached_state
@@ -646,7 +810,15 @@ class Database:
         if cached_state is not None:
             rows.append(("cached", cached_state))
         rows.append(("aggregated", str(info.aggregated)))
+        self._explain_adaptive(rows)
         return ResultSet(["kind", "detail"], rows, plan=info.as_dict())
+
+    def _explain_adaptive(self, rows: list) -> None:
+        """EXPLAIN surface for the self-tuning kernel: one row per knob
+        currently holding an adaptively-chosen value."""
+        for name, value in sorted(
+                self.knobs.adaptive_values().items()):
+            rows.append(("adaptive", f"{name}={value}"))
 
     def _analyze(self, statement: ast.Analyze) -> ExecutionResult:
         """Collect optimizer statistics under shared locks.
@@ -745,7 +917,7 @@ class Database:
             # its snapshot — and its own uncommitted writes.
             resolver = Planner(self.catalog,
                                view_parser=self._parse_view, txn=txn,
-                               engine=self.execution_engine,
+                               engine=self.engine_for("dml"),
                                isolation=self.isolation)
             assignments = [
                 (schema.index_of(column),
@@ -783,7 +955,7 @@ class Database:
         txn, autocommit = self._txn()
         try:
             resolver = Planner(self.catalog, view_parser=self._parse_view,
-                               txn=txn, engine=self.execution_engine,
+                               txn=txn, engine=self.engine_for("dml"),
                                isolation=self.isolation)
             where = resolver.resolve_subqueries(statement.where, params)
             predicate = (compile_scalar(where, scope, params)
@@ -1049,7 +1221,13 @@ class Database:
             "scrub": self.scrub_manager.stats(),
             "statements": self.statements_executed,
             "plan_cache": self._plan_cache.stats(),
+            "knobs": self.knobs.snapshot(),
         }
+        if self.autotuner is not None:
+            # Decision log of the self-tuning kernel: every applied
+            # knob change and index-advisor action with timestamps,
+            # old → new values, and the trigger metrics.
+            summary["adaptation"] = self.autotuner.stats()
         if self.transactions.ssi is not None:
             # Serializable mode: SIREAD/rw-edge gauges (tracked_reads,
             # rw_edges, pivot_aborts, retained_committed,
@@ -1101,6 +1279,18 @@ class PreparedStatement:
                 self._fp = None
         db.statements_executed += 1
         return db.execute_statement(self._statement, params)
+
+
+def _eq_conjunct(expr) -> bool:
+    """True when the WHERE tree has, under top-level ANDs, an equality
+    comparison against a column — the shape an index probe serves."""
+    if isinstance(expr, ast.Binary):
+        if expr.operator == "AND":
+            return _eq_conjunct(expr.left) or _eq_conjunct(expr.right)
+        if expr.operator == "=":
+            return isinstance(expr.left, ast.ColumnRef) \
+                or isinstance(expr.right, ast.ColumnRef)
+    return False
 
 
 def _prepare_body(sql: str) -> Optional[str]:

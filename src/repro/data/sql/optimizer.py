@@ -231,6 +231,16 @@ def choose_access_path(table, stats: TableStats,
     pages = max(stats.page_count, 1)
     out_rows = max(rows * estimator.combined(specs), 0.0)
 
+    # Workload observation: every sargable conjunct priced here is a
+    # predicate sighting — whether or not an index exists yet.  That
+    # asymmetry is the point: the index advisor reads these counts to
+    # find columns that are filtered often but have no index.
+    record = getattr(table, "record_predicate", None)
+    if record is not None:
+        for spec in specs:
+            if spec.column and spec.op != "other":
+                record(spec.column, spec.op)
+
     best = ScanChoice("seq", f"seq_scan({table.name})",
                       cost_model.seq_scan(pages, rows), out_rows)
     if columnar is not None:

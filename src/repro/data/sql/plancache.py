@@ -300,12 +300,19 @@ class SelectTemplate:
     offset_factory: Optional[Callable] = None
     tables: tuple[str, ...] = ()
     kind: str = "select"
+    #: Adaptation class ("point" | "analytic"): routes the statement
+    #: through the per-class engine override, and build-time sargable
+    #: ``(column, op)`` pairs recorded on non-cost-based executions so
+    #: the index advisor sees predicates even before ANALYZE.
+    query_class: str = "analytic"
+    observed_pairs: tuple = ()
 
     def execute(self, db, params: tuple, state: str):
         txn, autocommit = db._txn()
         try:
             planner = Planner(db.catalog, view_parser=db._parse_view,
-                              txn=txn, engine=db.execution_engine,
+                              txn=txn,
+                              engine=db.engine_for(self.query_class),
                               isolation=db.isolation)
             plan, info = self.instantiate(planner, params)
             info.cached = state
@@ -400,6 +407,13 @@ class SelectTemplate:
             info.estimated_cost = round(choice.cost, 2)
             info.cost_based = True
             return source
+        record = getattr(table, "record_predicate", None)
+        if record is not None:
+            # Non-cost-based executions: the build-time sargable pairs
+            # are this statement's predicate sightings (the cost-based
+            # branch above records through choose_access_path instead).
+            for column, op_name in self.observed_pairs:
+                record(column, op_name)
         if self.rule_pick is not None:
             column, op_name, value_factory = self.rule_pick
             index = table.index_on((column,),
@@ -496,13 +510,15 @@ class DmlTemplate:
     assignment_factories: list[tuple[int, Callable]] = \
         field(default_factory=list)
     tables: tuple[str, ...] = ()
+    query_class: str = "dml"
 
     def execute(self, db, params: tuple, state: str):
         table = db.catalog.table(self.table_name)
         txn, autocommit = db._txn()
         try:
             planner = Planner(db.catalog, view_parser=db._parse_view,
-                              txn=txn, engine=db.execution_engine,
+                              txn=txn,
+                              engine=db.engine_for(self.query_class),
                               isolation=db.isolation)
             assignments = [(position, factory(params))
                            for position, factory
@@ -541,6 +557,7 @@ class InsertTemplate:
     arity: int
     tables: tuple[str, ...] = ()
     kind: str = "insert"
+    query_class: str = "dml"
 
     def execute(self, db, params: tuple, state: str):
         table = db.catalog.table(self.table_name)
@@ -626,16 +643,18 @@ def _build_select(select: ast.SelectStatement, db) -> SelectTemplate:
     spec_ok = [_conjunct_bindings(c, schemas) == {binding}
                for c in conjuncts]
     rule_pick = None
+    observed_pairs: list[tuple[str, str]] = []
     for conjunct in conjuncts:
         match = _index_match(conjunct, binding)
         if match is None:
             continue
         column, op_name, value_expr = match
+        observed_pairs.append((column, op_name))
         if table.index_on((column,),
                           require_btree=op_name != "=") is None:
             continue
-        rule_pick = (column, op_name, _scalar_factory(value_expr))
-        break
+        if rule_pick is None:
+            rule_pick = (column, op_name, _scalar_factory(value_expr))
 
     predicate_factory = compile_predicate_factory(select.where, scope) \
         if select.where is not None else None
@@ -702,7 +721,10 @@ def _build_select(select: ast.SelectStatement, db) -> SelectTemplate:
         if select.limit is not None else None,
         offset_factory=_scalar_factory(select.offset)
         if select.offset is not None else None,
-        tables=(select.table.name,))
+        tables=(select.table.name,),
+        query_class="point" if any(op == "=" for _, op
+                                   in observed_pairs) else "analytic",
+        observed_pairs=tuple(observed_pairs))
 
 
 def _build_update(statement: ast.Update, db) -> DmlTemplate:
@@ -768,6 +790,7 @@ class CacheEntry:
     engine: str = ""
     isolation: str = ""
     granularity: str = ""
+    query_class: str = ""
     executions: int = 0
 
 
@@ -795,7 +818,10 @@ class PlanCache:
     def _valid(self, entry: CacheEntry, db) -> bool:
         if entry.template is None:
             return True           # a bare AST depends on nothing
-        if entry.engine != db.execution_engine \
+        # The *effective* engine for this entry's query class — an
+        # adaptive per-class override flip invalidates exactly the
+        # cached plans it affects.
+        if entry.engine != db.engine_for(entry.query_class) \
                 or entry.isolation != db.isolation \
                 or entry.granularity != db.lock_granularity:
             return False
@@ -843,20 +869,32 @@ class PlanCache:
                 entry.stats_versions[name] = versions.get(name, 0)
                 entry.has_stats[name] = \
                     catalog.stats_for(name) is not None
-            entry.engine = db.execution_engine
+            entry.query_class = getattr(template, "query_class", "")
+            entry.engine = db.engine_for(entry.query_class)
             entry.isolation = db.isolation
             entry.granularity = db.lock_granularity
         entry.executions = 1
         with self._lock:
-            while len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            self._entries[text] = entry
             if template is None:
                 self.bypasses += 1
             else:
                 self.misses += 1
+            if self.capacity <= 0:
+                return entry     # cache disabled: plan, don't retain
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[text] = entry
         return entry
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity online; shrinking evicts LRU immediately so
+        the memory bound holds as soon as the knob lands."""
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > max(capacity, 0):
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, text: str) -> None:
         """Drop one entry (stale-plan recovery)."""

@@ -483,11 +483,16 @@ class Planner:
         """Use an index when a WHERE conjunct matches one."""
         if where is None:
             return None
+        record = getattr(table, "record_predicate", None)
         for conjunct in _conjuncts(where):
             match = _index_match(conjunct, binding)
             if match is None:
                 continue
             column, op_name, value_expr = match
+            # Sighting recorded before the index-existence check: the
+            # advisor needs to see predicates on *unindexed* columns.
+            if record is not None:
+                record(column, op_name)
             index = table.index_on((column,),
                                    require_btree=op_name != "=")
             if index is None:
@@ -556,6 +561,7 @@ class Planner:
         key_columns = index.definition.columns
 
         def rids():
+            table.index_probes += 1
             if ssi is not None:
                 # The probed bounds are this statement's predicate read:
                 # a SIREAD key-range lock catches writers that move rows
@@ -1074,11 +1080,14 @@ class Planner:
                     lo_inclusive=lo_inc, hi_inclusive=hi_inc)
             return plan
 
+        record = getattr(table, "record_predicate", None)
         for conjunct in conjuncts:
             match = _index_match(conjunct, table_name)
             if match is None:
                 continue
             column, op_name, value_expr = match
+            if record is not None:
+                record(column, op_name)
             index = table.index_on((column,),
                                    require_btree=op_name != "=")
             if index is None:
@@ -1131,6 +1140,7 @@ class Planner:
         key_columns = index.definition.columns
 
         def victims():
+            table.index_probes += 1
             if ssi is not None:
                 ssi[0].record_key_range(ssi[1], table.name, key_columns,
                                         lo_values, hi_values, lo_inc,

@@ -143,6 +143,10 @@ class TableIndex:
         #: Retained-entry (version-aware) mode; wired from the owning
         #: table's ``versioned`` flag at attach time.
         self.versioned = False
+        #: Advisory probe counter (lock-free; feeds the index advisor's
+        #: drop rule — an index nobody probes is paying rent for
+        #: nothing on a write-heavy table).
+        self.probes = 0
         if definition.method == "btree":
             self.tree: Optional[BPlusTree] = BPlusTree(pages, file_id)
             self.hash: Optional[ExtendibleHashIndex] = None
@@ -257,6 +261,7 @@ class TableIndex:
         """Candidate head RIDs for an equality probe.  On versioned
         tables stale candidates are expected: callers re-check the
         version chain against their snapshot and re-check the key."""
+        self.probes += 1
         key = encode_key(values)
         if self.definition.unique:
             if self.tree is not None:
@@ -279,6 +284,7 @@ class TableIndex:
         """Candidate head RIDs with keys inside the bounds, deduplicated
         in versioned mode (one head may carry entries under several
         retained keys of the range)."""
+        self.probes += 1
         if self.tree is None:
             raise CatalogError(
                 f"index {self.definition.name!r} is hash-based; "
@@ -355,6 +361,14 @@ class Table:
         self.columnar = None
         self.indexes: dict[str, TableIndex] = {}
         self.row_count = 0
+        #: Advisory access counters for the workload observer: plain
+        #: ints bumped without locks (torn reads are fine — they feed
+        #: adaptation heuristics, not invariants).
+        self.seq_scans = 0
+        self.index_probes = 0
+        #: ``{(column, op_name): count}`` sargable predicate sightings
+        #: recorded by the planner — the index advisor's raw evidence.
+        self.predicate_counts: dict[tuple, int] = {}
         # Short-term latch serialising index maintenance + row counting:
         # row-level transaction locks admit concurrent writers to one
         # table, but the in-memory index structures are not thread-safe.
@@ -935,8 +949,20 @@ class Table:
 
     # -- reads -------------------------------------------------------------------------
 
+    def record_predicate(self, column: str, op: str) -> None:
+        """Count one sargable predicate sighting (planner hook).
+
+        Lock-free read-modify-write on a plain dict: a lost update
+        under racing planners just undercounts one sighting, which the
+        advisor's thresholds absorb.
+        """
+        key = (column, op)
+        self.predicate_counts[key] = \
+            self.predicate_counts.get(key, 0) + 1
+
     def scan(self, snapshot: Optional[Snapshot] = None
              ) -> Iterator[tuple[RID, tuple]]:
+        self.seq_scans += 1
         if not self.versioned:
             for rid, payload in self.heap.scan():
                 yield rid, self.schema.decode(payload)
@@ -1003,6 +1029,7 @@ class Table:
         plan-cached decode of each run (the vectorized engine's leaf).
         Versioned tables filter each run by a per-batch visibility pass
         before decoding — no per-row lock traffic on the read path."""
+        self.seq_scans += 1
         if not self.versioned:
             codec = self.schema.codec
             for payloads in self.heap.scan_payload_batches(batch_rows):

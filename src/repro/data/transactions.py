@@ -133,6 +133,9 @@ class LockManager:
         self._mutex = threading.RLock()
         self.timeout_s = timeout_s
         self.deadlocks_detected = 0
+        #: Cumulative count of acquisitions that had to queue —
+        #: the contention signal the adaptation layer watches.
+        self.waits = 0
 
     # -- acquisition ------------------------------------------------------------
 
@@ -158,6 +161,7 @@ class LockManager:
                     f"{mode.value} on {resource!r}")
             event = threading.Event()
             state.waiters.append((txn_id, mode, event))
+            self.waits += 1
         if not event.wait(self.timeout_s if timeout_s is None
                           else timeout_s):
             with self._mutex:
@@ -313,6 +317,7 @@ class LockManager:
                 "locks_held": sum(len(r) for r in self._held.values()),
                 "resources": len(self._locks),
                 "waiters": sum(len(s.waiters) for s in self._locks.values()),
+                "waits": self.waits,
                 "deadlocks": self.deadlocks_detected,
             }
 

@@ -288,6 +288,24 @@ class BufferPool:
                 "page_size": self.files.disk.device.block_size,
             }
 
+    def set_policy(self, policy: str | ReplacementPolicy) -> None:
+        """Swap the replacement policy online.
+
+        The new policy is seeded with every resident frame in the old
+        policy's rough recency order where it tracks one (admission
+        order otherwise), so the pool never evicts a page the policy
+        has not been told about.  Runs under the pool lock; in-flight
+        pins are unaffected (pinned pages are never victims).
+        """
+        with self._lock:
+            if isinstance(policy, str):
+                if policy == self.policy.name:
+                    return
+                policy = make_policy(policy)
+            for page_id in self._frames:
+                policy.admit(page_id)
+            self.policy = policy
+
     # -- pin / unpin -----------------------------------------------------------
 
     def fetch(self, page_id: PageId) -> Page:

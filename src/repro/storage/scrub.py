@@ -120,6 +120,15 @@ class ScrubManager:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def set_interval(self, interval_s: Optional[float]) -> None:
+        """Re-pace (or stop/start) the daemon online; ``Event.wait``
+        wakes on ``stop()``, so the new pace applies immediately."""
+        if self._thread is not None:
+            self.stop()
+        self.interval_s = interval_s
+        if interval_s is not None:
+            self.start()
+
     def _loop(self) -> None:
         while not self._stop.wait(self.interval_s):
             try:

@@ -112,6 +112,11 @@ class VacuumManager:
         #: ``Database.stats()["vacuum"]["tables"]``.
         self.table_reports: dict[str, dict] = {}
         self._mutex = threading.Lock()   # one vacuum at a time
+        #: Guards ``table_reports`` only.  ``_mutex`` is held for a
+        #: whole vacuum pass, so ``stats()`` cannot use it to get a
+        #: consistent snapshot without stalling behind the collector;
+        #: this short-hold lock covers just report mutation/copy.
+        self._reports_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -169,6 +174,13 @@ class VacuumManager:
     def _record_run(self, name: str, table, versions: int, rows: int,
                     stale: int, migrated: int = 0,
                     rebuilt: int = 0) -> None:
+        with self._reports_lock:
+            self._record_run_locked(name, table, versions, rows, stale,
+                                    migrated, rebuilt)
+
+    def _record_run_locked(self, name: str, table, versions: int,
+                           rows: int, stale: int, migrated: int,
+                           rebuilt: int) -> None:
         report = self.table_reports.setdefault(name, {
             "runs": 0, "versions_reclaimed": 0, "rows_reclaimed": 0,
             "stale_index_entries": 0, "versions_migrated": 0,
@@ -240,6 +252,18 @@ class VacuumManager:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def set_interval(self, interval_s: Optional[float]) -> None:
+        """Re-pace (or stop/start) the daemon online.
+
+        The loop's ``Event.wait`` wakes on ``stop()``, so the change
+        takes effect immediately rather than after one stale interval.
+        """
+        if self._thread is not None:
+            self.stop()
+        self.interval_s = interval_s
+        if interval_s is not None:
+            self.start()
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval_s):
@@ -446,6 +470,16 @@ class VacuumManager:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict:
+        # Per-table reports are copied under their owning lock: without
+        # it a reader can hit "dict changed size during iteration" (a
+        # first-time table report landing mid-copy) or read a report
+        # half-updated by ``_record_run``.
+        with self._reports_lock:
+            tables = {name: {key: (dict(value)
+                                   if isinstance(value, dict) else value)
+                             for key, value in report.items()}
+                      for name, report in self.table_reports.items()}
+        last_run = self.last_run     # replaced wholesale, never mutated
         return {
             "runs": self.runs,
             "auto_runs": self.auto_runs,
@@ -458,7 +492,6 @@ class VacuumManager:
             "dead_fraction": self.dead_fraction,
             "min_dead": self.min_dead,
             "interval_s": self.interval_s,
-            "last_run": self.last_run,
-            "tables": {name: dict(report)
-                       for name, report in self.table_reports.items()},
+            "last_run": dict(last_run) if last_run is not None else None,
+            "tables": tables,
         }

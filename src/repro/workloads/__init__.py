@@ -1,19 +1,25 @@
 """Seeded synthetic workload generators."""
 
 from repro.workloads.generator import (
+    SCENARIOS,
+    BurstyWorkload,
     KVOp,
     KeyValueWorkload,
     QueryWorkload,
     StreamWorkload,
     TableSpec,
+    scenario,
     zipf_ranks,
 )
 
 __all__ = [
+    "SCENARIOS",
+    "BurstyWorkload",
     "KVOp",
     "KeyValueWorkload",
     "QueryWorkload",
     "StreamWorkload",
     "TableSpec",
+    "scenario",
     "zipf_ranks",
 ]

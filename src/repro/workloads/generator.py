@@ -102,9 +102,13 @@ class TableSpec:
 class QueryWorkload:
     """A mix of SQL statements over a :class:`TableSpec`.
 
-    ``mix`` weights: point (PK lookup), range, scan_agg (group-by over the
-    table), insert, update, delete.
+    ``mix`` weights: point (PK lookup), secondary (equality on the
+    non-PK ``grp`` column — the shape an index advisor should notice),
+    range, scan_agg (group-by over the table), insert, update, delete.
     """
+
+    KINDS = ("point", "secondary", "range", "scan_agg",
+             "insert", "update", "delete")
 
     DEFAULT_MIX = {"point": 0.5, "range": 0.2, "scan_agg": 0.1,
                    "insert": 0.1, "update": 0.05, "delete": 0.05}
@@ -114,7 +118,7 @@ class QueryWorkload:
                  seed: int = 7) -> None:
         self.spec = spec
         self.mix = dict(mix or self.DEFAULT_MIX)
-        unknown = set(self.mix) - set(self.DEFAULT_MIX)
+        unknown = set(self.mix) - set(self.KINDS)
         if unknown:
             raise ValueError(f"unknown statement kinds {sorted(unknown)}")
         self.seed = seed
@@ -136,6 +140,9 @@ class QueryWorkload:
             if kind == "point":
                 yield (f"SELECT * FROM {name} WHERE id = ?",
                        (rng.randrange(self.spec.n_rows),))
+            elif kind == "secondary":
+                yield (f"SELECT * FROM {name} WHERE grp = ?",
+                       (rng.randrange(self.spec.n_groups),))
             elif kind == "range":
                 lo = rng.randrange(self.spec.n_rows)
                 yield (f"SELECT id, value FROM {name} "
@@ -157,6 +164,72 @@ class QueryWorkload:
                                       self._insert_id + 1)
                         if self._insert_id > self.spec.n_rows
                         else self._insert_id,))
+
+
+#: Named statement mixes for the adaptation experiments.  Each scenario
+#: stresses a different knob: OLTP rewards point indexes and row-mode
+#: plans, analytics rewards vectorized scans and MRU buffering, mixed
+#: exercises the per-class engine overrides, bursty forces the tuner to
+#: track phase changes.
+SCENARIOS: dict[str, dict[str, float]] = {
+    "oltp": {"point": 0.45, "secondary": 0.2, "insert": 0.15,
+             "update": 0.12, "delete": 0.08},
+    "analytics": {"scan_agg": 0.55, "range": 0.35, "point": 0.1},
+    "mixed": {"point": 0.25, "secondary": 0.2, "range": 0.15,
+              "scan_agg": 0.15, "insert": 0.1, "update": 0.1,
+              "delete": 0.05},
+}
+
+
+class BurstyWorkload:
+    """Alternating OLTP / analytics phases of ``burst`` statements.
+
+    Each phase draws from the corresponding :data:`SCENARIOS` mix with
+    a phase-derived seed, so the whole stream is reproducible from
+    ``seed`` alone while phases still differ from each other.  Insert
+    keys stay continuous across phases (the id counter is threaded
+    through).
+    """
+
+    def __init__(self, spec: TableSpec, burst: int = 100,
+                 seed: int = 7) -> None:
+        self.spec = spec
+        self.burst = burst
+        self.seed = seed
+
+    def setup(self, db) -> None:
+        QueryWorkload(self.spec, seed=self.seed).setup(db)
+
+    def statements(self, count: int) -> Iterator[tuple[str, tuple]]:
+        emitted = 0
+        phase = 0
+        next_id = self.spec.n_rows
+        while emitted < count:
+            mix = SCENARIOS["oltp"] if phase % 2 == 0 \
+                else SCENARIOS["analytics"]
+            workload = QueryWorkload(self.spec, mix=mix,
+                                     seed=self.seed + phase)
+            workload._insert_id = next_id
+            for statement in workload.statements(
+                    min(self.burst, count - emitted)):
+                yield statement
+                emitted += 1
+            next_id = workload._insert_id
+            phase += 1
+
+
+def scenario(name: str, spec: Optional[TableSpec] = None,
+             seed: int = 7):
+    """Factory for the named workload scenarios (oltp, analytics,
+    mixed, bursty) used by the adaptation benchmarks and tests."""
+    spec = spec or TableSpec()
+    if name == "bursty":
+        return BurstyWorkload(spec, seed=seed)
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            f"known: {sorted(SCENARIOS) + ['bursty']}")
+    return QueryWorkload(spec, mix=SCENARIOS[name], seed=seed)
 
 
 class StreamWorkload:

@@ -1,0 +1,135 @@
+"""Deterministic seeded workload scenarios (satellite of PR 10).
+
+The adaptation benchmarks compare static configurations against the
+self-tuning kernel on named scenario mixes; those comparisons are only
+meaningful if a (scenario, seed) pair always produces the same
+statement stream with the documented operation distribution.
+"""
+
+import pytest
+
+from repro.workloads.generator import (
+    SCENARIOS,
+    BurstyWorkload,
+    QueryWorkload,
+    TableSpec,
+    scenario,
+)
+
+N = 4000
+
+
+def kind_of(sql: str) -> str:
+    if sql.startswith("INSERT"):
+        return "insert"
+    if sql.startswith("UPDATE"):
+        return "update"
+    if sql.startswith("DELETE"):
+        return "delete"
+    if "GROUP BY" in sql:
+        return "scan_agg"
+    if "WHERE grp = ?" in sql:
+        return "secondary"
+    if "WHERE id > ?" in sql:
+        return "range"
+    return "point"
+
+
+def distribution(statements) -> dict:
+    counts: dict = {}
+    total = 0
+    for sql, _params in statements:
+        counts[kind_of(sql)] = counts.get(kind_of(sql), 0) + 1
+        total += 1
+    return {kind: count / total for kind, count in counts.items()}
+
+
+class TestScenarioMixes:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seed_same_stream(self, name):
+        first = list(scenario(name, seed=11).statements(200))
+        second = list(scenario(name, seed=11).statements(200))
+        assert first == second
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_different_seed_different_stream(self, name):
+        first = list(scenario(name, seed=11).statements(200))
+        second = list(scenario(name, seed=12).statements(200))
+        assert first != second
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_observed_distribution_matches_mix(self, name):
+        observed = distribution(scenario(name,
+                                         seed=3).statements(N))
+        for kind, weight in SCENARIOS[name].items():
+            assert observed.get(kind, 0.0) == pytest.approx(
+                weight, abs=0.03), (name, kind)
+        unexpected = set(observed) - set(SCENARIOS[name])
+        assert not unexpected
+
+    def test_oltp_is_write_heavy_analytics_is_not(self):
+        writes = ("insert", "update", "delete")
+        oltp = distribution(scenario("oltp", seed=5).statements(N))
+        olap = distribution(
+            scenario("analytics", seed=5).statements(N))
+        assert sum(oltp.get(k, 0) for k in writes) > 0.3
+        assert sum(olap.get(k, 0) for k in writes) == 0
+
+    def test_secondary_kind_is_the_advisor_bait(self):
+        spec = TableSpec(name="items", n_groups=7)
+        workload = QueryWorkload(spec, mix={"secondary": 1.0}, seed=1)
+        for sql, params in workload.statements(50):
+            assert sql == "SELECT * FROM items WHERE grp = ?"
+            assert 0 <= params[0] < 7
+
+    def test_unknown_kind_and_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(TableSpec(), mix={"nope": 1.0})
+        with pytest.raises(ValueError):
+            scenario("nope")
+
+
+class TestBurstyWorkload:
+    def test_deterministic_and_phase_alternating(self):
+        workload = scenario("bursty", seed=9)
+        assert isinstance(workload, BurstyWorkload)
+        first = list(workload.statements(500))
+        second = list(scenario("bursty", seed=9).statements(500))
+        assert first == second
+        # Even (OLTP) phases write; odd (analytics) phases never do.
+        for phase in range(500 // workload.burst):
+            chunk = first[phase * workload.burst:
+                          (phase + 1) * workload.burst]
+            writes = sum(1 for sql, _ in chunk
+                         if kind_of(sql) in ("insert", "update",
+                                             "delete"))
+            if phase % 2 == 0:
+                assert writes > 0
+            else:
+                assert writes == 0
+
+    def test_phases_differ_from_each_other(self):
+        workload = scenario("bursty", seed=9)
+        stream = list(workload.statements(400))
+        assert stream[:100] != stream[200:300]   # two OLTP phases
+
+    def test_insert_ids_continuous_across_phases(self):
+        spec = TableSpec(n_rows=100)
+        workload = BurstyWorkload(spec, burst=50, seed=2)
+        inserted = [params[0]
+                    for sql, params in workload.statements(600)
+                    if sql.startswith("INSERT")]
+        assert inserted == sorted(inserted)
+        assert len(inserted) == len(set(inserted))
+        assert all(key > 100 for key in inserted)
+
+    def test_runs_against_a_live_database(self):
+        from repro.data import Database
+        db = Database()
+        spec = TableSpec(n_rows=60, n_groups=5)
+        workload = scenario("mixed", spec=spec, seed=4)
+        workload.setup(db)
+        for sql, params in workload.statements(120):
+            db.execute(sql, params)
+        assert db.query("SELECT COUNT(*) FROM items")[0][0] > 0
+        db.close()
